@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks: raw simulator and algorithm throughput.
+//!
+//! These complement the experiment benches (which measure *rounds*, the unit of the
+//! paper's claims) with wall-clock numbers: how fast the simulator executes AlgAU
+//! transitions, full synchronous rounds, and end-to-end stabilization runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::executor::ExecutionBuilder;
+use sa_model::graph::Graph;
+use sa_model::scheduler::{SynchronousScheduler, UniformRandomScheduler};
+use sa_model::signal::Signal;
+use unison_core::{AlgAu, GoodGraphOracle, Turn};
+
+fn bench_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algau-transition");
+    for d in [2usize, 8, 32] {
+        let alg = AlgAu::new(d);
+        let signal = Signal::from_states(vec![Turn::Able(3), Turn::Able(4), Turn::Faulty(5)]);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut rng = rand::thread_rng();
+            b.iter(|| {
+                black_box(alg.transition(black_box(&Turn::Able(4)), black_box(&signal), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synchronous_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synchronous-round");
+    for n in [16usize, 64, 256] {
+        let graph = Graph::cycle(n);
+        let d = graph.diameter();
+        let alg = AlgAu::new(d);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    ExecutionBuilder::new(&alg, &graph)
+                        .seed(1)
+                        .uniform(Turn::Able(1))
+                },
+                |mut exec| {
+                    let mut sched = SynchronousScheduler;
+                    exec.run_rounds(&mut sched, 10);
+                    black_box(exec.rounds())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algau-stabilization");
+    group.sample_size(10);
+    for d in [2usize, 4] {
+        let graph = Graph::cycle(2 * d);
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || {
+                    ExecutionBuilder::new(&alg, &graph)
+                        .seed(7)
+                        .random_initial(&palette)
+                },
+                |mut exec| {
+                    let mut sched = UniformRandomScheduler::new(0.5);
+                    let outcome = exec.run_until_legitimate(
+                        &mut sched,
+                        &GoodGraphOracle::new(alg),
+                        1_000_000,
+                    );
+                    black_box(outcome.rounds())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transition,
+    bench_synchronous_round,
+    bench_stabilization
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Experiment bench target: AlgAU stabilization time (Theorem 1.1)
+//!
+//! Run with `cargo bench --bench exp_au_stabilization` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::au_experiments::e3_au_stabilization(scale);
+    sa_bench::print_experiment(&report);
+}

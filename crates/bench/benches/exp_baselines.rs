@@ -1,0 +1,9 @@
+//! Experiment bench target: AlgAU vs unbounded-register unison
+//!
+//! Run with `cargo bench --bench exp_baselines` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::au_experiments::e9_baselines(scale);
+    sa_bench::print_experiment(&report);
+}

@@ -1,0 +1,9 @@
+//! Experiment bench target: biological fault recovery
+//!
+//! Run with `cargo bench --bench exp_bio_recovery` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::bio_experiments::e10_bio_recovery(scale);
+    sa_bench::print_experiment(&report);
+}

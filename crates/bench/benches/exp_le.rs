@@ -1,0 +1,9 @@
+//! Experiment bench target: AlgLE stabilization time (Theorem 1.3)
+//!
+//! Run with `cargo bench --bench exp_le` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::protocol_experiments::e6_le(scale);
+    sa_bench::print_experiment(&report);
+}

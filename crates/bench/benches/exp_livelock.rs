@@ -1,0 +1,9 @@
+//! Experiment bench target: Appendix A live-lock (Figure 2)
+//!
+//! Run with `cargo bench --bench exp_livelock` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::au_experiments::e8_livelock(scale);
+    sa_bench::print_experiment(&report);
+}

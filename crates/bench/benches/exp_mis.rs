@@ -1,0 +1,9 @@
+//! Experiment bench target: AlgMIS stabilization time (Theorem 1.4)
+//!
+//! Run with `cargo bench --bench exp_mis` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::protocol_experiments::e5_mis(scale);
+    sa_bench::print_experiment(&report);
+}

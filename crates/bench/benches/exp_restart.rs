@@ -1,0 +1,9 @@
+//! Experiment bench target: module Restart exit time (Theorem 3.1)
+//!
+//! Run with `cargo bench --bench exp_restart` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::protocol_experiments::e4_restart(scale);
+    sa_bench::print_experiment(&report);
+}

@@ -1,0 +1,9 @@
+//! Experiment bench target: state space vs diameter bound (Theorem 1.1)
+//!
+//! Run with `cargo bench --bench exp_state_space` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::au_experiments::e2_state_space(scale);
+    sa_bench::print_experiment(&report);
+}

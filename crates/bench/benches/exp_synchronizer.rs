@@ -1,0 +1,9 @@
+//! Experiment bench target: synchronizer overhead (Corollary 1.2)
+//!
+//! Run with `cargo bench --bench exp_synchronizer` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::protocol_experiments::e7_synchronizer(scale);
+    sa_bench::print_experiment(&report);
+}

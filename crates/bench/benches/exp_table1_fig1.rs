@@ -1,0 +1,9 @@
+//! Experiment bench target: regenerates Table 1 and Figure 1
+//!
+//! Run with `cargo bench --bench exp_table1_fig1` (set `EXPERIMENT_SCALE=full` for the full sweep).
+
+fn main() {
+    let scale = sa_bench::Scale::from_env();
+    let report = sa_bench::au_experiments::e1_transition_diagram(if matches!(scale, sa_bench::Scale::Full) { 4 } else { 1 });
+    sa_bench::print_experiment(&report);
+}

@@ -1,0 +1,126 @@
+//! Report rendering and persistence for the experiment harness.
+//!
+//! Every experiment produces an [`ExperimentReport`]: a free-form preamble (the
+//! claim being tested and the verdict), a table of [`ExperimentRow`]s and optionally
+//! extra artifacts (e.g. the DOT rendering of Figure 1). [`print_experiment`] renders
+//! it to stdout and persists the raw rows as JSON under `target/experiments/` so that
+//! `EXPERIMENTS.md` can be regenerated from the latest run.
+
+use sa_model::metrics::{render_table, ExperimentRow};
+use std::fs;
+use std::path::PathBuf;
+
+/// A fully rendered experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Experiment identifier, e.g. `"E3"`.
+    pub id: String,
+    /// One-line title.
+    pub title: String,
+    /// The paper's claim being reproduced.
+    pub claim: String,
+    /// The measured verdict (filled by the experiment function).
+    pub verdict: String,
+    /// The measurement rows.
+    pub rows: Vec<ExperimentRow>,
+    /// Additional textual artifacts (DOT diagrams, transition tables, …).
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report for the given experiment.
+    pub fn new(id: &str, title: &str, claim: &str) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            verdict: String::new(),
+            rows: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Renders the report as text (the same text `cargo bench --bench exp_*` prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} — {} ====\n", self.id, self.title));
+        out.push_str(&format!("claim   : {}\n", self.claim));
+        if !self.verdict.is_empty() {
+            out.push_str(&format!("verdict : {}\n", self.verdict));
+        }
+        if !self.rows.is_empty() {
+            out.push('\n');
+            out.push_str(&render_table(&self.rows));
+        }
+        for (name, body) in &self.artifacts {
+            out.push_str(&format!("\n---- {name} ----\n{body}\n"));
+        }
+        out
+    }
+
+    /// Persists the rows as JSON under `target/experiments/<id>.json`. Errors are
+    /// reported on stderr but not fatal (the printed table is the primary output).
+    pub fn persist(&self) {
+        let dir = PathBuf::from("target").join("experiments");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {dir:?}: {e}");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(&self.rows) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {path:?}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize rows: {e}"),
+        }
+    }
+}
+
+/// Renders an experiment to stdout and persists its rows.
+pub fn print_experiment(report: &ExperimentReport) {
+    println!("{}", report.render());
+    report.persist();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::metrics::Summary;
+
+    fn sample_report() -> ExperimentReport {
+        let mut r = ExperimentReport::new("E2", "state space", "AlgAU uses O(D) states");
+        r.verdict = "linear".to_string();
+        r.rows.push(ExperimentRow {
+            experiment: "E2".into(),
+            topology: "-".into(),
+            n: 0,
+            diameter_bound: 4,
+            scheduler: "-".into(),
+            metric: "states".into(),
+            summary: Summary::of(&[54.0]),
+            failures: 0,
+        });
+        r.artifacts.push(("dot".into(), "digraph {}".into()));
+        r
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = sample_report().render();
+        assert!(text.contains("E2"));
+        assert!(text.contains("claim"));
+        assert!(text.contains("verdict : linear"));
+        assert!(text.contains("digraph"));
+        assert!(text.contains("states"));
+    }
+
+    #[test]
+    fn empty_report_renders_without_table() {
+        let r = ExperimentReport::new("E0", "empty", "nothing");
+        let text = r.render();
+        assert!(text.contains("E0"));
+        assert!(!text.contains("verdict"));
+    }
+}

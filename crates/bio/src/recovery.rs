@@ -1,0 +1,284 @@
+//! Fault-recovery measurement for biological scenarios.
+//!
+//! Self-stabilization is the formal counterpart of what a biological tissue does after
+//! an environmental insult: no matter which cells were scrambled, the population
+//! returns to a functional global state on its own. The helpers here quantify that:
+//!
+//! * [`run_burst_recovery_trials`] — repeatedly scramble a fraction of the cells and
+//!   measure how many rounds the system needs to return to a legitimate
+//!   configuration;
+//! * [`measure_availability`] — subject the system to continuous background noise and
+//!   measure the fraction of time it spends in a legitimate configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sa_model::algorithm::{Algorithm, LegitimacyOracle};
+use sa_model::executor::Execution;
+use sa_model::graph::Graph;
+use sa_model::scheduler::Scheduler;
+
+/// Statistics collected by [`run_burst_recovery_trials`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Rounds needed to recover after each successfully recovered burst.
+    pub recovery_rounds: Vec<u64>,
+    /// Number of bursts from which the system failed to recover within the budget.
+    pub unrecovered: usize,
+    /// Rounds needed for the initial (pre-fault) stabilization, if it happened.
+    pub initial_stabilization: Option<u64>,
+}
+
+impl RecoveryStats {
+    /// Mean recovery time over the recovered bursts (`None` if none recovered).
+    pub fn mean_recovery(&self) -> Option<f64> {
+        if self.recovery_rounds.is_empty() {
+            return None;
+        }
+        Some(self.recovery_rounds.iter().sum::<u64>() as f64 / self.recovery_rounds.len() as f64)
+    }
+
+    /// Worst-case recovery time over the recovered bursts.
+    pub fn max_recovery(&self) -> Option<u64> {
+        self.recovery_rounds.iter().max().copied()
+    }
+
+    /// Whether every burst was recovered from.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered == 0 && self.initial_stabilization.is_some()
+    }
+}
+
+/// Runs `trials` burst-recovery trials of `algorithm` on `graph`.
+///
+/// The execution starts from `benign_start`, stabilizes (at most
+/// `max_recovery_rounds` rounds), and then repeatedly: `burst_size` random cells are
+/// overwritten with random states from `fault_palette`, and the number of rounds
+/// until the legitimacy predicate holds again is recorded.
+#[allow(clippy::too_many_arguments)]
+pub fn run_burst_recovery_trials<A, S, O>(
+    algorithm: &A,
+    graph: &Graph,
+    benign_start: Vec<A::State>,
+    scheduler: &mut S,
+    oracle: &O,
+    fault_palette: &[A::State],
+    burst_size: usize,
+    trials: usize,
+    max_recovery_rounds: u64,
+    seed: u64,
+) -> RecoveryStats
+where
+    A: Algorithm,
+    S: Scheduler,
+    O: LegitimacyOracle<A>,
+{
+    assert!(!fault_palette.is_empty(), "fault palette must not be empty");
+    assert!(burst_size >= 1, "a burst must corrupt at least one node");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb10_b10);
+    let mut exec = Execution::new(algorithm, graph, benign_start, seed);
+    let initial = exec
+        .run_until_legitimate(scheduler, oracle, max_recovery_rounds)
+        .rounds();
+    let mut stats = RecoveryStats {
+        recovery_rounds: Vec::new(),
+        unrecovered: 0,
+        initial_stabilization: initial,
+    };
+    if initial.is_none() {
+        stats.unrecovered = trials;
+        return stats;
+    }
+    let n = graph.node_count();
+    for _ in 0..trials {
+        // scramble `burst_size` distinct cells
+        let mut victims: Vec<usize> = (0..n).collect();
+        for i in 0..burst_size.min(n) {
+            let j = rng.gen_range(i..n);
+            victims.swap(i, j);
+        }
+        for &v in victims.iter().take(burst_size.min(n)) {
+            let state = fault_palette[rng.gen_range(0..fault_palette.len())].clone();
+            exec.corrupt(v, state);
+        }
+        let before = exec.rounds();
+        match exec
+            .run_until_legitimate(scheduler, oracle, max_recovery_rounds)
+            .rounds()
+        {
+            Some(after) => stats.recovery_rounds.push(after - before),
+            None => stats.unrecovered += 1,
+        }
+    }
+    stats
+}
+
+/// Result of [`measure_availability`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// Fraction of observed round boundaries at which the configuration was
+    /// legitimate.
+    pub availability: f64,
+    /// Total number of node-state corruptions injected.
+    pub faults_injected: u64,
+    /// Number of rounds observed.
+    pub rounds: u64,
+}
+
+/// Runs `rounds` rounds under continuous background noise: at every round boundary
+/// each cell is independently scrambled with probability `per_node_rate`. Returns the
+/// fraction of round boundaries at which the configuration was legitimate.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_availability<A, S, O>(
+    algorithm: &A,
+    graph: &Graph,
+    benign_start: Vec<A::State>,
+    scheduler: &mut S,
+    oracle: &O,
+    fault_palette: &[A::State],
+    per_node_rate: f64,
+    rounds: u64,
+    seed: u64,
+) -> AvailabilityReport
+where
+    A: Algorithm,
+    S: Scheduler,
+    O: LegitimacyOracle<A>,
+{
+    assert!(!fault_palette.is_empty(), "fault palette must not be empty");
+    assert!((0.0..=1.0).contains(&per_node_rate), "rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut exec = Execution::new(algorithm, graph, benign_start, seed);
+    let mut legitimate_rounds = 0u64;
+    let mut faults = 0u64;
+    let target = exec.rounds() + rounds;
+    while exec.rounds() < target {
+        let step = exec.step_with(scheduler);
+        if !step.round_completed {
+            continue;
+        }
+        if oracle.is_legitimate(graph, exec.configuration()) {
+            legitimate_rounds += 1;
+        }
+        for v in 0..graph.node_count() {
+            if rng.gen_bool(per_node_rate) {
+                let state = fault_palette[rng.gen_range(0..fault_palette.len())].clone();
+                exec.corrupt(v, state);
+                faults += 1;
+            }
+        }
+    }
+    AvailabilityReport {
+        availability: legitimate_rounds as f64 / rounds as f64,
+        faults_injected: faults,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::algorithm::StateSpace;
+    use sa_model::scheduler::{SynchronousScheduler, UniformRandomScheduler};
+    use unison_core::{AlgAu, GoodGraphOracle, Turn};
+
+    fn unison_setup(graph: &Graph) -> (AlgAu, Vec<Turn>, Vec<Turn>) {
+        let alg = AlgAu::new(graph.diameter());
+        let start = vec![Turn::Able(1); graph.node_count()];
+        let palette = alg.states();
+        (alg, start, palette)
+    }
+
+    #[test]
+    fn unison_recovers_from_bursts() {
+        let graph = Graph::grid(3, 3);
+        let (alg, start, palette) = unison_setup(&graph);
+        let mut sched = UniformRandomScheduler::new(0.5);
+        let stats = run_burst_recovery_trials(
+            &alg,
+            &graph,
+            start,
+            &mut sched,
+            &GoodGraphOracle::new(alg),
+            &palette,
+            4,
+            5,
+            50_000,
+            1,
+        );
+        assert!(stats.fully_recovered(), "{stats:?}");
+        assert_eq!(stats.recovery_rounds.len(), 5);
+        assert!(stats.mean_recovery().unwrap() >= 0.0);
+        assert!(stats.max_recovery().unwrap() < 50_000);
+    }
+
+    #[test]
+    fn availability_is_high_under_mild_noise_and_one_without_noise() {
+        let graph = Graph::cycle(6);
+        let (alg, start, palette) = unison_setup(&graph);
+        let oracle = GoodGraphOracle::new(alg);
+        let mut sched = SynchronousScheduler;
+        let clean = measure_availability(
+            &alg,
+            &graph,
+            start.clone(),
+            &mut sched,
+            &oracle,
+            &palette,
+            0.0,
+            200,
+            3,
+        );
+        assert_eq!(clean.availability, 1.0);
+        assert_eq!(clean.faults_injected, 0);
+        let mut sched = SynchronousScheduler;
+        let noisy = measure_availability(
+            &alg, &graph, start, &mut sched, &oracle, &palette, 0.001, 400, 3,
+        );
+        assert!(noisy.availability > 0.5, "{noisy:?}");
+    }
+
+    #[test]
+    fn availability_degrades_under_severe_noise() {
+        let graph = Graph::cycle(6);
+        let (alg, start, palette) = unison_setup(&graph);
+        let oracle = GoodGraphOracle::new(alg);
+        let mut sched = SynchronousScheduler;
+        let mild = measure_availability(
+            &alg,
+            &graph,
+            start.clone(),
+            &mut sched,
+            &oracle,
+            &palette,
+            0.001,
+            300,
+            9,
+        );
+        let mut sched = SynchronousScheduler;
+        let severe = measure_availability(
+            &alg, &graph, start, &mut sched, &oracle, &palette, 0.1, 300, 9,
+        );
+        assert!(severe.availability < mild.availability, "{severe:?} vs {mild:?}");
+        assert!(severe.faults_injected > mild.faults_injected);
+    }
+
+    #[test]
+    #[should_panic(expected = "palette must not be empty")]
+    fn empty_palette_panics() {
+        let graph = Graph::path(2);
+        let (alg, start, _) = unison_setup(&graph);
+        let mut sched = SynchronousScheduler;
+        let _ = run_burst_recovery_trials(
+            &alg,
+            &graph,
+            start,
+            &mut sched,
+            &GoodGraphOracle::new(alg),
+            &[],
+            1,
+            1,
+            10,
+            0,
+        );
+    }
+}

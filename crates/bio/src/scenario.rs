@@ -1,0 +1,266 @@
+//! Biological network scenarios.
+//!
+//! The paper's title promises "applications to fault tolerant biological networks";
+//! its introduction motivates the stone age model with cellular networks (weak,
+//! anonymous, bounded-memory agents, broadcast-like sensing, transient environmental
+//! faults) and §5 points to concrete biological analogues: quorum sensing in
+//! bacterial populations (a broadcast/complete-graph setting) and the fly's sensory
+//! organ precursor selection, which is exactly MIS under lateral inhibition
+//! (Afek et al., Scott et al.).
+//!
+//! This module provides three concrete scenario families used by the examples, the
+//! recovery experiments (E10) and the integration tests:
+//!
+//! * [`ColonyScenario`] — a bacterial colony as a damaged clique (dense broadcast
+//!   network with some links severed by the environment); the colony must keep
+//!   exactly one "decision maker" cell — leader election.
+//! * [`TissueScenario`] — an epithelial sheet as a grid/torus; the tissue must keep a
+//!   well-spaced set of differentiated cells — maximal independent set via lateral
+//!   inhibition.
+//! * [`PulseScenario`] — a tissue-wide pulse (e.g. a segmentation clock): every cell
+//!   keeps a phase that must stay within one tick of its neighbors and keep
+//!   advancing — asynchronous unison.
+
+use sa_model::graph::Graph;
+use sa_model::topology::Topology;
+
+/// How severely the environment perturbs the network (used to pick fault rates in the
+/// experiments and examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Harshness {
+    /// Rare, isolated faults.
+    Mild,
+    /// Recurring fault bursts.
+    Moderate,
+    /// Frequent, widespread corruption.
+    Severe,
+}
+
+impl Harshness {
+    /// A per-node, per-round state-corruption probability matching the harshness
+    /// level.
+    pub fn per_node_rate(&self) -> f64 {
+        match self {
+            Harshness::Mild => 0.0005,
+            Harshness::Moderate => 0.005,
+            Harshness::Severe => 0.02,
+        }
+    }
+
+    /// The fraction of nodes hit by a single fault burst.
+    pub fn burst_fraction(&self) -> f64 {
+        match self {
+            Harshness::Mild => 0.1,
+            Harshness::Moderate => 0.3,
+            Harshness::Severe => 0.6,
+        }
+    }
+}
+
+/// A bacterial colony: `cells` individuals communicating by diffusing signalling
+/// molecules — effectively a complete broadcast graph from which the environment has
+/// severed a fraction `severed_links` of the links (keeping the diameter at most
+/// `max_diameter`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColonyScenario {
+    /// Number of cells in the colony.
+    pub cells: usize,
+    /// Fraction of pairwise links severed by environmental obstacles.
+    pub severed_links: f64,
+    /// Upper bound on the resulting communication diameter.
+    pub max_diameter: usize,
+}
+
+impl ColonyScenario {
+    /// A colony of the given size with moderate link damage (30% severed, diameter
+    /// at most 2 — the paper's "natural extension of complete graphs").
+    pub fn new(cells: usize) -> Self {
+        ColonyScenario {
+            cells,
+            severed_links: 0.3,
+            max_diameter: 2,
+        }
+    }
+
+    /// Builds the colony's communication graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the colony has fewer than 2 cells.
+    pub fn build(&self, seed: u64) -> Graph {
+        assert!(self.cells >= 2, "a colony needs at least 2 cells");
+        if self.severed_links == 0.0 {
+            return Topology::Complete { n: self.cells }.build_deterministic();
+        }
+        Topology::DamagedClique {
+            n: self.cells,
+            drop: self.severed_links,
+            max_diameter: self.max_diameter,
+        }
+        .build(seed)
+    }
+
+    /// The diameter bound to configure algorithms with.
+    pub fn diameter_bound(&self) -> usize {
+        if self.severed_links == 0.0 {
+            1
+        } else {
+            self.max_diameter
+        }
+    }
+}
+
+/// An epithelial tissue sheet: a `rows × cols` lattice of cells, optionally wrapped
+/// into a torus (no boundary effects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TissueScenario {
+    /// Number of cell rows.
+    pub rows: usize,
+    /// Number of cell columns.
+    pub cols: usize,
+    /// Whether the sheet wraps around (torus) or has boundaries (grid).
+    pub wrap: bool,
+}
+
+impl TissueScenario {
+    /// A bounded sheet of the given dimensions.
+    pub fn sheet(rows: usize, cols: usize) -> Self {
+        TissueScenario {
+            rows,
+            cols,
+            wrap: false,
+        }
+    }
+
+    /// A wrapped (toroidal) sheet of the given dimensions.
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        TissueScenario {
+            rows,
+            cols,
+            wrap: true,
+        }
+    }
+
+    /// Builds the tissue's adjacency graph.
+    pub fn build(&self) -> Graph {
+        if self.wrap {
+            Topology::Torus {
+                rows: self.rows,
+                cols: self.cols,
+            }
+            .build_deterministic()
+        } else {
+            Topology::Grid {
+                rows: self.rows,
+                cols: self.cols,
+            }
+            .build_deterministic()
+        }
+    }
+
+    /// The exact diameter of the tissue graph (used as the diameter bound).
+    pub fn diameter_bound(&self) -> usize {
+        if self.wrap {
+            self.rows / 2 + self.cols / 2
+        } else {
+            self.rows + self.cols - 2
+        }
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A field of cells that must maintain a coherent, advancing pulse: cell clusters
+/// arranged in a ring (the caveman topology), as in a segmented tissue where each
+/// segment is densely coupled and consecutive segments touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PulseScenario {
+    /// Number of segments (cell clusters).
+    pub segments: usize,
+    /// Number of cells per segment.
+    pub cells_per_segment: usize,
+}
+
+impl PulseScenario {
+    /// Creates a pulse field with the given segmentation.
+    pub fn new(segments: usize, cells_per_segment: usize) -> Self {
+        PulseScenario {
+            segments,
+            cells_per_segment,
+        }
+    }
+
+    /// Builds the coupling graph.
+    pub fn build(&self) -> Graph {
+        Topology::Caveman {
+            clusters: self.segments,
+            clique: self.cells_per_segment,
+        }
+        .build_deterministic()
+    }
+
+    /// The diameter bound to configure AlgAU with (computed exactly from the built
+    /// graph, since the caveman diameter has no closed form worth hard-coding).
+    pub fn diameter_bound(&self) -> usize {
+        self.build().diameter()
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.segments * self.cells_per_segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harshness_rates_are_ordered() {
+        assert!(Harshness::Mild.per_node_rate() < Harshness::Moderate.per_node_rate());
+        assert!(Harshness::Moderate.per_node_rate() < Harshness::Severe.per_node_rate());
+        assert!(Harshness::Mild.burst_fraction() < Harshness::Severe.burst_fraction());
+    }
+
+    #[test]
+    fn colony_respects_diameter_bound() {
+        let colony = ColonyScenario::new(20);
+        let g = colony.build(7);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.is_connected());
+        assert!(g.diameter() <= colony.diameter_bound());
+    }
+
+    #[test]
+    fn undamaged_colony_is_complete() {
+        let colony = ColonyScenario {
+            cells: 8,
+            severed_links: 0.0,
+            max_diameter: 1,
+        };
+        let g = colony.build(0);
+        assert_eq!(g.edge_count(), 8 * 7 / 2);
+        assert_eq!(colony.diameter_bound(), 1);
+    }
+
+    #[test]
+    fn tissue_sheet_and_torus_shapes() {
+        let sheet = TissueScenario::sheet(4, 5);
+        assert_eq!(sheet.cells(), 20);
+        assert_eq!(sheet.build().diameter(), sheet.diameter_bound());
+        let torus = TissueScenario::torus(4, 6);
+        assert_eq!(torus.build().diameter(), torus.diameter_bound());
+    }
+
+    #[test]
+    fn pulse_field_is_connected() {
+        let pulse = PulseScenario::new(5, 4);
+        let g = pulse.build();
+        assert_eq!(g.node_count(), pulse.cells());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), pulse.diameter_bound());
+    }
+}

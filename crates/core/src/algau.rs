@@ -1,0 +1,509 @@
+//! AlgAU — the thin self-stabilizing asynchronous unison algorithm (Theorem 1.1).
+//!
+//! AlgAU is **deterministic**, anonymous and size-uniform. For a diameter bound `D`
+//! it fixes `k = 3D + 2` and uses the `4k − 2` turns of [`Turn`]: the `2k` able turns
+//! (output states, identified with the clock values of the cyclic group `K` of order
+//! `2k`) and the `2(k−1)` faulty turns.
+//!
+//! A node activated at time `t` applies the first matching rule below (Table 1 of the
+//! paper); if none matches it keeps its turn.
+//!
+//! | type | pre-turn | post-turn | condition |
+//! |------|----------|-----------|-----------|
+//! | AA | `ℓ̄`, `1 ≤ \|ℓ\| ≤ k` | `φ₊₁(ℓ)‾` | `v` is *good* and `Λ ⊆ {ℓ, φ₊₁(ℓ)}` |
+//! | AF | `ℓ̄`, `2 ≤ \|ℓ\| ≤ k` | `ℓ̂` | `v` is not *protected*, or `v` senses `ψ₋₁(ℓ)̂` |
+//! | FA | `ℓ̂`, `2 ≤ \|ℓ\| ≤ k` | `ψ₋₁(ℓ)‾` | `v` senses no level in `Ψ>(ℓ)` |
+//!
+//! where, from the node's own signal, *protected* means every sensed level is adjacent
+//! to the node's own level and *good* means protected and no faulty turn sensed.
+
+use crate::level::{Level, Levels};
+use crate::turn::Turn;
+use rand::RngCore;
+use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::signal::Signal;
+
+/// Which transition rule (if any) applies at an activation. Exposed so experiment E1
+/// can regenerate Table 1 and Figure 1 and so tests can assert rule-level behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// Able → able: advance the clock by one (`ℓ → φ₊₁(ℓ)`).
+    AbleAble,
+    /// Able → faulty: enter the faulty detour at the same level.
+    AbleFaulty,
+    /// Faulty → able: complete the detour one unit inwards (`ℓ̂ → ψ₋₁(ℓ)`).
+    FaultyAble,
+    /// No rule applies; the node keeps its turn.
+    Stay,
+}
+
+/// The AlgAU algorithm for a given diameter bound `D`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgAu {
+    levels: Levels,
+    diameter_bound: usize,
+}
+
+impl AlgAu {
+    /// Creates AlgAU for the class of graphs of diameter at most `diameter_bound`,
+    /// fixing `k = 3·diameter_bound + 2` as in the paper.
+    pub fn new(diameter_bound: usize) -> Self {
+        AlgAu {
+            levels: Levels::for_diameter_bound(diameter_bound),
+            diameter_bound,
+        }
+    }
+
+    /// Creates AlgAU with an explicit level bound `k` (mainly for unit tests of the
+    /// level mechanics; the paper's guarantee needs `k = 3D + 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn with_level_bound(k: i32) -> Self {
+        AlgAu {
+            levels: Levels::new(k),
+            diameter_bound: 0,
+        }
+    }
+
+    /// The diameter bound `D` this instance was built for.
+    pub fn diameter_bound(&self) -> usize {
+        self.diameter_bound
+    }
+
+    /// The level bound `k = 3D + 2`.
+    pub fn k(&self) -> i32 {
+        self.levels.k()
+    }
+
+    /// The level universe.
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// The order of the output clock group `K` (`2k` clock values).
+    pub fn clock_size(&self) -> u32 {
+        self.levels.count() as u32
+    }
+
+    /// The clock value output by an able turn at `level`.
+    pub fn clock_of_level(&self, level: Level) -> u32 {
+        self.levels.clock_value(level)
+    }
+
+    // ---- node-local predicates, computed from the node's own signal -------------
+
+    /// Whether the node is *protected* according to its signal: every sensed level is
+    /// adjacent to its own level. (Equivalent to "all incident edges are protected",
+    /// because the signal covers exactly the inclusive neighborhood.)
+    pub fn is_protected(&self, own: &Turn, signal: &Signal<Turn>) -> bool {
+        let own_level = own.level();
+        signal.all(|t| self.levels.adjacent(own_level, t.level()))
+    }
+
+    /// Whether the node is *good*: protected and senses no faulty turn.
+    pub fn is_good(&self, own: &Turn, signal: &Signal<Turn>) -> bool {
+        self.is_protected(own, signal) && !signal.senses_any(|t| t.is_faulty())
+    }
+
+    /// Determines which transition rule applies for a node in turn `own` with signal
+    /// `signal`. AlgAU is deterministic, so this fully determines the next turn.
+    pub fn transition_kind(&self, own: &Turn, signal: &Signal<Turn>) -> TransitionKind {
+        debug_assert!(own.is_valid(&self.levels), "invalid own turn {own:?}");
+        match own {
+            Turn::Able(level) => {
+                let next = self.levels.forward(*level);
+                // AA: good, and all sensed levels are in {ℓ, φ₊₁(ℓ)}
+                if self.is_good(own, signal)
+                    && signal.all(|t| t.level() == *level || t.level() == next)
+                {
+                    return TransitionKind::AbleAble;
+                }
+                // AF: only for |ℓ| ≥ 2
+                if level.abs() >= 2 {
+                    let not_protected = !self.is_protected(own, signal);
+                    let inward_faulty = self
+                        .levels
+                        .outwards(*level, -1)
+                        .map(|inner| signal.senses(&Turn::Faulty(inner)))
+                        .unwrap_or(false);
+                    if not_protected || inward_faulty {
+                        return TransitionKind::AbleFaulty;
+                    }
+                }
+                TransitionKind::Stay
+            }
+            Turn::Faulty(level) => {
+                // FA: senses no level strictly outwards of ℓ
+                let senses_outwards = signal
+                    .senses_any(|t| self.levels.is_strictly_outwards(*level, t.level()));
+                if !senses_outwards {
+                    TransitionKind::FaultyAble
+                } else {
+                    TransitionKind::Stay
+                }
+            }
+        }
+    }
+
+    /// Applies the transition relation and returns the next turn.
+    pub fn next_turn(&self, own: &Turn, signal: &Signal<Turn>) -> Turn {
+        match self.transition_kind(own, signal) {
+            TransitionKind::AbleAble => Turn::Able(self.levels.forward(own.level())),
+            TransitionKind::AbleFaulty => Turn::Faulty(own.level()),
+            TransitionKind::FaultyAble => Turn::Able(
+                self.levels
+                    .outwards(own.level(), -1)
+                    .expect("faulty turns have |level| ≥ 2, so one unit inwards exists"),
+            ),
+            TransitionKind::Stay => *own,
+        }
+    }
+
+    /// Renders the full transition table (the programmatic regeneration of the
+    /// paper's Table 1): one row per turn, listing the rule that applies for each
+    /// "interesting" signal shape. Used by experiment E1.
+    pub fn transition_table(&self) -> Vec<TransitionTableRow> {
+        let mut rows = Vec::new();
+        for turn in self.states() {
+            match turn {
+                Turn::Able(l) => {
+                    rows.push(TransitionTableRow {
+                        from: turn,
+                        kind: TransitionKind::AbleAble,
+                        to: Turn::Able(self.levels.forward(l)),
+                        condition: format!(
+                            "good and Λ ⊆ {{{l}, {}}}",
+                            self.levels.forward(l)
+                        ),
+                    });
+                    if l.abs() >= 2 {
+                        rows.push(TransitionTableRow {
+                            from: turn,
+                            kind: TransitionKind::AbleFaulty,
+                            to: Turn::Faulty(l),
+                            condition: format!(
+                                "not protected, or senses faulty({})",
+                                self.levels.outwards(l, -1).expect("|l| >= 2")
+                            ),
+                        });
+                    }
+                }
+                Turn::Faulty(l) => {
+                    rows.push(TransitionTableRow {
+                        from: turn,
+                        kind: TransitionKind::FaultyAble,
+                        to: Turn::Able(self.levels.outwards(l, -1).expect("|l| >= 2")),
+                        condition: format!("senses no level in Ψ>({l})"),
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Renders the state diagram (the paper's Figure 1) in Graphviz DOT format:
+    /// solid edges for AA transitions, dashed for AF, dotted for FA.
+    pub fn state_diagram_dot(&self) -> String {
+        let mut out = String::from("digraph algau {\n  rankdir=LR;\n");
+        for row in self.transition_table() {
+            let style = match row.kind {
+                TransitionKind::AbleAble => "solid",
+                TransitionKind::AbleFaulty => "dashed",
+                TransitionKind::FaultyAble => "dotted",
+                TransitionKind::Stay => continue,
+            };
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [style={style}];\n",
+                row.from, row.to
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionTableRow {
+    /// Pre-transition turn.
+    pub from: Turn,
+    /// The transition type.
+    pub kind: TransitionKind,
+    /// Post-transition turn.
+    pub to: Turn,
+    /// Human-readable rendering of the rule's condition.
+    pub condition: String,
+}
+
+impl Algorithm for AlgAu {
+    type State = Turn;
+    type Output = u32;
+
+    fn output(&self, state: &Turn) -> Option<u32> {
+        match state {
+            Turn::Able(l) => Some(self.levels.clock_value(*l)),
+            Turn::Faulty(_) => None,
+        }
+    }
+
+    fn transition(&self, state: &Turn, signal: &Signal<Turn>, _rng: &mut dyn RngCore) -> Turn {
+        self.next_turn(state, signal)
+    }
+
+    fn name(&self) -> &'static str {
+        "AlgAU"
+    }
+}
+
+impl StateSpace for AlgAu {
+    fn states(&self) -> Vec<Turn> {
+        let mut states = Vec::with_capacity(2 * self.levels.count() - 2);
+        for l in self.levels.iter() {
+            states.push(Turn::Able(l));
+        }
+        for l in self.levels.iter() {
+            if l.abs() >= 2 {
+                states.push(Turn::Faulty(l));
+            }
+        }
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::algorithm::StateSpace;
+
+    fn sig(turns: &[Turn]) -> Signal<Turn> {
+        Signal::from_states(turns.iter().copied())
+    }
+
+    fn rng() -> impl RngCore {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn state_count_is_4k_minus_2() {
+        for d in 1..=8 {
+            let alg = AlgAu::new(d);
+            let k = (3 * d + 2) as usize;
+            assert_eq!(alg.state_count(), 4 * k - 2);
+            assert_eq!(alg.clock_size() as usize, 2 * k);
+            // all enumerated states are valid and distinct
+            let states = alg.states();
+            let unique: std::collections::BTreeSet<_> = states.iter().collect();
+            assert_eq!(unique.len(), states.len());
+            assert!(states.iter().all(|s| s.is_valid(alg.levels())));
+        }
+    }
+
+    #[test]
+    fn output_states_are_exactly_the_able_turns() {
+        let alg = AlgAu::new(2);
+        let outputs = alg.output_states();
+        assert_eq!(outputs.len(), alg.clock_size() as usize);
+        assert!(outputs.iter().all(|t| t.is_able()));
+        // ω is surjective onto the clock group
+        let mut clocks: Vec<u32> = outputs.iter().map(|t| alg.output(t).unwrap()).collect();
+        clocks.sort_unstable();
+        let expected: Vec<u32> = (0..alg.clock_size()).collect();
+        assert_eq!(clocks, expected);
+    }
+
+    #[test]
+    fn aa_transition_when_good_and_synchronized() {
+        let alg = AlgAu::new(1); // k = 5
+        // all neighbors at the same level
+        let s = sig(&[Turn::Able(3)]);
+        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::AbleAble);
+        assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Able(4));
+        // neighbors at ℓ and φ(ℓ)
+        let s = sig(&[Turn::Able(3), Turn::Able(4)]);
+        assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Able(4));
+        // wrap-around cases
+        let s = sig(&[Turn::Able(-1), Turn::Able(1)]);
+        assert_eq!(alg.next_turn(&Turn::Able(-1), &s), Turn::Able(1));
+        let s = sig(&[Turn::Able(5), Turn::Able(-5)]);
+        assert_eq!(alg.next_turn(&Turn::Able(5), &s), Turn::Able(-5));
+    }
+
+    #[test]
+    fn aa_blocked_by_lagging_neighbor() {
+        let alg = AlgAu::new(1);
+        // neighbor one behind (ℓ−1) blocks the advance: Λ ⊄ {ℓ, φ(ℓ)}
+        let s = sig(&[Turn::Able(3), Turn::Able(2)]);
+        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::Stay);
+        assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Able(3));
+    }
+
+    #[test]
+    fn aa_blocked_by_faulty_neighbor() {
+        let alg = AlgAu::new(1);
+        // a faulty neighbor at the same level makes the node not good
+        let s = sig(&[Turn::Able(3), Turn::Faulty(3)]);
+        let kind = alg.transition_kind(&Turn::Able(3), &s);
+        assert_ne!(kind, TransitionKind::AbleAble);
+    }
+
+    #[test]
+    fn af_transition_when_not_protected() {
+        let alg = AlgAu::new(1); // k = 5
+        // neighbor two levels away -> clock discrepancy -> not protected
+        let s = sig(&[Turn::Able(3), Turn::Able(5)]);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::AbleFaulty
+        );
+        assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Faulty(3));
+    }
+
+    #[test]
+    fn af_transition_when_sensing_inward_faulty() {
+        let alg = AlgAu::new(1);
+        // sensing faulty(ψ₋₁(ℓ)) = faulty(2) drags a node at level 3 into the detour
+        let s = sig(&[Turn::Able(3), Turn::Faulty(2)]);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::AbleFaulty
+        );
+        // but sensing a faulty at an unrelated level does not (as long as protected)
+        let s = sig(&[Turn::Able(3), Turn::Faulty(4)]);
+        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::Stay);
+        // and sensing faulty(-2) (opposite sign) does not either
+        let s = sig(&[Turn::Able(3), Turn::Faulty(-2)]);
+        // note: level -2 is not adjacent to 3, so this is actually "not protected"
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::AbleFaulty
+        );
+    }
+
+    #[test]
+    fn nodes_at_level_one_never_become_faulty() {
+        let alg = AlgAu::new(1);
+        // AF requires |ℓ| ≥ 2; a node at level 1 facing a discrepancy just stays
+        let s = sig(&[Turn::Able(1), Turn::Able(4)]);
+        assert_eq!(alg.transition_kind(&Turn::Able(1), &s), TransitionKind::Stay);
+        let s = sig(&[Turn::Able(-1), Turn::Faulty(-3)]);
+        assert_eq!(alg.transition_kind(&Turn::Able(-1), &s), TransitionKind::Stay);
+    }
+
+    #[test]
+    fn fa_transition_moves_one_unit_inwards() {
+        let alg = AlgAu::new(1); // k = 5
+        let s = sig(&[Turn::Faulty(3), Turn::Able(2)]);
+        assert_eq!(
+            alg.transition_kind(&Turn::Faulty(3), &s),
+            TransitionKind::FaultyAble
+        );
+        assert_eq!(alg.next_turn(&Turn::Faulty(3), &s), Turn::Able(2));
+        assert_eq!(alg.next_turn(&Turn::Faulty(-3), &sig(&[Turn::Faulty(-3)])), Turn::Able(-2));
+        // faulty at level ±2 returns to level ±1
+        assert_eq!(alg.next_turn(&Turn::Faulty(2), &sig(&[Turn::Faulty(2)])), Turn::Able(1));
+        assert_eq!(alg.next_turn(&Turn::Faulty(-2), &sig(&[Turn::Faulty(-2)])), Turn::Able(-1));
+    }
+
+    #[test]
+    fn fa_blocked_by_outward_neighbor() {
+        let alg = AlgAu::new(1);
+        // senses level 4 which is strictly outwards of 3 -> must wait
+        let s = sig(&[Turn::Faulty(3), Turn::Able(4)]);
+        assert_eq!(alg.transition_kind(&Turn::Faulty(3), &s), TransitionKind::Stay);
+        let s = sig(&[Turn::Faulty(3), Turn::Faulty(5)]);
+        assert_eq!(alg.transition_kind(&Turn::Faulty(3), &s), TransitionKind::Stay);
+        // an outward level of the opposite sign does not block
+        let s = sig(&[Turn::Faulty(3), Turn::Able(-4)]);
+        assert_eq!(
+            alg.transition_kind(&Turn::Faulty(3), &s),
+            TransitionKind::FaultyAble
+        );
+    }
+
+    #[test]
+    fn faulty_at_extreme_level_always_returns_lemma_2_12_base_case() {
+        let alg = AlgAu::new(1); // k = 5
+        // Lemma 2.12 base case: a node in turn k̂ (or −k̂) has no outward levels, so it
+        // performs FA on its next activation regardless of the signal.
+        for other in alg.states() {
+            let s = sig(&[Turn::Faulty(5), other]);
+            assert_eq!(
+                alg.transition_kind(&Turn::Faulty(5), &s),
+                TransitionKind::FaultyAble,
+                "signal {s:?}"
+            );
+            let s = sig(&[Turn::Faulty(-5), other]);
+            assert_eq!(
+                alg.transition_kind(&Turn::Faulty(-5), &s),
+                TransitionKind::FaultyAble
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_rng_is_ignored() {
+        let alg = AlgAu::new(2);
+        let s = sig(&[Turn::Able(3), Turn::Able(4)]);
+        let mut r = rng();
+        let a = alg.transition(&Turn::Able(3), &s, &mut r);
+        let b = alg.transition(&Turn::Able(3), &s, &mut r);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transition_table_covers_all_rules() {
+        let alg = AlgAu::new(1); // k = 5
+        let rows = alg.transition_table();
+        let k = 5usize;
+        // AA rows: 2k; AF rows: 2(k-1); FA rows: 2(k-1)
+        let aa = rows.iter().filter(|r| r.kind == TransitionKind::AbleAble).count();
+        let af = rows.iter().filter(|r| r.kind == TransitionKind::AbleFaulty).count();
+        let fa = rows.iter().filter(|r| r.kind == TransitionKind::FaultyAble).count();
+        assert_eq!(aa, 2 * k);
+        assert_eq!(af, 2 * (k - 1));
+        assert_eq!(fa, 2 * (k - 1));
+        // every row's target state is a valid state
+        assert!(rows.iter().all(|r| r.to.is_valid(alg.levels())));
+    }
+
+    #[test]
+    fn transition_table_is_consistent_with_next_turn() {
+        // For every AA row, a node that senses only {ℓ, φ(ℓ)} (all able) indeed moves
+        // to the row's target; for every FA row a node sensing nothing outwards moves
+        // to the row's target.
+        let alg = AlgAu::new(1);
+        for row in alg.transition_table() {
+            match row.kind {
+                TransitionKind::AbleAble => {
+                    let s = sig(&[row.from]);
+                    assert_eq!(alg.next_turn(&row.from, &s), row.to);
+                }
+                TransitionKind::FaultyAble => {
+                    let s = sig(&[row.from]);
+                    assert_eq!(alg.next_turn(&row.from, &s), row.to);
+                }
+                TransitionKind::AbleFaulty => {
+                    // trigger via a clock discrepancy two forward
+                    let lvl = row.from.level();
+                    let far = alg.levels().forward(alg.levels().forward(lvl));
+                    let s = sig(&[row.from, Turn::Able(far)]);
+                    assert_eq!(alg.next_turn(&row.from, &s), row.to);
+                }
+                TransitionKind::Stay => unreachable!("table has no Stay rows"),
+            }
+        }
+    }
+
+    #[test]
+    fn dot_diagram_mentions_every_state() {
+        let alg = AlgAu::new(1);
+        let dot = alg.state_diagram_dot();
+        assert!(dot.starts_with("digraph"));
+        for state in alg.states() {
+            assert!(dot.contains(&format!("\"{state}\"")), "missing {state}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! An unbounded-register unison baseline ("min + 1").
+//!
+//! Awerbuch et al. (STOC 1993) observed that asynchronous unison captures
+//! self-stabilizing synchronization and gave an algorithm with an *unbounded* state
+//! space. This module implements the folklore unbounded-register rule in that spirit:
+//!
+//! > when activated, set `clock ← 1 + min{clock_u : u ∈ N⁺(v)}`.
+//!
+//! It stabilizes quickly (the discrepancies are repaired by pulling everybody up from
+//! the minimum), but its register grows forever — the contrast experiment E9 measures
+//! exactly that: AlgAU uses a fixed `4k − 2 = O(D)` states, while this baseline's
+//! register keeps growing with time and with the magnitude of the corrupted values.
+//!
+//! The state is represented as a `u64`; the paper-level abstraction is an unbounded
+//! integer, and `u64` merely keeps the simulation finite (documented substitution).
+
+use rand::RngCore;
+use sa_model::algorithm::Algorithm;
+use sa_model::checker::TaskChecker;
+use sa_model::graph::Graph;
+use sa_model::signal::Signal;
+
+/// The min-plus-one unison baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinPlusOne;
+
+impl MinPlusOne {
+    /// Creates the baseline algorithm.
+    pub fn new() -> Self {
+        MinPlusOne
+    }
+}
+
+impl Algorithm for MinPlusOne {
+    type State = u64;
+    type Output = u64;
+
+    fn output(&self, state: &u64) -> Option<u64> {
+        Some(*state)
+    }
+
+    fn transition(&self, _state: &u64, signal: &Signal<u64>, _rng: &mut dyn RngCore) -> u64 {
+        let min = signal
+            .min_by_key(|s| *s)
+            .expect("the signal always contains the node's own state");
+        min.saturating_add(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "min-plus-one (unbounded)"
+    }
+}
+
+/// The legitimacy predicate for the baseline: every edge's clock difference is at most
+/// one (integer clocks — no wrap-around).
+pub fn min_plus_one_legitimate(graph: &Graph, config: &[u64]) -> bool {
+    graph
+        .edges()
+        .iter()
+        .all(|&(u, v)| config[u].abs_diff(config[v]) <= 1)
+}
+
+/// Task checker for the baseline: safety = neighboring clocks differ by at most one;
+/// liveness = over a window of `R` rounds every clock advances at least `R − diam(G)`
+/// times (same window criterion as for AlgAU).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinPlusOneChecker;
+
+impl TaskChecker<MinPlusOne> for MinPlusOneChecker {
+    fn check_snapshot(&self, graph: &Graph, config: &[u64]) -> Vec<String> {
+        graph
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| config[u].abs_diff(config[v]) > 1)
+            .map(|&(u, v)| {
+                format!(
+                    "safety violated on edge ({u}, {v}): clocks {} and {}",
+                    config[u], config[v]
+                )
+            })
+            .collect()
+    }
+
+    fn check_window(&self, graph: &Graph, output_changes: &[u64], rounds: u64) -> Vec<String> {
+        let diam = graph.diameter() as u64;
+        if rounds <= diam {
+            return Vec::new();
+        }
+        let required = rounds - diam;
+        output_changes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c < required)
+            .map(|(v, &c)| {
+                format!("liveness violated at node {v}: {c} updates over {rounds} rounds")
+            })
+            .collect()
+    }
+
+    fn task_name(&self) -> &'static str {
+        "asynchronous-unison (unbounded baseline)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::checker::measure_stabilization;
+    use sa_model::executor::{Execution, ExecutionBuilder};
+    use sa_model::scheduler::{CentralScheduler, SynchronousScheduler, UniformRandomScheduler};
+
+    #[test]
+    fn transition_is_one_plus_minimum() {
+        let alg = MinPlusOne::new();
+        let mut rng = rand::thread_rng();
+        let sig = Signal::from_states(vec![7u64, 3, 9]);
+        assert_eq!(alg.transition(&7, &sig, &mut rng), 4);
+        let sig = Signal::from_states(vec![0u64]);
+        assert_eq!(alg.transition(&0, &sig, &mut rng), 1);
+    }
+
+    #[test]
+    fn legitimate_predicate() {
+        let g = Graph::path(3);
+        assert!(min_plus_one_legitimate(&g, &[4, 5, 5]));
+        assert!(!min_plus_one_legitimate(&g, &[4, 6, 5]));
+    }
+
+    #[test]
+    fn stabilizes_from_adversarial_configuration_synchronously() {
+        let alg = MinPlusOne::new();
+        let g = Graph::grid(3, 3);
+        let init = vec![900, 3, 55, 0, 12, 700, 41, 2, 8];
+        let mut exec = Execution::new(&alg, &g, init, 1);
+        let mut sched = SynchronousScheduler;
+        let report = measure_stabilization(
+            &mut exec,
+            &mut sched,
+            &min_plus_one_legitimate,
+            &MinPlusOneChecker,
+            200,
+            30,
+        );
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.stabilization_rounds.unwrap() <= 10);
+    }
+
+    #[test]
+    fn stabilizes_under_asynchronous_schedulers() {
+        let alg = MinPlusOne::new();
+        let g = Graph::cycle(8);
+        for seed in 0..5u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &g)
+                .seed(seed)
+                .random_initial(&[0, 1, 5, 17, 100, 1000]);
+            let mut sched = UniformRandomScheduler::new(0.4);
+            let report = measure_stabilization(
+                &mut exec,
+                &mut sched,
+                &min_plus_one_legitimate,
+                &MinPlusOneChecker,
+                500,
+                20,
+            );
+            assert!(report.is_clean(), "seed {seed}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn register_keeps_growing_unbounded_state_usage() {
+        // The contrast with AlgAU: the register value grows linearly with time.
+        let alg = MinPlusOne::new();
+        let g = Graph::complete(4);
+        let mut exec = Execution::new(&alg, &g, vec![0; 4], 0);
+        let mut sched = CentralScheduler;
+        exec.run_rounds(&mut sched, 200);
+        let max = exec.configuration().iter().max().copied().unwrap();
+        assert!(max >= 150, "clock should keep growing, reached only {max}");
+    }
+
+    #[test]
+    fn checker_flags_violations() {
+        let checker = MinPlusOneChecker;
+        let g = Graph::path(3);
+        assert!(checker.check_snapshot(&g, &[1, 2, 2]).is_empty());
+        assert_eq!(checker.check_snapshot(&g, &[1, 5, 2]).len(), 2);
+        assert!(checker.check_window(&g, &[3, 3, 3], 5).is_empty());
+        assert_eq!(checker.check_window(&g, &[0, 3, 3], 5).len(), 1);
+    }
+}

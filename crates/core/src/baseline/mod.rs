@@ -1,0 +1,13 @@
+//! Baseline unison algorithms that AlgAU is compared against.
+//!
+//! * [`reset_attempt`] — the *failed* reset-based design from Appendix A of the
+//!   paper, together with the live-lock counterexample of Figure 2 (experiment E8).
+//! * [`min_plus_one`] — a classical unbounded-state self-stabilizing unison in the
+//!   spirit of Awerbuch et al. (experiment E9): correct, but its register grows
+//!   without bound, in contrast with AlgAU's fixed `O(D)` state space.
+
+pub mod min_plus_one;
+pub mod reset_attempt;
+
+pub use min_plus_one::{MinPlusOne, MinPlusOneChecker};
+pub use reset_attempt::{livelock_configuration, livelock_schedule, ResetAttempt, ResetTurn};

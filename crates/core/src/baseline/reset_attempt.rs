@@ -1,0 +1,346 @@
+//! The failed reset-based unison design of Appendix A, and its live-lock.
+//!
+//! Appendix A of the paper presents a natural first attempt at a self-stabilizing AU
+//! algorithm with `O(D)` states: a main component that advances a clock modulo
+//! `cD + 1` plus a reset component (`R_0, …, R_{cD}`) that is supposed to flush the
+//! system back to turn `0` whenever a clock discrepancy is detected. The paper then
+//! exhibits a configuration on an 8-node ring from which the algorithm **live-locks**:
+//! the reset wave chases its own tail around the ring forever and the system never
+//! stabilizes (Figure 2).
+//!
+//! This module implements the three transition rules (ST1)–(ST3) verbatim and
+//! provides the live-lock configuration and the fair activation schedule that drives
+//! it, so experiment E8 and the integration tests can demonstrate the live-lock
+//! mechanically — and show that AlgAU stabilizes from the very same configuration
+//! shape under the very same schedule.
+
+use rand::RngCore;
+use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::graph::NodeId;
+use sa_model::signal::Signal;
+
+/// A state of the reset-based attempt: a main-component turn `0 ≤ ℓ ≤ cD` or a reset
+/// turn `R_i`, `0 ≤ i ≤ cD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResetTurn {
+    /// A main-component turn (a clock value modulo `cD + 1`).
+    Turn(u32),
+    /// A reset turn `R_i`.
+    Reset(u32),
+}
+
+impl ResetTurn {
+    /// Whether this is a main-component (clock) turn.
+    pub fn is_clock(&self) -> bool {
+        matches!(self, ResetTurn::Turn(_))
+    }
+}
+
+/// The Appendix-A algorithm with clock period `period = cD + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetAttempt {
+    period: u32,
+}
+
+impl ResetAttempt {
+    /// Creates the algorithm with main-component turns `0 ..= period − 1` (the paper's
+    /// `cD + 1` turns, i.e. `period = cD + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period < 3`.
+    pub fn new(period: u32) -> Self {
+        assert!(period >= 3, "the clock period must be at least 3");
+        ResetAttempt { period }
+    }
+
+    /// The algorithm as instantiated in the paper's counterexample: `c = 2`, `D = 2`,
+    /// i.e. turns `0..=4` and reset turns `R_0..=R_4`.
+    pub fn counterexample_instance() -> Self {
+        ResetAttempt::new(5)
+    }
+
+    /// The clock period (`cD + 1`).
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// The largest turn / reset index (`cD`).
+    pub fn max_index(&self) -> u32 {
+        self.period - 1
+    }
+
+    fn succ(&self, l: u32) -> u32 {
+        (l + 1) % self.period
+    }
+
+    fn pred(&self, l: u32) -> u32 {
+        (l + self.period - 1) % self.period
+    }
+}
+
+impl Algorithm for ResetAttempt {
+    type State = ResetTurn;
+    type Output = u32;
+
+    fn output(&self, state: &ResetTurn) -> Option<u32> {
+        match state {
+            ResetTurn::Turn(l) => Some(*l),
+            ResetTurn::Reset(_) => None,
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &ResetTurn,
+        signal: &Signal<ResetTurn>,
+        _rng: &mut dyn RngCore,
+    ) -> ResetTurn {
+        let top = self.max_index();
+        match *state {
+            ResetTurn::Turn(l) => {
+                let succ = self.succ(l);
+                let pred = self.pred(l);
+                // (ST2): fault detection -> enter the reset component at R_0.
+                let allowed = |t: &ResetTurn| match t {
+                    ResetTurn::Turn(x) => *x == l || *x == succ || *x == pred,
+                    ResetTurn::Reset(i) => l == 0 && *i == top,
+                };
+                if !signal.all(allowed) {
+                    return ResetTurn::Reset(0);
+                }
+                // (ST1): advance the clock when the neighborhood is in {ℓ, ℓ+1}.
+                if signal.all(|t| matches!(t, ResetTurn::Turn(x) if *x == l || *x == succ)) {
+                    return ResetTurn::Turn(succ);
+                }
+                ResetTurn::Turn(l)
+            }
+            ResetTurn::Reset(i) => {
+                if i != top {
+                    // (ST3), case i ≠ cD: advance through the reset chain when every
+                    // sensed turn is a reset turn at index ≥ i.
+                    if signal.all(|t| matches!(t, ResetTurn::Reset(j) if *j >= i)) {
+                        return ResetTurn::Reset(i + 1);
+                    }
+                } else {
+                    // (ST3), case i = cD: exit the reset into turn 0 when the
+                    // neighborhood contains only R_{cD} and turn 0.
+                    if signal.all(|t| {
+                        matches!(t, ResetTurn::Reset(j) if *j == top)
+                            || matches!(t, ResetTurn::Turn(0))
+                    }) {
+                        return ResetTurn::Turn(0);
+                    }
+                }
+                ResetTurn::Reset(i)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reset-attempt (Appendix A)"
+    }
+}
+
+impl StateSpace for ResetAttempt {
+    fn states(&self) -> Vec<ResetTurn> {
+        let mut states: Vec<ResetTurn> = (0..self.period).map(ResetTurn::Turn).collect();
+        states.extend((0..self.period).map(ResetTurn::Reset));
+        states
+    }
+}
+
+/// The live-lock configuration of Figure 2 on the 8-node ring `v_0 − v_1 − … − v_7 −
+/// v_0` (up to the node relabeling discussed in the paper): a reset wave
+/// `R_0, …, R_4` occupying five consecutive nodes, preceded by two clock-0 nodes and
+/// trailed by an `R_4` node.
+pub fn livelock_configuration() -> Vec<ResetTurn> {
+    vec![
+        ResetTurn::Reset(4),
+        ResetTurn::Turn(0),
+        ResetTurn::Turn(0),
+        ResetTurn::Reset(0),
+        ResetTurn::Reset(1),
+        ResetTurn::Reset(2),
+        ResetTurn::Reset(3),
+        ResetTurn::Reset(4),
+    ]
+}
+
+/// The fair activation schedule that drives the live-lock: one node per step, eight
+/// steps per period, 64 steps per full revolution (after which the configuration and
+/// the schedule both return exactly to their starting point, so the live-lock repeats
+/// forever).
+///
+/// Within revolution `r` (0-based), the activation order is the base order
+/// `v_1, v_7, v_2, v_3, v_4, v_5, v_6, v_0` shifted backwards by `r` positions
+/// (because the configuration pattern itself drifts one position per revolution) —
+/// the same "freeze the stable nodes, push the reset wave forward, let its tail exit"
+/// pattern as the paper's `v_{t−1}` schedule, adapted to this labeling.
+pub fn livelock_schedule() -> Vec<Vec<NodeId>> {
+    let base: [NodeId; 8] = [1, 7, 2, 3, 4, 5, 6, 0];
+    let mut script = Vec::with_capacity(64);
+    for shift in 0..8usize {
+        for &v in &base {
+            script.push(vec![(v + 8 - shift) % 8]);
+        }
+    }
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::executor::Execution;
+    use sa_model::graph::Graph;
+    use sa_model::scheduler::{ScriptedScheduler, SynchronousScheduler};
+
+    fn sig(turns: &[ResetTurn]) -> Signal<ResetTurn> {
+        Signal::from_states(turns.iter().copied())
+    }
+
+    fn rng() -> impl RngCore {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn state_space_size() {
+        let alg = ResetAttempt::new(5);
+        assert_eq!(alg.state_count(), 10);
+        assert_eq!(alg.output_states().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_period_panics() {
+        ResetAttempt::new(2);
+    }
+
+    #[test]
+    fn st1_advances_when_synchronized() {
+        let alg = ResetAttempt::new(5);
+        let mut r = rng();
+        let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(3)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Turn(3));
+        // wrap-around
+        let s = sig(&[ResetTurn::Turn(4), ResetTurn::Turn(0)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(4), &s, &mut r), ResetTurn::Turn(0));
+        // a predecessor neighbor blocks the advance but is not a fault
+        let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(1)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Turn(2));
+    }
+
+    #[test]
+    fn st2_detects_clock_discrepancies() {
+        let alg = ResetAttempt::new(5);
+        let mut r = rng();
+        // a neighbor two clock values away triggers the reset
+        let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(4)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Reset(0));
+        // a reset neighbor triggers the reset for ℓ ≠ 0 …
+        let s = sig(&[ResetTurn::Turn(2), ResetTurn::Reset(4)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Reset(0));
+        // … but turn 0 tolerates R_{cD} (nodes just about to exit the reset)
+        let s = sig(&[ResetTurn::Turn(0), ResetTurn::Reset(4)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(0), &s, &mut r), ResetTurn::Turn(0));
+        // turn 0 does not tolerate other reset turns
+        let s = sig(&[ResetTurn::Turn(0), ResetTurn::Reset(1)]);
+        assert_eq!(alg.transition(&ResetTurn::Turn(0), &s, &mut r), ResetTurn::Reset(0));
+    }
+
+    #[test]
+    fn st3_progresses_through_the_reset_chain() {
+        let alg = ResetAttempt::new(5);
+        let mut r = rng();
+        let s = sig(&[ResetTurn::Reset(1), ResetTurn::Reset(3)]);
+        assert_eq!(alg.transition(&ResetTurn::Reset(1), &s, &mut r), ResetTurn::Reset(2));
+        // blocked by a smaller reset index
+        let s = sig(&[ResetTurn::Reset(2), ResetTurn::Reset(1)]);
+        assert_eq!(alg.transition(&ResetTurn::Reset(2), &s, &mut r), ResetTurn::Reset(2));
+        // blocked by a clock neighbor
+        let s = sig(&[ResetTurn::Reset(2), ResetTurn::Turn(0)]);
+        assert_eq!(alg.transition(&ResetTurn::Reset(2), &s, &mut r), ResetTurn::Reset(2));
+        // exit: R_{cD} with only R_{cD} and turn 0 around
+        let s = sig(&[ResetTurn::Reset(4), ResetTurn::Turn(0)]);
+        assert_eq!(alg.transition(&ResetTurn::Reset(4), &s, &mut r), ResetTurn::Turn(0));
+        let s = sig(&[ResetTurn::Reset(4), ResetTurn::Reset(3)]);
+        assert_eq!(alg.transition(&ResetTurn::Reset(4), &s, &mut r), ResetTurn::Reset(4));
+    }
+
+    #[test]
+    fn reset_flushes_a_clean_fault_on_a_path_synchronously() {
+        // Sanity: the reset design is not *always* wrong — on a path with a single
+        // discrepancy and a synchronous schedule it does recover. The point of the
+        // counterexample is that an adversarial ring schedule defeats it.
+        let alg = ResetAttempt::new(5);
+        let g = Graph::path(4);
+        let init = vec![
+            ResetTurn::Turn(0),
+            ResetTurn::Turn(0),
+            ResetTurn::Turn(3),
+            ResetTurn::Turn(3),
+        ];
+        let mut exec = Execution::new(&alg, &g, init, 1);
+        let mut sched = SynchronousScheduler;
+        let oracle = |g: &Graph, cfg: &[ResetTurn]| {
+            g.edges().iter().all(|&(u, v)| match (cfg[u], cfg[v]) {
+                (ResetTurn::Turn(a), ResetTurn::Turn(b)) => {
+                    let d = a.abs_diff(b);
+                    d <= 1 || d == 4
+                }
+                _ => false,
+            })
+        };
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 200);
+        assert!(outcome.is_stabilized());
+    }
+
+    #[test]
+    fn livelock_configuration_rotates_every_period() {
+        let alg = ResetAttempt::counterexample_instance();
+        let g = Graph::cycle(8);
+        let init = livelock_configuration();
+        let mut exec = Execution::new(&alg, &g, init.clone(), 0);
+        let mut sched = ScriptedScheduler::new(livelock_schedule());
+        // After 8 steps the configuration equals the initial one rotated by one
+        // position (towards lower indices).
+        for _ in 0..8 {
+            exec.step_with(&mut sched);
+        }
+        let rotated: Vec<ResetTurn> = (0..8).map(|i| init[(i + 1) % 8]).collect();
+        assert_eq!(exec.configuration(), &rotated[..]);
+        // After 64 steps everything is exactly back where it started: a live-lock.
+        for _ in 8..64 {
+            exec.step_with(&mut sched);
+        }
+        assert_eq!(exec.configuration(), &init[..]);
+        assert_eq!(exec.rounds(), 8);
+    }
+
+    #[test]
+    fn livelock_never_stabilizes() {
+        let alg = ResetAttempt::counterexample_instance();
+        let g = Graph::cycle(8);
+        let mut exec = Execution::new(&alg, &g, livelock_configuration(), 0);
+        let mut sched = ScriptedScheduler::new(livelock_schedule());
+        let oracle = |_: &Graph, cfg: &[ResetTurn]| cfg.iter().all(ResetTurn::is_clock);
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 2_000);
+        assert!(
+            !outcome.is_stabilized(),
+            "the Appendix-A design should live-lock forever under this schedule"
+        );
+    }
+
+    #[test]
+    fn livelock_schedule_is_fair() {
+        let schedule = livelock_schedule();
+        assert_eq!(schedule.len(), 64);
+        // every node appears exactly once in every window of 8 steps
+        for window in schedule.chunks(8) {
+            let mut seen: Vec<NodeId> = window.iter().map(|a| a[0]).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The asynchronous unison (AU) task checker.
+//!
+//! The AU task (§1.2 of the paper) requires every node to output a clock value from a
+//! cyclic group `K` such that:
+//!
+//! * **safety** — neighboring outputs `κ, κ′` satisfy `κ′ ∈ {κ−1, κ, κ+1}` (cyclic);
+//! * **liveness** — after stabilization, during any interval of `diam(G) + i` rounds
+//!   every node updates its clock (by `+1`) at least `i` times.
+//!
+//! [`AuChecker`] implements both checks against AlgAU executions, and
+//! [`CyclicSafety`] exposes the neighbor-safety predicate for reuse by other unison
+//! algorithms (the baselines and the synchronizer).
+
+use crate::algau::AlgAu;
+use crate::turn::Turn;
+use sa_model::checker::TaskChecker;
+use sa_model::graph::Graph;
+
+/// Cyclic clock-safety predicate: are two clock values within distance one on the
+/// cycle of order `modulus`?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicSafety {
+    modulus: u32,
+}
+
+impl CyclicSafety {
+    /// Creates the predicate for a clock group of the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 3` (with fewer than three clock values every pair is
+    /// trivially adjacent and the task degenerates).
+    pub fn new(modulus: u32) -> Self {
+        assert!(modulus >= 3, "clock group must have at least 3 elements");
+        CyclicSafety { modulus }
+    }
+
+    /// The order of the clock group.
+    pub fn modulus(&self) -> u32 {
+        self.modulus
+    }
+
+    /// Cyclic distance between two clock values.
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        let m = self.modulus;
+        let d = (a % m).abs_diff(b % m);
+        d.min(m - d)
+    }
+
+    /// Whether two neighboring clock values satisfy the AU safety condition.
+    pub fn safe(&self, a: u32, b: u32) -> bool {
+        self.distance(a, b) <= 1
+    }
+}
+
+/// Task checker for AlgAU.
+///
+/// * Snapshot check: every node is in an output (able) state and every edge satisfies
+///   the cyclic safety condition.
+/// * Window check: over a verification window of `R` rounds, every node advanced its
+///   clock at least `R − diam(G)` times (Lemma 2.11 instantiated with `i = R − diam`).
+#[derive(Debug, Clone, Copy)]
+pub struct AuChecker {
+    algorithm: AlgAu,
+}
+
+impl AuChecker {
+    /// Creates a checker for the given AlgAU instance.
+    pub fn new(algorithm: AlgAu) -> Self {
+        AuChecker { algorithm }
+    }
+
+    /// The safety predicate used by this checker.
+    pub fn safety(&self) -> CyclicSafety {
+        CyclicSafety::new(self.algorithm.clock_size())
+    }
+}
+
+impl TaskChecker<AlgAu> for AuChecker {
+    fn check_snapshot(&self, graph: &Graph, config: &[Turn]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let safety = self.safety();
+        for (v, turn) in config.iter().enumerate() {
+            if turn.is_faulty() {
+                violations.push(format!("node {v} is in a non-output (faulty) state {turn}"));
+            }
+        }
+        for &(u, v) in graph.edges() {
+            let (cu, cv) = (
+                self.algorithm.clock_of_level(config[u].level()),
+                self.algorithm.clock_of_level(config[v].level()),
+            );
+            if !safety.safe(cu, cv) {
+                violations.push(format!(
+                    "safety violated on edge ({u}, {v}): clocks {cu} and {cv} are not adjacent"
+                ));
+            }
+        }
+        violations
+    }
+
+    fn check_window(&self, graph: &Graph, output_changes: &[u64], rounds: u64) -> Vec<String> {
+        let diam = graph.diameter() as u64;
+        let mut violations = Vec::new();
+        if rounds <= diam {
+            return violations; // window too short to require any progress
+        }
+        let required = rounds - diam;
+        for (v, &changes) in output_changes.iter().enumerate() {
+            if changes < required {
+                violations.push(format!(
+                    "liveness violated at node {v}: only {changes} clock updates in {rounds} \
+                     rounds (diameter {diam} requires at least {required})"
+                ));
+            }
+        }
+        violations
+    }
+
+    fn task_name(&self) -> &'static str {
+        "asynchronous-unison"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::graph::Graph;
+
+    #[test]
+    fn cyclic_safety_distances() {
+        let s = CyclicSafety::new(10);
+        assert_eq!(s.distance(0, 9), 1);
+        assert_eq!(s.distance(0, 5), 5);
+        assert_eq!(s.distance(3, 3), 0);
+        assert!(s.safe(0, 9));
+        assert!(s.safe(4, 5));
+        assert!(!s.safe(0, 2));
+        assert_eq!(s.modulus(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_modulus_panics() {
+        CyclicSafety::new(2);
+    }
+
+    #[test]
+    fn snapshot_accepts_good_configuration() {
+        let alg = AlgAu::new(1);
+        let checker = AuChecker::new(alg);
+        let g = Graph::path(3);
+        let cfg = vec![Turn::Able(2), Turn::Able(3), Turn::Able(3)];
+        assert!(checker.check_snapshot(&g, &cfg).is_empty());
+        // wrap-around adjacency (k and −k) is safe
+        let cfg = vec![Turn::Able(5), Turn::Able(-5), Turn::Able(-5)];
+        assert!(checker.check_snapshot(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn snapshot_rejects_faulty_and_discrepant_configurations() {
+        let alg = AlgAu::new(1);
+        let checker = AuChecker::new(alg);
+        let g = Graph::path(3);
+        let cfg = vec![Turn::Able(2), Turn::Faulty(3), Turn::Able(3)];
+        let violations = checker.check_snapshot(&g, &cfg);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("faulty"));
+        let cfg = vec![Turn::Able(1), Turn::Able(3), Turn::Able(3)];
+        let violations = checker.check_snapshot(&g, &cfg);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("safety"));
+    }
+
+    #[test]
+    fn window_liveness_requires_enough_updates() {
+        let alg = AlgAu::new(1);
+        let checker = AuChecker::new(alg);
+        let g = Graph::path(3); // diameter 2
+        // 10 rounds, diameter 2 -> at least 8 updates each
+        assert!(checker.check_window(&g, &[8, 9, 10], 10).is_empty());
+        let violations = checker.check_window(&g, &[8, 7, 10], 10);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("node 1"));
+        // a window no longer than the diameter imposes no requirement
+        assert!(checker.check_window(&g, &[0, 0, 0], 2).is_empty());
+    }
+
+    #[test]
+    fn task_name_is_stable() {
+        let checker = AuChecker::new(AlgAu::new(1));
+        assert_eq!(checker.task_name(), "asynchronous-unison");
+    }
+}

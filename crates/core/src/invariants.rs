@@ -1,0 +1,305 @@
+//! Runtime-checkable invariants from the correctness analysis of AlgAU.
+//!
+//! Section 2.3.1 of the paper establishes a collection of step-to-step invariants
+//! (Observations 2.1–2.6 and Lemmas 2.10, 2.16). This module encodes them as
+//! executable checks over *consecutive configurations* of an execution. The property
+//! tests in this crate and the integration tests drive random executions and assert
+//! that every invariant holds at every step — a strong, mechanical cross-check that
+//! the implementation matches the analyzed algorithm.
+
+use crate::algau::AlgAu;
+use crate::predicates::Predicates;
+use crate::turn::Turn;
+use sa_model::graph::Graph;
+
+/// A violation of one of the paper's invariants, produced by [`check_step_invariants`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which observation/lemma was violated (e.g. "Obs 2.1").
+    pub invariant: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// Checks all step-to-step invariants between configuration `before` (time `t`) and
+/// `after` (time `t+1`) of an AlgAU execution on `graph`.
+///
+/// Returns the (possibly empty) list of violations. The configurations must both have
+/// one state per node.
+///
+/// # Panics
+///
+/// Panics if the configuration lengths do not match the node count.
+pub fn check_step_invariants(
+    algorithm: &AlgAu,
+    graph: &Graph,
+    before: &[Turn],
+    after: &[Turn],
+) -> Vec<InvariantViolation> {
+    assert_eq!(before.len(), graph.node_count());
+    assert_eq!(after.len(), graph.node_count());
+    let mut violations = Vec::new();
+    let p = Predicates::new(algorithm, graph);
+    let levels = algorithm.levels();
+    let k = levels.k();
+
+    // Obs 2.1: a protected edge whose endpoint levels are not {−k, k} stays protected.
+    for &(u, v) in graph.edges() {
+        if p.edge_protected(before, u, v) {
+            let lset = [before[u].level(), before[v].level()];
+            let is_wrap = lset.contains(&k) && lset.contains(&-k);
+            if !is_wrap && !p.edge_protected(after, u, v) {
+                violations.push(InvariantViolation {
+                    invariant: "Obs 2.1",
+                    detail: format!(
+                        "edge ({u}, {v}) was protected at levels {:?} but became unprotected at {:?}",
+                        lset,
+                        [after[u].level(), after[v].level()]
+                    ),
+                });
+            }
+        }
+    }
+
+    // Obs 2.2: a protected node at a level other than ±k stays protected.
+    for v in graph.nodes() {
+        if p.node_protected(before, v)
+            && before[v].level().abs() != k
+            && !p.node_protected(after, v)
+        {
+            violations.push(InvariantViolation {
+                invariant: "Obs 2.2",
+                detail: format!("node {v} lost protection at level {}", before[v].level()),
+            });
+        }
+    }
+
+    // Obs 2.3: an out-protected node stays out-protected.
+    for v in graph.nodes() {
+        if p.node_out_protected(before, v) && !p.node_out_protected(after, v) {
+            violations.push(InvariantViolation {
+                invariant: "Obs 2.3",
+                detail: format!("node {v} lost out-protection"),
+            });
+        }
+    }
+
+    // Obs 2.4: a node that changed its level is out-protected afterwards.
+    for v in graph.nodes() {
+        if before[v].level() != after[v].level() && !p.node_out_protected(after, v) {
+            violations.push(InvariantViolation {
+                invariant: "Obs 2.4",
+                detail: format!(
+                    "node {v} changed level {} -> {} without being out-protected",
+                    before[v].level(),
+                    after[v].level()
+                ),
+            });
+        }
+    }
+
+    // Obs 2.5: across a non-protected edge with λ_u < λ_v, levels move towards each
+    // other: λ_u ≤ λ_u' < λ_v' ≤ λ_v (as integers).
+    for &(a, b) in graph.edges() {
+        if !p.edge_protected(before, a, b) {
+            let (u, v) = if before[a].level() < before[b].level() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let (lu, lv) = (before[u].level(), before[v].level());
+            if lu < lv {
+                let (lu2, lv2) = (after[u].level(), after[v].level());
+                if !(lu <= lu2 && lu2 < lv2 && lv2 <= lv) {
+                    violations.push(InvariantViolation {
+                        invariant: "Obs 2.5",
+                        detail: format!(
+                            "edge ({u}, {v}): levels ({lu}, {lv}) -> ({lu2}, {lv2}) do not close the gap monotonically"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Obs 2.6: if the graph is ℓ-out-protected it stays ℓ-out-protected (checked for
+    // every level).
+    for level in levels.iter() {
+        if p.graph_level_out_protected(before, level)
+            && !p.graph_level_out_protected(after, level)
+        {
+            violations.push(InvariantViolation {
+                invariant: "Obs 2.6",
+                detail: format!("graph lost {level}-out-protection"),
+            });
+        }
+    }
+
+    // Lemma 2.10: a good graph stays good.
+    if p.graph_good(before) && !p.graph_good(after) {
+        violations.push(InvariantViolation {
+            invariant: "Lemma 2.10",
+            detail: "good graph became non-good".to_string(),
+        });
+    }
+
+    // Lemma 2.16: once the graph is out-protected, nodes that are not unjustifiably
+    // faulty do not become unjustifiably faulty.
+    if p.graph_out_protected(before) {
+        for v in graph.nodes() {
+            let was_unjustified = p.justifiably_faulty(before, v) == Some(false);
+            let is_unjustified = p.justifiably_faulty(after, v) == Some(false);
+            if !was_unjustified && is_unjustified {
+                violations.push(InvariantViolation {
+                    invariant: "Lemma 2.16",
+                    detail: format!("node {v} became unjustifiably faulty"),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Checks Observation 2.8: on a fully protected graph the levels occupy a contiguous
+/// arc of the cycle of length at most `D`. Returns the violation if any.
+pub fn check_protected_arc(
+    algorithm: &AlgAu,
+    graph: &Graph,
+    config: &[Turn],
+) -> Option<InvariantViolation> {
+    let p = Predicates::new(algorithm, graph);
+    if !p.graph_protected(config) {
+        return None;
+    }
+    let d = graph.diameter() as i64;
+    let levels = algorithm.levels();
+    // Try every level as the arc's starting point ℓ and check whether all node levels
+    // lie within {φ^j(ℓ) : 0 ≤ j ≤ d}.
+    let fits_some_arc = levels.iter().any(|start| {
+        config.iter().all(|t| {
+            (0..=d).any(|j| levels.forward_by(start, j) == t.level())
+        })
+    });
+    if fits_some_arc {
+        None
+    } else {
+        Some(InvariantViolation {
+            invariant: "Obs 2.8",
+            detail: format!(
+                "protected configuration spans more than diameter {d} consecutive levels"
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use sa_model::algorithm::StateSpace;
+    use sa_model::executor::Execution;
+    use sa_model::scheduler::{Scheduler, SynchronousScheduler, UniformRandomScheduler};
+
+    fn random_config(alg: &AlgAu, n: usize, seed: u64) -> Vec<Turn> {
+        let states = alg.states();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| states[rng.gen_range(0..states.len())])
+            .collect()
+    }
+
+    fn check_execution_invariants<S: Scheduler>(
+        alg: &AlgAu,
+        graph: &Graph,
+        init: Vec<Turn>,
+        scheduler: &mut S,
+        steps: usize,
+        seed: u64,
+    ) {
+        let mut exec = Execution::new(alg, graph, init, seed);
+        for _ in 0..steps {
+            let before = exec.configuration().to_vec();
+            exec.step_with(scheduler);
+            let after = exec.configuration().to_vec();
+            let violations = check_step_invariants(alg, graph, &before, &after);
+            assert!(
+                violations.is_empty(),
+                "invariant violations under {}: {violations:?}\nbefore = {before:?}\nafter = {after:?}",
+                scheduler.name()
+            );
+            if let Some(v) = check_protected_arc(alg, graph, &after) {
+                panic!("arc invariant violated: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_random_executions_synchronous() {
+        let alg = AlgAu::new(2);
+        for (i, graph) in [Graph::path(6), Graph::cycle(6), Graph::star(6), Graph::grid(2, 3)]
+            .iter()
+            .enumerate()
+        {
+            let init = random_config(&alg, graph.node_count(), 100 + i as u64);
+            check_execution_invariants(
+                &alg,
+                graph,
+                init,
+                &mut SynchronousScheduler,
+                200,
+                i as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_random_executions_asynchronous() {
+        let alg = AlgAu::new(2);
+        for seed in 0..5u64 {
+            let graph = Graph::grid(3, 3);
+            let init = random_config(&alg, graph.node_count(), seed);
+            check_execution_invariants(
+                &alg,
+                &graph,
+                init,
+                &mut UniformRandomScheduler::new(0.4),
+                300,
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn violations_are_reported_for_forged_transitions() {
+        // Forge an illegal evolution (a node jumps two levels outwards next to a
+        // same-sign neighbor) and verify the checker notices.
+        let alg = AlgAu::new(1);
+        let g = Graph::path(2);
+        let before = vec![Turn::Able(2), Turn::Able(2)];
+        let after = vec![Turn::Able(2), Turn::Able(4)];
+        let violations = check_step_invariants(&alg, &g, &before, &after);
+        assert!(!violations.is_empty());
+        assert!(violations.iter().any(|v| v.invariant == "Obs 2.1"));
+    }
+
+    #[test]
+    fn arc_check_accepts_good_and_flags_forged_spread() {
+        let alg = AlgAu::new(1);
+        let g = Graph::path(3); // diameter 2
+        let good = vec![Turn::Able(2), Turn::Able(3), Turn::Able(4)];
+        assert!(check_protected_arc(&alg, &g, &good).is_none());
+        // a non-protected configuration is not constrained by Obs 2.8
+        let unprotected = vec![Turn::Able(1), Turn::Able(5), Turn::Able(3)];
+        assert!(check_protected_arc(&alg, &g, &unprotected).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_lengths_panic() {
+        let alg = AlgAu::new(1);
+        let g = Graph::path(3);
+        let _ = check_step_invariants(&alg, &g, &[Turn::Able(1)], &[Turn::Able(1)]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Level arithmetic for AlgAU.
+//!
+//! AlgAU fixes `k = 3D + 2` and works with *levels* `ℓ ∈ ℤ` with `1 ≤ |ℓ| ≤ k` — that
+//! is, the `2k` integers `−k, …, −1, 1, …, k` (zero is excluded). The levels are
+//! arranged on a cycle by the *forward operator*
+//!
+//! ```text
+//! φ(ℓ) = 1      if ℓ = −1
+//!        −k     if ℓ = k
+//!        ℓ + 1  otherwise
+//! ```
+//!
+//! so the cyclic order is `−k, −k+1, …, −1, 1, 2, …, k, −k, …`. The levels are
+//! identified with the AU clock values (the cyclic group `K` of order `2k`).
+//!
+//! The *outwards operator* `ψ_j(ℓ)` preserves the sign of `ℓ` and moves its absolute
+//! value by `j` (positive `j` = outwards, toward `±k`; negative `j` = inwards, toward
+//! `±1`).
+//!
+//! All of this is encapsulated in [`Levels`], which validates its arguments: passing
+//! a level outside `{±1, …, ±k}` is a programming error and panics.
+
+/// A level: a non-zero integer with `1 ≤ |ℓ| ≤ k`. The bound `k` lives in [`Levels`].
+pub type Level = i32;
+
+/// Level arithmetic for a fixed bound `k`.
+///
+/// `k = 3D + 2` in AlgAU, but the arithmetic itself only needs `k ≥ 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Levels {
+    k: i32,
+}
+
+impl Levels {
+    /// Creates the level universe `{±1, …, ±k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (AlgAU needs at least the levels `±1, ±2`).
+    pub fn new(k: i32) -> Self {
+        assert!(k >= 2, "level bound k must be at least 2, got {k}");
+        Levels { k }
+    }
+
+    /// The level universe for diameter bound `D`, i.e. `k = 3D + 2`.
+    pub fn for_diameter_bound(d: usize) -> Self {
+        let k = 3 * (d as i32) + 2;
+        Levels::new(k)
+    }
+
+    /// The bound `k`.
+    pub fn k(&self) -> i32 {
+        self.k
+    }
+
+    /// The number of levels, `2k` — also the order of the clock group `K`.
+    pub fn count(&self) -> usize {
+        (2 * self.k) as usize
+    }
+
+    /// Whether `ℓ` is a valid level.
+    pub fn is_valid(&self, level: Level) -> bool {
+        level != 0 && level.abs() <= self.k
+    }
+
+    fn check(&self, level: Level) {
+        assert!(
+            self.is_valid(level),
+            "invalid level {level} for k = {}",
+            self.k
+        );
+    }
+
+    /// Iterates over all levels in cyclic order `−k, …, −1, 1, …, k`.
+    pub fn iter(&self) -> impl Iterator<Item = Level> + '_ {
+        (-self.k..=self.k).filter(|l| *l != 0)
+    }
+
+    /// The forward operator `φ(ℓ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ` is not a valid level.
+    pub fn forward(&self, level: Level) -> Level {
+        self.check(level);
+        if level == -1 {
+            1
+        } else if level == self.k {
+            -self.k
+        } else {
+            level + 1
+        }
+    }
+
+    /// The backward operator `φ⁻¹(ℓ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ` is not a valid level.
+    pub fn backward(&self, level: Level) -> Level {
+        self.check(level);
+        if level == 1 {
+            -1
+        } else if level == -self.k {
+            self.k
+        } else {
+            level - 1
+        }
+    }
+
+    /// `φʲ(ℓ)` for any (possibly negative) `j`.
+    pub fn forward_by(&self, level: Level, j: i64) -> Level {
+        self.check(level);
+        let size = 2 * self.k as i64;
+        let idx = self.clock_value(level) as i64;
+        let new_idx = (idx + (j % size) + size) % size;
+        self.level_of_clock(new_idx as u32)
+    }
+
+    /// The clock value of a level: its index in the cyclic order, in `{0, …, 2k−1}`
+    /// (so `−k ↦ 0`, `−1 ↦ k−1`, `1 ↦ k`, `k ↦ 2k−1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ℓ` is not a valid level.
+    pub fn clock_value(&self, level: Level) -> u32 {
+        self.check(level);
+        if level < 0 {
+            (level + self.k) as u32
+        } else {
+            (level + self.k - 1) as u32
+        }
+    }
+
+    /// The level corresponding to a clock value in `{0, …, 2k−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock ≥ 2k`.
+    pub fn level_of_clock(&self, clock: u32) -> Level {
+        assert!(
+            (clock as i32) < 2 * self.k,
+            "clock value {clock} out of range for k = {}",
+            self.k
+        );
+        let c = clock as i32;
+        if c < self.k {
+            c - self.k
+        } else {
+            c - self.k + 1
+        }
+    }
+
+    /// The cyclic distance `dist(ℓ, ℓ′)` along the clock cycle (the recurrence in the
+    /// paper's "distance" definition).
+    pub fn distance(&self, a: Level, b: Level) -> u32 {
+        let ia = self.clock_value(a) as i32;
+        let ib = self.clock_value(b) as i32;
+        let size = 2 * self.k;
+        let d = (ia - ib).rem_euclid(size);
+        d.min(size - d) as u32
+    }
+
+    /// Whether levels `ℓ` and `ℓ′` are *adjacent*: equal, or one is the forward image
+    /// of the other.
+    pub fn adjacent(&self, a: Level, b: Level) -> bool {
+        self.distance(a, b) <= 1
+    }
+
+    /// The outwards operator `ψ_j(ℓ)`: same sign, `|ψ_j(ℓ)| = |ℓ| + j`.
+    ///
+    /// Returns `None` when the result would leave the level universe (i.e. unless
+    /// `−|ℓ| < j ≤ k − |ℓ|`).
+    pub fn outwards(&self, level: Level, j: i32) -> Option<Level> {
+        self.check(level);
+        let mag = level.abs() + j;
+        if mag < 1 || mag > self.k {
+            return None;
+        }
+        Some(mag * level.signum())
+    }
+
+    /// `Ψ>(ℓ)`: all levels strictly outwards of `ℓ` (same sign, larger magnitude).
+    pub fn strictly_outwards(&self, level: Level) -> Vec<Level> {
+        self.check(level);
+        ((level.abs() + 1)..=self.k)
+            .map(|m| m * level.signum())
+            .collect()
+    }
+
+    /// `Ψ≫(ℓ)`: strictly outwards of `ℓ` excluding `ψ₊₁(ℓ)` (i.e. at least two units
+    /// outwards).
+    pub fn far_outwards(&self, level: Level) -> Vec<Level> {
+        self.check(level);
+        ((level.abs() + 2)..=self.k)
+            .map(|m| m * level.signum())
+            .collect()
+    }
+
+    /// `Ψ<(ℓ)`: all levels strictly inwards of `ℓ` (same sign, smaller magnitude).
+    pub fn strictly_inwards(&self, level: Level) -> Vec<Level> {
+        self.check(level);
+        (1..level.abs()).map(|m| m * level.signum()).collect()
+    }
+
+    /// `Ψ≪(ℓ)`: strictly inwards of `ℓ` excluding `ψ₋₁(ℓ)` (at least two units
+    /// inwards).
+    pub fn far_inwards(&self, level: Level) -> Vec<Level> {
+        self.check(level);
+        (1..(level.abs() - 1)).map(|m| m * level.signum()).collect()
+    }
+
+    /// Whether `b` is strictly outwards of `a` (same sign, strictly larger magnitude).
+    pub fn is_strictly_outwards(&self, a: Level, b: Level) -> bool {
+        self.check(a);
+        self.check(b);
+        a.signum() == b.signum() && b.abs() > a.abs()
+    }
+
+    /// Whether `b` is at least two units outwards of `a`.
+    pub fn is_far_outwards(&self, a: Level, b: Level) -> bool {
+        self.check(a);
+        self.check(b);
+        a.signum() == b.signum() && b.abs() >= a.abs() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_count() {
+        let lv = Levels::new(5);
+        assert_eq!(lv.k(), 5);
+        assert_eq!(lv.count(), 10);
+        assert_eq!(lv.iter().count(), 10);
+        assert!(lv.iter().all(|l| lv.is_valid(l)));
+        assert!(!lv.is_valid(0));
+        assert!(!lv.is_valid(6));
+        assert!(!lv.is_valid(-6));
+    }
+
+    #[test]
+    fn for_diameter_bound_uses_3d_plus_2() {
+        assert_eq!(Levels::for_diameter_bound(1).k(), 5);
+        assert_eq!(Levels::for_diameter_bound(4).k(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_below_two_panics() {
+        Levels::new(1);
+    }
+
+    #[test]
+    fn forward_follows_paper_definition() {
+        let lv = Levels::new(4);
+        assert_eq!(lv.forward(-1), 1);
+        assert_eq!(lv.forward(4), -4);
+        assert_eq!(lv.forward(2), 3);
+        assert_eq!(lv.forward(-3), -2);
+    }
+
+    #[test]
+    fn backward_inverts_forward() {
+        let lv = Levels::new(6);
+        for l in lv.iter() {
+            assert_eq!(lv.backward(lv.forward(l)), l);
+            assert_eq!(lv.forward(lv.backward(l)), l);
+        }
+    }
+
+    #[test]
+    fn forward_is_a_single_cycle_of_length_2k() {
+        let lv = Levels::new(5);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut cur = -5;
+        for _ in 0..lv.count() {
+            assert!(seen.insert(cur));
+            cur = lv.forward(cur);
+        }
+        assert_eq!(cur, -5);
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn clock_values_respect_cycle_order() {
+        let lv = Levels::new(3);
+        assert_eq!(lv.clock_value(-3), 0);
+        assert_eq!(lv.clock_value(-1), 2);
+        assert_eq!(lv.clock_value(1), 3);
+        assert_eq!(lv.clock_value(3), 5);
+        for l in lv.iter() {
+            let succ = lv.forward(l);
+            assert_eq!(
+                (lv.clock_value(l) + 1) % lv.count() as u32,
+                lv.clock_value(succ)
+            );
+            assert_eq!(lv.level_of_clock(lv.clock_value(l)), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn level_of_clock_out_of_range_panics() {
+        Levels::new(3).level_of_clock(6);
+    }
+
+    #[test]
+    fn forward_by_wraps_and_inverts() {
+        let lv = Levels::new(4);
+        assert_eq!(lv.forward_by(3, 2), -4); // 3 -> 4 -> -4
+        assert_eq!(lv.forward_by(-4, -1), 4);
+        assert_eq!(lv.forward_by(2, 8), 2); // full cycle
+        assert_eq!(lv.forward_by(2, -16), 2);
+        for l in lv.iter() {
+            assert_eq!(lv.forward_by(l, 1), lv.forward(l));
+            assert_eq!(lv.forward_by(l, -1), lv.backward(l));
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangular() {
+        let lv = Levels::new(4);
+        let all: Vec<Level> = lv.iter().collect();
+        for &a in &all {
+            assert_eq!(lv.distance(a, a), 0);
+            for &b in &all {
+                assert_eq!(lv.distance(a, b), lv.distance(b, a));
+                for &c in &all {
+                    assert!(lv.distance(a, c) <= lv.distance(a, b) + lv.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_examples() {
+        let lv = Levels::new(4);
+        assert_eq!(lv.distance(-1, 1), 1);
+        assert_eq!(lv.distance(4, -4), 1); // wrap-around
+        assert_eq!(lv.distance(1, 3), 2);
+        assert_eq!(lv.distance(-4, 4), 1);
+        assert_eq!(lv.distance(-2, 2), 3);
+        // maximum distance is k
+        assert_eq!(lv.distance(-4, 1), 4);
+    }
+
+    #[test]
+    fn adjacency_matches_forward() {
+        let lv = Levels::new(5);
+        for l in lv.iter() {
+            assert!(lv.adjacent(l, l));
+            assert!(lv.adjacent(l, lv.forward(l)));
+            assert!(lv.adjacent(lv.forward(l), l));
+            assert!(!lv.adjacent(l, lv.forward(lv.forward(l))));
+        }
+    }
+
+    #[test]
+    fn outwards_operator() {
+        let lv = Levels::new(5);
+        assert_eq!(lv.outwards(2, 1), Some(3));
+        assert_eq!(lv.outwards(-2, 1), Some(-3));
+        assert_eq!(lv.outwards(3, -2), Some(1));
+        assert_eq!(lv.outwards(-3, -2), Some(-1));
+        assert_eq!(lv.outwards(5, 1), None); // would exceed k
+        assert_eq!(lv.outwards(2, -2), None); // would reach 0
+        assert_eq!(lv.outwards(1, -1), None);
+    }
+
+    #[test]
+    fn outwards_sets() {
+        let lv = Levels::new(5);
+        assert_eq!(lv.strictly_outwards(3), vec![4, 5]);
+        assert_eq!(lv.strictly_outwards(-3), vec![-4, -5]);
+        assert_eq!(lv.strictly_outwards(5), Vec::<Level>::new());
+        assert_eq!(lv.far_outwards(3), vec![5]);
+        assert_eq!(lv.far_outwards(4), Vec::<Level>::new());
+        assert_eq!(lv.strictly_inwards(3), vec![1, 2]);
+        assert_eq!(lv.strictly_inwards(-3), vec![-1, -2]);
+        assert_eq!(lv.strictly_inwards(1), Vec::<Level>::new());
+        assert_eq!(lv.far_inwards(4), vec![1, 2]);
+        assert_eq!(lv.far_inwards(2), Vec::<Level>::new());
+    }
+
+    #[test]
+    fn outwards_predicates() {
+        let lv = Levels::new(5);
+        assert!(lv.is_strictly_outwards(2, 3));
+        assert!(!lv.is_strictly_outwards(2, -3));
+        assert!(!lv.is_strictly_outwards(3, 3));
+        assert!(lv.is_far_outwards(2, 4));
+        assert!(!lv.is_far_outwards(2, 3));
+        assert!(!lv.is_far_outwards(-2, 4));
+        assert!(lv.is_far_outwards(-2, -5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid level")]
+    fn invalid_level_panics() {
+        Levels::new(3).forward(0);
+    }
+
+    #[test]
+    fn nodes_at_extreme_levels_are_vacuously_out_protected() {
+        // The paper notes that levels {−k, −k+1, k−1, k} have Ψ≫(ℓ) = ∅.
+        let lv = Levels::new(7);
+        for l in [-7, -6, 6, 7] {
+            assert!(lv.far_outwards(l).is_empty());
+        }
+        assert!(!lv.far_outwards(5).is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! # unison-core — the thin self-stabilizing asynchronous unison algorithm
+//!
+//! This crate implements the primary contribution of Emek & Keren, *"A Thin
+//! Self-Stabilizing Asynchronous Unison Algorithm with Applications to Fault Tolerant
+//! Biological Networks"* (PODC 2021): **AlgAU**, a deterministic, anonymous,
+//! size-uniform self-stabilizing algorithm for the asynchronous unison (AU) task on
+//! graphs of diameter at most `D`, using only `O(D)` states (`4k − 2` for `k = 3D+2`)
+//! and stabilizing within `O(D³)` asynchronous rounds (Theorem 1.1).
+//!
+//! Contents:
+//!
+//! * [`level`] / [`turn`] — the level algebra (forward operator `φ`, outwards operator
+//!   `ψ`, cyclic clock values) and the able/faulty turn state set;
+//! * [`algau`] — the algorithm itself ([`AlgAu`]), including the programmatic
+//!   regeneration of the paper's Table 1 and Figure 1;
+//! * [`predicates`] — the analysis predicates (protected / good / out-protected /
+//!   justified / grounded) and the legitimacy oracle "the graph is good";
+//! * [`checker`] — the AU task checker (cyclic safety + liveness over a window);
+//! * [`invariants`] — the paper's step-to-step invariants (Obs 2.1–2.6, Lemmas 2.10
+//!   and 2.16) as executable checks, used heavily by property tests;
+//! * [`baseline`] — the Appendix-A reset-based design (with its Figure 2 live-lock)
+//!   and an unbounded-register "min + 1" unison baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use sa_model::prelude::*;
+//! use unison_core::{AlgAu, AuChecker, GoodGraphOracle};
+//! use sa_model::checker::measure_stabilization;
+//!
+//! // A ring of 8 nodes has diameter 4.
+//! let graph = Graph::cycle(8);
+//! let alg = AlgAu::new(4);
+//!
+//! // Adversarial initial configuration: arbitrary turns.
+//! let mut exec = ExecutionBuilder::new(&alg, &graph)
+//!     .seed(7)
+//!     .random_initial(&sa_model::algorithm::StateSpace::states(&alg));
+//!
+//! let mut scheduler = UniformRandomScheduler::new(0.5);
+//! let report = measure_stabilization(
+//!     &mut exec,
+//!     &mut scheduler,
+//!     &GoodGraphOracle::new(alg),
+//!     &AuChecker::new(alg),
+//!     100_000, // round budget (far above the O(D^3) bound)
+//!     32,      // verification window
+//! );
+//! assert!(report.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algau;
+pub mod baseline;
+pub mod checker;
+pub mod invariants;
+pub mod level;
+pub mod predicates;
+pub mod turn;
+
+pub use algau::{AlgAu, TransitionKind, TransitionTableRow};
+pub use checker::{AuChecker, CyclicSafety};
+pub use level::{Level, Levels};
+pub use predicates::{GoodGraphOracle, Predicates};
+pub use turn::Turn;

@@ -1,0 +1,343 @@
+//! Graph-level predicates from the analysis of AlgAU (Section 2.3 of the paper).
+//!
+//! These predicates are *analysis tools*: they look at a whole configuration, which no
+//! individual node could do. They drive the legitimacy oracle ("the graph is good"),
+//! the invariant checks of [`crate::invariants`], and several experiments.
+
+use crate::algau::AlgAu;
+use crate::turn::Turn;
+use sa_model::graph::{Graph, NodeId};
+
+/// A configuration analyzer bound to an [`AlgAu`] instance and a graph.
+#[derive(Debug, Clone, Copy)]
+pub struct Predicates<'a> {
+    algorithm: &'a AlgAu,
+    graph: &'a Graph,
+}
+
+impl<'a> Predicates<'a> {
+    /// Creates an analyzer for `algorithm` running on `graph`.
+    pub fn new(algorithm: &'a AlgAu, graph: &'a Graph) -> Self {
+        Predicates { algorithm, graph }
+    }
+
+    /// The level of node `v` under `config` (`λ_v` in the paper).
+    pub fn level(&self, config: &[Turn], v: NodeId) -> i32 {
+        config[v].level()
+    }
+
+    /// Whether the edge `(u, v)` is *protected*: the two endpoint levels are adjacent.
+    pub fn edge_protected(&self, config: &[Turn], u: NodeId, v: NodeId) -> bool {
+        self.algorithm
+            .levels()
+            .adjacent(config[u].level(), config[v].level())
+    }
+
+    /// Whether node `v` is *protected*: all its incident edges are protected.
+    pub fn node_protected(&self, config: &[Turn], v: NodeId) -> bool {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| self.edge_protected(config, u, v))
+    }
+
+    /// Whether node `v` is *good*: protected and senses no faulty turn in `N⁺(v)`.
+    pub fn node_good(&self, config: &[Turn], v: NodeId) -> bool {
+        self.node_protected(config, v)
+            && config[v].is_able()
+            && self
+                .graph
+                .neighbors(v)
+                .iter()
+                .all(|&u| config[u].is_able())
+    }
+
+    /// Whether node `v` is *out-protected*: it senses no level at least two units
+    /// outwards of its own level (`Λ_v ∩ Ψ≫(λ_v) = ∅`).
+    pub fn node_out_protected(&self, config: &[Turn], v: NodeId) -> bool {
+        let own = config[v].level();
+        self.graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| !self.algorithm.levels().is_far_outwards(own, config[u].level()))
+    }
+
+    /// Whether the whole graph is protected.
+    pub fn graph_protected(&self, config: &[Turn]) -> bool {
+        self.graph.nodes().all(|v| self.node_protected(config, v))
+    }
+
+    /// Whether the whole graph is good (every node is good). This is the legitimacy
+    /// predicate of AlgAU: by Lemma 2.10 a good graph stays good, and by Lemma 2.11
+    /// the AU liveness condition holds from then on.
+    pub fn graph_good(&self, config: &[Turn]) -> bool {
+        self.graph.nodes().all(|v| self.node_good(config, v))
+    }
+
+    /// Whether the whole graph is out-protected.
+    pub fn graph_out_protected(&self, config: &[Turn]) -> bool {
+        self.graph.nodes().all(|v| self.node_out_protected(config, v))
+    }
+
+    /// Whether the graph is `ℓ`-out-protected: every node whose level is in `Ψ≥(ℓ)`
+    /// (same sign as `ℓ`, magnitude at least `|ℓ|`) is out-protected.
+    pub fn graph_level_out_protected(&self, config: &[Turn], level: i32) -> bool {
+        self.graph.nodes().all(|v| {
+            let lv = config[v].level();
+            let in_psi_geq = lv.signum() == level.signum() && lv.abs() >= level.abs();
+            !in_psi_geq || self.node_out_protected(config, v)
+        })
+    }
+
+    /// Whether a faulty node `v` is *justifiably faulty*: it is not protected, or it
+    /// has a neighbor in the faulty turn one unit inwards of its own level.
+    ///
+    /// Returns `None` if `v` is not faulty.
+    pub fn justifiably_faulty(&self, config: &[Turn], v: NodeId) -> Option<bool> {
+        if !config[v].is_faulty() {
+            return None;
+        }
+        if !self.node_protected(config, v) {
+            return Some(true);
+        }
+        let inner = self.algorithm.levels().outwards(config[v].level(), -1);
+        let justified = inner.is_some_and(|inner_level| {
+            inner_level.abs() >= 2
+                && self
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| config[u] == Turn::Faulty(inner_level))
+        });
+        Some(justified)
+    }
+
+    /// Whether the graph is *justified*: it has no unjustifiably faulty node.
+    pub fn graph_justified(&self, config: &[Turn]) -> bool {
+        self.graph.nodes().all(|v| {
+            self.justifiably_faulty(config, v).unwrap_or(true)
+        })
+    }
+
+    /// Whether node `v` is *grounded*: it lies on a path of length at most `D` whose
+    /// nodes are all protected and one of whose endpoints is at level `±1`
+    /// (the paper's sufficient condition for staying protected forever, Lemma 2.21).
+    ///
+    /// Implemented as a BFS over protected nodes from all the protected level-`±1`
+    /// nodes, truncated at depth `D`.
+    pub fn node_grounded(&self, config: &[Turn], v: NodeId) -> bool {
+        let d = self.algorithm.diameter_bound();
+        if !self.node_protected(config, v) {
+            return false;
+        }
+        // BFS from every protected node with level ±1, through protected nodes only.
+        use std::collections::VecDeque;
+        let mut dist = vec![usize::MAX; self.graph.node_count()];
+        let mut queue = VecDeque::new();
+        for u in self.graph.nodes() {
+            if config[u].level().abs() == 1 && self.node_protected(config, u) {
+                dist[u] = 0;
+                queue.push_back(u);
+            }
+        }
+        while let Some(x) = queue.pop_front() {
+            if dist[x] >= d {
+                continue;
+            }
+            for &w in self.graph.neighbors(x) {
+                if dist[w] == usize::MAX && self.node_protected(config, w) {
+                    dist[w] = dist[x] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist[v] <= d
+    }
+
+    /// Counts faulty nodes in the configuration.
+    pub fn faulty_count(&self, config: &[Turn]) -> usize {
+        config.iter().filter(|t| t.is_faulty()).count()
+    }
+
+    /// The maximum clock discrepancy over edges: the largest cyclic level distance
+    /// between two neighbors. Zero or one on a protected graph.
+    pub fn max_discrepancy(&self, config: &[Turn]) -> u32 {
+        self.graph
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                self.algorithm
+                    .levels()
+                    .distance(config[u].level(), config[v].level())
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The legitimacy oracle for AlgAU: the graph is *good*.
+///
+/// Suitable for [`sa_model::executor::Execution::run_until_legitimate`]; stabilization
+/// of AlgAU reduces to reaching a good graph (Lemmas 2.10, 2.11 and 2.18).
+#[derive(Debug, Clone, Copy)]
+pub struct GoodGraphOracle {
+    algorithm: AlgAu,
+}
+
+impl GoodGraphOracle {
+    /// Creates the oracle for the given AlgAU instance.
+    pub fn new(algorithm: AlgAu) -> Self {
+        GoodGraphOracle { algorithm }
+    }
+}
+
+impl sa_model::algorithm::LegitimacyOracle<AlgAu> for GoodGraphOracle {
+    fn is_legitimate(&self, graph: &Graph, config: &[Turn]) -> bool {
+        Predicates::new(&self.algorithm, graph).graph_good(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alg() -> AlgAu {
+        AlgAu::new(1) // k = 5
+    }
+
+    #[test]
+    fn edge_and_node_protection() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        let cfg = vec![Turn::Able(2), Turn::Able(3), Turn::Able(5)];
+        assert!(p.edge_protected(&cfg, 0, 1));
+        assert!(!p.edge_protected(&cfg, 1, 2));
+        assert!(p.node_protected(&cfg, 0));
+        assert!(!p.node_protected(&cfg, 1));
+        assert!(!p.node_protected(&cfg, 2));
+        assert!(!p.graph_protected(&cfg));
+    }
+
+    #[test]
+    fn wrap_around_edge_is_protected() {
+        let a = alg();
+        let g = Graph::path(2);
+        let p = Predicates::new(&a, &g);
+        let cfg = vec![Turn::Able(5), Turn::Able(-5)];
+        assert!(p.edge_protected(&cfg, 0, 1));
+        assert!(p.graph_good(&cfg));
+    }
+
+    #[test]
+    fn goodness_requires_able_neighborhood() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        let cfg = vec![Turn::Able(2), Turn::Faulty(2), Turn::Able(2)];
+        assert!(!p.node_good(&cfg, 0)); // senses a faulty neighbor
+        assert!(!p.node_good(&cfg, 1)); // is faulty itself
+        assert!(p.node_protected(&cfg, 0));
+        assert!(!p.graph_good(&cfg));
+        let all_able = vec![Turn::Able(2), Turn::Able(2), Turn::Able(3)];
+        assert!(p.graph_good(&all_able));
+    }
+
+    #[test]
+    fn out_protection() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        // node 1 at level 2 with a neighbor at level 4 (two units outwards): not
+        // out-protected. A neighbor at level -4 (opposite sign) does not matter.
+        let cfg = vec![Turn::Able(-4), Turn::Able(2), Turn::Able(4)];
+        assert!(!p.node_out_protected(&cfg, 1));
+        let cfg = vec![Turn::Able(-4), Turn::Able(2), Turn::Able(3)];
+        assert!(p.node_out_protected(&cfg, 1));
+        assert!(p.graph_out_protected(&cfg));
+        // extreme levels are vacuously out-protected
+        let cfg = vec![Turn::Able(4), Turn::Able(5), Turn::Able(4)];
+        assert!(p.node_out_protected(&cfg, 1));
+    }
+
+    #[test]
+    fn level_out_protection_only_constrains_outward_levels() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        // node 0 at level 1 has a neighbor at level 3 (far outwards) -> node 0 not
+        // out-protected, so the graph is not 1-out-protected; but it is
+        // 4-out-protected because no node with level in Ψ≥(4) violates anything.
+        let cfg = vec![Turn::Able(1), Turn::Able(3), Turn::Able(2)];
+        assert!(!p.graph_level_out_protected(&cfg, 1));
+        assert!(p.graph_level_out_protected(&cfg, 4));
+        assert!(p.graph_level_out_protected(&cfg, -1));
+    }
+
+    #[test]
+    fn justified_faultiness() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        // able nodes are not classified
+        let cfg = vec![Turn::Able(2), Turn::Able(2), Turn::Able(2)];
+        assert_eq!(p.justifiably_faulty(&cfg, 0), None);
+        // a faulty node that is protected and has no inward-faulty neighbor is
+        // unjustifiably faulty
+        let cfg = vec![Turn::Able(3), Turn::Faulty(3), Turn::Able(3)];
+        assert_eq!(p.justifiably_faulty(&cfg, 1), Some(false));
+        assert!(!p.graph_justified(&cfg));
+        // not protected -> justified
+        let cfg = vec![Turn::Able(5), Turn::Faulty(3), Turn::Able(3)];
+        assert_eq!(p.justifiably_faulty(&cfg, 1), Some(true));
+        assert!(p.graph_justified(&cfg));
+        // neighbor in the inward faulty turn -> justified
+        let cfg = vec![Turn::Faulty(2), Turn::Faulty(3), Turn::Able(3)];
+        assert_eq!(p.justifiably_faulty(&cfg, 1), Some(true));
+        // for level ±2 the inward faulty turn does not exist, so only
+        // non-protection can justify it
+        let cfg = vec![Turn::Able(1), Turn::Faulty(2), Turn::Able(2)];
+        assert_eq!(p.justifiably_faulty(&cfg, 1), Some(false));
+    }
+
+    #[test]
+    fn groundedness() {
+        let a = AlgAu::new(2); // D = 2, k = 8
+        let g = Graph::path(4);
+        let p = Predicates::new(&a, &g);
+        // node 0 at level 1; the whole path is protected; nodes within distance 2 of
+        // node 0 are grounded, node 3 is too far (D = 2)
+        let cfg = vec![Turn::Able(1), Turn::Able(2), Turn::Able(2), Turn::Able(3)];
+        assert!(p.node_grounded(&cfg, 0));
+        assert!(p.node_grounded(&cfg, 1));
+        assert!(p.node_grounded(&cfg, 2));
+        assert!(!p.node_grounded(&cfg, 3));
+        // a non-protected node is never grounded
+        let cfg = vec![Turn::Able(1), Turn::Able(2), Turn::Able(5), Turn::Able(5)];
+        assert!(!p.node_grounded(&cfg, 2));
+    }
+
+    #[test]
+    fn discrepancy_and_fault_counting() {
+        let a = alg();
+        let g = Graph::path(3);
+        let p = Predicates::new(&a, &g);
+        let cfg = vec![Turn::Able(1), Turn::Faulty(4), Turn::Faulty(5)];
+        assert_eq!(p.faulty_count(&cfg), 2);
+        assert_eq!(p.max_discrepancy(&cfg), 3);
+        let sync = vec![Turn::Able(2), Turn::Able(2), Turn::Able(2)];
+        assert_eq!(p.max_discrepancy(&sync), 0);
+    }
+
+    #[test]
+    fn oracle_matches_graph_good() {
+        use sa_model::algorithm::LegitimacyOracle;
+        let a = alg();
+        let g = Graph::cycle(4);
+        let oracle = GoodGraphOracle::new(a);
+        let good = vec![Turn::Able(2); 4];
+        let bad = vec![Turn::Able(2), Turn::Able(2), Turn::Faulty(2), Turn::Able(2)];
+        assert!(oracle.is_legitimate(&g, &good));
+        assert!(!oracle.is_legitimate(&g, &bad));
+    }
+}

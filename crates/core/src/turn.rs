@@ -1,0 +1,115 @@
+//! Turns — the states of AlgAU.
+//!
+//! AlgAU's state set is partitioned into *able* turns `T = {ℓ̄ : 1 ≤ |ℓ| ≤ k}` and
+//! *faulty* turns `T̂ = {ℓ̂ : 2 ≤ |ℓ| ≤ k}`. A node residing in an able (resp. faulty)
+//! turn is called able (resp. faulty). Able turns are the output states: the output
+//! clock value of `ℓ̄` is the position of `ℓ` on the level cycle. Faulty turns are the
+//! "short detours" the algorithm uses instead of a reset mechanism.
+
+use crate::level::{Level, Levels};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A state of AlgAU: an able turn `ℓ̄` or a faulty turn `ℓ̂`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Turn {
+    /// An able turn at the given level (`1 ≤ |ℓ| ≤ k`). These are the output states.
+    Able(Level),
+    /// A faulty turn at the given level (`2 ≤ |ℓ| ≤ k`). Non-output states.
+    Faulty(Level),
+}
+
+impl Turn {
+    /// The level of the turn (`λ` in the paper's notation).
+    pub fn level(&self) -> Level {
+        match self {
+            Turn::Able(l) | Turn::Faulty(l) => *l,
+        }
+    }
+
+    /// Whether this is an able turn.
+    pub fn is_able(&self) -> bool {
+        matches!(self, Turn::Able(_))
+    }
+
+    /// Whether this is a faulty turn.
+    pub fn is_faulty(&self) -> bool {
+        matches!(self, Turn::Faulty(_))
+    }
+
+    /// Validates the turn against a level universe: the level must be valid and
+    /// faulty turns must have `|ℓ| ≥ 2`.
+    pub fn is_valid(&self, levels: &Levels) -> bool {
+        match self {
+            Turn::Able(l) => levels.is_valid(*l),
+            Turn::Faulty(l) => levels.is_valid(*l) && l.abs() >= 2,
+        }
+    }
+}
+
+impl fmt::Debug for Turn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Turn::Able(l) => write!(f, "{l}̄"),
+            Turn::Faulty(l) => write!(f, "{l}̂"),
+        }
+    }
+}
+
+impl fmt::Display for Turn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Turn::Able(l) => write!(f, "able({l})"),
+            Turn::Faulty(l) => write!(f, "faulty({l})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_accessor() {
+        assert_eq!(Turn::Able(-3).level(), -3);
+        assert_eq!(Turn::Faulty(7).level(), 7);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Turn::Able(1).is_able());
+        assert!(!Turn::Able(1).is_faulty());
+        assert!(Turn::Faulty(2).is_faulty());
+        assert!(!Turn::Faulty(2).is_able());
+    }
+
+    #[test]
+    fn validity() {
+        let lv = Levels::new(4);
+        assert!(Turn::Able(1).is_valid(&lv));
+        assert!(Turn::Able(-4).is_valid(&lv));
+        assert!(!Turn::Able(0).is_valid(&lv));
+        assert!(!Turn::Able(5).is_valid(&lv));
+        assert!(Turn::Faulty(2).is_valid(&lv));
+        assert!(Turn::Faulty(-4).is_valid(&lv));
+        // faulty turns at level ±1 do not exist
+        assert!(!Turn::Faulty(1).is_valid(&lv));
+        assert!(!Turn::Faulty(-1).is_valid(&lv));
+        assert!(!Turn::Faulty(5).is_valid(&lv));
+    }
+
+    #[test]
+    fn ordering_is_total_for_signals() {
+        // only needed so turns can live in a BTreeSet-backed Signal
+        let mut turns = vec![Turn::Faulty(2), Turn::Able(3), Turn::Able(-1)];
+        turns.sort();
+        assert_eq!(turns.len(), 3);
+    }
+
+    #[test]
+    fn display_and_debug_are_informative() {
+        assert_eq!(format!("{}", Turn::Able(-2)), "able(-2)");
+        assert_eq!(format!("{}", Turn::Faulty(5)), "faulty(5)");
+        assert!(!format!("{:?}", Turn::Able(1)).is_empty());
+    }
+}

@@ -1,0 +1,545 @@
+//! AlgLE — the synchronous self-stabilizing leader election algorithm
+//! (Section 3.2, Theorem 1.3).
+//!
+//! AlgLE progresses in *epochs* of `D` rounds; every node tracks the round number
+//! within the current epoch and invokes Restart on any inconsistency with a neighbor.
+//! The execution has two stages:
+//!
+//! * **Computation stage** — runs modules `RandCount` and `Elect`.
+//!   * `Elect`: every node starts as a candidate. At each epoch start the surviving
+//!     candidates toss fair coins; the epoch's `D` rounds are used to gossip the OR
+//!     of the candidates' coins (`I_C`). A candidate whose own coin was 0 while
+//!     `I_C = 1` withdraws. At least one candidate always survives, and any two
+//!     candidates are separated with probability ½ per epoch.
+//!   * `RandCount`: a probabilistic counter. Every node holds a `flag` (initially 1)
+//!     and clears it with probability `p₀` at each epoch start; the epoch gossips the
+//!     OR of the flags (`I_flag`). When `I_flag = 0` the computation stage halts and
+//!     the surviving candidates mark themselves leaders. The number of epochs is
+//!     `Θ(log n)` in expectation and whp, enough for a single candidate to survive whp.
+//! * **Verification stage** — runs module `DetectLE` forever: at each epoch start
+//!   every leader draws a random temporary identifier from `[k]`; the epoch spreads
+//!   the first identifier each node encounters. A node that encounters two different
+//!   identifiers (two leaders, probability ≥ 1 − 1/k per epoch) or none at all (zero
+//!   leaders, deterministic) invokes Restart.
+//!
+//! The composite algorithm [`AlgLe`] = `WithRestart<LeHost>` is a synchronous
+//! self-stabilizing LE algorithm with `O(D)` states stabilizing in `O(D·log n)`
+//! rounds in expectation and whp.
+
+use crate::restart::{HostOutcome, RestartableAlgorithm, RestartState, WithRestart};
+use rand::Rng;
+use rand::RngCore;
+use sa_model::checker::TaskChecker;
+use sa_model::graph::Graph;
+use sa_model::signal::Signal;
+
+/// The stage of the execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Electing a leader (modules RandCount + Elect).
+    Computation,
+    /// Verifying that exactly one leader exists (module DetectLE).
+    Verification,
+}
+
+/// The host state of AlgLE (one node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeState {
+    /// Round number within the current epoch, `0 ..= D − 1`.
+    pub round_in_epoch: u16,
+    /// Current stage.
+    pub stage: Stage,
+    /// RandCount: this node's probabilistic-counter flag.
+    pub flag: bool,
+    /// RandCount: running OR of flags gossiped during the epoch.
+    pub heard_flag: bool,
+    /// Elect: still a candidate for leadership.
+    pub candidate: bool,
+    /// Elect: the coin tossed by this candidate at the epoch start.
+    pub coin: bool,
+    /// Elect: running OR of candidates' coins gossiped during the epoch.
+    pub heard_coin: bool,
+    /// Whether this node is marked as the leader.
+    pub leader: bool,
+    /// DetectLE: the first temporary identifier encountered this epoch (`0` = none).
+    pub first_id: u8,
+}
+
+/// The AlgLE host (to be wrapped in [`WithRestart`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeHost {
+    diameter_bound: usize,
+    halt_probability: f64,
+    detect_id_count: u8,
+}
+
+impl LeHost {
+    /// Creates the host for diameter bound `D` with default parameters
+    /// (`p₀ = 0.2`, `k = 4` temporary identifiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D == 0`.
+    pub fn new(diameter_bound: usize) -> Self {
+        Self::with_parameters(diameter_bound, 0.2, 4)
+    }
+
+    /// Creates the host with explicit parameters: the per-epoch probability `p₀` that
+    /// a node clears its RandCount flag, and the number `k ≥ 2` of temporary
+    /// identifiers used by DetectLE.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `D ≥ 1`, `0 < p₀ < 1` and `k ≥ 2`.
+    pub fn with_parameters(diameter_bound: usize, halt_probability: f64, detect_id_count: u8) -> Self {
+        assert!(diameter_bound >= 1, "the diameter bound must be at least 1");
+        assert!(
+            halt_probability > 0.0 && halt_probability < 1.0,
+            "p0 must be in (0, 1)"
+        );
+        assert!(detect_id_count >= 2, "DetectLE needs at least 2 identifiers");
+        LeHost {
+            diameter_bound,
+            halt_probability,
+            detect_id_count,
+        }
+    }
+
+    /// The diameter bound `D` (also the epoch length in rounds).
+    pub fn diameter_bound(&self) -> usize {
+        self.diameter_bound
+    }
+
+    fn epoch_len(&self) -> u16 {
+        self.diameter_bound as u16
+    }
+
+    fn pick_id(&self, rng: &mut dyn RngCore) -> u8 {
+        rng.gen_range(1..=self.detect_id_count)
+    }
+
+    /// Applies the epoch-start bookkeeping to `state` in place (coin tosses, gossip
+    /// seeding, identifier drawing), given the stage the node is entering the epoch
+    /// in.
+    fn seed_epoch(&self, state: &mut LeState, rng: &mut dyn RngCore) {
+        state.round_in_epoch = 0;
+        match state.stage {
+            Stage::Computation => {
+                if state.flag && rng.gen_bool(self.halt_probability) {
+                    state.flag = false;
+                }
+                if state.candidate {
+                    state.coin = rng.gen_bool(0.5);
+                } else {
+                    state.coin = false;
+                }
+                state.heard_flag = state.flag;
+                state.heard_coin = state.candidate && state.coin;
+                state.first_id = 0;
+            }
+            Stage::Verification => {
+                state.heard_flag = false;
+                state.heard_coin = false;
+                state.coin = false;
+                state.first_id = if state.leader { self.pick_id(rng) } else { 0 };
+            }
+        }
+    }
+}
+
+impl RestartableAlgorithm for LeHost {
+    type State = LeState;
+    type Output = bool;
+
+    fn initial_state(&self) -> LeState {
+        // q₀*: the state every node adopts when Restart exits. The epoch starts
+        // immediately; the coin/flag seeds are drawn on the node's first step (the
+        // initial state itself is deterministic, as required of a single designated
+        // state).
+        LeState {
+            round_in_epoch: 0,
+            stage: Stage::Computation,
+            flag: true,
+            heard_flag: true,
+            candidate: true,
+            coin: false,
+            heard_coin: false,
+            leader: false,
+            first_id: 0,
+        }
+    }
+
+    fn output(&self, state: &LeState) -> Option<bool> {
+        Some(state.leader)
+    }
+
+    fn step(
+        &self,
+        s: &LeState,
+        signal: &Signal<LeState>,
+        rng: &mut dyn RngCore,
+    ) -> HostOutcome<LeState> {
+        let epoch_len = self.epoch_len();
+
+        // -------- fault detection -----------------------------------------------
+        // Epoch round counters must agree exactly (the execution is synchronous and
+        // starts concurrently), stages must agree, and counters must be in range.
+        if s.round_in_epoch >= epoch_len
+            || signal.senses_any(|u| u.round_in_epoch != s.round_in_epoch || u.stage != s.stage)
+        {
+            return HostOutcome::Restart;
+        }
+        // DetectLE: conflicting temporary identifiers mean two leaders.
+        if s.stage == Stage::Verification
+            && s.first_id != 0
+            && signal.senses_any(|u| u.first_id != 0 && u.first_id != s.first_id)
+        {
+            return HostOutcome::Restart;
+        }
+
+        let mut next = *s;
+        let at_epoch_end = s.round_in_epoch + 1 == epoch_len;
+
+        // -------- gossip during the epoch ---------------------------------------
+        let or_heard_flag = signal.senses_any(|u| u.heard_flag);
+        let or_heard_coin = signal.senses_any(|u| u.heard_coin);
+        let sensed_id = signal
+            .iter()
+            .map(|u| u.first_id)
+            .filter(|id| *id != 0)
+            .min();
+
+        if !at_epoch_end {
+            next.round_in_epoch = s.round_in_epoch + 1;
+            next.heard_flag = or_heard_flag;
+            next.heard_coin = or_heard_coin;
+            if s.stage == Stage::Verification {
+                if s.first_id == 0 {
+                    if let Some(id) = sensed_id {
+                        next.first_id = id;
+                    }
+                }
+            }
+            return HostOutcome::Continue(next);
+        }
+
+        // -------- epoch end ------------------------------------------------------
+        match s.stage {
+            Stage::Computation => {
+                // finish the gossip: one more OR covers distance D ≥ diam(G)
+                let i_flag = or_heard_flag;
+                let i_coin = or_heard_coin;
+                // Elect: withdraw if our coin was 0 while some candidate tossed 1
+                if next.candidate && !s.coin && i_coin {
+                    next.candidate = false;
+                }
+                if !i_flag {
+                    // RandCount: the computation stage halts; survivors become leaders
+                    next.stage = Stage::Verification;
+                    next.leader = next.candidate;
+                }
+            }
+            Stage::Verification => {
+                // zero leaders are detected deterministically at the epoch end
+                let final_id = if s.first_id != 0 {
+                    Some(s.first_id)
+                } else {
+                    sensed_id
+                };
+                if final_id.is_none() {
+                    return HostOutcome::Restart;
+                }
+            }
+        }
+        self.seed_epoch(&mut next, rng);
+        HostOutcome::Continue(next)
+    }
+
+    fn states(&self) -> Vec<LeState> {
+        // The product state space: round × stage × flag × heard_flag × candidate ×
+        // coin × heard_coin × leader × first_id. O(D) with a constant factor of
+        // 2⁷·(k + 1).
+        let mut states = Vec::new();
+        for round_in_epoch in 0..self.epoch_len() {
+            for stage in [Stage::Computation, Stage::Verification] {
+                for flag in [false, true] {
+                    for heard_flag in [false, true] {
+                        for candidate in [false, true] {
+                            for coin in [false, true] {
+                                for heard_coin in [false, true] {
+                                    for leader in [false, true] {
+                                        for first_id in 0..=self.detect_id_count {
+                                            states.push(LeState {
+                                                round_in_epoch,
+                                                stage,
+                                                flag,
+                                                heard_flag,
+                                                candidate,
+                                                coin,
+                                                heard_coin,
+                                                leader,
+                                                first_id,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    fn name(&self) -> &'static str {
+        "AlgLE"
+    }
+}
+
+/// The full AlgLE algorithm: the LE host wrapped in module Restart.
+pub type AlgLe = WithRestart<LeHost>;
+
+/// Convenience constructor for [`AlgLe`].
+pub fn alg_le(diameter_bound: usize) -> AlgLe {
+    WithRestart::new(LeHost::new(diameter_bound), diameter_bound)
+}
+
+/// The LE task checker: exactly one node outputs `true`, and — being a static task —
+/// outputs must not change after stabilization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeChecker;
+
+impl TaskChecker<AlgLe> for LeChecker {
+    fn check_snapshot(&self, _graph: &Graph, config: &[RestartState<LeState>]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut leaders = 0usize;
+        for (v, state) in config.iter().enumerate() {
+            match state {
+                RestartState::Restart(i) => {
+                    violations.push(format!("node {v} is inside Restart (σ({i}))"));
+                }
+                RestartState::Host(s) => {
+                    if s.leader {
+                        leaders += 1;
+                    }
+                }
+            }
+        }
+        if violations.is_empty() && leaders != 1 {
+            violations.push(format!("expected exactly one leader, found {leaders}"));
+        }
+        violations
+    }
+
+    fn check_window(&self, _graph: &Graph, output_changes: &[u64], _rounds: u64) -> Vec<String> {
+        output_changes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| format!("leader output of node {v} changed {c} times after stabilization"))
+            .collect()
+    }
+
+    fn task_name(&self) -> &'static str {
+        "leader-election"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::checker::measure_static_stabilization;
+    use sa_model::executor::{Execution, ExecutionBuilder};
+    use sa_model::graph::Graph;
+    use sa_model::scheduler::SynchronousScheduler;
+
+    #[test]
+    fn initial_state_is_a_computing_candidate() {
+        let host = LeHost::new(3);
+        let s = host.initial_state();
+        assert_eq!(s.stage, Stage::Computation);
+        assert!(s.candidate);
+        assert!(!s.leader);
+        assert_eq!(host.output(&s), Some(false));
+    }
+
+    #[test]
+    fn epoch_round_mismatch_triggers_restart() {
+        let host = LeHost::new(4);
+        let mut rng = rand::thread_rng();
+        let a = host.initial_state();
+        let mut b = a;
+        b.round_in_epoch = 2;
+        let sig = Signal::from_states(vec![a, b]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn stage_mismatch_triggers_restart() {
+        let host = LeHost::new(4);
+        let mut rng = rand::thread_rng();
+        let a = host.initial_state();
+        let mut b = a;
+        b.stage = Stage::Verification;
+        let sig = Signal::from_states(vec![a, b]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn out_of_range_round_counter_restarts() {
+        let host = LeHost::new(3);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.round_in_epoch = 9;
+        let sig = Signal::from_states(vec![a]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn conflicting_identifiers_trigger_restart() {
+        let host = LeHost::new(3);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.stage = Stage::Verification;
+        a.first_id = 1;
+        let mut b = a;
+        b.first_id = 2;
+        let sig = Signal::from_states(vec![a, b]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn verification_with_no_identifier_restarts_at_epoch_end() {
+        let host = LeHost::new(2);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.stage = Stage::Verification;
+        a.round_in_epoch = 1; // last round of the epoch (D = 2)
+        a.first_id = 0;
+        a.leader = false;
+        let sig = Signal::from_states(vec![a]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn identifiers_spread_during_verification() {
+        let host = LeHost::new(4);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.stage = Stage::Verification;
+        a.round_in_epoch = 1;
+        a.first_id = 0;
+        let mut b = a;
+        b.first_id = 3;
+        let sig = Signal::from_states(vec![a, b]);
+        match host.step(&a, &sig, &mut rng) {
+            HostOutcome::Continue(next) => {
+                assert_eq!(next.first_id, 3);
+                assert_eq!(next.round_in_epoch, 2);
+            }
+            HostOutcome::Restart => panic!("unexpected restart"),
+        }
+    }
+
+    #[test]
+    fn elect_withdraws_on_losing_coin() {
+        let host = LeHost::new(2);
+        let mut rng = rand::thread_rng();
+        // at the epoch end, a candidate with coin 0 that heard a coin 1 withdraws
+        let mut a = host.initial_state();
+        a.round_in_epoch = 1; // D = 2, so this is the last round
+        a.coin = false;
+        a.heard_coin = false;
+        let mut b = a;
+        b.heard_coin = true;
+        let sig = Signal::from_states(vec![a, b]);
+        match host.step(&a, &sig, &mut rng) {
+            HostOutcome::Continue(next) => {
+                assert!(!next.candidate);
+                assert_eq!(next.round_in_epoch, 0, "a new epoch begins");
+            }
+            HostOutcome::Restart => panic!("unexpected restart"),
+        }
+    }
+
+    #[test]
+    fn computation_halts_when_no_flag_is_heard() {
+        let host = LeHost::new(2);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.round_in_epoch = 1;
+        a.flag = false;
+        a.heard_flag = false;
+        a.coin = true;
+        a.heard_coin = true;
+        let sig = Signal::from_states(vec![a]);
+        match host.step(&a, &sig, &mut rng) {
+            HostOutcome::Continue(next) => {
+                assert_eq!(next.stage, Stage::Verification);
+                assert!(next.leader, "a surviving candidate becomes the leader");
+                assert_ne!(next.first_id, 0, "the leader draws an identifier");
+            }
+            HostOutcome::Restart => panic!("unexpected restart"),
+        }
+    }
+
+    #[test]
+    fn elects_exactly_one_leader_from_fresh_start() {
+        for (gi, graph) in [
+            Graph::complete(8),
+            Graph::star(9),
+            Graph::cycle(6),
+            Graph::grid(3, 3),
+            Graph::path(5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let d = graph.diameter();
+            let alg = alg_le(d.max(1));
+            let init = vec![RestartState::Host(alg.host().initial_state()); graph.node_count()];
+            let mut exec = Execution::new(&alg, graph, init, 99 + gi as u64);
+            let mut sched = SynchronousScheduler;
+            let report = measure_static_stabilization(&mut exec, &mut sched, &LeChecker, 800, 100);
+            assert!(
+                report.stabilization_round.is_some(),
+                "graph {gi}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_stabilizes_from_adversarial_configurations() {
+        use sa_model::algorithm::StateSpace;
+        let graph = Graph::cycle(8);
+        let d = graph.diameter();
+        let alg = alg_le(d);
+        let palette = alg.states();
+        for seed in 0..5u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .random_initial(&palette);
+            let mut sched = SynchronousScheduler;
+            let report =
+                measure_static_stabilization(&mut exec, &mut sched, &LeChecker, 2500, 150);
+            assert!(
+                report.stabilization_round.is_some(),
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_space_scales_linearly_with_d() {
+        use sa_model::algorithm::StateSpace;
+        let s4 = alg_le(4).state_count();
+        let s8 = alg_le(8).state_count();
+        let s16 = alg_le(16).state_count();
+        // doubling D roughly doubles the state count (affine in D)
+        assert!(s8 > s4 && s16 > s8);
+        let growth1 = s8 - s4;
+        let growth2 = s16 - s8;
+        assert_eq!(growth2, 2 * growth1, "state count must be affine in D");
+    }
+}

@@ -1,0 +1,47 @@
+//! # sa-protocols — synchronous self-stabilizing protocols on top of module Restart
+//!
+//! This crate implements Section 3 of Emek & Keren (PODC 2021):
+//!
+//! * [`restart`] — module `Restart` (Theorem 3.1): a synchronous `O(D)`-state reset
+//!   primitive with a concurrent, coordinated exit, implemented as a generic wrapper
+//!   [`WithRestart`] around any [`RestartableAlgorithm`] host;
+//! * [`mis`] — AlgMIS (Theorem 1.4): synchronous self-stabilizing maximal independent
+//!   set with `O(D)` states, stabilizing in `O((D + log n)·log n)` rounds whp;
+//! * [`le`] — AlgLE (Theorem 1.3): synchronous self-stabilizing leader election with
+//!   `O(D)` states, stabilizing in `O(D·log n)` rounds whp.
+//!
+//! Both AlgMIS and AlgLE are *synchronous* algorithms: their guarantees hold under
+//! [`SynchronousScheduler`](sa_model::scheduler::SynchronousScheduler). The companion
+//! crate `sa-synchronizer` lifts them to arbitrary asynchronous schedules via the
+//! AlgAU-based synchronizer of Corollary 1.2.
+//!
+//! ## Example
+//!
+//! ```
+//! use sa_model::prelude::*;
+//! use sa_model::checker::measure_static_stabilization;
+//! use sa_protocols::mis::{alg_mis, MisChecker};
+//! use sa_protocols::restart::{RestartState, RestartableAlgorithm};
+//!
+//! let graph = Graph::grid(3, 3);
+//! let alg = alg_mis(graph.diameter());
+//! let init = vec![RestartState::Host(alg.host().initial_state()); graph.node_count()];
+//! let mut exec = Execution::new(&alg, &graph, init, 7);
+//! let mut sched = SynchronousScheduler;
+//! let report = measure_static_stabilization(&mut exec, &mut sched, &MisChecker, 500, 50);
+//! assert!(report.stabilization_round.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod le;
+pub mod mis;
+pub mod restart;
+
+pub use le::{alg_le, AlgLe, LeChecker, LeHost, LeState, Stage};
+pub use mis::{alg_mis, AlgMis, Decision, MisChecker, MisHost, MisState};
+pub use restart::{
+    measure_restart_exit, HostOutcome, RestartExitReport, RestartState, RestartableAlgorithm,
+    TrivialHost, WithRestart,
+};

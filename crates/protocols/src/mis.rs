@@ -1,0 +1,537 @@
+//! AlgMIS — the synchronous self-stabilizing maximal independent set algorithm
+//! (Section 3.1, Theorem 1.4).
+//!
+//! AlgMIS composes three modules on top of module [`Restart`](crate::restart):
+//!
+//! * **RandPhase** divides the execution into phases. Each phase has a random prefix
+//!   (every node keeps a `flag` and clears it with probability `p₀` per round; the
+//!   prefix lasts until the last flag clears) followed by a deterministic suffix of
+//!   `D + 2` rounds driven by a `step` counter that rises in a wave (Lemma 3.5 /
+//!   Corollary 3.6 guarantee that all nodes finish the phase concurrently).
+//! * **Compete** runs among the still-undecided nodes: in every two-round *trial*
+//!   a candidate tosses a fair coin and drops out if its coin was 0 while some
+//!   undecided candidate neighbor tossed 1. A node that is still a candidate when
+//!   `step` reaches `D + 1` joins the MIS (`IN`); its undecided neighbors join `OUT`
+//!   one round later.
+//! * **DetectMIS** runs among the decided nodes and detects local faults — two
+//!   adjacent `IN` nodes (caught with constant probability per round via random
+//!   temporary identifiers) or an `OUT` node with no `IN` neighbor (caught
+//!   deterministically) — and invokes Restart.
+//!
+//! The composite algorithm [`AlgMis`] = `WithRestart<MisHost>` is a synchronous
+//! self-stabilizing MIS algorithm with `O(D)` states that stabilizes in
+//! `O((D + log n)·log n)` rounds in expectation and whp.
+
+use crate::restart::{HostOutcome, RestartableAlgorithm, RestartState, WithRestart};
+use rand::Rng;
+use rand::RngCore;
+use sa_model::checker::TaskChecker;
+use sa_model::graph::Graph;
+use sa_model::signal::Signal;
+
+/// The decision status of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Decision {
+    /// Not yet decided; still competing.
+    Undecided,
+    /// Joined the independent set.
+    In,
+    /// Excluded from the independent set (has an `In` neighbor).
+    Out,
+}
+
+/// The host state of AlgMIS (one node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MisState {
+    /// RandPhase: position in the deterministic suffix, `0 ..= D + 2`.
+    pub step: u16,
+    /// RandPhase: still in the random prefix of the current phase.
+    pub flag: bool,
+    /// Decision status (persists across phases).
+    pub decision: Decision,
+    /// Compete: still a candidate to join `IN` in the current phase.
+    pub candidate: bool,
+    /// Compete: the coin tossed in the most recent toss round.
+    pub coin: bool,
+    /// Compete: parity bit — `true` means the previous round was a toss round and the
+    /// current round evaluates the trial.
+    pub evaluate: bool,
+    /// DetectMIS: temporary identifier (`0` for non-`IN` nodes, `1 ..= k` for `IN`).
+    pub detect_id: u8,
+}
+
+/// The AlgMIS host (to be wrapped in [`WithRestart`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MisHost {
+    diameter_bound: usize,
+    prefix_stop_probability: f64,
+    detect_id_count: u8,
+}
+
+impl MisHost {
+    /// Creates the host for diameter bound `D` with default parameters
+    /// (`p₀ = 0.2`, `k = 4` temporary identifiers).
+    pub fn new(diameter_bound: usize) -> Self {
+        Self::with_parameters(diameter_bound, 0.2, 4)
+    }
+
+    /// Creates the host with explicit parameters: the per-round probability `p₀` of
+    /// ending a node's random prefix, and the number `k ≥ 2` of temporary identifiers
+    /// used by DetectMIS.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p₀ < 1` and `k ≥ 2`.
+    pub fn with_parameters(
+        diameter_bound: usize,
+        prefix_stop_probability: f64,
+        detect_id_count: u8,
+    ) -> Self {
+        assert!(
+            prefix_stop_probability > 0.0 && prefix_stop_probability < 1.0,
+            "p0 must be in (0, 1)"
+        );
+        assert!(detect_id_count >= 2, "DetectMIS needs at least 2 identifiers");
+        assert!(diameter_bound >= 1, "the diameter bound must be at least 1");
+        MisHost {
+            diameter_bound,
+            prefix_stop_probability,
+            detect_id_count,
+        }
+    }
+
+    /// The diameter bound `D`.
+    pub fn diameter_bound(&self) -> usize {
+        self.diameter_bound
+    }
+
+    /// The last step value of a phase, `D + 2`.
+    fn last_step(&self) -> u16 {
+        self.diameter_bound as u16 + 2
+    }
+
+    fn fresh_phase(mut state: MisState) -> MisState {
+        state.step = 0;
+        state.flag = true;
+        state.candidate = true;
+        state.coin = false;
+        state.evaluate = false;
+        state
+    }
+
+    fn pick_id(&self, rng: &mut dyn RngCore) -> u8 {
+        rng.gen_range(1..=self.detect_id_count)
+    }
+}
+
+impl RestartableAlgorithm for MisHost {
+    type State = MisState;
+    type Output = bool;
+
+    fn initial_state(&self) -> MisState {
+        MisState {
+            step: 0,
+            flag: true,
+            decision: Decision::Undecided,
+            candidate: true,
+            coin: false,
+            evaluate: false,
+            detect_id: 0,
+        }
+    }
+
+    fn output(&self, state: &MisState) -> Option<bool> {
+        match state.decision {
+            Decision::Undecided => None,
+            Decision::In => Some(true),
+            Decision::Out => Some(false),
+        }
+    }
+
+    fn step(
+        &self,
+        s: &MisState,
+        signal: &Signal<MisState>,
+        rng: &mut dyn RngCore,
+    ) -> HostOutcome<MisState> {
+        let last = self.last_step();
+
+        // -------- fault detection ---------------------------------------------
+        // RandPhase: neighboring step counters may differ by at most one.
+        if s.step > last
+            || signal.senses_any(|u| u.step.abs_diff(s.step) > 1 || u.step > last)
+        {
+            return HostOutcome::Restart;
+        }
+        // DetectMIS (decided nodes only).
+        match s.decision {
+            Decision::Out => {
+                // an OUT node must sense a temporary identifier (i.e. an IN node)
+                if !signal.senses_any(|u| u.detect_id != 0) {
+                    return HostOutcome::Restart;
+                }
+            }
+            Decision::In => {
+                // an IN node must not sense a *different* temporary identifier
+                if signal.senses_any(|u| u.detect_id != 0 && u.detect_id != s.detect_id) {
+                    return HostOutcome::Restart;
+                }
+            }
+            Decision::Undecided => {}
+        }
+
+        // -------- RandPhase ----------------------------------------------------
+        let mut next = *s;
+        let mut started_new_phase = false;
+        let step_min = signal
+            .min_by_key(|u| u.step)
+            .expect("signal contains the node's own state");
+        if s.flag {
+            // random prefix: step stays 0; clear the flag with probability p0 and, in
+            // the round the flag clears, perform the first deterministic update.
+            if rng.gen_bool(self.prefix_stop_probability) {
+                next.flag = false;
+                next.step = step_min + 1;
+            } else {
+                next.step = 0;
+            }
+        } else if step_min < last {
+            next.step = step_min + 1;
+        } else {
+            // everyone around (including this node) reached D + 2: the phase ends and
+            // a new one begins.
+            next = Self::fresh_phase(next);
+            started_new_phase = true;
+        }
+
+        // -------- Compete (undecided nodes) ------------------------------------
+        // The trial parity toggles every round of a phase and is reset to "toss" when
+        // a new phase begins (all nodes start phases concurrently, so the parity is
+        // globally consistent).
+        if !started_new_phase {
+            next.evaluate = !s.evaluate;
+        }
+        if !started_new_phase
+            && s.decision == Decision::Undecided
+            && s.candidate
+            && s.step <= self.diameter_bound as u16
+        {
+            if !s.evaluate {
+                // toss round
+                next.coin = rng.gen_bool(0.5);
+            } else {
+                // evaluate round: drop out if our coin was 0 and some undecided
+                // candidate in the inclusive neighborhood tossed 1
+                let ic = signal.senses_any(|u| {
+                    u.decision == Decision::Undecided && u.candidate && u.coin
+                });
+                if !s.coin && ic {
+                    next.candidate = false;
+                }
+            }
+        }
+
+        // -------- joining IN / OUT ---------------------------------------------
+        if s.decision == Decision::Undecided && !started_new_phase {
+            if next.step == self.diameter_bound as u16 + 1 && next.candidate {
+                next.decision = Decision::In;
+            } else if next.step == last
+                && signal.senses_any(|u| u.decision == Decision::In)
+            {
+                next.decision = Decision::Out;
+            }
+        }
+
+        // -------- DetectMIS identifier refresh ----------------------------------
+        next.detect_id = if next.decision == Decision::In {
+            self.pick_id(rng)
+        } else {
+            0
+        };
+
+        HostOutcome::Continue(next)
+    }
+
+    fn states(&self) -> Vec<MisState> {
+        // Enumerate the full product state space (it is O(D) with a constant factor of
+        // 3·2⁴·(k+1) ≈ 240): step × flag × decision × candidate × coin × evaluate ×
+        // detect_id.
+        let mut states = Vec::new();
+        for step in 0..=self.last_step() {
+            for flag in [false, true] {
+                for decision in [Decision::Undecided, Decision::In, Decision::Out] {
+                    for candidate in [false, true] {
+                        for coin in [false, true] {
+                            for evaluate in [false, true] {
+                                for detect_id in 0..=self.detect_id_count {
+                                    states.push(MisState {
+                                        step,
+                                        flag,
+                                        decision,
+                                        candidate,
+                                        coin,
+                                        evaluate,
+                                        detect_id,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    fn name(&self) -> &'static str {
+        "AlgMIS"
+    }
+}
+
+/// The full AlgMIS algorithm: the MIS host wrapped in module Restart.
+pub type AlgMis = WithRestart<MisHost>;
+
+/// Convenience constructor for [`AlgMis`].
+pub fn alg_mis(diameter_bound: usize) -> AlgMis {
+    WithRestart::new(MisHost::new(diameter_bound), diameter_bound)
+}
+
+/// The MIS task checker: the set of nodes outputting `true` must be independent and
+/// maximal (every `false`/undecided node has a `true` neighbor), and — being a static
+/// task — outputs must not change after stabilization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisChecker;
+
+impl MisChecker {
+    /// Checks an explicit membership vector (`true` = in the set) for independence
+    /// and maximality on `graph`. Shared by the checker and by tests.
+    pub fn check_membership(graph: &Graph, in_set: &[bool]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for &(u, v) in graph.edges() {
+            if in_set[u] && in_set[v] {
+                violations.push(format!("independence violated: adjacent nodes {u} and {v} are both IN"));
+            }
+        }
+        for v in graph.nodes() {
+            if !in_set[v] && !graph.neighbors(v).iter().any(|&u| in_set[u]) {
+                violations.push(format!("maximality violated: node {v} is OUT with no IN neighbor"));
+            }
+        }
+        violations
+    }
+}
+
+impl TaskChecker<AlgMis> for MisChecker {
+    fn check_snapshot(&self, graph: &Graph, config: &[RestartState<MisState>]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut in_set = vec![false; config.len()];
+        for (v, state) in config.iter().enumerate() {
+            match state {
+                RestartState::Restart(i) => {
+                    violations.push(format!("node {v} is inside Restart (σ({i}))"));
+                }
+                RestartState::Host(s) => match s.decision {
+                    Decision::Undecided => {
+                        violations.push(format!("node {v} is still undecided"))
+                    }
+                    Decision::In => in_set[v] = true,
+                    Decision::Out => {}
+                },
+            }
+        }
+        if violations.is_empty() {
+            violations.extend(Self::check_membership(graph, &in_set));
+        }
+        violations
+    }
+
+    fn check_window(&self, _graph: &Graph, output_changes: &[u64], _rounds: u64) -> Vec<String> {
+        output_changes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| format!("static output of node {v} changed {c} times after stabilization"))
+            .collect()
+    }
+
+    fn task_name(&self) -> &'static str {
+        "maximal-independent-set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::checker::measure_static_stabilization;
+    use sa_model::executor::{Execution, ExecutionBuilder};
+    use sa_model::graph::Graph;
+    use sa_model::scheduler::SynchronousScheduler;
+
+    fn all_decided_and_valid(graph: &Graph, config: &[RestartState<MisState>]) -> bool {
+        MisChecker.check_snapshot(graph, config).is_empty()
+    }
+
+    #[test]
+    fn initial_state_is_fresh() {
+        let host = MisHost::new(3);
+        let s = host.initial_state();
+        assert_eq!(s.step, 0);
+        assert!(s.flag);
+        assert_eq!(s.decision, Decision::Undecided);
+        assert!(s.candidate);
+        assert_eq!(s.detect_id, 0);
+        assert_eq!(host.output(&s), None);
+    }
+
+    #[test]
+    fn output_maps_decisions() {
+        let host = MisHost::new(2);
+        let mut s = host.initial_state();
+        s.decision = Decision::In;
+        assert_eq!(host.output(&s), Some(true));
+        s.decision = Decision::Out;
+        assert_eq!(host.output(&s), Some(false));
+    }
+
+    #[test]
+    fn step_mismatch_triggers_restart() {
+        let host = MisHost::new(3);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.flag = false;
+        a.step = 0;
+        let mut b = a;
+        b.step = 4;
+        let sig = Signal::from_states(vec![a, b]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn out_node_without_in_neighbor_restarts() {
+        let host = MisHost::new(2);
+        let mut rng = rand::thread_rng();
+        let mut out = host.initial_state();
+        out.decision = Decision::Out;
+        let undecided = host.initial_state();
+        let sig = Signal::from_states(vec![out, undecided]);
+        assert_eq!(host.step(&out, &sig, &mut rng), HostOutcome::Restart);
+    }
+
+    #[test]
+    fn in_node_sensing_other_identifier_restarts() {
+        let host = MisHost::new(2);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.decision = Decision::In;
+        a.detect_id = 1;
+        let mut b = a;
+        b.detect_id = 2;
+        let sig = Signal::from_states(vec![a, b]);
+        assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
+        // the same identifier is not detected (constant-probability detection)
+        let sig = Signal::from_states(vec![a, a]);
+        assert!(matches!(host.step(&a, &sig, &mut rng), HostOutcome::Continue(_)));
+    }
+
+    #[test]
+    fn in_nodes_keep_nonzero_identifiers() {
+        let host = MisHost::new(2);
+        let mut rng = rand::thread_rng();
+        let mut a = host.initial_state();
+        a.decision = Decision::In;
+        a.detect_id = 3;
+        a.flag = false;
+        a.step = 1;
+        let sig = Signal::from_states(vec![a]);
+        match host.step(&a, &sig, &mut rng) {
+            HostOutcome::Continue(next) => {
+                assert_ne!(next.detect_id, 0);
+                assert_eq!(next.decision, Decision::In);
+            }
+            HostOutcome::Restart => panic!("unexpected restart"),
+        }
+    }
+
+    #[test]
+    fn deterministic_suffix_wave_and_phase_turnover() {
+        // with the flag already cleared everywhere, steps rise in lockstep and the
+        // phase wraps around at D + 2
+        let host = MisHost::new(1); // last step = 3
+        let mut rng = rand::thread_rng();
+        let mut s = host.initial_state();
+        s.flag = false;
+        s.step = 3;
+        s.decision = Decision::In;
+        s.detect_id = 1;
+        let sig = Signal::from_states(vec![s]);
+        match host.step(&s, &sig, &mut rng) {
+            HostOutcome::Continue(next) => {
+                assert_eq!(next.step, 0);
+                assert!(next.flag, "a fresh phase restores the random prefix");
+                assert!(next.candidate);
+                assert_eq!(next.decision, Decision::In, "decisions persist across phases");
+            }
+            HostOutcome::Restart => panic!("unexpected restart"),
+        }
+    }
+
+    #[test]
+    fn checker_validates_membership() {
+        let g = Graph::path(4);
+        assert!(MisChecker::check_membership(&g, &[true, false, true, false]).is_empty());
+        // adjacent INs
+        assert!(!MisChecker::check_membership(&g, &[true, true, false, true]).is_empty());
+        // non-maximal: node 3 is OUT without any IN neighbor
+        assert!(!MisChecker::check_membership(&g, &[true, false, false, false]).is_empty());
+    }
+
+    #[test]
+    fn solves_mis_on_small_graphs_from_fresh_start() {
+        for (gi, graph) in [
+            Graph::complete(6),
+            Graph::path(7),
+            Graph::cycle(8),
+            Graph::star(7),
+            Graph::grid(3, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let d = graph.diameter();
+            let alg = alg_mis(d.max(1));
+            let init = vec![RestartState::Host(alg.host().initial_state()); graph.node_count()];
+            let mut exec = Execution::new(&alg, graph, init, 1234 + gi as u64);
+            let mut sched = SynchronousScheduler;
+            let report = measure_static_stabilization(&mut exec, &mut sched, &MisChecker, 600, 50);
+            assert!(
+                report.stabilization_round.is_some(),
+                "graph {gi}: {report:?}"
+            );
+            assert!(all_decided_and_valid(graph, exec.configuration()));
+        }
+    }
+
+    #[test]
+    fn self_stabilizes_from_adversarial_configurations() {
+        // Random garbage states (including Restart fragments and bogus decided nodes)
+        // must still converge to a correct MIS under the synchronous schedule.
+        use sa_model::algorithm::StateSpace;
+        let graph = Graph::grid(3, 4);
+        let d = graph.diameter();
+        let alg = alg_mis(d);
+        let palette = alg.states();
+        for seed in 0..5u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .random_initial(&palette);
+            let mut sched = SynchronousScheduler;
+            let report =
+                measure_static_stabilization(&mut exec, &mut sched, &MisChecker, 1500, 100);
+            assert!(
+                report.stabilization_round.is_some(),
+                "seed {seed}: {report:?}"
+            );
+            assert!(all_decided_and_valid(&graph, exec.configuration()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The algorithm abstraction: randomized finite state machines driven by signals.
+//!
+//! A distributed task `T` over output values `O` is solved by an algorithm
+//! `Π = ⟨Q, Q_O, ω, δ⟩` where `Q` is the state set, `Q_O ⊆ Q` the output states,
+//! `ω : Q_O → O` the output map and `δ : Q × {0,1}^Q → 2^Q` the (randomized) state
+//! transition function. The next state of an activated node is drawn uniformly from
+//! `δ(q, S_v)`; deterministic algorithms simply return singletons.
+//!
+//! In this crate the transition function is expressed as a method that receives the
+//! current state, the node's [`Signal`] and a random number generator, and returns
+//! the next state. The RNG stands in for the uniform choice from `δ(q, S_v)`; a
+//! deterministic algorithm ignores it.
+
+use crate::signal::Signal;
+use rand::RngCore;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A stone-age algorithm: an anonymous randomized finite state machine.
+///
+/// Implementations must be **anonymous and size-uniform**: the transition may depend
+/// only on the node's own state and its signal, never on node identity, the number of
+/// nodes or neighbor multiplicities (the [`Signal`] type makes the latter impossible
+/// to observe).
+pub trait Algorithm {
+    /// The state set `Q`. States are compared, hashed and ordered so that signals and
+    /// configuration snapshots can be built efficiently.
+    type State: Clone + Eq + Ord + Hash + Debug;
+
+    /// The output value set `O` of the task the algorithm solves.
+    type Output: Clone + Eq + Debug;
+
+    /// The output map `ω`: returns `Some(o)` when the state is an output state and
+    /// `None` otherwise.
+    fn output(&self, state: &Self::State) -> Option<Self::Output>;
+
+    /// The transition function `δ` applied at an activation.
+    ///
+    /// `signal` always contains the node's own state (the neighborhood is inclusive).
+    /// Deterministic algorithms ignore `rng`.
+    fn transition(
+        &self,
+        state: &Self::State,
+        signal: &Signal<Self::State>,
+        rng: &mut dyn RngCore,
+    ) -> Self::State;
+
+    /// Human-readable algorithm name, used in traces and experiment reports.
+    fn name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// Algorithms with an enumerable state space.
+///
+/// The paper's headline claim about AlgAU is that `|Q| = O(D)`; implementing this
+/// trait lets the experiment harness *count* states (experiment E2) and lets tests
+/// exhaustively check transition tables (experiment E1).
+pub trait StateSpace: Algorithm {
+    /// Enumerates every state in `Q`, without duplicates.
+    fn states(&self) -> Vec<Self::State>;
+
+    /// The size of the state space `|Q|`.
+    fn state_count(&self) -> usize {
+        self.states().len()
+    }
+
+    /// Enumerates the output states `Q_O`.
+    fn output_states(&self) -> Vec<Self::State> {
+        self.states()
+            .into_iter()
+            .filter(|s| self.output(s).is_some())
+            .collect()
+    }
+}
+
+/// A white-box predicate identifying *legitimate* configurations.
+///
+/// Self-stabilization proofs argue that (1) from any configuration the system reaches
+/// a legitimate configuration (convergence) and (2) legitimate configurations are
+/// preserved and satisfy the task (closure). Implementations expose the legitimacy
+/// predicate used in the paper's analysis — e.g. "the graph is *good*" for AlgAU
+/// (Lemma 2.10/2.18) — so the executor can *measure* stabilization time instead of
+/// guessing it from outputs.
+pub trait LegitimacyOracle<A: Algorithm> {
+    /// Returns `true` if the configuration is legitimate on `graph`.
+    fn is_legitimate(&self, graph: &crate::graph::Graph, config: &[A::State]) -> bool;
+}
+
+impl<A: Algorithm, F> LegitimacyOracle<A> for F
+where
+    F: Fn(&crate::graph::Graph, &[A::State]) -> bool,
+{
+    fn is_legitimate(&self, graph: &crate::graph::Graph, config: &[A::State]) -> bool {
+        self(graph, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// A deterministic 3-state cyclic counter that advances when it senses its own
+    /// successor is absent. Used only to exercise the trait plumbing.
+    struct Mod3;
+    impl Algorithm for Mod3 {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            (*s < 3).then_some(*s)
+        }
+        fn transition(&self, s: &u8, signal: &Signal<u8>, _rng: &mut dyn RngCore) -> u8 {
+            let next = (s + 1) % 3;
+            if signal.senses(&next) {
+                *s
+            } else {
+                next
+            }
+        }
+        fn name(&self) -> &'static str {
+            "mod3"
+        }
+    }
+    impl StateSpace for Mod3 {
+        fn states(&self) -> Vec<u8> {
+            vec![0, 1, 2, 3]
+        }
+    }
+
+    #[test]
+    fn output_states_filtering() {
+        let alg = Mod3;
+        assert_eq!(alg.state_count(), 4);
+        assert_eq!(alg.output_states(), vec![0, 1, 2]);
+        assert_eq!(alg.output(&3), None);
+        assert_eq!(alg.output(&1), Some(1));
+    }
+
+    #[test]
+    fn transition_uses_signal() {
+        let alg = Mod3;
+        let mut rng = rand::thread_rng();
+        let sig = Signal::from_states(vec![0u8, 1]);
+        // successor of 0 is 1, which is sensed -> stay
+        assert_eq!(alg.transition(&0, &sig, &mut rng), 0);
+        // successor of 1 is 2, not sensed -> advance
+        assert_eq!(alg.transition(&1, &sig, &mut rng), 2);
+    }
+
+    #[test]
+    fn closure_oracle_from_fn() {
+        let oracle = |_: &Graph, cfg: &[u8]| cfg.iter().all(|s| *s < 3);
+        let g = Graph::complete(3);
+        assert!(LegitimacyOracle::<Mod3>::is_legitimate(
+            &oracle,
+            &g,
+            &[0, 1, 2]
+        ));
+        assert!(!LegitimacyOracle::<Mod3>::is_legitimate(
+            &oracle,
+            &g,
+            &[0, 3, 2]
+        ));
+    }
+
+    #[test]
+    fn default_name_is_type_name() {
+        struct Anon;
+        impl Algorithm for Anon {
+            type State = u8;
+            type Output = u8;
+            fn output(&self, s: &u8) -> Option<u8> {
+                Some(*s)
+            }
+            fn transition(&self, s: &u8, _: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+                *s
+            }
+        }
+        assert!(Algorithm::name(&Anon).contains("Anon"));
+        assert_eq!(Algorithm::name(&Mod3), "mod3");
+    }
+}

@@ -1,0 +1,620 @@
+//! The execution engine: steps, rounds (the ϱ operator) and stabilization runs.
+//!
+//! An execution starts from an (adversarially chosen) initial configuration
+//! `C_0 : V → Q`. At step `t` the scheduler activates a set `A_t`; every activated
+//! node observes its signal under `C_t` and moves to the state returned by the
+//! transition function, **simultaneously** — non-activated nodes keep their state:
+//! `C_{t+1}(v) = C_t(v)` for `v ∉ A_t`.
+//!
+//! Time is measured in *rounds* via the ϱ operator of §1.1 of the paper: given a time
+//! `t`, `ϱ(t)` is the earliest time such that every node is activated at least once in
+//! `[t, ϱ(t))`. The executor tracks `R(i) = ϱ^i(0)` exactly: [`Execution::rounds`]
+//! returns the largest `i` with `R(i) ≤ now`.
+
+use crate::algorithm::{Algorithm, LegitimacyOracle};
+use crate::graph::{Graph, NodeId};
+use crate::signal::Signal;
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result of a single execution step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The step index that was just executed (the configuration is now `C_{time+1}`).
+    pub time: u64,
+    /// Whether this step completed an asynchronous round (`ϱ` fired).
+    pub round_completed: bool,
+    /// Nodes whose state actually changed in this step.
+    pub changed: Vec<NodeId>,
+}
+
+/// Outcome of [`Execution::run_until_legitimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilizationOutcome {
+    /// The legitimacy predicate first held at the given round / step.
+    Stabilized {
+        /// Round count `i` such that the configuration at `R(i)` was legitimate.
+        rounds: u64,
+        /// Step count at which legitimacy was first observed.
+        steps: u64,
+    },
+    /// The round budget was exhausted before the predicate held.
+    Exhausted {
+        /// The round budget that was exhausted.
+        rounds: u64,
+    },
+}
+
+impl StabilizationOutcome {
+    /// Rounds to stabilization, or `None` if the run did not stabilize.
+    pub fn rounds(&self) -> Option<u64> {
+        match self {
+            StabilizationOutcome::Stabilized { rounds, .. } => Some(*rounds),
+            StabilizationOutcome::Exhausted { .. } => None,
+        }
+    }
+
+    /// Whether the run stabilized within its budget.
+    pub fn is_stabilized(&self) -> bool {
+        matches!(self, StabilizationOutcome::Stabilized { .. })
+    }
+}
+
+/// A running (or finished) execution of an algorithm on a graph.
+pub struct Execution<'a, A: Algorithm> {
+    algorithm: &'a A,
+    graph: &'a Graph,
+    config: Vec<A::State>,
+    time: u64,
+    rounds: u64,
+    /// `pending[v]` is true while node `v` has not yet been activated in the current
+    /// round.
+    pending: Vec<bool>,
+    pending_count: usize,
+    activation_counts: Vec<u64>,
+    state_change_counts: Vec<u64>,
+    output_change_counts: Vec<u64>,
+    rng: StdRng,
+    trace: Option<Trace<A::State>>,
+    scratch_active: Vec<bool>,
+}
+
+impl<'a, A: Algorithm> Execution<'a, A> {
+    /// Creates an execution from an explicit initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the number of nodes, or if the graph is
+    /// empty.
+    pub fn new(algorithm: &'a A, graph: &'a Graph, initial: Vec<A::State>, seed: u64) -> Self {
+        assert!(graph.node_count() > 0, "cannot execute on an empty graph");
+        assert_eq!(
+            initial.len(),
+            graph.node_count(),
+            "initial configuration size must match the node count"
+        );
+        let n = graph.node_count();
+        Execution {
+            algorithm,
+            graph,
+            config: initial,
+            time: 0,
+            rounds: 0,
+            pending: vec![true; n],
+            pending_count: n,
+            activation_counts: vec![0; n],
+            state_change_counts: vec![0; n],
+            output_change_counts: vec![0; n],
+            rng: StdRng::seed_from_u64(seed),
+            trace: None,
+            scratch_active: vec![false; n],
+        }
+    }
+
+    /// Enables trace recording (see [`Trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new(self.config.clone()));
+        }
+    }
+
+    /// Returns the recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace<A::State>> {
+        self.trace.as_ref()
+    }
+
+    /// The graph the execution runs on.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The algorithm being executed.
+    pub fn algorithm(&self) -> &A {
+        self.algorithm
+    }
+
+    /// The current configuration `C_t` (indexed by node id).
+    pub fn configuration(&self) -> &[A::State] {
+        &self.config
+    }
+
+    /// The state of a single node.
+    pub fn state(&self, v: NodeId) -> &A::State {
+        &self.config[v]
+    }
+
+    /// The current step counter `t`.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The number of completed asynchronous rounds (largest `i` with `R(i) ≤ t`).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Per-node activation counts since the start of the execution.
+    pub fn activation_counts(&self) -> &[u64] {
+        &self.activation_counts
+    }
+
+    /// Per-node counts of steps in which the node's state changed.
+    pub fn state_change_counts(&self) -> &[u64] {
+        &self.state_change_counts
+    }
+
+    /// Per-node counts of steps in which the node's *output value* changed
+    /// (transitions between output and non-output states count as changes).
+    pub fn output_change_counts(&self) -> &[u64] {
+        &self.output_change_counts
+    }
+
+    /// Resets the per-node output-change counters (used by liveness checkers that
+    /// count clock increments over a window) and returns the previous values.
+    pub fn take_output_change_counts(&mut self) -> Vec<u64> {
+        std::mem::replace(&mut self.output_change_counts, vec![0; self.config.len()])
+    }
+
+    /// The output vector `ω ∘ C_t`, or `None` if some node is in a non-output state.
+    pub fn output_vector(&self) -> Option<Vec<A::Output>> {
+        self.config.iter().map(|s| self.algorithm.output(s)).collect()
+    }
+
+    /// The signal of node `v` under the current configuration.
+    pub fn signal(&self, v: NodeId) -> Signal<A::State> {
+        let mut sig = Signal::empty();
+        sig.insert(self.config[v].clone());
+        for &u in self.graph.neighbors(v) {
+            sig.insert(self.config[u].clone());
+        }
+        sig
+    }
+
+    /// Overwrites the state of node `v` — a *transient fault* (or an adversarial
+    /// re-initialization). Resets nothing else; the round bookkeeping is unaffected.
+    pub fn corrupt(&mut self, v: NodeId, state: A::State) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent::Fault {
+                time: self.time,
+                node: v,
+                state: state.clone(),
+            });
+        }
+        self.config[v] = state;
+    }
+
+    /// Executes one step with the activation set chosen by `scheduler`.
+    pub fn step_with<S: crate::scheduler::Scheduler>(&mut self, scheduler: &mut S) -> StepOutcome {
+        let active = scheduler.activations(self.graph, self.time, &mut self.rng);
+        self.step(&active)
+    }
+
+    /// Executes one step with an explicit activation set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is empty or contains an out-of-range node.
+    pub fn step(&mut self, active: &[NodeId]) -> StepOutcome {
+        assert!(!active.is_empty(), "activation set must be non-empty");
+        let n = self.config.len();
+        // Deduplicate and validate via the scratch bitmap.
+        for flag in self.scratch_active.iter_mut() {
+            *flag = false;
+        }
+        for &v in active {
+            assert!(v < n, "activated node {v} out of range");
+            self.scratch_active[v] = true;
+        }
+
+        // Compute the new states of activated nodes from the *current* configuration.
+        let mut updates: Vec<(NodeId, A::State)> = Vec::with_capacity(active.len());
+        for v in 0..n {
+            if !self.scratch_active[v] {
+                continue;
+            }
+            let sig = self.signal(v);
+            let next = self.algorithm.transition(&self.config[v], &sig, &mut self.rng);
+            updates.push((v, next));
+        }
+
+        // Apply simultaneously and update bookkeeping.
+        let mut changed = Vec::new();
+        for (v, next) in updates {
+            self.activation_counts[v] += 1;
+            if self.pending[v] {
+                self.pending[v] = false;
+                self.pending_count -= 1;
+            }
+            if next != self.config[v] {
+                self.state_change_counts[v] += 1;
+                if self.algorithm.output(&next) != self.algorithm.output(&self.config[v]) {
+                    self.output_change_counts[v] += 1;
+                }
+                if let Some(trace) = &mut self.trace {
+                    trace.record(TraceEvent::Transition {
+                        time: self.time,
+                        node: v,
+                        from: self.config[v].clone(),
+                        to: next.clone(),
+                    });
+                }
+                self.config[v] = next;
+                changed.push(v);
+            }
+        }
+
+        let executed_time = self.time;
+        self.time += 1;
+
+        let round_completed = self.pending_count == 0;
+        if round_completed {
+            self.rounds += 1;
+            self.pending.iter_mut().for_each(|p| *p = true);
+            self.pending_count = n;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent::RoundBoundary {
+                    time: self.time,
+                    round: self.rounds,
+                });
+            }
+        }
+
+        StepOutcome {
+            time: executed_time,
+            round_completed,
+            changed,
+        }
+    }
+
+    /// Runs complete rounds under `scheduler` until `count` additional rounds have
+    /// elapsed, and returns the number of steps that took.
+    pub fn run_rounds<S: crate::scheduler::Scheduler>(
+        &mut self,
+        scheduler: &mut S,
+        count: u64,
+    ) -> u64 {
+        let target = self.rounds + count;
+        let start_steps = self.time;
+        while self.rounds < target {
+            self.step_with(scheduler);
+        }
+        self.time - start_steps
+    }
+
+    /// Runs until the legitimacy predicate holds (checked at every round boundary and
+    /// at time 0), or until `max_rounds` rounds have elapsed.
+    ///
+    /// Returns the number of rounds after which the predicate first held. Note that
+    /// per the paper's definition the stabilization time is the smallest `i` such that
+    /// the execution has stabilized by `R(i)`; checking at round boundaries matches
+    /// that definition.
+    pub fn run_until_legitimate<S, O>(
+        &mut self,
+        scheduler: &mut S,
+        oracle: &O,
+        max_rounds: u64,
+    ) -> StabilizationOutcome
+    where
+        S: crate::scheduler::Scheduler,
+        O: LegitimacyOracle<A>,
+    {
+        if oracle.is_legitimate(self.graph, &self.config) {
+            return StabilizationOutcome::Stabilized {
+                rounds: self.rounds,
+                steps: self.time,
+            };
+        }
+        let budget_end = self.rounds + max_rounds;
+        while self.rounds < budget_end {
+            let outcome = self.step_with(scheduler);
+            if outcome.round_completed && oracle.is_legitimate(self.graph, &self.config) {
+                return StabilizationOutcome::Stabilized {
+                    rounds: self.rounds,
+                    steps: self.time,
+                };
+            }
+        }
+        StabilizationOutcome::Exhausted { rounds: max_rounds }
+    }
+}
+
+/// Builder for [`Execution`] supporting random initial configurations and tracing.
+pub struct ExecutionBuilder<'a, A: Algorithm> {
+    algorithm: &'a A,
+    graph: &'a Graph,
+    seed: u64,
+    trace: bool,
+}
+
+impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
+    /// Starts building an execution of `algorithm` on `graph`.
+    pub fn new(algorithm: &'a A, graph: &'a Graph) -> Self {
+        ExecutionBuilder {
+            algorithm,
+            graph,
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// Sets the RNG seed (both for the algorithm's coins and for schedulers driven
+    /// through [`Execution::step_with`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Finishes the builder with an explicit initial configuration.
+    pub fn initial(self, initial: Vec<A::State>) -> Execution<'a, A> {
+        let mut exec = Execution::new(self.algorithm, self.graph, initial, self.seed);
+        if self.trace {
+            exec.enable_trace();
+        }
+        exec
+    }
+
+    /// Finishes the builder with the same initial state at every node.
+    pub fn uniform(self, state: A::State) -> Execution<'a, A> {
+        let n = self.graph.node_count();
+        self.initial(vec![state; n])
+    }
+
+    /// Finishes the builder drawing every node's initial state uniformly at random
+    /// from `candidates` (the adversary's "arbitrary initial configuration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn random_initial(self, candidates: &[A::State]) -> Execution<'a, A> {
+        assert!(!candidates.is_empty(), "need at least one candidate state");
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let init: Vec<A::State> = (0..self.graph.node_count())
+            .map(|_| candidates[rng.gen_range(0..candidates.len())].clone())
+            .collect();
+        self.initial(init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{
+        CentralScheduler, RoundRobinScheduler, ScriptedScheduler, SynchronousScheduler,
+    };
+    use rand::RngCore;
+
+    /// "Infection" toy algorithm: become 1 if any neighbor is 1.
+    struct Spread;
+    impl Algorithm for Spread {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, sig: &Signal<u8>, _rng: &mut dyn RngCore) -> u8 {
+            if *s == 1 || sig.senses(&1) {
+                1
+            } else {
+                0
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_round_equals_step() {
+        let g = Graph::path(4);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0, 0], 1);
+        let mut sched = SynchronousScheduler;
+        let out = exec.step_with(&mut sched);
+        assert!(out.round_completed);
+        assert_eq!(exec.rounds(), 1);
+        assert_eq!(exec.time(), 1);
+    }
+
+    #[test]
+    fn spread_reaches_everyone_in_diameter_rounds() {
+        let g = Graph::path(6);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0, 0, 0, 0], 1);
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 5);
+        assert!(exec.configuration().iter().all(|s| *s == 1));
+    }
+
+    #[test]
+    fn round_robin_round_takes_n_steps() {
+        let g = Graph::complete(5);
+        let mut exec = Execution::new(&Spread, &g, vec![0; 5], 3);
+        let mut sched = RoundRobinScheduler::default();
+        let steps = exec.run_rounds(&mut sched, 2);
+        assert_eq!(steps, 10);
+        assert_eq!(exec.rounds(), 2);
+    }
+
+    #[test]
+    fn central_scheduler_rounds_are_fair() {
+        let g = Graph::path(4);
+        let mut exec = Execution::new(&Spread, &g, vec![0; 4], 5);
+        let mut sched = CentralScheduler;
+        exec.run_rounds(&mut sched, 3);
+        // every node activated at least 3 times over 3 rounds
+        assert!(exec.activation_counts().iter().all(|&c| c >= 3));
+    }
+
+    #[test]
+    fn non_activated_nodes_keep_their_state() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0], 0);
+        exec.step(&[2]); // node 2 has no neighbor in state 1 yet
+        assert_eq!(exec.configuration(), &[1, 0, 0]);
+        exec.step(&[1]); // node 1 senses node 0
+        assert_eq!(exec.configuration(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn updates_are_simultaneous_within_a_step() {
+        // Both endpoints of an edge read C_t before either update is applied.
+        struct Swap;
+        impl Algorithm for Swap {
+            type State = u8;
+            type Output = u8;
+            fn output(&self, s: &u8) -> Option<u8> {
+                Some(*s)
+            }
+            fn transition(&self, s: &u8, sig: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+                // adopt the other value if it is sensed
+                let other = 1 - *s;
+                if sig.senses(&other) {
+                    other
+                } else {
+                    *s
+                }
+            }
+        }
+        let g = Graph::path(2);
+        let mut exec = Execution::new(&Swap, &g, vec![0, 1], 0);
+        exec.step(&[0, 1]);
+        // both read the old configuration, so they swap (not converge)
+        assert_eq!(exec.configuration(), &[1, 0]);
+    }
+
+    #[test]
+    fn output_change_counts_track_changes() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0], 0);
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 3);
+        assert_eq!(exec.output_change_counts(), &[0, 1, 1]);
+        let taken = exec.take_output_change_counts();
+        assert_eq!(taken, vec![0, 1, 1]);
+        assert_eq!(exec.output_change_counts(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn corrupt_overrides_state() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![0, 0, 0], 0);
+        exec.corrupt(1, 1);
+        assert_eq!(exec.state(1), &1);
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 2);
+        assert!(exec.configuration().iter().all(|s| *s == 1));
+    }
+
+    #[test]
+    fn run_until_legitimate_measures_rounds() {
+        let g = Graph::path(5);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0, 0, 0], 0);
+        let mut sched = SynchronousScheduler;
+        let oracle = |_: &Graph, cfg: &[u8]| cfg.iter().all(|s| *s == 1);
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 100);
+        assert_eq!(outcome.rounds(), Some(4));
+        assert!(outcome.is_stabilized());
+    }
+
+    #[test]
+    fn run_until_legitimate_exhausts_budget() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![0, 0, 0], 0);
+        let mut sched = SynchronousScheduler;
+        let oracle = |_: &Graph, cfg: &[u8]| cfg.iter().all(|s| *s == 1);
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 10);
+        assert!(!outcome.is_stabilized());
+        assert_eq!(outcome.rounds(), None);
+    }
+
+    #[test]
+    fn run_until_legitimate_detects_initial_legitimacy() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 1, 1], 0);
+        let mut sched = SynchronousScheduler;
+        let oracle = |_: &Graph, cfg: &[u8]| cfg.iter().all(|s| *s == 1);
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 10);
+        assert_eq!(outcome.rounds(), Some(0));
+    }
+
+    #[test]
+    fn builder_uniform_and_random() {
+        let g = Graph::complete(4);
+        let exec = ExecutionBuilder::new(&Spread, &g).seed(9).uniform(0);
+        assert_eq!(exec.configuration(), &[0, 0, 0, 0]);
+        let exec2 = ExecutionBuilder::new(&Spread, &g)
+            .seed(9)
+            .random_initial(&[0, 1]);
+        assert_eq!(exec2.configuration().len(), 4);
+        // deterministic given the seed
+        let exec3 = ExecutionBuilder::new(&Spread, &g)
+            .seed(9)
+            .random_initial(&[0, 1]);
+        assert_eq!(exec2.configuration(), exec3.configuration());
+    }
+
+    #[test]
+    fn scripted_scheduler_replays_in_execution() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0], 0);
+        let mut sched = ScriptedScheduler::one_at_a_time(vec![1, 2, 0]);
+        exec.step_with(&mut sched);
+        assert_eq!(exec.configuration(), &[1, 1, 0]);
+        exec.step_with(&mut sched);
+        assert_eq!(exec.configuration(), &[1, 1, 1]);
+        assert_eq!(exec.rounds(), 0);
+        exec.step_with(&mut sched);
+        assert_eq!(exec.rounds(), 1);
+    }
+
+    #[test]
+    fn trace_records_transitions_and_rounds() {
+        let g = Graph::path(3);
+        let mut exec = ExecutionBuilder::new(&Spread, &g)
+            .trace(true)
+            .initial(vec![1, 0, 0]);
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 2);
+        let trace = exec.trace().expect("tracing enabled");
+        assert!(trace.transition_count() >= 2);
+        assert_eq!(trace.round_boundaries().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_activation_set_panics() {
+        let g = Graph::path(2);
+        let mut exec = Execution::new(&Spread, &g, vec![0, 0], 0);
+        exec.step(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must match")]
+    fn mismatched_initial_configuration_panics() {
+        let g = Graph::path(3);
+        let _ = Execution::new(&Spread, &g, vec![0, 0], 0);
+    }
+}

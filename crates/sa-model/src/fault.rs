@@ -1,0 +1,296 @@
+//! Transient fault injection.
+//!
+//! Self-stabilization is exactly the guarantee of recovery from *transient* faults:
+//! a fault arbitrarily corrupts the states of some nodes, after which the system must
+//! converge back to a legitimate configuration on its own. This module provides fault
+//! *plans* (when and whom to corrupt) and an injector that applies them to a running
+//! [`Execution`](crate::executor::Execution).
+
+use crate::algorithm::Algorithm;
+use crate::executor::Execution;
+use crate::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// When and how many nodes to corrupt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlan {
+    /// No faults at all.
+    None,
+    /// Corrupt `count` distinct random nodes exactly once, at round `at_round`.
+    Burst {
+        /// Round at which the burst strikes.
+        at_round: u64,
+        /// Number of nodes corrupted.
+        count: usize,
+    },
+    /// At every round boundary, corrupt each node independently with probability
+    /// `per_node_rate` (a memoryless environmental noise process).
+    Continuous {
+        /// Per-node, per-round corruption probability.
+        per_node_rate: f64,
+    },
+    /// Corrupt `count` random nodes every `period` rounds (first strike at round
+    /// `period`).
+    Periodic {
+        /// Number of rounds between strikes.
+        period: u64,
+        /// Number of nodes corrupted per strike.
+        count: usize,
+    },
+}
+
+/// Applies a [`FaultPlan`] to an execution, drawing corrupted states uniformly from a
+/// caller-provided palette (typically the algorithm's full state set, so the fault can
+/// produce *any* configuration).
+#[derive(Debug)]
+pub struct FaultInjector<S> {
+    plan: FaultPlan,
+    palette: Vec<S>,
+    rng: StdRng,
+    faults_injected: u64,
+    last_round_seen: u64,
+}
+
+impl<S: Clone> FaultInjector<S> {
+    /// Creates an injector for `plan`, drawing corrupted states from `palette`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette` is empty or if a plan parameter is out of range
+    /// (`per_node_rate` not in `[0, 1]`, `period == 0`).
+    pub fn new(plan: FaultPlan, palette: Vec<S>, seed: u64) -> Self {
+        assert!(!palette.is_empty(), "fault palette must not be empty");
+        match &plan {
+            FaultPlan::Continuous { per_node_rate } => {
+                assert!(
+                    (0.0..=1.0).contains(per_node_rate),
+                    "per_node_rate must be in [0, 1]"
+                );
+            }
+            FaultPlan::Periodic { period, .. } => {
+                assert!(*period > 0, "period must be positive");
+            }
+            _ => {}
+        }
+        FaultInjector {
+            plan,
+            palette,
+            rng: StdRng::seed_from_u64(seed),
+            faults_injected: 0,
+            last_round_seen: 0,
+        }
+    }
+
+    /// Total number of node corruptions injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn random_state(&mut self) -> S {
+        let i = self.rng.gen_range(0..self.palette.len());
+        self.palette[i].clone()
+    }
+
+    fn corrupt_random_nodes<A>(&mut self, exec: &mut Execution<'_, A>, count: usize) -> Vec<NodeId>
+    where
+        A: Algorithm<State = S>,
+        S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
+    {
+        let n = exec.graph().node_count();
+        let count = count.min(n);
+        // sample `count` distinct nodes
+        let mut nodes: Vec<NodeId> = (0..n).collect();
+        for i in 0..count {
+            let j = self.rng.gen_range(i..n);
+            nodes.swap(i, j);
+        }
+        let victims: Vec<NodeId> = nodes[..count].to_vec();
+        for &v in &victims {
+            let s = self.random_state();
+            exec.corrupt(v, s);
+            self.faults_injected += 1;
+        }
+        victims
+    }
+
+    /// Call once per completed round (i.e. whenever a step reports
+    /// `round_completed == true`, or at a known round boundary). Applies whatever the
+    /// plan dictates for the round that just completed and returns the corrupted
+    /// nodes.
+    pub fn on_round<A>(&mut self, exec: &mut Execution<'_, A>) -> Vec<NodeId>
+    where
+        A: Algorithm<State = S>,
+        S: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug,
+    {
+        let round = exec.rounds();
+        self.last_round_seen = round;
+        match self.plan.clone() {
+            FaultPlan::None => Vec::new(),
+            FaultPlan::Burst { at_round, count } => {
+                if round == at_round {
+                    self.corrupt_random_nodes(exec, count)
+                } else {
+                    Vec::new()
+                }
+            }
+            FaultPlan::Continuous { per_node_rate } => {
+                let n = exec.graph().node_count();
+                let mut victims = Vec::new();
+                for v in 0..n {
+                    if self.rng.gen_bool(per_node_rate) {
+                        let s = self.random_state();
+                        exec.corrupt(v, s);
+                        self.faults_injected += 1;
+                        victims.push(v);
+                    }
+                }
+                victims
+            }
+            FaultPlan::Periodic { period, count } => {
+                if round > 0 && round % period == 0 {
+                    self.corrupt_random_nodes(exec, count)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::Algorithm;
+    use crate::graph::Graph;
+    use crate::scheduler::SynchronousScheduler;
+    use crate::signal::Signal;
+    use rand::RngCore;
+
+    struct Identity;
+    impl Algorithm for Identity {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, _: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+            *s
+        }
+    }
+
+    fn run_rounds_with_faults(plan: FaultPlan, rounds: u64, seed: u64) -> (Vec<u8>, u64) {
+        let g = Graph::complete(6);
+        let alg = Identity;
+        let mut exec = Execution::new(&alg, &g, vec![0u8; 6], seed);
+        let mut sched = SynchronousScheduler;
+        let mut injector = FaultInjector::new(plan, vec![1u8, 2, 3], seed);
+        for _ in 0..rounds {
+            let out = exec.step_with(&mut sched);
+            if out.round_completed {
+                injector.on_round(&mut exec);
+            }
+        }
+        (exec.configuration().to_vec(), injector.faults_injected())
+    }
+
+    #[test]
+    fn none_plan_never_corrupts() {
+        let (cfg, count) = run_rounds_with_faults(FaultPlan::None, 20, 1);
+        assert_eq!(count, 0);
+        assert!(cfg.iter().all(|s| *s == 0));
+    }
+
+    #[test]
+    fn burst_corrupts_once() {
+        let (cfg, count) = run_rounds_with_faults(
+            FaultPlan::Burst {
+                at_round: 3,
+                count: 4,
+            },
+            20,
+            2,
+        );
+        assert_eq!(count, 4);
+        assert_eq!(cfg.iter().filter(|s| **s != 0).count(), 4);
+    }
+
+    #[test]
+    fn burst_count_is_clamped_to_n() {
+        let (_cfg, count) = run_rounds_with_faults(
+            FaultPlan::Burst {
+                at_round: 1,
+                count: 100,
+            },
+            5,
+            3,
+        );
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn periodic_strikes_repeatedly() {
+        let (_cfg, count) = run_rounds_with_faults(
+            FaultPlan::Periodic {
+                period: 5,
+                count: 2,
+            },
+            20,
+            4,
+        );
+        assert_eq!(count, 2 * 4); // rounds 5, 10, 15, 20
+    }
+
+    #[test]
+    fn continuous_rate_zero_is_silent_and_one_hits_everyone() {
+        let (_cfg, silent) = run_rounds_with_faults(
+            FaultPlan::Continuous { per_node_rate: 0.0 },
+            10,
+            5,
+        );
+        assert_eq!(silent, 0);
+        let (_cfg, loud) = run_rounds_with_faults(
+            FaultPlan::Continuous { per_node_rate: 1.0 },
+            10,
+            6,
+        );
+        assert_eq!(loud, 60);
+    }
+
+    #[test]
+    fn corrupted_states_come_from_palette() {
+        let (cfg, _) = run_rounds_with_faults(
+            FaultPlan::Burst {
+                at_round: 1,
+                count: 6,
+            },
+            3,
+            7,
+        );
+        assert!(cfg.iter().all(|s| [1u8, 2, 3].contains(s)));
+    }
+
+    #[test]
+    #[should_panic(expected = "palette must not be empty")]
+    fn empty_palette_panics() {
+        let _ = FaultInjector::<u8>::new(FaultPlan::None, vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 0,
+                count: 1,
+            },
+            vec![0u8],
+            0,
+        );
+    }
+}

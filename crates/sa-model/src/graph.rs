@@ -1,0 +1,408 @@
+//! Finite, connected, undirected graphs.
+//!
+//! The stone age model is defined over a finite connected undirected graph
+//! `G = (V, E)`. This module provides an adjacency-list representation together with
+//! the graph-theoretic helpers the algorithms and the analysis need: neighborhoods,
+//! BFS distances, diameter, connectivity checks and shortest paths.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node identifiers exist only at the *simulator* level (to index configurations and
+/// to drive schedules); the algorithms themselves never observe them — the SA model is
+/// anonymous.
+pub type NodeId = usize;
+
+/// A finite undirected graph stored as adjacency lists.
+///
+/// Self-loops and parallel edges are rejected. Most constructors in
+/// [`topology`](crate::topology) guarantee connectivity; [`Graph::is_connected`]
+/// checks it explicitly.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    ///
+    /// Note that a graph with more than one node and no edges is not connected; add
+    /// edges with [`Graph::add_edge`] before running an execution on it.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a graph from an explicit edge list over nodes `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, if an edge is a self-loop, or if an edge
+    /// appears twice.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`, if either endpoint is out of range, or if the edge already
+    /// exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self-loops are not allowed ({u})");
+        assert!(
+            u < self.node_count() && v < self.node_count(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count()
+        );
+        assert!(
+            !self.adjacency[u].contains(&v),
+            "duplicate edge ({u}, {v})"
+        );
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        let e = if u < v { (u, v) } else { (v, u) };
+        self.edges.push(e);
+    }
+
+    /// Returns `true` if the undirected edge `(u, v)` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency.get(u).is_some_and(|adj| adj.contains(&v))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count()
+    }
+
+    /// The undirected edge list (each edge appears once, with `u < v`).
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// The (exclusive) neighborhood `N(v)`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[v]
+    }
+
+    /// The inclusive neighborhood `N⁺(v) = N(v) ∪ {v}`.
+    pub fn inclusive_neighbors(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.adjacency[v].len() + 1);
+        out.push(v);
+        out.extend_from_slice(&self.adjacency[v]);
+        out
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// BFS distances from `source` to every node; unreachable nodes get `usize::MAX`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.node_count()];
+        let mut queue = VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &w in &self.adjacency[u] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph distance `dist_G(u, v)`, or `None` if `v` is unreachable from `u`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let d = self.bfs_distances(u)[v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// A shortest path from `u` to `v` (inclusive of both endpoints), or `None` if
+    /// unreachable.
+    pub fn shortest_path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        let mut prev = vec![usize::MAX; self.node_count()];
+        let mut dist = vec![usize::MAX; self.node_count()];
+        let mut queue = VecDeque::new();
+        dist[u] = 0;
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            if x == v {
+                break;
+            }
+            for &w in &self.adjacency[x] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[x] + 1;
+                    prev[w] = x;
+                    queue.push_back(w);
+                }
+            }
+        }
+        if dist[v] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Whether the graph is connected (the single-node graph is connected; the empty
+    /// graph is not).
+    pub fn is_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return false;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The diameter of the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not connected (the diameter would be infinite).
+    pub fn diameter(&self) -> usize {
+        assert!(self.is_connected(), "diameter of a disconnected graph");
+        let mut diam = 0;
+        for v in self.nodes() {
+            let ecc = self
+                .bfs_distances(v)
+                .into_iter()
+                .max()
+                .expect("non-empty graph");
+            diam = diam.max(ecc);
+        }
+        diam
+    }
+
+    /// The eccentricity of `v` (largest distance to any node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not connected.
+    pub fn eccentricity(&self, v: NodeId) -> usize {
+        let d = self.bfs_distances(v);
+        assert!(
+            d.iter().all(|&x| x != usize::MAX),
+            "eccentricity in a disconnected graph"
+        );
+        d.into_iter().max().unwrap_or(0)
+    }
+
+    /// Nodes within distance `radius` of `v` (the ball `B(v, radius)`), including `v`.
+    pub fn ball(&self, v: NodeId, radius: usize) -> Vec<NodeId> {
+        self.bfs_distances(v)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, d)| d <= radius)
+            .map(|(u, _)| u)
+            .collect()
+    }
+
+    // ---- Convenience constructors (thin wrappers around `topology`) -----------
+
+    /// Path graph `P_n` (diameter `n − 1`).
+    pub fn path(n: usize) -> Self {
+        crate::topology::Topology::Path { n }.build_deterministic()
+    }
+
+    /// Cycle graph `C_n` (diameter `⌊n/2⌋`).
+    pub fn cycle(n: usize) -> Self {
+        crate::topology::Topology::Cycle { n }.build_deterministic()
+    }
+
+    /// Complete graph `K_n` (diameter 1).
+    pub fn complete(n: usize) -> Self {
+        crate::topology::Topology::Complete { n }.build_deterministic()
+    }
+
+    /// Star graph with one hub and `n − 1` leaves (diameter 2).
+    pub fn star(n: usize) -> Self {
+        crate::topology::Topology::Star { n }.build_deterministic()
+    }
+
+    /// `rows × cols` grid (diameter `rows + cols − 2`).
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        crate::topology::Topology::Grid { rows, cols }.build_deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn single_node_is_connected_with_diameter_zero() {
+        let g = Graph::empty(1);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 0);
+    }
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let mut g = Graph::empty(3);
+        g.add_edge(0, 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::empty(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_panics() {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::empty(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn path_distances_and_diameter() {
+        let g = Graph::path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.distance(0, 4), Some(4));
+        assert_eq!(g.distance(2, 2), Some(0));
+        assert_eq!(g.diameter(), 4);
+        assert_eq!(g.eccentricity(2), 2);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half() {
+        assert_eq!(Graph::cycle(8).diameter(), 4);
+        assert_eq!(Graph::cycle(7).diameter(), 3);
+        assert_eq!(Graph::cycle(3).diameter(), 1);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = Graph::complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.diameter(), 1);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let g = Graph::star(10);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = Graph::grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.diameter(), 5);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = Graph::grid(3, 3);
+        let p = g.shortest_path(0, 8).expect("connected");
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&8));
+        assert_eq!(p.len(), g.distance(0, 8).unwrap() + 1);
+        // consecutive nodes on the path are adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = Graph::empty(3);
+        assert!(g.shortest_path(0, 2).is_none());
+        assert_eq!(g.distance(0, 2), None);
+    }
+
+    #[test]
+    fn inclusive_neighborhood_contains_self() {
+        let g = Graph::path(4);
+        let n1 = g.inclusive_neighbors(1);
+        assert!(n1.contains(&1));
+        assert!(n1.contains(&0));
+        assert!(n1.contains(&2));
+        assert_eq!(n1.len(), 3);
+    }
+
+    #[test]
+    fn ball_grows_with_radius() {
+        let g = Graph::path(7);
+        assert_eq!(g.ball(3, 0), vec![3]);
+        assert_eq!(g.ball(3, 1).len(), 3);
+        assert_eq!(g.ball(3, 3).len(), 7);
+    }
+
+    #[test]
+    fn from_edges_builds_expected_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.diameter(), 2);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! Summary statistics used by the experiment harness.
+//!
+//! The paper's randomized bounds hold "in expectation and with high probability"; the
+//! experiments therefore repeat every configuration across many seeds and report
+//! mean, max and percentiles. This module provides the small, dependency-free
+//! statistics helpers those reports are built from.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of (round-count) measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let count = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / count as f64;
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean,
+            median: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Computes the summary of integer samples (convenience for round counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let floats: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&floats)
+    }
+}
+
+/// Percentile (nearest-rank with linear interpolation) of an already-sorted sample.
+fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Ordinary least squares fit of `y = a + b·x`, returning `(a, b, r²)`.
+///
+/// Used by the experiments to check claimed growth shapes, e.g. regressing measured
+/// stabilization rounds against `D³` (experiment E3) or `D·log n` (E6).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    let b = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let a = mean_y - b * mean_x;
+    let r2 = if sxx == 0.0 || syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    (a, b, r2)
+}
+
+/// A single row of an experiment table, serializable so the harness can persist raw
+/// results as JSON alongside the rendered table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRow {
+    /// Experiment identifier (e.g. "E3").
+    pub experiment: String,
+    /// Topology label.
+    pub topology: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Diameter bound used by the algorithm.
+    pub diameter_bound: usize,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Label of the measured quantity (e.g. "rounds-to-good").
+    pub metric: String,
+    /// Summary over seeds.
+    pub summary: Summary,
+    /// Number of runs that failed to stabilize within the budget.
+    pub failures: usize,
+}
+
+/// Renders rows as a fixed-width text table (one line per row), suitable for
+/// inclusion in EXPERIMENTS.md.
+pub fn render_table(rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<20} {:>6} {:>4} {:<20} {:<22} {:>10} {:>10} {:>10} {:>8}\n",
+        "exp", "topology", "n", "D", "scheduler", "metric", "mean", "max", "p95", "fail"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<20} {:>6} {:>4} {:<20} {:<22} {:>10.1} {:>10.1} {:>10.1} {:>8}\n",
+            r.experiment,
+            r.topology,
+            r.n,
+            r.diameter_bound,
+            r.scheduler,
+            r.metric,
+            r.summary.mean,
+            r.summary.max,
+            r.summary.p95,
+            r.failures
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn summary_basic_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_u64() {
+        let s = Summary::of_u64(&[10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+    }
+
+    #[test]
+    fn p95_of_uniform_ramp() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&data);
+        assert!((s.p95 - 95.05).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_r2_low_for_noise_like_data() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = vec![5.0, -5.0, 5.0, -5.0, 5.0, -5.0];
+        let (_a, _b, r2) = linear_fit(&xs, &ys);
+        assert!(r2 < 0.5);
+    }
+
+    #[test]
+    fn render_table_contains_rows() {
+        let rows = vec![ExperimentRow {
+            experiment: "E3".to_string(),
+            topology: "path-8".to_string(),
+            n: 8,
+            diameter_bound: 7,
+            scheduler: "synchronous".to_string(),
+            metric: "rounds-to-good".to_string(),
+            summary: Summary::of(&[10.0, 12.0]),
+            failures: 0,
+        }];
+        let table = render_table(&rows);
+        assert!(table.contains("E3"));
+        assert!(table.contains("path-8"));
+        assert!(table.lines().count() == 2);
+    }
+
+    #[test]
+    fn experiment_row_roundtrips_through_json() {
+        let row = ExperimentRow {
+            experiment: "E2".to_string(),
+            topology: "complete-4".to_string(),
+            n: 4,
+            diameter_bound: 1,
+            scheduler: "central".to_string(),
+            metric: "states".to_string(),
+            summary: Summary::of(&[18.0]),
+            failures: 0,
+        };
+        let json = serde_json::to_string(&row).expect("serialize");
+        let back: ExperimentRow = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, row);
+    }
+}

@@ -1,0 +1,332 @@
+//! Schedulers — the adversarial activation daemons of the SA model.
+//!
+//! The execution of an SA algorithm progresses in discrete steps. At step `t` the
+//! adversary activates a subset `A_t ⊆ V` of nodes; the only restriction is
+//! *fairness*: every node must be activated infinitely often. The paper measures
+//! stabilization time in *rounds* (the ϱ operator of §1.1): a round is the shortest
+//! prefix of steps in which every node is activated at least once.
+//!
+//! The adversary is **oblivious to coin tosses** (it may know the algorithm and the
+//! topology, but not the random choices made during the execution). All schedulers
+//! here satisfy that restriction: their choices depend only on the step counter, the
+//! topology and their own RNG — never on the configuration.
+
+use crate::graph::{Graph, NodeId};
+use rand::Rng;
+use rand::RngCore;
+
+/// A fair activation daemon.
+///
+/// Implementations must guarantee fairness: over an infinite run, every node is
+/// activated infinitely often. (All built-in schedulers activate every node at least
+/// once every `O(n)` steps.)
+pub trait Scheduler {
+    /// Chooses the set of nodes activated at step `time`. Must be non-empty.
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId>;
+
+    /// Human-readable scheduler name for reports.
+    fn name(&self) -> &'static str {
+        std::any::type_name::<Self>()
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        (**self).activations(graph, time, rng)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// The synchronous schedule: `A_t = V` for every step.
+///
+/// Under this scheduler every step is a round (`R(i) = i`), which is the setting of
+/// the synchronous algorithms AlgLE and AlgMIS (Theorems 1.3 and 1.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynchronousScheduler;
+
+impl Scheduler for SynchronousScheduler {
+    fn activations(&mut self, graph: &Graph, _time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        graph.nodes().collect()
+    }
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+}
+
+/// Activates each node independently with probability `p` at every step (at least one
+/// node is always activated, chosen uniformly if the coin flips all came up empty).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRandomScheduler {
+    /// Per-node activation probability, in `(0, 1]`.
+    pub p: f64,
+}
+
+impl UniformRandomScheduler {
+    /// Creates a scheduler with per-node activation probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0, 1]");
+        UniformRandomScheduler { p }
+    }
+}
+
+impl Default for UniformRandomScheduler {
+    fn default() -> Self {
+        UniformRandomScheduler { p: 0.5 }
+    }
+}
+
+impl Scheduler for UniformRandomScheduler {
+    fn activations(&mut self, graph: &Graph, _time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let mut active: Vec<NodeId> = graph
+            .nodes()
+            .filter(|_| rng.gen_bool(self.p))
+            .collect();
+        if active.is_empty() {
+            active.push(rng.gen_range(0..graph.node_count()));
+        }
+        active
+    }
+    fn name(&self) -> &'static str {
+        "uniform-random"
+    }
+}
+
+/// The central daemon: activates exactly one node per step, chosen uniformly at
+/// random. The weakest concurrency, and the one that maximizes the number of *steps*
+/// per round (a round takes Θ(n log n) steps in expectation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CentralScheduler;
+
+impl Scheduler for CentralScheduler {
+    fn activations(&mut self, graph: &Graph, _time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        vec![rng.gen_range(0..graph.node_count())]
+    }
+    fn name(&self) -> &'static str {
+        "central"
+    }
+}
+
+/// Activates one node per step in a fixed cyclic order `0, 1, …, n−1, 0, …`.
+///
+/// Deterministic and fair; every round takes exactly `n` steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn activations(&mut self, graph: &Graph, _time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let v = self.cursor % graph.node_count();
+        self.cursor = (self.cursor + 1) % graph.node_count();
+        vec![v]
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// An adversarial scheduler that starves a chosen set of "laggard" nodes for as long
+/// as the fairness window allows.
+///
+/// In every window of `window` steps the scheduler activates only the non-laggard
+/// nodes (all of them, every step) for the first `window − 1` steps and then
+/// activates *everyone* on the last step of the window. This maximizes the skew
+/// between fast and slow nodes while keeping the schedule fair (every node is
+/// activated at least once per `window` steps, so a round lasts at most `window`
+/// steps). It is oblivious: the laggard set is fixed up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversarialLaggardScheduler {
+    laggards: Vec<NodeId>,
+    window: u64,
+}
+
+impl AdversarialLaggardScheduler {
+    /// Creates a scheduler that starves `laggards` within fairness windows of length
+    /// `window` (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(laggards: Vec<NodeId>, window: u64) -> Self {
+        assert!(window >= 1, "fairness window must be at least 1");
+        AdversarialLaggardScheduler { laggards, window }
+    }
+
+    /// Convenience constructor: starve a single node.
+    pub fn starving(node: NodeId, window: u64) -> Self {
+        Self::new(vec![node], window)
+    }
+}
+
+impl Scheduler for AdversarialLaggardScheduler {
+    fn activations(&mut self, graph: &Graph, time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let last_of_window = (time + 1) % self.window == 0;
+        if last_of_window || self.laggards.len() >= graph.node_count() {
+            graph.nodes().collect()
+        } else {
+            graph
+                .nodes()
+                .filter(|v| !self.laggards.contains(v))
+                .collect()
+        }
+    }
+    fn name(&self) -> &'static str {
+        "adversarial-laggard"
+    }
+}
+
+/// Replays a fixed, explicitly given activation sequence, then repeats it forever.
+///
+/// Used to reproduce the hand-crafted executions of the paper (e.g. the live-lock of
+/// Appendix A, Figure 2, which activates `v_{t−1}` at step `t`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedScheduler {
+    script: Vec<Vec<NodeId>>,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scheduler that cycles through `script` (one entry per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script is empty or contains an empty activation set.
+    pub fn new(script: Vec<Vec<NodeId>>) -> Self {
+        assert!(!script.is_empty(), "script must not be empty");
+        assert!(
+            script.iter().all(|a| !a.is_empty()),
+            "every scripted step must activate at least one node"
+        );
+        ScriptedScheduler { script }
+    }
+
+    /// A script that activates one node per step following `order`, cyclically.
+    pub fn one_at_a_time(order: Vec<NodeId>) -> Self {
+        Self::new(order.into_iter().map(|v| vec![v]).collect())
+    }
+
+    /// Length of one script period in steps.
+    pub fn period(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn activations(&mut self, _graph: &Graph, time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        self.script[(time as usize) % self.script.len()].clone()
+    }
+    fn name(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn synchronous_activates_everyone() {
+        let g = Graph::path(5);
+        let mut s = SynchronousScheduler;
+        let acts = s.activations(&g, 0, &mut rng());
+        assert_eq!(acts.len(), 5);
+    }
+
+    #[test]
+    fn central_activates_exactly_one() {
+        let g = Graph::path(5);
+        let mut s = CentralScheduler;
+        let mut r = rng();
+        for t in 0..50 {
+            assert_eq!(s.activations(&g, t, &mut r).len(), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_random_never_empty() {
+        let g = Graph::path(4);
+        let mut s = UniformRandomScheduler::new(0.01);
+        let mut r = rng();
+        for t in 0..200 {
+            assert!(!s.activations(&g, t, &mut r).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn uniform_random_rejects_zero() {
+        UniformRandomScheduler::new(0.0);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_all_nodes() {
+        let g = Graph::path(3);
+        let mut s = RoundRobinScheduler::default();
+        let mut r = rng();
+        let seq: Vec<_> = (0..6).map(|t| s.activations(&g, t, &mut r)[0]).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn laggard_is_starved_until_window_end() {
+        let g = Graph::path(4);
+        let mut s = AdversarialLaggardScheduler::starving(3, 5);
+        let mut r = rng();
+        for t in 0..4 {
+            let acts = s.activations(&g, t, &mut r);
+            assert!(!acts.contains(&3), "laggard activated too early at {t}");
+        }
+        let acts = s.activations(&g, 4, &mut r);
+        assert!(acts.contains(&3), "laggard must be activated at window end");
+        assert_eq!(acts.len(), 4);
+    }
+
+    #[test]
+    fn laggard_scheduler_is_fair_over_windows() {
+        let g = Graph::complete(6);
+        let mut s = AdversarialLaggardScheduler::new(vec![0, 1], 7);
+        let mut r = rng();
+        let mut counts = vec![0usize; 6];
+        for t in 0..70 {
+            for v in s.activations(&g, t, &mut r) {
+                counts[v] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c >= 10), "{counts:?}");
+    }
+
+    #[test]
+    fn scripted_replays_and_wraps() {
+        let g = Graph::path(3);
+        let mut s = ScriptedScheduler::one_at_a_time(vec![2, 0, 1]);
+        let mut r = rng();
+        assert_eq!(s.period(), 3);
+        assert_eq!(s.activations(&g, 0, &mut r), vec![2]);
+        assert_eq!(s.activations(&g, 1, &mut r), vec![0]);
+        assert_eq!(s.activations(&g, 2, &mut r), vec![1]);
+        assert_eq!(s.activations(&g, 3, &mut r), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "script must not be empty")]
+    fn scripted_rejects_empty_script() {
+        ScriptedScheduler::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn scripted_rejects_empty_step() {
+        ScriptedScheduler::new(vec![vec![0], vec![]]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Signals — what a node can sense about its neighborhood.
+//!
+//! In the SA model the signal of node `v` under configuration `C` is the binary
+//! vector `S_v ∈ {0,1}^Q` with `S_v(q) = 1` iff some node in the inclusive
+//! neighborhood `N⁺(v)` resides in state `q`. A node can therefore tell *which*
+//! states appear around it, but not *how many* neighbors hold each state nor *which*
+//! neighbor holds it.
+//!
+//! [`Signal`] represents this vector sparsely as the set of sensed states.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The set of states sensed by a node in its inclusive neighborhood.
+///
+/// This is the only information an [`Algorithm`](crate::algorithm::Algorithm) receives
+/// about the rest of the graph; constructing it from a configuration is the
+/// executor's job.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signal<S: Ord> {
+    sensed: BTreeSet<S>,
+}
+
+impl<S: Ord + fmt::Debug> fmt::Debug for Signal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.sensed.iter()).finish()
+    }
+}
+
+impl<S: Ord> Default for Signal<S> {
+    fn default() -> Self {
+        Signal {
+            sensed: BTreeSet::new(),
+        }
+    }
+}
+
+impl<S: Ord> Signal<S> {
+    /// Creates an empty signal (senses nothing).
+    ///
+    /// An empty signal never occurs in a real execution — a node always senses at
+    /// least its own state — but is convenient in tests.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a signal from the states present in a neighborhood.
+    pub fn from_states<I: IntoIterator<Item = S>>(states: I) -> Self {
+        Signal {
+            sensed: states.into_iter().collect(),
+        }
+    }
+
+    /// Returns `true` iff state `q` is sensed (appears at least once in `N⁺(v)`).
+    pub fn senses(&self, q: &S) -> bool {
+        self.sensed.contains(q)
+    }
+
+    /// Returns `true` iff some sensed state satisfies `pred`.
+    pub fn senses_any<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
+        self.sensed.iter().any(pred)
+    }
+
+    /// Returns `true` iff every sensed state satisfies `pred`.
+    pub fn all<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
+        self.sensed.iter().all(pred)
+    }
+
+    /// Iterates over the sensed states in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &S> {
+        self.sensed.iter()
+    }
+
+    /// Number of distinct sensed states.
+    pub fn len(&self) -> usize {
+        self.sensed.len()
+    }
+
+    /// Whether nothing is sensed.
+    pub fn is_empty(&self) -> bool {
+        self.sensed.is_empty()
+    }
+
+    /// Inserts a state into the signal (used by the executor and by tests).
+    pub fn insert(&mut self, q: S) {
+        self.sensed.insert(q);
+    }
+
+    /// Maps every sensed state through `f`, producing the signal of the images.
+    ///
+    /// This is how composed algorithms (e.g. the synchronizer of Corollary 1.2)
+    /// derive the signal a *component* would have seen from the signal of the
+    /// *composite* states.
+    pub fn map<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Signal<T> {
+        Signal {
+            sensed: self.sensed.iter().map(f).collect(),
+        }
+    }
+
+    /// Keeps only the sensed states satisfying `pred` and maps them through `f`.
+    pub fn filter_map<T: Ord, F: FnMut(&S) -> Option<T>>(&self, f: F) -> Signal<T> {
+        Signal {
+            sensed: self.sensed.iter().filter_map(f).collect(),
+        }
+    }
+
+    /// Returns the minimum sensed value of `f` over all sensed states, if any state is
+    /// sensed.
+    pub fn min_by_key<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Option<T> {
+        self.sensed.iter().map(f).min()
+    }
+
+    /// Returns the maximum sensed value of `f` over all sensed states, if any state is
+    /// sensed.
+    pub fn max_by_key<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Option<T> {
+        self.sensed.iter().map(f).max()
+    }
+}
+
+impl<S: Ord> FromIterator<S> for Signal<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Signal::from_states(iter)
+    }
+}
+
+impl<S: Ord> Extend<S> for Signal<S> {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        self.sensed.extend(iter);
+    }
+}
+
+impl<'a, S: Ord> IntoIterator for &'a Signal<S> {
+    type Item = &'a S;
+    type IntoIter = std::collections::btree_set::Iter<'a, S>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.sensed.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let sig = Signal::from_states(vec![3, 3, 3, 1]);
+        assert_eq!(sig.len(), 2);
+        assert!(sig.senses(&3));
+        assert!(sig.senses(&1));
+        assert!(!sig.senses(&2));
+    }
+
+    #[test]
+    fn empty_signal() {
+        let sig: Signal<u8> = Signal::empty();
+        assert!(sig.is_empty());
+        assert!(!sig.senses(&0));
+        assert_eq!(sig.min_by_key(|s| *s), None);
+    }
+
+    #[test]
+    fn senses_any_and_all() {
+        let sig = Signal::from_states(vec![2, 4, 6]);
+        assert!(sig.senses_any(|s| *s > 5));
+        assert!(!sig.senses_any(|s| *s > 6));
+        assert!(sig.all(|s| s % 2 == 0));
+        assert!(!sig.all(|s| *s < 6));
+    }
+
+    #[test]
+    fn map_collapses_images() {
+        let sig = Signal::from_states(vec![1, 2, 3, 4]);
+        let parity = sig.map(|s| s % 2);
+        assert_eq!(parity.len(), 2);
+        assert!(parity.senses(&0));
+        assert!(parity.senses(&1));
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let sig = Signal::from_states(vec![1, 2, 3, 4]);
+        let evens = sig.filter_map(|s| (s % 2 == 0).then_some(*s));
+        assert_eq!(evens.len(), 2);
+        assert!(evens.senses(&2));
+        assert!(!evens.senses(&1));
+    }
+
+    #[test]
+    fn min_max_by_key() {
+        let sig = Signal::from_states(vec![5, 9, 1]);
+        assert_eq!(sig.min_by_key(|s| *s), Some(1));
+        assert_eq!(sig.max_by_key(|s| *s), Some(9));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let sig = Signal::from_states(vec![9, 1, 5]);
+        let collected: Vec<_> = sig.iter().copied().collect();
+        assert_eq!(collected, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut sig: Signal<u32> = (0..3).collect();
+        sig.extend(vec![10, 11]);
+        assert_eq!(sig.len(), 5);
+        assert!(sig.senses(&11));
+    }
+}

@@ -1,0 +1,414 @@
+//! Bounded-diameter topology generators.
+//!
+//! The paper targets the class of `D`-bounded-diameter graphs, motivated as a natural
+//! extension of complete graphs ("environmental obstacles may disconnect some links in
+//! an otherwise fully connected network"). The generators here cover the standard
+//! families used in the experiments: complete graphs, stars, paths, cycles, grids,
+//! tori, hypercubes, balanced trees, Erdős–Rényi graphs conditioned on connectivity,
+//! and "damaged cliques" (complete graphs with a fraction of edges removed while
+//! keeping the diameter below a bound).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A declarative description of a graph topology.
+///
+/// Deterministic topologies can be built with [`Topology::build_deterministic`];
+/// randomized ones need a seed via [`Topology::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Topology {
+    /// Path graph `P_n`.
+    Path {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Cycle graph `C_n` (requires `n ≥ 3`).
+    Cycle {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Complete graph `K_n`.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// Star: node 0 is the hub, all others are leaves (requires `n ≥ 2`).
+    Star {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// 2-dimensional grid.
+    Grid {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// 2-dimensional torus (grid with wrap-around edges; requires `rows, cols ≥ 3`).
+    Torus {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Hypercube of dimension `dim` (`2^dim` nodes).
+    Hypercube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// Complete `arity`-ary tree of the given `depth` (depth 0 is a single node).
+    BalancedTree {
+        /// Branching factor (≥ 1).
+        arity: usize,
+        /// Depth of the tree.
+        depth: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`, re-sampled until connected.
+    ErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+    },
+    /// A complete graph from which each edge is removed independently with
+    /// probability `drop`, re-sampled until the diameter is at most `max_diameter`.
+    ///
+    /// This models the paper's motivating scenario: a broadcast network in which
+    /// environmental obstacles sever some links.
+    DamagedClique {
+        /// Number of nodes.
+        n: usize,
+        /// Probability that an edge is removed.
+        drop: f64,
+        /// Upper bound on the resulting diameter.
+        max_diameter: usize,
+    },
+    /// `clusters` cliques of size `clique`, arranged in a ring with one bridge edge
+    /// between consecutive cliques ("relaxed caveman" — small diameter clusters with
+    /// a sparse backbone).
+    Caveman {
+        /// Number of cliques.
+        clusters: usize,
+        /// Size of each clique (≥ 1).
+        clique: usize,
+    },
+}
+
+impl Topology {
+    /// Builds the graph, using `seed` for randomized families.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate (see the per-variant requirements) or
+    /// if a randomized family fails to produce a connected graph within 1000 retries.
+    pub fn build(&self, seed: u64) -> Graph {
+        match self {
+            Topology::Path { n } => {
+                assert!(*n >= 1);
+                let mut g = Graph::empty(*n);
+                for v in 1..*n {
+                    g.add_edge(v - 1, v);
+                }
+                g
+            }
+            Topology::Cycle { n } => {
+                assert!(*n >= 3, "a cycle needs at least 3 nodes");
+                let mut g = Graph::empty(*n);
+                for v in 0..*n {
+                    g.add_edge(v, (v + 1) % n);
+                }
+                g
+            }
+            Topology::Complete { n } => {
+                assert!(*n >= 1);
+                let mut g = Graph::empty(*n);
+                for u in 0..*n {
+                    for v in (u + 1)..*n {
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            }
+            Topology::Star { n } => {
+                assert!(*n >= 2, "a star needs at least 2 nodes");
+                let mut g = Graph::empty(*n);
+                for v in 1..*n {
+                    g.add_edge(0, v);
+                }
+                g
+            }
+            Topology::Grid { rows, cols } => {
+                assert!(*rows >= 1 && *cols >= 1);
+                let idx = |r: usize, c: usize| r * cols + c;
+                let mut g = Graph::empty(rows * cols);
+                for r in 0..*rows {
+                    for c in 0..*cols {
+                        if c + 1 < *cols {
+                            g.add_edge(idx(r, c), idx(r, c + 1));
+                        }
+                        if r + 1 < *rows {
+                            g.add_edge(idx(r, c), idx(r + 1, c));
+                        }
+                    }
+                }
+                g
+            }
+            Topology::Torus { rows, cols } => {
+                assert!(*rows >= 3 && *cols >= 3, "torus needs rows, cols ≥ 3");
+                let idx = |r: usize, c: usize| r * cols + c;
+                let mut g = Graph::empty(rows * cols);
+                for r in 0..*rows {
+                    for c in 0..*cols {
+                        g.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+                        g.add_edge(idx(r, c), idx((r + 1) % rows, c));
+                    }
+                }
+                g
+            }
+            Topology::Hypercube { dim } => {
+                let n = 1usize << dim;
+                let mut g = Graph::empty(n);
+                for v in 0..n {
+                    for b in 0..*dim {
+                        let u = v ^ (1 << b);
+                        if u > v {
+                            g.add_edge(v, u);
+                        }
+                    }
+                }
+                g
+            }
+            Topology::BalancedTree { arity, depth } => {
+                assert!(*arity >= 1);
+                // number of nodes = 1 + a + a^2 + ... + a^depth
+                let mut count = 1usize;
+                let mut level = 1usize;
+                for _ in 0..*depth {
+                    level *= arity;
+                    count += level;
+                }
+                let mut g = Graph::empty(count);
+                // children of node i are a*i + 1 .. a*i + a (heap layout)
+                for v in 0..count {
+                    for c in 1..=*arity {
+                        let child = arity * v + c;
+                        if child < count {
+                            g.add_edge(v, child);
+                        }
+                    }
+                }
+                g
+            }
+            Topology::ErdosRenyi { n, p } => {
+                assert!(*n >= 1);
+                assert!((0.0..=1.0).contains(p));
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _attempt in 0..1000 {
+                    let mut g = Graph::empty(*n);
+                    for u in 0..*n {
+                        for v in (u + 1)..*n {
+                            if rng.gen_bool(*p) {
+                                g.add_edge(u, v);
+                            }
+                        }
+                    }
+                    if g.is_connected() {
+                        return g;
+                    }
+                }
+                panic!("G({n}, {p}) failed to produce a connected graph in 1000 attempts");
+            }
+            Topology::DamagedClique {
+                n,
+                drop,
+                max_diameter,
+            } => {
+                assert!(*n >= 2);
+                assert!((0.0..1.0).contains(drop));
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _attempt in 0..1000 {
+                    let mut g = Graph::empty(*n);
+                    for u in 0..*n {
+                        for v in (u + 1)..*n {
+                            if !rng.gen_bool(*drop) {
+                                g.add_edge(u, v);
+                            }
+                        }
+                    }
+                    if g.is_connected() && g.diameter() <= *max_diameter {
+                        return g;
+                    }
+                }
+                panic!(
+                    "damaged clique (n={n}, drop={drop}) failed to satisfy diameter ≤ {max_diameter}"
+                );
+            }
+            Topology::Caveman { clusters, clique } => {
+                assert!(*clusters >= 1 && *clique >= 1);
+                let n = clusters * clique;
+                let mut g = Graph::empty(n);
+                for k in 0..*clusters {
+                    let base = k * clique;
+                    for u in 0..*clique {
+                        for v in (u + 1)..*clique {
+                            g.add_edge(base + u, base + v);
+                        }
+                    }
+                }
+                if *clusters > 1 {
+                    for k in 0..*clusters {
+                        let next = (k + 1) % clusters;
+                        if *clusters == 2 && k == 1 {
+                            break; // avoid a duplicate bridge between the same pair
+                        }
+                        g.add_edge(k * clique, next * clique + (clique - 1) % clique);
+                    }
+                }
+                g
+            }
+        }
+    }
+
+    /// Builds a deterministic topology (no randomness involved).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a randomized family ([`Topology::ErdosRenyi`] or
+    /// [`Topology::DamagedClique`]); use [`Topology::build`] with a seed for those.
+    pub fn build_deterministic(&self) -> Graph {
+        match self {
+            Topology::ErdosRenyi { .. } | Topology::DamagedClique { .. } => {
+                panic!("randomized topology requires a seed; use Topology::build")
+            }
+            _ => self.build(0),
+        }
+    }
+
+    /// A short human-readable label used in experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            Topology::Path { n } => format!("path-{n}"),
+            Topology::Cycle { n } => format!("cycle-{n}"),
+            Topology::Complete { n } => format!("complete-{n}"),
+            Topology::Star { n } => format!("star-{n}"),
+            Topology::Grid { rows, cols } => format!("grid-{rows}x{cols}"),
+            Topology::Torus { rows, cols } => format!("torus-{rows}x{cols}"),
+            Topology::Hypercube { dim } => format!("hypercube-{dim}"),
+            Topology::BalancedTree { arity, depth } => format!("tree-{arity}ary-d{depth}"),
+            Topology::ErdosRenyi { n, p } => format!("gnp-{n}-{p}"),
+            Topology::DamagedClique { n, drop, .. } => format!("damaged-clique-{n}-{drop}"),
+            Topology::Caveman { clusters, clique } => format!("caveman-{clusters}x{clique}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = Topology::Path { n: 6 }.build_deterministic();
+        assert_eq!(p.edge_count(), 5);
+        assert_eq!(p.diameter(), 5);
+        let c = Topology::Cycle { n: 6 }.build_deterministic();
+        assert_eq!(c.edge_count(), 6);
+        assert_eq!(c.diameter(), 3);
+    }
+
+    #[test]
+    fn torus_is_regular_with_small_diameter() {
+        let t = Topology::Torus { rows: 4, cols: 5 }.build_deterministic();
+        assert_eq!(t.node_count(), 20);
+        assert!(t.nodes().all(|v| t.degree(v) == 4));
+        assert_eq!(t.diameter(), 4); // floor(4/2) + floor(5/2)
+    }
+
+    #[test]
+    fn hypercube_properties() {
+        let h = Topology::Hypercube { dim: 4 }.build_deterministic();
+        assert_eq!(h.node_count(), 16);
+        assert!(h.nodes().all(|v| h.degree(v) == 4));
+        assert_eq!(h.diameter(), 4);
+    }
+
+    #[test]
+    fn balanced_tree_counts_and_diameter() {
+        let t = Topology::BalancedTree { arity: 2, depth: 3 }.build_deterministic();
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(t.diameter(), 6);
+        let single = Topology::BalancedTree { arity: 3, depth: 0 }.build_deterministic();
+        assert_eq!(single.node_count(), 1);
+    }
+
+    #[test]
+    fn erdos_renyi_is_connected() {
+        let g = Topology::ErdosRenyi { n: 30, p: 0.2 }.build(11);
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 30);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_given_seed() {
+        let a = Topology::ErdosRenyi { n: 20, p: 0.3 }.build(5);
+        let b = Topology::ErdosRenyi { n: 20, p: 0.3 }.build(5);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn damaged_clique_respects_diameter_bound() {
+        let g = Topology::DamagedClique {
+            n: 20,
+            drop: 0.5,
+            max_diameter: 3,
+        }
+        .build(3);
+        assert!(g.is_connected());
+        assert!(g.diameter() <= 3);
+        assert!(g.edge_count() < 20 * 19 / 2);
+    }
+
+    #[test]
+    fn caveman_is_connected() {
+        let g = Topology::Caveman {
+            clusters: 4,
+            clique: 5,
+        }
+        .build_deterministic();
+        assert_eq!(g.node_count(), 20);
+        assert!(g.is_connected());
+        let single = Topology::Caveman {
+            clusters: 1,
+            clique: 4,
+        }
+        .build_deterministic();
+        assert_eq!(single.diameter(), 1);
+        let two = Topology::Caveman {
+            clusters: 2,
+            clique: 3,
+        }
+        .build_deterministic();
+        assert!(two.is_connected());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = vec![
+            Topology::Path { n: 4 }.label(),
+            Topology::Cycle { n: 4 }.label(),
+            Topology::Complete { n: 4 }.label(),
+            Topology::Star { n: 4 }.label(),
+            Topology::Grid { rows: 2, cols: 2 }.label(),
+        ];
+        let unique: std::collections::BTreeSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a seed")]
+    fn deterministic_build_rejects_random_families() {
+        Topology::ErdosRenyi { n: 5, p: 0.5 }.build_deterministic();
+    }
+}

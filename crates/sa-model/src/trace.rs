@@ -1,0 +1,192 @@
+//! Execution traces: a chronological record of transitions, faults and round
+//! boundaries, useful for debugging algorithms and for rendering example output.
+
+use crate::graph::NodeId;
+use std::fmt::Debug;
+
+/// A single recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent<S> {
+    /// A node changed state at the given step.
+    Transition {
+        /// Step index at which the transition was applied.
+        time: u64,
+        /// The node that transitioned.
+        node: NodeId,
+        /// State before the step.
+        from: S,
+        /// State after the step.
+        to: S,
+    },
+    /// A transient fault overwrote a node's state.
+    Fault {
+        /// Step index at which the fault was injected.
+        time: u64,
+        /// The corrupted node.
+        node: NodeId,
+        /// The state written by the fault.
+        state: S,
+    },
+    /// An asynchronous round completed.
+    RoundBoundary {
+        /// The step index marking the boundary (`R(round)`).
+        time: u64,
+        /// The number of rounds completed so far.
+        round: u64,
+    },
+}
+
+/// A chronological trace of an execution.
+#[derive(Debug, Clone)]
+pub struct Trace<S> {
+    initial: Vec<S>,
+    events: Vec<TraceEvent<S>>,
+}
+
+impl<S: Clone + Debug> Trace<S> {
+    /// Creates an empty trace starting from `initial`.
+    pub fn new(initial: Vec<S>) -> Self {
+        Trace {
+            initial,
+            events: Vec::new(),
+        }
+    }
+
+    /// The initial configuration the trace starts from.
+    pub fn initial_configuration(&self) -> &[S] {
+        &self.initial
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: TraceEvent<S>) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent<S>] {
+        &self.events
+    }
+
+    /// Number of state transitions recorded.
+    pub fn transition_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Transition { .. }))
+            .count()
+    }
+
+    /// Number of faults recorded.
+    pub fn fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fault { .. }))
+            .count()
+    }
+
+    /// The `(time, round)` pairs of all recorded round boundaries.
+    pub fn round_boundaries(&self) -> Vec<(u64, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RoundBoundary { time, round } => Some((*time, *round)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transitions experienced by one node, as `(time, from, to)` triples.
+    pub fn node_transitions(&self, node: NodeId) -> Vec<(u64, S, S)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Transition {
+                    time,
+                    node: n,
+                    from,
+                    to,
+                } if *n == node => Some((*time, from.clone(), to.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reconstructs the configuration after the first `prefix` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` exceeds the number of recorded events.
+    pub fn configuration_after(&self, prefix: usize) -> Vec<S> {
+        assert!(prefix <= self.events.len(), "prefix beyond trace length");
+        let mut config = self.initial.clone();
+        for event in &self.events[..prefix] {
+            match event {
+                TraceEvent::Transition { node, to, .. } => config[*node] = to.clone(),
+                TraceEvent::Fault { node, state, .. } => config[*node] = state.clone(),
+                TraceEvent::RoundBoundary { .. } => {}
+            }
+        }
+        config
+    }
+
+    /// Reconstructs the final configuration implied by the trace.
+    pub fn final_configuration(&self) -> Vec<S> {
+        self.configuration_after(self.events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace<u8> {
+        let mut t = Trace::new(vec![0, 0, 5]);
+        t.record(TraceEvent::Transition {
+            time: 0,
+            node: 1,
+            from: 0,
+            to: 2,
+        });
+        t.record(TraceEvent::RoundBoundary { time: 1, round: 1 });
+        t.record(TraceEvent::Fault {
+            time: 1,
+            node: 0,
+            state: 9,
+        });
+        t.record(TraceEvent::Transition {
+            time: 2,
+            node: 1,
+            from: 2,
+            to: 3,
+        });
+        t
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample_trace();
+        assert_eq!(t.transition_count(), 2);
+        assert_eq!(t.fault_count(), 1);
+        assert_eq!(t.round_boundaries(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn node_transitions_are_filtered() {
+        let t = sample_trace();
+        assert_eq!(t.node_transitions(1), vec![(0, 0, 2), (2, 2, 3)]);
+        assert!(t.node_transitions(2).is_empty());
+    }
+
+    #[test]
+    fn configuration_reconstruction() {
+        let t = sample_trace();
+        assert_eq!(t.configuration_after(0), vec![0, 0, 5]);
+        assert_eq!(t.configuration_after(1), vec![0, 2, 5]);
+        assert_eq!(t.final_configuration(), vec![9, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace length")]
+    fn prefix_out_of_range_panics() {
+        sample_trace().configuration_after(10);
+    }
+}

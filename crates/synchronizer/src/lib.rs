@@ -1,0 +1,523 @@
+//! # sa-synchronizer — from synchronous to asynchronous self-stabilization
+//!
+//! This crate implements Section 4 of Emek & Keren (PODC 2021): a self-stabilizing
+//! synchronizer for the stone age model, establishing Corollary 1.2. Given a
+//! *synchronous* self-stabilizing algorithm `Π = ⟨Q, Q_O, ω, δ⟩` (state space `g(D)`,
+//! stabilization time `f(n, D)`), the transformer produces an *asynchronous*
+//! self-stabilizing algorithm `Π*` with state space `O(D · g(D)²)` and stabilization
+//! time `f(n, D) + O(D³)`.
+//!
+//! The construction composes `Π` with the asynchronous unison algorithm
+//! [`AlgAu`](unison_core::AlgAu): the `Π*` state of a node is a triple
+//! `(q, q′, ν) ∈ Q × Q × T` holding the node's current simulated `Π`-state, its
+//! previous simulated `Π`-state and its AlgAU turn. AlgAU runs on the third
+//! coordinate; every time its clock advances (a type AA transition `ν → ν′`), one
+//! simulated synchronous step of `Π` is executed using the *simulated signal*: state
+//! `r ∈ Q` is simulated-sensed iff some neighbor exposes a `Π*`-state of the form
+//! `(r, ·, ν)` (a neighbor still in the same simulated round) or `(·, r, ν′)` (a
+//! neighbor that has already advanced past it).
+//!
+//! The headline applications are the **asynchronous** self-stabilizing LE and MIS
+//! algorithms obtained by transforming AlgLE and AlgMIS ([`async_le`], [`async_mis`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use sa_model::prelude::*;
+//! use sa_model::checker::measure_static_stabilization;
+//! use sa_synchronizer::async_mis;
+//!
+//! let graph = Graph::cycle(6);
+//! let alg = async_mis(graph.diameter());
+//! let mut exec = ExecutionBuilder::new(&alg, &graph)
+//!     .seed(3)
+//!     .uniform(alg.fresh_state());
+//! let mut sched = UniformRandomScheduler::new(0.7);
+//! let checker = alg.checker();
+//! let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 4000, 100);
+//! assert!(report.stabilization_round.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::RngCore;
+use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::checker::TaskChecker;
+use sa_model::graph::Graph;
+use sa_model::signal::Signal;
+use sa_protocols::le::LeChecker;
+use sa_protocols::mis::MisChecker;
+use sa_protocols::{alg_le, alg_mis, AlgLe, AlgMis};
+use unison_core::algau::TransitionKind;
+use unison_core::{AlgAu, Turn};
+
+/// A `Π*` state: the current simulated `Π`-state, the previous simulated `Π`-state
+/// and the AlgAU turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SyncState<S> {
+    /// The node's current simulated `Π`-state (`q`).
+    pub current: S,
+    /// The node's previous simulated `Π`-state (`q′`).
+    pub previous: S,
+    /// The node's AlgAU turn (`ν`).
+    pub turn: Turn,
+}
+
+/// The synchronizer transform `Π ↦ Π*` applied to an inner algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Synchronized<A> {
+    inner: A,
+    unison: AlgAu,
+}
+
+impl<A: Algorithm> Synchronized<A> {
+    /// Wraps `inner` (a synchronous self-stabilizing algorithm for `D`-bounded
+    /// diameter graphs) with the AlgAU-based synchronizer for the same bound.
+    pub fn new(inner: A, diameter_bound: usize) -> Self {
+        Synchronized {
+            inner,
+            unison: AlgAu::new(diameter_bound),
+        }
+    }
+
+    /// The wrapped synchronous algorithm `Π`.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The AlgAU instance driving the simulated rounds.
+    pub fn unison(&self) -> &AlgAu {
+        &self.unison
+    }
+
+    /// A composite state with both simulated `Π`-coordinates set to `inner_state` and
+    /// the AU clock at level 1. Useful as a benign starting configuration; the
+    /// self-stabilization guarantee of course covers arbitrary configurations.
+    pub fn lift(&self, inner_state: A::State) -> SyncState<A::State> {
+        SyncState {
+            current: inner_state.clone(),
+            previous: inner_state,
+            turn: Turn::Able(1),
+        }
+    }
+
+    /// The AU clock value of a composite state (`None` while the node is in a faulty
+    /// turn).
+    pub fn clock_of(&self, state: &SyncState<A::State>) -> Option<u32> {
+        match state.turn {
+            Turn::Able(l) => Some(self.unison.clock_of_level(l)),
+            Turn::Faulty(_) => None,
+        }
+    }
+}
+
+impl<A: Algorithm + StateSpace> Synchronized<A> {
+    /// The size of the composite state space `|Q|² · |T|` (the `O(D · g(D)²)` bound of
+    /// Corollary 1.2), computed without materializing it.
+    pub fn state_space_size(&self) -> usize {
+        let q = self.inner.state_count();
+        q * q * self.unison.state_count()
+    }
+}
+
+impl<A: Algorithm> Algorithm for Synchronized<A> {
+    type State = SyncState<A::State>;
+    type Output = A::Output;
+
+    fn output(&self, state: &Self::State) -> Option<A::Output> {
+        if state.turn.is_able() {
+            self.inner.output(&state.current)
+        } else {
+            None
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &Self::State,
+        signal: &Signal<Self::State>,
+        rng: &mut dyn RngCore,
+    ) -> Self::State {
+        // Run AlgAU on the turn coordinate.
+        let turn_signal: Signal<Turn> = signal.map(|s| s.turn);
+        let kind = self.unison.transition_kind(&state.turn, &turn_signal);
+        let next_turn = self.unison.next_turn(&state.turn, &turn_signal);
+
+        if kind != TransitionKind::AbleAble {
+            // The AU clock did not advance: the simulated Π-state is untouched.
+            return SyncState {
+                current: state.current.clone(),
+                previous: state.previous.clone(),
+                turn: next_turn,
+            };
+        }
+
+        // The clock advances ν → ν′: execute one simulated synchronous step of Π.
+        let current_turn = state.turn;
+        let advanced_turn = next_turn;
+        let simulated_signal: Signal<A::State> = signal.filter_map(|u| {
+            if u.turn == current_turn {
+                Some(u.current.clone())
+            } else if u.turn == advanced_turn {
+                Some(u.previous.clone())
+            } else {
+                None
+            }
+        });
+        let next_inner = self
+            .inner
+            .transition(&state.current, &simulated_signal, rng);
+        SyncState {
+            current: next_inner,
+            previous: state.current.clone(),
+            turn: advanced_turn,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "synchronized"
+    }
+}
+
+/// Adapts a checker for the inner (synchronous) algorithm to the composite algorithm
+/// by projecting each composite state to its *current* simulated `Π`-state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynchronizedChecker<C> {
+    inner: C,
+}
+
+impl<C> SynchronizedChecker<C> {
+    /// Wraps an inner checker.
+    pub fn new(inner: C) -> Self {
+        SynchronizedChecker { inner }
+    }
+}
+
+impl<A, C> TaskChecker<Synchronized<A>> for SynchronizedChecker<C>
+where
+    A: Algorithm,
+    C: TaskChecker<A>,
+{
+    fn check_snapshot(&self, graph: &Graph, config: &[SyncState<A::State>]) -> Vec<String> {
+        let projected: Vec<A::State> = config.iter().map(|s| s.current.clone()).collect();
+        self.inner.check_snapshot(graph, &projected)
+    }
+
+    fn check_window(&self, graph: &Graph, output_changes: &[u64], rounds: u64) -> Vec<String> {
+        self.inner.check_window(graph, output_changes, rounds)
+    }
+
+    fn task_name(&self) -> &'static str {
+        "synchronized-task"
+    }
+}
+
+/// The asynchronous self-stabilizing MIS algorithm of Theorem 1.4 + Corollary 1.2:
+/// AlgMIS lifted through the synchronizer.
+pub type AsyncMis = Synchronized<AlgMis>;
+
+/// The asynchronous self-stabilizing LE algorithm of Theorem 1.3 + Corollary 1.2:
+/// AlgLE lifted through the synchronizer.
+pub type AsyncLe = Synchronized<AlgLe>;
+
+/// Builds the asynchronous MIS algorithm for diameter bound `D`.
+pub fn async_mis(diameter_bound: usize) -> AsyncMis {
+    Synchronized::new(alg_mis(diameter_bound.max(1)), diameter_bound.max(1))
+}
+
+/// Builds the asynchronous LE algorithm for diameter bound `D`.
+pub fn async_le(diameter_bound: usize) -> AsyncLe {
+    Synchronized::new(alg_le(diameter_bound.max(1)), diameter_bound.max(1))
+}
+
+impl AsyncMis {
+    /// The canonical benign starting state (fresh MIS host, AU clock at level 1).
+    pub fn fresh_state(&self) -> SyncState<<AlgMis as Algorithm>::State> {
+        use sa_protocols::restart::RestartableAlgorithm;
+        self.lift(sa_protocols::restart::RestartState::Host(
+            self.inner().host().initial_state(),
+        ))
+    }
+
+    /// The checker for the asynchronous MIS task.
+    pub fn checker(&self) -> SynchronizedChecker<MisChecker> {
+        SynchronizedChecker::new(MisChecker)
+    }
+}
+
+impl AsyncLe {
+    /// The canonical benign starting state (fresh LE host, AU clock at level 1).
+    pub fn fresh_state(&self) -> SyncState<<AlgLe as Algorithm>::State> {
+        use sa_protocols::restart::RestartableAlgorithm;
+        self.lift(sa_protocols::restart::RestartState::Host(
+            self.inner().host().initial_state(),
+        ))
+    }
+
+    /// The checker for the asynchronous LE task.
+    pub fn checker(&self) -> SynchronizedChecker<LeChecker> {
+        SynchronizedChecker::new(LeChecker)
+    }
+}
+
+/// Draws a random composite configuration: every node gets an independently random
+/// inner current/previous pair from `inner_palette` and a random AlgAU turn. This is
+/// the adversary's "arbitrary initial configuration" for `Π*` experiments.
+///
+/// # Panics
+///
+/// Panics if `inner_palette` is empty.
+pub fn random_composite_configuration<S: Clone>(
+    inner_palette: &[S],
+    unison: &AlgAu,
+    node_count: usize,
+    seed: u64,
+) -> Vec<SyncState<S>> {
+    use rand::Rng;
+    use rand::SeedableRng;
+    assert!(!inner_palette.is_empty(), "inner palette must not be empty");
+    let turns = sa_model::algorithm::StateSpace::states(unison);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..node_count)
+        .map(|_| SyncState {
+            current: inner_palette[rng.gen_range(0..inner_palette.len())].clone(),
+            previous: inner_palette[rng.gen_range(0..inner_palette.len())].clone(),
+            turn: turns[rng.gen_range(0..turns.len())],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::checker::measure_static_stabilization;
+    use sa_model::executor::{Execution, ExecutionBuilder};
+    use sa_model::graph::Graph;
+    use sa_model::scheduler::{
+        AdversarialLaggardScheduler, CentralScheduler, SynchronousScheduler,
+        UniformRandomScheduler,
+    };
+    use unison_core::Predicates;
+
+    /// A trivial synchronous inner algorithm: a round counter modulo `m`. Every
+    /// simulated synchronous round increments it, so it doubles as a probe of the
+    /// simulated-round structure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct RoundCounter {
+        m: u8,
+    }
+    impl Algorithm for RoundCounter {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, signal: &Signal<u8>, _rng: &mut dyn RngCore) -> u8 {
+            // adopt the maximum sensed value, then advance — a synchronous
+            // self-stabilizing "agree on the round number" toy
+            let max = signal.max_by_key(|x| *x).unwrap_or(*s).max(*s);
+            (max + 1) % self.m
+        }
+        fn name(&self) -> &'static str {
+            "round-counter"
+        }
+    }
+    impl StateSpace for RoundCounter {
+        fn states(&self) -> Vec<u8> {
+            (0..self.m).collect()
+        }
+    }
+
+    #[test]
+    fn state_space_size_is_q_squared_times_turns() {
+        let sync = Synchronized::new(RoundCounter { m: 5 }, 2);
+        let k = 3 * 2 + 2;
+        assert_eq!(sync.state_space_size(), 5 * 5 * (4 * k - 2));
+    }
+
+    #[test]
+    fn output_requires_an_able_turn() {
+        let sync = Synchronized::new(RoundCounter { m: 5 }, 1);
+        let able = SyncState {
+            current: 3u8,
+            previous: 2,
+            turn: Turn::Able(1),
+        };
+        let faulty = SyncState {
+            current: 3u8,
+            previous: 2,
+            turn: Turn::Faulty(2),
+        };
+        assert_eq!(sync.output(&able), Some(3));
+        assert_eq!(sync.output(&faulty), None);
+    }
+
+    #[test]
+    fn clock_advance_triggers_exactly_one_simulated_step() {
+        let sync = Synchronized::new(RoundCounter { m: 10 }, 1);
+        let mut rng = rand::thread_rng();
+        // lone node: AA applies every activation, so the counter increments each time
+        let s0 = sync.lift(0u8);
+        let sig = Signal::from_states(vec![s0]);
+        let s1 = sync.transition(&s0, &sig, &mut rng);
+        assert_eq!(s1.current, 1);
+        assert_eq!(s1.previous, 0);
+        assert_eq!(s1.turn, Turn::Able(2));
+    }
+
+    #[test]
+    fn blocked_clock_freezes_the_simulation() {
+        let sync = Synchronized::new(RoundCounter { m: 10 }, 1);
+        let mut rng = rand::thread_rng();
+        // a neighbor one clock value behind blocks the AA transition
+        let me = SyncState {
+            current: 4u8,
+            previous: 3,
+            turn: Turn::Able(3),
+        };
+        let behind = SyncState {
+            current: 3u8,
+            previous: 2,
+            turn: Turn::Able(2),
+        };
+        let sig = Signal::from_states(vec![me, behind]);
+        let next = sync.transition(&me, &sig, &mut rng);
+        assert_eq!(next.current, 4, "simulated state must not advance");
+        assert_eq!(next.turn, Turn::Able(3));
+    }
+
+    #[test]
+    fn simulated_signal_mixes_current_and_previous() {
+        let sync = Synchronized::new(RoundCounter { m: 100 }, 1);
+        let mut rng = rand::thread_rng();
+        // me at clock ν with value 5; one neighbor still at ν with value 7 (use its
+        // current), one neighbor already advanced to ν′ with previous value 9 (use its
+        // previous). The round counter adopts the max = 9 and increments to 10.
+        let me = SyncState {
+            current: 5u8,
+            previous: 4,
+            turn: Turn::Able(3),
+        };
+        let same_round = SyncState {
+            current: 7u8,
+            previous: 6,
+            turn: Turn::Able(3),
+        };
+        let ahead = SyncState {
+            current: 12u8,
+            previous: 9,
+            turn: Turn::Able(4),
+        };
+        let sig = Signal::from_states(vec![me, same_round, ahead]);
+        let next = sync.transition(&me, &sig, &mut rng);
+        assert_eq!(next.current, 10);
+        assert_eq!(next.previous, 5);
+        assert_eq!(next.turn, Turn::Able(4));
+    }
+
+    #[test]
+    fn unison_coordinate_satisfies_au_safety_after_stabilization() {
+        // Run the composite under an asynchronous scheduler and check that, after the
+        // AU coordinate stabilizes, neighboring clock values always remain adjacent.
+        let graph = Graph::cycle(6);
+        let d = graph.diameter();
+        let sync = Synchronized::new(RoundCounter { m: 7 }, d);
+        let init =
+            random_composite_configuration(&(0..7u8).collect::<Vec<_>>(), sync.unison(), 6, 5);
+        let mut exec = Execution::new(&sync, &graph, init, 5);
+        let mut sched = UniformRandomScheduler::new(0.6);
+        let unison = *sync.unison();
+        let oracle = move |g: &Graph, cfg: &[SyncState<u8>]| {
+            let turns: Vec<Turn> = cfg.iter().map(|s| s.turn).collect();
+            Predicates::new(&unison, g).graph_good(&turns)
+        };
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, 50_000);
+        assert!(outcome.is_stabilized());
+        // verify AU safety over a window
+        let safety = unison_core::CyclicSafety::new(sync.unison().clock_size());
+        for _ in 0..200 {
+            exec.step_with(&mut sched);
+            for &(u, v) in graph.edges() {
+                let (a, b) = (exec.state(u), exec.state(v));
+                if let (Some(ca), Some(cb)) = (sync.clock_of(a), sync.clock_of(b)) {
+                    assert!(safety.safe(ca, cb), "clocks {ca} and {cb} on edge ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn async_mis_stabilizes_under_asynchronous_schedulers() {
+        let graph = Graph::cycle(6);
+        let alg = async_mis(graph.diameter());
+        let checker = alg.checker();
+        for seed in 0..3u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .uniform(alg.fresh_state());
+            let mut sched = UniformRandomScheduler::new(0.7);
+            let report =
+                measure_static_stabilization(&mut exec, &mut sched, &checker, 6000, 200);
+            assert!(
+                report.stabilization_round.is_some(),
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn async_mis_recovers_from_corrupted_unison_coordinate() {
+        // Corrupt the AU turns (but keep the inner states benign): the synchronizer
+        // must still converge.
+        let graph = Graph::star(6);
+        let alg = async_mis(graph.diameter());
+        let checker = alg.checker();
+        let fresh = alg.fresh_state();
+        let inner_palette = vec![fresh.current];
+        let init =
+            random_composite_configuration(&inner_palette, alg.unison(), graph.node_count(), 11);
+        let mut exec = Execution::new(&alg, &graph, init, 11);
+        let mut sched = CentralScheduler;
+        let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 9000, 200);
+        assert!(report.stabilization_round.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn async_le_elects_one_leader_under_adversarial_scheduler() {
+        let graph = Graph::complete(5);
+        let alg = async_le(graph.diameter());
+        let checker = alg.checker();
+        let mut exec = ExecutionBuilder::new(&alg, &graph)
+            .seed(2)
+            .uniform(alg.fresh_state());
+        let mut sched = AdversarialLaggardScheduler::starving(0, 4);
+        let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 8000, 200);
+        assert!(report.stabilization_round.is_some(), "{report:?}");
+    }
+
+    #[test]
+    fn synchronous_schedule_reduces_to_the_inner_algorithm_pace() {
+        // Under the synchronous scheduler with a benign start, every activation
+        // advances the clock, so after r rounds the counter has advanced r times.
+        let graph = Graph::complete(4);
+        let sync = Synchronized::new(RoundCounter { m: 251 }, 1);
+        let mut exec = ExecutionBuilder::new(&sync, &graph)
+            .seed(0)
+            .uniform(sync.lift(0u8));
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 20);
+        for s in exec.configuration() {
+            assert_eq!(s.current, 20);
+        }
+    }
+
+    #[test]
+    fn random_composite_configuration_is_deterministic_per_seed() {
+        let unison = AlgAu::new(1);
+        let a = random_composite_configuration(&[1u8, 2, 3], &unison, 5, 9);
+        let b = random_composite_configuration(&[1u8, 2, 3], &unison, 5, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quorum sensing in a bacterial colony: the asynchronous self-stabilizing leader
+//! election algorithm keeps exactly one "decision maker" cell, and re-elects one
+//! whenever a transient fault wipes out or duplicates the role.
+//!
+//! ```text
+//! cargo run --example quorum_leader
+//! ```
+
+use stone_age_unison::bio::{colony_leader_recovery, ColonyScenario, Harshness};
+use stone_age_unison::model::checker::measure_static_stabilization;
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::protocols::restart::RestartState;
+use stone_age_unison::synchronizer::async_le;
+
+fn main() {
+    // A colony of 12 cells; environmental obstacles sever ~30% of the links but the
+    // broadcast neighborhood keeps the diameter at 2.
+    let scenario = ColonyScenario::new(12);
+    let graph = scenario.build(5);
+    println!(
+        "bacterial colony: {} cells, {} links (complete graph would have {}), diameter {}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.node_count() * (graph.node_count() - 1) / 2,
+        graph.diameter()
+    );
+
+    let alg = async_le(scenario.diameter_bound());
+    let checker = alg.checker();
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(11)
+        .uniform(alg.fresh_state());
+    let mut scheduler = UniformRandomScheduler::new(0.5);
+
+    let report = measure_static_stabilization(&mut exec, &mut scheduler, &checker, 60_000, 300);
+    match report.stabilization_round {
+        Some(r) => println!("a single decision maker emerged after {r} asynchronous rounds"),
+        None => {
+            println!("no stable leader within the horizon: {report:?}");
+            return;
+        }
+    }
+    let leaders: Vec<usize> = exec
+        .configuration()
+        .iter()
+        .enumerate()
+        .filter_map(|(v, s)| match &s.current {
+            RestartState::Host(h) if h.leader => Some(v),
+            _ => None,
+        })
+        .collect();
+    println!("leader cell(s): {leaders:?}");
+
+    // Recovery after fault bursts of increasing severity.
+    println!("\nrecovery from transient fault bursts:");
+    for harshness in [Harshness::Mild, Harshness::Moderate, Harshness::Severe] {
+        let stats = colony_leader_recovery(&scenario, harshness, 4, 33);
+        match stats.mean_recovery() {
+            Some(mean) => println!(
+                "  {harshness:?}: recovered from {} bursts, mean {:.0} rounds, worst {} rounds",
+                stats.recovery_rounds.len(),
+                mean,
+                stats.max_recovery().unwrap_or(0)
+            ),
+            None => println!("  {harshness:?}: no burst recovered ({stats:?})"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # stone-age-unison — umbrella crate
+//!
+//! Re-exports the whole workspace under short module names so the examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`model`] — the stone age execution model ([`sa_model`]),
+//! * [`unison`] — AlgAU and the unison baselines ([`unison_core`]),
+//! * [`protocols`] — the synchronous Restart / LE / MIS algorithms ([`sa_protocols`]),
+//! * [`synchronizer`] — the Π → Π* transformer of Corollary 1.2 ([`sa_synchronizer`]),
+//! * [`bio`] — fault-tolerant biological network scenarios ([`bio_networks`]).
+
+#![forbid(unsafe_code)]
+
+pub use bio_networks as bio;
+pub use sa_model as model;
+pub use sa_protocols as protocols;
+pub use sa_synchronizer as synchronizer;
+pub use unison_core as unison;

@@ -1,0 +1,238 @@
+//! Cross-crate integration tests for AlgAU (Theorem 1.1): stabilization on many
+//! graph families under many schedulers, recovery from injected faults, and the
+//! Appendix-A live-lock comparison.
+
+use stone_age_unison::model::algorithm::StateSpace;
+use stone_age_unison::model::checker::measure_stabilization;
+use stone_age_unison::model::fault::{FaultInjector, FaultPlan};
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::model::topology::Topology;
+use stone_age_unison::unison::baseline::{
+    livelock_configuration, livelock_schedule, ResetAttempt, ResetTurn,
+};
+use stone_age_unison::unison::{AlgAu, AuChecker, GoodGraphOracle, Predicates, Turn};
+
+/// Budget used in the tests: comfortably above the O(D³) bound without being huge.
+fn round_budget(d: usize) -> u64 {
+    (400 * d.pow(3) + 4_000) as u64
+}
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path", Graph::path(6)),
+        ("cycle", Graph::cycle(9)),
+        ("star", Graph::star(8)),
+        ("complete", Graph::complete(6)),
+        ("grid", Graph::grid(3, 4)),
+        ("tree", Topology::BalancedTree { arity: 2, depth: 3 }.build_deterministic()),
+        (
+            "gnp",
+            Topology::ErdosRenyi { n: 12, p: 0.35 }.build(seed),
+        ),
+        (
+            "damaged-clique",
+            Topology::DamagedClique {
+                n: 10,
+                drop: 0.4,
+                max_diameter: 2,
+            }
+            .build(seed),
+        ),
+    ]
+}
+
+#[test]
+fn algau_stabilizes_on_every_family_under_every_scheduler() {
+    for (name, graph) in families(3) {
+        let d = graph.diameter();
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        let budget = round_budget(d);
+        for seed in 0..3u64 {
+            // synchronous
+            run_one(&alg, &graph, &palette, &mut SynchronousScheduler, seed, budget, name);
+            // uniform random
+            run_one(
+                &alg,
+                &graph,
+                &palette,
+                &mut UniformRandomScheduler::new(0.4),
+                seed,
+                budget,
+                name,
+            );
+            // central daemon
+            run_one(&alg, &graph, &palette, &mut CentralScheduler, seed, budget, name);
+            // adversarial laggard
+            run_one(
+                &alg,
+                &graph,
+                &palette,
+                &mut AdversarialLaggardScheduler::starving(0, 3),
+                seed,
+                budget,
+                name,
+            );
+        }
+    }
+}
+
+fn run_one<S: Scheduler>(
+    alg: &AlgAu,
+    graph: &Graph,
+    palette: &[Turn],
+    scheduler: &mut S,
+    seed: u64,
+    budget: u64,
+    name: &str,
+) {
+    let mut exec = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .random_initial(palette);
+    let report = measure_stabilization(
+        &mut exec,
+        scheduler,
+        &GoodGraphOracle::new(*alg),
+        &AuChecker::new(*alg),
+        budget,
+        3 * graph.diameter() as u64 + 6,
+    );
+    assert!(
+        report.is_clean(),
+        "{name} under {} (seed {seed}): {report:?}",
+        scheduler.name()
+    );
+    assert!(
+        report.stabilization_rounds.unwrap() <= budget,
+        "{name}: exceeded budget"
+    );
+}
+
+#[test]
+fn algau_stabilization_grows_no_faster_than_cubic_in_d() {
+    // The point of Theorem 1.1 is the *shape*: rounds-to-good must stay well below
+    // c·D³ for a modest constant. We check the worst observed run against 100·D³.
+    for d in [2usize, 4, 6] {
+        let graph = Graph::cycle(2 * d);
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        let mut worst = 0u64;
+        for seed in 0..5u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .random_initial(&palette);
+            let mut sched = CentralScheduler;
+            let outcome =
+                exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
+            worst = worst.max(outcome.rounds().expect("must stabilize"));
+        }
+        assert!(
+            worst <= (100 * d.pow(3)) as u64,
+            "D = {d}: worst stabilization {worst} rounds exceeds 100·D³"
+        );
+    }
+}
+
+#[test]
+fn algau_recovers_from_repeated_fault_bursts() {
+    let graph = Graph::grid(3, 3);
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+    let mut exec = ExecutionBuilder::new(&alg, &graph).seed(5).uniform(Turn::Able(1));
+    let mut sched = UniformRandomScheduler::new(0.5);
+    let oracle = GoodGraphOracle::new(alg);
+    let mut injector = FaultInjector::new(
+        FaultPlan::Periodic {
+            period: 600,
+            count: 4,
+        },
+        palette,
+        9,
+    );
+    let mut recoveries = 0;
+    for _ in 0..3 {
+        // run up to the next strike
+        while injector.faults_injected() == recoveries * 4 {
+            let step = exec.step_with(&mut sched);
+            if step.round_completed {
+                injector.on_round(&mut exec);
+            }
+        }
+        recoveries += 1;
+        // after the strike the system must become good again
+        let outcome = exec.run_until_legitimate(&mut sched, &oracle, round_budget(d));
+        assert!(outcome.is_stabilized(), "burst {recoveries} not recovered");
+    }
+    assert_eq!(injector.faults_injected(), 12);
+}
+
+#[test]
+fn post_stabilization_safety_holds_at_every_step_not_just_round_boundaries() {
+    let graph = Graph::cycle(8);
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(13)
+        .random_initial(&palette);
+    let mut sched = UniformRandomScheduler::new(0.6);
+    let outcome = exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
+    assert!(outcome.is_stabilized());
+    let p_alg = alg;
+    for _ in 0..2_000 {
+        exec.step_with(&mut sched);
+        let preds = Predicates::new(&p_alg, &graph);
+        assert!(preds.graph_good(exec.configuration()));
+        assert!(preds.max_discrepancy(exec.configuration()) <= 1);
+    }
+}
+
+#[test]
+fn livelock_schedule_defeats_reset_attempt_but_not_algau() {
+    let graph = Graph::cycle(8);
+
+    // The Appendix-A design cycles forever.
+    let reset = ResetAttempt::counterexample_instance();
+    let mut exec = ExecutionBuilder::new(&reset, &graph)
+        .seed(0)
+        .initial(livelock_configuration());
+    let mut sched = ScriptedScheduler::new(livelock_schedule());
+    let all_clock = |_: &Graph, cfg: &[ResetTurn]| cfg.iter().all(ResetTurn::is_clock);
+    let outcome = exec.run_until_legitimate(&mut sched, &all_clock, 5_000);
+    assert!(!outcome.is_stabilized(), "the reset attempt must live-lock");
+
+    // AlgAU stabilizes under the very same fair schedule from arbitrary configurations.
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+    for seed in 0..3u64 {
+        let mut exec = ExecutionBuilder::new(&alg, &graph)
+            .seed(seed)
+            .random_initial(&palette);
+        let mut sched = ScriptedScheduler::new(livelock_schedule());
+        let outcome =
+            exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
+        assert!(outcome.is_stabilized(), "AlgAU must stabilize (seed {seed})");
+    }
+}
+
+#[test]
+fn state_space_is_independent_of_graph_size() {
+    // size-uniformity: the same AlgAU instance (same states) runs on graphs of any
+    // size as long as the diameter bound holds.
+    let alg = AlgAu::new(2);
+    let states = alg.state_count();
+    for n in [4usize, 16, 64] {
+        let graph = Graph::star(n);
+        assert!(graph.diameter() <= 2);
+        let mut exec = ExecutionBuilder::new(&alg, &graph)
+            .seed(1)
+            .random_initial(&alg.states());
+        let mut sched = SynchronousScheduler;
+        let outcome =
+            exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(2));
+        assert!(outcome.is_stabilized(), "star-{n}");
+        assert_eq!(alg.state_count(), states);
+    }
+}

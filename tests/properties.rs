@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//! the level algebra, the AlgAU step invariants of Section 2.3.1, the Restart module
+//! guarantee and the MIS membership checker.
+
+use proptest::prelude::*;
+use stone_age_unison::model::algorithm::StateSpace;
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::protocols::mis::MisChecker;
+use stone_age_unison::protocols::restart::{
+    measure_restart_exit, RestartState, TrivialHost, WithRestart,
+};
+use stone_age_unison::unison::invariants::{check_protected_arc, check_step_invariants};
+use stone_age_unison::unison::{AlgAu, CyclicSafety, Levels, Turn};
+
+/// Strategy: a connected random graph on `n` nodes built from a random spanning tree
+/// plus random extra edges.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, extra)| {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = Graph::empty(n);
+        for v in 1..n {
+            let parent = rng.gen_range(0..v);
+            g.add_edge(parent, v);
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) && rng.gen_bool(extra) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    })
+}
+
+/// Strategy: a valid AlgAU turn for level bound `k`.
+fn turn_strategy(k: i32) -> impl Strategy<Value = Turn> {
+    (1..=k, prop::bool::ANY, prop::bool::ANY).prop_map(|(mag, negative, faulty)| {
+        let level = if negative { -mag } else { mag };
+        if faulty && mag >= 2 {
+            Turn::Faulty(level)
+        } else {
+            Turn::Able(level)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_backward_roundtrip(k in 2i32..40, mag in 1i32..40, neg in any::<bool>()) {
+        let levels = Levels::new(k);
+        let mag = mag.min(k);
+        let level = if neg { -mag } else { mag };
+        prop_assert_eq!(levels.backward(levels.forward(level)), level);
+        prop_assert_eq!(levels.forward(levels.backward(level)), level);
+        // forward always moves clock by exactly one
+        let c = levels.clock_value(level);
+        let c2 = levels.clock_value(levels.forward(level));
+        prop_assert_eq!((c + 1) % levels.count() as u32, c2);
+    }
+
+    #[test]
+    fn level_distance_is_a_metric(k in 2i32..20, a in 1i32..20, b in 1i32..20, c in 1i32..20,
+                                  sa in any::<bool>(), sb in any::<bool>(), sc in any::<bool>()) {
+        let levels = Levels::new(k);
+        let fix = |mag: i32, neg: bool| {
+            let m = ((mag - 1) % k) + 1;
+            if neg { -m } else { m }
+        };
+        let (a, b, c) = (fix(a, sa), fix(b, sb), fix(c, sc));
+        prop_assert_eq!(levels.distance(a, a), 0);
+        prop_assert_eq!(levels.distance(a, b), levels.distance(b, a));
+        prop_assert!(levels.distance(a, c) <= levels.distance(a, b) + levels.distance(b, c));
+        prop_assert!(levels.distance(a, b) <= k as u32);
+    }
+
+    #[test]
+    fn cyclic_safety_matches_level_adjacency(k in 2i32..20, a in 1i32..20, b in 1i32..20,
+                                             sa in any::<bool>(), sb in any::<bool>()) {
+        let levels = Levels::new(k);
+        let fix = |mag: i32, neg: bool| {
+            let m = ((mag - 1) % k) + 1;
+            if neg { -m } else { m }
+        };
+        let (a, b) = (fix(a, sa), fix(b, sb));
+        let safety = CyclicSafety::new(levels.count() as u32);
+        prop_assert_eq!(
+            safety.safe(levels.clock_value(a), levels.clock_value(b)),
+            levels.adjacent(a, b)
+        );
+    }
+
+    #[test]
+    fn algau_step_invariants_hold_on_random_executions(
+        graph in connected_graph(8),
+        d in 1usize..4,
+        seed in any::<u64>(),
+        steps in 20usize..120,
+    ) {
+        let alg = AlgAu::new(d);
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut runner_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // random initial configuration
+        let states = alg.states();
+        let init: Vec<Turn> = (0..graph.node_count())
+            .map(|_| states[runner_rng.gen_range(0..states.len())])
+            .collect();
+        let mut exec = Execution::new(&alg, &graph, init, seed);
+        let mut sched = UniformRandomScheduler::new(0.5);
+        for _ in 0..steps {
+            let before = exec.configuration().to_vec();
+            exec.step_with(&mut sched);
+            let after = exec.configuration().to_vec();
+            let violations = check_step_invariants(&alg, &graph, &before, &after);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+            prop_assert!(check_protected_arc(&alg, &graph, &after).is_none());
+        }
+    }
+
+    #[test]
+    fn algau_output_clocks_are_a_bijection_with_able_turns(d in 1usize..10) {
+        let alg = AlgAu::new(d);
+        let outputs = alg.output_states();
+        let mut clocks: Vec<u32> = outputs
+            .iter()
+            .map(|t| stone_age_unison::model::algorithm::Algorithm::output(&alg, t).unwrap())
+            .collect();
+        clocks.sort_unstable();
+        clocks.dedup();
+        prop_assert_eq!(clocks.len(), alg.clock_size() as usize);
+    }
+
+    #[test]
+    fn restart_always_exits_concurrently(
+        graph in connected_graph(7),
+        seed in any::<u64>(),
+        turn_seed in any::<u64>(),
+    ) {
+        let d = graph.diameter().max(1);
+        let wrapper = WithRestart::new(TrivialHost::new(4), d);
+        let exit = wrapper.exit_index();
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(turn_seed);
+        let mut init: Vec<RestartState<u32>> = (0..graph.node_count())
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    RestartState::Restart(rng.gen_range(0..=exit))
+                } else {
+                    RestartState::Host(rng.gen_range(0..4))
+                }
+            })
+            .collect();
+        init[0] = RestartState::Restart(rng.gen_range(0..=exit));
+        let report = measure_restart_exit(&wrapper, &graph, init, seed, (4 * d + 12) as u64)
+            .expect("Restart must terminate within O(D) rounds");
+        prop_assert!(report.concurrent);
+        prop_assert!(report.uniform_exit);
+        prop_assert!(report.exit_round <= (3 * d + 2) as u64);
+    }
+
+    #[test]
+    fn mis_membership_checker_agrees_with_definition(
+        graph in connected_graph(7),
+        bits in prop::collection::vec(any::<bool>(), 7),
+    ) {
+        let n = graph.node_count();
+        let membership: Vec<bool> = bits.into_iter().take(n).chain(std::iter::repeat(false)).take(n).collect();
+        let violations = MisChecker::check_membership(&graph, &membership);
+        // brute-force the definition
+        let independent = graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| !(membership[u] && membership[v]));
+        let maximal = graph.nodes().all(|v| {
+            membership[v] || graph.neighbors(v).iter().any(|&u| membership[u])
+        });
+        prop_assert_eq!(violations.is_empty(), independent && maximal);
+    }
+
+    #[test]
+    fn turn_strategy_only_yields_valid_turns(t in turn_strategy(8)) {
+        let levels = Levels::new(8);
+        prop_assert!(t.is_valid(&levels));
+    }
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests for the synchronous protocols (Restart, AlgMIS,
+//! AlgLE) and their asynchronous counterparts obtained through the synchronizer.
+
+use stone_age_unison::model::algorithm::StateSpace;
+use stone_age_unison::model::checker::measure_static_stabilization;
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::model::topology::Topology;
+use stone_age_unison::protocols::le::LeChecker;
+use stone_age_unison::protocols::mis::{Decision, MisChecker};
+use stone_age_unison::protocols::restart::RestartState;
+use stone_age_unison::protocols::{alg_le, alg_mis};
+use stone_age_unison::synchronizer::{async_le, async_mis, random_composite_configuration};
+
+fn protocol_families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("complete", Graph::complete(8)),
+        ("star", Graph::star(9)),
+        ("cycle", Graph::cycle(8)),
+        ("grid", Graph::grid(3, 4)),
+        ("tree", Topology::BalancedTree { arity: 3, depth: 2 }.build_deterministic()),
+        ("gnp", Topology::ErdosRenyi { n: 12, p: 0.4 }.build(seed)),
+    ]
+}
+
+#[test]
+fn mis_is_correct_and_stable_on_every_family_from_adversarial_starts() {
+    for (name, graph) in protocol_families(7) {
+        let d = graph.diameter();
+        let alg = alg_mis(d);
+        let palette = alg.states();
+        for seed in 0..2u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .random_initial(&palette);
+            let mut sched = SynchronousScheduler;
+            let report =
+                measure_static_stabilization(&mut exec, &mut sched, &MisChecker, 4_000, 150);
+            assert!(
+                report.stabilization_round.is_some(),
+                "{name} (seed {seed}): {report:?}"
+            );
+            // double-check the final configuration is a genuine MIS
+            let membership: Vec<bool> = exec
+                .configuration()
+                .iter()
+                .map(|s| match s {
+                    RestartState::Host(h) => h.decision == Decision::In,
+                    RestartState::Restart(_) => false,
+                })
+                .collect();
+            assert!(
+                MisChecker::check_membership(&graph, &membership).is_empty(),
+                "{name} (seed {seed}) final membership invalid"
+            );
+        }
+    }
+}
+
+#[test]
+fn le_elects_exactly_one_leader_on_every_family_from_adversarial_starts() {
+    for (name, graph) in protocol_families(9) {
+        let d = graph.diameter();
+        let alg = alg_le(d);
+        let palette = alg.states();
+        for seed in 0..2u64 {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(seed)
+                .random_initial(&palette);
+            let mut sched = SynchronousScheduler;
+            let report =
+                measure_static_stabilization(&mut exec, &mut sched, &LeChecker, 6_000, 200);
+            assert!(
+                report.stabilization_round.is_some(),
+                "{name} (seed {seed}): {report:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn protocol_state_spaces_grow_linearly_with_d() {
+    // Theorem 1.3 / 1.4: O(D) states. Check the growth is affine in D.
+    let mis_counts: Vec<usize> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&d| alg_mis(d).state_count())
+        .collect();
+    let le_counts: Vec<usize> = [2usize, 4, 8, 16]
+        .iter()
+        .map(|&d| alg_le(d).state_count())
+        .collect();
+    for counts in [&mis_counts, &le_counts] {
+        let d1 = counts[1] as i64 - counts[0] as i64; // growth over +2
+        let d2 = counts[2] as i64 - counts[1] as i64; // growth over +4
+        let d3 = counts[3] as i64 - counts[2] as i64; // growth over +8
+        assert_eq!(d2, 2 * d1, "{counts:?}");
+        assert_eq!(d3, 4 * d1, "{counts:?}");
+    }
+}
+
+#[test]
+fn corollary_1_2_state_space_formula_holds() {
+    for d in [1usize, 2, 4] {
+        let inner = alg_mis(d);
+        let composite = async_mis(d);
+        let k = 3 * d + 2;
+        assert_eq!(
+            composite.state_space_size(),
+            inner.state_count() * inner.state_count() * (4 * k - 2)
+        );
+    }
+}
+
+#[test]
+fn async_mis_stabilizes_from_fully_random_composite_configurations() {
+    let graph = Graph::complete(5);
+    let d = graph.diameter();
+    let alg = async_mis(d);
+    let checker = alg.checker();
+    let inner_palette = alg.inner().states();
+    for seed in 0..2u64 {
+        let init = random_composite_configuration(
+            &inner_palette,
+            alg.unison(),
+            graph.node_count(),
+            seed,
+        );
+        let mut exec = Execution::new(&alg, &graph, init, seed);
+        let mut sched = UniformRandomScheduler::new(0.6);
+        let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 30_000, 300);
+        assert!(
+            report.stabilization_round.is_some(),
+            "seed {seed}: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn async_le_stabilizes_under_central_daemon() {
+    let graph = Graph::star(6);
+    let d = graph.diameter();
+    let alg = async_le(d);
+    let checker = alg.checker();
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(4)
+        .uniform(alg.fresh_state());
+    let mut sched = CentralScheduler;
+    let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 60_000, 300);
+    assert!(report.stabilization_round.is_some(), "{report:?}");
+}
+
+#[test]
+fn bio_scenarios_remain_functional_under_all_harshness_levels() {
+    use stone_age_unison::bio::{pulse_unison_recovery, Harshness, PulseScenario};
+    let scenario = PulseScenario::new(3, 4);
+    for h in [Harshness::Mild, Harshness::Moderate, Harshness::Severe] {
+        let stats = pulse_unison_recovery(&scenario, h, 2, 5);
+        assert!(stats.fully_recovered(), "{h:?}: {stats:?}");
+    }
+}
