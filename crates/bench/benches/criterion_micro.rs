@@ -3,13 +3,21 @@
 //! These complement the experiment benches (which measure *rounds*, the unit of the
 //! paper's claims) with wall-clock numbers: how fast the simulator executes AlgAU
 //! transitions, full synchronous rounds, and end-to-end stabilization runs.
+//!
+//! The `synchronous-round` group runs every topology under **both** signal
+//! engines — `dense` (the incremental bitmask engine, the default) and
+//! `sparse` (the from-scratch `BTreeSet` baseline) — so the dense engine's
+//! speedup is measured directly; the run ends with a printed dense-vs-sparse
+//! summary, and the full results land in `BENCH_micro.json` (see the
+//! `criterion` stand-in crate).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sa_model::algorithm::{Algorithm, StateSpace};
-use sa_model::executor::ExecutionBuilder;
+use sa_model::executor::{ExecutionBuilder, SignalMode};
 use sa_model::graph::Graph;
 use sa_model::scheduler::{SynchronousScheduler, UniformRandomScheduler};
 use sa_model::signal::Signal;
+use sa_model::topology::Topology;
 use unison_core::{AlgAu, GoodGraphOracle, Turn};
 
 fn bench_transition(c: &mut Criterion) {
@@ -27,27 +35,42 @@ fn bench_transition(c: &mut Criterion) {
     group.finish();
 }
 
+/// The topologies the round benchmark sweeps: a mid-size cycle and the
+/// 1024-node torus the acceptance target is measured on.
+fn round_benchmark_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("cycle-256", Graph::cycle(256)),
+        (
+            "torus-32x32",
+            Topology::Torus { rows: 32, cols: 32 }.build_deterministic(),
+        ),
+    ]
+}
+
 fn bench_synchronous_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("synchronous-round");
-    for n in [16usize, 64, 256] {
-        let graph = Graph::cycle(n);
+    group.sample_size(10);
+    for (label, graph) in round_benchmark_graphs() {
         let d = graph.diameter();
         let alg = AlgAu::new(d);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter_batched(
-                || {
-                    ExecutionBuilder::new(&alg, &graph)
-                        .seed(1)
-                        .uniform(Turn::Able(1))
-                },
-                |mut exec| {
-                    let mut sched = SynchronousScheduler;
-                    exec.run_rounds(&mut sched, 10);
-                    black_box(exec.rounds())
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        for (mode_label, mode) in [("dense", SignalMode::Auto), ("sparse", SignalMode::Sparse)] {
+            group.bench_with_input(BenchmarkId::new(label, mode_label), &graph, |b, graph| {
+                b.iter_batched(
+                    || {
+                        ExecutionBuilder::new(&alg, graph)
+                            .seed(1)
+                            .signal_mode(mode)
+                            .uniform(Turn::Able(1))
+                    },
+                    |mut exec| {
+                        let mut sched = SynchronousScheduler;
+                        exec.run_rounds(&mut sched, 10);
+                        black_box(exec.rounds())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
     }
     group.finish();
 }
@@ -82,10 +105,32 @@ fn bench_stabilization(c: &mut Criterion) {
     group.finish();
 }
 
+/// Prints the dense-vs-sparse speedup per topology from the recorded
+/// `synchronous-round` results (the acceptance target is ≥ 5x on the
+/// 1024-node torus).
+fn speedup_summary(c: &mut Criterion) {
+    println!("\n==== dense vs sparse synchronous-round speedup ====");
+    for (label, _) in round_benchmark_graphs() {
+        let time_of = |mode: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "synchronous-round" && r.bench == format!("{label}/{mode}"))
+                .map(|r| r.median_ns)
+        };
+        if let (Some(dense), Some(sparse)) = (time_of("dense"), time_of("sparse")) {
+            println!(
+                "{label:<14} dense {dense:>14.0} ns/iter   sparse {sparse:>14.0} ns/iter   speedup {:.2}x",
+                sparse / dense
+            );
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_transition,
     bench_synchronous_round,
-    bench_stabilization
+    bench_stabilization,
+    speedup_summary
 );
 criterion_main!(benches);

@@ -4,6 +4,12 @@
 
 fn main() {
     let scale = sa_bench::Scale::from_env();
-    let report = sa_bench::au_experiments::e1_transition_diagram(if matches!(scale, sa_bench::Scale::Full) { 4 } else { 1 });
+    let report = sa_bench::au_experiments::e1_transition_diagram(
+        if matches!(scale, sa_bench::Scale::Full) {
+            4
+        } else {
+            1
+        },
+    );
     sa_bench::print_experiment(&report);
 }

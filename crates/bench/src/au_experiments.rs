@@ -82,11 +82,8 @@ fn graphs_for_diameter(d: usize, seed: u64) -> Vec<(String, Graph)> {
             .build(seed),
         ));
     }
-    if d >= 4 && d % 2 == 0 {
-        graphs.push((
-            "grid".to_string(),
-            Graph::grid(d / 2 + 1, d / 2 + 1),
-        ));
+    if d >= 4 && d.is_multiple_of(2) {
+        graphs.push(("grid".to_string(), Graph::grid(d / 2 + 1, d / 2 + 1)));
     }
     graphs
 }
@@ -110,7 +107,14 @@ pub fn au_trial(
     let checker = AuChecker::new(alg);
     scheduler.with(|s| {
         let mut s = s;
-        measure_stabilization(&mut exec, &mut s, &oracle, &checker, max_rounds, 4 * diameter_bound as u64 + 8)
+        measure_stabilization(
+            &mut exec,
+            &mut s,
+            &oracle,
+            &checker,
+            max_rounds,
+            4 * diameter_bound as u64 + 8,
+        )
     })
 }
 
@@ -149,10 +153,9 @@ pub fn e1_transition_diagram(diameter_bound: usize) -> ExperimentReport {
         "D = {diameter_bound}: {} turns, {aa} AA rules, {af} AF rules, {fa} FA rules (matches Table 1)",
         alg.state_count()
     );
-    report.artifacts.push((
-        format!("Table 1 (D = {diameter_bound})"),
-        table,
-    ));
+    report
+        .artifacts
+        .push((format!("Table 1 (D = {diameter_bound})"), table));
     report.artifacts.push((
         format!("Figure 1 as Graphviz DOT (D = {diameter_bound})"),
         alg.state_diagram_dot(),
@@ -242,11 +245,14 @@ pub fn e3_au_stabilization(scale: Scale) -> ExperimentReport {
         let max_rounds = (200 * d.pow(3) + 2000) as u64;
         for (label, graph) in graphs_for_diameter(d, 17) {
             for kind in SchedulerKind::all() {
+                // Independent seeds fan out across threads (see `crate::parallel`).
+                let reports = crate::parallel::par_seeds(seeds, |seed| {
+                    au_trial(&graph, d, kind, seed * 977 + d as u64, max_rounds)
+                });
                 let mut rounds = Vec::new();
                 let mut failures = 0usize;
                 let mut violations = 0usize;
-                for seed in 0..seeds {
-                    let rep = au_trial(&graph, d, kind, seed * 977 + d as u64, max_rounds);
+                for rep in &reports {
                     match rep.stabilization_rounds {
                         Some(r) => rounds.push(r),
                         None => failures += 1,
@@ -332,8 +338,7 @@ pub fn e8_livelock(scale: Scale) -> ExperimentReport {
             .seed(seed)
             .random_initial(&palette);
         let mut sched = ScriptedScheduler::new(livelock_schedule());
-        let outcome =
-            exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), budget);
+        let outcome = exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), budget);
         au_rounds.push(outcome.rounds().expect("AlgAU must stabilize") as f64);
     }
     report.rows.push(ExperimentRow {
@@ -372,11 +377,11 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
         let max_rounds = (200 * d.pow(3) + 2000) as u64;
 
         // AlgAU
-        let mut algau_rounds = Vec::new();
-        for seed in 0..seeds {
-            let rep = au_trial(&graph, d, SchedulerKind::UniformRandom, seed, max_rounds);
-            algau_rounds.push(rep.stabilization_rounds.unwrap_or(max_rounds));
-        }
+        let algau_rounds: Vec<u64> = crate::parallel::par_seeds(seeds, |seed| {
+            au_trial(&graph, d, SchedulerKind::UniformRandom, seed, max_rounds)
+                .stabilization_rounds
+                .unwrap_or(max_rounds)
+        });
         let alg = AlgAu::new(d);
         report.rows.push(ExperimentRow {
             experiment: "E9".into(),
@@ -401,9 +406,7 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
 
         // min-plus-one baseline: stabilization rounds and register growth
         let baseline = MinPlusOne::new();
-        let mut base_rounds = Vec::new();
-        let mut register_reach = Vec::new();
-        for seed in 0..seeds {
+        let baseline_trials: Vec<(u64, f64)> = crate::parallel::par_seeds(seeds, |seed| {
             let palette: Vec<u64> = vec![0, 1, 5, 40, 900, 10_000];
             let mut exec = ExecutionBuilder::new(&baseline, &graph)
                 .seed(seed)
@@ -417,9 +420,13 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
                 max_rounds,
                 4 * d as u64 + 8,
             );
-            base_rounds.push(rep.stabilization_rounds.unwrap_or(max_rounds));
-            register_reach.push(*exec.configuration().iter().max().unwrap() as f64);
-        }
+            (
+                rep.stabilization_rounds.unwrap_or(max_rounds),
+                *exec.configuration().iter().max().unwrap() as f64,
+            )
+        });
+        let base_rounds: Vec<u64> = baseline_trials.iter().map(|(r, _)| *r).collect();
+        let register_reach: Vec<f64> = baseline_trials.iter().map(|(_, m)| *m).collect();
         report.rows.push(ExperimentRow {
             experiment: "E9".into(),
             topology: format!("cycle-{}", graph.node_count()),
@@ -477,7 +484,10 @@ mod tests {
     fn e8_reports_the_livelock() {
         let r = e8_livelock(Scale::Quick);
         assert_eq!(r.rows.len(), 2);
-        assert_eq!(r.rows[0].failures, 1, "the reset attempt must fail to stabilize");
+        assert_eq!(
+            r.rows[0].failures, 1,
+            "the reset attempt must fail to stabilize"
+        );
         assert_eq!(r.rows[1].failures, 0, "AlgAU must stabilize");
     }
 

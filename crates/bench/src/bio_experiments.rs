@@ -22,10 +22,21 @@ pub fn e10_bio_recovery(scale: Scale) -> ExperimentReport {
         Scale::Full => (5, 5, 16, 8, 4000),
     };
 
-    for &h in &harshness_levels {
+    // The three scenarios are shared by every harshness level; the nine
+    // (scenario × harshness) measurements are independent and fan out across
+    // threads, with the report rows assembled in the original order afterwards.
+    let pulse = PulseScenario::new(4, pulse_cells);
+    let tissue = TissueScenario::sheet(tissue_side, tissue_side);
+    let colony = ColonyScenario::new(colony_cells);
+    let measurements = crate::parallel::par_map(&harshness_levels, |&h| {
+        let pulse_stats = pulse_unison_recovery(&pulse, h, trials, 21);
+        let availability = tissue_mis_availability(&tissue, h, availability_rounds, 22);
+        let colony_stats = colony_leader_recovery(&colony, h, trials, 23);
+        (pulse_stats, availability, colony_stats)
+    });
+
+    for (&h, (stats, availability, colony_stats)) in harshness_levels.iter().zip(&measurements) {
         // Pulse field: AlgAU burst recovery.
-        let pulse = PulseScenario::new(4, pulse_cells);
-        let stats = pulse_unison_recovery(&pulse, h, trials, 21);
         let samples: Vec<f64> = if stats.recovery_rounds.is_empty() {
             vec![0.0]
         } else {
@@ -43,8 +54,6 @@ pub fn e10_bio_recovery(scale: Scale) -> ExperimentReport {
         });
 
         // Tissue: asynchronous MIS availability under continuous noise.
-        let tissue = TissueScenario::sheet(tissue_side, tissue_side);
-        let availability = tissue_mis_availability(&tissue, h, availability_rounds, 22);
         report.rows.push(ExperimentRow {
             experiment: "E10".into(),
             topology: format!("tissue-{}x{}", tissue_side, tissue_side),
@@ -57,12 +66,14 @@ pub fn e10_bio_recovery(scale: Scale) -> ExperimentReport {
         });
 
         // Colony: asynchronous LE burst recovery.
-        let colony = ColonyScenario::new(colony_cells);
-        let stats = colony_leader_recovery(&colony, h, trials, 23);
-        let samples: Vec<f64> = if stats.recovery_rounds.is_empty() {
+        let samples: Vec<f64> = if colony_stats.recovery_rounds.is_empty() {
             vec![0.0]
         } else {
-            stats.recovery_rounds.iter().map(|&r| r as f64).collect()
+            colony_stats
+                .recovery_rounds
+                .iter()
+                .map(|&r| r as f64)
+                .collect()
         };
         report.rows.push(ExperimentRow {
             experiment: "E10".into(),
@@ -72,7 +83,7 @@ pub fn e10_bio_recovery(scale: Scale) -> ExperimentReport {
             scheduler: format!("uniform-random ({h:?})"),
             metric: "leader burst recovery rounds".into(),
             summary: Summary::of(&samples),
-            failures: stats.unrecovered,
+            failures: colony_stats.unrecovered,
         });
     }
     report.verdict = "all three scenarios recover from every injected burst; availability under \

@@ -24,10 +24,7 @@ fn protocol_graphs(n: usize, seed: u64) -> Vec<(String, Graph)> {
     vec![
         ("complete".to_string(), Graph::complete(n)),
         ("star".to_string(), Graph::star(n)),
-        (
-            "grid".to_string(),
-            Graph::grid(side.max(2), side.max(2)),
-        ),
+        ("grid".to_string(), Graph::grid(side.max(2), side.max(2))),
         (
             "gnp".to_string(),
             Topology::ErdosRenyi {
@@ -67,21 +64,32 @@ pub fn e4_restart(scale: Scale) -> ExperimentReport {
             if graph.diameter() > d {
                 continue;
             }
+            // Draw all the adversarial initial configurations sequentially (so
+            // the shared RNG stream stays deterministic) and fan the expensive
+            // measurement out across threads.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(d as u64);
+            let trials: Vec<(u64, Vec<RestartState<u32>>)> = (0..seeds)
+                .map(|seed| {
+                    let mut init: Vec<RestartState<u32>> = (0..graph.node_count())
+                        .map(|_| {
+                            if rng.gen_bool(0.5) {
+                                RestartState::Restart(rng.gen_range(0..=exit))
+                            } else {
+                                RestartState::Host(rng.gen_range(0..5))
+                            }
+                        })
+                        .collect();
+                    init[0] = RestartState::Restart(rng.gen_range(0..=exit));
+                    (seed, init)
+                })
+                .collect();
+            let outcomes = crate::parallel::par_map(&trials, |(seed, init)| {
+                measure_restart_exit(&wrapper, &graph, init.clone(), *seed, (4 * d + 10) as u64)
+            });
             let mut rounds = Vec::new();
             let mut failures = 0usize;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(d as u64);
-            for seed in 0..seeds {
-                let mut init: Vec<RestartState<u32>> = (0..graph.node_count())
-                    .map(|_| {
-                        if rng.gen_bool(0.5) {
-                            RestartState::Restart(rng.gen_range(0..=exit))
-                        } else {
-                            RestartState::Host(rng.gen_range(0..5))
-                        }
-                    })
-                    .collect();
-                init[0] = RestartState::Restart(rng.gen_range(0..=exit));
-                match measure_restart_exit(&wrapper, &graph, init, seed, (4 * d + 10) as u64) {
+            for outcome in outcomes {
+                match outcome {
                     Some(rep) => {
                         rounds.push(rep.exit_round);
                         all_concurrent &= rep.concurrent && rep.uniform_exit;
@@ -115,9 +123,7 @@ pub fn e4_restart(scale: Scale) -> ExperimentReport {
     } else {
         String::new()
     };
-    report.verdict = format!(
-        "every exit was concurrent and uniform: {all_concurrent}; {shape}"
-    );
+    report.verdict = format!("every exit was concurrent and uniform: {all_concurrent}; {shape}");
     report
 }
 
@@ -140,8 +146,7 @@ where
         .seed(seed)
         .random_initial(palette);
     let mut sched = SynchronousScheduler;
-    measure_static_stabilization(&mut exec, &mut sched, checker, horizon, tail)
-        .stabilization_round
+    measure_static_stabilization(&mut exec, &mut sched, checker, horizon, tail).stabilization_round
 }
 
 /// E5 — synchronous MIS stabilization across sizes and graph families.
@@ -164,11 +169,21 @@ pub fn e5_mis(scale: Scale) -> ExperimentReport {
             let alg = alg_mis(d);
             let palette = alg.states();
             let horizon = (60 * (d + 8) * ((n as f64).log2().ceil() as usize + 2) + 600) as u64;
+            let outcomes = crate::parallel::par_seeds(seeds, |seed| {
+                static_trial(
+                    &alg,
+                    &MisChecker,
+                    &graph,
+                    &palette,
+                    seed,
+                    horizon,
+                    horizon / 8,
+                )
+            });
             let mut rounds = Vec::new();
             let mut failures = 0usize;
-            for seed in 0..seeds {
-                match static_trial(&alg, &MisChecker, &graph, &palette, seed, horizon, horizon / 8)
-                {
+            for outcome in outcomes {
+                match outcome {
                     Some(r) => rounds.push(r),
                     None => failures += 1,
                 }
@@ -226,10 +241,21 @@ pub fn e6_le(scale: Scale) -> ExperimentReport {
             let alg = alg_le(d);
             let palette = alg.states();
             let horizon = (80 * d * ((n as f64).log2().ceil() as usize + 4) + 800) as u64;
+            let outcomes = crate::parallel::par_seeds(seeds, |seed| {
+                static_trial(
+                    &alg,
+                    &LeChecker,
+                    &graph,
+                    &palette,
+                    seed,
+                    horizon,
+                    horizon / 8,
+                )
+            });
             let mut rounds = Vec::new();
             let mut failures = 0usize;
-            for seed in 0..seeds {
-                match static_trial(&alg, &LeChecker, &graph, &palette, seed, horizon, horizon / 8) {
+            for outcome in outcomes {
+                match outcome {
                     Some(r) => rounds.push(r),
                     None => failures += 1,
                 }
@@ -288,9 +314,8 @@ pub fn e7_synchronizer(scale: Scale) -> ExperimentReport {
         // synchronous MIS (baseline pace)
         let sync_alg = alg_mis(d);
         let sync_palette = sync_alg.states();
-        let mut sync_rounds = Vec::new();
-        for seed in 0..seeds {
-            if let Some(r) = static_trial(
+        let mut sync_rounds: Vec<u64> = crate::parallel::par_seeds(seeds, |seed| {
+            static_trial(
                 &sync_alg,
                 &MisChecker,
                 &graph,
@@ -298,10 +323,11 @@ pub fn e7_synchronizer(scale: Scale) -> ExperimentReport {
                 seed,
                 20_000,
                 400,
-            ) {
-                sync_rounds.push(r);
-            }
-        }
+            )
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         if sync_rounds.is_empty() {
             sync_rounds.push(0);
         }
@@ -309,28 +335,22 @@ pub fn e7_synchronizer(scale: Scale) -> ExperimentReport {
         // asynchronous MIS under the uniform-random scheduler
         let async_alg = async_mis(d);
         let checker = async_alg.checker();
-        let mut async_rounds = Vec::new();
-        let mut failures = 0usize;
-        for seed in 0..seeds {
-            let fresh = async_alg.fresh_state();
-            let inner_palette: Vec<_> = sync_palette.clone();
+        let async_outcomes: Vec<Option<u64>> = crate::parallel::par_seeds(seeds, |seed| {
             let init = sa_synchronizer::random_composite_configuration(
-                &inner_palette,
+                &sync_palette,
                 async_alg.unison(),
                 graph.node_count(),
                 seed,
             );
-            let _ = fresh;
             let mut exec = Execution::new(&async_alg, &graph, init, seed);
             let rep = SchedulerKind::UniformRandom.with(|s| {
                 let mut s = s;
                 measure_static_stabilization(&mut exec, &mut s, &checker, 40_000, 400)
             });
-            match rep.stabilization_round {
-                Some(r) => async_rounds.push(r),
-                None => failures += 1,
-            }
-        }
+            rep.stabilization_round
+        });
+        let failures = async_outcomes.iter().filter(|r| r.is_none()).count();
+        let mut async_rounds: Vec<u64> = async_outcomes.into_iter().flatten().collect();
         if async_rounds.is_empty() {
             async_rounds.push(0);
         }

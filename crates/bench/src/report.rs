@@ -67,13 +67,9 @@ impl ExperimentReport {
             return;
         }
         let path = dir.join(format!("{}.json", self.id));
-        match serde_json::to_string_pretty(&self.rows) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {path:?}: {e}");
-                }
-            }
-            Err(e) => eprintln!("warning: could not serialize rows: {e}"),
+        let json = sa_model::metrics::rows_to_json(&self.rows).render_pretty();
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("warning: could not write {path:?}: {e}");
         }
     }
 }

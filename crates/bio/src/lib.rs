@@ -73,10 +73,7 @@ pub fn pulse_unison_recovery(
 /// Legitimacy of the tissue pattern: every cell decided, the differentiated (`IN`)
 /// cells independent, every other cell next to a differentiated one, and no cell in
 /// the middle of a reset.
-fn tissue_pattern_legitimate(
-    graph: &Graph,
-    config: &[SyncState<RestartState<MisState>>],
-) -> bool {
+fn tissue_pattern_legitimate(graph: &Graph, config: &[SyncState<RestartState<MisState>>]) -> bool {
     let mut in_set = vec![false; config.len()];
     for (v, s) in config.iter().enumerate() {
         match &s.current {

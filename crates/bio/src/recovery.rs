@@ -145,7 +145,10 @@ where
     O: LegitimacyOracle<A>,
 {
     assert!(!fault_palette.is_empty(), "fault palette must not be empty");
-    assert!((0.0..=1.0).contains(&per_node_rate), "rate must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&per_node_rate),
+        "rate must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
     let mut exec = Execution::new(algorithm, graph, benign_start, seed);
     let mut legitimate_rounds = 0u64;
@@ -258,7 +261,10 @@ mod tests {
         let severe = measure_availability(
             &alg, &graph, start, &mut sched, &oracle, &palette, 0.1, 300, 9,
         );
-        assert!(severe.availability < mild.availability, "{severe:?} vs {mild:?}");
+        assert!(
+            severe.availability < mild.availability,
+            "{severe:?} vs {mild:?}"
+        );
         assert!(severe.faults_injected > mild.faults_injected);
     }
 

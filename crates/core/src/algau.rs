@@ -136,8 +136,8 @@ impl AlgAu {
             }
             Turn::Faulty(level) => {
                 // FA: senses no level strictly outwards of ℓ
-                let senses_outwards = signal
-                    .senses_any(|t| self.levels.is_strictly_outwards(*level, t.level()));
+                let senses_outwards =
+                    signal.senses_any(|t| self.levels.is_strictly_outwards(*level, t.level()));
                 if !senses_outwards {
                     TransitionKind::FaultyAble
                 } else {
@@ -173,10 +173,7 @@ impl AlgAu {
                         from: turn,
                         kind: TransitionKind::AbleAble,
                         to: Turn::Able(self.levels.forward(l)),
-                        condition: format!(
-                            "good and Λ ⊆ {{{l}, {}}}",
-                            self.levels.forward(l)
-                        ),
+                        condition: format!("good and Λ ⊆ {{{l}, {}}}", self.levels.forward(l)),
                     });
                     if l.abs() >= 2 {
                         rows.push(TransitionTableRow {
@@ -252,6 +249,18 @@ impl Algorithm for AlgAu {
         self.next_turn(state, signal)
     }
 
+    fn dense_state_space(&self) -> Option<Vec<Turn>> {
+        // AlgAU's whole point is the fixed 4k − 2 = O(D) state space, so the
+        // executor can always run it on dense bitmask signals.
+        Some(self.states())
+    }
+
+    fn transition_is_deterministic(&self) -> bool {
+        // AlgAU is deterministic (|δ(q, S)| = 1 everywhere) and never reads
+        // the RNG, so the executor may memoize its transitions.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "AlgAU"
     }
@@ -290,7 +299,7 @@ mod tests {
     fn state_count_is_4k_minus_2() {
         for d in 1..=8 {
             let alg = AlgAu::new(d);
-            let k = (3 * d + 2) as usize;
+            let k = 3 * d + 2;
             assert_eq!(alg.state_count(), 4 * k - 2);
             assert_eq!(alg.clock_size() as usize, 2 * k);
             // all enumerated states are valid and distinct
@@ -317,9 +326,12 @@ mod tests {
     #[test]
     fn aa_transition_when_good_and_synchronized() {
         let alg = AlgAu::new(1); // k = 5
-        // all neighbors at the same level
+                                 // all neighbors at the same level
         let s = sig(&[Turn::Able(3)]);
-        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::AbleAble);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::AbleAble
+        );
         assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Able(4));
         // neighbors at ℓ and φ(ℓ)
         let s = sig(&[Turn::Able(3), Turn::Able(4)]);
@@ -336,7 +348,10 @@ mod tests {
         let alg = AlgAu::new(1);
         // neighbor one behind (ℓ−1) blocks the advance: Λ ⊄ {ℓ, φ(ℓ)}
         let s = sig(&[Turn::Able(3), Turn::Able(2)]);
-        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::Stay
+        );
         assert_eq!(alg.next_turn(&Turn::Able(3), &s), Turn::Able(3));
     }
 
@@ -352,7 +367,7 @@ mod tests {
     #[test]
     fn af_transition_when_not_protected() {
         let alg = AlgAu::new(1); // k = 5
-        // neighbor two levels away -> clock discrepancy -> not protected
+                                 // neighbor two levels away -> clock discrepancy -> not protected
         let s = sig(&[Turn::Able(3), Turn::Able(5)]);
         assert_eq!(
             alg.transition_kind(&Turn::Able(3), &s),
@@ -372,7 +387,10 @@ mod tests {
         );
         // but sensing a faulty at an unrelated level does not (as long as protected)
         let s = sig(&[Turn::Able(3), Turn::Faulty(4)]);
-        assert_eq!(alg.transition_kind(&Turn::Able(3), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(3), &s),
+            TransitionKind::Stay
+        );
         // and sensing faulty(-2) (opposite sign) does not either
         let s = sig(&[Turn::Able(3), Turn::Faulty(-2)]);
         // note: level -2 is not adjacent to 3, so this is actually "not protected"
@@ -387,9 +405,15 @@ mod tests {
         let alg = AlgAu::new(1);
         // AF requires |ℓ| ≥ 2; a node at level 1 facing a discrepancy just stays
         let s = sig(&[Turn::Able(1), Turn::Able(4)]);
-        assert_eq!(alg.transition_kind(&Turn::Able(1), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(1), &s),
+            TransitionKind::Stay
+        );
         let s = sig(&[Turn::Able(-1), Turn::Faulty(-3)]);
-        assert_eq!(alg.transition_kind(&Turn::Able(-1), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Able(-1), &s),
+            TransitionKind::Stay
+        );
     }
 
     #[test]
@@ -401,10 +425,19 @@ mod tests {
             TransitionKind::FaultyAble
         );
         assert_eq!(alg.next_turn(&Turn::Faulty(3), &s), Turn::Able(2));
-        assert_eq!(alg.next_turn(&Turn::Faulty(-3), &sig(&[Turn::Faulty(-3)])), Turn::Able(-2));
+        assert_eq!(
+            alg.next_turn(&Turn::Faulty(-3), &sig(&[Turn::Faulty(-3)])),
+            Turn::Able(-2)
+        );
         // faulty at level ±2 returns to level ±1
-        assert_eq!(alg.next_turn(&Turn::Faulty(2), &sig(&[Turn::Faulty(2)])), Turn::Able(1));
-        assert_eq!(alg.next_turn(&Turn::Faulty(-2), &sig(&[Turn::Faulty(-2)])), Turn::Able(-1));
+        assert_eq!(
+            alg.next_turn(&Turn::Faulty(2), &sig(&[Turn::Faulty(2)])),
+            Turn::Able(1)
+        );
+        assert_eq!(
+            alg.next_turn(&Turn::Faulty(-2), &sig(&[Turn::Faulty(-2)])),
+            Turn::Able(-1)
+        );
     }
 
     #[test]
@@ -412,9 +445,15 @@ mod tests {
         let alg = AlgAu::new(1);
         // senses level 4 which is strictly outwards of 3 -> must wait
         let s = sig(&[Turn::Faulty(3), Turn::Able(4)]);
-        assert_eq!(alg.transition_kind(&Turn::Faulty(3), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Faulty(3), &s),
+            TransitionKind::Stay
+        );
         let s = sig(&[Turn::Faulty(3), Turn::Faulty(5)]);
-        assert_eq!(alg.transition_kind(&Turn::Faulty(3), &s), TransitionKind::Stay);
+        assert_eq!(
+            alg.transition_kind(&Turn::Faulty(3), &s),
+            TransitionKind::Stay
+        );
         // an outward level of the opposite sign does not block
         let s = sig(&[Turn::Faulty(3), Turn::Able(-4)]);
         assert_eq!(
@@ -426,8 +465,8 @@ mod tests {
     #[test]
     fn faulty_at_extreme_level_always_returns_lemma_2_12_base_case() {
         let alg = AlgAu::new(1); // k = 5
-        // Lemma 2.12 base case: a node in turn k̂ (or −k̂) has no outward levels, so it
-        // performs FA on its next activation regardless of the signal.
+                                 // Lemma 2.12 base case: a node in turn k̂ (or −k̂) has no outward levels, so it
+                                 // performs FA on its next activation regardless of the signal.
         for other in alg.states() {
             let s = sig(&[Turn::Faulty(5), other]);
             assert_eq!(
@@ -459,9 +498,18 @@ mod tests {
         let rows = alg.transition_table();
         let k = 5usize;
         // AA rows: 2k; AF rows: 2(k-1); FA rows: 2(k-1)
-        let aa = rows.iter().filter(|r| r.kind == TransitionKind::AbleAble).count();
-        let af = rows.iter().filter(|r| r.kind == TransitionKind::AbleFaulty).count();
-        let fa = rows.iter().filter(|r| r.kind == TransitionKind::FaultyAble).count();
+        let aa = rows
+            .iter()
+            .filter(|r| r.kind == TransitionKind::AbleAble)
+            .count();
+        let af = rows
+            .iter()
+            .filter(|r| r.kind == TransitionKind::AbleFaulty)
+            .count();
+        let fa = rows
+            .iter()
+            .filter(|r| r.kind == TransitionKind::FaultyAble)
+            .count();
         assert_eq!(aa, 2 * k);
         assert_eq!(af, 2 * (k - 1));
         assert_eq!(fa, 2 * (k - 1));

@@ -46,6 +46,10 @@ impl Algorithm for MinPlusOne {
         min.saturating_add(1)
     }
 
+    fn transition_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "min-plus-one (unbounded)"
     }

@@ -137,6 +137,14 @@ impl Algorithm for ResetAttempt {
         }
     }
 
+    fn dense_state_space(&self) -> Option<Vec<ResetTurn>> {
+        Some(self.states())
+    }
+
+    fn transition_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "reset-attempt (Appendix A)"
     }
@@ -222,13 +230,22 @@ mod tests {
         let alg = ResetAttempt::new(5);
         let mut r = rng();
         let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(3)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Turn(3));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(2), &s, &mut r),
+            ResetTurn::Turn(3)
+        );
         // wrap-around
         let s = sig(&[ResetTurn::Turn(4), ResetTurn::Turn(0)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(4), &s, &mut r), ResetTurn::Turn(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(4), &s, &mut r),
+            ResetTurn::Turn(0)
+        );
         // a predecessor neighbor blocks the advance but is not a fault
         let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(1)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Turn(2));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(2), &s, &mut r),
+            ResetTurn::Turn(2)
+        );
     }
 
     #[test]
@@ -237,16 +254,28 @@ mod tests {
         let mut r = rng();
         // a neighbor two clock values away triggers the reset
         let s = sig(&[ResetTurn::Turn(2), ResetTurn::Turn(4)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Reset(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(2), &s, &mut r),
+            ResetTurn::Reset(0)
+        );
         // a reset neighbor triggers the reset for ℓ ≠ 0 …
         let s = sig(&[ResetTurn::Turn(2), ResetTurn::Reset(4)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(2), &s, &mut r), ResetTurn::Reset(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(2), &s, &mut r),
+            ResetTurn::Reset(0)
+        );
         // … but turn 0 tolerates R_{cD} (nodes just about to exit the reset)
         let s = sig(&[ResetTurn::Turn(0), ResetTurn::Reset(4)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(0), &s, &mut r), ResetTurn::Turn(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(0), &s, &mut r),
+            ResetTurn::Turn(0)
+        );
         // turn 0 does not tolerate other reset turns
         let s = sig(&[ResetTurn::Turn(0), ResetTurn::Reset(1)]);
-        assert_eq!(alg.transition(&ResetTurn::Turn(0), &s, &mut r), ResetTurn::Reset(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Turn(0), &s, &mut r),
+            ResetTurn::Reset(0)
+        );
     }
 
     #[test]
@@ -254,18 +283,33 @@ mod tests {
         let alg = ResetAttempt::new(5);
         let mut r = rng();
         let s = sig(&[ResetTurn::Reset(1), ResetTurn::Reset(3)]);
-        assert_eq!(alg.transition(&ResetTurn::Reset(1), &s, &mut r), ResetTurn::Reset(2));
+        assert_eq!(
+            alg.transition(&ResetTurn::Reset(1), &s, &mut r),
+            ResetTurn::Reset(2)
+        );
         // blocked by a smaller reset index
         let s = sig(&[ResetTurn::Reset(2), ResetTurn::Reset(1)]);
-        assert_eq!(alg.transition(&ResetTurn::Reset(2), &s, &mut r), ResetTurn::Reset(2));
+        assert_eq!(
+            alg.transition(&ResetTurn::Reset(2), &s, &mut r),
+            ResetTurn::Reset(2)
+        );
         // blocked by a clock neighbor
         let s = sig(&[ResetTurn::Reset(2), ResetTurn::Turn(0)]);
-        assert_eq!(alg.transition(&ResetTurn::Reset(2), &s, &mut r), ResetTurn::Reset(2));
+        assert_eq!(
+            alg.transition(&ResetTurn::Reset(2), &s, &mut r),
+            ResetTurn::Reset(2)
+        );
         // exit: R_{cD} with only R_{cD} and turn 0 around
         let s = sig(&[ResetTurn::Reset(4), ResetTurn::Turn(0)]);
-        assert_eq!(alg.transition(&ResetTurn::Reset(4), &s, &mut r), ResetTurn::Turn(0));
+        assert_eq!(
+            alg.transition(&ResetTurn::Reset(4), &s, &mut r),
+            ResetTurn::Turn(0)
+        );
         let s = sig(&[ResetTurn::Reset(4), ResetTurn::Reset(3)]);
-        assert_eq!(alg.transition(&ResetTurn::Reset(4), &s, &mut r), ResetTurn::Reset(4));
+        assert_eq!(
+            alg.transition(&ResetTurn::Reset(4), &s, &mut r),
+            ResetTurn::Reset(4)
+        );
     }
 
     #[test]

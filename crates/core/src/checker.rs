@@ -177,7 +177,7 @@ mod tests {
         let alg = AlgAu::new(1);
         let checker = AuChecker::new(alg);
         let g = Graph::path(3); // diameter 2
-        // 10 rounds, diameter 2 -> at least 8 updates each
+                                // 10 rounds, diameter 2 -> at least 8 updates each
         assert!(checker.check_window(&g, &[8, 9, 10], 10).is_empty());
         let violations = checker.check_window(&g, &[8, 7, 10], 10);
         assert_eq!(violations.len(), 1);

@@ -125,8 +125,7 @@ pub fn check_step_invariants(
     // Obs 2.6: if the graph is ℓ-out-protected it stays ℓ-out-protected (checked for
     // every level).
     for level in levels.iter() {
-        if p.graph_level_out_protected(before, level)
-            && !p.graph_level_out_protected(after, level)
+        if p.graph_level_out_protected(before, level) && !p.graph_level_out_protected(after, level)
         {
             violations.push(InvariantViolation {
                 invariant: "Obs 2.6",
@@ -177,9 +176,9 @@ pub fn check_protected_arc(
     // Try every level as the arc's starting point ℓ and check whether all node levels
     // lie within {φ^j(ℓ) : 0 ≤ j ≤ d}.
     let fits_some_arc = levels.iter().any(|start| {
-        config.iter().all(|t| {
-            (0..=d).any(|j| levels.forward_by(start, j) == t.level())
-        })
+        config
+            .iter()
+            .all(|t| (0..=d).any(|j| levels.forward_by(start, j) == t.level()))
     });
     if fits_some_arc {
         None
@@ -238,19 +237,17 @@ mod tests {
     #[test]
     fn invariants_hold_on_random_executions_synchronous() {
         let alg = AlgAu::new(2);
-        for (i, graph) in [Graph::path(6), Graph::cycle(6), Graph::star(6), Graph::grid(2, 3)]
-            .iter()
-            .enumerate()
+        for (i, graph) in [
+            Graph::path(6),
+            Graph::cycle(6),
+            Graph::star(6),
+            Graph::grid(2, 3),
+        ]
+        .iter()
+        .enumerate()
         {
             let init = random_config(&alg, graph.node_count(), 100 + i as u64);
-            check_execution_invariants(
-                &alg,
-                graph,
-                init,
-                &mut SynchronousScheduler,
-                200,
-                i as u64,
-            );
+            check_execution_invariants(&alg, graph, init, &mut SynchronousScheduler, 200, i as u64);
         }
     }
 

@@ -45,21 +45,19 @@ impl<'a> Predicates<'a> {
     pub fn node_good(&self, config: &[Turn], v: NodeId) -> bool {
         self.node_protected(config, v)
             && config[v].is_able()
-            && self
-                .graph
-                .neighbors(v)
-                .iter()
-                .all(|&u| config[u].is_able())
+            && self.graph.neighbors(v).iter().all(|&u| config[u].is_able())
     }
 
     /// Whether node `v` is *out-protected*: it senses no level at least two units
     /// outwards of its own level (`Λ_v ∩ Ψ≫(λ_v) = ∅`).
     pub fn node_out_protected(&self, config: &[Turn], v: NodeId) -> bool {
         let own = config[v].level();
-        self.graph
-            .neighbors(v)
-            .iter()
-            .all(|&u| !self.algorithm.levels().is_far_outwards(own, config[u].level()))
+        self.graph.neighbors(v).iter().all(|&u| {
+            !self
+                .algorithm
+                .levels()
+                .is_far_outwards(own, config[u].level())
+        })
     }
 
     /// Whether the whole graph is protected.
@@ -76,7 +74,9 @@ impl<'a> Predicates<'a> {
 
     /// Whether the whole graph is out-protected.
     pub fn graph_out_protected(&self, config: &[Turn]) -> bool {
-        self.graph.nodes().all(|v| self.node_out_protected(config, v))
+        self.graph
+            .nodes()
+            .all(|v| self.node_out_protected(config, v))
     }
 
     /// Whether the graph is `ℓ`-out-protected: every node whose level is in `Ψ≥(ℓ)`
@@ -114,9 +114,9 @@ impl<'a> Predicates<'a> {
 
     /// Whether the graph is *justified*: it has no unjustifiably faulty node.
     pub fn graph_justified(&self, config: &[Turn]) -> bool {
-        self.graph.nodes().all(|v| {
-            self.justifiably_faulty(config, v).unwrap_or(true)
-        })
+        self.graph
+            .nodes()
+            .all(|v| self.justifiably_faulty(config, v).unwrap_or(true))
     }
 
     /// Whether node `v` is *grounded*: it lies on a path of length at most `D` whose

@@ -7,11 +7,10 @@
 //! "short detours" the algorithm uses instead of a reset mechanism.
 
 use crate::level::{Level, Levels};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A state of AlgAU: an able turn `ℓ̄` or a faulty turn `ℓ̂`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Turn {
     /// An able turn at the given level (`1 ≤ |ℓ| ≤ k`). These are the output states.
     Able(Level),
@@ -101,7 +100,7 @@ mod tests {
     #[test]
     fn ordering_is_total_for_signals() {
         // only needed so turns can live in a BTreeSet-backed Signal
-        let mut turns = vec![Turn::Faulty(2), Turn::Able(3), Turn::Able(-1)];
+        let mut turns = [Turn::Faulty(2), Turn::Able(3), Turn::Able(-1)];
         turns.sort();
         assert_eq!(turns.len(), 3);
     }

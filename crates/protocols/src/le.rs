@@ -26,7 +26,7 @@
 //! self-stabilizing LE algorithm with `O(D)` states stabilizing in `O(D·log n)`
 //! rounds in expectation and whp.
 
-use crate::restart::{HostOutcome, RestartableAlgorithm, RestartState, WithRestart};
+use crate::restart::{HostOutcome, RestartState, RestartableAlgorithm, WithRestart};
 use rand::Rng;
 use rand::RngCore;
 use sa_model::checker::TaskChecker;
@@ -91,13 +91,20 @@ impl LeHost {
     /// # Panics
     ///
     /// Panics unless `D ≥ 1`, `0 < p₀ < 1` and `k ≥ 2`.
-    pub fn with_parameters(diameter_bound: usize, halt_probability: f64, detect_id_count: u8) -> Self {
+    pub fn with_parameters(
+        diameter_bound: usize,
+        halt_probability: f64,
+        detect_id_count: u8,
+    ) -> Self {
         assert!(diameter_bound >= 1, "the diameter bound must be at least 1");
         assert!(
             halt_probability > 0.0 && halt_probability < 1.0,
             "p0 must be in (0, 1)"
         );
-        assert!(detect_id_count >= 2, "DetectLE needs at least 2 identifiers");
+        assert!(
+            detect_id_count >= 2,
+            "DetectLE needs at least 2 identifiers"
+        );
         LeHost {
             diameter_bound,
             halt_probability,
@@ -213,11 +220,9 @@ impl RestartableAlgorithm for LeHost {
             next.round_in_epoch = s.round_in_epoch + 1;
             next.heard_flag = or_heard_flag;
             next.heard_coin = or_heard_coin;
-            if s.stage == Stage::Verification {
-                if s.first_id == 0 {
-                    if let Some(id) = sensed_id {
-                        next.first_id = id;
-                    }
+            if s.stage == Stage::Verification && s.first_id == 0 {
+                if let Some(id) = sensed_id {
+                    next.first_id = id;
                 }
             }
             return HostOutcome::Continue(next);
@@ -337,7 +342,9 @@ impl TaskChecker<AlgLe> for LeChecker {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(v, &c)| format!("leader output of node {v} changed {c} times after stabilization"))
+            .map(|(v, &c)| {
+                format!("leader output of node {v} changed {c} times after stabilization")
+            })
             .collect()
     }
 
@@ -521,8 +528,7 @@ mod tests {
                 .seed(seed)
                 .random_initial(&palette);
             let mut sched = SynchronousScheduler;
-            let report =
-                measure_static_stabilization(&mut exec, &mut sched, &LeChecker, 2500, 150);
+            let report = measure_static_stabilization(&mut exec, &mut sched, &LeChecker, 2500, 150);
             assert!(
                 report.stabilization_round.is_some(),
                 "seed {seed}: {report:?}"

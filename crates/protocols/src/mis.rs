@@ -22,7 +22,7 @@
 //! self-stabilizing MIS algorithm with `O(D)` states that stabilizes in
 //! `O((D + log n)·log n)` rounds in expectation and whp.
 
-use crate::restart::{HostOutcome, RestartableAlgorithm, RestartState, WithRestart};
+use crate::restart::{HostOutcome, RestartState, RestartableAlgorithm, WithRestart};
 use rand::Rng;
 use rand::RngCore;
 use sa_model::checker::TaskChecker;
@@ -91,7 +91,10 @@ impl MisHost {
             prefix_stop_probability > 0.0 && prefix_stop_probability < 1.0,
             "p0 must be in (0, 1)"
         );
-        assert!(detect_id_count >= 2, "DetectMIS needs at least 2 identifiers");
+        assert!(
+            detect_id_count >= 2,
+            "DetectMIS needs at least 2 identifiers"
+        );
         assert!(diameter_bound >= 1, "the diameter bound must be at least 1");
         MisHost {
             diameter_bound,
@@ -158,9 +161,7 @@ impl RestartableAlgorithm for MisHost {
 
         // -------- fault detection ---------------------------------------------
         // RandPhase: neighboring step counters may differ by at most one.
-        if s.step > last
-            || signal.senses_any(|u| u.step.abs_diff(s.step) > 1 || u.step > last)
-        {
+        if s.step > last || signal.senses_any(|u| u.step.abs_diff(s.step) > 1 || u.step > last) {
             return HostOutcome::Restart;
         }
         // DetectMIS (decided nodes only).
@@ -222,9 +223,8 @@ impl RestartableAlgorithm for MisHost {
             } else {
                 // evaluate round: drop out if our coin was 0 and some undecided
                 // candidate in the inclusive neighborhood tossed 1
-                let ic = signal.senses_any(|u| {
-                    u.decision == Decision::Undecided && u.candidate && u.coin
-                });
+                let ic = signal
+                    .senses_any(|u| u.decision == Decision::Undecided && u.candidate && u.coin);
                 if !s.coin && ic {
                     next.candidate = false;
                 }
@@ -235,9 +235,7 @@ impl RestartableAlgorithm for MisHost {
         if s.decision == Decision::Undecided && !started_new_phase {
             if next.step == self.diameter_bound as u16 + 1 && next.candidate {
                 next.decision = Decision::In;
-            } else if next.step == last
-                && signal.senses_any(|u| u.decision == Decision::In)
-            {
+            } else if next.step == last && signal.senses_any(|u| u.decision == Decision::In) {
                 next.decision = Decision::Out;
             }
         }
@@ -309,12 +307,16 @@ impl MisChecker {
         let mut violations = Vec::new();
         for &(u, v) in graph.edges() {
             if in_set[u] && in_set[v] {
-                violations.push(format!("independence violated: adjacent nodes {u} and {v} are both IN"));
+                violations.push(format!(
+                    "independence violated: adjacent nodes {u} and {v} are both IN"
+                ));
             }
         }
         for v in graph.nodes() {
             if !in_set[v] && !graph.neighbors(v).iter().any(|&u| in_set[u]) {
-                violations.push(format!("maximality violated: node {v} is OUT with no IN neighbor"));
+                violations.push(format!(
+                    "maximality violated: node {v} is OUT with no IN neighbor"
+                ));
             }
         }
         violations
@@ -331,9 +333,7 @@ impl TaskChecker<AlgMis> for MisChecker {
                     violations.push(format!("node {v} is inside Restart (σ({i}))"));
                 }
                 RestartState::Host(s) => match s.decision {
-                    Decision::Undecided => {
-                        violations.push(format!("node {v} is still undecided"))
-                    }
+                    Decision::Undecided => violations.push(format!("node {v} is still undecided")),
                     Decision::In => in_set[v] = true,
                     Decision::Out => {}
                 },
@@ -350,7 +350,9 @@ impl TaskChecker<AlgMis> for MisChecker {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(v, &c)| format!("static output of node {v} changed {c} times after stabilization"))
+            .map(|(v, &c)| {
+                format!("static output of node {v} changed {c} times after stabilization")
+            })
             .collect()
     }
 
@@ -430,7 +432,10 @@ mod tests {
         assert_eq!(host.step(&a, &sig, &mut rng), HostOutcome::Restart);
         // the same identifier is not detected (constant-probability detection)
         let sig = Signal::from_states(vec![a, a]);
-        assert!(matches!(host.step(&a, &sig, &mut rng), HostOutcome::Continue(_)));
+        assert!(matches!(
+            host.step(&a, &sig, &mut rng),
+            HostOutcome::Continue(_)
+        ));
     }
 
     #[test]
@@ -469,7 +474,11 @@ mod tests {
                 assert_eq!(next.step, 0);
                 assert!(next.flag, "a fresh phase restores the random prefix");
                 assert!(next.candidate);
-                assert_eq!(next.decision, Decision::In, "decisions persist across phases");
+                assert_eq!(
+                    next.decision,
+                    Decision::In,
+                    "decisions persist across phases"
+                );
             }
             HostOutcome::Restart => panic!("unexpected restart"),
         }
@@ -531,7 +540,10 @@ mod tests {
                 report.stabilization_round.is_some(),
                 "seed {seed}: {report:?}"
             );
-            assert!(all_decided_and_valid(&graph, exec.configuration()), "seed {seed}");
+            assert!(
+                all_decided_and_valid(&graph, exec.configuration()),
+                "seed {seed}"
+            );
         }
     }
 }

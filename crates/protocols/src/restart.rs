@@ -65,6 +65,14 @@ pub trait RestartableAlgorithm {
     /// representative subset — see each host's documentation).
     fn states(&self) -> Vec<Self::State>;
 
+    /// Whether [`RestartableAlgorithm::step`] is a pure function of
+    /// `(state, signal)` that never reads the RNG (see
+    /// [`Algorithm::transition_is_deterministic`]). Hosts that toss coins —
+    /// like the AlgLE / AlgMIS hosts — keep the default `false`.
+    fn step_is_deterministic(&self) -> bool {
+        false
+    }
+
     /// Host algorithm name.
     fn name(&self) -> &'static str {
         std::any::type_name::<Self>()
@@ -186,6 +194,18 @@ impl<H: RestartableAlgorithm> Algorithm for WithRestart<H> {
         }
     }
 
+    fn dense_state_space(&self) -> Option<Vec<Self::State>> {
+        // Restart adds 2D + 1 states to the host's enumeration; both are O(D),
+        // so the composite stays comfortably dense-indexable.
+        Some(self.states())
+    }
+
+    fn transition_is_deterministic(&self) -> bool {
+        // The Restart rules themselves are deterministic; the composite is
+        // deterministic exactly when the host's step is.
+        self.host.step_is_deterministic()
+    }
+
     fn name(&self) -> &'static str {
         self.host.name()
     }
@@ -193,9 +213,8 @@ impl<H: RestartableAlgorithm> Algorithm for WithRestart<H> {
 
 impl<H: RestartableAlgorithm> StateSpace for WithRestart<H> {
     fn states(&self) -> Vec<Self::State> {
-        let mut states: Vec<Self::State> = (0..=self.exit_index())
-            .map(RestartState::Restart)
-            .collect();
+        let mut states: Vec<Self::State> =
+            (0..=self.exit_index()).map(RestartState::Restart).collect();
         states.extend(self.host.states().into_iter().map(RestartState::Host));
         states
     }
@@ -241,6 +260,10 @@ impl RestartableAlgorithm for TrivialHost {
         (0..self.period).collect()
     }
 
+    fn step_is_deterministic(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "trivial-host"
     }
@@ -266,10 +289,7 @@ pub fn measure_restart_exit<H: RestartableAlgorithm + Clone>(
 
     let mut exec = Execution::new(wrapper, graph, initial, seed);
     let mut sched = SynchronousScheduler;
-    let initially_restarting = exec
-        .configuration()
-        .iter()
-        .any(RestartState::is_restarting);
+    let initially_restarting = exec.configuration().iter().any(RestartState::is_restarting);
     if !initially_restarting {
         return Some(RestartExitReport {
             exit_round: 0,
@@ -390,7 +410,10 @@ mod tests {
         let w = wrapper(2);
         let mut rng = rand::thread_rng();
         let sig = Signal::from_states(vec![TState::Host(3), TState::Host(5)]);
-        assert_eq!(w.transition(&TState::Host(3), &sig, &mut rng), TState::Host(4));
+        assert_eq!(
+            w.transition(&TState::Host(3), &sig, &mut rng),
+            TState::Host(4)
+        );
     }
 
     #[test]

@@ -45,6 +45,41 @@ pub trait Algorithm {
         rng: &mut dyn RngCore,
     ) -> Self::State;
 
+    /// Enumerates the state space `Q` for dense-signal indexing, or `None` when
+    /// the space is unbounded (or too large to be worth enumerating).
+    ///
+    /// The SA model assumes *bounded-memory* nodes, so every algorithm of the
+    /// paper has a finite `Q`; returning it here lets the executor precompute a
+    /// [`StateIndex`](crate::signal::StateIndex) and run the step loop on dense
+    /// bitmask signals with incrementally maintained neighborhood masks —
+    /// allocation-free and `O(changed · deg)` per step instead of rebuilding
+    /// every activated node's signal from scratch. Algorithms that also
+    /// implement [`StateSpace`] typically forward this to
+    /// [`StateSpace::states`].
+    ///
+    /// The default (`None`) keeps the sparse `BTreeSet` signal path, which is
+    /// always correct. The executor falls back to sparse automatically if a
+    /// state outside the returned enumeration ever appears (e.g. through fault
+    /// injection with an exotic palette), so this hint can never change
+    /// observable behaviour — only performance.
+    fn dense_state_space(&self) -> Option<Vec<Self::State>> {
+        None
+    }
+
+    /// Whether [`Algorithm::transition`] is a pure function of `(state, signal)`
+    /// that never reads the RNG.
+    ///
+    /// Deterministic algorithms (`|δ(q, S)| = 1` everywhere, like AlgAU) may
+    /// return `true`; the executor then memoizes transitions per
+    /// `(state, signal)` pair on the dense-signal path, which collapses the
+    /// per-step work of synchronized regions (where many nodes share the same
+    /// state and signal) to a single transition evaluation. Returning `true`
+    /// for an algorithm that *does* consult the RNG changes its behaviour —
+    /// the default is therefore `false`.
+    fn transition_is_deterministic(&self) -> bool {
+        false
+    }
+
     /// Human-readable algorithm name, used in traces and experiment reports.
     fn name(&self) -> &'static str {
         std::any::type_name::<Self>()

@@ -24,12 +24,7 @@ pub trait TaskChecker<A: Algorithm> {
     /// node `v` changed its output value during the window and `rounds` is the number
     /// of rounds the window spanned. The default implementation accepts anything
     /// (static tasks).
-    fn check_window(
-        &self,
-        _graph: &Graph,
-        _output_changes: &[u64],
-        _rounds: u64,
-    ) -> Vec<String> {
+    fn check_window(&self, _graph: &Graph, _output_changes: &[u64], _rounds: u64) -> Vec<String> {
         Vec::new()
     }
 
@@ -255,7 +250,8 @@ mod tests {
         let mut exec = Execution::new(&alg, &g, vec![0, 0, 3, 0, 0], 1);
         let mut sched = SynchronousScheduler;
         let oracle = |_: &Graph, cfg: &[u8]| cfg.iter().all(|s| *s == 3);
-        let report = measure_stabilization(&mut exec, &mut sched, &oracle, &AgreementChecker, 50, 10);
+        let report =
+            measure_stabilization(&mut exec, &mut sched, &oracle, &AgreementChecker, 50, 10);
         assert!(report.is_clean());
         assert_eq!(report.stabilization_rounds, Some(2));
         assert_eq!(report.verification_rounds, 10);

@@ -10,23 +10,89 @@
 //! `t`, `ϱ(t)` is the earliest time such that every node is activated at least once in
 //! `[t, ϱ(t))`. The executor tracks `R(i) = ϱ^i(0)` exactly: [`Execution::rounds`]
 //! returns the largest `i` with `R(i) ≤ now`.
+//!
+//! # The dense sensing engine
+//!
+//! The SA model's nodes are bounded-memory, so for most algorithms the state
+//! space `Q` is small and enumerable ([`Algorithm::dense_state_space`]). The
+//! executor exploits this with three cooperating mechanisms:
+//!
+//! * **Incremental neighborhood sensing.** For every node `v` it keeps
+//!   state-presence counts (`counts[q][v]` = how many nodes of `N⁺(v)` are in
+//!   state `q`, stored state-major so the few states active in a step share
+//!   cache lines) plus the induced bitmask over a shared
+//!   [`StateIndex`] — which **is** the node's
+//!   signal `S_v ∈ {0,1}^Q`. Both are updated only when a node actually
+//!   changes state, so a step costs `O(changed · deg)` update work instead of
+//!   rebuilding every activated node's signal from scratch.
+//! * **Transition memoization.** For deterministic algorithms
+//!   ([`Algorithm::transition_is_deterministic`]) the next state is a pure
+//!   function of `(state, signal)`; a small memo table keyed by
+//!   `(state index, signal mask)` collapses synchronized regions — where many
+//!   nodes share the same state and signal, the common case for unison in
+//!   lockstep — to a single transition evaluation per step.
+//! * **Buffer reuse.** Activation sets
+//!   ([`Scheduler::activations_into`](crate::scheduler::Scheduler::activations_into)),
+//!   pending updates, the changed list and the scratch signal all live in
+//!   buffers owned by the execution, so the step loop performs **zero heap
+//!   allocations** once warm (tracing off).
+//!
+//! Algorithms with unbounded or unenumerable state spaces fall back to the
+//! sparse `BTreeSet` signal transparently; executions whose configurations
+//! leave the enumerated space (e.g. exotic fault palettes) degrade to sparse
+//! automatically, so the engine choice is purely a performance matter.
 
 use crate::algorithm::{Algorithm, LegitimacyOracle};
 use crate::graph::{Graph, NodeId};
-use crate::signal::Signal;
+use crate::scheduler::ActivationSet;
+use crate::signal::{Signal, StateIndex};
 use crate::trace::{Trace, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// How the executor represents signals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SignalMode {
+    /// Use the dense bitmask engine whenever the algorithm enumerates a usable
+    /// state space, sparse otherwise (the default).
+    #[default]
+    Auto,
+    /// Always rebuild sparse `BTreeSet` signals from scratch. Mainly useful as
+    /// a baseline for benchmarks and for differential testing of the dense
+    /// engine.
+    Sparse,
+}
+
+/// Largest enumerated state space the dense engine will index.
+///
+/// Public so composite algorithms (e.g. the synchronizer's product space) can
+/// decline to materialize an enumeration the engine would reject anyway.
+pub const MAX_DENSE_STATES: usize = 4096;
+
+/// Largest `states × nodes` count table the dense engine will allocate
+/// (at 2 bytes per cell this caps the table at 128 MiB).
+const MAX_DENSE_COUNT_CELLS: usize = 1 << 26;
+
+/// Number of `(state, signal) → next state` memo slots kept for deterministic
+/// algorithms. Synchronized regions need one or two; the table is a small
+/// linear-probe ring so misses stay cheap.
+const MEMO_CAPACITY: usize = 8;
+
+/// Sentinel state index marking "outside the dense index".
+const UNINDEXED: u32 = u32::MAX;
 
 /// Result of a single execution step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
     /// The step index that was just executed (the configuration is now `C_{time+1}`).
     pub time: u64,
     /// Whether this step completed an asynchronous round (`ϱ` fired).
     pub round_completed: bool,
-    /// Nodes whose state actually changed in this step.
-    pub changed: Vec<NodeId>,
+    /// Number of nodes whose state actually changed in this step. The nodes
+    /// themselves are available from [`Execution::last_changed`] until the
+    /// next step executes.
+    pub changed_count: usize,
 }
 
 /// Outcome of [`Execution::run_until_legitimate`].
@@ -61,6 +127,163 @@ impl StabilizationOutcome {
     }
 }
 
+/// The incremental dense sensing engine (see the [module docs](self)).
+struct DenseSensing<S: Ord> {
+    index: Arc<StateIndex<S>>,
+    /// Mask words per node.
+    words: usize,
+    /// Number of nodes.
+    n: usize,
+    /// `counts[q * n + v]`: nodes of `N⁺(v)` currently in state `q`.
+    /// State-major ("transposed") layout: a step usually touches only the few
+    /// states involved in this step's transitions, so the touched rows stay in
+    /// cache even for large `|Q|`.
+    counts: Vec<u16>,
+    /// `masks[v * words ..][..words]`: the signal bitmask of node `v`.
+    masks: Vec<u64>,
+    /// The index of every node's current state (avoids re-searching on change).
+    state_idx: Vec<u32>,
+    /// `deg(v) + 1` per node, for the uniform-step batch update.
+    deg1: Vec<u16>,
+    /// `Some(q)` while *every* node is known to be in state `q` (then every
+    /// signal is exactly `{q}`), letting a full-activation step of a
+    /// deterministic algorithm evaluate the transition once for all nodes.
+    uniform_state: Option<u32>,
+}
+
+impl<S: Ord> DenseSensing<S> {
+    /// Builds the engine from scratch for `config`, or `None` if some state is
+    /// not covered by `index` or the table would be degenerate / too large.
+    fn build(index: Arc<StateIndex<S>>, graph: &Graph, config: &[S]) -> Option<Self> {
+        let n = graph.node_count();
+        let q = index.len();
+        if q == 0
+            || q > MAX_DENSE_STATES
+            || n.checked_mul(q)? > MAX_DENSE_COUNT_CELLS
+            || graph.max_degree() + 1 > u16::MAX as usize
+        {
+            return None;
+        }
+        let words = index.words();
+        let mut engine = DenseSensing {
+            index,
+            words,
+            n,
+            counts: vec![0; n * q],
+            masks: vec![0; n * words],
+            state_idx: Vec::with_capacity(n),
+            deg1: (0..n).map(|v| graph.degree(v) as u16 + 1).collect(),
+            uniform_state: None,
+        };
+        for state in config {
+            engine.state_idx.push(engine.index.position(state)? as u32);
+        }
+        for v in 0..n {
+            let qi = engine.state_idx[v] as usize;
+            engine.increment(v, qi);
+            for &w in graph.neighbors(v) {
+                engine.increment(w, qi);
+            }
+        }
+        if engine.state_idx.iter().all(|&i| i == engine.state_idx[0]) {
+            engine.uniform_state = Some(engine.state_idx[0]);
+        }
+        Some(engine)
+    }
+
+    /// The signal mask of node `v`.
+    #[inline]
+    fn mask_of(&self, v: NodeId) -> &[u64] {
+        &self.masks[v * self.words..(v + 1) * self.words]
+    }
+
+    #[inline]
+    fn increment(&mut self, w: NodeId, qi: usize) {
+        let cell = &mut self.counts[qi * self.n + w];
+        if *cell == 0 {
+            self.masks[w * self.words + qi / 64] |= 1u64 << (qi % 64);
+        }
+        *cell += 1;
+    }
+
+    #[inline]
+    fn decrement(&mut self, w: NodeId, qi: usize) {
+        let cell = &mut self.counts[qi * self.n + w];
+        debug_assert!(*cell > 0, "presence count underflow");
+        *cell -= 1;
+        if *cell == 0 {
+            self.masks[w * self.words + qi / 64] &= !(1u64 << (qi % 64));
+        }
+    }
+
+    /// Propagates the state change of node `v` to `new_idx` into the counts
+    /// and masks of `N⁺(v)`.
+    fn apply_change(&mut self, graph: &Graph, v: NodeId, new_idx: u32) {
+        self.uniform_state = None;
+        let old = self.state_idx[v] as usize;
+        let new = new_idx as usize;
+        self.state_idx[v] = new_idx;
+        self.decrement(v, old);
+        self.increment(v, new);
+        for &w in graph.neighbors(v) {
+            self.decrement(w, old);
+            self.increment(w, new);
+        }
+    }
+
+    /// Applies the *uniform* step "every node moves `old_idx → new_idx`" in
+    /// bulk: with all of `V` previously in `old_idx`, the count table holds
+    /// `counts[old][v] = deg(v) + 1` and zeros elsewhere, so the update is two
+    /// row writes and one bit flip pair per node — the synchronized-lockstep
+    /// fast path of the step loop.
+    fn apply_uniform_change(&mut self, old_idx: u32, new_idx: u32) {
+        let (old, new) = (old_idx as usize, new_idx as usize);
+        let n = self.n;
+        debug_assert!(
+            self.counts[old * n..(old + 1) * n]
+                .iter()
+                .zip(&self.deg1)
+                .all(|(c, d)| c == d),
+            "uniform batch requires every node to have been in the old state"
+        );
+        self.counts[old * n..(old + 1) * n].fill(0);
+        let (new_row, deg1) = (&mut self.counts[new * n..(new + 1) * n], &self.deg1);
+        new_row.copy_from_slice(deg1);
+        let (old_word, old_bit) = (old / 64, 1u64 << (old % 64));
+        let (new_word, new_bit) = (new / 64, 1u64 << (new % 64));
+        for v in 0..n {
+            let base = v * self.words;
+            self.masks[base + old_word] &= !old_bit;
+            self.masks[base + new_word] |= new_bit;
+        }
+        self.state_idx.fill(new_idx);
+        self.uniform_state = Some(new_idx);
+    }
+}
+
+/// One memoized transition of a deterministic algorithm.
+struct MemoEntry<S> {
+    state_idx: u32,
+    mask: Vec<u64>,
+    next: S,
+    next_idx: u32,
+    output_changed: bool,
+}
+
+/// A transition computed in phase 1 of a step, applied in phase 2.
+struct PendingUpdate<S> {
+    v: NodeId,
+    next: S,
+    /// Dense index of the node's state before the step ([`UNINDEXED`] on the
+    /// sparse path).
+    old_idx: u32,
+    /// Dense index of `next`, [`UNINDEXED`] on the sparse path or when `next`
+    /// left the enumerated space (which forces a fallback to sparse).
+    new_idx: u32,
+    changed: bool,
+    output_changed: bool,
+}
+
 /// A running (or finished) execution of an algorithm on a graph.
 pub struct Execution<'a, A: Algorithm> {
     algorithm: &'a A,
@@ -77,17 +300,59 @@ pub struct Execution<'a, A: Algorithm> {
     output_change_counts: Vec<u64>,
     rng: StdRng,
     trace: Option<Trace<A::State>>,
+    /// Deduplication bitmap for the activation set; all-false between steps.
     scratch_active: Vec<bool>,
+    /// `Some` while the dense engine is live, `None` on the sparse fallback.
+    sensing: Option<DenseSensing<A::State>>,
+    /// Whether transitions may be memoized (algorithm declared deterministic).
+    deterministic: bool,
+    /// Memo ring for deterministic transitions on the dense path.
+    memo: Vec<MemoEntry<A::State>>,
+    memo_cursor: usize,
+    /// Slot of the most recently inserted memo entry, probed first (within a
+    /// step, all synchronized nodes hit the entry the first one inserted).
+    memo_last: usize,
+    /// The identity permutation `0..n`, so uniform steps can report "all nodes
+    /// changed" without rewriting a buffer.
+    identity: Vec<NodeId>,
+    /// Whether the most recent step changed every node (see
+    /// [`Execution::last_changed`]).
+    all_changed: bool,
+    /// Reused signal handed to the transition function.
+    scratch_signal: Signal<A::State>,
+    /// Reused buffer for scheduler activations (see [`Execution::step_with`]).
+    scratch_acts: ActivationSet,
+    /// Reused buffer of updates computed from `C_t`.
+    scratch_updates: Vec<PendingUpdate<A::State>>,
+    /// Nodes changed by the most recent step.
+    last_changed: Vec<NodeId>,
 }
 
 impl<'a, A: Algorithm> Execution<'a, A> {
-    /// Creates an execution from an explicit initial configuration.
+    /// Creates an execution from an explicit initial configuration, choosing
+    /// the signal engine automatically ([`SignalMode::Auto`]).
     ///
     /// # Panics
     ///
     /// Panics if `initial.len()` differs from the number of nodes, or if the graph is
     /// empty.
     pub fn new(algorithm: &'a A, graph: &'a Graph, initial: Vec<A::State>, seed: u64) -> Self {
+        Self::with_mode(algorithm, graph, initial, seed, SignalMode::Auto)
+    }
+
+    /// Creates an execution with an explicit [`SignalMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the number of nodes, or if the graph is
+    /// empty.
+    pub fn with_mode(
+        algorithm: &'a A,
+        graph: &'a Graph,
+        initial: Vec<A::State>,
+        seed: u64,
+        mode: SignalMode,
+    ) -> Self {
         assert!(graph.node_count() > 0, "cannot execute on an empty graph");
         assert_eq!(
             initial.len(),
@@ -95,6 +360,16 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             "initial configuration size must match the node count"
         );
         let n = graph.node_count();
+        let sensing = match mode {
+            SignalMode::Sparse => None,
+            SignalMode::Auto => algorithm.dense_state_space().and_then(|states| {
+                DenseSensing::build(Arc::new(StateIndex::new(states)), graph, &initial)
+            }),
+        };
+        let scratch_signal = match &sensing {
+            Some(engine) => Signal::dense(engine.index.clone()),
+            None => Signal::empty(),
+        };
         Execution {
             algorithm,
             graph,
@@ -109,6 +384,17 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             rng: StdRng::seed_from_u64(seed),
             trace: None,
             scratch_active: vec![false; n],
+            sensing,
+            deterministic: algorithm.transition_is_deterministic(),
+            memo: Vec::new(),
+            memo_cursor: 0,
+            memo_last: 0,
+            identity: (0..n).collect(),
+            all_changed: false,
+            scratch_signal,
+            scratch_acts: ActivationSet::new(),
+            scratch_updates: Vec::new(),
+            last_changed: Vec::new(),
         }
     }
 
@@ -154,6 +440,21 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         self.rounds
     }
 
+    /// Whether the dense bitmask sensing engine is currently live.
+    pub fn uses_dense_signals(&self) -> bool {
+        self.sensing.is_some()
+    }
+
+    /// The nodes whose state changed in the most recent step (empty before the
+    /// first step).
+    pub fn last_changed(&self) -> &[NodeId] {
+        if self.all_changed {
+            &self.identity
+        } else {
+            &self.last_changed
+        }
+    }
+
     /// Per-node activation counts since the start of the execution.
     pub fn activation_counts(&self) -> &[u64] {
         &self.activation_counts
@@ -178,17 +479,151 @@ impl<'a, A: Algorithm> Execution<'a, A> {
 
     /// The output vector `ω ∘ C_t`, or `None` if some node is in a non-output state.
     pub fn output_vector(&self) -> Option<Vec<A::Output>> {
-        self.config.iter().map(|s| self.algorithm.output(s)).collect()
+        self.config
+            .iter()
+            .map(|s| self.algorithm.output(s))
+            .collect()
     }
 
-    /// The signal of node `v` under the current configuration.
+    /// The signal of node `v` under the current configuration, as a fresh
+    /// standalone value (allocates; the step loop itself uses the reused
+    /// scratch signal instead).
     pub fn signal(&self, v: NodeId) -> Signal<A::State> {
-        let mut sig = Signal::empty();
-        sig.insert(self.config[v].clone());
-        for &u in self.graph.neighbors(v) {
-            sig.insert(self.config[u].clone());
+        match &self.sensing {
+            Some(engine) => {
+                let mut sig = Signal::dense(engine.index.clone());
+                sig.copy_dense_words(engine.mask_of(v));
+                sig
+            }
+            None => {
+                let mut sig = Signal::empty();
+                sig.insert(self.config[v].clone());
+                for &u in self.graph.neighbors(v) {
+                    sig.insert(self.config[u].clone());
+                }
+                sig
+            }
         }
-        sig
+    }
+
+    /// Recomputes the dense engine's counts, masks and state indices from
+    /// scratch and checks them against the incrementally maintained ones.
+    /// Returns `true` when they agree (or when the sparse fallback is active,
+    /// which maintains no incremental state). Exposed for property tests and
+    /// debugging.
+    pub fn validate_incremental_sensing(&self) -> bool {
+        match &self.sensing {
+            None => true,
+            Some(engine) => {
+                match DenseSensing::build(engine.index.clone(), self.graph, &self.config) {
+                    Some(fresh) => {
+                        fresh.counts == engine.counts
+                            && fresh.masks == engine.masks
+                            && fresh.state_idx == engine.state_idx
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Phase-1 transition of `v` on the dense path.
+    fn dense_transition(&mut self, v: NodeId) -> PendingUpdate<A::State> {
+        let alg = self.algorithm;
+        let engine = self.sensing.as_ref().expect("dense path requires engine");
+        let si = engine.state_idx[v];
+        if self.deterministic {
+            let mask = engine.mask_of(v);
+            let matches = |e: &&MemoEntry<A::State>| e.state_idx == si && e.mask[..] == *mask;
+            if let Some(entry) = self
+                .memo
+                .get(self.memo_last)
+                .filter(|e| matches(e))
+                .or_else(|| self.memo.iter().find(matches))
+            {
+                return PendingUpdate {
+                    v,
+                    next: entry.next.clone(),
+                    old_idx: si,
+                    new_idx: entry.next_idx,
+                    changed: entry.next_idx != si,
+                    output_changed: entry.output_changed,
+                };
+            }
+        }
+        // Memo miss (or randomized algorithm): evaluate the transition.
+        self.scratch_signal.copy_dense_words(engine.mask_of(v));
+        let next = alg.transition(&self.config[v], &self.scratch_signal, &mut self.rng);
+        let engine = self.sensing.as_ref().expect("engine unchanged in phase 1");
+        let new_idx = match engine.index.position(&next) {
+            Some(i) => i as u32,
+            None => UNINDEXED,
+        };
+        let changed = new_idx != si;
+        let output_changed = changed && alg.output(&next) != alg.output(&self.config[v]);
+        if self.deterministic && new_idx != UNINDEXED {
+            let mask = engine.mask_of(v);
+            if self.memo.len() < MEMO_CAPACITY {
+                self.memo.push(MemoEntry {
+                    state_idx: si,
+                    mask: mask.to_vec(),
+                    next: next.clone(),
+                    next_idx: new_idx,
+                    output_changed,
+                });
+                self.memo_last = self.memo.len() - 1;
+            } else {
+                // Overwrite the oldest slot, reusing its mask buffer so the
+                // steady-state step loop stays allocation-free.
+                let slot = self.memo_cursor;
+                self.memo_cursor = (slot + 1) % MEMO_CAPACITY;
+                self.memo_last = slot;
+                let entry = &mut self.memo[slot];
+                entry.state_idx = si;
+                entry.mask.clear();
+                entry.mask.extend_from_slice(mask);
+                entry.next = next.clone();
+                entry.next_idx = new_idx;
+                entry.output_changed = output_changed;
+            }
+        }
+        PendingUpdate {
+            v,
+            next,
+            old_idx: si,
+            new_idx,
+            changed,
+            output_changed,
+        }
+    }
+
+    /// Phase-1 transition of `v` on the sparse fallback path.
+    fn sparse_transition(&mut self, v: NodeId) -> PendingUpdate<A::State> {
+        let alg = self.algorithm;
+        self.scratch_signal.clear();
+        self.scratch_signal.insert(self.config[v].clone());
+        for &u in self.graph.neighbors(v) {
+            self.scratch_signal.insert(self.config[u].clone());
+        }
+        let next = alg.transition(&self.config[v], &self.scratch_signal, &mut self.rng);
+        let changed = next != self.config[v];
+        let output_changed = changed && alg.output(&next) != alg.output(&self.config[v]);
+        PendingUpdate {
+            v,
+            next,
+            old_idx: UNINDEXED,
+            new_idx: UNINDEXED,
+            changed,
+            output_changed,
+        }
+    }
+
+    /// Drops the dense engine and continues on the sparse fallback.
+    fn degrade_to_sparse(&mut self) {
+        self.sensing = None;
+        self.scratch_signal = Signal::empty();
+        self.memo.clear();
+        self.memo_cursor = 0;
     }
 
     /// Overwrites the state of node `v` — a *transient fault* (or an adversarial
@@ -201,16 +636,44 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 state: state.clone(),
             });
         }
+        if state == self.config[v] {
+            return;
+        }
+        let graph = self.graph;
+        let new_idx = match &self.sensing {
+            Some(engine) => engine.index.position(&state).map(|i| i as u32),
+            None => None,
+        };
         self.config[v] = state;
+        match (&mut self.sensing, new_idx) {
+            (Some(engine), Some(idx)) => engine.apply_change(graph, v, idx),
+            (Some(_), None) => self.degrade_to_sparse(),
+            (None, _) => {}
+        }
     }
 
     /// Executes one step with the activation set chosen by `scheduler`.
+    ///
+    /// The activation set is collected through
+    /// [`Scheduler::activations_into`](crate::scheduler::Scheduler::activations_into)
+    /// into a buffer owned by the execution, so schedulers that support the
+    /// buffered API contribute no per-step allocations.
     pub fn step_with<S: crate::scheduler::Scheduler>(&mut self, scheduler: &mut S) -> StepOutcome {
-        let active = scheduler.activations(self.graph, self.time, &mut self.rng);
-        self.step(&active)
+        let mut acts = std::mem::take(&mut self.scratch_acts);
+        scheduler.activations_into(self.graph, self.time, &mut self.rng, &mut acts);
+        let outcome = self.step(acts.as_slice());
+        self.scratch_acts = acts;
+        outcome
     }
 
-    /// Executes one step with an explicit activation set.
+    /// Executes one step with an explicit activation set (duplicates are
+    /// ignored).
+    ///
+    /// Transitions are evaluated in the order the activation set lists the
+    /// nodes (identically on the dense and sparse engines), so for randomized
+    /// algorithms the RNG draws follow that order: a scripted step `[3, 1]`
+    /// draws for node 3 before node 1. Per-step semantics are unaffected —
+    /// all transitions read `C_t` and apply simultaneously.
     ///
     /// # Panics
     ///
@@ -218,51 +681,122 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     pub fn step(&mut self, active: &[NodeId]) -> StepOutcome {
         assert!(!active.is_empty(), "activation set must be non-empty");
         let n = self.config.len();
-        // Deduplicate and validate via the scratch bitmap.
-        for flag in self.scratch_active.iter_mut() {
-            *flag = false;
+
+        // A strictly increasing activation slice (what the synchronous and
+        // round-robin schedulers produce) cannot contain duplicates, so the
+        // dedupe bitmap can be skipped entirely.
+        let sorted_unique = active.windows(2).all(|w| w[0] < w[1]);
+
+        // Fastest path: the configuration is known-uniform, every node is
+        // activated (a strictly increasing slice of length n ending below n is
+        // exactly 0..n) and the algorithm is deterministic — then every node
+        // sees the same (state, signal) and the transition is evaluated once.
+        if sorted_unique
+            && active.len() == n
+            && active[n - 1] < n
+            && self.deterministic
+            && self.trace.is_none()
+        {
+            if let Some(si) = self.sensing.as_ref().and_then(|e| e.uniform_state) {
+                if let Some(outcome) = self.step_uniform_fast(si) {
+                    return outcome;
+                }
+            }
         }
+
+        // Phase 1: compute the new states of all activated nodes from the
+        // *current* configuration C_t (the per-node signals must not observe
+        // any of this step's updates). Along the way, detect the *uniform*
+        // step — every node activated and taking the same state change — which
+        // admits the bulk-apply fast path.
+        let mut updates = std::mem::take(&mut self.scratch_updates);
+        updates.clear();
+        let dense = self.sensing.is_some();
+        let mut uniform = dense && self.trace.is_none();
+        let mut proto: Option<(u32, u32, bool)> = None;
         for &v in active {
             assert!(v < n, "activated node {v} out of range");
-            self.scratch_active[v] = true;
-        }
-
-        // Compute the new states of activated nodes from the *current* configuration.
-        let mut updates: Vec<(NodeId, A::State)> = Vec::with_capacity(active.len());
-        for v in 0..n {
-            if !self.scratch_active[v] {
-                continue;
+            if !sorted_unique {
+                if self.scratch_active[v] {
+                    continue;
+                }
+                self.scratch_active[v] = true;
             }
-            let sig = self.signal(v);
-            let next = self.algorithm.transition(&self.config[v], &sig, &mut self.rng);
-            updates.push((v, next));
+            let update = if dense {
+                self.dense_transition(v)
+            } else {
+                self.sparse_transition(v)
+            };
+            if uniform {
+                if !update.changed || update.new_idx == UNINDEXED {
+                    uniform = false;
+                } else {
+                    let key = (update.old_idx, update.new_idx, update.output_changed);
+                    match proto {
+                        None => proto = Some(key),
+                        Some(p) if p == key => {}
+                        Some(_) => uniform = false,
+                    }
+                }
+            }
+            updates.push(update);
         }
 
-        // Apply simultaneously and update bookkeeping.
-        let mut changed = Vec::new();
-        for (v, next) in updates {
+        if uniform && updates.len() == n {
+            let (old_idx, new_idx, output_changed) = proto.expect("n ≥ 1 activations");
+            let next = updates[0].next.clone();
+            if !sorted_unique {
+                for update in &updates {
+                    self.scratch_active[update.v] = false;
+                }
+            }
+            self.scratch_updates = updates;
+            return self.apply_uniform_step(old_idx, new_idx, output_changed, next);
+        }
+
+        // A transition out of the enumerated state space forces the sparse
+        // fallback before any sensing update is applied.
+        if dense && updates.iter().any(|u| u.changed && u.new_idx == UNINDEXED) {
+            self.degrade_to_sparse();
+        }
+
+        // Phase 2: apply simultaneously and update the bookkeeping (and the
+        // incremental sensing state for nodes that actually changed).
+        let graph = self.graph;
+        self.last_changed.clear();
+        self.all_changed = false;
+        for update in updates.drain(..) {
+            let v = update.v;
+            if !sorted_unique {
+                self.scratch_active[v] = false;
+            }
             self.activation_counts[v] += 1;
             if self.pending[v] {
                 self.pending[v] = false;
                 self.pending_count -= 1;
             }
-            if next != self.config[v] {
-                self.state_change_counts[v] += 1;
-                if self.algorithm.output(&next) != self.algorithm.output(&self.config[v]) {
-                    self.output_change_counts[v] += 1;
-                }
-                if let Some(trace) = &mut self.trace {
-                    trace.record(TraceEvent::Transition {
-                        time: self.time,
-                        node: v,
-                        from: self.config[v].clone(),
-                        to: next.clone(),
-                    });
-                }
-                self.config[v] = next;
-                changed.push(v);
+            if !update.changed {
+                continue;
             }
+            self.state_change_counts[v] += 1;
+            if update.output_changed {
+                self.output_change_counts[v] += 1;
+            }
+            let old = std::mem::replace(&mut self.config[v], update.next);
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent::Transition {
+                    time: self.time,
+                    node: v,
+                    from: old.clone(),
+                    to: self.config[v].clone(),
+                });
+            }
+            if let Some(engine) = &mut self.sensing {
+                engine.apply_change(graph, v, update.new_idx);
+            }
+            self.last_changed.push(v);
         }
+        self.scratch_updates = updates;
 
         let executed_time = self.time;
         self.time += 1;
@@ -283,7 +817,89 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         StepOutcome {
             time: executed_time,
             round_completed,
-            changed,
+            changed_count: self.last_changed.len(),
+        }
+    }
+
+    /// Full-activation step on a known-uniform configuration of a
+    /// deterministic algorithm: evaluates the transition once and applies it
+    /// to every node in bulk. Returns `None` (deferring to the general path)
+    /// if the transition leaves the enumerated state space — safe to retry
+    /// there because a deterministic transition consumes no randomness.
+    fn step_uniform_fast(&mut self, si: u32) -> Option<StepOutcome> {
+        let alg = self.algorithm;
+        let engine = self.sensing.as_ref().expect("uniform state implies engine");
+        self.scratch_signal.copy_dense_words(engine.mask_of(0));
+        let next = alg.transition(&self.config[0], &self.scratch_signal, &mut self.rng);
+        let engine = self.sensing.as_ref().expect("engine unchanged");
+        let new_idx = engine.index.position(&next)? as u32;
+        if new_idx == si {
+            // Every node stays put; the full activation still completes the round.
+            for count in self.activation_counts.iter_mut() {
+                *count += 1;
+            }
+            self.last_changed.clear();
+            self.all_changed = false;
+            if self.pending_count != self.config.len() {
+                self.pending.iter_mut().for_each(|p| *p = true);
+                self.pending_count = self.config.len();
+            }
+            let executed_time = self.time;
+            self.time += 1;
+            self.rounds += 1;
+            return Some(StepOutcome {
+                time: executed_time,
+                round_completed: true,
+                changed_count: 0,
+            });
+        }
+        let output_changed = alg.output(&next) != alg.output(&self.config[0]);
+        Some(self.apply_uniform_step(si, new_idx, output_changed, next))
+    }
+
+    /// Applies the uniform step "every node moves `old_idx → new_idx`" in bulk
+    /// (see [`DenseSensing::apply_uniform_change`]). A full activation always
+    /// completes the round.
+    fn apply_uniform_step(
+        &mut self,
+        old_idx: u32,
+        new_idx: u32,
+        output_changed: bool,
+        next: A::State,
+    ) -> StepOutcome {
+        let n = self.config.len();
+        for count in self.activation_counts.iter_mut() {
+            *count += 1;
+        }
+        for count in self.state_change_counts.iter_mut() {
+            *count += 1;
+        }
+        if output_changed {
+            for count in self.output_change_counts.iter_mut() {
+                *count += 1;
+            }
+        }
+        for state in self.config.iter_mut() {
+            *state = next.clone();
+        }
+        self.all_changed = true;
+        if let Some(engine) = &mut self.sensing {
+            engine.apply_uniform_change(old_idx, new_idx);
+        }
+        // Every node was activated, so every pending node fired: the round
+        // completes and the pending flags reset to all-true (skipping the
+        // write when they already are).
+        if self.pending_count != n {
+            self.pending.iter_mut().for_each(|p| *p = true);
+            self.pending_count = n;
+        }
+        let executed_time = self.time;
+        self.time += 1;
+        self.rounds += 1;
+        StepOutcome {
+            time: executed_time,
+            round_completed: true,
+            changed_count: n,
         }
     }
 
@@ -339,12 +955,14 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     }
 }
 
-/// Builder for [`Execution`] supporting random initial configurations and tracing.
+/// Builder for [`Execution`] supporting random initial configurations, tracing and
+/// signal-engine selection.
 pub struct ExecutionBuilder<'a, A: Algorithm> {
     algorithm: &'a A,
     graph: &'a Graph,
     seed: u64,
     trace: bool,
+    mode: SignalMode,
 }
 
 impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
@@ -355,6 +973,7 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
             graph,
             seed: 0,
             trace: false,
+            mode: SignalMode::Auto,
         }
     }
 
@@ -371,9 +990,16 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
         self
     }
 
+    /// Selects the signal engine (default [`SignalMode::Auto`]).
+    pub fn signal_mode(mut self, mode: SignalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Finishes the builder with an explicit initial configuration.
     pub fn initial(self, initial: Vec<A::State>) -> Execution<'a, A> {
-        let mut exec = Execution::new(self.algorithm, self.graph, initial, self.seed);
+        let mut exec =
+            Execution::with_mode(self.algorithm, self.graph, initial, self.seed, self.mode);
         if self.trace {
             exec.enable_trace();
         }
@@ -408,6 +1034,7 @@ mod tests {
     use super::*;
     use crate::scheduler::{
         CentralScheduler, RoundRobinScheduler, ScriptedScheduler, SynchronousScheduler,
+        UniformRandomScheduler,
     };
     use rand::RngCore;
 
@@ -425,6 +1052,12 @@ mod tests {
             } else {
                 0
             }
+        }
+        fn dense_state_space(&self) -> Option<Vec<u8>> {
+            Some(vec![0, 1])
+        }
+        fn transition_is_deterministic(&self) -> bool {
+            true
         }
     }
 
@@ -496,6 +1129,12 @@ mod tests {
                 } else {
                     *s
                 }
+            }
+            fn dense_state_space(&self) -> Option<Vec<u8>> {
+                Some(vec![0, 1])
+            }
+            fn transition_is_deterministic(&self) -> bool {
+                true
             }
         }
         let g = Graph::path(2);
@@ -616,5 +1255,181 @@ mod tests {
     fn mismatched_initial_configuration_panics() {
         let g = Graph::path(3);
         let _ = Execution::new(&Spread, &g, vec![0, 0], 0);
+    }
+
+    // ---- dense engine ---------------------------------------------------------
+
+    #[test]
+    fn dense_engine_activates_for_enumerable_spaces() {
+        let g = Graph::path(4);
+        let exec = Execution::new(&Spread, &g, vec![0; 4], 0);
+        assert!(exec.uses_dense_signals());
+        let sparse = ExecutionBuilder::new(&Spread, &g)
+            .signal_mode(SignalMode::Sparse)
+            .uniform(0);
+        assert!(!sparse.uses_dense_signals());
+    }
+
+    #[test]
+    fn dense_and_sparse_executions_agree() {
+        let g = Graph::grid(3, 3);
+        let init = vec![0, 1, 0, 0, 1, 0, 0, 0, 1];
+        let mut dense = ExecutionBuilder::new(&Spread, &g)
+            .seed(5)
+            .initial(init.clone());
+        let mut sparse = ExecutionBuilder::new(&Spread, &g)
+            .seed(5)
+            .signal_mode(SignalMode::Sparse)
+            .initial(init);
+        let mut sched_a = RoundRobinScheduler::default();
+        let mut sched_b = RoundRobinScheduler::default();
+        for _ in 0..40 {
+            let a = dense.step_with(&mut sched_a);
+            let b = sparse.step_with(&mut sched_b);
+            assert_eq!(a, b);
+            assert_eq!(dense.configuration(), sparse.configuration());
+            assert_eq!(dense.signal(4), sparse.signal(4));
+        }
+        assert!(dense.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn randomized_algorithms_keep_rng_parity_across_engines() {
+        /// A randomized algorithm: flip to a uniformly random state each step.
+        struct Coin;
+        impl Algorithm for Coin {
+            type State = u8;
+            type Output = u8;
+            fn output(&self, s: &u8) -> Option<u8> {
+                Some(*s)
+            }
+            fn transition(&self, _: &u8, _: &Signal<u8>, rng: &mut dyn RngCore) -> u8 {
+                use rand::Rng;
+                rng.gen_range(0..4u8)
+            }
+            fn dense_state_space(&self) -> Option<Vec<u8>> {
+                Some(vec![0, 1, 2, 3])
+            }
+        }
+        let g = Graph::cycle(5);
+        let mut dense = ExecutionBuilder::new(&Coin, &g).seed(3).uniform(0);
+        let mut sparse = ExecutionBuilder::new(&Coin, &g)
+            .seed(3)
+            .signal_mode(SignalMode::Sparse)
+            .uniform(0);
+        assert!(dense.uses_dense_signals());
+        let mut sched_a = UniformRandomScheduler::new(0.6);
+        let mut sched_b = UniformRandomScheduler::new(0.6);
+        for _ in 0..60 {
+            dense.step_with(&mut sched_a);
+            sparse.step_with(&mut sched_b);
+            assert_eq!(dense.configuration(), sparse.configuration());
+        }
+        assert!(dense.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn incremental_counts_survive_faults() {
+        let g = Graph::grid(3, 3);
+        let mut exec = Execution::new(&Spread, &g, vec![0; 9], 2);
+        let mut sched = SynchronousScheduler;
+        exec.corrupt(4, 1);
+        assert!(exec.validate_incremental_sensing());
+        exec.run_rounds(&mut sched, 1);
+        exec.corrupt(0, 0);
+        exec.corrupt(8, 1);
+        assert!(exec.validate_incremental_sensing());
+        exec.run_rounds(&mut sched, 2);
+        assert!(exec.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn corrupting_with_an_unindexed_state_degrades_to_sparse() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![0, 0, 0], 0);
+        assert!(exec.uses_dense_signals());
+        exec.corrupt(1, 77); // 77 is outside Spread's declared state space
+        assert!(!exec.uses_dense_signals());
+        // execution continues correctly on the sparse fallback
+        let sig = exec.signal(0);
+        assert!(sig.senses(&77));
+        let mut sched = SynchronousScheduler;
+        exec.step_with(&mut sched);
+        assert!(exec.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn transition_out_of_the_index_degrades_to_sparse() {
+        /// Declares {0, 1} but escapes to 9 once a 1 is sensed.
+        struct Escape;
+        impl Algorithm for Escape {
+            type State = u8;
+            type Output = u8;
+            fn output(&self, s: &u8) -> Option<u8> {
+                Some(*s)
+            }
+            fn transition(&self, s: &u8, sig: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+                if sig.senses(&1) {
+                    9
+                } else {
+                    *s
+                }
+            }
+            fn dense_state_space(&self) -> Option<Vec<u8>> {
+                Some(vec![0, 1])
+            }
+        }
+        let g = Graph::path(2);
+        let mut exec = Execution::new(&Escape, &g, vec![0, 1], 0);
+        assert!(exec.uses_dense_signals());
+        let mut sched = SynchronousScheduler;
+        exec.step_with(&mut sched);
+        assert!(!exec.uses_dense_signals());
+        assert_eq!(exec.configuration(), &[9, 9]);
+        exec.step_with(&mut sched);
+        assert_eq!(exec.configuration(), &[9, 9]);
+    }
+
+    #[test]
+    fn last_changed_and_changed_count_agree() {
+        let g = Graph::path(4);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0, 0], 0);
+        let out = exec.step(&[1, 3]);
+        assert_eq!(out.changed_count, 1);
+        assert_eq!(exec.last_changed(), &[1]);
+        let out = exec.step(&[3]);
+        assert_eq!(out.changed_count, 0);
+        assert!(exec.last_changed().is_empty());
+    }
+
+    #[test]
+    fn duplicate_activations_are_processed_once() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0], 0);
+        exec.step(&[1, 1, 1]);
+        assert_eq!(exec.activation_counts()[1], 1);
+        assert_eq!(exec.configuration(), &[1, 1, 0]);
+    }
+
+    #[test]
+    fn unbounded_algorithms_fall_back_to_sparse() {
+        /// A counter with an unbounded state space (no dense hint).
+        struct Count;
+        impl Algorithm for Count {
+            type State = u64;
+            type Output = u64;
+            fn output(&self, s: &u64) -> Option<u64> {
+                Some(*s)
+            }
+            fn transition(&self, s: &u64, _: &Signal<u64>, _: &mut dyn RngCore) -> u64 {
+                s + 1
+            }
+        }
+        let g = Graph::path(2);
+        let mut exec = Execution::new(&Count, &g, vec![0, 10], 0);
+        assert!(!exec.uses_dense_signals());
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 3);
+        assert_eq!(exec.configuration(), &[3, 13]);
     }
 }

@@ -4,7 +4,7 @@
 //! a fault arbitrarily corrupts the states of some nodes, after which the system must
 //! converge back to a legitimate configuration on its own. This module provides fault
 //! *plans* (when and whom to corrupt) and an injector that applies them to a running
-//! [`Execution`](crate::executor::Execution).
+//! [`Execution`].
 
 use crate::algorithm::Algorithm;
 use crate::executor::Execution;
@@ -153,7 +153,7 @@ impl<S: Clone> FaultInjector<S> {
                 victims
             }
             FaultPlan::Periodic { period, count } => {
-                if round > 0 && round % period == 0 {
+                if round > 0 && round.is_multiple_of(period) {
                     self.corrupt_random_nodes(exec, count)
                 } else {
                     Vec::new()
@@ -248,17 +248,11 @@ mod tests {
 
     #[test]
     fn continuous_rate_zero_is_silent_and_one_hits_everyone() {
-        let (_cfg, silent) = run_rounds_with_faults(
-            FaultPlan::Continuous { per_node_rate: 0.0 },
-            10,
-            5,
-        );
+        let (_cfg, silent) =
+            run_rounds_with_faults(FaultPlan::Continuous { per_node_rate: 0.0 }, 10, 5);
         assert_eq!(silent, 0);
-        let (_cfg, loud) = run_rounds_with_faults(
-            FaultPlan::Continuous { per_node_rate: 1.0 },
-            10,
-            6,
-        );
+        let (_cfg, loud) =
+            run_rounds_with_faults(FaultPlan::Continuous { per_node_rate: 1.0 }, 10, 6);
         assert_eq!(loud, 60);
     }
 

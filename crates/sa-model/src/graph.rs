@@ -74,10 +74,7 @@ impl Graph {
             "edge ({u}, {v}) out of range for {} nodes",
             self.node_count()
         );
-        assert!(
-            !self.adjacency[u].contains(&v),
-            "duplicate edge ({u}, {v})"
-        );
+        assert!(!self.adjacency[u].contains(&v), "duplicate edge ({u}, {v})");
         self.adjacency[u].push(v);
         self.adjacency[v].push(u);
         let e = if u < v { (u, v) } else { (v, u) };

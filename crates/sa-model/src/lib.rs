@@ -16,8 +16,8 @@
 //! The crate provides:
 //!
 //! * [`graph`] — graph representation plus bounded-diameter topology generators,
-//! * [`algorithm`] — the [`Algorithm`](algorithm::Algorithm) trait (state machine +
-//!   output map) and the [`Signal`](signal::Signal) type,
+//! * [`algorithm`] — the [`Algorithm`] trait (state machine +
+//!   output map) and the [`Signal`] type,
 //! * [`scheduler`] — fair daemons: synchronous, uniformly random, central, round
 //!   robin, adversarial laggard, and scripted schedules,
 //! * [`executor`] — the execution engine with exact *round* (ϱ-operator) accounting,
@@ -61,6 +61,7 @@ pub mod checker;
 pub mod executor;
 pub mod fault;
 pub mod graph;
+pub mod json;
 pub mod metrics;
 pub mod scheduler;
 pub mod signal;
@@ -71,19 +72,19 @@ pub mod trace;
 pub mod prelude {
     pub use crate::algorithm::{Algorithm, LegitimacyOracle, StateSpace};
     pub use crate::checker::{StabilizationReport, TaskChecker};
-    pub use crate::executor::{Execution, ExecutionBuilder, StepOutcome};
+    pub use crate::executor::{Execution, ExecutionBuilder, SignalMode, StepOutcome};
     pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::graph::{Graph, NodeId};
     pub use crate::scheduler::{
-        AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler, Scheduler,
-        ScriptedScheduler, SynchronousScheduler, UniformRandomScheduler,
+        ActivationSet, AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler,
+        Scheduler, ScriptedScheduler, SynchronousScheduler, UniformRandomScheduler,
     };
-    pub use crate::signal::Signal;
+    pub use crate::signal::{DenseSignal, Signal, StateIndex};
     pub use crate::topology::Topology;
 }
 
 pub use algorithm::{Algorithm, LegitimacyOracle, StateSpace};
-pub use executor::{Execution, ExecutionBuilder};
+pub use executor::{Execution, ExecutionBuilder, SignalMode};
 pub use graph::{Graph, NodeId};
-pub use scheduler::Scheduler;
-pub use signal::Signal;
+pub use scheduler::{ActivationSet, Scheduler};
+pub use signal::{DenseSignal, Signal, StateIndex};

@@ -5,10 +5,10 @@
 //! mean, max and percentiles. This module provides the small, dependency-free
 //! statistics helpers those reports are built from.
 
-use serde::{Deserialize, Serialize};
+use crate::json::JsonValue;
 
 /// Summary statistics of a sample of (round-count) measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -59,6 +59,32 @@ impl Summary {
     pub fn of_u64(samples: &[u64]) -> Self {
         let floats: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
         Summary::of(&floats)
+    }
+
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count".to_string(), JsonValue::Number(self.count as f64)),
+            ("min".to_string(), JsonValue::Number(self.min)),
+            ("max".to_string(), JsonValue::Number(self.max)),
+            ("mean".to_string(), JsonValue::Number(self.mean)),
+            ("median".to_string(), JsonValue::Number(self.median)),
+            ("p95".to_string(), JsonValue::Number(self.p95)),
+            ("stddev".to_string(), JsonValue::Number(self.stddev)),
+        ])
+    }
+
+    /// Deserializes a summary from the JSON produced by [`Summary::to_json`].
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        Some(Summary {
+            count: value.get("count")?.as_usize()?,
+            min: value.get("min")?.as_f64()?,
+            max: value.get("max")?.as_f64()?,
+            mean: value.get("mean")?.as_f64()?,
+            median: value.get("median")?.as_f64()?,
+            p95: value.get("p95")?.as_f64()?,
+            stddev: value.get("stddev")?.as_f64()?,
+        })
     }
 }
 
@@ -112,7 +138,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
 
 /// A single row of an experiment table, serializable so the harness can persist raw
 /// results as JSON alongside the rendered table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRow {
     /// Experiment identifier (e.g. "E3").
     pub experiment: String,
@@ -130,6 +156,65 @@ pub struct ExperimentRow {
     pub summary: Summary,
     /// Number of runs that failed to stabilize within the budget.
     pub failures: usize,
+}
+
+impl ExperimentRow {
+    /// Serializes the row as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "experiment".to_string(),
+                JsonValue::String(self.experiment.clone()),
+            ),
+            (
+                "topology".to_string(),
+                JsonValue::String(self.topology.clone()),
+            ),
+            ("n".to_string(), JsonValue::Number(self.n as f64)),
+            (
+                "diameter_bound".to_string(),
+                JsonValue::Number(self.diameter_bound as f64),
+            ),
+            (
+                "scheduler".to_string(),
+                JsonValue::String(self.scheduler.clone()),
+            ),
+            ("metric".to_string(), JsonValue::String(self.metric.clone())),
+            ("summary".to_string(), self.summary.to_json()),
+            (
+                "failures".to_string(),
+                JsonValue::Number(self.failures as f64),
+            ),
+        ])
+    }
+
+    /// Deserializes a row from the JSON produced by [`ExperimentRow::to_json`].
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        Some(ExperimentRow {
+            experiment: value.get("experiment")?.as_str()?.to_string(),
+            topology: value.get("topology")?.as_str()?.to_string(),
+            n: value.get("n")?.as_usize()?,
+            diameter_bound: value.get("diameter_bound")?.as_usize()?,
+            scheduler: value.get("scheduler")?.as_str()?.to_string(),
+            metric: value.get("metric")?.as_str()?.to_string(),
+            summary: Summary::from_json(value.get("summary")?)?,
+            failures: value.get("failures")?.as_usize()?,
+        })
+    }
+}
+
+/// Serializes a slice of rows as a JSON array (the persisted experiment format).
+pub fn rows_to_json(rows: &[ExperimentRow]) -> JsonValue {
+    JsonValue::Array(rows.iter().map(ExperimentRow::to_json).collect())
+}
+
+/// Deserializes the JSON array produced by [`rows_to_json`].
+pub fn rows_from_json(value: &JsonValue) -> Option<Vec<ExperimentRow>> {
+    value
+        .as_array()?
+        .iter()
+        .map(ExperimentRow::from_json)
+        .collect()
 }
 
 /// Renders rows as a fixed-width text table (one line per row), suitable for
@@ -250,8 +335,9 @@ mod tests {
             summary: Summary::of(&[18.0]),
             failures: 0,
         };
-        let json = serde_json::to_string(&row).expect("serialize");
-        let back: ExperimentRow = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back, row);
+        let json = rows_to_json(std::slice::from_ref(&row)).render_pretty();
+        let parsed = JsonValue::parse(&json).expect("parse");
+        let back = rows_from_json(&parsed).expect("deserialize");
+        assert_eq!(back, vec![row]);
     }
 }

@@ -15,14 +15,112 @@ use crate::graph::{Graph, NodeId};
 use rand::Rng;
 use rand::RngCore;
 
+/// A reusable activation-set buffer, filled by
+/// [`Scheduler::activations_into`].
+///
+/// Wraps a `Vec<NodeId>` whose capacity survives across steps, so a scheduler
+/// that fills it through [`ActivationSet::push`] / [`Extend`] performs no heap
+/// allocation once the buffer has grown to its steady-state size. The executor
+/// owns one scratch `ActivationSet` and hands it to the scheduler every step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivationSet {
+    nodes: Vec<NodeId>,
+}
+
+impl ActivationSet {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` activations.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ActivationSet {
+            nodes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Appends one activated node.
+    pub fn push(&mut self, v: NodeId) {
+        self.nodes.push(v);
+    }
+
+    /// The activations collected so far.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of collected activations (duplicates included; the executor
+    /// deduplicates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no node has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Consumes the buffer into a plain `Vec` (compatibility with the
+    /// allocating [`Scheduler::activations`] entry point).
+    pub fn into_vec(self) -> Vec<NodeId> {
+        self.nodes
+    }
+
+    /// Replaces the contents with `nodes`, dropping the previous buffer. Used
+    /// by the default [`Scheduler::activations_into`] bridge for schedulers
+    /// that only implement the allocating method.
+    pub fn replace_with(&mut self, nodes: Vec<NodeId>) {
+        self.nodes = nodes;
+    }
+}
+
+impl Extend<NodeId> for ActivationSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        self.nodes.extend(iter);
+    }
+}
+
+impl std::ops::Deref for ActivationSet {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
 /// A fair activation daemon.
 ///
 /// Implementations must guarantee fairness: over an infinite run, every node is
 /// activated infinitely often. (All built-in schedulers activate every node at least
 /// once every `O(n)` steps.)
+///
+/// [`Scheduler::activations`] is the required method (unchanged from earlier
+/// versions, so external schedulers keep compiling);
+/// [`Scheduler::activations_into`] is the buffer-reuse entry point the
+/// executor drives, default-implemented via `activations`. Override it — the
+/// required method can then simply delegate through [`collect_activations`] —
+/// to make the scheduler allocation-free, as all built-in schedulers do.
 pub trait Scheduler {
     /// Chooses the set of nodes activated at step `time`. Must be non-empty.
     fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId>;
+
+    /// Writes the set of nodes activated at step `time` into `out` (which the
+    /// caller has already cleared or is happy to see overwritten). Must leave
+    /// `out` non-empty.
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        time: u64,
+        rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.replace_with(self.activations(graph, time, rng));
+    }
 
     /// Human-readable scheduler name for reports.
     fn name(&self) -> &'static str {
@@ -30,9 +128,32 @@ pub trait Scheduler {
     }
 }
 
+/// Implements the allocating [`Scheduler::activations`] in terms of an
+/// overridden [`Scheduler::activations_into`] (the built-in schedulers'
+/// required-method bodies are exactly this call).
+pub fn collect_activations<S: Scheduler + ?Sized>(
+    scheduler: &mut S,
+    graph: &Graph,
+    time: u64,
+    rng: &mut dyn RngCore,
+) -> Vec<NodeId> {
+    let mut out = ActivationSet::new();
+    scheduler.activations_into(graph, time, rng, &mut out);
+    out.into_vec()
+}
+
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
         (**self).activations(graph, time, rng)
+    }
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        time: u64,
+        rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        (**self).activations_into(graph, time, rng, out)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -47,8 +168,19 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 pub struct SynchronousScheduler;
 
 impl Scheduler for SynchronousScheduler {
-    fn activations(&mut self, graph: &Graph, _time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
-        graph.nodes().collect()
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        _time: u64,
+        _rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.clear();
+        out.extend(graph.nodes());
     }
     fn name(&self) -> &'static str {
         "synchronous"
@@ -70,7 +202,10 @@ impl UniformRandomScheduler {
     ///
     /// Panics unless `0 < p ≤ 1`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "activation probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "activation probability must be in (0, 1]"
+        );
         UniformRandomScheduler { p }
     }
 }
@@ -82,15 +217,22 @@ impl Default for UniformRandomScheduler {
 }
 
 impl Scheduler for UniformRandomScheduler {
-    fn activations(&mut self, graph: &Graph, _time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
-        let mut active: Vec<NodeId> = graph
-            .nodes()
-            .filter(|_| rng.gen_bool(self.p))
-            .collect();
-        if active.is_empty() {
-            active.push(rng.gen_range(0..graph.node_count()));
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        _time: u64,
+        rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.clear();
+        out.extend(graph.nodes().filter(|_| rng.gen_bool(self.p)));
+        if out.is_empty() {
+            out.push(rng.gen_range(0..graph.node_count()));
         }
-        active
     }
     fn name(&self) -> &'static str {
         "uniform-random"
@@ -104,8 +246,19 @@ impl Scheduler for UniformRandomScheduler {
 pub struct CentralScheduler;
 
 impl Scheduler for CentralScheduler {
-    fn activations(&mut self, graph: &Graph, _time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
-        vec![rng.gen_range(0..graph.node_count())]
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        _time: u64,
+        rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.clear();
+        out.push(rng.gen_range(0..graph.node_count()));
     }
     fn name(&self) -> &'static str {
         "central"
@@ -121,10 +274,21 @@ pub struct RoundRobinScheduler {
 }
 
 impl Scheduler for RoundRobinScheduler {
-    fn activations(&mut self, graph: &Graph, _time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        _time: u64,
+        _rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
         let v = self.cursor % graph.node_count();
         self.cursor = (self.cursor + 1) % graph.node_count();
-        vec![v]
+        out.clear();
+        out.push(v);
     }
     fn name(&self) -> &'static str {
         "round-robin"
@@ -165,15 +329,23 @@ impl AdversarialLaggardScheduler {
 }
 
 impl Scheduler for AdversarialLaggardScheduler {
-    fn activations(&mut self, graph: &Graph, time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
-        let last_of_window = (time + 1) % self.window == 0;
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        graph: &Graph,
+        time: u64,
+        _rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.clear();
+        let last_of_window = (time + 1).is_multiple_of(self.window);
         if last_of_window || self.laggards.len() >= graph.node_count() {
-            graph.nodes().collect()
+            out.extend(graph.nodes());
         } else {
-            graph
-                .nodes()
-                .filter(|v| !self.laggards.contains(v))
-                .collect()
+            out.extend(graph.nodes().filter(|v| !self.laggards.contains(v)));
         }
     }
     fn name(&self) -> &'static str {
@@ -217,8 +389,23 @@ impl ScriptedScheduler {
 }
 
 impl Scheduler for ScriptedScheduler {
-    fn activations(&mut self, _graph: &Graph, time: u64, _rng: &mut dyn RngCore) -> Vec<NodeId> {
-        self.script[(time as usize) % self.script.len()].clone()
+    fn activations(&mut self, graph: &Graph, time: u64, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        collect_activations(self, graph, time, rng)
+    }
+
+    fn activations_into(
+        &mut self,
+        _graph: &Graph,
+        time: u64,
+        _rng: &mut dyn RngCore,
+        out: &mut ActivationSet,
+    ) {
+        out.clear();
+        out.extend(
+            self.script[(time as usize) % self.script.len()]
+                .iter()
+                .copied(),
+        );
     }
     fn name(&self) -> &'static str {
         "scripted"
@@ -328,5 +515,56 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn scripted_rejects_empty_step() {
         ScriptedScheduler::new(vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn activations_into_reuses_the_buffer_without_growing() {
+        let g = Graph::complete(16);
+        let mut s = SynchronousScheduler;
+        let mut r = rng();
+        let mut out = ActivationSet::new();
+        s.activations_into(&g, 0, &mut r, &mut out);
+        assert_eq!(out.len(), 16);
+        let ptr_before = out.as_slice().as_ptr();
+        for t in 1..50 {
+            s.activations_into(&g, t, &mut r, &mut out);
+        }
+        assert_eq!(out.as_slice().as_ptr(), ptr_before, "buffer must be reused");
+    }
+
+    #[test]
+    fn both_entry_points_agree_for_builtin_schedulers() {
+        let g = Graph::path(5);
+        let mut out = ActivationSet::new();
+        // Deterministic schedulers can be compared step by step.
+        let mut a = RoundRobinScheduler::default();
+        let mut b = RoundRobinScheduler::default();
+        for t in 0..10 {
+            let via_vec = a.activations(&g, t, &mut rng());
+            b.activations_into(&g, t, &mut rng(), &mut out);
+            assert_eq!(via_vec.as_slice(), out.as_slice());
+        }
+    }
+
+    #[test]
+    fn legacy_scheduler_only_overriding_activations_still_works() {
+        /// An external-style scheduler written against the pre-buffer API.
+        struct Legacy;
+        impl Scheduler for Legacy {
+            fn activations(
+                &mut self,
+                graph: &Graph,
+                time: u64,
+                _: &mut dyn RngCore,
+            ) -> Vec<NodeId> {
+                vec![(time as usize) % graph.node_count()]
+            }
+        }
+        let g = Graph::path(3);
+        let mut s = Legacy;
+        let mut out = ActivationSet::new();
+        let mut r = rng();
+        s.activations_into(&g, 4, &mut r, &mut out);
+        assert_eq!(out.as_slice(), &[1]);
     }
 }

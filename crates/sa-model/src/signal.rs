@@ -6,37 +6,238 @@
 //! states appear around it, but not *how many* neighbors hold each state nor *which*
 //! neighbor holds it.
 //!
-//! [`Signal`] represents this vector sparsely as the set of sensed states.
+//! [`Signal`] is the abstraction handed to
+//! [`Algorithm::transition`](crate::algorithm::Algorithm::transition). It has
+//! two interchangeable
+//! representations with identical observable behaviour:
+//!
+//! * **sparse** — a `BTreeSet` of the sensed states. Works for any state type,
+//!   including unbounded spaces; this is the fallback and the representation
+//!   produced by all the public constructors.
+//! * **dense** — a bitmask over a precomputed [`StateIndex`] (the enumeration of
+//!   a bounded state space `Q`, which the SA model guarantees for every
+//!   algorithm of the paper). This is literally the paper's `{0,1}^Q` vector:
+//!   bit `i` is set iff state `index.state(i)` is sensed. The executor keeps
+//!   per-node bitmasks incrementally up to date and copies them into a reused
+//!   scratch [`Signal`], making the hot step loop allocation-free.
+//!
+//! The two representations compare equal whenever they sense the same state
+//! set, so algorithms and tests never need to care which one they were given.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
+
+/// An enumeration of a bounded state space `Q`, shared by all [`DenseSignal`]s
+/// of an execution.
+///
+/// States are kept sorted and deduplicated so that bit order equals `Ord`
+/// order; [`StateIndex::position`] is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateIndex<S: Ord> {
+    states: Vec<S>,
+}
+
+impl<S: Ord> StateIndex<S> {
+    /// Builds the index from an enumeration of `Q` (duplicates are collapsed).
+    pub fn new<I: IntoIterator<Item = S>>(states: I) -> Self {
+        let mut states: Vec<S> = states.into_iter().collect();
+        states.sort_unstable();
+        states.dedup();
+        StateIndex { states }
+    }
+
+    /// Number of indexed states `|Q|`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of `u64` mask words a dense signal over this index needs.
+    pub fn words(&self) -> usize {
+        self.states.len().div_ceil(64)
+    }
+
+    /// The bit position of state `q`, or `None` if `q` is not in the index.
+    pub fn position(&self, q: &S) -> Option<usize> {
+        self.states.binary_search(q).ok()
+    }
+
+    /// The state at bit position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> &S {
+        &self.states[i]
+    }
+
+    /// All indexed states, in bit order (= ascending `Ord` order).
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+}
+
+/// The dense representation of a signal: one bit per state of a [`StateIndex`].
+#[derive(Clone)]
+pub struct DenseSignal<S: Ord> {
+    mask: Vec<u64>,
+    index: Arc<StateIndex<S>>,
+}
+
+impl<S: Ord> DenseSignal<S> {
+    /// An empty dense signal over `index`.
+    pub fn empty(index: Arc<StateIndex<S>>) -> Self {
+        DenseSignal {
+            mask: vec![0; index.words()],
+            index,
+        }
+    }
+
+    /// The index this signal is defined over.
+    pub fn index(&self) -> &Arc<StateIndex<S>> {
+        &self.index
+    }
+
+    /// The raw mask words (bit `i` of the concatenation = state `i` sensed).
+    pub fn words(&self) -> &[u64] {
+        &self.mask
+    }
+
+    /// Overwrites the mask from precomputed words (the executor's per-node
+    /// neighborhood masks). `words` must have exactly `index.words()` entries.
+    pub fn copy_words(&mut self, words: &[u64]) {
+        self.mask.copy_from_slice(words);
+    }
+
+    /// Whether bit `i` is set.
+    fn bit(&self, i: usize) -> bool {
+        self.mask[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    fn set_bit(&mut self, i: usize) {
+        self.mask[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether `q` is sensed.
+    pub fn senses(&self, q: &S) -> bool {
+        self.index.position(q).is_some_and(|i| self.bit(i))
+    }
+
+    /// Number of sensed states.
+    pub fn len(&self) -> usize {
+        self.mask.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether nothing is sensed.
+    pub fn is_empty(&self) -> bool {
+        self.mask.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates over the sensed states in ascending order.
+    pub fn iter(&self) -> DenseIter<'_, S> {
+        DenseIter {
+            signal: self,
+            word: 0,
+            bits: self.mask.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl<S: Ord + fmt::Debug> fmt::Debug for DenseSignal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the set bits of a [`DenseSignal`], yielding states in
+/// ascending order.
+pub struct DenseIter<'a, S: Ord> {
+    signal: &'a DenseSignal<S>,
+    word: usize,
+    bits: u64,
+}
+
+impl<'a, S: Ord> Iterator for DenseIter<'a, S> {
+    type Item = &'a S;
+
+    fn next(&mut self) -> Option<&'a S> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.signal.index.state(self.word * 64 + bit));
+            }
+            self.word += 1;
+            if self.word >= self.signal.mask.len() {
+                return None;
+            }
+            self.bits = self.signal.mask[self.word];
+        }
+    }
+}
+
+enum Repr<S: Ord> {
+    Sparse(BTreeSet<S>),
+    Dense(DenseSignal<S>),
+}
+
+impl<S: Ord + Clone> Clone for Repr<S> {
+    fn clone(&self) -> Self {
+        match self {
+            Repr::Sparse(set) => Repr::Sparse(set.clone()),
+            Repr::Dense(dense) => Repr::Dense(dense.clone()),
+        }
+    }
+}
 
 /// The set of states sensed by a node in its inclusive neighborhood.
 ///
 /// This is the only information an [`Algorithm`](crate::algorithm::Algorithm) receives
 /// about the rest of the graph; constructing it from a configuration is the
-/// executor's job.
-#[derive(Clone, PartialEq, Eq)]
+/// executor's job. See the [module docs](self) for the two representations.
 pub struct Signal<S: Ord> {
-    sensed: BTreeSet<S>,
+    repr: Repr<S>,
+}
+
+impl<S: Ord + Clone> Clone for Signal<S> {
+    fn clone(&self) -> Self {
+        Signal {
+            repr: self.repr.clone(),
+        }
+    }
 }
 
 impl<S: Ord + fmt::Debug> fmt::Debug for Signal<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.sensed.iter()).finish()
+        f.debug_set().entries(self.iter()).finish()
     }
 }
+
+impl<S: Ord> PartialEq for Signal<S> {
+    fn eq(&self, other: &Self) -> bool {
+        // Both representations iterate in ascending order, so signals with the
+        // same sensed set compare equal regardless of representation.
+        self.iter().eq(other.iter())
+    }
+}
+
+impl<S: Ord> Eq for Signal<S> {}
 
 impl<S: Ord> Default for Signal<S> {
     fn default() -> Self {
         Signal {
-            sensed: BTreeSet::new(),
+            repr: Repr::Sparse(BTreeSet::new()),
         }
     }
 }
 
 impl<S: Ord> Signal<S> {
-    /// Creates an empty signal (senses nothing).
+    /// Creates an empty (sparse) signal that senses nothing.
     ///
     /// An empty signal never occurs in a real execution — a node always senses at
     /// least its own state — but is convenient in tests.
@@ -44,76 +245,166 @@ impl<S: Ord> Signal<S> {
         Self::default()
     }
 
-    /// Builds a signal from the states present in a neighborhood.
+    /// Creates an empty dense signal over `index`.
+    pub fn dense(index: Arc<StateIndex<S>>) -> Self {
+        Signal {
+            repr: Repr::Dense(DenseSignal::empty(index)),
+        }
+    }
+
+    /// Wraps an explicit [`DenseSignal`].
+    pub fn from_dense(dense: DenseSignal<S>) -> Self {
+        Signal {
+            repr: Repr::Dense(dense),
+        }
+    }
+
+    /// Builds a (sparse) signal from the states present in a neighborhood.
     pub fn from_states<I: IntoIterator<Item = S>>(states: I) -> Self {
         Signal {
-            sensed: states.into_iter().collect(),
+            repr: Repr::Sparse(states.into_iter().collect()),
+        }
+    }
+
+    /// Whether this signal uses the dense bitmask representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// Overwrites a dense signal's mask from precomputed words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is sparse or `words` has the wrong length.
+    pub fn copy_dense_words(&mut self, words: &[u64]) {
+        match &mut self.repr {
+            Repr::Dense(dense) => dense.copy_words(words),
+            Repr::Sparse(_) => panic!("copy_dense_words on a sparse signal"),
         }
     }
 
     /// Returns `true` iff state `q` is sensed (appears at least once in `N⁺(v)`).
     pub fn senses(&self, q: &S) -> bool {
-        self.sensed.contains(q)
+        match &self.repr {
+            Repr::Sparse(set) => set.contains(q),
+            Repr::Dense(dense) => dense.senses(q),
+        }
     }
 
     /// Returns `true` iff some sensed state satisfies `pred`.
     pub fn senses_any<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
-        self.sensed.iter().any(pred)
+        self.iter().any(pred)
     }
 
     /// Returns `true` iff every sensed state satisfies `pred`.
     pub fn all<F: FnMut(&S) -> bool>(&self, pred: F) -> bool {
-        self.sensed.iter().all(pred)
+        self.iter().all(pred)
     }
 
     /// Iterates over the sensed states in ascending order.
-    pub fn iter(&self) -> impl Iterator<Item = &S> {
-        self.sensed.iter()
+    pub fn iter(&self) -> SignalIter<'_, S> {
+        match &self.repr {
+            Repr::Sparse(set) => SignalIter::Sparse(set.iter()),
+            Repr::Dense(dense) => SignalIter::Dense(dense.iter()),
+        }
     }
 
     /// Number of distinct sensed states.
     pub fn len(&self) -> usize {
-        self.sensed.len()
+        match &self.repr {
+            Repr::Sparse(set) => set.len(),
+            Repr::Dense(dense) => dense.len(),
+        }
     }
 
     /// Whether nothing is sensed.
     pub fn is_empty(&self) -> bool {
-        self.sensed.is_empty()
+        match &self.repr {
+            Repr::Sparse(set) => set.is_empty(),
+            Repr::Dense(dense) => dense.is_empty(),
+        }
+    }
+
+    /// Empties the signal, keeping its representation (and, for dense signals,
+    /// the index and mask buffer).
+    pub fn clear(&mut self) {
+        match &mut self.repr {
+            Repr::Sparse(set) => set.clear(),
+            Repr::Dense(dense) => dense.mask.fill(0),
+        }
     }
 
     /// Inserts a state into the signal (used by the executor and by tests).
-    pub fn insert(&mut self, q: S) {
-        self.sensed.insert(q);
+    ///
+    /// Inserting a state that a dense signal's index does not cover degrades
+    /// the signal to the sparse representation (behaviour is unchanged).
+    pub fn insert(&mut self, q: S)
+    where
+        S: Clone,
+    {
+        match &mut self.repr {
+            Repr::Sparse(set) => {
+                set.insert(q);
+            }
+            Repr::Dense(dense) => match dense.index.position(&q) {
+                Some(i) => dense.set_bit(i),
+                None => {
+                    let mut set: BTreeSet<S> = dense.iter().cloned().collect();
+                    set.insert(q);
+                    self.repr = Repr::Sparse(set);
+                }
+            },
+        }
     }
 
-    /// Maps every sensed state through `f`, producing the signal of the images.
+    /// Maps every sensed state through `f`, producing the (sparse) signal of the
+    /// images.
     ///
     /// This is how composed algorithms (e.g. the synchronizer of Corollary 1.2)
     /// derive the signal a *component* would have seen from the signal of the
     /// *composite* states.
     pub fn map<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Signal<T> {
         Signal {
-            sensed: self.sensed.iter().map(f).collect(),
+            repr: Repr::Sparse(self.iter().map(f).collect()),
         }
     }
 
     /// Keeps only the sensed states satisfying `pred` and maps them through `f`.
     pub fn filter_map<T: Ord, F: FnMut(&S) -> Option<T>>(&self, f: F) -> Signal<T> {
         Signal {
-            sensed: self.sensed.iter().filter_map(f).collect(),
+            repr: Repr::Sparse(self.iter().filter_map(f).collect()),
         }
     }
 
     /// Returns the minimum sensed value of `f` over all sensed states, if any state is
     /// sensed.
     pub fn min_by_key<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Option<T> {
-        self.sensed.iter().map(f).min()
+        self.iter().map(f).min()
     }
 
     /// Returns the maximum sensed value of `f` over all sensed states, if any state is
     /// sensed.
     pub fn max_by_key<T: Ord, F: FnMut(&S) -> T>(&self, f: F) -> Option<T> {
-        self.sensed.iter().map(f).max()
+        self.iter().map(f).max()
+    }
+}
+
+/// Iterator over a [`Signal`]'s sensed states, in ascending order.
+pub enum SignalIter<'a, S: Ord> {
+    /// Iterating a sparse signal.
+    Sparse(std::collections::btree_set::Iter<'a, S>),
+    /// Iterating a dense signal.
+    Dense(DenseIter<'a, S>),
+}
+
+impl<'a, S: Ord> Iterator for SignalIter<'a, S> {
+    type Item = &'a S;
+
+    fn next(&mut self) -> Option<&'a S> {
+        match self {
+            SignalIter::Sparse(iter) => iter.next(),
+            SignalIter::Dense(iter) => iter.next(),
+        }
     }
 }
 
@@ -123,17 +414,19 @@ impl<S: Ord> FromIterator<S> for Signal<S> {
     }
 }
 
-impl<S: Ord> Extend<S> for Signal<S> {
+impl<S: Ord + Clone> Extend<S> for Signal<S> {
     fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
-        self.sensed.extend(iter);
+        for q in iter {
+            self.insert(q);
+        }
     }
 }
 
 impl<'a, S: Ord> IntoIterator for &'a Signal<S> {
     type Item = &'a S;
-    type IntoIter = std::collections::btree_set::Iter<'a, S>;
+    type IntoIter = SignalIter<'a, S>;
     fn into_iter(self) -> Self::IntoIter {
-        self.sensed.iter()
+        self.iter()
     }
 }
 
@@ -205,5 +498,97 @@ mod tests {
         sig.extend(vec![10, 11]);
         assert_eq!(sig.len(), 5);
         assert!(sig.senses(&11));
+    }
+
+    // ---- dense representation -------------------------------------------------
+
+    fn index_0_to_99() -> Arc<StateIndex<u32>> {
+        Arc::new(StateIndex::new(0..100u32))
+    }
+
+    #[test]
+    fn state_index_sorts_and_dedups() {
+        let index = StateIndex::new(vec![5, 1, 5, 3, 1]);
+        assert_eq!(index.states(), &[1, 3, 5]);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.position(&3), Some(1));
+        assert_eq!(index.position(&4), None);
+        assert_eq!(index.words(), 1);
+        assert_eq!(StateIndex::new(0..65u32).words(), 2);
+    }
+
+    #[test]
+    fn dense_signal_matches_sparse_behaviour() {
+        let index = index_0_to_99();
+        let mut dense = Signal::dense(index);
+        let mut sparse = Signal::empty();
+        for q in [7u32, 93, 64, 63, 7] {
+            dense.insert(q);
+            sparse.insert(q);
+        }
+        assert_eq!(dense, sparse);
+        assert_eq!(dense.len(), 4);
+        assert!(dense.senses(&93));
+        assert!(!dense.senses(&8));
+        assert!(dense.is_dense());
+        assert!(!sparse.is_dense());
+        let collected: Vec<u32> = dense.iter().copied().collect();
+        assert_eq!(collected, vec![7, 63, 64, 93]);
+        assert_eq!(dense.min_by_key(|q| *q), Some(7));
+        assert_eq!(dense.max_by_key(|q| *q), Some(93));
+    }
+
+    #[test]
+    fn dense_insert_outside_index_degrades_to_sparse() {
+        let index = Arc::new(StateIndex::new(0..4u32));
+        let mut sig = Signal::dense(index);
+        sig.insert(2);
+        sig.insert(1000);
+        assert!(!sig.is_dense());
+        assert!(sig.senses(&2));
+        assert!(sig.senses(&1000));
+        assert_eq!(sig.len(), 2);
+    }
+
+    #[test]
+    fn copy_dense_words_overwrites_the_mask() {
+        let index = index_0_to_99();
+        let mut sig = Signal::dense(index.clone());
+        sig.insert(3);
+        let words = vec![0b101u64, 1u64 << 5];
+        sig.copy_dense_words(&words);
+        assert!(!sig.senses(&3), "the overwritten mask has no bit 3");
+        let collected: Vec<u32> = sig.iter().copied().collect();
+        assert_eq!(collected, vec![0, 2, 69]);
+        assert_eq!(sig.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse signal")]
+    fn copy_dense_words_panics_on_sparse() {
+        let mut sig: Signal<u32> = Signal::empty();
+        sig.copy_dense_words(&[0]);
+    }
+
+    #[test]
+    fn dense_and_sparse_compare_equal_cross_representation() {
+        let index = index_0_to_99();
+        let mut dense = Signal::dense(index);
+        for q in [0u32, 64, 99] {
+            dense.insert(q);
+        }
+        let sparse = Signal::from_states(vec![0u32, 64, 99]);
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse, dense);
+        let other = Signal::from_states(vec![0u32, 64]);
+        assert_ne!(dense, other);
+    }
+
+    #[test]
+    fn dense_debug_renders_states() {
+        let index = Arc::new(StateIndex::new(0..10u32));
+        let mut sig = Signal::dense(index);
+        sig.insert(4);
+        assert_eq!(format!("{sig:?}"), "{4}");
     }
 }

@@ -8,7 +8,7 @@
 //! time `f(n, D) + O(D³)`.
 //!
 //! The construction composes `Π` with the asynchronous unison algorithm
-//! [`AlgAu`](unison_core::AlgAu): the `Π*` state of a node is a triple
+//! [`AlgAu`]: the `Π*` state of a node is a triple
 //! `(q, q′, ν) ∈ Q × Q × T` holding the node's current simulated `Π`-state, its
 //! previous simulated `Π`-state and its AlgAU turn. AlgAU runs on the third
 //! coordinate; every time its clock advances (a type AA transition `ν → ν′`), one
@@ -175,6 +175,42 @@ impl<A: Algorithm> Algorithm for Synchronized<A> {
         }
     }
 
+    fn dense_state_space(&self) -> Option<Vec<Self::State>> {
+        // The composite space is |Q|² · |T| (Corollary 1.2), which explodes
+        // quickly; enumerate it only while it stays small enough for the
+        // executor's dense engine to accept, and let the size check run
+        // *before* materializing the product.
+        use sa_model::algorithm::StateSpace as _;
+        let inner = self.inner.dense_state_space()?;
+        let turns = self.unison.states();
+        let count = inner
+            .len()
+            .checked_mul(inner.len())?
+            .checked_mul(turns.len())?;
+        if count > sa_model::executor::MAX_DENSE_STATES {
+            return None;
+        }
+        let mut states = Vec::with_capacity(count);
+        for current in &inner {
+            for previous in &inner {
+                for turn in &turns {
+                    states.push(SyncState {
+                        current: current.clone(),
+                        previous: previous.clone(),
+                        turn: *turn,
+                    });
+                }
+            }
+        }
+        Some(states)
+    }
+
+    fn transition_is_deterministic(&self) -> bool {
+        // The unison coordinate (AlgAU) is deterministic; the composite is a
+        // pure function of (state, signal) whenever the inner algorithm is.
+        self.inner.transition_is_deterministic()
+    }
+
     fn name(&self) -> &'static str {
         "synchronized"
     }
@@ -295,8 +331,7 @@ mod tests {
     use sa_model::executor::{Execution, ExecutionBuilder};
     use sa_model::graph::Graph;
     use sa_model::scheduler::{
-        AdversarialLaggardScheduler, CentralScheduler, SynchronousScheduler,
-        UniformRandomScheduler,
+        AdversarialLaggardScheduler, CentralScheduler, SynchronousScheduler, UniformRandomScheduler,
     };
     use unison_core::Predicates;
 
@@ -441,7 +476,10 @@ mod tests {
             for &(u, v) in graph.edges() {
                 let (a, b) = (exec.state(u), exec.state(v));
                 if let (Some(ca), Some(cb)) = (sync.clock_of(a), sync.clock_of(b)) {
-                    assert!(safety.safe(ca, cb), "clocks {ca} and {cb} on edge ({u},{v})");
+                    assert!(
+                        safety.safe(ca, cb),
+                        "clocks {ca} and {cb} on edge ({u},{v})"
+                    );
                 }
             }
         }
@@ -457,8 +495,7 @@ mod tests {
                 .seed(seed)
                 .uniform(alg.fresh_state());
             let mut sched = UniformRandomScheduler::new(0.7);
-            let report =
-                measure_static_stabilization(&mut exec, &mut sched, &checker, 6000, 200);
+            let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 6000, 200);
             assert!(
                 report.stabilization_round.is_some(),
                 "seed {seed}: {report:?}"

@@ -81,11 +81,7 @@ fn main() {
     println!("\ndone.");
 }
 
-fn print_configuration(
-    alg: &AlgAu,
-    graph: &Graph,
-    config: &[stone_age_unison::unison::Turn],
-) {
+fn print_configuration(alg: &AlgAu, graph: &Graph, config: &[stone_age_unison::unison::Turn]) {
     let p = Predicates::new(alg, graph);
     for (v, turn) in config.iter().enumerate() {
         let clock = alg

@@ -1,0 +1,119 @@
+//! Asserts the headline property of the dense execution engine: once warm,
+//! the synchronous (and round-robin) step loop performs **zero heap
+//! allocations** — signals are bitmask copies, activation sets and update
+//! buffers are reused, and the transition memo rewrites its slots in place.
+//!
+//! Measured with a counting global allocator. This file deliberately contains
+//! a single `#[test]`: the counter is process-global, so concurrent tests in
+//! the same binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stone_age_unison::model::algorithm::StateSpace;
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::unison::{AlgAu, Turn};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_step_loop_allocates_nothing() {
+    let graph = Topology::Torus { rows: 16, cols: 16 }.build_deterministic();
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+
+    // --- synchronous scheduler, adversarial (non-uniform) start -------------
+    // A random initial configuration keeps the general dense path busy (the
+    // uniform-configuration fast path only takes over once the field
+    // synchronizes).
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(42)
+        .random_initial(&palette);
+    assert!(
+        exec.uses_dense_signals(),
+        "AlgAU must run on the dense engine"
+    );
+    let mut sched = SynchronousScheduler;
+    // Warm up: buffers grow to steady-state capacity, the memo ring fills.
+    for _ in 0..50 {
+        exec.step_with(&mut sched);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        exec.step_with(&mut sched);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "synchronous steps must not allocate once warm"
+    );
+
+    // --- synchronous scheduler, synchronized (uniform) start ----------------
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(7)
+        .uniform(Turn::Able(1));
+    let mut sched = SynchronousScheduler;
+    for _ in 0..10 {
+        exec.step_with(&mut sched);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        exec.step_with(&mut sched);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "uniform lockstep steps must not allocate"
+    );
+
+    // --- round-robin scheduler ----------------------------------------------
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(3)
+        .random_initial(&palette);
+    let mut sched = RoundRobinScheduler::default();
+    for _ in 0..(2 * graph.node_count()) {
+        exec.step_with(&mut sched);
+    }
+    let before = allocations();
+    for _ in 0..(4 * graph.node_count()) {
+        exec.step_with(&mut sched);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "round-robin steps must not allocate once warm"
+    );
+
+    // Sanity: the counter actually counts.
+    let before = allocations();
+    let v: Vec<u64> = Vec::with_capacity(256);
+    drop(v);
+    assert!(allocations() > before, "allocator instrumentation is live");
+}

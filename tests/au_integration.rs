@@ -24,11 +24,11 @@ fn families(seed: u64) -> Vec<(&'static str, Graph)> {
         ("star", Graph::star(8)),
         ("complete", Graph::complete(6)),
         ("grid", Graph::grid(3, 4)),
-        ("tree", Topology::BalancedTree { arity: 2, depth: 3 }.build_deterministic()),
         (
-            "gnp",
-            Topology::ErdosRenyi { n: 12, p: 0.35 }.build(seed),
+            "tree",
+            Topology::BalancedTree { arity: 2, depth: 3 }.build_deterministic(),
         ),
+        ("gnp", Topology::ErdosRenyi { n: 12, p: 0.35 }.build(seed)),
         (
             "damaged-clique",
             Topology::DamagedClique {
@@ -50,7 +50,15 @@ fn algau_stabilizes_on_every_family_under_every_scheduler() {
         let budget = round_budget(d);
         for seed in 0..3u64 {
             // synchronous
-            run_one(&alg, &graph, &palette, &mut SynchronousScheduler, seed, budget, name);
+            run_one(
+                &alg,
+                &graph,
+                &palette,
+                &mut SynchronousScheduler,
+                seed,
+                budget,
+                name,
+            );
             // uniform random
             run_one(
                 &alg,
@@ -62,7 +70,15 @@ fn algau_stabilizes_on_every_family_under_every_scheduler() {
                 name,
             );
             // central daemon
-            run_one(&alg, &graph, &palette, &mut CentralScheduler, seed, budget, name);
+            run_one(
+                &alg,
+                &graph,
+                &palette,
+                &mut CentralScheduler,
+                seed,
+                budget,
+                name,
+            );
             // adversarial laggard
             run_one(
                 &alg,
@@ -139,7 +155,9 @@ fn algau_recovers_from_repeated_fault_bursts() {
     let d = graph.diameter();
     let alg = AlgAu::new(d);
     let palette = alg.states();
-    let mut exec = ExecutionBuilder::new(&alg, &graph).seed(5).uniform(Turn::Able(1));
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(5)
+        .uniform(Turn::Able(1));
     let mut sched = UniformRandomScheduler::new(0.5);
     let oracle = GoodGraphOracle::new(alg);
     let mut injector = FaultInjector::new(
@@ -177,7 +195,8 @@ fn post_stabilization_safety_holds_at_every_step_not_just_round_boundaries() {
         .seed(13)
         .random_initial(&palette);
     let mut sched = UniformRandomScheduler::new(0.6);
-    let outcome = exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
+    let outcome =
+        exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
     assert!(outcome.is_stabilized());
     let p_alg = alg;
     for _ in 0..2_000 {
@@ -213,7 +232,10 @@ fn livelock_schedule_defeats_reset_attempt_but_not_algau() {
         let mut sched = ScriptedScheduler::new(livelock_schedule());
         let outcome =
             exec.run_until_legitimate(&mut sched, &GoodGraphOracle::new(alg), round_budget(d));
-        assert!(outcome.is_stabilized(), "AlgAU must stabilize (seed {seed})");
+        assert!(
+            outcome.is_stabilized(),
+            "AlgAU must stabilize (seed {seed})"
+        );
     }
 }
 

@@ -1,114 +1,133 @@
-//! Property-based tests (proptest) over the core data structures and invariants:
-//! the level algebra, the AlgAU step invariants of Section 2.3.1, the Restart module
-//! guarantee and the MIS membership checker.
+//! Property-based tests over the core data structures and invariants: the
+//! level algebra, the AlgAU step invariants of Section 2.3.1, the Restart
+//! module guarantee, the MIS membership checker, and the equivalence of the
+//! dense (bitmask + incremental sensing) and sparse (`BTreeSet`) signal
+//! engines.
+//!
+//! The build environment has no access to crates.io (so no `proptest`); the
+//! tests below draw their random cases from a seeded [`rand::rngs::StdRng`]
+//! instead — same idea, deterministic across runs, zero dependencies.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use stone_age_unison::model::algorithm::StateSpace;
 use stone_age_unison::model::prelude::*;
 use stone_age_unison::protocols::mis::MisChecker;
 use stone_age_unison::protocols::restart::{
     measure_restart_exit, RestartState, TrivialHost, WithRestart,
 };
+use stone_age_unison::protocols::{alg_le, alg_mis};
 use stone_age_unison::unison::invariants::{check_protected_arc, check_step_invariants};
 use stone_age_unison::unison::{AlgAu, CyclicSafety, Levels, Turn};
 
-/// Strategy: a connected random graph on `n` nodes built from a random spanning tree
-/// plus random extra edges.
-fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
-    (2..=max_n, any::<u64>(), 0.0f64..0.5).prop_map(|(n, seed, extra)| {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut g = Graph::empty(n);
-        for v in 1..n {
-            let parent = rng.gen_range(0..v);
-            g.add_edge(parent, v);
-        }
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if !g.has_edge(u, v) && rng.gen_bool(extra) {
-                    g.add_edge(u, v);
-                }
+/// Number of random cases per property.
+const CASES: u64 = 64;
+
+/// A connected random graph on `2..=max_n` nodes: a random spanning tree plus
+/// random extra edges.
+fn connected_graph(rng: &mut StdRng, max_n: usize) -> Graph {
+    let n = rng.gen_range(2..=max_n);
+    let extra = rng.gen_range(0.0..0.5);
+    let mut g = Graph::empty(n);
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        g.add_edge(parent, v);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(u, v) && rng.gen_bool(extra) {
+                g.add_edge(u, v);
             }
         }
-        g
-    })
+    }
+    g
 }
 
-/// Strategy: a valid AlgAU turn for level bound `k`.
-fn turn_strategy(k: i32) -> impl Strategy<Value = Turn> {
-    (1..=k, prop::bool::ANY, prop::bool::ANY).prop_map(|(mag, negative, faulty)| {
-        let level = if negative { -mag } else { mag };
-        if faulty && mag >= 2 {
-            Turn::Faulty(level)
-        } else {
-            Turn::Able(level)
-        }
-    })
+/// A uniformly random valid AlgAU turn for level bound `k`.
+fn random_turn(rng: &mut StdRng, k: i32) -> Turn {
+    let mag = rng.gen_range(1..=k);
+    let level = if rng.gen_bool(0.5) { -mag } else { mag };
+    if rng.gen_bool(0.5) && mag >= 2 {
+        Turn::Faulty(level)
+    } else {
+        Turn::Able(level)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn forward_backward_roundtrip(k in 2i32..40, mag in 1i32..40, neg in any::<bool>()) {
+#[test]
+fn forward_backward_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let k = rng.gen_range(2..40i32);
         let levels = Levels::new(k);
-        let mag = mag.min(k);
-        let level = if neg { -mag } else { mag };
-        prop_assert_eq!(levels.backward(levels.forward(level)), level);
-        prop_assert_eq!(levels.forward(levels.backward(level)), level);
-        // forward always moves clock by exactly one
+        let mag = rng.gen_range(1..=k);
+        let level = if rng.gen_bool(0.5) { -mag } else { mag };
+        assert_eq!(levels.backward(levels.forward(level)), level);
+        assert_eq!(levels.forward(levels.backward(level)), level);
+        // forward always moves the clock by exactly one
         let c = levels.clock_value(level);
         let c2 = levels.clock_value(levels.forward(level));
-        prop_assert_eq!((c + 1) % levels.count() as u32, c2);
+        assert_eq!((c + 1) % levels.count() as u32, c2);
     }
+}
 
-    #[test]
-    fn level_distance_is_a_metric(k in 2i32..20, a in 1i32..20, b in 1i32..20, c in 1i32..20,
-                                  sa in any::<bool>(), sb in any::<bool>(), sc in any::<bool>()) {
+#[test]
+fn level_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let k = rng.gen_range(2..20i32);
         let levels = Levels::new(k);
-        let fix = |mag: i32, neg: bool| {
-            let m = ((mag - 1) % k) + 1;
-            if neg { -m } else { m }
+        let draw = |rng: &mut StdRng| {
+            let mag = rng.gen_range(1..=k);
+            if rng.gen_bool(0.5) {
+                -mag
+            } else {
+                mag
+            }
         };
-        let (a, b, c) = (fix(a, sa), fix(b, sb), fix(c, sc));
-        prop_assert_eq!(levels.distance(a, a), 0);
-        prop_assert_eq!(levels.distance(a, b), levels.distance(b, a));
-        prop_assert!(levels.distance(a, c) <= levels.distance(a, b) + levels.distance(b, c));
-        prop_assert!(levels.distance(a, b) <= k as u32);
+        let (a, b, c) = (draw(&mut rng), draw(&mut rng), draw(&mut rng));
+        assert_eq!(levels.distance(a, a), 0);
+        assert_eq!(levels.distance(a, b), levels.distance(b, a));
+        assert!(levels.distance(a, c) <= levels.distance(a, b) + levels.distance(b, c));
+        assert!(levels.distance(a, b) <= k as u32);
     }
+}
 
-    #[test]
-    fn cyclic_safety_matches_level_adjacency(k in 2i32..20, a in 1i32..20, b in 1i32..20,
-                                             sa in any::<bool>(), sb in any::<bool>()) {
+#[test]
+fn cyclic_safety_matches_level_adjacency() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let k = rng.gen_range(2..20i32);
         let levels = Levels::new(k);
-        let fix = |mag: i32, neg: bool| {
-            let m = ((mag - 1) % k) + 1;
-            if neg { -m } else { m }
+        let draw = |rng: &mut StdRng| {
+            let mag = rng.gen_range(1..=k);
+            if rng.gen_bool(0.5) {
+                -mag
+            } else {
+                mag
+            }
         };
-        let (a, b) = (fix(a, sa), fix(b, sb));
+        let (a, b) = (draw(&mut rng), draw(&mut rng));
         let safety = CyclicSafety::new(levels.count() as u32);
-        prop_assert_eq!(
+        assert_eq!(
             safety.safe(levels.clock_value(a), levels.clock_value(b)),
             levels.adjacent(a, b)
         );
     }
+}
 
-    #[test]
-    fn algau_step_invariants_hold_on_random_executions(
-        graph in connected_graph(8),
-        d in 1usize..4,
-        seed in any::<u64>(),
-        steps in 20usize..120,
-    ) {
+#[test]
+fn algau_step_invariants_hold_on_random_executions() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let graph = connected_graph(&mut rng, 8);
+        let d = rng.gen_range(1..4usize);
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        let steps = rng.gen_range(20..120usize);
         let alg = AlgAu::new(d);
-        use rand::Rng as _;
-        use rand::SeedableRng as _;
-        let mut runner_rng = rand::rngs::StdRng::seed_from_u64(seed);
-        // random initial configuration
         let states = alg.states();
         let init: Vec<Turn> = (0..graph.node_count())
-            .map(|_| states[runner_rng.gen_range(0..states.len())])
+            .map(|_| states[rng.gen_range(0..states.len())])
             .collect();
         let mut exec = Execution::new(&alg, &graph, init, seed);
         let mut sched = UniformRandomScheduler::new(0.5);
@@ -117,13 +136,15 @@ proptest! {
             exec.step_with(&mut sched);
             let after = exec.configuration().to_vec();
             let violations = check_step_invariants(&alg, &graph, &before, &after);
-            prop_assert!(violations.is_empty(), "{violations:?}");
-            prop_assert!(check_protected_arc(&alg, &graph, &after).is_none());
+            assert!(violations.is_empty(), "{violations:?}");
+            assert!(check_protected_arc(&alg, &graph, &after).is_none());
         }
     }
+}
 
-    #[test]
-    fn algau_output_clocks_are_a_bijection_with_able_turns(d in 1usize..10) {
+#[test]
+fn algau_output_clocks_are_a_bijection_with_able_turns() {
+    for d in 1..10usize {
         let alg = AlgAu::new(d);
         let outputs = alg.output_states();
         let mut clocks: Vec<u32> = outputs
@@ -132,21 +153,19 @@ proptest! {
             .collect();
         clocks.sort_unstable();
         clocks.dedup();
-        prop_assert_eq!(clocks.len(), alg.clock_size() as usize);
+        assert_eq!(clocks.len(), alg.clock_size() as usize);
     }
+}
 
-    #[test]
-    fn restart_always_exits_concurrently(
-        graph in connected_graph(7),
-        seed in any::<u64>(),
-        turn_seed in any::<u64>(),
-    ) {
+#[test]
+fn restart_always_exits_concurrently() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let graph = connected_graph(&mut rng, 7);
+        let seed = rng.gen_range(0..u64::MAX / 2);
         let d = graph.diameter().max(1);
         let wrapper = WithRestart::new(TrivialHost::new(4), d);
         let exit = wrapper.exit_index();
-        use rand::Rng as _;
-        use rand::SeedableRng as _;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(turn_seed);
         let mut init: Vec<RestartState<u32>> = (0..graph.node_count())
             .map(|_| {
                 if rng.gen_bool(0.5) {
@@ -159,33 +178,223 @@ proptest! {
         init[0] = RestartState::Restart(rng.gen_range(0..=exit));
         let report = measure_restart_exit(&wrapper, &graph, init, seed, (4 * d + 12) as u64)
             .expect("Restart must terminate within O(D) rounds");
-        prop_assert!(report.concurrent);
-        prop_assert!(report.uniform_exit);
-        prop_assert!(report.exit_round <= (3 * d + 2) as u64);
+        assert!(report.concurrent);
+        assert!(report.uniform_exit);
+        assert!(report.exit_round <= (3 * d + 2) as u64);
     }
+}
 
-    #[test]
-    fn mis_membership_checker_agrees_with_definition(
-        graph in connected_graph(7),
-        bits in prop::collection::vec(any::<bool>(), 7),
-    ) {
+#[test]
+fn mis_membership_checker_agrees_with_definition() {
+    let mut rng = StdRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let graph = connected_graph(&mut rng, 7);
         let n = graph.node_count();
-        let membership: Vec<bool> = bits.into_iter().take(n).chain(std::iter::repeat(false)).take(n).collect();
+        let membership: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
         let violations = MisChecker::check_membership(&graph, &membership);
         // brute-force the definition
         let independent = graph
             .edges()
             .iter()
             .all(|&(u, v)| !(membership[u] && membership[v]));
-        let maximal = graph.nodes().all(|v| {
-            membership[v] || graph.neighbors(v).iter().any(|&u| membership[u])
-        });
-        prop_assert_eq!(violations.is_empty(), independent && maximal);
+        let maximal = graph
+            .nodes()
+            .all(|v| membership[v] || graph.neighbors(v).iter().any(|&u| membership[u]));
+        assert_eq!(violations.is_empty(), independent && maximal);
+    }
+}
+
+#[test]
+fn random_turns_are_always_valid() {
+    let mut rng = StdRng::seed_from_u64(107);
+    let levels = Levels::new(8);
+    for _ in 0..CASES {
+        let t = random_turn(&mut rng, 8);
+        assert!(t.is_valid(&levels));
+    }
+}
+
+// ---- dense / sparse signal-engine equivalence ---------------------------------
+
+/// Steps a dense and a sparse execution of the same algorithm in lockstep and
+/// asserts they stay bit-for-bit identical — configurations, step outcomes,
+/// per-node signals and incremental sensing state.
+fn assert_engines_agree<A>(
+    algorithm: &A,
+    graph: &Graph,
+    init: Vec<A::State>,
+    seed: u64,
+    steps: usize,
+    p: f64,
+) where
+    A: stone_age_unison::model::algorithm::Algorithm,
+{
+    let mut dense = ExecutionBuilder::new(algorithm, graph)
+        .seed(seed)
+        .initial(init.clone());
+    let mut sparse = ExecutionBuilder::new(algorithm, graph)
+        .seed(seed)
+        .signal_mode(SignalMode::Sparse)
+        .initial(init);
+    assert!(
+        dense.uses_dense_signals(),
+        "algorithm must enumerate its state space for this test"
+    );
+    assert!(!sparse.uses_dense_signals());
+    let mut sched_a = UniformRandomScheduler::new(p);
+    let mut sched_b = UniformRandomScheduler::new(p);
+    for step in 0..steps {
+        let a = dense.step_with(&mut sched_a);
+        let b = sparse.step_with(&mut sched_b);
+        assert_eq!(a, b, "step {step} outcome diverged");
+        assert_eq!(
+            dense.configuration(),
+            sparse.configuration(),
+            "step {step} configuration diverged"
+        );
+        if a.round_completed {
+            for v in graph.nodes() {
+                assert_eq!(dense.signal(v), sparse.signal(v), "signal of node {v}");
+            }
+            assert!(dense.validate_incremental_sensing(), "step {step}");
+        }
+    }
+}
+
+#[test]
+fn dense_and_sparse_signals_agree_on_random_algau_executions() {
+    let mut rng = StdRng::seed_from_u64(108);
+    for _ in 0..24 {
+        let graph = connected_graph(&mut rng, 8);
+        let d = rng.gen_range(1..4usize);
+        let alg = AlgAu::new(d);
+        let states = alg.states();
+        let init: Vec<Turn> = (0..graph.node_count())
+            .map(|_| states[rng.gen_range(0..states.len())])
+            .collect();
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        assert_engines_agree(&alg, &graph, init, seed, 80, 0.5);
+    }
+}
+
+#[test]
+fn dense_and_sparse_engines_agree_for_randomized_algorithms() {
+    // AlgMIS and AlgLE toss coins: equivalence here also proves the dense
+    // engine preserves the RNG stream (transitions are evaluated exactly once
+    // per activation, in the same order, with no memoization).
+    let mut rng = StdRng::seed_from_u64(109);
+    for _ in 0..8 {
+        let graph = connected_graph(&mut rng, 6);
+        let d = graph.diameter().max(1);
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        let mis = alg_mis(d);
+        let palette = mis.states();
+        let init = (0..graph.node_count())
+            .map(|_| palette[rng.gen_range(0..palette.len())])
+            .collect();
+        assert_engines_agree(&mis, &graph, init, seed, 60, 0.7);
+        let le = alg_le(d);
+        let palette = le.states();
+        let init = (0..graph.node_count())
+            .map(|_| palette[rng.gen_range(0..palette.len())])
+            .collect();
+        assert_engines_agree(&le, &graph, init, seed ^ 0xabcd, 60, 0.7);
+    }
+}
+
+#[test]
+fn incremental_counts_match_recomputation_after_fault_injection() {
+    let mut rng = StdRng::seed_from_u64(110);
+    for _ in 0..16 {
+        let graph = connected_graph(&mut rng, 8);
+        let d = rng.gen_range(1..4usize);
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        let mut exec = ExecutionBuilder::new(&alg, &graph)
+            .seed(seed)
+            .random_initial(&palette);
+        assert!(exec.uses_dense_signals());
+        let mut sched = UniformRandomScheduler::new(0.5);
+        let mut injector = FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 2,
+                count: 2,
+            },
+            palette.clone(),
+            seed ^ 0x5eed,
+        );
+        for _ in 0..60 {
+            let out = exec.step_with(&mut sched);
+            if out.round_completed {
+                injector.on_round(&mut exec);
+                assert!(
+                    exec.validate_incremental_sensing(),
+                    "incremental counts diverged from a from-scratch recomputation \
+                     after fault injection"
+                );
+            }
+        }
+        assert!(injector.faults_injected() > 0);
+    }
+}
+
+#[test]
+fn corrupting_outside_the_state_space_keeps_executions_equivalent() {
+    // A fault writing a state outside the enumerated space degrades the dense
+    // engine to sparse; behaviour must be unchanged either way.
+    use rand::RngCore;
+    use stone_age_unison::model::algorithm::Algorithm;
+
+    /// Infection toy whose declared space {0, 1} can be escaped by faults.
+    struct Spread;
+    impl Algorithm for Spread {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, sig: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+            if *s == 1 || sig.senses(&1) {
+                1
+            } else {
+                *s
+            }
+        }
+        fn dense_state_space(&self) -> Option<Vec<u8>> {
+            Some(vec![0, 1])
+        }
+        fn transition_is_deterministic(&self) -> bool {
+            true
+        }
     }
 
-    #[test]
-    fn turn_strategy_only_yields_valid_turns(t in turn_strategy(8)) {
-        let levels = Levels::new(8);
-        prop_assert!(t.is_valid(&levels));
+    let mut rng = StdRng::seed_from_u64(111);
+    for _ in 0..12 {
+        let graph = connected_graph(&mut rng, 6);
+        let seed = rng.gen_range(0..u64::MAX / 2);
+        let init: Vec<u8> = (0..graph.node_count())
+            .map(|_| u8::from(rng.gen_bool(0.3)))
+            .collect();
+        let mut dense = ExecutionBuilder::new(&Spread, &graph)
+            .seed(seed)
+            .initial(init.clone());
+        let mut sparse = ExecutionBuilder::new(&Spread, &graph)
+            .seed(seed)
+            .signal_mode(SignalMode::Sparse)
+            .initial(init);
+        let mut sched_a = UniformRandomScheduler::new(0.5);
+        let mut sched_b = UniformRandomScheduler::new(0.5);
+        for step in 0..40 {
+            if step == 10 {
+                // 7 is outside the declared {0, 1} space
+                dense.corrupt(0, 7);
+                sparse.corrupt(0, 7);
+                assert!(!dense.uses_dense_signals(), "foreign state must degrade");
+            }
+            dense.step_with(&mut sched_a);
+            sparse.step_with(&mut sched_b);
+            assert_eq!(dense.configuration(), sparse.configuration(), "step {step}");
+        }
     }
 }

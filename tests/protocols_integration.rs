@@ -17,7 +17,10 @@ fn protocol_families(seed: u64) -> Vec<(&'static str, Graph)> {
         ("star", Graph::star(9)),
         ("cycle", Graph::cycle(8)),
         ("grid", Graph::grid(3, 4)),
-        ("tree", Topology::BalancedTree { arity: 3, depth: 2 }.build_deterministic()),
+        (
+            "tree",
+            Topology::BalancedTree { arity: 3, depth: 2 }.build_deterministic(),
+        ),
         ("gnp", Topology::ErdosRenyi { n: 12, p: 0.4 }.build(seed)),
     ]
 }
@@ -118,12 +121,8 @@ fn async_mis_stabilizes_from_fully_random_composite_configurations() {
     let checker = alg.checker();
     let inner_palette = alg.inner().states();
     for seed in 0..2u64 {
-        let init = random_composite_configuration(
-            &inner_palette,
-            alg.unison(),
-            graph.node_count(),
-            seed,
-        );
+        let init =
+            random_composite_configuration(&inner_palette, alg.unison(), graph.node_count(), seed);
         let mut exec = Execution::new(&alg, &graph, init, seed);
         let mut sched = UniformRandomScheduler::new(0.6);
         let report = measure_static_stabilization(&mut exec, &mut sched, &checker, 30_000, 300);
