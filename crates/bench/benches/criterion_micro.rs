@@ -13,6 +13,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::engine::EngineKind;
 use sa_model::executor::{ExecutionBuilder, SignalMode};
 use sa_model::graph::Graph;
 use sa_model::scheduler::{SynchronousScheduler, UniformRandomScheduler};
@@ -75,6 +76,79 @@ fn bench_synchronous_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// Labels of the serial-vs-sharded scaling topologies (shared with the
+/// summary printer, which needs only the names — constructing the ≥ 4096-node
+/// graphs a second time just for labels would double the setup cost).
+const SCALING_LABELS: [&str; 3] = ["torus-64x64", "hypercube-12", "regular4-4096"];
+
+/// The large topologies the serial-vs-sharded scaling benchmark sweeps —
+/// ≥ 4096 nodes each, per the intra-execution parallelism acceptance target:
+/// the 64×64 torus, the dimension-12 hypercube and a random 4-regular
+/// expander.
+fn scaling_benchmark_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            SCALING_LABELS[0],
+            Topology::Torus { rows: 64, cols: 64 }.build_deterministic(),
+        ),
+        (
+            SCALING_LABELS[1],
+            Topology::Hypercube { dim: 12 }.build_deterministic(),
+        ),
+        (
+            SCALING_LABELS[2],
+            Topology::RandomRegular { n: 4096, deg: 4 }.build(7),
+        ),
+    ]
+}
+
+/// The engine configurations the scaling benchmark compares.
+fn scaling_engines() -> [(&'static str, EngineKind); 4] {
+    [
+        ("serial", EngineKind::Serial),
+        ("sharded-2", EngineKind::Sharded { threads: 2 }),
+        ("sharded-4", EngineKind::Sharded { threads: 4 }),
+        ("sharded-8", EngineKind::Sharded { threads: 8 }),
+    ]
+}
+
+/// Serial vs sharded step engines on large topologies: AlgAU from an
+/// adversarial random configuration (heterogeneous signals keep the evaluate
+/// stage busy — the synchronized-lockstep fast path would bypass the engines
+/// entirely), three synchronous rounds per iteration.
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-scaling");
+    group.sample_size(10);
+    for (label, graph) in scaling_benchmark_graphs() {
+        let d = graph.diameter();
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        for (engine_label, kind) in scaling_engines() {
+            group.bench_with_input(BenchmarkId::new(label, engine_label), &graph, |b, graph| {
+                b.iter_batched(
+                    || {
+                        ExecutionBuilder::new(&alg, graph)
+                            .seed(11)
+                            .engine(kind)
+                            .random_initial(&palette)
+                    },
+                    |mut exec| {
+                        let mut sched = SynchronousScheduler;
+                        exec.run_rounds(&mut sched, 3);
+                        black_box(exec.rounds());
+                        // Return the execution so its teardown (for the
+                        // sharded engine: worker-pool shutdown + joins)
+                        // happens after the timer stops.
+                        exec
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_stabilization(c: &mut Criterion) {
     let mut group = c.benchmark_group("algau-stabilization");
     group.sample_size(10);
@@ -107,7 +181,10 @@ fn bench_stabilization(c: &mut Criterion) {
 
 /// Prints the dense-vs-sparse speedup per topology from the recorded
 /// `synchronous-round` results (the acceptance target is ≥ 5x on the
-/// 1024-node torus).
+/// 1024-node torus), then the serial-vs-sharded engine scaling from the
+/// `engine-scaling` results (target: sharded-4 beating serial on a
+/// ≥ 4096-node topology — requires ≥ 4 hardware cores; single-core hosts
+/// report the honest ≤ 1x).
 fn speedup_summary(c: &mut Criterion) {
     println!("\n==== dense vs sparse synchronous-round speedup ====");
     for (label, _) in round_benchmark_graphs() {
@@ -124,12 +201,35 @@ fn speedup_summary(c: &mut Criterion) {
             );
         }
     }
+    println!(
+        "\n==== serial vs sharded engine scaling ({} hardware threads) ====",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for label in SCALING_LABELS {
+        let time_of = |engine: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "engine-scaling" && r.bench == format!("{label}/{engine}"))
+                .map(|r| r.median_ns)
+        };
+        let Some(serial) = time_of("serial") else {
+            continue;
+        };
+        let mut line = format!("{label:<14} serial {serial:>13.0} ns/iter");
+        for (engine_label, _) in scaling_engines().iter().skip(1) {
+            if let Some(t) = time_of(engine_label) {
+                line.push_str(&format!("   {engine_label} {:.2}x", serial / t));
+            }
+        }
+        println!("{line}");
+    }
 }
 
 criterion_group!(
     benches,
     bench_transition,
     bench_synchronous_round,
+    bench_engine_scaling,
     bench_stabilization,
     speedup_summary
 );

@@ -81,9 +81,28 @@ fn graphs_for_diameter(d: usize, seed: u64) -> Vec<(String, Graph)> {
             }
             .build(seed),
         ));
+        // Hypercube of dimension min(d, 6): diameter = dimension ≤ d, the
+        // highest-degree regular family of the sweep (capped so the Full
+        // sweep stays tractable: dim 6 is already 64 nodes × 4 schedulers).
+        graphs.push((
+            "hypercube".to_string(),
+            Topology::Hypercube { dim: d.min(6) }.build_deterministic(),
+        ));
     }
     if d >= 4 && d.is_multiple_of(2) {
         graphs.push(("grid".to_string(), Graph::grid(d / 2 + 1, d / 2 + 1)));
+    }
+    if d >= 4 {
+        // Random 4-regular expander on 4d nodes: diameter ≈ log₃(4d) ≪ d,
+        // re-seeded until it respects the bound (always within a few tries).
+        for attempt in 0..50 {
+            let g =
+                Topology::RandomRegular { n: 4 * d, deg: 4 }.build(seed ^ (attempt * 0x9e37 + 1));
+            if g.diameter() <= d {
+                graphs.push(("expander".to_string(), g));
+                break;
+            }
+        }
     }
     graphs
 }

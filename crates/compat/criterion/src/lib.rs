@@ -233,7 +233,10 @@ impl Bencher {
     }
 
     /// Benchmarks `routine` on fresh input produced by `setup`; only the
-    /// routine is timed.
+    /// routine is timed. Like the real criterion, the routine's outputs are
+    /// collected during the batch and dropped *after* the timer stops, so
+    /// teardown cost (e.g. a benchmarked execution joining its worker pool)
+    /// does not pollute the measurement.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -248,11 +251,13 @@ impl Bencher {
         self.iters_per_sample = iters;
         for _ in 0..self.sample_size {
             let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let mut outputs: Vec<O> = Vec::with_capacity(iters as usize);
             let start = Instant::now();
             for input in inputs {
-                black_box(routine(input));
+                outputs.push(black_box(routine(input)));
             }
             let ns = start.elapsed().as_nanos() as f64;
+            drop(outputs);
             self.samples_ns_per_iter.push(ns / iters as f64);
         }
     }

@@ -17,7 +17,11 @@
 //!   `Range`/`RangeInclusive` of the primitive integer types) and
 //!   [`Rng::gen_bool`], blanket-implemented for every `RngCore`;
 //! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`];
-//! * [`rngs::StdRng`] and [`thread_rng`] / [`rngs::ThreadRng`].
+//! * [`rngs::StdRng`] and [`thread_rng`] / [`rngs::ThreadRng`];
+//! * [`rngs::CounterRng`] — a counter-based (Philox-style) generator whose
+//!   stream is addressed by a key rather than evolved sequentially, the
+//!   primitive behind the simulator's order-invariant per-node randomness
+//!   (this one is an extension over the real `rand` API).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -164,12 +168,84 @@ pub mod rngs {
         s: [u64; 4],
     }
 
-    fn splitmix64(state: &mut u64) -> u64 {
-        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = *state;
+    /// The SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+    #[inline]
+    fn mix64(mut z: u64) -> u64 {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^ (z >> 31)
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(*state)
+    }
+
+    /// A *counter-based* generator: the `i`-th output is a pure function of
+    /// `(key, i)`, with no sequential state beyond the counter itself.
+    ///
+    /// Counter-based RNGs (in the spirit of Philox/Threefry from "Parallel
+    /// random numbers: as easy as 1, 2, 3", SC'11) make random streams
+    /// *addressable*: two parties that agree on the key draw identical
+    /// sequences regardless of when, where, or in which order they draw. The
+    /// simulator keys one stream per `(seed, node, activation time)` triple,
+    /// which makes randomized transitions independent of the order in which
+    /// an activation set is evaluated — and therefore identical between the
+    /// serial and sharded step engines, shard count notwithstanding.
+    ///
+    /// The construction here is the SplitMix64 stream cipher form: output
+    /// `i` is `mix64(key + i·φ)` where `φ` is the golden-ratio increment and
+    /// `mix64` the SplitMix64 finalizer. Statistically this is exactly a
+    /// SplitMix64 sequence started at `key` — adequate for simulation, not
+    /// cryptography.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CounterRng {
+        key: u64,
+        ctr: u64,
+    }
+
+    impl CounterRng {
+        /// A stream addressed directly by a fully mixed 64-bit key.
+        pub fn from_key(key: u64) -> Self {
+            CounterRng { key, ctr: 0 }
+        }
+
+        /// A stream addressed by a `(seed, stream, substream)` triple — e.g.
+        /// `(execution seed, node id, step counter)`. The triple is absorbed
+        /// through two finalizer rounds with distinct odd multipliers so that
+        /// nearby triples (consecutive nodes, consecutive steps) land on
+        /// uncorrelated keys.
+        pub fn keyed(seed: u64, stream: u64, substream: u64) -> Self {
+            let k = mix64(seed ^ stream.wrapping_mul(0xa24b_aed4_963e_e407));
+            let k = mix64(k ^ substream.wrapping_mul(0x9fb2_1c65_1e98_df25));
+            CounterRng { key: k, ctr: 0 }
+        }
+
+        /// Number of values drawn from the stream so far.
+        pub fn draws(&self) -> u64 {
+            self.ctr
+        }
+    }
+
+    impl RngCore for CounterRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let z = self
+                .key
+                .wrapping_add(self.ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            self.ctr += 1;
+            mix64(z)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -256,8 +332,55 @@ pub fn thread_rng() -> rngs::ThreadRng {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{CounterRng, StdRng};
     use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn counter_rng_is_deterministic_per_key() {
+        let mut a = CounterRng::keyed(7, 3, 11);
+        let mut b = CounterRng::keyed(7, 3, 11);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.draws(), 100);
+    }
+
+    #[test]
+    fn counter_rng_streams_are_distinct_across_the_triple() {
+        let base: Vec<u64> = {
+            let mut r = CounterRng::keyed(1, 2, 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        for (s, n, t) in [(2, 2, 3), (1, 3, 3), (1, 2, 4), (0, 0, 0)] {
+            let mut r = CounterRng::keyed(s, n, t);
+            let other: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+            assert_ne!(base, other, "stream ({s}, {n}, {t}) collided");
+        }
+    }
+
+    #[test]
+    fn counter_rng_draws_are_roughly_uniform() {
+        let mut rng = CounterRng::keyed(42, 0, 0);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[rng.gen_range(0..16usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn counter_rng_from_key_matches_zero_counter_stream() {
+        let mut a = CounterRng::from_key(0xdead_beef);
+        let mut b = CounterRng::from_key(0xdead_beef);
+        b.next_u64();
+        // `a` one step behind `b`'s stream: from_key starts at counter 0.
+        let first = a.next_u64();
+        let second = a.next_u64();
+        assert_eq!(second, b.next_u64());
+        assert_ne!(first, second);
+    }
 
     #[test]
     fn deterministic_per_seed() {

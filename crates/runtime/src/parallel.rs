@@ -1,0 +1,118 @@
+//! Multi-seed trial fan-out across OS threads.
+//!
+//! The experiment sweeps repeat every configuration across many independent
+//! seeds; the trials share nothing, so they parallelize perfectly. The build
+//! environment has no access to crates.io (so no `rayon`); this module
+//! provides the one primitive the harness needs — an order-preserving parallel
+//! map — on top of `std::thread::scope`, with work distributed through an
+//! atomic cursor so uneven trial durations balance automatically.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`par_map`]: the machine's available
+/// parallelism, overridable through the `SA_BENCH_THREADS` environment
+/// variable (set it to `1` to make sweeps fully sequential).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("SA_BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, returning the results in input
+/// order.
+///
+/// Work is handed out one item at a time through an atomic cursor, so long
+/// trials do not leave threads idle behind them. Falls back to a plain
+/// sequential map when only one worker is available or the input is tiny.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the whole map panics once the scope joins).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut chunk = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return chunk;
+                        }
+                        chunk.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        let mut results: Vec<Option<R>> =
+            std::iter::repeat_with(|| None).take(items.len()).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("trial worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index visited exactly once"))
+            .collect()
+    })
+}
+
+/// Convenience wrapper running `f` once per seed in `0..seeds`, in parallel.
+pub fn par_seeds<R, F>(seeds: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    par_map(&seed_list, |&seed| f(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_seeds_runs_each_seed_once() {
+        let results = par_seeds(17, |seed| seed * seed);
+        assert_eq!(results.len(), 17);
+        for (seed, value) in results.iter().enumerate() {
+            assert_eq!(*value, (seed * seed) as u64);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

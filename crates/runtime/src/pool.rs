@@ -1,0 +1,318 @@
+//! A persistent worker pool for intra-execution sharding.
+//!
+//! The sharded step engine splits every step's activation set across a fixed
+//! set of workers. Steps are short (tens of microseconds to a few
+//! milliseconds), so spawning threads per step would dominate the work;
+//! [`WorkerPool`] keeps its workers parked on a condvar between steps and
+//! makes a step cost one broadcast (a mutex'd epoch bump plus wakeups).
+//!
+//! [`WorkerPool::broadcast`] runs a borrowed closure, which requires erasing
+//! its lifetime to hand it to the long-lived workers. Soundness rests on two
+//! invariants, both enforced under the single state mutex:
+//!
+//! 1. tasks are *claimed* under the lock, and a claim is only possible while
+//!    the claiming epoch is current;
+//! 2. the epoch can only advance (i.e. `broadcast` can only return and a new
+//!    job be installed) once every claimed task has finished and been
+//!    accounted.
+//!
+//! Together these guarantee no worker dereferences the job closure after
+//! `broadcast` returns, so the borrow it erases is always live.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased broadcast job. Only ever dereferenced between the epoch
+/// bump that installs it and the completion of its last task (see the module
+/// docs for why that keeps the erased borrow live).
+#[derive(Clone, Copy)]
+struct Job {
+    f: &'static (dyn Fn(usize) + Sync),
+    tasks: usize,
+}
+
+struct State {
+    /// Bumped once per broadcast; workers use it to tell fresh jobs apart.
+    epoch: u64,
+    job: Option<Job>,
+    /// Next unclaimed task index of the current job.
+    next: usize,
+    /// Claimed-or-unclaimed tasks not yet finished.
+    remaining: usize,
+    /// First panic payload raised by a task of the current job.
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// Workers that finished thread startup and reached the parked loop.
+    started: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    work_cv: Condvar,
+    /// Signals the broadcaster that `remaining` reached zero.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads executing broadcast jobs.
+///
+/// `WorkerPool::new(t)` provides `t` lanes of parallelism: `t − 1` background
+/// threads plus the broadcasting thread itself, which participates in every
+/// job. Dropping the pool shuts the workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool offering `threads` lanes of parallelism (min 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                next: 0,
+                remaining: 0,
+                panic_payload: None,
+                started: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sa-shard-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        let pool = WorkerPool { shared, workers };
+        // Wait for every worker to finish its (allocating) thread startup and
+        // reach the parked loop, so a constructed pool is fully quiescent —
+        // the zero-allocation property of the warm step loop depends on no
+        // startup work trailing into the first steps.
+        let mut st = pool.shared.state.lock().expect("pool state poisoned");
+        while st.started < pool.workers.len() {
+            st = pool.shared.done_cv.wait(st).expect("pool state poisoned");
+        }
+        drop(st);
+        pool
+    }
+
+    /// Total lanes of parallelism (background workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `job(0), …, job(tasks − 1)` across the pool and returns once all
+    /// of them have finished. The calling thread participates. Tasks are
+    /// claimed dynamically, so uneven task durations balance automatically.
+    ///
+    /// Must not be called reentrantly from within a job (it would deadlock on
+    /// the in-flight epoch).
+    ///
+    /// # Panics
+    ///
+    /// If any task panics, the panic is re-raised on the calling thread once
+    /// every task has finished.
+    pub fn broadcast(&self, tasks: usize, job: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || tasks == 1 {
+            for i in 0..tasks {
+                job(i);
+            }
+            return;
+        }
+        // Erase the borrow's lifetime to hand it to the parked workers; the
+        // claim/epoch protocol (module docs) keeps it live for exactly as
+        // long as any worker can reach it.
+        #[allow(unsafe_code)]
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        let epoch = {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            debug_assert_eq!(st.remaining, 0, "reentrant broadcast");
+            st.epoch += 1;
+            st.job = Some(Job { f: erased, tasks });
+            st.next = 0;
+            st.remaining = tasks;
+            st.panic_payload = None;
+            self.shared.work_cv.notify_all();
+            st.epoch
+        };
+        run_claimed_tasks(&self.shared, epoch, job, tasks);
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        if let Some(payload) = st.panic_payload.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Claims and runs tasks of epoch `epoch` until none are left.
+///
+/// The epoch check under the claim lock is load-bearing for soundness: a
+/// worker that read its job just before the job's broadcast completed could
+/// otherwise claim task indices of the *next* epoch and run them against the
+/// previous (expired) closure. A claimed task keeps `remaining > 0`, which
+/// blocks the epoch from advancing until the task is accounted — so a
+/// successful claim guarantees the closure outlives the call.
+fn run_claimed_tasks(shared: &Shared, epoch: u64, f: &(dyn Fn(usize) + Sync), tasks: usize) {
+    loop {
+        let i = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            if st.epoch != epoch || st.next >= tasks {
+                return;
+            }
+            let i = st.next;
+            st.next += 1;
+            i
+        };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(i)));
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if let Err(payload) = result {
+            st.panic_payload.get_or_insert(payload);
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    {
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        st.started += 1;
+        shared.done_cv.notify_all();
+    }
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job;
+                }
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        if let Some(job) = job {
+            run_claimed_tasks(shared, seen, job.f, job.tasks);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..100 {
+            pool.broadcast(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 100));
+    }
+
+    #[test]
+    fn broadcast_sees_borrowed_mutable_state_through_sync_cells() {
+        let pool = WorkerPool::new(3);
+        let cells: Vec<Mutex<u64>> = (0..8).map(|_| Mutex::new(0)).collect();
+        pool.broadcast(cells.len(), &|i| {
+            *cells[i].lock().unwrap() = (i as u64) * 10;
+        });
+        let values: Vec<u64> = cells.iter().map(|c| *c.lock().unwrap()).collect();
+        assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_thread_pool_degrades_to_inline_execution() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicUsize::new(0);
+        pool.broadcast(10, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_broadcaster() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(8, &|i| {
+                if i == 5 {
+                    panic!("task five exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "task five exploded");
+        // The pool remains usable after a panicked job.
+        let ran = AtomicUsize::new(0);
+        pool.broadcast(8, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = WorkerPool::new(8);
+        pool.broadcast(8, &|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn rapid_rebroadcasts_never_run_a_stale_closure() {
+        // Regression: a worker waking up late for broadcast N must not claim
+        // task indices of broadcast N+1 and run them against N's (expired)
+        // closure. Each round writes its round number; any stale-closure
+        // execution would overwrite a cell with an old round value.
+        let pool = WorkerPool::new(4);
+        let cells: Vec<Mutex<u64>> = (0..8).map(|_| Mutex::new(0)).collect();
+        for round in 1..=500u64 {
+            pool.broadcast(cells.len(), &|i| {
+                *cells[i].lock().unwrap() = round;
+            });
+            for cell in &cells {
+                assert_eq!(*cell.lock().unwrap(), round, "stale closure ran");
+            }
+        }
+    }
+}

@@ -22,10 +22,17 @@ use std::hash::Hash;
 /// only on the node's own state and its signal, never on node identity, the number of
 /// nodes or neighbor multiplicities (the [`Signal`] type makes the latter impossible
 /// to observe).
-pub trait Algorithm {
+///
+/// Algorithms must be [`Sync`] and their states [`Send`] + [`Sync`]: the
+/// sharded step engine evaluates the transitions of one step concurrently on
+/// a worker pool, reading the algorithm and the step's start configuration
+/// from several threads. In practice every SA algorithm is an immutable
+/// transition table plus a few parameters, so these bounds cost nothing.
+pub trait Algorithm: Sync {
     /// The state set `Q`. States are compared, hashed and ordered so that signals and
-    /// configuration snapshots can be built efficiently.
-    type State: Clone + Eq + Ord + Hash + Debug;
+    /// configuration snapshots can be built efficiently, and shareable across the
+    /// sharded engine's workers.
+    type State: Clone + Eq + Ord + Hash + Debug + Send + Sync;
 
     /// The output value set `O` of the task the algorithm solves.
     type Output: Clone + Eq + Debug;
@@ -38,6 +45,15 @@ pub trait Algorithm {
     ///
     /// `signal` always contains the node's own state (the neighborhood is inclusive).
     /// Deterministic algorithms ignore `rng`.
+    ///
+    /// The executor hands each activation a **counter-based random stream
+    /// keyed by `(execution seed, node, step)`**
+    /// ([`rand::rngs::CounterRng`]): the coins a node tosses at step `t`
+    /// depend only on that triple, never on how many coins other nodes
+    /// tossed before it. Seeded trajectories are therefore independent of
+    /// the order in which an activation set is evaluated — scripted
+    /// schedules may list nodes in any order, and the serial and sharded
+    /// engines produce bit-for-bit identical executions.
     fn transition(
         &self,
         state: &Self::State,

@@ -1,0 +1,96 @@
+//! The **account** stage: metrics, round bookkeeping, trace and fault
+//! records.
+//!
+//! After the apply stage has committed a step, this stage settles everything
+//! observable *about* the step: per-node counters ([`NodeCounters`]), the
+//! pending set driving the exact ϱ-operator round accounting, and — when
+//! tracing is enabled — the chronological event record (including the fault
+//! events written by [`Execution::corrupt`](crate::executor::Execution::corrupt)
+//! through [`record_fault`]).
+
+use super::evaluate::PendingUpdate;
+use crate::executor::StepOutcome;
+use crate::graph::NodeId;
+use crate::metrics::NodeCounters;
+use crate::trace::{Trace, TraceEvent};
+use std::fmt::Debug;
+
+/// Settles the bookkeeping of one applied step and produces its outcome.
+///
+/// `updates` must be the step's (post-apply) updates: for changed entries
+/// `update.next` holds the node's previous state and `config[update.v]` the
+/// new one. Advances `time`, the pending set and the round counter, and
+/// appends `Transition` / `RoundBoundary` events to the trace if enabled.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn settle<S: Clone + Debug>(
+    updates: &[PendingUpdate<S>],
+    config: &[S],
+    counters: &mut NodeCounters,
+    pending: &mut [bool],
+    pending_count: &mut usize,
+    time: &mut u64,
+    rounds: &mut u64,
+    mut trace: Option<&mut Trace<S>>,
+    changed_count: usize,
+) -> StepOutcome {
+    for update in updates {
+        counters.record_activation(update.v);
+        if pending[update.v] {
+            pending[update.v] = false;
+            *pending_count -= 1;
+        }
+        if !update.changed {
+            continue;
+        }
+        counters.record_state_change(update.v);
+        if update.output_changed {
+            counters.record_output_change(update.v);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.record(TraceEvent::Transition {
+                time: *time,
+                node: update.v,
+                from: update.next.clone(),
+                to: config[update.v].clone(),
+            });
+        }
+    }
+
+    let executed_time = *time;
+    *time += 1;
+
+    let round_completed = *pending_count == 0;
+    if round_completed {
+        *rounds += 1;
+        pending.iter_mut().for_each(|p| *p = true);
+        *pending_count = pending.len();
+        if let Some(trace) = trace {
+            trace.record(TraceEvent::RoundBoundary {
+                time: *time,
+                round: *rounds,
+            });
+        }
+    }
+
+    StepOutcome {
+        time: executed_time,
+        round_completed,
+        changed_count,
+    }
+}
+
+/// Records a transient-fault event (a state overwrite outside the step loop).
+pub(crate) fn record_fault<S: Clone + Debug>(
+    trace: Option<&mut Trace<S>>,
+    time: u64,
+    node: NodeId,
+    state: &S,
+) {
+    if let Some(trace) = trace {
+        trace.record(TraceEvent::Fault {
+            time,
+            node,
+            state: state.clone(),
+        });
+    }
+}

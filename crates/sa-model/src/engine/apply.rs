@@ -1,0 +1,38 @@
+//! The **apply** stage: committing a step's updates simultaneously.
+//!
+//! All transitions of a step were evaluated against the start configuration
+//! `C_t`; this stage writes them back in one pass — the model's simultaneous
+//! update `C_{t+1}` — and propagates each change into the incremental
+//! sensing state. Inherently serial (it mutates the shared configuration and
+//! the presence counts), but only `O(changed · deg)` work, which is why
+//! parallelizing the evaluate stage alone is enough.
+
+use super::evaluate::PendingUpdate;
+use super::sense::DenseSensing;
+use crate::graph::{Graph, NodeId};
+
+/// Commits `updates` to `config`, the sensing state and the changed list.
+///
+/// For every changed update, `update.next` and the node's configuration
+/// entry are *swapped*, so afterwards `update.next` holds the node's
+/// previous state — the account stage reads it for trace records.
+/// `last_changed` receives the changed nodes in update (= activation) order.
+pub(crate) fn commit<S: Ord>(
+    updates: &mut [PendingUpdate<S>],
+    graph: &Graph,
+    config: &mut [S],
+    mut sensing: Option<&mut DenseSensing<S>>,
+    last_changed: &mut Vec<NodeId>,
+) {
+    last_changed.clear();
+    for update in updates.iter_mut() {
+        if !update.changed {
+            continue;
+        }
+        std::mem::swap(&mut config[update.v], &mut update.next);
+        if let Some(sensing) = sensing.as_deref_mut() {
+            sensing.apply_change(graph, update.v, update.new_idx);
+        }
+        last_changed.push(update.v);
+    }
+}

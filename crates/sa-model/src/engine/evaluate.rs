@@ -1,0 +1,236 @@
+//! The **evaluate** stage: computing transitions from the step's snapshot.
+//!
+//! Evaluation is a *pure read* of the step's start configuration `C_t`: every
+//! activated node's next state is a function of `(C_t(v), S_v, coins(v, t))`
+//! only, where the coins come from a counter-based stream keyed by
+//! `(execution seed, node, step)` ([`rand::rngs::CounterRng`]). Nothing here
+//! mutates shared state, which is what lets the sharded engine fan the
+//! activation set out across workers — each running its own [`Evaluator`] —
+//! and still produce the same [`PendingUpdate`]s the serial engine would.
+//!
+//! Per evaluator, two reused resources keep the loop allocation-free:
+//!
+//! * a scratch [`Signal`] the neighborhood mask is copied into before the
+//!   transition function sees it, and
+//! * a small **memo ring** for deterministic algorithms: the next state is a
+//!   pure function of `(state, signal)`, so synchronized regions — many nodes
+//!   sharing the same state and signal, the common case for unison in
+//!   lockstep — collapse to a single transition evaluation. Memoization is
+//!   invisible in results (it only short-circuits *deterministic*
+//!   transitions), so per-shard memos do not disturb serial ≡ sharded
+//!   equivalence.
+
+use super::sense::{DenseSensing, UNINDEXED};
+use super::EvalCtx;
+use crate::algorithm::Algorithm;
+use crate::graph::NodeId;
+use crate::signal::Signal;
+use rand::rngs::CounterRng;
+use std::sync::Arc;
+
+/// Number of `(state, signal) → next state` memo slots kept for deterministic
+/// algorithms. Synchronized regions need one or two; the table is a small
+/// linear-probe ring so misses stay cheap.
+const MEMO_CAPACITY: usize = 8;
+
+/// One memoized transition of a deterministic algorithm.
+struct MemoEntry<S> {
+    state_idx: u32,
+    mask: Vec<u64>,
+    next: S,
+    next_idx: u32,
+    output_changed: bool,
+}
+
+/// A transition computed by the evaluate stage, committed by the apply stage.
+///
+/// After [`apply::commit`](super::apply::commit) runs, `next` holds the
+/// node's *previous* state (the two are swapped), which the account stage
+/// uses for trace records.
+pub struct PendingUpdate<S> {
+    /// The activated node.
+    pub v: NodeId,
+    /// The node's next state (previous state after the apply stage).
+    pub next: S,
+    /// Dense index of the node's state before the step ([`UNINDEXED`] on the
+    /// sparse path).
+    pub(crate) old_idx: u32,
+    /// Dense index of `next`, [`UNINDEXED`] on the sparse path or when `next`
+    /// left the enumerated space (which forces a fallback to sparse).
+    pub(crate) new_idx: u32,
+    /// Whether the transition changes the node's state.
+    pub changed: bool,
+    /// Whether the transition changes the node's output value.
+    pub output_changed: bool,
+}
+
+/// One evaluation lane: scratch signal + transition memo.
+///
+/// The serial engine owns one; the sharded engine owns one per shard.
+pub(crate) struct Evaluator<S: Clone + Ord> {
+    memo: Vec<MemoEntry<S>>,
+    memo_cursor: usize,
+    /// Slot of the most recently inserted memo entry, probed first (within a
+    /// step, all synchronized nodes hit the entry the first one inserted).
+    memo_last: usize,
+    /// Reused signal handed to the transition function.
+    scratch: Signal<S>,
+}
+
+impl<S: Clone + Ord> Evaluator<S> {
+    pub(crate) fn new() -> Self {
+        Evaluator {
+            memo: Vec::new(),
+            memo_cursor: 0,
+            memo_last: 0,
+            scratch: Signal::empty(),
+        }
+    }
+
+    /// Drops all cached state (memo + scratch); used when the execution
+    /// degrades to the sparse fallback.
+    pub(crate) fn reset(&mut self) {
+        self.memo.clear();
+        self.memo_cursor = 0;
+        self.memo_last = 0;
+        self.scratch = Signal::empty();
+    }
+
+    /// Aligns the scratch signal's representation with the execution's
+    /// current sensing state. Called once per step per lane, so the (rare)
+    /// representation switch allocates outside the steady-state loop.
+    pub(crate) fn prepare<A>(&mut self, ctx: &EvalCtx<'_, A>)
+    where
+        A: Algorithm<State = S>,
+    {
+        match ctx.sensing {
+            Some(sensing) => {
+                let matches = self
+                    .scratch
+                    .dense_index()
+                    .is_some_and(|index| Arc::ptr_eq(index, sensing.index()));
+                if !matches {
+                    self.scratch = Signal::dense(sensing.index().clone());
+                }
+            }
+            None => {
+                if self.scratch.is_dense() {
+                    self.scratch = Signal::empty();
+                }
+            }
+        }
+    }
+
+    /// Evaluates the transition of node `v` against the step snapshot in
+    /// `ctx`. Requires a prior [`Evaluator::prepare`] for this step.
+    pub(crate) fn evaluate<A>(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<S>
+    where
+        A: Algorithm<State = S>,
+    {
+        match ctx.sensing {
+            Some(sensing) => self.evaluate_dense(ctx, sensing, v),
+            None => self.evaluate_sparse(ctx, v),
+        }
+    }
+
+    /// Dense path: the signal is a precomputed bitmask; deterministic
+    /// transitions are memoized.
+    fn evaluate_dense<A>(
+        &mut self,
+        ctx: &EvalCtx<'_, A>,
+        sensing: &DenseSensing<S>,
+        v: NodeId,
+    ) -> PendingUpdate<S>
+    where
+        A: Algorithm<State = S>,
+    {
+        let si = sensing.state_idx[v];
+        let mask = sensing.mask_of(v);
+        if ctx.deterministic {
+            let matches = |e: &&MemoEntry<S>| e.state_idx == si && e.mask[..] == *mask;
+            if let Some(entry) = self
+                .memo
+                .get(self.memo_last)
+                .filter(|e| matches(e))
+                .or_else(|| self.memo.iter().find(matches))
+            {
+                return PendingUpdate {
+                    v,
+                    next: entry.next.clone(),
+                    old_idx: si,
+                    new_idx: entry.next_idx,
+                    changed: entry.next_idx != si,
+                    output_changed: entry.output_changed,
+                };
+            }
+        }
+        // Memo miss (or randomized algorithm): evaluate the transition on the
+        // node's private coin stream.
+        self.scratch.copy_dense_words(mask);
+        let mut rng = CounterRng::keyed(ctx.seed, v as u64, ctx.time);
+        let next = ctx.alg.transition(&ctx.config[v], &self.scratch, &mut rng);
+        let new_idx = match sensing.index.position(&next) {
+            Some(i) => i as u32,
+            None => UNINDEXED,
+        };
+        let changed = new_idx != si;
+        let output_changed = changed && ctx.alg.output(&next) != ctx.alg.output(&ctx.config[v]);
+        if ctx.deterministic && new_idx != UNINDEXED {
+            if self.memo.len() < MEMO_CAPACITY {
+                self.memo.push(MemoEntry {
+                    state_idx: si,
+                    mask: mask.to_vec(),
+                    next: next.clone(),
+                    next_idx: new_idx,
+                    output_changed,
+                });
+                self.memo_last = self.memo.len() - 1;
+            } else {
+                // Overwrite the oldest slot, reusing its mask buffer so the
+                // steady-state step loop stays allocation-free.
+                let slot = self.memo_cursor;
+                self.memo_cursor = (slot + 1) % MEMO_CAPACITY;
+                self.memo_last = slot;
+                let entry = &mut self.memo[slot];
+                entry.state_idx = si;
+                entry.mask.clear();
+                entry.mask.extend_from_slice(mask);
+                entry.next = next.clone();
+                entry.next_idx = new_idx;
+                entry.output_changed = output_changed;
+            }
+        }
+        PendingUpdate {
+            v,
+            next,
+            old_idx: si,
+            new_idx,
+            changed,
+            output_changed,
+        }
+    }
+
+    /// Sparse fallback path: the signal is rebuilt from the configuration.
+    fn evaluate_sparse<A>(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<S>
+    where
+        A: Algorithm<State = S>,
+    {
+        self.scratch.clear();
+        self.scratch.insert(ctx.config[v].clone());
+        for &u in ctx.graph.neighbors(v) {
+            self.scratch.insert(ctx.config[u].clone());
+        }
+        let mut rng = CounterRng::keyed(ctx.seed, v as u64, ctx.time);
+        let next = ctx.alg.transition(&ctx.config[v], &self.scratch, &mut rng);
+        let changed = next != ctx.config[v];
+        let output_changed = changed && ctx.alg.output(&next) != ctx.alg.output(&ctx.config[v]);
+        PendingUpdate {
+            v,
+            next,
+            old_idx: UNINDEXED,
+            new_idx: UNINDEXED,
+            changed,
+            output_changed,
+        }
+    }
+}

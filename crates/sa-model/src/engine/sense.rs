@@ -1,0 +1,173 @@
+//! The **sense** stage: incrementally maintained neighborhood signals.
+//!
+//! In the SA model the signal of node `v` is the binary vector
+//! `S_v ∈ {0,1}^Q` marking which states appear in the inclusive neighborhood
+//! `N⁺(v)`. [`DenseSensing`] materializes every node's signal as a bitmask
+//! over a shared [`StateIndex`], kept up to date *incrementally*: per-node
+//! state-presence counts (`counts[q][v]` = how many nodes of `N⁺(v)` are in
+//! state `q`, stored state-major so the few states active in a step share
+//! cache lines) are adjusted only when a node actually changes state, so a
+//! step costs `O(changed · deg)` update work instead of rebuilding every
+//! activated node's signal from scratch.
+//!
+//! The sense stage is **read-only during a step's evaluate stage** — every
+//! worker of the sharded engine reads the same immutable snapshot of the
+//! masks, which is what makes sharding the activation set safe — and is
+//! written back by the apply stage through [`DenseSensing::apply_change`].
+
+use crate::graph::{Graph, NodeId};
+use crate::signal::StateIndex;
+use std::sync::Arc;
+
+/// Largest enumerated state space the dense engine will index.
+///
+/// Public so composite algorithms (e.g. the synchronizer's product space) can
+/// decline to materialize an enumeration the engine would reject anyway.
+pub const MAX_DENSE_STATES: usize = 4096;
+
+/// Largest `states × nodes` count table the dense engine will allocate
+/// (at 2 bytes per cell this caps the table at 128 MiB).
+const MAX_DENSE_COUNT_CELLS: usize = 1 << 26;
+
+/// Sentinel state index marking "outside the dense index".
+pub(crate) const UNINDEXED: u32 = u32::MAX;
+
+/// The incremental dense sensing state (see the [module docs](self)).
+pub(crate) struct DenseSensing<S: Ord> {
+    pub(crate) index: Arc<StateIndex<S>>,
+    /// Mask words per node.
+    pub(crate) words: usize,
+    /// Number of nodes.
+    pub(crate) n: usize,
+    /// `counts[q * n + v]`: nodes of `N⁺(v)` currently in state `q`.
+    /// State-major ("transposed") layout: a step usually touches only the few
+    /// states involved in this step's transitions, so the touched rows stay in
+    /// cache even for large `|Q|`.
+    pub(crate) counts: Vec<u16>,
+    /// `masks[v * words ..][..words]`: the signal bitmask of node `v`.
+    pub(crate) masks: Vec<u64>,
+    /// The index of every node's current state (avoids re-searching on change).
+    pub(crate) state_idx: Vec<u32>,
+    /// `deg(v) + 1` per node, for the uniform-step batch update.
+    deg1: Vec<u16>,
+    /// `Some(q)` while *every* node is known to be in state `q` (then every
+    /// signal is exactly `{q}`), letting a full-activation step of a
+    /// deterministic algorithm evaluate the transition once for all nodes.
+    pub(crate) uniform_state: Option<u32>,
+}
+
+impl<S: Ord> DenseSensing<S> {
+    /// Builds the sensing state from scratch for `config`, or `None` if some
+    /// state is not covered by `index` or the table would be degenerate / too
+    /// large.
+    pub(crate) fn build(index: Arc<StateIndex<S>>, graph: &Graph, config: &[S]) -> Option<Self> {
+        let n = graph.node_count();
+        let q = index.len();
+        if q == 0
+            || q > MAX_DENSE_STATES
+            || n.checked_mul(q)? > MAX_DENSE_COUNT_CELLS
+            || graph.max_degree() + 1 > u16::MAX as usize
+        {
+            return None;
+        }
+        let words = index.words();
+        let mut engine = DenseSensing {
+            index,
+            words,
+            n,
+            counts: vec![0; n * q],
+            masks: vec![0; n * words],
+            state_idx: Vec::with_capacity(n),
+            deg1: (0..n).map(|v| graph.degree(v) as u16 + 1).collect(),
+            uniform_state: None,
+        };
+        for state in config {
+            engine.state_idx.push(engine.index.position(state)? as u32);
+        }
+        for v in 0..n {
+            let qi = engine.state_idx[v] as usize;
+            engine.increment(v, qi);
+            for &w in graph.neighbors(v) {
+                engine.increment(w, qi);
+            }
+        }
+        if engine.state_idx.iter().all(|&i| i == engine.state_idx[0]) {
+            engine.uniform_state = Some(engine.state_idx[0]);
+        }
+        Some(engine)
+    }
+
+    /// The shared state index.
+    pub(crate) fn index(&self) -> &Arc<StateIndex<S>> {
+        &self.index
+    }
+
+    /// The signal mask of node `v`.
+    #[inline]
+    pub(crate) fn mask_of(&self, v: NodeId) -> &[u64] {
+        &self.masks[v * self.words..(v + 1) * self.words]
+    }
+
+    #[inline]
+    fn increment(&mut self, w: NodeId, qi: usize) {
+        let cell = &mut self.counts[qi * self.n + w];
+        if *cell == 0 {
+            self.masks[w * self.words + qi / 64] |= 1u64 << (qi % 64);
+        }
+        *cell += 1;
+    }
+
+    #[inline]
+    fn decrement(&mut self, w: NodeId, qi: usize) {
+        let cell = &mut self.counts[qi * self.n + w];
+        debug_assert!(*cell > 0, "presence count underflow");
+        *cell -= 1;
+        if *cell == 0 {
+            self.masks[w * self.words + qi / 64] &= !(1u64 << (qi % 64));
+        }
+    }
+
+    /// Propagates the state change of node `v` to `new_idx` into the counts
+    /// and masks of `N⁺(v)` (the apply stage's write-back).
+    pub(crate) fn apply_change(&mut self, graph: &Graph, v: NodeId, new_idx: u32) {
+        self.uniform_state = None;
+        let old = self.state_idx[v] as usize;
+        let new = new_idx as usize;
+        self.state_idx[v] = new_idx;
+        self.decrement(v, old);
+        self.increment(v, new);
+        for &w in graph.neighbors(v) {
+            self.decrement(w, old);
+            self.increment(w, new);
+        }
+    }
+
+    /// Applies the *uniform* step "every node moves `old_idx → new_idx`" in
+    /// bulk: with all of `V` previously in `old_idx`, the count table holds
+    /// `counts[old][v] = deg(v) + 1` and zeros elsewhere, so the update is two
+    /// row writes and one bit flip pair per node — the synchronized-lockstep
+    /// fast path of the step loop.
+    pub(crate) fn apply_uniform_change(&mut self, old_idx: u32, new_idx: u32) {
+        let (old, new) = (old_idx as usize, new_idx as usize);
+        let n = self.n;
+        debug_assert!(
+            self.counts[old * n..(old + 1) * n]
+                .iter()
+                .zip(&self.deg1)
+                .all(|(c, d)| c == d),
+            "uniform batch requires every node to have been in the old state"
+        );
+        self.counts[old * n..(old + 1) * n].fill(0);
+        let (new_row, deg1) = (&mut self.counts[new * n..(new + 1) * n], &self.deg1);
+        new_row.copy_from_slice(deg1);
+        let (old_word, old_bit) = (old / 64, 1u64 << (old % 64));
+        let (new_word, new_bit) = (new / 64, 1u64 << (new % 64));
+        for v in 0..n {
+            let base = v * self.words;
+            self.masks[base + old_word] &= !old_bit;
+            self.masks[base + new_word] |= new_bit;
+        }
+        self.state_idx.fill(new_idx);
+        self.uniform_state = Some(new_idx);
+    }
+}

@@ -1,0 +1,56 @@
+//! The serial step engine: the evaluate stage on the calling thread.
+
+use super::evaluate::{Evaluator, PendingUpdate};
+use super::{EngineKind, EvalCtx, StepEngine};
+use crate::algorithm::Algorithm;
+use crate::graph::NodeId;
+
+/// Evaluates every activation on the calling thread with a single
+/// [`Evaluator`] lane. The default engine; optimal for small activation sets
+/// and the baseline the sharded engine is verified against.
+pub struct SerialEngine<S: Clone + Ord> {
+    lane: Evaluator<S>,
+}
+
+impl<S: Clone + Ord> SerialEngine<S> {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        SerialEngine {
+            lane: Evaluator::new(),
+        }
+    }
+}
+
+impl<S: Clone + Ord> Default for SerialEngine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Algorithm> StepEngine<A> for SerialEngine<A::State> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Serial
+    }
+
+    fn evaluate_into(
+        &mut self,
+        ctx: &EvalCtx<'_, A>,
+        active: &[NodeId],
+        out: &mut Vec<PendingUpdate<A::State>>,
+    ) {
+        out.clear();
+        self.lane.prepare(ctx);
+        for &v in active {
+            out.push(self.lane.evaluate(ctx, v));
+        }
+    }
+
+    fn evaluate_one(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<A::State> {
+        self.lane.prepare(ctx);
+        self.lane.evaluate(ctx, v)
+    }
+
+    fn on_degrade(&mut self) {
+        self.lane.reset();
+    }
+}

@@ -1,4 +1,4 @@
-//! The execution engine: steps, rounds (the ϱ operator) and stabilization runs.
+//! The execution driver: steps, rounds (the ϱ operator) and stabilization runs.
 //!
 //! An execution starts from an (adversarially chosen) initial configuration
 //! `C_0 : V → Q`. At step `t` the scheduler activates a set `A_t`; every activated
@@ -11,45 +11,38 @@
 //! `[t, ϱ(t))`. The executor tracks `R(i) = ϱ^i(0)` exactly: [`Execution::rounds`]
 //! returns the largest `i` with `R(i) ≤ now`.
 //!
-//! # The dense sensing engine
+//! # The staged step pipeline
 //!
-//! The SA model's nodes are bounded-memory, so for most algorithms the state
-//! space `Q` is small and enumerable ([`Algorithm::dense_state_space`]). The
-//! executor exploits this with three cooperating mechanisms:
+//! [`Execution::step`] drives the four-stage pipeline of the [`engine`]
+//! module — **sense** (incremental neighborhood signal snapshots),
+//! **evaluate** (transition computation on a pluggable [`StepEngine`]),
+//! **apply** (simultaneous commit) and **account** (metrics, rounds, trace).
+//! The evaluate stage runs either serially or sharded across a worker pool
+//! ([`EngineKind`]); both produce bit-for-bit identical executions because
+//! transitions read only the step's start snapshot and draw their coins from
+//! counter-based streams keyed by `(seed, node, time)`.
 //!
-//! * **Incremental neighborhood sensing.** For every node `v` it keeps
-//!   state-presence counts (`counts[q][v]` = how many nodes of `N⁺(v)` are in
-//!   state `q`, stored state-major so the few states active in a step share
-//!   cache lines) plus the induced bitmask over a shared
-//!   [`StateIndex`] — which **is** the node's
-//!   signal `S_v ∈ {0,1}^Q`. Both are updated only when a node actually
-//!   changes state, so a step costs `O(changed · deg)` update work instead of
-//!   rebuilding every activated node's signal from scratch.
-//! * **Transition memoization.** For deterministic algorithms
-//!   ([`Algorithm::transition_is_deterministic`]) the next state is a pure
-//!   function of `(state, signal)`; a small memo table keyed by
-//!   `(state index, signal mask)` collapses synchronized regions — where many
-//!   nodes share the same state and signal, the common case for unison in
-//!   lockstep — to a single transition evaluation per step.
-//! * **Buffer reuse.** Activation sets
-//!   ([`Scheduler::activations_into`](crate::scheduler::Scheduler::activations_into)),
-//!   pending updates, the changed list and the scratch signal all live in
-//!   buffers owned by the execution, so the step loop performs **zero heap
-//!   allocations** once warm (tracing off).
-//!
-//! Algorithms with unbounded or unenumerable state spaces fall back to the
-//! sparse `BTreeSet` signal transparently; executions whose configurations
-//! leave the enumerated space (e.g. exotic fault palettes) degrade to sparse
-//! automatically, so the engine choice is purely a performance matter.
+//! On top of the pipeline the executor layers the performance machinery
+//! introduced earlier: dense bitmask signals over a precomputed
+//! [`StateIndex`](crate::signal::StateIndex) with transparent sparse
+//! fallback, per-lane transition memoization for deterministic algorithms, a
+//! uniform-configuration bulk fast path, and buffer reuse throughout — the
+//! warm step loop performs **zero heap allocations** (tracing off), on both
+//! engines.
 
 use crate::algorithm::{Algorithm, LegitimacyOracle};
+use crate::engine::sense::{DenseSensing, UNINDEXED};
+use crate::engine::{self, account, apply, EngineKind, EvalCtx, PendingUpdate, StepEngine};
 use crate::graph::{Graph, NodeId};
+use crate::metrics::NodeCounters;
 use crate::scheduler::ActivationSet;
 use crate::signal::{Signal, StateIndex};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+pub use crate::engine::MAX_DENSE_STATES;
 
 /// How the executor represents signals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,24 +56,6 @@ pub enum SignalMode {
     /// engine.
     Sparse,
 }
-
-/// Largest enumerated state space the dense engine will index.
-///
-/// Public so composite algorithms (e.g. the synchronizer's product space) can
-/// decline to materialize an enumeration the engine would reject anyway.
-pub const MAX_DENSE_STATES: usize = 4096;
-
-/// Largest `states × nodes` count table the dense engine will allocate
-/// (at 2 bytes per cell this caps the table at 128 MiB).
-const MAX_DENSE_COUNT_CELLS: usize = 1 << 26;
-
-/// Number of `(state, signal) → next state` memo slots kept for deterministic
-/// algorithms. Synchronized regions need one or two; the table is a small
-/// linear-probe ring so misses stay cheap.
-const MEMO_CAPACITY: usize = 8;
-
-/// Sentinel state index marking "outside the dense index".
-const UNINDEXED: u32 = u32::MAX;
 
 /// Result of a single execution step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,163 +102,6 @@ impl StabilizationOutcome {
     }
 }
 
-/// The incremental dense sensing engine (see the [module docs](self)).
-struct DenseSensing<S: Ord> {
-    index: Arc<StateIndex<S>>,
-    /// Mask words per node.
-    words: usize,
-    /// Number of nodes.
-    n: usize,
-    /// `counts[q * n + v]`: nodes of `N⁺(v)` currently in state `q`.
-    /// State-major ("transposed") layout: a step usually touches only the few
-    /// states involved in this step's transitions, so the touched rows stay in
-    /// cache even for large `|Q|`.
-    counts: Vec<u16>,
-    /// `masks[v * words ..][..words]`: the signal bitmask of node `v`.
-    masks: Vec<u64>,
-    /// The index of every node's current state (avoids re-searching on change).
-    state_idx: Vec<u32>,
-    /// `deg(v) + 1` per node, for the uniform-step batch update.
-    deg1: Vec<u16>,
-    /// `Some(q)` while *every* node is known to be in state `q` (then every
-    /// signal is exactly `{q}`), letting a full-activation step of a
-    /// deterministic algorithm evaluate the transition once for all nodes.
-    uniform_state: Option<u32>,
-}
-
-impl<S: Ord> DenseSensing<S> {
-    /// Builds the engine from scratch for `config`, or `None` if some state is
-    /// not covered by `index` or the table would be degenerate / too large.
-    fn build(index: Arc<StateIndex<S>>, graph: &Graph, config: &[S]) -> Option<Self> {
-        let n = graph.node_count();
-        let q = index.len();
-        if q == 0
-            || q > MAX_DENSE_STATES
-            || n.checked_mul(q)? > MAX_DENSE_COUNT_CELLS
-            || graph.max_degree() + 1 > u16::MAX as usize
-        {
-            return None;
-        }
-        let words = index.words();
-        let mut engine = DenseSensing {
-            index,
-            words,
-            n,
-            counts: vec![0; n * q],
-            masks: vec![0; n * words],
-            state_idx: Vec::with_capacity(n),
-            deg1: (0..n).map(|v| graph.degree(v) as u16 + 1).collect(),
-            uniform_state: None,
-        };
-        for state in config {
-            engine.state_idx.push(engine.index.position(state)? as u32);
-        }
-        for v in 0..n {
-            let qi = engine.state_idx[v] as usize;
-            engine.increment(v, qi);
-            for &w in graph.neighbors(v) {
-                engine.increment(w, qi);
-            }
-        }
-        if engine.state_idx.iter().all(|&i| i == engine.state_idx[0]) {
-            engine.uniform_state = Some(engine.state_idx[0]);
-        }
-        Some(engine)
-    }
-
-    /// The signal mask of node `v`.
-    #[inline]
-    fn mask_of(&self, v: NodeId) -> &[u64] {
-        &self.masks[v * self.words..(v + 1) * self.words]
-    }
-
-    #[inline]
-    fn increment(&mut self, w: NodeId, qi: usize) {
-        let cell = &mut self.counts[qi * self.n + w];
-        if *cell == 0 {
-            self.masks[w * self.words + qi / 64] |= 1u64 << (qi % 64);
-        }
-        *cell += 1;
-    }
-
-    #[inline]
-    fn decrement(&mut self, w: NodeId, qi: usize) {
-        let cell = &mut self.counts[qi * self.n + w];
-        debug_assert!(*cell > 0, "presence count underflow");
-        *cell -= 1;
-        if *cell == 0 {
-            self.masks[w * self.words + qi / 64] &= !(1u64 << (qi % 64));
-        }
-    }
-
-    /// Propagates the state change of node `v` to `new_idx` into the counts
-    /// and masks of `N⁺(v)`.
-    fn apply_change(&mut self, graph: &Graph, v: NodeId, new_idx: u32) {
-        self.uniform_state = None;
-        let old = self.state_idx[v] as usize;
-        let new = new_idx as usize;
-        self.state_idx[v] = new_idx;
-        self.decrement(v, old);
-        self.increment(v, new);
-        for &w in graph.neighbors(v) {
-            self.decrement(w, old);
-            self.increment(w, new);
-        }
-    }
-
-    /// Applies the *uniform* step "every node moves `old_idx → new_idx`" in
-    /// bulk: with all of `V` previously in `old_idx`, the count table holds
-    /// `counts[old][v] = deg(v) + 1` and zeros elsewhere, so the update is two
-    /// row writes and one bit flip pair per node — the synchronized-lockstep
-    /// fast path of the step loop.
-    fn apply_uniform_change(&mut self, old_idx: u32, new_idx: u32) {
-        let (old, new) = (old_idx as usize, new_idx as usize);
-        let n = self.n;
-        debug_assert!(
-            self.counts[old * n..(old + 1) * n]
-                .iter()
-                .zip(&self.deg1)
-                .all(|(c, d)| c == d),
-            "uniform batch requires every node to have been in the old state"
-        );
-        self.counts[old * n..(old + 1) * n].fill(0);
-        let (new_row, deg1) = (&mut self.counts[new * n..(new + 1) * n], &self.deg1);
-        new_row.copy_from_slice(deg1);
-        let (old_word, old_bit) = (old / 64, 1u64 << (old % 64));
-        let (new_word, new_bit) = (new / 64, 1u64 << (new % 64));
-        for v in 0..n {
-            let base = v * self.words;
-            self.masks[base + old_word] &= !old_bit;
-            self.masks[base + new_word] |= new_bit;
-        }
-        self.state_idx.fill(new_idx);
-        self.uniform_state = Some(new_idx);
-    }
-}
-
-/// One memoized transition of a deterministic algorithm.
-struct MemoEntry<S> {
-    state_idx: u32,
-    mask: Vec<u64>,
-    next: S,
-    next_idx: u32,
-    output_changed: bool,
-}
-
-/// A transition computed in phase 1 of a step, applied in phase 2.
-struct PendingUpdate<S> {
-    v: NodeId,
-    next: S,
-    /// Dense index of the node's state before the step ([`UNINDEXED`] on the
-    /// sparse path).
-    old_idx: u32,
-    /// Dense index of `next`, [`UNINDEXED`] on the sparse path or when `next`
-    /// left the enumerated space (which forces a fallback to sparse).
-    new_idx: u32,
-    changed: bool,
-    output_changed: bool,
-}
-
 /// A running (or finished) execution of an algorithm on a graph.
 pub struct Execution<'a, A: Algorithm> {
     algorithm: &'a A,
@@ -295,31 +113,30 @@ pub struct Execution<'a, A: Algorithm> {
     /// round.
     pending: Vec<bool>,
     pending_count: usize,
-    activation_counts: Vec<u64>,
-    state_change_counts: Vec<u64>,
-    output_change_counts: Vec<u64>,
-    rng: StdRng,
+    /// Per-node activity counters, settled by the account stage.
+    counters: NodeCounters,
+    /// Base key of the per-`(node, time)` transition coin streams.
+    seed: u64,
+    /// Sequential stream driving schedulers through [`Execution::step_with`].
+    sched_rng: StdRng,
     trace: Option<Trace<A::State>>,
     /// Deduplication bitmap for the activation set; all-false between steps.
     scratch_active: Vec<bool>,
-    /// `Some` while the dense engine is live, `None` on the sparse fallback.
+    /// Reused buffer holding the deduplicated activation set when the
+    /// scheduler hands one with duplicates / out-of-order entries.
+    dedup_buf: Vec<NodeId>,
+    /// `Some` while the dense sense stage is live, `None` on the sparse fallback.
     sensing: Option<DenseSensing<A::State>>,
     /// Whether transitions may be memoized (algorithm declared deterministic).
     deterministic: bool,
-    /// Memo ring for deterministic transitions on the dense path.
-    memo: Vec<MemoEntry<A::State>>,
-    memo_cursor: usize,
-    /// Slot of the most recently inserted memo entry, probed first (within a
-    /// step, all synchronized nodes hit the entry the first one inserted).
-    memo_last: usize,
+    /// The evaluate-stage engine (serial or sharded).
+    engine: Box<dyn StepEngine<A> + 'a>,
     /// The identity permutation `0..n`, so uniform steps can report "all nodes
     /// changed" without rewriting a buffer.
     identity: Vec<NodeId>,
     /// Whether the most recent step changed every node (see
     /// [`Execution::last_changed`]).
     all_changed: bool,
-    /// Reused signal handed to the transition function.
-    scratch_signal: Signal<A::State>,
     /// Reused buffer for scheduler activations (see [`Execution::step_with`]).
     scratch_acts: ActivationSet,
     /// Reused buffer of updates computed from `C_t`.
@@ -330,7 +147,8 @@ pub struct Execution<'a, A: Algorithm> {
 
 impl<'a, A: Algorithm> Execution<'a, A> {
     /// Creates an execution from an explicit initial configuration, choosing
-    /// the signal engine automatically ([`SignalMode::Auto`]).
+    /// the signal engine automatically ([`SignalMode::Auto`]) and the step
+    /// engine from the environment ([`EngineKind::from_env`]).
     ///
     /// # Panics
     ///
@@ -340,7 +158,8 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         Self::with_mode(algorithm, graph, initial, seed, SignalMode::Auto)
     }
 
-    /// Creates an execution with an explicit [`SignalMode`].
+    /// Creates an execution with an explicit [`SignalMode`] (step engine from
+    /// the environment).
     ///
     /// # Panics
     ///
@@ -352,6 +171,30 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         initial: Vec<A::State>,
         seed: u64,
         mode: SignalMode,
+    ) -> Self {
+        Self::with_engine(
+            algorithm,
+            graph,
+            initial,
+            seed,
+            mode,
+            EngineKind::from_env(),
+        )
+    }
+
+    /// Creates an execution with explicit signal and step engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the number of nodes, or if the graph is
+    /// empty.
+    pub fn with_engine(
+        algorithm: &'a A,
+        graph: &'a Graph,
+        initial: Vec<A::State>,
+        seed: u64,
+        mode: SignalMode,
+        kind: EngineKind,
     ) -> Self {
         assert!(graph.node_count() > 0, "cannot execute on an empty graph");
         assert_eq!(
@@ -366,10 +209,6 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 DenseSensing::build(Arc::new(StateIndex::new(states)), graph, &initial)
             }),
         };
-        let scratch_signal = match &sensing {
-            Some(engine) => Signal::dense(engine.index.clone()),
-            None => Signal::empty(),
-        };
         Execution {
             algorithm,
             graph,
@@ -378,20 +217,17 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             rounds: 0,
             pending: vec![true; n],
             pending_count: n,
-            activation_counts: vec![0; n],
-            state_change_counts: vec![0; n],
-            output_change_counts: vec![0; n],
-            rng: StdRng::seed_from_u64(seed),
+            counters: NodeCounters::new(n),
+            seed,
+            sched_rng: StdRng::seed_from_u64(seed),
             trace: None,
             scratch_active: vec![false; n],
+            dedup_buf: Vec::new(),
             sensing,
             deterministic: algorithm.transition_is_deterministic(),
-            memo: Vec::new(),
-            memo_cursor: 0,
-            memo_last: 0,
+            engine: engine::build(kind),
             identity: (0..n).collect(),
             all_changed: false,
-            scratch_signal,
             scratch_acts: ActivationSet::new(),
             scratch_updates: Vec::new(),
             last_changed: Vec::new(),
@@ -445,6 +281,11 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         self.sensing.is_some()
     }
 
+    /// The step engine executing the evaluate stage.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
     /// The nodes whose state changed in the most recent step (empty before the
     /// first step).
     pub fn last_changed(&self) -> &[NodeId] {
@@ -457,24 +298,29 @@ impl<'a, A: Algorithm> Execution<'a, A> {
 
     /// Per-node activation counts since the start of the execution.
     pub fn activation_counts(&self) -> &[u64] {
-        &self.activation_counts
+        self.counters.activations()
     }
 
     /// Per-node counts of steps in which the node's state changed.
     pub fn state_change_counts(&self) -> &[u64] {
-        &self.state_change_counts
+        self.counters.state_changes()
     }
 
     /// Per-node counts of steps in which the node's *output value* changed
     /// (transitions between output and non-output states count as changes).
     pub fn output_change_counts(&self) -> &[u64] {
-        &self.output_change_counts
+        self.counters.output_changes()
+    }
+
+    /// All per-node counters at once (used by engine-equivalence tests).
+    pub fn counters(&self) -> &NodeCounters {
+        &self.counters
     }
 
     /// Resets the per-node output-change counters (used by liveness checkers that
     /// count clock increments over a window) and returns the previous values.
     pub fn take_output_change_counts(&mut self) -> Vec<u64> {
-        std::mem::replace(&mut self.output_change_counts, vec![0; self.config.len()])
+        self.counters.take_output_changes()
     }
 
     /// The output vector `ω ∘ C_t`, or `None` if some node is in a non-output state.
@@ -486,13 +332,13 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     }
 
     /// The signal of node `v` under the current configuration, as a fresh
-    /// standalone value (allocates; the step loop itself uses the reused
-    /// scratch signal instead).
+    /// standalone value (allocates; the step loop itself uses the engines'
+    /// reused scratch signals instead).
     pub fn signal(&self, v: NodeId) -> Signal<A::State> {
         match &self.sensing {
-            Some(engine) => {
-                let mut sig = Signal::dense(engine.index.clone());
-                sig.copy_dense_words(engine.mask_of(v));
+            Some(sensing) => {
+                let mut sig = Signal::dense(sensing.index().clone());
+                sig.copy_dense_words(sensing.mask_of(v));
                 sig
             }
             None => {
@@ -506,20 +352,20 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         }
     }
 
-    /// Recomputes the dense engine's counts, masks and state indices from
-    /// scratch and checks them against the incrementally maintained ones.
-    /// Returns `true` when they agree (or when the sparse fallback is active,
-    /// which maintains no incremental state). Exposed for property tests and
-    /// debugging.
+    /// Recomputes the dense sense stage's counts, masks and state indices
+    /// from scratch and checks them against the incrementally maintained
+    /// ones. Returns `true` when they agree (or when the sparse fallback is
+    /// active, which maintains no incremental state). Exposed for property
+    /// tests and debugging.
     pub fn validate_incremental_sensing(&self) -> bool {
         match &self.sensing {
             None => true,
-            Some(engine) => {
-                match DenseSensing::build(engine.index.clone(), self.graph, &self.config) {
+            Some(sensing) => {
+                match DenseSensing::build(sensing.index().clone(), self.graph, &self.config) {
                     Some(fresh) => {
-                        fresh.counts == engine.counts
-                            && fresh.masks == engine.masks
-                            && fresh.state_idx == engine.state_idx
+                        fresh.counts == sensing.counts
+                            && fresh.masks == sensing.masks
+                            && fresh.state_idx == sensing.state_idx
                     }
                     None => false,
                 }
@@ -527,126 +373,27 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         }
     }
 
-    /// Phase-1 transition of `v` on the dense path.
-    fn dense_transition(&mut self, v: NodeId) -> PendingUpdate<A::State> {
-        let alg = self.algorithm;
-        let engine = self.sensing.as_ref().expect("dense path requires engine");
-        let si = engine.state_idx[v];
-        if self.deterministic {
-            let mask = engine.mask_of(v);
-            let matches = |e: &&MemoEntry<A::State>| e.state_idx == si && e.mask[..] == *mask;
-            if let Some(entry) = self
-                .memo
-                .get(self.memo_last)
-                .filter(|e| matches(e))
-                .or_else(|| self.memo.iter().find(matches))
-            {
-                return PendingUpdate {
-                    v,
-                    next: entry.next.clone(),
-                    old_idx: si,
-                    new_idx: entry.next_idx,
-                    changed: entry.next_idx != si,
-                    output_changed: entry.output_changed,
-                };
-            }
-        }
-        // Memo miss (or randomized algorithm): evaluate the transition.
-        self.scratch_signal.copy_dense_words(engine.mask_of(v));
-        let next = alg.transition(&self.config[v], &self.scratch_signal, &mut self.rng);
-        let engine = self.sensing.as_ref().expect("engine unchanged in phase 1");
-        let new_idx = match engine.index.position(&next) {
-            Some(i) => i as u32,
-            None => UNINDEXED,
-        };
-        let changed = new_idx != si;
-        let output_changed = changed && alg.output(&next) != alg.output(&self.config[v]);
-        if self.deterministic && new_idx != UNINDEXED {
-            let mask = engine.mask_of(v);
-            if self.memo.len() < MEMO_CAPACITY {
-                self.memo.push(MemoEntry {
-                    state_idx: si,
-                    mask: mask.to_vec(),
-                    next: next.clone(),
-                    next_idx: new_idx,
-                    output_changed,
-                });
-                self.memo_last = self.memo.len() - 1;
-            } else {
-                // Overwrite the oldest slot, reusing its mask buffer so the
-                // steady-state step loop stays allocation-free.
-                let slot = self.memo_cursor;
-                self.memo_cursor = (slot + 1) % MEMO_CAPACITY;
-                self.memo_last = slot;
-                let entry = &mut self.memo[slot];
-                entry.state_idx = si;
-                entry.mask.clear();
-                entry.mask.extend_from_slice(mask);
-                entry.next = next.clone();
-                entry.next_idx = new_idx;
-                entry.output_changed = output_changed;
-            }
-        }
-        PendingUpdate {
-            v,
-            next,
-            old_idx: si,
-            new_idx,
-            changed,
-            output_changed,
-        }
-    }
-
-    /// Phase-1 transition of `v` on the sparse fallback path.
-    fn sparse_transition(&mut self, v: NodeId) -> PendingUpdate<A::State> {
-        let alg = self.algorithm;
-        self.scratch_signal.clear();
-        self.scratch_signal.insert(self.config[v].clone());
-        for &u in self.graph.neighbors(v) {
-            self.scratch_signal.insert(self.config[u].clone());
-        }
-        let next = alg.transition(&self.config[v], &self.scratch_signal, &mut self.rng);
-        let changed = next != self.config[v];
-        let output_changed = changed && alg.output(&next) != alg.output(&self.config[v]);
-        PendingUpdate {
-            v,
-            next,
-            old_idx: UNINDEXED,
-            new_idx: UNINDEXED,
-            changed,
-            output_changed,
-        }
-    }
-
-    /// Drops the dense engine and continues on the sparse fallback.
+    /// Drops the dense sense stage and continues on the sparse fallback.
     fn degrade_to_sparse(&mut self) {
         self.sensing = None;
-        self.scratch_signal = Signal::empty();
-        self.memo.clear();
-        self.memo_cursor = 0;
+        self.engine.on_degrade();
     }
 
     /// Overwrites the state of node `v` — a *transient fault* (or an adversarial
     /// re-initialization). Resets nothing else; the round bookkeeping is unaffected.
     pub fn corrupt(&mut self, v: NodeId, state: A::State) {
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent::Fault {
-                time: self.time,
-                node: v,
-                state: state.clone(),
-            });
-        }
+        account::record_fault(self.trace.as_mut(), self.time, v, &state);
         if state == self.config[v] {
             return;
         }
         let graph = self.graph;
         let new_idx = match &self.sensing {
-            Some(engine) => engine.index.position(&state).map(|i| i as u32),
+            Some(sensing) => sensing.index().position(&state).map(|i| i as u32),
             None => None,
         };
         self.config[v] = state;
         match (&mut self.sensing, new_idx) {
-            (Some(engine), Some(idx)) => engine.apply_change(graph, v, idx),
+            (Some(sensing), Some(idx)) => sensing.apply_change(graph, v, idx),
             (Some(_), None) => self.degrade_to_sparse(),
             (None, _) => {}
         }
@@ -657,10 +404,16 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// The activation set is collected through
     /// [`Scheduler::activations_into`](crate::scheduler::Scheduler::activations_into)
     /// into a buffer owned by the execution, so schedulers that support the
-    /// buffered API contribute no per-step allocations.
-    pub fn step_with<S: crate::scheduler::Scheduler>(&mut self, scheduler: &mut S) -> StepOutcome {
+    /// buffered API contribute no per-step allocations. Scheduler randomness
+    /// draws from a sequential stream seeded by the execution seed —
+    /// independent of the transition coin streams, so schedulers remain
+    /// oblivious to the algorithm's coins.
+    pub fn step_with<S: crate::scheduler::Scheduler + ?Sized>(
+        &mut self,
+        scheduler: &mut S,
+    ) -> StepOutcome {
         let mut acts = std::mem::take(&mut self.scratch_acts);
-        scheduler.activations_into(self.graph, self.time, &mut self.rng, &mut acts);
+        scheduler.activations_into(self.graph, self.time, &mut self.sched_rng, &mut acts);
         let outcome = self.step(acts.as_slice());
         self.scratch_acts = acts;
         outcome
@@ -669,11 +422,13 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// Executes one step with an explicit activation set (duplicates are
     /// ignored).
     ///
-    /// Transitions are evaluated in the order the activation set lists the
-    /// nodes (identically on the dense and sparse engines), so for randomized
-    /// algorithms the RNG draws follow that order: a scripted step `[3, 1]`
-    /// draws for node 3 before node 1. Per-step semantics are unaffected —
-    /// all transitions read `C_t` and apply simultaneously.
+    /// Per-step semantics follow the model exactly: all transitions read
+    /// `C_t` and apply simultaneously. Because every activation draws its
+    /// coins from a stream keyed by `(seed, node, time)`, the *order* in
+    /// which the activation set lists the nodes is irrelevant even for
+    /// randomized algorithms — a scripted step `[3, 1]` produces the same
+    /// `C_{t+1}` as `[1, 3]` — and the serial and sharded engines agree bit
+    /// for bit.
     ///
     /// # Panics
     ///
@@ -681,6 +436,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     pub fn step(&mut self, active: &[NodeId]) -> StepOutcome {
         assert!(!active.is_empty(), "activation set must be non-empty");
         let n = self.config.len();
+        for &v in active {
+            assert!(v < n, "activated node {v} out of range");
+        }
 
         // A strictly increasing activation slice (what the synchronous and
         // round-robin schedulers produce) cannot contain duplicates, so the
@@ -688,15 +446,10 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         let sorted_unique = active.windows(2).all(|w| w[0] < w[1]);
 
         // Fastest path: the configuration is known-uniform, every node is
-        // activated (a strictly increasing slice of length n ending below n is
-        // exactly 0..n) and the algorithm is deterministic — then every node
-        // sees the same (state, signal) and the transition is evaluated once.
-        if sorted_unique
-            && active.len() == n
-            && active[n - 1] < n
-            && self.deterministic
-            && self.trace.is_none()
-        {
+        // activated (a strictly increasing slice of length n is exactly 0..n)
+        // and the algorithm is deterministic — then every node sees the same
+        // (state, signal) and the transition is evaluated once.
+        if sorted_unique && active.len() == n && self.deterministic && self.trace.is_none() {
             if let Some(si) = self.sensing.as_ref().and_then(|e| e.uniform_state) {
                 if let Some(outcome) = self.step_uniform_fast(si) {
                     return outcome;
@@ -704,54 +457,71 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             }
         }
 
-        // Phase 1: compute the new states of all activated nodes from the
-        // *current* configuration C_t (the per-node signals must not observe
-        // any of this step's updates). Along the way, detect the *uniform*
-        // step — every node activated and taking the same state change — which
-        // admits the bulk-apply fast path.
-        let mut updates = std::mem::take(&mut self.scratch_updates);
-        updates.clear();
-        let dense = self.sensing.is_some();
-        let mut uniform = dense && self.trace.is_none();
-        let mut proto: Option<(u32, u32, bool)> = None;
-        for &v in active {
-            assert!(v < n, "activated node {v} out of range");
-            if !sorted_unique {
-                if self.scratch_active[v] {
-                    continue;
+        // Deduplicate out-of-order activation sets into a reused buffer.
+        let mut dedup = std::mem::take(&mut self.dedup_buf);
+        let act: &[NodeId] = if sorted_unique {
+            active
+        } else {
+            dedup.clear();
+            for &v in active {
+                if !self.scratch_active[v] {
+                    self.scratch_active[v] = true;
+                    dedup.push(v);
                 }
-                self.scratch_active[v] = true;
             }
-            let update = if dense {
-                self.dense_transition(v)
-            } else {
-                self.sparse_transition(v)
-            };
-            if uniform {
+            for &v in &dedup {
+                self.scratch_active[v] = false;
+            }
+            &dedup
+        };
+
+        // SENSE + EVALUATE: compute the new states of all activated nodes
+        // from the *current* configuration C_t (the per-node signals must not
+        // observe any of this step's updates) on the configured engine.
+        let mut updates = std::mem::take(&mut self.scratch_updates);
+        self.engine.evaluate_into(
+            &EvalCtx {
+                alg: self.algorithm,
+                graph: self.graph,
+                config: &self.config,
+                sensing: self.sensing.as_ref(),
+                deterministic: self.deterministic,
+                seed: self.seed,
+                time: self.time,
+            },
+            act,
+            &mut updates,
+        );
+        self.dedup_buf = dedup;
+
+        // Detect the *uniform* step — every node activated and taking the
+        // same state change — which admits the bulk-apply fast path.
+        let dense = self.sensing.is_some();
+        if dense && self.trace.is_none() && updates.len() == n {
+            let mut proto: Option<(u32, u32, bool)> = None;
+            let mut uniform = true;
+            for update in &updates {
                 if !update.changed || update.new_idx == UNINDEXED {
                     uniform = false;
-                } else {
-                    let key = (update.old_idx, update.new_idx, update.output_changed);
-                    match proto {
-                        None => proto = Some(key),
-                        Some(p) if p == key => {}
-                        Some(_) => uniform = false,
+                    break;
+                }
+                let key = (update.old_idx, update.new_idx, update.output_changed);
+                match proto {
+                    None => proto = Some(key),
+                    Some(p) if p == key => {}
+                    Some(_) => {
+                        uniform = false;
+                        break;
                     }
                 }
             }
-            updates.push(update);
-        }
-
-        if uniform && updates.len() == n {
-            let (old_idx, new_idx, output_changed) = proto.expect("n ≥ 1 activations");
-            let next = updates[0].next.clone();
-            if !sorted_unique {
-                for update in &updates {
-                    self.scratch_active[update.v] = false;
-                }
+            if uniform {
+                let (old_idx, new_idx, output_changed) = proto.expect("n ≥ 1 activations");
+                let next = updates[0].next.clone();
+                updates.clear();
+                self.scratch_updates = updates;
+                return self.apply_uniform_step(old_idx, new_idx, output_changed, next);
             }
-            self.scratch_updates = updates;
-            return self.apply_uniform_step(old_idx, new_idx, output_changed, next);
         }
 
         // A transition out of the enumerated state space forces the sparse
@@ -760,65 +530,32 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             self.degrade_to_sparse();
         }
 
-        // Phase 2: apply simultaneously and update the bookkeeping (and the
-        // incremental sensing state for nodes that actually changed).
-        let graph = self.graph;
-        self.last_changed.clear();
+        // APPLY: commit simultaneously (and update the incremental sensing
+        // state for nodes that actually changed).
+        apply::commit(
+            &mut updates,
+            self.graph,
+            &mut self.config,
+            self.sensing.as_mut(),
+            &mut self.last_changed,
+        );
         self.all_changed = false;
-        for update in updates.drain(..) {
-            let v = update.v;
-            if !sorted_unique {
-                self.scratch_active[v] = false;
-            }
-            self.activation_counts[v] += 1;
-            if self.pending[v] {
-                self.pending[v] = false;
-                self.pending_count -= 1;
-            }
-            if !update.changed {
-                continue;
-            }
-            self.state_change_counts[v] += 1;
-            if update.output_changed {
-                self.output_change_counts[v] += 1;
-            }
-            let old = std::mem::replace(&mut self.config[v], update.next);
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent::Transition {
-                    time: self.time,
-                    node: v,
-                    from: old.clone(),
-                    to: self.config[v].clone(),
-                });
-            }
-            if let Some(engine) = &mut self.sensing {
-                engine.apply_change(graph, v, update.new_idx);
-            }
-            self.last_changed.push(v);
-        }
+
+        // ACCOUNT: counters, rounds, trace.
+        let outcome = account::settle(
+            &updates,
+            &self.config,
+            &mut self.counters,
+            &mut self.pending,
+            &mut self.pending_count,
+            &mut self.time,
+            &mut self.rounds,
+            self.trace.as_mut(),
+            self.last_changed.len(),
+        );
+        updates.clear();
         self.scratch_updates = updates;
-
-        let executed_time = self.time;
-        self.time += 1;
-
-        let round_completed = self.pending_count == 0;
-        if round_completed {
-            self.rounds += 1;
-            self.pending.iter_mut().for_each(|p| *p = true);
-            self.pending_count = n;
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent::RoundBoundary {
-                    time: self.time,
-                    round: self.rounds,
-                });
-            }
-        }
-
-        StepOutcome {
-            time: executed_time,
-            round_completed,
-            changed_count: self.last_changed.len(),
-        }
+        outcome
     }
 
     /// Full-activation step on a known-uniform configuration of a
@@ -827,17 +564,24 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// if the transition leaves the enumerated state space — safe to retry
     /// there because a deterministic transition consumes no randomness.
     fn step_uniform_fast(&mut self, si: u32) -> Option<StepOutcome> {
-        let alg = self.algorithm;
-        let engine = self.sensing.as_ref().expect("uniform state implies engine");
-        self.scratch_signal.copy_dense_words(engine.mask_of(0));
-        let next = alg.transition(&self.config[0], &self.scratch_signal, &mut self.rng);
-        let engine = self.sensing.as_ref().expect("engine unchanged");
-        let new_idx = engine.index.position(&next)? as u32;
-        if new_idx == si {
+        let update = self.engine.evaluate_one(
+            &EvalCtx {
+                alg: self.algorithm,
+                graph: self.graph,
+                config: &self.config,
+                sensing: self.sensing.as_ref(),
+                deterministic: self.deterministic,
+                seed: self.seed,
+                time: self.time,
+            },
+            0,
+        );
+        if update.changed && update.new_idx == UNINDEXED {
+            return None;
+        }
+        if !update.changed {
             // Every node stays put; the full activation still completes the round.
-            for count in self.activation_counts.iter_mut() {
-                *count += 1;
-            }
+            self.counters.record_uniform_noop();
             self.last_changed.clear();
             self.all_changed = false;
             if self.pending_count != self.config.len() {
@@ -853,12 +597,12 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 changed_count: 0,
             });
         }
-        let output_changed = alg.output(&next) != alg.output(&self.config[0]);
-        Some(self.apply_uniform_step(si, new_idx, output_changed, next))
+        debug_assert_eq!(update.old_idx, si);
+        Some(self.apply_uniform_step(si, update.new_idx, update.output_changed, update.next))
     }
 
     /// Applies the uniform step "every node moves `old_idx → new_idx`" in bulk
-    /// (see [`DenseSensing::apply_uniform_change`]). A full activation always
+    /// (see `DenseSensing::apply_uniform_change`). A full activation always
     /// completes the round.
     fn apply_uniform_step(
         &mut self,
@@ -868,23 +612,13 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         next: A::State,
     ) -> StepOutcome {
         let n = self.config.len();
-        for count in self.activation_counts.iter_mut() {
-            *count += 1;
-        }
-        for count in self.state_change_counts.iter_mut() {
-            *count += 1;
-        }
-        if output_changed {
-            for count in self.output_change_counts.iter_mut() {
-                *count += 1;
-            }
-        }
+        self.counters.record_uniform_change(output_changed);
         for state in self.config.iter_mut() {
             *state = next.clone();
         }
         self.all_changed = true;
-        if let Some(engine) = &mut self.sensing {
-            engine.apply_uniform_change(old_idx, new_idx);
+        if let Some(sensing) = &mut self.sensing {
+            sensing.apply_uniform_change(old_idx, new_idx);
         }
         // Every node was activated, so every pending node fired: the round
         // completes and the pending flags reset to all-true (skipping the
@@ -905,7 +639,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
 
     /// Runs complete rounds under `scheduler` until `count` additional rounds have
     /// elapsed, and returns the number of steps that took.
-    pub fn run_rounds<S: crate::scheduler::Scheduler>(
+    pub fn run_rounds<S: crate::scheduler::Scheduler + ?Sized>(
         &mut self,
         scheduler: &mut S,
         count: u64,
@@ -932,7 +666,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         max_rounds: u64,
     ) -> StabilizationOutcome
     where
-        S: crate::scheduler::Scheduler,
+        S: crate::scheduler::Scheduler + ?Sized,
         O: LegitimacyOracle<A>,
     {
         if oracle.is_legitimate(self.graph, &self.config) {
@@ -955,14 +689,15 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     }
 }
 
-/// Builder for [`Execution`] supporting random initial configurations, tracing and
-/// signal-engine selection.
+/// Builder for [`Execution`] supporting random initial configurations, tracing,
+/// signal-engine and step-engine selection.
 pub struct ExecutionBuilder<'a, A: Algorithm> {
     algorithm: &'a A,
     graph: &'a Graph,
     seed: u64,
     trace: bool,
     mode: SignalMode,
+    engine: Option<EngineKind>,
 }
 
 impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
@@ -974,11 +709,12 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
             seed: 0,
             trace: false,
             mode: SignalMode::Auto,
+            engine: None,
         }
     }
 
-    /// Sets the RNG seed (both for the algorithm's coins and for schedulers driven
-    /// through [`Execution::step_with`]).
+    /// Sets the RNG seed (keying the per-node transition coin streams and
+    /// seeding the scheduler stream of [`Execution::step_with`]).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -996,10 +732,23 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
         self
     }
 
+    /// Selects the step engine (default: [`EngineKind::from_env`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = Some(kind);
+        self
+    }
+
     /// Finishes the builder with an explicit initial configuration.
     pub fn initial(self, initial: Vec<A::State>) -> Execution<'a, A> {
-        let mut exec =
-            Execution::with_mode(self.algorithm, self.graph, initial, self.seed, self.mode);
+        let kind = self.engine.unwrap_or_else(EngineKind::from_env);
+        let mut exec = Execution::with_engine(
+            self.algorithm,
+            self.graph,
+            initial,
+            self.seed,
+            self.mode,
+            kind,
+        );
         if self.trace {
             exec.enable_trace();
         }
@@ -1293,24 +1042,25 @@ mod tests {
         assert!(dense.validate_incremental_sensing());
     }
 
+    /// A randomized algorithm: flip to a uniformly random state each step.
+    struct Coin;
+    impl Algorithm for Coin {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, _: &u8, _: &Signal<u8>, rng: &mut dyn RngCore) -> u8 {
+            use rand::Rng;
+            rng.gen_range(0..4u8)
+        }
+        fn dense_state_space(&self) -> Option<Vec<u8>> {
+            Some(vec![0, 1, 2, 3])
+        }
+    }
+
     #[test]
     fn randomized_algorithms_keep_rng_parity_across_engines() {
-        /// A randomized algorithm: flip to a uniformly random state each step.
-        struct Coin;
-        impl Algorithm for Coin {
-            type State = u8;
-            type Output = u8;
-            fn output(&self, s: &u8) -> Option<u8> {
-                Some(*s)
-            }
-            fn transition(&self, _: &u8, _: &Signal<u8>, rng: &mut dyn RngCore) -> u8 {
-                use rand::Rng;
-                rng.gen_range(0..4u8)
-            }
-            fn dense_state_space(&self) -> Option<Vec<u8>> {
-                Some(vec![0, 1, 2, 3])
-            }
-        }
         let g = Graph::cycle(5);
         let mut dense = ExecutionBuilder::new(&Coin, &g).seed(3).uniform(0);
         let mut sparse = ExecutionBuilder::new(&Coin, &g)
@@ -1326,6 +1076,50 @@ mod tests {
             assert_eq!(dense.configuration(), sparse.configuration());
         }
         assert!(dense.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn seeded_trajectories_are_activation_order_invariant() {
+        // The per-(node, time) coin streams make scripted out-of-order steps
+        // equivalent to ascending-id steps — the PR 1 order-dependence
+        // regression, fixed.
+        let g = Graph::cycle(6);
+        let mut forward = ExecutionBuilder::new(&Coin, &g).seed(11).uniform(0);
+        let mut backward = ExecutionBuilder::new(&Coin, &g).seed(11).uniform(0);
+        for t in 0..30 {
+            let asc: Vec<NodeId> = (0..6).filter(|v| (t + v) % 3 != 0).collect();
+            let mut desc = asc.clone();
+            desc.reverse();
+            forward.step(&asc);
+            backward.step(&desc);
+            assert_eq!(forward.configuration(), backward.configuration());
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_serial_smoke() {
+        let g = Graph::grid(4, 4);
+        let init: Vec<u8> = (0..16).map(|v| (v % 4) as u8).collect();
+        let mut serial = ExecutionBuilder::new(&Coin, &g)
+            .seed(7)
+            .engine(EngineKind::Serial)
+            .initial(init.clone());
+        let mut sharded = ExecutionBuilder::new(&Coin, &g)
+            .seed(7)
+            .engine(EngineKind::Sharded { threads: 3 })
+            .initial(init);
+        assert_eq!(serial.engine_kind(), EngineKind::Serial);
+        assert_eq!(sharded.engine_kind(), EngineKind::Sharded { threads: 3 });
+        let mut sched_a = UniformRandomScheduler::new(0.7);
+        let mut sched_b = UniformRandomScheduler::new(0.7);
+        for _ in 0..50 {
+            let a = serial.step_with(&mut sched_a);
+            let b = sharded.step_with(&mut sched_b);
+            assert_eq!(a, b);
+            assert_eq!(serial.configuration(), sharded.configuration());
+        }
+        assert_eq!(serial.counters(), sharded.counters());
+        assert!(sharded.validate_incremental_sensing());
     }
 
     #[test]

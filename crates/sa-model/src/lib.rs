@@ -20,7 +20,11 @@
 //!   output map) and the [`Signal`] type,
 //! * [`scheduler`] — fair daemons: synchronous, uniformly random, central, round
 //!   robin, adversarial laggard, and scripted schedules,
-//! * [`executor`] — the execution engine with exact *round* (ϱ-operator) accounting,
+//! * [`executor`] — the execution driver with exact *round* (ϱ-operator) accounting,
+//! * [`engine`] — the staged step pipeline (sense → evaluate → apply →
+//!   account) behind the [`engine::StepEngine`] trait, with a serial and a
+//!   sharded (worker-pool) implementation that produce bit-for-bit identical
+//!   executions,
 //! * [`fault`] — transient fault injection (state corruption),
 //! * [`checker`] — task checkers and stabilization measurement,
 //! * [`trace`] — execution traces for debugging and visualisation,
@@ -58,6 +62,7 @@
 
 pub mod algorithm;
 pub mod checker;
+pub mod engine;
 pub mod executor;
 pub mod fault;
 pub mod graph;
@@ -72,6 +77,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::algorithm::{Algorithm, LegitimacyOracle, StateSpace};
     pub use crate::checker::{StabilizationReport, TaskChecker};
+    pub use crate::engine::EngineKind;
     pub use crate::executor::{Execution, ExecutionBuilder, SignalMode, StepOutcome};
     pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::graph::{Graph, NodeId};
@@ -84,6 +90,7 @@ pub mod prelude {
 }
 
 pub use algorithm::{Algorithm, LegitimacyOracle, StateSpace};
+pub use engine::EngineKind;
 pub use executor::{Execution, ExecutionBuilder, SignalMode};
 pub use graph::{Graph, NodeId};
 pub use scheduler::{ActivationSet, Scheduler};

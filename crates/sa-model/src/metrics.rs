@@ -88,6 +88,94 @@ impl Summary {
     }
 }
 
+/// Per-node activity counters, maintained by the **account** stage of the
+/// step pipeline (see [`crate::engine`]).
+///
+/// Tracks, for every node, how many steps activated it, how many of those
+/// steps changed its state, and how many changed its *output value*
+/// (transitions between output and non-output states count as changes).
+/// Kept in one place so the serial and sharded engines account identically
+/// and so equivalence tests can compare whole-execution metrics at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCounters {
+    activations: Vec<u64>,
+    state_changes: Vec<u64>,
+    output_changes: Vec<u64>,
+}
+
+impl NodeCounters {
+    /// Zeroed counters for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NodeCounters {
+            activations: vec![0; n],
+            state_changes: vec![0; n],
+            output_changes: vec![0; n],
+        }
+    }
+
+    /// Per-node activation counts.
+    pub fn activations(&self) -> &[u64] {
+        &self.activations
+    }
+
+    /// Per-node counts of steps in which the node's state changed.
+    pub fn state_changes(&self) -> &[u64] {
+        &self.state_changes
+    }
+
+    /// Per-node counts of steps in which the node's output value changed.
+    pub fn output_changes(&self) -> &[u64] {
+        &self.output_changes
+    }
+
+    /// Records that node `v` was activated this step.
+    #[inline]
+    pub fn record_activation(&mut self, v: usize) {
+        self.activations[v] += 1;
+    }
+
+    /// Records that node `v` changed state this step.
+    #[inline]
+    pub fn record_state_change(&mut self, v: usize) {
+        self.state_changes[v] += 1;
+    }
+
+    /// Records that node `v` changed output value this step.
+    #[inline]
+    pub fn record_output_change(&mut self, v: usize) {
+        self.output_changes[v] += 1;
+    }
+
+    /// Bulk-records a full-activation step in which every node changed state
+    /// (the executor's uniform-configuration fast path).
+    pub fn record_uniform_change(&mut self, output_changed: bool) {
+        for count in &mut self.activations {
+            *count += 1;
+        }
+        for count in &mut self.state_changes {
+            *count += 1;
+        }
+        if output_changed {
+            for count in &mut self.output_changes {
+                *count += 1;
+            }
+        }
+    }
+
+    /// Bulk-records a full-activation step in which no node changed state.
+    pub fn record_uniform_noop(&mut self) {
+        for count in &mut self.activations {
+            *count += 1;
+        }
+    }
+
+    /// Resets the output-change counters (used by liveness checkers that count
+    /// clock increments over a window) and returns the previous values.
+    pub fn take_output_changes(&mut self) -> Vec<u64> {
+        std::mem::replace(&mut self.output_changes, vec![0; self.activations.len()])
+    }
+}
+
 /// Percentile (nearest-rank with linear interpolation) of an already-sorted sample.
 fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     if sorted.len() == 1 {

@@ -271,6 +271,16 @@ impl<S: Ord> Signal<S> {
         matches!(self.repr, Repr::Dense(_))
     }
 
+    /// The [`StateIndex`] a dense signal ranges over, `None` for sparse
+    /// signals. Engines use this (with [`Arc::ptr_eq`]) to check whether a
+    /// reused scratch signal still matches the execution's current index.
+    pub fn dense_index(&self) -> Option<&Arc<StateIndex<S>>> {
+        match &self.repr {
+            Repr::Dense(dense) => Some(&dense.index),
+            Repr::Sparse(_) => None,
+        }
+    }
+
     /// Overwrites a dense signal's mask from precomputed words.
     ///
     /// # Panics

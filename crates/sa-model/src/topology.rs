@@ -93,6 +93,26 @@ pub enum Topology {
         /// Size of each clique (≥ 1).
         clique: usize,
     },
+    /// A uniformly random simple `deg`-regular graph on `n` nodes
+    /// (configuration model with rejection), re-sampled until simple and
+    /// connected.
+    ///
+    /// Random regular graphs of degree ≥ 3 are expanders with high
+    /// probability (diameter `O(log n)` at constant degree), which makes
+    /// them the scale-out topology of the engine benchmarks: thousands of
+    /// nodes, small diameter, no grid structure for the cache to exploit.
+    ///
+    /// Rejection sampling accepts with probability ≈ `e^{-(deg²−1)/4}`
+    /// *independent of `n`*; the attempt budget scales with that expected
+    /// rejection count, keeping the family practical up to `deg ≈ 6`
+    /// (beyond that the budget grows into the millions — use edge-swap
+    /// repair if you ever need denser regular graphs).
+    RandomRegular {
+        /// Number of nodes (`n · deg` must be even, `n > deg`).
+        n: usize,
+        /// Degree of every node (≥ 2 for connectivity to be reachable).
+        deg: usize,
+    },
 }
 
 impl Topology {
@@ -267,6 +287,45 @@ impl Topology {
                 }
                 g
             }
+            Topology::RandomRegular { n, deg } => {
+                assert!(*deg >= 2, "degree must be at least 2");
+                assert!(*n > *deg, "need more nodes than the degree");
+                assert!(
+                    (n * deg).is_multiple_of(2),
+                    "n · deg must be even for a {deg}-regular graph on {n} nodes"
+                );
+                let mut rng = StdRng::seed_from_u64(seed);
+                // Configuration model: pair up `deg` stubs per node after a
+                // uniform shuffle; reject pairings with self-loops or
+                // parallel edges (acceptance probability is independent of
+                // n), then reject disconnected outcomes. The attempt budget
+                // scales with the expected 1/acceptance ≈ e^{(deg²−1)/4}
+                // (×50 head-room), so higher degrees get the tries they
+                // need instead of a flat cap that would panic spuriously.
+                let accept = (-((deg * deg - 1) as f64) / 4.0).exp();
+                let attempts = ((50.0 / accept).ceil() as u64).max(2000);
+                let mut stubs: Vec<usize> = (0..n * deg).map(|s| s / deg).collect();
+                'attempt: for _ in 0..attempts {
+                    for i in (1..stubs.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        stubs.swap(i, j);
+                    }
+                    let mut g = Graph::empty(*n);
+                    for pair in stubs.chunks_exact(2) {
+                        let (u, v) = (pair[0], pair[1]);
+                        if u == v || g.has_edge(u, v) {
+                            continue 'attempt;
+                        }
+                        g.add_edge(u, v);
+                    }
+                    if g.is_connected() {
+                        return g;
+                    }
+                }
+                panic!(
+                    "random {deg}-regular graph on {n} nodes: no simple connected pairing in {attempts} attempts"
+                );
+            }
         }
     }
 
@@ -274,11 +333,14 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics when called on a randomized family ([`Topology::ErdosRenyi`] or
-    /// [`Topology::DamagedClique`]); use [`Topology::build`] with a seed for those.
+    /// Panics when called on a randomized family ([`Topology::ErdosRenyi`],
+    /// [`Topology::DamagedClique`] or [`Topology::RandomRegular`]); use
+    /// [`Topology::build`] with a seed for those.
     pub fn build_deterministic(&self) -> Graph {
         match self {
-            Topology::ErdosRenyi { .. } | Topology::DamagedClique { .. } => {
+            Topology::ErdosRenyi { .. }
+            | Topology::DamagedClique { .. }
+            | Topology::RandomRegular { .. } => {
                 panic!("randomized topology requires a seed; use Topology::build")
             }
             _ => self.build(0),
@@ -299,6 +361,7 @@ impl Topology {
             Topology::ErdosRenyi { n, p } => format!("gnp-{n}-{p}"),
             Topology::DamagedClique { n, drop, .. } => format!("damaged-clique-{n}-{drop}"),
             Topology::Caveman { clusters, clique } => format!("caveman-{clusters}x{clique}"),
+            Topology::RandomRegular { n, deg } => format!("regular{deg}-{n}"),
         }
     }
 }
@@ -410,5 +473,34 @@ mod tests {
     #[should_panic(expected = "requires a seed")]
     fn deterministic_build_rejects_random_families() {
         Topology::ErdosRenyi { n: 5, p: 0.5 }.build_deterministic();
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_small_diameter() {
+        for (n, deg, seed) in [(16usize, 3usize, 1u64), (64, 4, 2), (128, 3, 3)] {
+            let g = Topology::RandomRegular { n, deg }.build(seed);
+            assert_eq!(g.node_count(), n);
+            assert!(g.nodes().all(|v| g.degree(v) == deg), "not {deg}-regular");
+            assert!(g.is_connected());
+            // expander-grade diameter: generous O(log n) bound
+            assert!(
+                g.diameter() <= 4 * n.ilog2() as usize,
+                "diameter {} too large for an expander on {n} nodes",
+                g.diameter()
+            );
+        }
+    }
+
+    #[test]
+    fn random_regular_is_deterministic_given_seed() {
+        let a = Topology::RandomRegular { n: 32, deg: 4 }.build(9);
+        let b = Topology::RandomRegular { n: 32, deg: 4 }.build(9);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_rejects_odd_stub_count() {
+        Topology::RandomRegular { n: 5, deg: 3 }.build(0);
     }
 }

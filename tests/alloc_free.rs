@@ -2,16 +2,22 @@
 //! the synchronous (and round-robin) step loop performs **zero heap
 //! allocations** — signals are bitmask copies, activation sets and update
 //! buffers are reused, and the transition memo rewrites its slots in place.
+//! The property holds on **both step engines**: the sharded engine's only
+//! allocations are its one-time pool spawn and the shard buffers' growth to
+//! steady-state capacity, all during construction/warm-up.
 //!
 //! Measured with a counting global allocator. This file deliberately contains
 //! a single `#[test]`: the counter is process-global, so concurrent tests in
-//! the same binary would pollute it.
+//! the same binary would pollute it. (The sharded engine's *parked* workers
+//! perform no allocation between broadcasts, so they do not pollute the
+//! serial sections either.)
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stone_age_unison::model::algorithm::StateSpace;
 use stone_age_unison::model::prelude::*;
+use stone_age_unison::model::EngineKind;
 use stone_age_unison::unison::{AlgAu, Turn};
 
 struct CountingAllocator;
@@ -109,6 +115,50 @@ fn warm_step_loop_allocates_nothing() {
         allocations() - before,
         0,
         "round-robin steps must not allocate once warm"
+    );
+
+    // --- sharded engine, adversarial start ----------------------------------
+    // Pool threads, shard buffers and per-lane scratch signals/memos are all
+    // allocated during construction and the warm-up steps; the warm broadcast
+    // loop itself (condvar wakeups + epoch bumps + buffer reuse) must be
+    // allocation-free, like the serial engine's.
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(42)
+        .engine(EngineKind::Sharded { threads: 4 })
+        .random_initial(&palette);
+    assert!(exec.uses_dense_signals());
+    assert_eq!(exec.engine_kind(), EngineKind::Sharded { threads: 4 });
+    let mut sched = SynchronousScheduler;
+    for _ in 0..50 {
+        exec.step_with(&mut sched);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        exec.step_with(&mut sched);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "sharded synchronous steps must not allocate once warm"
+    );
+
+    // --- sharded engine, synchronized (uniform) start -----------------------
+    let mut exec = ExecutionBuilder::new(&alg, &graph)
+        .seed(7)
+        .engine(EngineKind::Sharded { threads: 4 })
+        .uniform(Turn::Able(1));
+    let mut sched = SynchronousScheduler;
+    for _ in 0..10 {
+        exec.step_with(&mut sched);
+    }
+    let before = allocations();
+    for _ in 0..200 {
+        exec.step_with(&mut sched);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "sharded uniform lockstep steps must not allocate"
     );
 
     // Sanity: the counter actually counts.

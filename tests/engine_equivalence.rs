@@ -1,0 +1,340 @@
+//! Serial ≡ sharded engine equivalence, and activation-order invariance.
+//!
+//! The sharded step engine partitions each step's activation set across a
+//! worker pool; because transitions read only the step's start snapshot and
+//! draw coins from counter-based streams keyed by `(seed, node, time)`, the
+//! shard count must be **observationally irrelevant**. These tests pin that
+//! guarantee by running serial and sharded executions in lockstep — across
+//! all six schedulers, both signal modes, under periodic fault injection,
+//! for a deterministic (AlgAU) and a randomized algorithm — and comparing
+//! step outcomes, configurations, changed-node lists, per-node metrics and
+//! round accounting at every step. Identical configurations of the
+//! *randomized* algorithm are simultaneously a check that the per-node RNG
+//! streams agree draw for draw.
+//!
+//! The file also carries the regression test for the PR 1 order-dependence:
+//! scripted out-of-order schedules now replay identically to ascending-id
+//! schedules.
+
+use rand::RngCore;
+use stone_age_unison::model::algorithm::{Algorithm, StateSpace};
+use stone_age_unison::model::prelude::*;
+use stone_age_unison::model::EngineKind;
+use stone_age_unison::unison::AlgAu;
+
+/// Worker counts the sharded engine is exercised at.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A randomized toy: adopt a uniformly random sensed state, or flip to a
+/// fresh coin value — consumes a *variable* number of RNG draws per
+/// activation, which makes stream divergence loud.
+struct NoisyAdopt;
+
+impl Algorithm for NoisyAdopt {
+    type State = u8;
+    type Output = u8;
+    fn output(&self, s: &u8) -> Option<u8> {
+        Some(*s)
+    }
+    fn transition(&self, s: &u8, sig: &Signal<u8>, rng: &mut dyn RngCore) -> u8 {
+        use rand::Rng;
+        if rng.gen_bool(0.5) {
+            let k = rng.gen_range(0..sig.len().max(1));
+            sig.iter().nth(k).copied().unwrap_or(*s)
+        } else {
+            rng.gen_range(0..6u8)
+        }
+    }
+    fn dense_state_space(&self) -> Option<Vec<u8>> {
+        Some((0..6).collect())
+    }
+}
+
+/// Builds a fresh boxed scheduler per run (each execution of a lockstep pair
+/// needs its own instance).
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
+/// The six built-in scheduler families, freshly built per run. The scripted
+/// entry deliberately lists nodes out of order and with duplicates.
+fn scheduler_factories(n: usize) -> Vec<(&'static str, SchedulerFactory)> {
+    vec![
+        ("synchronous", Box::new(|| Box::new(SynchronousScheduler))),
+        (
+            "uniform-random",
+            Box::new(|| Box::new(UniformRandomScheduler::new(0.5))),
+        ),
+        ("central", Box::new(|| Box::new(CentralScheduler))),
+        (
+            "round-robin",
+            Box::new(|| Box::<RoundRobinScheduler>::default()),
+        ),
+        (
+            "adversarial-laggard",
+            Box::new(move || Box::new(AdversarialLaggardScheduler::starving(n - 1, 4))),
+        ),
+        (
+            "scripted",
+            Box::new(move || {
+                Box::new(ScriptedScheduler::new(vec![
+                    (0..n).rev().collect(),
+                    vec![n / 2, 0, n / 2],
+                    vec![n - 1, 0],
+                    (0..n).collect(),
+                ]))
+            }),
+        ),
+    ]
+}
+
+/// Steps a serial and a sharded execution of the same algorithm in lockstep
+/// (with periodic fault injection when a palette is given) and asserts they
+/// stay bit-for-bit identical in every observable.
+#[allow(clippy::too_many_arguments)]
+fn assert_lockstep_equivalence<A: Algorithm>(
+    alg: &A,
+    graph: &Graph,
+    init: Vec<A::State>,
+    seed: u64,
+    mode: SignalMode,
+    workers: usize,
+    make_sched: &dyn Fn() -> Box<dyn Scheduler>,
+    fault_palette: Option<&[A::State]>,
+    steps: usize,
+    context: &str,
+) {
+    let mut serial = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .engine(EngineKind::Serial)
+        .initial(init.clone());
+    let mut sharded = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .engine(EngineKind::Sharded { threads: workers })
+        .initial(init);
+    let mut sched_a = make_sched();
+    let mut sched_b = make_sched();
+    let mut injector_a = fault_palette.map(|p| {
+        FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 2,
+                count: 2,
+            },
+            p.to_vec(),
+            seed,
+        )
+    });
+    let mut injector_b = fault_palette.map(|p| {
+        FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 2,
+                count: 2,
+            },
+            p.to_vec(),
+            seed,
+        )
+    });
+    for step in 0..steps {
+        let a = serial.step_with(&mut *sched_a);
+        let b = sharded.step_with(&mut *sched_b);
+        assert_eq!(a, b, "[{context}] step {step}: outcome diverged");
+        assert_eq!(
+            serial.configuration(),
+            sharded.configuration(),
+            "[{context}] step {step}: configuration diverged"
+        );
+        assert_eq!(
+            serial.last_changed(),
+            sharded.last_changed(),
+            "[{context}] step {step}: changed-node list diverged"
+        );
+        if a.round_completed {
+            if let (Some(ia), Some(ib)) = (injector_a.as_mut(), injector_b.as_mut()) {
+                let va = ia.on_round(&mut serial);
+                let vb = ib.on_round(&mut sharded);
+                assert_eq!(va, vb, "[{context}] step {step}: fault victims diverged");
+            }
+        }
+    }
+    assert_eq!(serial.time(), sharded.time(), "[{context}] time diverged");
+    assert_eq!(
+        serial.rounds(),
+        sharded.rounds(),
+        "[{context}] rounds diverged"
+    );
+    assert_eq!(
+        serial.counters(),
+        sharded.counters(),
+        "[{context}] per-node metrics diverged"
+    );
+    assert!(
+        sharded.validate_incremental_sensing(),
+        "[{context}] sharded sensing state inconsistent"
+    );
+}
+
+/// The full matrix for the paper's deterministic unison algorithm: six
+/// schedulers × dense/sparse × 1/2/4/8 workers, with fault injection.
+#[test]
+fn algau_sharded_matches_serial_across_schedulers_modes_workers_and_faults() {
+    let graph = Topology::Grid { rows: 3, cols: 4 }.build_deterministic();
+    let n = graph.node_count();
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+    let init: Vec<_> = (0..n).map(|v| palette[v * 7 % palette.len()]).collect();
+    for (sched_name, factory) in scheduler_factories(n) {
+        for (mode_name, mode) in [("dense", SignalMode::Auto), ("sparse", SignalMode::Sparse)] {
+            for workers in WORKER_COUNTS {
+                let context = format!("algau/{sched_name}/{mode_name}/workers={workers}");
+                assert_lockstep_equivalence(
+                    &alg,
+                    &graph,
+                    init.clone(),
+                    0xa1_900 + workers as u64,
+                    mode,
+                    workers,
+                    factory.as_ref(),
+                    Some(&palette),
+                    40,
+                    &context,
+                );
+            }
+        }
+    }
+}
+
+/// The same matrix for a randomized algorithm: identical trajectories here
+/// additionally prove the per-node coin streams agree draw for draw
+/// (transition coins are the only nondeterminism in the step).
+#[test]
+fn randomized_sharded_matches_serial_across_schedulers_modes_workers_and_faults() {
+    let graph = Topology::Cycle { n: 11 }.build_deterministic();
+    let n = graph.node_count();
+    let init: Vec<u8> = (0..n as u8).map(|v| v % 6).collect();
+    let palette: Vec<u8> = (0..6).collect();
+    for (sched_name, factory) in scheduler_factories(n) {
+        for (mode_name, mode) in [("dense", SignalMode::Auto), ("sparse", SignalMode::Sparse)] {
+            for workers in WORKER_COUNTS {
+                let context = format!("noisy/{sched_name}/{mode_name}/workers={workers}");
+                assert_lockstep_equivalence(
+                    &NoisyAdopt,
+                    &graph,
+                    init.clone(),
+                    0x5eed + workers as u64,
+                    mode,
+                    workers,
+                    factory.as_ref(),
+                    Some(&palette),
+                    40,
+                    &context,
+                );
+            }
+        }
+    }
+}
+
+/// A corruption outside the enumerated state space degrades the dense sense
+/// stage mid-run; the sharded engine must follow the serial engine through
+/// the degrade and onward on the sparse fallback.
+#[test]
+fn sharded_follows_serial_through_mid_run_degrade_to_sparse() {
+    let graph = Graph::grid(3, 3);
+    let init = vec![0u8; 9];
+    for workers in WORKER_COUNTS {
+        let mut serial = ExecutionBuilder::new(&NoisyAdopt, &graph)
+            .seed(3)
+            .engine(EngineKind::Serial)
+            .initial(init.clone());
+        let mut sharded = ExecutionBuilder::new(&NoisyAdopt, &graph)
+            .seed(3)
+            .engine(EngineKind::Sharded { threads: workers })
+            .initial(init.clone());
+        let mut sched_a = SynchronousScheduler;
+        let mut sched_b = SynchronousScheduler;
+        for step in 0..30 {
+            if step == 9 {
+                serial.corrupt(4, 77); // outside NoisyAdopt's {0..6} space
+                sharded.corrupt(4, 77);
+                assert!(!serial.uses_dense_signals());
+                assert!(!sharded.uses_dense_signals());
+            }
+            serial.step_with(&mut sched_a);
+            sharded.step_with(&mut sched_b);
+            assert_eq!(
+                serial.configuration(),
+                sharded.configuration(),
+                "workers={workers} step {step}"
+            );
+        }
+        assert_eq!(serial.counters(), sharded.counters());
+    }
+}
+
+/// Large-activation-set equivalence: a 256-node expander under the
+/// synchronous scheduler gives every worker a real multi-node chunk.
+#[test]
+fn sharded_matches_serial_on_a_large_expander() {
+    let graph = Topology::RandomRegular { n: 256, deg: 4 }.build(13);
+    let d = graph.diameter();
+    let alg = AlgAu::new(d);
+    let palette = alg.states();
+    let init: Vec<_> = (0..graph.node_count())
+        .map(|v| palette[(v * 31 + 5) % palette.len()])
+        .collect();
+    for workers in [4usize, 8] {
+        assert_lockstep_equivalence(
+            &alg,
+            &graph,
+            init.clone(),
+            99,
+            SignalMode::Auto,
+            workers,
+            &|| Box::new(SynchronousScheduler),
+            None,
+            25,
+            &format!("expander/workers={workers}"),
+        );
+    }
+}
+
+/// Regression (PR 1): seeded trajectories of randomized algorithms are
+/// independent of the order in which a scripted schedule lists its
+/// activation sets — an out-of-order replay equals the ascending-id replay.
+#[test]
+fn scripted_out_of_order_schedule_replays_like_ascending_order() {
+    let graph = Graph::cycle(7);
+    let init: Vec<u8> = vec![0; 7];
+    let shuffled = ScriptedScheduler::new(vec![
+        vec![5, 1, 3],
+        vec![6, 0],
+        vec![2, 4, 2, 0],
+        vec![6, 5, 4, 3, 2, 1, 0],
+    ]);
+    let ascending = ScriptedScheduler::new(vec![
+        vec![1, 3, 5],
+        vec![0, 6],
+        vec![0, 2, 4],
+        vec![0, 1, 2, 3, 4, 5, 6],
+    ]);
+    let mut a = ExecutionBuilder::new(&NoisyAdopt, &graph)
+        .seed(21)
+        .initial(init.clone());
+    let mut b = ExecutionBuilder::new(&NoisyAdopt, &graph)
+        .seed(21)
+        .initial(init);
+    let mut sched_a = shuffled;
+    let mut sched_b = ascending;
+    for step in 0..40 {
+        let oa = a.step_with(&mut sched_a);
+        let ob = b.step_with(&mut sched_b);
+        assert_eq!(oa, ob, "step {step}: outcome diverged");
+        assert_eq!(
+            a.configuration(),
+            b.configuration(),
+            "step {step}: an out-of-order schedule changed the trajectory"
+        );
+    }
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.rounds(), b.rounds());
+}
