@@ -1,10 +1,13 @@
 //! Experiments E1, E2, E3, E8 and E9: the asynchronous unison algorithm itself.
 
 use crate::report::ExperimentReport;
+use crate::sweep::{self, CheckpointPolicy, SchedulerSpec, UnitOutcome};
 use crate::Scale;
 use sa_model::algorithm::StateSpace;
 use sa_model::checker::{measure_stabilization, StabilizationReport};
+use sa_model::engine::EngineKind;
 use sa_model::executor::ExecutionBuilder;
+use sa_model::fault::FaultPlan;
 use sa_model::graph::Graph;
 use sa_model::metrics::{linear_fit, ExperimentRow, Summary};
 use sa_model::scheduler::{
@@ -17,7 +20,7 @@ use unison_core::baseline::{
     livelock_configuration, livelock_schedule, MinPlusOne, MinPlusOneChecker, ResetAttempt,
     ResetTurn,
 };
-use unison_core::{AlgAu, AuChecker, GoodGraphOracle};
+use unison_core::{AlgAu, GoodGraphOracle};
 
 /// The scheduler families used by the AU experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +63,17 @@ impl SchedulerKind {
             SchedulerKind::UniformRandom => f(&mut UniformRandomScheduler::new(0.5)),
             SchedulerKind::Central => f(&mut CentralScheduler),
             SchedulerKind::Laggard => f(&mut AdversarialLaggardScheduler::starving(0, 3)),
+        }
+    }
+
+    /// The equivalent declarative [`SchedulerSpec`] (the sweep runner's
+    /// vocabulary).
+    pub fn spec(&self) -> SchedulerSpec {
+        match self {
+            SchedulerKind::Synchronous => SchedulerSpec::Synchronous,
+            SchedulerKind::UniformRandom => SchedulerSpec::UniformRandom { p: 0.5 },
+            SchedulerKind::Central => SchedulerSpec::Central,
+            SchedulerKind::Laggard => SchedulerSpec::Laggard { node: 0, window: 3 },
         }
     }
 }
@@ -110,6 +124,13 @@ fn graphs_for_diameter(d: usize, seed: u64) -> Vec<(String, Graph)> {
 /// Runs one AlgAU stabilization trial from an adversarial random configuration and
 /// returns the full stabilization report (including a post-stabilization safety +
 /// liveness verification window).
+///
+/// Since the sweep-runner refactor this delegates to the same spec-driven
+/// unit runner the `sa` CLI uses
+/// ([`sweep::run_stabilization_on_graph`]), whose semantics match
+/// [`measure_stabilization`] exactly (pinned by
+/// `trial_runner_matches_measure_stabilization` below); the engine comes
+/// from the environment ([`EngineKind::from_env`]), as before.
 pub fn au_trial(
     graph: &Graph,
     diameter_bound: usize,
@@ -117,27 +138,31 @@ pub fn au_trial(
     seed: u64,
     max_rounds: u64,
 ) -> StabilizationReport {
-    let alg = AlgAu::new(diameter_bound);
-    let palette = alg.states();
-    let mut exec = ExecutionBuilder::new(&alg, graph)
-        .seed(seed)
-        .random_initial(&palette);
-    let oracle = GoodGraphOracle::new(alg);
-    let checker = AuChecker::new(alg);
-    scheduler.with(|s| {
-        let mut s = s;
-        measure_stabilization(
-            &mut exec,
-            &mut s,
-            &oracle,
-            &checker,
-            max_rounds,
-            4 * diameter_bound as u64 + 8,
-        )
-    })
+    match sweep::run_stabilization_on_graph(
+        graph,
+        diameter_bound,
+        &scheduler.spec(),
+        EngineKind::from_env(),
+        &FaultPlan::None,
+        seed,
+        max_rounds,
+        sweep::default_verify_window(diameter_bound),
+        &CheckpointPolicy::default(),
+    ) {
+        Ok(UnitOutcome::Complete(result)) => StabilizationReport {
+            stabilization_rounds: result.stabilization_rounds,
+            stabilization_steps: result.stabilization_steps,
+            violations: result.violations,
+            verification_rounds: result.verification_rounds,
+        },
+        Ok(UnitOutcome::Interrupted(_)) => unreachable!("no interrupt policy"),
+        Err(e) => panic!("AU trial failed: {e}"),
+    }
 }
 
-/// E1 — regenerate Table 1 and Figure 1.
+/// E1 — regenerate Table 1 and Figure 1 (spec-driven: the same
+/// [`sweep::transition_table_artifacts`] core a `transition-table` task of an
+/// `sa` CLI spec runs).
 pub fn e1_transition_diagram(diameter_bound: usize) -> ExperimentReport {
     let alg = AlgAu::new(diameter_bound);
     let mut report = ExperimentReport::new(
@@ -145,29 +170,7 @@ pub fn e1_transition_diagram(diameter_bound: usize) -> ExperimentReport {
         "AlgAU transition relation (Table 1) and state diagram (Figure 1)",
         "AlgAU has exactly three transition types (AA, AF, FA) over 4k−2 turns, k = 3D+2",
     );
-    let rows = alg.transition_table();
-    let mut table = format!("{:<14} {:<6} {:<14} condition\n", "from", "type", "to");
-    for row in &rows {
-        table.push_str(&format!(
-            "{:<14} {:<6} {:<14} {}\n",
-            row.from.to_string(),
-            format!("{:?}", row.kind),
-            row.to.to_string(),
-            row.condition
-        ));
-    }
-    let aa = rows
-        .iter()
-        .filter(|r| r.kind == unison_core::TransitionKind::AbleAble)
-        .count();
-    let af = rows
-        .iter()
-        .filter(|r| r.kind == unison_core::TransitionKind::AbleFaulty)
-        .count();
-    let fa = rows
-        .iter()
-        .filter(|r| r.kind == unison_core::TransitionKind::FaultyAble)
-        .count();
+    let (table, dot, (aa, af, fa)) = sweep::transition_table_artifacts(diameter_bound);
     report.verdict = format!(
         "D = {diameter_bound}: {} turns, {aa} AA rules, {af} AF rules, {fa} FA rules (matches Table 1)",
         alg.state_count()
@@ -177,7 +180,7 @@ pub fn e1_transition_diagram(diameter_bound: usize) -> ExperimentReport {
         .push((format!("Table 1 (D = {diameter_bound})"), table));
     report.artifacts.push((
         format!("Figure 1 as Graphviz DOT (D = {diameter_bound})"),
-        alg.state_diagram_dot(),
+        dot,
     ));
     report
 }
@@ -195,48 +198,18 @@ pub fn e2_state_space(scale: Scale) -> ExperimentReport {
         Scale::Full => 64,
     };
     let ds: Vec<usize> = (1..=max_d).collect();
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    for &d in &ds {
-        let alg = AlgAu::new(d);
-        let count = alg.state_count();
-        xs.push(d as f64);
-        ys.push(count as f64);
-        report.rows.push(ExperimentRow {
-            experiment: "E2".into(),
-            topology: "-".into(),
-            n: 0,
-            diameter_bound: d,
-            scheduler: "-".into(),
-            metric: "algau-states".into(),
-            summary: Summary::of(&[count as f64]),
-            failures: 0,
-        });
-    }
-    // derived algorithms at a few representative bounds
-    for &d in &[1usize, 4, 8] {
-        let le = sa_protocols::alg_le(d);
-        let mis = sa_protocols::alg_mis(d);
-        let async_le = sa_synchronizer::async_le(d);
-        let async_mis = sa_synchronizer::async_mis(d);
-        for (metric, count) in [
-            ("algle-states", le.state_count()),
-            ("algmis-states", mis.state_count()),
-            ("async-le-states", async_le.state_space_size()),
-            ("async-mis-states", async_mis.state_space_size()),
-        ] {
-            report.rows.push(ExperimentRow {
-                experiment: "E2".into(),
-                topology: "-".into(),
-                n: 0,
-                diameter_bound: d,
-                scheduler: "-".into(),
-                metric: metric.into(),
-                summary: Summary::of(&[count as f64]),
-                failures: 0,
-            });
-        }
-    }
+    // Spec-driven core: the same row generators a `state-space` task of an
+    // `sa` CLI spec runs.
+    report.rows = sweep::state_space_rows("E2", &ds, false);
+    report
+        .rows
+        .extend(sweep::derived_state_space_rows("E2", &[1, 4, 8]));
+    let (xs, ys): (Vec<f64>, Vec<f64>) = report
+        .rows
+        .iter()
+        .filter(|r| r.metric == "algau-states")
+        .map(|r| (r.diameter_bound as f64, r.summary.mean))
+        .unzip();
     let (a, b, r2) = linear_fit(&xs, &ys);
     report.verdict = format!(
         "AlgAU state count fits {b:.1}·D + {a:.1} with R² = {r2:.4} (paper: 12D + 6); \
@@ -264,8 +237,8 @@ pub fn e3_au_stabilization(scale: Scale) -> ExperimentReport {
         let max_rounds = (200 * d.pow(3) + 2000) as u64;
         for (label, graph) in graphs_for_diameter(d, 17) {
             for kind in SchedulerKind::all() {
-                // Independent seeds fan out across threads (see `crate::parallel`).
-                let reports = crate::parallel::par_seeds(seeds, |seed| {
+                // Independent seeds fan out across threads (see `sa_runtime::parallel`).
+                let reports = sa_runtime::parallel::par_seeds(seeds, |seed| {
                     au_trial(&graph, d, kind, seed * 977 + d as u64, max_rounds)
                 });
                 let mut rounds = Vec::new();
@@ -396,7 +369,7 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
         let max_rounds = (200 * d.pow(3) + 2000) as u64;
 
         // AlgAU
-        let algau_rounds: Vec<u64> = crate::parallel::par_seeds(seeds, |seed| {
+        let algau_rounds: Vec<u64> = sa_runtime::parallel::par_seeds(seeds, |seed| {
             au_trial(&graph, d, SchedulerKind::UniformRandom, seed, max_rounds)
                 .stabilization_rounds
                 .unwrap_or(max_rounds)
@@ -425,7 +398,7 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
 
         // min-plus-one baseline: stabilization rounds and register growth
         let baseline = MinPlusOne::new();
-        let baseline_trials: Vec<(u64, f64)> = crate::parallel::par_seeds(seeds, |seed| {
+        let baseline_trials: Vec<(u64, f64)> = sa_runtime::parallel::par_seeds(seeds, |seed| {
             let palette: Vec<u64> = vec![0, 1, 5, 40, 900, 10_000];
             let mut exec = ExecutionBuilder::new(&baseline, &graph)
                 .seed(seed)
@@ -476,6 +449,7 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use unison_core::AuChecker;
 
     #[test]
     fn e1_report_mentions_all_rule_kinds() {
@@ -497,6 +471,38 @@ mod tests {
         let graph = Graph::cycle(4);
         let rep = au_trial(&graph, 2, SchedulerKind::Synchronous, 3, 100_000);
         assert!(rep.is_clean(), "{rep:?}");
+    }
+
+    /// The sweep-runner refactor must not change measured numbers: `au_trial`
+    /// through the spec-driven unit runner reproduces
+    /// `measure_stabilization` verbatim (same rounds, steps, violations and
+    /// verification window).
+    #[test]
+    fn trial_runner_matches_measure_stabilization() {
+        let graph = Graph::cycle(6);
+        let d = graph.diameter();
+        for kind in [SchedulerKind::UniformRandom, SchedulerKind::Central] {
+            for seed in 0..3u64 {
+                let alg = AlgAu::new(d);
+                let palette = alg.states();
+                let mut exec = ExecutionBuilder::new(&alg, &graph)
+                    .seed(seed)
+                    .random_initial(&palette);
+                let reference = kind.with(|s| {
+                    let mut s = s;
+                    measure_stabilization(
+                        &mut exec,
+                        &mut s,
+                        &GoodGraphOracle::new(alg),
+                        &AuChecker::new(alg),
+                        100_000,
+                        4 * d as u64 + 8,
+                    )
+                });
+                let via_sweep = au_trial(&graph, d, kind, seed, 100_000);
+                assert_eq!(via_sweep, reference, "kind {kind:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

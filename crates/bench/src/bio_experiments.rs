@@ -28,7 +28,7 @@ pub fn e10_bio_recovery(scale: Scale) -> ExperimentReport {
     let pulse = PulseScenario::new(4, pulse_cells);
     let tissue = TissueScenario::sheet(tissue_side, tissue_side);
     let colony = ColonyScenario::new(colony_cells);
-    let measurements = crate::parallel::par_map(&harshness_levels, |&h| {
+    let measurements = sa_runtime::parallel::par_map(&harshness_levels, |&h| {
         let pulse_stats = pulse_unison_recovery(&pulse, h, trials, 21);
         let availability = tissue_mis_availability(&tissue, h, availability_rounds, 22);
         let colony_stats = colony_leader_recovery(&colony, h, trials, 23);

@@ -32,9 +32,9 @@
 
 pub mod au_experiments;
 pub mod bio_experiments;
-pub mod parallel;
 pub mod protocol_experiments;
 pub mod report;
+pub mod sweep;
 
 pub use report::{print_experiment, ExperimentReport};
 

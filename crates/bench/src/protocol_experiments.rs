@@ -83,7 +83,7 @@ pub fn e4_restart(scale: Scale) -> ExperimentReport {
                     (seed, init)
                 })
                 .collect();
-            let outcomes = crate::parallel::par_map(&trials, |(seed, init)| {
+            let outcomes = sa_runtime::parallel::par_map(&trials, |(seed, init)| {
                 measure_restart_exit(&wrapper, &graph, init.clone(), *seed, (4 * d + 10) as u64)
             });
             let mut rounds = Vec::new();
@@ -169,7 +169,7 @@ pub fn e5_mis(scale: Scale) -> ExperimentReport {
             let alg = alg_mis(d);
             let palette = alg.states();
             let horizon = (60 * (d + 8) * ((n as f64).log2().ceil() as usize + 2) + 600) as u64;
-            let outcomes = crate::parallel::par_seeds(seeds, |seed| {
+            let outcomes = sa_runtime::parallel::par_seeds(seeds, |seed| {
                 static_trial(
                     &alg,
                     &MisChecker,
@@ -241,7 +241,7 @@ pub fn e6_le(scale: Scale) -> ExperimentReport {
             let alg = alg_le(d);
             let palette = alg.states();
             let horizon = (80 * d * ((n as f64).log2().ceil() as usize + 4) + 800) as u64;
-            let outcomes = crate::parallel::par_seeds(seeds, |seed| {
+            let outcomes = sa_runtime::parallel::par_seeds(seeds, |seed| {
                 static_trial(
                     &alg,
                     &LeChecker,
@@ -314,7 +314,7 @@ pub fn e7_synchronizer(scale: Scale) -> ExperimentReport {
         // synchronous MIS (baseline pace)
         let sync_alg = alg_mis(d);
         let sync_palette = sync_alg.states();
-        let mut sync_rounds: Vec<u64> = crate::parallel::par_seeds(seeds, |seed| {
+        let mut sync_rounds: Vec<u64> = sa_runtime::parallel::par_seeds(seeds, |seed| {
             static_trial(
                 &sync_alg,
                 &MisChecker,
@@ -335,7 +335,7 @@ pub fn e7_synchronizer(scale: Scale) -> ExperimentReport {
         // asynchronous MIS under the uniform-random scheduler
         let async_alg = async_mis(d);
         let checker = async_alg.checker();
-        let async_outcomes: Vec<Option<u64>> = crate::parallel::par_seeds(seeds, |seed| {
+        let async_outcomes: Vec<Option<u64>> = sa_runtime::parallel::par_seeds(seeds, |seed| {
             let init = sa_synchronizer::random_composite_configuration(
                 &sync_palette,
                 async_alg.unison(),

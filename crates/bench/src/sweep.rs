@@ -1,0 +1,1395 @@
+//! Declarative experiment sweeps: spec parsing, unit expansion and the
+//! checkpointable unit runner.
+//!
+//! A *sweep spec* is a JSON document (parsed with [`sa_model::json`], no
+//! external dependencies) describing a grid of experiment configurations:
+//! topologies × schedulers × engines × fault plans × seeds, plus the
+//! paper-artifact tasks (transition table, state-space counts) that need no
+//! execution. The spec expands into independent [`SweepUnit`]s; each
+//! stabilization unit runs through [`run_unit`], which supports
+//! **checkpoint/resume**: the in-flight execution state (configuration,
+//! counters, scheduler position, RNG streams — see [`sa_model::snapshot`])
+//! serializes to a JSON checkpoint at step boundaries, and a unit resumed
+//! from its checkpoint is **bit-identical** to one that was never
+//! interrupted (pinned by `tests/checkpoint_roundtrip.rs` and the CI
+//! `sweep-smoke` job).
+//!
+//! The `sa` CLI (`crates/sa-cli`) is a thin front-end over this module: it
+//! reads a spec file, fans the units out over
+//! [`sa_runtime::parallel::par_map_cancellable`], persists checkpoints and
+//! unit results under an output directory, and renders the aggregate to
+//! `EXPERIMENTS.json` + `EXPERIMENTS.md` ([`render_json`] /
+//! [`render_markdown`]). The in-tree experiments E1–E3 run on the same
+//! primitives ([`transition_table_rows`], [`state_space_rows`],
+//! [`run_stabilization_on_graph`]) so that the bench targets and the CLI
+//! cannot drift apart.
+
+use crate::report::ExperimentReport;
+use sa_model::algorithm::{LegitimacyOracle, StateSpace};
+use sa_model::checker::TaskChecker;
+use sa_model::engine::EngineKind;
+use sa_model::executor::{Execution, ExecutionBuilder};
+use sa_model::fault::{FaultInjector, FaultInjectorSnapshot, FaultPlan};
+use sa_model::graph::Graph;
+use sa_model::json::JsonValue;
+use sa_model::metrics::{ExperimentRow, Summary};
+use sa_model::scheduler::{
+    AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler, Scheduler,
+    SynchronousScheduler, UniformRandomScheduler,
+};
+use sa_model::snapshot::{u64_from_json, u64_to_json, ExecutionSnapshot};
+use sa_model::topology::Topology;
+use unison_core::{AlgAu, AuChecker, GoodGraphOracle};
+
+/// Errors from spec parsing and unit execution, as human-readable strings
+/// (the CLI prints them verbatim).
+pub type SpecError = String;
+
+fn field<'v>(value: &'v JsonValue, key: &str, ctx: &str) -> Result<&'v JsonValue, SpecError> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing field \"{key}\""))
+}
+
+fn usize_field(value: &JsonValue, key: &str, ctx: &str) -> Result<usize, SpecError> {
+    field(value, key, ctx)?
+        .as_usize()
+        .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a non-negative integer"))
+}
+
+fn f64_field(value: &JsonValue, key: &str, ctx: &str) -> Result<f64, SpecError> {
+    field(value, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a number"))
+}
+
+fn u64_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<Option<u64>, SpecError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => u64_from_json(v)
+            .map(Some)
+            .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a non-negative integer")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spec model
+// ---------------------------------------------------------------------------
+
+/// A parsed sweep specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (used in report headers and default output paths).
+    pub name: String,
+    /// Seed used to build randomized topologies (fixed across trial seeds so
+    /// every seed of a cell runs on the same graph).
+    pub graph_seed: u64,
+    /// The tasks of the sweep, in spec order.
+    pub tasks: Vec<SweepTask>,
+}
+
+/// One task of a sweep spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepTask {
+    /// E1-style artifact: AlgAU's transition table and state diagram at a
+    /// fixed diameter bound. Instant (no execution).
+    TransitionTable {
+        /// Task identifier (e.g. `"E1"`).
+        id: String,
+        /// Diameter bound `D`.
+        diameter_bound: usize,
+    },
+    /// E2-style artifact: state-space sizes as a function of the diameter
+    /// bound. Instant (no execution).
+    StateSpace {
+        /// Task identifier (e.g. `"E2"`).
+        id: String,
+        /// The diameter bounds to count states at.
+        diameter_bounds: Vec<usize>,
+        /// Also count the derived algorithms (LE/MIS and their synchronized
+        /// versions) at each bound.
+        include_derived: bool,
+    },
+    /// E3-style measurement: stabilization rounds over a topology × scheduler
+    /// × engine × seed grid, with optional fault injection. Expands into
+    /// checkpointable [`SweepUnit`]s.
+    Stabilization(StabilizationTask),
+}
+
+impl SweepTask {
+    /// The task identifier.
+    pub fn id(&self) -> &str {
+        match self {
+            SweepTask::TransitionTable { id, .. } => id,
+            SweepTask::StateSpace { id, .. } => id,
+            SweepTask::Stabilization(t) => &t.id,
+        }
+    }
+}
+
+/// The grid of a stabilization task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilizationTask {
+    /// Task identifier (e.g. `"E3"`).
+    pub id: String,
+    /// Topologies to sweep (randomized families build with the spec's
+    /// `graph_seed`).
+    pub topologies: Vec<Topology>,
+    /// Diameter bound handed to the algorithm; `None` uses the built graph's
+    /// exact diameter.
+    pub diameter_bound: Option<usize>,
+    /// Scheduler families to sweep.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Step engines to sweep.
+    pub engines: Vec<EngineSpec>,
+    /// Fault plan applied at every completed round.
+    pub fault: FaultPlan,
+    /// Number of independent seeds per cell.
+    pub seeds: u64,
+    /// Round budget; `None` uses the paper's `200·D³ + 2000`.
+    pub max_rounds: Option<u64>,
+    /// Post-stabilization verification window; `None` uses `4·D + 8`.
+    pub verify_rounds: Option<u64>,
+}
+
+/// A declarative scheduler selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerSpec {
+    /// Every node every step.
+    Synchronous,
+    /// Each node independently with probability `p`.
+    UniformRandom {
+        /// Per-node activation probability.
+        p: f64,
+    },
+    /// One uniformly random node per step.
+    Central,
+    /// One node per step in cyclic id order.
+    RoundRobin,
+    /// Starve `node` within fairness windows of `window` steps.
+    Laggard {
+        /// The starved node.
+        node: usize,
+        /// Fairness window length.
+        window: u64,
+    },
+}
+
+impl SchedulerSpec {
+    /// Builds a fresh scheduler instance.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerSpec::Synchronous => Box::new(SynchronousScheduler),
+            SchedulerSpec::UniformRandom { p } => Box::new(UniformRandomScheduler::new(*p)),
+            SchedulerSpec::Central => Box::new(CentralScheduler),
+            SchedulerSpec::RoundRobin => Box::<RoundRobinScheduler>::default(),
+            SchedulerSpec::Laggard { node, window } => {
+                Box::new(AdversarialLaggardScheduler::starving(*node, *window))
+            }
+        }
+    }
+
+    /// A stable label used in unit ids and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            SchedulerSpec::Synchronous => "synchronous".to_string(),
+            SchedulerSpec::UniformRandom { p } => format!("uniform-random-{p}"),
+            SchedulerSpec::Central => "central".to_string(),
+            SchedulerSpec::RoundRobin => "round-robin".to_string(),
+            SchedulerSpec::Laggard { node, window } => format!("laggard-n{node}-w{window}"),
+        }
+    }
+
+    fn from_json(value: &JsonValue, ctx: &str) -> Result<Self, SpecError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "synchronous" => Ok(SchedulerSpec::Synchronous),
+                "uniform-random" => Ok(SchedulerSpec::UniformRandom { p: 0.5 }),
+                "central" => Ok(SchedulerSpec::Central),
+                "round-robin" => Ok(SchedulerSpec::RoundRobin),
+                other => Err(format!("{ctx}: unknown scheduler \"{other}\"")),
+            };
+        }
+        match field(value, "kind", ctx)?.as_str() {
+            Some("uniform-random") => Ok(SchedulerSpec::UniformRandom {
+                p: f64_field(value, "p", ctx)?,
+            }),
+            Some("laggard") => Ok(SchedulerSpec::Laggard {
+                node: usize_field(value, "node", ctx)?,
+                window: usize_field(value, "window", ctx)? as u64,
+            }),
+            Some(other) => Err(format!("{ctx}: unknown scheduler kind \"{other}\"")),
+            None => Err(format!("{ctx}: scheduler must be a string or an object")),
+        }
+    }
+}
+
+/// A declarative engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// The engine kind (with an explicit lane count for sharded, so unit
+    /// labels stay stable across machines).
+    pub kind: EngineKind,
+}
+
+impl EngineSpec {
+    /// A stable label: `serial` or `sharded-<threads>`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            EngineKind::Serial => "serial".to_string(),
+            EngineKind::Sharded { threads } => format!("sharded-{threads}"),
+        }
+    }
+
+    fn from_json(value: &JsonValue, ctx: &str) -> Result<Self, SpecError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "serial" => Ok(EngineSpec {
+                    kind: EngineKind::Serial,
+                }),
+                "sharded" => Ok(EngineSpec {
+                    kind: EngineKind::Sharded { threads: 2 },
+                }),
+                other => Err(format!("{ctx}: unknown engine \"{other}\"")),
+            };
+        }
+        match field(value, "kind", ctx)?.as_str() {
+            Some("serial") => Ok(EngineSpec {
+                kind: EngineKind::Serial,
+            }),
+            Some("sharded") => Ok(EngineSpec {
+                kind: EngineKind::Sharded {
+                    threads: usize_field(value, "threads", ctx)?.max(1),
+                },
+            }),
+            Some(other) => Err(format!("{ctx}: unknown engine kind \"{other}\"")),
+            None => Err(format!("{ctx}: engine must be a string or an object")),
+        }
+    }
+}
+
+fn topology_from_json(value: &JsonValue, ctx: &str) -> Result<Topology, SpecError> {
+    let kind = field(value, "kind", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: topology \"kind\" must be a string"))?;
+    match kind {
+        "path" => Ok(Topology::Path {
+            n: usize_field(value, "n", ctx)?,
+        }),
+        "cycle" => Ok(Topology::Cycle {
+            n: usize_field(value, "n", ctx)?,
+        }),
+        "complete" => Ok(Topology::Complete {
+            n: usize_field(value, "n", ctx)?,
+        }),
+        "star" => Ok(Topology::Star {
+            n: usize_field(value, "n", ctx)?,
+        }),
+        "grid" => Ok(Topology::Grid {
+            rows: usize_field(value, "rows", ctx)?,
+            cols: usize_field(value, "cols", ctx)?,
+        }),
+        "torus" => Ok(Topology::Torus {
+            rows: usize_field(value, "rows", ctx)?,
+            cols: usize_field(value, "cols", ctx)?,
+        }),
+        "hypercube" => Ok(Topology::Hypercube {
+            dim: usize_field(value, "dim", ctx)?,
+        }),
+        "balanced-tree" => Ok(Topology::BalancedTree {
+            arity: usize_field(value, "arity", ctx)?,
+            depth: usize_field(value, "depth", ctx)?,
+        }),
+        "erdos-renyi" => Ok(Topology::ErdosRenyi {
+            n: usize_field(value, "n", ctx)?,
+            p: f64_field(value, "p", ctx)?,
+        }),
+        "damaged-clique" => Ok(Topology::DamagedClique {
+            n: usize_field(value, "n", ctx)?,
+            drop: f64_field(value, "drop", ctx)?,
+            max_diameter: usize_field(value, "max_diameter", ctx)?,
+        }),
+        "caveman" => Ok(Topology::Caveman {
+            clusters: usize_field(value, "clusters", ctx)?,
+            clique: usize_field(value, "clique", ctx)?,
+        }),
+        "random-regular" => Ok(Topology::RandomRegular {
+            n: usize_field(value, "n", ctx)?,
+            deg: usize_field(value, "deg", ctx)?,
+        }),
+        other => Err(format!("{ctx}: unknown topology kind \"{other}\"")),
+    }
+}
+
+fn fault_from_json(value: Option<&JsonValue>, ctx: &str) -> Result<FaultPlan, SpecError> {
+    let value = match value {
+        None | Some(JsonValue::Null) => return Ok(FaultPlan::None),
+        Some(v) => v,
+    };
+    if value.as_str() == Some("none") {
+        return Ok(FaultPlan::None);
+    }
+    match field(value, "kind", ctx)?.as_str() {
+        Some("none") => Ok(FaultPlan::None),
+        Some("burst") => Ok(FaultPlan::Burst {
+            at_round: usize_field(value, "at_round", ctx)? as u64,
+            count: usize_field(value, "count", ctx)?,
+        }),
+        Some("continuous") => Ok(FaultPlan::Continuous {
+            per_node_rate: f64_field(value, "per_node_rate", ctx)?,
+        }),
+        Some("periodic") => Ok(FaultPlan::Periodic {
+            period: usize_field(value, "period", ctx)? as u64,
+            count: usize_field(value, "count", ctx)?,
+        }),
+        Some(other) => Err(format!("{ctx}: unknown fault kind \"{other}\"")),
+        None => Err(format!("{ctx}: fault must be \"none\" or an object")),
+    }
+}
+
+impl SweepSpec {
+    /// Parses a spec from JSON text.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let value = JsonValue::parse(text).map_err(|e| format!("spec is not valid JSON: {e}"))?;
+        Self::from_json(&value)
+    }
+
+    /// Parses a spec from a JSON document.
+    pub fn from_json(value: &JsonValue) -> Result<Self, SpecError> {
+        let name = field(value, "name", "spec")?
+            .as_str()
+            .ok_or("spec: \"name\" must be a string")?
+            .to_string();
+        let graph_seed = u64_opt(value, "graph_seed", "spec")?.unwrap_or(17);
+        let tasks_json = field(value, "tasks", "spec")?
+            .as_array()
+            .ok_or("spec: \"tasks\" must be an array")?;
+        if tasks_json.is_empty() {
+            return Err("spec: \"tasks\" must not be empty".to_string());
+        }
+        let mut tasks = Vec::new();
+        for (i, task) in tasks_json.iter().enumerate() {
+            let id = field(task, "id", &format!("task #{i}"))?
+                .as_str()
+                .ok_or_else(|| format!("task #{i}: \"id\" must be a string"))?
+                .to_string();
+            let ctx = format!("task \"{id}\"");
+            match field(task, "kind", &ctx)?.as_str() {
+                Some("transition-table") => tasks.push(SweepTask::TransitionTable {
+                    id,
+                    diameter_bound: usize_field(task, "diameter_bound", &ctx)?,
+                }),
+                Some("state-space") => {
+                    let bounds = field(task, "diameter_bounds", &ctx)?
+                        .as_array()
+                        .ok_or_else(|| format!("{ctx}: \"diameter_bounds\" must be an array"))?
+                        .iter()
+                        .map(|v| {
+                            v.as_usize().ok_or_else(|| {
+                                format!("{ctx}: \"diameter_bounds\" entries must be integers")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    tasks.push(SweepTask::StateSpace {
+                        id,
+                        diameter_bounds: bounds,
+                        include_derived: matches!(
+                            task.get("include_derived"),
+                            Some(JsonValue::Bool(true))
+                        ),
+                    });
+                }
+                Some("stabilization") => {
+                    let topologies = field(task, "topologies", &ctx)?
+                        .as_array()
+                        .ok_or_else(|| format!("{ctx}: \"topologies\" must be an array"))?
+                        .iter()
+                        .map(|t| topology_from_json(t, &ctx))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let schedulers = field(task, "schedulers", &ctx)?
+                        .as_array()
+                        .ok_or_else(|| format!("{ctx}: \"schedulers\" must be an array"))?
+                        .iter()
+                        .map(|s| SchedulerSpec::from_json(s, &ctx))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let engines = match task.get("engines") {
+                        None => vec![EngineSpec {
+                            kind: EngineKind::Serial,
+                        }],
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| format!("{ctx}: \"engines\" must be an array"))?
+                            .iter()
+                            .map(|e| EngineSpec::from_json(e, &ctx))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    };
+                    if topologies.is_empty() || schedulers.is_empty() || engines.is_empty() {
+                        return Err(format!(
+                            "{ctx}: topologies, schedulers and engines must be non-empty"
+                        ));
+                    }
+                    let seeds = u64_opt(task, "seeds", &ctx)?.unwrap_or(1).max(1);
+                    tasks.push(SweepTask::Stabilization(StabilizationTask {
+                        id,
+                        topologies,
+                        diameter_bound: u64_opt(task, "diameter_bound", &ctx)?.map(|d| d as usize),
+                        schedulers,
+                        engines,
+                        fault: fault_from_json(task.get("fault"), &ctx)?,
+                        seeds,
+                        max_rounds: u64_opt(task, "max_rounds", &ctx)?,
+                        verify_rounds: u64_opt(task, "verify_rounds", &ctx)?,
+                    }));
+                }
+                Some(other) => return Err(format!("{ctx}: unknown task kind \"{other}\"")),
+                None => return Err(format!("{ctx}: \"kind\" must be a string")),
+            }
+        }
+        Ok(SweepSpec {
+            name,
+            graph_seed,
+            tasks,
+        })
+    }
+
+    /// Expands the spec's stabilization tasks into their units, in a stable
+    /// deterministic order (task → topology → scheduler → engine → seed).
+    pub fn stabilization_units(&self) -> Vec<SweepUnit> {
+        let mut units = Vec::new();
+        for task in &self.tasks {
+            let SweepTask::Stabilization(task) = task else {
+                continue;
+            };
+            for topology in &task.topologies {
+                for scheduler in &task.schedulers {
+                    for engine in &task.engines {
+                        for seed in 0..task.seeds {
+                            units.push(SweepUnit {
+                                task_id: task.id.clone(),
+                                topology: topology.clone(),
+                                scheduler: scheduler.clone(),
+                                engine: *engine,
+                                fault: task.fault.clone(),
+                                seed,
+                                graph_seed: self.graph_seed,
+                                diameter_bound: task.diameter_bound,
+                                max_rounds: task.max_rounds,
+                                verify_rounds: task.verify_rounds,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        units
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+/// One independently runnable cell of a stabilization sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepUnit {
+    /// The owning task's id.
+    pub task_id: String,
+    /// Topology of this unit.
+    pub topology: Topology,
+    /// Scheduler of this unit.
+    pub scheduler: SchedulerSpec,
+    /// Step engine of this unit.
+    pub engine: EngineSpec,
+    /// Fault plan of this unit.
+    pub fault: FaultPlan,
+    /// Trial seed (keys the initial configuration, the transition coin
+    /// streams, the scheduler stream and the fault injector stream).
+    pub seed: u64,
+    /// Seed for randomized topology construction.
+    pub graph_seed: u64,
+    /// Explicit diameter bound, or `None` for the graph's exact diameter.
+    pub diameter_bound: Option<usize>,
+    /// Round budget override.
+    pub max_rounds: Option<u64>,
+    /// Verification window override.
+    pub verify_rounds: Option<u64>,
+}
+
+impl SweepUnit {
+    /// A stable, filesystem-safe unit identifier.
+    pub fn id(&self) -> String {
+        format!(
+            "{}--{}--{}--{}--s{}",
+            self.task_id,
+            self.topology.label(),
+            self.scheduler.label(),
+            self.engine.label(),
+            self.seed
+        )
+    }
+}
+
+/// The measured outcome of one completed unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitResult {
+    /// Rounds until legitimacy first held (`None`: budget exhausted).
+    pub stabilization_rounds: Option<u64>,
+    /// Steps until legitimacy first held.
+    pub stabilization_steps: Option<u64>,
+    /// Safety/liveness violations observed in the verification window.
+    pub violations: Vec<String>,
+    /// Rounds spent in the verification window.
+    pub verification_rounds: u64,
+    /// Total transient faults injected over the run.
+    pub faults_injected: u64,
+    /// Total steps executed.
+    pub total_steps: u64,
+}
+
+impl UnitResult {
+    /// Whether the unit stabilized and passed verification.
+    pub fn is_clean(&self) -> bool {
+        self.stabilization_rounds.is_some() && self.violations.is_empty()
+    }
+
+    /// Serializes the result as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "stabilization_rounds".to_string(),
+                self.stabilization_rounds
+                    .map_or(JsonValue::Null, u64_to_json),
+            ),
+            (
+                "stabilization_steps".to_string(),
+                self.stabilization_steps
+                    .map_or(JsonValue::Null, u64_to_json),
+            ),
+            (
+                "violations".to_string(),
+                JsonValue::Array(
+                    self.violations
+                        .iter()
+                        .map(|v| JsonValue::String(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "verification_rounds".to_string(),
+                u64_to_json(self.verification_rounds),
+            ),
+            (
+                "faults_injected".to_string(),
+                u64_to_json(self.faults_injected),
+            ),
+            ("total_steps".to_string(), u64_to_json(self.total_steps)),
+        ])
+    }
+
+    /// Deserializes a result produced by [`UnitResult::to_json`].
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        let opt = |key: &str| -> Option<Option<u64>> {
+            match value.get(key)? {
+                JsonValue::Null => Some(None),
+                v => u64_from_json(v).map(Some),
+            }
+        };
+        Some(UnitResult {
+            stabilization_rounds: opt("stabilization_rounds")?,
+            stabilization_steps: opt("stabilization_steps")?,
+            violations: value
+                .get("violations")?
+                .as_array()?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Option<_>>()?,
+            verification_rounds: u64_from_json(value.get("verification_rounds")?)?,
+            faults_injected: u64_from_json(value.get("faults_injected")?)?,
+            total_steps: u64_from_json(value.get("total_steps")?)?,
+        })
+    }
+}
+
+/// Outcome of [`run_unit`]: either the unit finished, or it was interrupted
+/// and left a resumable checkpoint document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitOutcome {
+    /// The unit ran to completion.
+    Complete(UnitResult),
+    /// The unit hit the invocation's step allowance; the carried JSON
+    /// checkpoint resumes it exactly where it stopped.
+    Interrupted(JsonValue),
+}
+
+/// Checkpoint behaviour of [`run_unit`].
+#[derive(Default)]
+pub struct CheckpointPolicy<'a> {
+    /// Emit a checkpoint to `sink` every this many steps (`0`: never).
+    pub every_steps: u64,
+    /// Receives each emitted checkpoint document (e.g. writes it to disk).
+    pub sink: Option<&'a (dyn Fn(&JsonValue) + Sync)>,
+    /// Resume from this checkpoint document instead of starting fresh.
+    pub resume_from: Option<&'a JsonValue>,
+    /// Stop after this many steps *in this invocation*, returning
+    /// [`UnitOutcome::Interrupted`] with a checkpoint (simulates a kill; used
+    /// by the CI smoke job and the round-trip tests).
+    pub interrupt_after_steps: Option<u64>,
+}
+
+/// Internal: the measurement phases of a stabilization unit.
+const PHASE_STABILIZING: u64 = 0;
+const PHASE_VERIFYING: u64 = 1;
+
+/// The paper's default round budget for a diameter bound `D`.
+pub fn default_round_budget(d: usize) -> u64 {
+    (200 * d.pow(3) + 2000) as u64
+}
+
+/// The default post-stabilization verification window for a bound `D`.
+pub fn default_verify_window(d: usize) -> u64 {
+    4 * d as u64 + 8
+}
+
+/// Runs one sweep unit (building its graph first); see
+/// [`run_stabilization_on_graph`].
+pub fn run_unit(unit: &SweepUnit, policy: &CheckpointPolicy<'_>) -> Result<UnitOutcome, SpecError> {
+    let graph = unit.topology.build(unit.graph_seed);
+    let d = unit.diameter_bound.unwrap_or_else(|| graph.diameter());
+    run_stabilization_on_graph(
+        &graph,
+        d,
+        &unit.scheduler,
+        unit.engine.kind,
+        &unit.fault,
+        unit.seed,
+        unit.max_rounds.unwrap_or_else(|| default_round_budget(d)),
+        unit.verify_rounds
+            .unwrap_or_else(|| default_verify_window(d)),
+        policy,
+    )
+}
+
+/// Runs an AlgAU stabilization measurement on an explicit graph, with
+/// checkpoint/resume support.
+///
+/// Semantics match
+/// [`measure_stabilization`](sa_model::checker::measure_stabilization) —
+/// legitimacy ("the graph is good") is checked at time 0 and at every round
+/// boundary; once it holds, a verification window of `verify_rounds` rounds
+/// checks the AU task's safety at every boundary and its liveness over the
+/// window — extended with per-round fault injection (after the boundary's
+/// legitimacy/safety check, so a fault surfaces in the *next* round's check)
+/// and with checkpointing at step boundaries.
+///
+/// Every source of randomness is either keyed by `(seed, node, step)`
+/// (transition coins) or captured exactly in the checkpoint (scheduler
+/// stream, fault injector stream), so a resumed run is bit-identical to an
+/// uninterrupted one.
+#[allow(clippy::too_many_arguments)]
+pub fn run_stabilization_on_graph(
+    graph: &Graph,
+    diameter_bound: usize,
+    scheduler: &SchedulerSpec,
+    engine: EngineKind,
+    fault: &FaultPlan,
+    seed: u64,
+    max_rounds: u64,
+    verify_rounds: u64,
+    policy: &CheckpointPolicy<'_>,
+) -> Result<UnitOutcome, SpecError> {
+    let alg = AlgAu::new(diameter_bound);
+    let palette = alg.states();
+    let oracle = GoodGraphOracle::new(alg);
+    let checker = AuChecker::new(alg);
+    let mut sched = scheduler.build();
+    let mut injector = match fault {
+        FaultPlan::None => None,
+        plan => Some(FaultInjector::new(
+            plan.clone(),
+            palette.clone(),
+            seed ^ 0xFA01_7BAD_5EED_0001,
+        )),
+    };
+
+    // Mutable measurement state beyond the execution itself.
+    let mut phase;
+    let mut stab_rounds: Option<u64>;
+    let mut stab_steps: Option<u64>;
+    let mut violations: Vec<String>;
+    let mut verify_start_round: u64;
+
+    let mut exec: Execution<'_, AlgAu> = match policy.resume_from {
+        Some(doc) => {
+            let snap = field(doc, "execution", "checkpoint").and_then(|v| {
+                ExecutionSnapshot::from_json_indexed(v, &palette)
+                    .ok_or_else(|| "checkpoint: malformed execution snapshot".to_string())
+            })?;
+            phase = u64_from_json(field(doc, "phase", "checkpoint")?)
+                .ok_or("checkpoint: malformed phase")?;
+            stab_rounds = match doc.get("stab_rounds") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(u64_from_json(v).ok_or("checkpoint: malformed stab_rounds")?),
+            };
+            stab_steps = match doc.get("stab_steps") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(u64_from_json(v).ok_or("checkpoint: malformed stab_steps")?),
+            };
+            violations = field(doc, "violations", "checkpoint")?
+                .as_array()
+                .ok_or("checkpoint: malformed violations")?
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect::<Option<_>>()
+                .ok_or("checkpoint: malformed violations")?;
+            verify_start_round = u64_from_json(field(doc, "verify_start_round", "checkpoint")?)
+                .ok_or("checkpoint: malformed verify_start_round")?;
+            sched.restore_position(
+                u64_from_json(field(doc, "scheduler_position", "checkpoint")?)
+                    .ok_or("checkpoint: malformed scheduler_position")?,
+            );
+            if let Some(injector) = injector.as_mut() {
+                let snap_json = field(doc, "injector", "checkpoint")?;
+                let snap = FaultInjectorSnapshot::from_json(snap_json)
+                    .ok_or("checkpoint: malformed injector snapshot")?;
+                injector.restore(&snap);
+            }
+            ExecutionBuilder::new(&alg, graph)
+                .engine(engine)
+                .resume(&snap)
+        }
+        None => {
+            phase = PHASE_STABILIZING;
+            stab_rounds = None;
+            stab_steps = None;
+            violations = Vec::new();
+            verify_start_round = 0;
+            let mut exec = ExecutionBuilder::new(&alg, graph)
+                .seed(seed)
+                .engine(engine)
+                .random_initial(&palette);
+            // Legitimacy is checked at time 0 (an adversarial configuration
+            // may already be good).
+            if oracle.is_legitimate(graph, exec.configuration()) {
+                stab_rounds = Some(0);
+                stab_steps = Some(0);
+                phase = PHASE_VERIFYING;
+                exec.take_output_change_counts();
+                verify_start_round = 0;
+            }
+            exec
+        }
+    };
+
+    let make_checkpoint = |exec: &Execution<'_, AlgAu>,
+                           sched: &dyn Scheduler,
+                           injector: &Option<FaultInjector<unison_core::Turn>>,
+                           phase: u64,
+                           stab_rounds: Option<u64>,
+                           stab_steps: Option<u64>,
+                           violations: &[String],
+                           verify_start_round: u64|
+     -> Result<JsonValue, SpecError> {
+        let snap = exec
+            .snapshot()
+            .to_json_indexed(&palette)
+            .ok_or("checkpoint: a state left the algorithm's palette")?;
+        Ok(JsonValue::object([
+            ("execution".to_string(), snap),
+            ("phase".to_string(), u64_to_json(phase)),
+            (
+                "stab_rounds".to_string(),
+                stab_rounds.map_or(JsonValue::Null, u64_to_json),
+            ),
+            (
+                "stab_steps".to_string(),
+                stab_steps.map_or(JsonValue::Null, u64_to_json),
+            ),
+            (
+                "violations".to_string(),
+                JsonValue::Array(
+                    violations
+                        .iter()
+                        .map(|v| JsonValue::String(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "verify_start_round".to_string(),
+                u64_to_json(verify_start_round),
+            ),
+            (
+                "scheduler_position".to_string(),
+                u64_to_json(sched.checkpoint_position()),
+            ),
+            (
+                "injector".to_string(),
+                injector
+                    .as_ref()
+                    .map_or(JsonValue::Null, |i| i.snapshot().to_json()),
+            ),
+        ]))
+    };
+
+    let mut steps_this_invocation: u64 = 0;
+    loop {
+        // Phase exit conditions are evaluated at step boundaries only.
+        if phase == PHASE_STABILIZING && stab_rounds.is_none() && exec.rounds() >= max_rounds {
+            break; // budget exhausted
+        }
+        if phase == PHASE_VERIFYING && exec.rounds() >= verify_start_round + verify_rounds {
+            let changes = exec.output_change_counts().to_vec();
+            violations.extend(checker.check_window(
+                graph,
+                &changes,
+                exec.rounds() - verify_start_round,
+            ));
+            break;
+        }
+        // Simulated kill: stop between steps with a resumable checkpoint.
+        if let Some(allowance) = policy.interrupt_after_steps {
+            if steps_this_invocation >= allowance {
+                let doc = make_checkpoint(
+                    &exec,
+                    sched.as_ref(),
+                    &injector,
+                    phase,
+                    stab_rounds,
+                    stab_steps,
+                    &violations,
+                    verify_start_round,
+                )?;
+                if let Some(sink) = policy.sink {
+                    sink(&doc);
+                }
+                return Ok(UnitOutcome::Interrupted(doc));
+            }
+        }
+
+        let outcome = exec.step_with(&mut *sched);
+        steps_this_invocation += 1;
+        if outcome.round_completed {
+            if phase == PHASE_STABILIZING && oracle.is_legitimate(graph, exec.configuration()) {
+                stab_rounds = Some(exec.rounds());
+                stab_steps = Some(exec.time());
+                phase = PHASE_VERIFYING;
+                exec.take_output_change_counts();
+                verify_start_round = exec.rounds();
+            } else if phase == PHASE_VERIFYING {
+                for v in checker.check_snapshot(graph, exec.configuration()) {
+                    violations.push(format!("round {}: {v}", exec.rounds()));
+                }
+            }
+            if let Some(injector) = injector.as_mut() {
+                injector.on_round(&mut exec);
+            }
+        }
+        if policy.every_steps > 0 && exec.time().is_multiple_of(policy.every_steps) {
+            if let Some(sink) = policy.sink {
+                let doc = make_checkpoint(
+                    &exec,
+                    sched.as_ref(),
+                    &injector,
+                    phase,
+                    stab_rounds,
+                    stab_steps,
+                    &violations,
+                    verify_start_round,
+                )?;
+                sink(&doc);
+            }
+        }
+    }
+
+    Ok(UnitOutcome::Complete(UnitResult {
+        stabilization_rounds: stab_rounds,
+        stabilization_steps: stab_steps,
+        verification_rounds: if stab_rounds.is_some() {
+            exec.rounds() - verify_start_round
+        } else {
+            0
+        },
+        violations,
+        faults_injected: injector.as_ref().map_or(0, FaultInjector::faults_injected),
+        total_steps: exec.time(),
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Instant (artifact) tasks — shared by E1/E2 and the CLI
+// ---------------------------------------------------------------------------
+
+/// The E1 artifacts at a diameter bound: the rendered transition table, the
+/// Graphviz DOT state diagram and the per-kind rule counts `(AA, AF, FA)`.
+pub fn transition_table_artifacts(
+    diameter_bound: usize,
+) -> (String, String, (usize, usize, usize)) {
+    let alg = AlgAu::new(diameter_bound);
+    let rows = alg.transition_table();
+    let mut table = format!("{:<14} {:<6} {:<14} condition\n", "from", "type", "to");
+    for row in &rows {
+        table.push_str(&format!(
+            "{:<14} {:<6} {:<14} {}\n",
+            row.from.to_string(),
+            format!("{:?}", row.kind),
+            row.to.to_string(),
+            row.condition
+        ));
+    }
+    let count = |kind| rows.iter().filter(|r| r.kind == kind).count();
+    (
+        table,
+        alg.state_diagram_dot(),
+        (
+            count(unison_core::TransitionKind::AbleAble),
+            count(unison_core::TransitionKind::AbleFaulty),
+            count(unison_core::TransitionKind::FaultyAble),
+        ),
+    )
+}
+
+/// E1 as rows: one row per rule kind, so the counts land in reports.
+pub fn transition_table_rows(id: &str, diameter_bound: usize) -> Vec<ExperimentRow> {
+    let (_, _, (aa, af, fa)) = transition_table_artifacts(diameter_bound);
+    let alg = AlgAu::new(diameter_bound);
+    [
+        ("algau-states", alg.state_count()),
+        ("aa-rules", aa),
+        ("af-rules", af),
+        ("fa-rules", fa),
+    ]
+    .into_iter()
+    .map(|(metric, count)| ExperimentRow {
+        experiment: id.to_string(),
+        topology: "-".into(),
+        n: 0,
+        diameter_bound,
+        scheduler: "-".into(),
+        metric: metric.into(),
+        summary: Summary::of(&[count as f64]),
+        failures: 0,
+    })
+    .collect()
+}
+
+/// E2 as rows: AlgAU's state count at every bound, plus (optionally) the
+/// derived algorithms' counts.
+pub fn state_space_rows(
+    id: &str,
+    diameter_bounds: &[usize],
+    include_derived: bool,
+) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for &d in diameter_bounds {
+        let alg = AlgAu::new(d);
+        rows.push(ExperimentRow {
+            experiment: id.to_string(),
+            topology: "-".into(),
+            n: 0,
+            diameter_bound: d,
+            scheduler: "-".into(),
+            metric: "algau-states".into(),
+            summary: Summary::of(&[alg.state_count() as f64]),
+            failures: 0,
+        });
+        if include_derived {
+            rows.extend(derived_state_space_rows(id, &[d]));
+        }
+    }
+    rows
+}
+
+/// The state-space counts of the algorithms *derived* from AlgAU (LE, MIS
+/// and their synchronized asynchronous versions), one row per metric per
+/// bound.
+pub fn derived_state_space_rows(id: &str, diameter_bounds: &[usize]) -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+    for &d in diameter_bounds {
+        let le = sa_protocols::alg_le(d);
+        let mis = sa_protocols::alg_mis(d);
+        let async_le = sa_synchronizer::async_le(d);
+        let async_mis = sa_synchronizer::async_mis(d);
+        for (metric, count) in [
+            ("algle-states", le.state_count()),
+            ("algmis-states", mis.state_count()),
+            ("async-le-states", async_le.state_space_size()),
+            ("async-mis-states", async_mis.state_space_size()),
+        ] {
+            rows.push(ExperimentRow {
+                experiment: id.to_string(),
+                topology: "-".into(),
+                n: 0,
+                diameter_bound: d,
+                scheduler: "-".into(),
+                metric: metric.into(),
+                summary: Summary::of(&[count as f64]),
+                failures: 0,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and rendering
+// ---------------------------------------------------------------------------
+
+/// Aggregates completed units into one [`ExperimentRow`] per sweep cell
+/// (task × topology × scheduler × engine), summarizing rounds over seeds.
+/// Units must be in expansion order (seed-major within a cell, as
+/// [`SweepSpec::stabilization_units`] produces them).
+pub fn aggregate_rows(units: &[(SweepUnit, UnitResult)]) -> Vec<ExperimentRow> {
+    let mut rows: Vec<ExperimentRow> = Vec::new();
+    let mut cell_of_row: Vec<(String, String, String, String)> = Vec::new();
+    let mut samples: Vec<Vec<u64>> = Vec::new();
+    let mut failures: Vec<usize> = Vec::new();
+    for (unit, result) in units {
+        let key = (
+            unit.task_id.clone(),
+            unit.topology.label(),
+            unit.scheduler.label(),
+            unit.engine.label(),
+        );
+        let idx = match cell_of_row.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                // Build the graph once per cell for its size and (when the
+                // spec leaves the bound implicit) its exact diameter.
+                let graph = unit.topology.build(unit.graph_seed);
+                let graph_n = graph.node_count();
+                let d = unit.diameter_bound.unwrap_or_else(|| graph.diameter());
+                cell_of_row.push(key);
+                samples.push(Vec::new());
+                failures.push(0);
+                rows.push(ExperimentRow {
+                    experiment: unit.task_id.clone(),
+                    topology: unit.topology.label(),
+                    n: graph_n,
+                    diameter_bound: d,
+                    scheduler: unit.scheduler.label(),
+                    metric: format!("rounds-to-good@{}", unit.engine.label()),
+                    summary: Summary::of(&[0.0]), // replaced below
+                    failures: 0,
+                });
+                rows.len() - 1
+            }
+        };
+        match result.stabilization_rounds {
+            Some(r) => samples[idx].push(r),
+            None => failures[idx] += 1,
+        }
+        if !result.violations.is_empty() {
+            failures[idx] += 1;
+        }
+    }
+    for (idx, row) in rows.iter_mut().enumerate() {
+        let cell_samples = if samples[idx].is_empty() {
+            vec![0]
+        } else {
+            samples[idx].clone()
+        };
+        row.summary = Summary::of_u64(&cell_samples);
+        row.failures = failures[idx];
+    }
+    rows
+}
+
+/// Renders the machine-readable `EXPERIMENTS.json` document: spec echo,
+/// aggregate rows and per-unit results. Fully deterministic (no timestamps,
+/// no environment echo) so an interrupted-and-resumed sweep produces a
+/// byte-identical document.
+pub fn render_json(
+    spec: &SweepSpec,
+    rows: &[ExperimentRow],
+    units: &[(SweepUnit, UnitResult)],
+) -> JsonValue {
+    JsonValue::object([
+        ("name".to_string(), JsonValue::String(spec.name.clone())),
+        ("graph_seed".to_string(), u64_to_json(spec.graph_seed)),
+        ("rows".to_string(), sa_model::metrics::rows_to_json(rows)),
+        (
+            "units".to_string(),
+            JsonValue::Array(
+                units
+                    .iter()
+                    .map(|(unit, result)| {
+                        JsonValue::object([
+                            ("id".to_string(), JsonValue::String(unit.id())),
+                            ("result".to_string(), result.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Renders the human-readable `EXPERIMENTS.md` document.
+pub fn render_markdown(
+    spec: &SweepSpec,
+    rows: &[ExperimentRow],
+    artifacts: &[(String, String)],
+    units: &[(SweepUnit, UnitResult)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Experiments — {}\n\n", spec.name));
+    let clean = units.iter().filter(|(_, r)| r.is_clean()).count();
+    if !units.is_empty() {
+        out.push_str(&format!(
+            "{} sweep units ({} clean, {} failed or violated).\n\n",
+            units.len(),
+            clean,
+            units.len() - clean
+        ));
+    }
+    if !rows.is_empty() {
+        out.push_str("```text\n");
+        out.push_str(&sa_model::metrics::render_table(rows));
+        out.push_str("```\n");
+    }
+    for (name, body) in artifacts {
+        out.push_str(&format!("\n## {name}\n\n```text\n{body}\n```\n"));
+    }
+    out
+}
+
+/// Runs a spec's instant (artifact) tasks, returning report rows and named
+/// artifacts.
+pub fn run_instant_tasks(spec: &SweepSpec) -> (Vec<ExperimentRow>, Vec<(String, String)>) {
+    let mut rows = Vec::new();
+    let mut artifacts = Vec::new();
+    for task in &spec.tasks {
+        match task {
+            SweepTask::TransitionTable { id, diameter_bound } => {
+                rows.extend(transition_table_rows(id, *diameter_bound));
+                let (table, dot, _) = transition_table_artifacts(*diameter_bound);
+                artifacts.push((format!("{id}: Table 1 (D = {diameter_bound})"), table));
+                artifacts.push((format!("{id}: Figure 1 DOT (D = {diameter_bound})"), dot));
+            }
+            SweepTask::StateSpace {
+                id,
+                diameter_bounds,
+                include_derived,
+            } => {
+                rows.extend(state_space_rows(id, diameter_bounds, *include_derived));
+            }
+            SweepTask::Stabilization(_) => {}
+        }
+    }
+    (rows, artifacts)
+}
+
+/// Convenience: runs an entire spec in-process without persistence —
+/// expands, executes every unit (serially, honoring each unit's engine
+/// selection) and returns the aggregate report pieces. The CLI adds
+/// parallel fan-out, checkpoint persistence and file output on top.
+pub fn run_spec_in_process(spec: &SweepSpec) -> Result<ExperimentReport, SpecError> {
+    let units = spec.stabilization_units();
+    let mut done = Vec::with_capacity(units.len());
+    for unit in units {
+        match run_unit(&unit, &CheckpointPolicy::default())? {
+            UnitOutcome::Complete(result) => done.push((unit, result)),
+            UnitOutcome::Interrupted(_) => unreachable!("no interrupt policy"),
+        }
+    }
+    let (mut rows, artifacts) = run_instant_tasks(spec);
+    rows.extend(aggregate_rows(&done));
+    let mut report = ExperimentReport::new(
+        &spec.name,
+        "declarative sweep",
+        "spec-driven sweep (see examples/specs/)",
+    );
+    let clean = done.iter().filter(|(_, r)| r.is_clean()).count();
+    report.verdict = format!("{clean}/{} units clean", done.len());
+    report.rows = rows;
+    report.artifacts = artifacts;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"{
+      "name": "test-sweep",
+      "graph_seed": 17,
+      "tasks": [
+        {"id": "T1", "kind": "transition-table", "diameter_bound": 2},
+        {"id": "S1", "kind": "state-space", "diameter_bounds": [1, 2, 3]},
+        {
+          "id": "R1",
+          "kind": "stabilization",
+          "topologies": [{"kind": "cycle", "n": 6}, {"kind": "hypercube", "dim": 2}],
+          "schedulers": ["synchronous", "round-robin"],
+          "engines": ["serial", {"kind": "sharded", "threads": 2}],
+          "fault": {"kind": "burst", "at_round": 2, "count": 1},
+          "seeds": 2,
+          "max_rounds": 5000
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn spec_parses_and_expands_deterministically() {
+        let spec = SweepSpec::parse(SMOKE).expect("spec parses");
+        assert_eq!(spec.name, "test-sweep");
+        assert_eq!(spec.tasks.len(), 3);
+        let units = spec.stabilization_units();
+        // 2 topologies × 2 schedulers × 2 engines × 2 seeds
+        assert_eq!(units.len(), 16);
+        let ids: Vec<String> = units.iter().map(SweepUnit::id).collect();
+        let unique: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "unit ids must be unique");
+        assert!(ids[0].starts_with("R1--cycle-6--synchronous--serial--s0"));
+    }
+
+    #[test]
+    fn spec_errors_name_the_offending_field() {
+        let err = SweepSpec::parse("{\"name\": \"x\", \"tasks\": []}").unwrap_err();
+        assert!(err.contains("tasks"), "{err}");
+        let err =
+            SweepSpec::parse("{\"name\": \"x\", \"tasks\": [{\"id\": \"a\", \"kind\": \"nope\"}]}")
+                .unwrap_err();
+        assert!(err.contains("unknown task kind"), "{err}");
+        let err = SweepSpec::parse(
+            "{\"name\": \"x\", \"tasks\": [{\"id\": \"a\", \"kind\": \"stabilization\", \
+             \"topologies\": [{\"kind\": \"warp\"}], \"schedulers\": [\"synchronous\"]}]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown topology kind"), "{err}");
+    }
+
+    #[test]
+    fn units_run_clean_and_aggregate() {
+        let spec = SweepSpec::parse(SMOKE).unwrap();
+        let units = spec.stabilization_units();
+        let mut done = Vec::new();
+        for unit in units {
+            match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
+                UnitOutcome::Complete(result) => {
+                    assert!(result.is_clean(), "unit {} failed: {result:?}", unit.id());
+                    assert!(result.faults_injected > 0, "burst plan must fire");
+                    done.push((unit, result));
+                }
+                UnitOutcome::Interrupted(_) => panic!("no interruption requested"),
+            }
+        }
+        let rows = aggregate_rows(&done);
+        assert_eq!(rows.len(), 8, "one row per cell");
+        assert!(rows.iter().all(|r| r.failures == 0));
+        assert!(rows.iter().any(|r| r.metric == "rounds-to-good@serial"));
+        assert!(rows.iter().any(|r| r.metric == "rounds-to-good@sharded-2"));
+    }
+
+    #[test]
+    fn serial_and_sharded_units_measure_identical_rounds() {
+        // serial ≡ sharded bit-for-bit means the measured stabilization
+        // rounds of paired units must agree exactly.
+        let spec = SweepSpec::parse(SMOKE).unwrap();
+        let units = spec.stabilization_units();
+        let run = |unit: &SweepUnit| match run_unit(unit, &CheckpointPolicy::default()).unwrap() {
+            UnitOutcome::Complete(r) => r,
+            _ => unreachable!(),
+        };
+        for pair in units.chunks(4) {
+            // expansion order is engine-major then seed: [serial s0, serial
+            // s1, sharded s0, sharded s1]
+            assert_eq!(
+                run(&pair[0]),
+                run(&pair[2]),
+                "engine changed the measurement"
+            );
+            assert_eq!(run(&pair[1]), run(&pair[3]));
+        }
+    }
+
+    #[test]
+    fn interrupt_and_resume_is_bit_identical() {
+        let spec = SweepSpec::parse(SMOKE).unwrap();
+        let unit = &spec.stabilization_units()[5];
+        let reference = match run_unit(unit, &CheckpointPolicy::default()).unwrap() {
+            UnitOutcome::Complete(r) => r,
+            _ => unreachable!(),
+        };
+        // Interrupt after 7 steps, then resume from the checkpoint; repeat
+        // the kill several times to cross phase boundaries.
+        let mut checkpoint: Option<JsonValue> = None;
+        let mut resumed = None;
+        for _ in 0..200 {
+            let policy = CheckpointPolicy {
+                every_steps: 0,
+                sink: None,
+                resume_from: checkpoint.as_ref(),
+                interrupt_after_steps: Some(7),
+            };
+            match run_unit(unit, &policy).unwrap() {
+                UnitOutcome::Complete(r) => {
+                    resumed = Some(r);
+                    break;
+                }
+                UnitOutcome::Interrupted(doc) => {
+                    // serialize → parse to prove the on-disk form works
+                    let text = doc.render_pretty();
+                    checkpoint = Some(JsonValue::parse(&text).unwrap());
+                }
+            }
+        }
+        let resumed = resumed.expect("unit finished within the kill budget");
+        assert_eq!(resumed, reference, "resumed unit diverged");
+    }
+
+    #[test]
+    fn render_json_is_deterministic() {
+        let spec = SweepSpec::parse(SMOKE).unwrap();
+        let unit = spec.stabilization_units().remove(0);
+        let result = match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
+            UnitOutcome::Complete(r) => r,
+            _ => unreachable!(),
+        };
+        let done = vec![(unit, result)];
+        let rows = aggregate_rows(&done);
+        let a = render_json(&spec, &rows, &done).render_pretty();
+        let b = render_json(&spec, &rows, &done).render_pretty();
+        assert_eq!(a, b);
+        let md = render_markdown(&spec, &rows, &[], &done);
+        assert!(md.contains("# Experiments — test-sweep"));
+        assert!(md.contains("rounds-to-good@serial"));
+    }
+
+    #[test]
+    fn instant_tasks_produce_rows_and_artifacts() {
+        let spec = SweepSpec::parse(SMOKE).unwrap();
+        let (rows, artifacts) = run_instant_tasks(&spec);
+        assert!(rows.iter().any(|r| r.metric == "algau-states"));
+        assert!(rows.iter().any(|r| r.metric == "aa-rules"));
+        assert_eq!(artifacts.len(), 2);
+        assert!(artifacts[1].1.contains("digraph"));
+    }
+
+    #[test]
+    fn unit_result_json_roundtrips() {
+        let result = UnitResult {
+            stabilization_rounds: Some(12),
+            stabilization_steps: Some(40),
+            violations: vec!["round 3: bad".into()],
+            verification_rounds: 16,
+            faults_injected: 4,
+            total_steps: 96,
+        };
+        let text = result.to_json().render();
+        let back = UnitResult::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, result);
+        let failed = UnitResult {
+            stabilization_rounds: None,
+            stabilization_steps: None,
+            violations: vec![],
+            verification_rounds: 0,
+            faults_injected: 0,
+            total_steps: 10,
+        };
+        let text = failed.to_json().render();
+        assert_eq!(
+            UnitResult::from_json(&JsonValue::parse(&text).unwrap()).unwrap(),
+            failed
+        );
+    }
+}

@@ -248,6 +248,30 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's internal xoshiro256++ state words, for
+        /// checkpointing. Restoring via [`StdRng::from_state`] resumes the
+        /// stream exactly where [`StdRng::state`] captured it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words captured by
+        /// [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if the state is all-zero (xoshiro256++ cannot leave the
+        /// zero state; no call to [`StdRng::state`] can produce it).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s != [0; 4],
+                "the all-zero state is not a valid xoshiro256++ state"
+            );
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(mut state: u64) -> Self {
             let mut s = [0u64; 4];
@@ -380,6 +404,24 @@ mod tests {
         let second = a.next_u64();
         assert_eq!(second, b.next_u64());
         assert_ne!(first, second);
+    }
+
+    #[test]
+    fn std_rng_state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(41);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero state")]
+    fn std_rng_rejects_zero_state() {
+        StdRng::from_state([0; 4]);
     }
 
     #[test]

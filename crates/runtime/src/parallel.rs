@@ -8,7 +8,7 @@
 //! atomic cursor so uneven trial durations balance automatically.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of worker threads used by [`par_map`]: the machine's available
 /// parallelism, overridable through the `SA_BENCH_THREADS` environment
@@ -74,6 +74,86 @@ where
     })
 }
 
+/// A shared cancellation flag for [`par_map_cancellable`].
+///
+/// Workers consult the token between items: once cancelled, no *new* item is
+/// started (items already in flight run to completion — work units are
+/// expected to reach a safe checkpoint on their own, e.g. through the sweep
+/// runner's per-unit checkpoint policy). The token is cheap to share by
+/// reference across threads and can be triggered from inside a work item,
+/// from a signal handler thread, or from a supervising server loop.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation: no new work items start after this returns.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Like [`par_map`], but stops handing out new items once `cancel` fires.
+///
+/// Returns one `Option<R>` per input item, in input order: `Some` for items
+/// that ran (items already started when cancellation hit still complete),
+/// `None` for items that were never started. The caller distinguishes a
+/// completed sweep (`all Some`) from an interrupted one and persists the
+/// un-run items for a later resume.
+pub fn par_map_cancellable<T, R, F>(items: &[T], cancel: &CancelToken, f: F) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = thread_count().min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .map(|item| (!cancel.is_cancelled()).then(|| f(item)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut chunk = Vec::new();
+                    loop {
+                        if cancel.is_cancelled() {
+                            return chunk;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return chunk;
+                        }
+                        chunk.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        let mut results: Vec<Option<R>> =
+            std::iter::repeat_with(|| None).take(items.len()).collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("trial worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+        results
+    })
+}
+
 /// Convenience wrapper running `f` once per seed in `0..seeds`, in parallel.
 pub fn par_seeds<R, F>(seeds: u64, f: F) -> Vec<R>
 where
@@ -114,5 +194,51 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn cancellable_map_without_cancellation_equals_par_map() {
+        let items: Vec<u64> = (0..37).collect();
+        let token = CancelToken::new();
+        let results = par_map_cancellable(&items, &token, |&x| x + 1);
+        assert!(results.iter().all(Option::is_some));
+        let unwrapped: Vec<u64> = results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(unwrapped, par_map(&items, |&x| x + 1));
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_from_inside_a_work_item_skips_the_tail() {
+        let items: Vec<usize> = (0..64).collect();
+        let token = CancelToken::new();
+        let started = AtomicUsize::new(0);
+        let results = par_map_cancellable(&items, &token, |&i| {
+            let k = started.fetch_add(1, Ordering::Relaxed);
+            if k >= 5 {
+                token.cancel();
+            }
+            i * 2
+        });
+        let done = results.iter().filter(|r| r.is_some()).count();
+        assert!(done >= 5, "at least the first items ran ({done})");
+        assert!(
+            done < items.len(),
+            "cancellation must leave some items un-run"
+        );
+        // completed items carry correct results at their original indices
+        for (i, r) in results.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_runs_nothing() {
+        let items: Vec<u32> = (0..10).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let results = par_map_cancellable(&items, &token, |&x| x);
+        assert!(results.iter().all(Option::is_none));
     }
 }

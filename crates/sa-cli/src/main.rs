@@ -1,0 +1,61 @@
+//! `sa` — the sweep runner CLI.
+//!
+//! Runs declarative experiment sweeps (see [`sa_bench::sweep`]) from JSON
+//! spec files, with checkpoint/resume, and persists the results to
+//! `EXPERIMENTS.json` (machine-readable, byte-deterministic) and
+//! `EXPERIMENTS.md` (human-readable). Also hosts the CI perf gate
+//! (`sa bench-diff`), which compares freshly measured micro-benchmark
+//! medians against the committed `BENCH_micro.json`.
+//!
+//! ```text
+//! sa run    <spec.json> [--out DIR] [--checkpoint-every N]
+//!                       [--interrupt-after-steps N] [--interrupt-units K]
+//! sa resume <spec.json> [--out DIR] [--checkpoint-every N]
+//! sa check  <spec.json>
+//! sa bench-diff <committed.json> <fresh.json> [--max-regress FRAC]
+//! ```
+//!
+//! `run` starts a sweep from scratch; `resume` picks up completed unit
+//! results and in-flight checkpoints from the output directory's `state/`
+//! subdirectory and continues. A resumed sweep produces a byte-identical
+//! `EXPERIMENTS.json` to an uninterrupted one (pinned by the CI
+//! `sweep-smoke` job and `tests/checkpoint_roundtrip.rs`).
+//! `--interrupt-after-steps` simulates a kill: affected units stop at a
+//! step boundary after writing their checkpoint.
+
+mod benchdiff;
+mod runner;
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
+         [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
+         [--checkpoint-every N]\n  sa check  <spec.json>\n  sa bench-diff <committed.json> \
+         <fresh.json> [--max-regress FRAC]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "run" => runner::run(&args[1..], false),
+        "resume" => runner::run(&args[1..], true),
+        "check" => runner::check(&args[1..]),
+        "bench-diff" => benchdiff::run(&args[1..]),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command \"{other}\"")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("sa: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Sweep orchestration: fan-out, checkpoint persistence and report output.
+//!
+//! Directory layout under the output directory (default
+//! `experiments/<spec-name>/`):
+//!
+//! ```text
+//! EXPERIMENTS.json          # machine-readable results (byte-deterministic)
+//! EXPERIMENTS.md            # human-readable table + artifacts
+//! state/<unit>.done.json    # completed unit results (resume skips these)
+//! state/<unit>.ckpt.json    # in-flight checkpoints (resume restores these)
+//! ```
+//!
+//! All state files are written atomically (temp file + rename) so a kill
+//! mid-write can never leave a truncated checkpoint behind.
+
+use sa_bench::sweep::{
+    aggregate_rows, render_json, render_markdown, run_instant_tasks, run_unit, CheckpointPolicy,
+    SweepSpec, SweepUnit, UnitOutcome, UnitResult,
+};
+use sa_model::json::JsonValue;
+use sa_runtime::parallel::{par_map_cancellable, CancelToken};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Prints to stdout ignoring EPIPE (so `sa ... | head` exits quietly).
+fn print_out(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+struct Options {
+    spec_path: PathBuf,
+    out_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    interrupt_after_steps: Option<u64>,
+    interrupt_units: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        spec_path: PathBuf::new(),
+        out_dir: None,
+        checkpoint_every: 1000,
+        interrupt_after_steps: None,
+        interrupt_units: usize::MAX,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => options.out_dir = Some(PathBuf::from(flag_value("--out")?)),
+            "--checkpoint-every" => {
+                options.checkpoint_every = flag_value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every must be an integer".to_string())?;
+            }
+            "--interrupt-after-steps" => {
+                options.interrupt_after_steps = Some(
+                    flag_value("--interrupt-after-steps")?
+                        .parse()
+                        .map_err(|_| "--interrupt-after-steps must be an integer".to_string())?,
+                );
+            }
+            "--interrupt-units" => {
+                options.interrupt_units = flag_value("--interrupt-units")?
+                    .parse()
+                    .map_err(|_| "--interrupt-units must be an integer".to_string())?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag \"{other}\"")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    match positional.as_slice() {
+        [spec] => options.spec_path = PathBuf::from(spec),
+        [] => return Err("missing spec file".to_string()),
+        _ => return Err("expected exactly one spec file".to_string()),
+    }
+    Ok(options)
+}
+
+fn load_spec(path: &Path) -> Result<SweepSpec, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read spec {}: {e}", path.display()))?;
+    SweepSpec::parse(&text)
+}
+
+/// Atomic write: temp file in the same directory, then rename.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+}
+
+/// `sa check`: validate a spec and print its unit expansion.
+pub fn check(args: &[String]) -> Result<ExitCode, String> {
+    let options = parse_options(args)?;
+    let spec = load_spec(&options.spec_path)?;
+    let units = spec.stabilization_units();
+    let mut out = format!(
+        "spec \"{}\": {} task(s), {} stabilization unit(s)\n",
+        spec.name,
+        spec.tasks.len(),
+        units.len()
+    );
+    for unit in &units {
+        out.push_str(&format!("  {}\n", unit.id()));
+    }
+    print_out(&out);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `sa run` / `sa resume`.
+pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
+    let options = parse_options(args)?;
+    let spec = load_spec(&options.spec_path)?;
+    let out_dir = options
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("experiments").join(&spec.name));
+    let state_dir = out_dir.join("state");
+    if !resume && state_dir.exists() {
+        fs::remove_dir_all(&state_dir)
+            .map_err(|e| format!("cannot clear {}: {e}", state_dir.display()))?;
+    }
+    fs::create_dir_all(&state_dir)
+        .map_err(|e| format!("cannot create {}: {e}", state_dir.display()))?;
+
+    let units = spec.stabilization_units();
+
+    // Per-unit inputs: previously completed result (resume) or in-flight
+    // checkpoint (resume), plus this invocation's interrupt allowance.
+    struct UnitJob {
+        unit: SweepUnit,
+        done: Option<UnitResult>,
+        checkpoint: Option<JsonValue>,
+        interrupt_after_steps: Option<u64>,
+    }
+    let mut jobs = Vec::with_capacity(units.len());
+    let mut interruptible_left = options.interrupt_units;
+    for unit in units {
+        let done_path = state_dir.join(format!("{}.done.json", unit.id()));
+        let ckpt_path = state_dir.join(format!("{}.ckpt.json", unit.id()));
+        let mut done = None;
+        let mut checkpoint = None;
+        if resume {
+            if let Ok(text) = fs::read_to_string(&done_path) {
+                done = JsonValue::parse(&text)
+                    .ok()
+                    .as_ref()
+                    .and_then(UnitResult::from_json);
+                if done.is_none() {
+                    return Err(format!("corrupt unit result {}", done_path.display()));
+                }
+            } else if let Ok(text) = fs::read_to_string(&ckpt_path) {
+                checkpoint = Some(
+                    JsonValue::parse(&text)
+                        .map_err(|e| format!("corrupt checkpoint {}: {e}", ckpt_path.display()))?,
+                );
+            }
+        }
+        let interrupt_after_steps = if done.is_none() && interruptible_left > 0 {
+            options.interrupt_after_steps
+        } else {
+            None
+        };
+        if done.is_none() && interrupt_after_steps.is_some() {
+            interruptible_left -= 1;
+        }
+        jobs.push(UnitJob {
+            unit,
+            done,
+            checkpoint,
+            interrupt_after_steps,
+        });
+    }
+
+    let already_done = jobs.iter().filter(|j| j.done.is_some()).count();
+    println!(
+        "{} \"{}\": {} unit(s), {} already complete",
+        if resume { "resuming" } else { "running" },
+        spec.name,
+        jobs.len(),
+        already_done
+    );
+
+    // Fan the pending units out across threads; a unit-level error cancels
+    // the remaining queue (checkpoints keep what already ran resumable).
+    let cancel = CancelToken::new();
+    let outcomes = par_map_cancellable(&jobs, &cancel, |job| {
+        if let Some(done) = &job.done {
+            return Ok(UnitOutcome::Complete(done.clone()));
+        }
+        let unit_id = job.unit.id();
+        let ckpt_path = state_dir.join(format!("{unit_id}.ckpt.json"));
+        let sink = move |doc: &JsonValue| {
+            if let Err(e) = write_atomic(&ckpt_path, &doc.render_pretty()) {
+                eprintln!("warning: {e}");
+            }
+        };
+        let policy = CheckpointPolicy {
+            every_steps: options.checkpoint_every,
+            sink: Some(&sink),
+            resume_from: job.checkpoint.as_ref(),
+            interrupt_after_steps: job.interrupt_after_steps,
+        };
+        let outcome = run_unit(&job.unit, &policy);
+        if outcome.is_err() {
+            cancel.cancel();
+        }
+        outcome
+    });
+
+    let mut completed: Vec<(SweepUnit, UnitResult)> = Vec::new();
+    let mut interrupted = 0usize;
+    let mut skipped = 0usize;
+    let mut first_error: Option<String> = None;
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        match outcome {
+            None => skipped += 1,
+            Some(Err(e)) => {
+                // Keep draining: units that *did* complete in parallel must
+                // still persist their results so a later resume skips them.
+                if first_error.is_none() {
+                    first_error = Some(format!("unit {}: {e}", job.unit.id()));
+                }
+            }
+            Some(Ok(UnitOutcome::Interrupted(_))) => {
+                // checkpoint already persisted through the sink
+                interrupted += 1;
+            }
+            Some(Ok(UnitOutcome::Complete(result))) => {
+                if job.done.is_none() {
+                    let done_path = state_dir.join(format!("{}.done.json", job.unit.id()));
+                    write_atomic(&done_path, &result.to_json().render_pretty())?;
+                    let ckpt_path = state_dir.join(format!("{}.ckpt.json", job.unit.id()));
+                    let _ = fs::remove_file(ckpt_path);
+                }
+                completed.push((job.unit.clone(), result));
+            }
+        }
+    }
+    if let Some(error) = first_error {
+        return Err(error);
+    }
+
+    if interrupted + skipped > 0 {
+        println!(
+            "interrupted: {} unit(s) checkpointed, {} not started ({} complete); \
+             run `sa resume {} --out {}` to continue",
+            interrupted,
+            skipped,
+            completed.len(),
+            options.spec_path.display(),
+            out_dir.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Every unit finished: aggregate and persist the reports.
+    let (mut rows, artifacts) = run_instant_tasks(&spec);
+    rows.extend(aggregate_rows(&completed));
+    let json = render_json(&spec, &rows, &completed).render_pretty();
+    let markdown = render_markdown(&spec, &rows, &artifacts, &completed);
+    write_atomic(&out_dir.join("EXPERIMENTS.json"), &json)?;
+    write_atomic(&out_dir.join("EXPERIMENTS.md"), &markdown)?;
+    let clean = completed.iter().filter(|(_, r)| r.is_clean()).count();
+    println!(
+        "complete: {}/{} unit(s) clean; wrote {}/EXPERIMENTS.{{json,md}}",
+        clean,
+        completed.len(),
+        out_dir.display()
+    );
+    print_out(&markdown);
+    Ok(if clean == completed.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -6,7 +6,7 @@
 //! pending set driving the exact ϱ-operator round accounting, and — when
 //! tracing is enabled — the chronological event record (including the fault
 //! events written by [`Execution::corrupt`](crate::executor::Execution::corrupt)
-//! through [`record_fault`]).
+//! through `record_fault`).
 
 use super::evaluate::PendingUpdate;
 use crate::executor::StepOutcome;

@@ -5,7 +5,7 @@
 //! only, where the coins come from a counter-based stream keyed by
 //! `(execution seed, node, step)` ([`rand::rngs::CounterRng`]). Nothing here
 //! mutates shared state, which is what lets the sharded engine fan the
-//! activation set out across workers — each running its own [`Evaluator`] —
+//! activation set out across workers — each running its own `Evaluator` —
 //! and still produce the same [`PendingUpdate`]s the serial engine would.
 //!
 //! Per evaluator, two reused resources keep the loop allocation-free:
@@ -44,7 +44,7 @@ struct MemoEntry<S> {
 
 /// A transition computed by the evaluate stage, committed by the apply stage.
 ///
-/// After [`apply::commit`](super::apply::commit) runs, `next` holds the
+/// After `apply::commit` runs, `next` holds the
 /// node's *previous* state (the two are swapped), which the account stage
 /// uses for trace records.
 pub struct PendingUpdate<S> {

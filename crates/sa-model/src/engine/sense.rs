@@ -2,7 +2,7 @@
 //!
 //! In the SA model the signal of node `v` is the binary vector
 //! `S_v ∈ {0,1}^Q` marking which states appear in the inclusive neighborhood
-//! `N⁺(v)`. [`DenseSensing`] materializes every node's signal as a bitmask
+//! `N⁺(v)`. `DenseSensing` materializes every node's signal as a bitmask
 //! over a shared [`StateIndex`], kept up to date *incrementally*: per-node
 //! state-presence counts (`counts[q][v]` = how many nodes of `N⁺(v)` are in
 //! state `q`, stored state-major so the few states active in a step share
@@ -13,7 +13,7 @@
 //! The sense stage is **read-only during a step's evaluate stage** — every
 //! worker of the sharded engine reads the same immutable snapshot of the
 //! masks, which is what makes sharding the activation set safe — and is
-//! written back by the apply stage through [`DenseSensing::apply_change`].
+//! written back by the apply stage through `DenseSensing::apply_change`.
 
 use crate::graph::{Graph, NodeId};
 use crate::signal::StateIndex;

@@ -6,7 +6,7 @@ use crate::algorithm::Algorithm;
 use crate::graph::NodeId;
 
 /// Evaluates every activation on the calling thread with a single
-/// [`Evaluator`] lane. The default engine; optimal for small activation sets
+/// `Evaluator` lane. The default engine; optimal for small activation sets
 /// and the baseline the sharded engine is verified against.
 pub struct SerialEngine<S: Clone + Ord> {
     lane: Evaluator<S>,

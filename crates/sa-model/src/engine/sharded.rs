@@ -2,7 +2,7 @@
 //!
 //! The activation set is split into contiguous shards, one per lane; each
 //! lane evaluates its shard into a reusable per-shard buffer with its own
-//! [`Evaluator`] (scratch signal + transition memo), and the buffers are
+//! `Evaluator` (scratch signal + transition memo), and the buffers are
 //! drained back in shard order — so the updates come out in exactly the
 //! activation order the serial engine would produce. Combined with the
 //! counter-based per-node coin streams, this makes the shard count

@@ -24,7 +24,7 @@
 //!
 //! On top of the pipeline the executor layers the performance machinery
 //! introduced earlier: dense bitmask signals over a precomputed
-//! [`StateIndex`](crate::signal::StateIndex) with transparent sparse
+//! [`StateIndex`] with transparent sparse
 //! fallback, per-lane transition memoization for deterministic algorithms, a
 //! uniform-configuration bulk fast path, and buffer reuse throughout — the
 //! warm step loop performs **zero heap allocations** (tracing off), on both
@@ -37,6 +37,7 @@ use crate::graph::{Graph, NodeId};
 use crate::metrics::NodeCounters;
 use crate::scheduler::ActivationSet;
 use crate::signal::{Signal, StateIndex};
+use crate::snapshot::ExecutionSnapshot;
 use crate::trace::Trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -371,6 +372,76 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 }
             }
         }
+    }
+
+    /// Captures the execution's complete mutable state at the current step
+    /// boundary (see [`crate::snapshot`]).
+    ///
+    /// The snapshot plus the construction inputs (algorithm, graph, signal
+    /// mode, engine kind) fully determine the rest of the run: transition
+    /// coins are pure functions of `(seed, node, step)`, and the scheduler
+    /// RNG stream position is captured exactly — so a restored execution is
+    /// bit-identical to one that was never interrupted. Any recorded trace is
+    /// *not* captured.
+    pub fn snapshot(&self) -> ExecutionSnapshot<A::State> {
+        ExecutionSnapshot {
+            config: self.config.clone(),
+            time: self.time,
+            rounds: self.rounds,
+            pending: self.pending.clone(),
+            counters: self.counters.clone(),
+            seed: self.seed,
+            sched_rng: self.sched_rng.state(),
+            dense: self.sensing.is_some(),
+        }
+    }
+
+    /// Restores the mutable state captured by [`Execution::snapshot`],
+    /// repositioning this execution at the snapshot's step boundary.
+    ///
+    /// The sense stage is rebuilt from the restored configuration (dense iff
+    /// the snapshot was dense and the algorithm still enumerates a usable
+    /// state space) and all per-lane engine caches are flushed. If tracing is
+    /// enabled, the trace restarts at the restored configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count differs from this execution's.
+    pub fn restore(&mut self, snapshot: &ExecutionSnapshot<A::State>) {
+        let n = self.config.len();
+        assert_eq!(
+            snapshot.config.len(),
+            n,
+            "snapshot node count must match the execution"
+        );
+        assert_eq!(
+            snapshot.pending.len(),
+            n,
+            "snapshot pending flags must match the node count"
+        );
+        self.config = snapshot.config.clone();
+        self.time = snapshot.time;
+        self.rounds = snapshot.rounds;
+        self.pending = snapshot.pending.clone();
+        self.pending_count = snapshot.pending.iter().filter(|p| **p).count();
+        self.counters = snapshot.counters.clone();
+        self.seed = snapshot.seed;
+        self.sched_rng = StdRng::from_state(snapshot.sched_rng);
+        self.all_changed = false;
+        self.last_changed.clear();
+        if self.trace.is_some() {
+            self.trace = Some(Trace::new(self.config.clone()));
+        }
+        self.sensing = if snapshot.dense {
+            self.algorithm.dense_state_space().and_then(|states| {
+                DenseSensing::build(Arc::new(StateIndex::new(states)), self.graph, &self.config)
+            })
+        } else {
+            None
+        };
+        // The dense index the per-lane memo/scratch caches referred to is
+        // gone; flush them regardless of the restored representation.
+        self.engine.on_degrade();
     }
 
     /// Drops the dense sense stage and continues on the sparse fallback.
@@ -752,6 +823,27 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
         if self.trace {
             exec.enable_trace();
         }
+        exec
+    }
+
+    /// Finishes the builder positioned at a checkpoint snapshot: the
+    /// execution starts at the snapshot's configuration, step/round counters,
+    /// metrics and scheduler-RNG position instead of at time 0. The builder's
+    /// `seed` is superseded by the snapshot's, and the signal representation
+    /// is dictated by the snapshot (dense iff it was dense at capture), not
+    /// by [`ExecutionBuilder::signal_mode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's node count differs from the graph's.
+    pub fn resume(mut self, snapshot: &ExecutionSnapshot<A::State>) -> Execution<'a, A> {
+        // Skip the dense sense-stage construction for the initial
+        // configuration — [`Execution::restore`] immediately rebuilds the
+        // representation the snapshot dictates, so building it here would be
+        // pure wasted `O(n · |Q|)` startup work on the resume path.
+        self.mode = SignalMode::Sparse;
+        let mut exec = self.initial(snapshot.config.clone());
+        exec.restore(snapshot);
         exec
     }
 
@@ -1203,6 +1295,80 @@ mod tests {
         exec.step(&[1, 1, 1]);
         assert_eq!(exec.activation_counts()[1], 1);
         assert_eq!(exec.configuration(), &[1, 1, 0]);
+    }
+
+    // ---- snapshot / restore ---------------------------------------------------
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let g = Graph::grid(3, 3);
+        let init: Vec<u8> = (0..9).map(|v| (v % 4) as u8).collect();
+        let mut reference = ExecutionBuilder::new(&Coin, &g)
+            .seed(5)
+            .initial(init.clone());
+        let mut interrupted = ExecutionBuilder::new(&Coin, &g).seed(5).initial(init);
+        let mut sched_a = UniformRandomScheduler::new(0.6);
+        let mut sched_b = UniformRandomScheduler::new(0.6);
+        for _ in 0..13 {
+            reference.step_with(&mut sched_a);
+            interrupted.step_with(&mut sched_b);
+        }
+        let snap = interrupted.snapshot();
+        drop(interrupted);
+        // A fresh execution resumed from the snapshot continues identically.
+        let mut resumed = ExecutionBuilder::new(&Coin, &g).seed(999).resume(&snap);
+        assert_eq!(resumed.time(), reference.time());
+        assert_eq!(resumed.rounds(), reference.rounds());
+        for step in 0..30 {
+            let a = reference.step_with(&mut sched_a);
+            let b = resumed.step_with(&mut sched_b);
+            assert_eq!(a, b, "step {step} diverged after resume");
+            assert_eq!(reference.configuration(), resumed.configuration());
+        }
+        assert_eq!(reference.counters(), resumed.counters());
+        assert!(resumed.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn restore_repositions_a_live_execution() {
+        let g = Graph::path(5);
+        let mut exec = Execution::new(&Spread, &g, vec![1, 0, 0, 0, 0], 2);
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 2);
+        let snap = exec.snapshot();
+        let cfg_at_snap = exec.configuration().to_vec();
+        exec.run_rounds(&mut sched, 3); // wander off
+        exec.restore(&snap);
+        assert_eq!(exec.configuration(), &cfg_at_snap[..]);
+        assert_eq!(exec.time(), snap.time);
+        assert_eq!(exec.rounds(), snap.rounds);
+        assert_eq!(exec.counters(), &snap.counters);
+        assert!(exec.last_changed().is_empty());
+        assert!(exec.validate_incremental_sensing());
+    }
+
+    #[test]
+    fn snapshot_preserves_the_sparse_degrade() {
+        let g = Graph::path(3);
+        let mut exec = Execution::new(&Spread, &g, vec![0, 0, 0], 0);
+        exec.corrupt(1, 77); // degrade to sparse
+        assert!(!exec.uses_dense_signals());
+        let snap = exec.snapshot();
+        assert!(!snap.dense);
+        let resumed = ExecutionBuilder::new(&Spread, &g).resume(&snap);
+        assert!(!resumed.uses_dense_signals());
+        assert_eq!(resumed.configuration(), &[0, 77, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must match")]
+    fn restore_rejects_mismatched_snapshots() {
+        let g3 = Graph::path(3);
+        let g4 = Graph::path(4);
+        let donor = Execution::new(&Spread, &g4, vec![0; 4], 0);
+        let snap = donor.snapshot();
+        let mut exec = Execution::new(&Spread, &g3, vec![0; 3], 0);
+        exec.restore(&snap);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use crate::algorithm::Algorithm;
 use crate::executor::Execution;
 use crate::graph::NodeId;
+use crate::json::JsonValue;
+use crate::snapshot::{u64_from_json, u64_to_json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -92,6 +94,26 @@ impl<S: Clone> FaultInjector<S> {
         &self.plan
     }
 
+    /// Captures the injector's mutable state (RNG position and counters) for
+    /// checkpointing. The plan and palette are construction parameters and are
+    /// *not* captured — rebuild the injector from the same spec, then
+    /// [`FaultInjector::restore`] the snapshot, and it continues the exact
+    /// corruption sequence an uninterrupted injector would have produced.
+    pub fn snapshot(&self) -> FaultInjectorSnapshot {
+        FaultInjectorSnapshot {
+            rng_state: self.rng.state(),
+            faults_injected: self.faults_injected,
+            last_round_seen: self.last_round_seen,
+        }
+    }
+
+    /// Restores the mutable state captured by [`FaultInjector::snapshot`].
+    pub fn restore(&mut self, snapshot: &FaultInjectorSnapshot) {
+        self.rng = StdRng::from_state(snapshot.rng_state);
+        self.faults_injected = snapshot.faults_injected;
+        self.last_round_seen = snapshot.last_round_seen;
+    }
+
     fn random_state(&mut self) -> S {
         let i = self.rng.gen_range(0..self.palette.len());
         self.palette[i].clone()
@@ -160,6 +182,47 @@ impl<S: Clone> FaultInjector<S> {
                 }
             }
         }
+    }
+}
+
+/// The mutable state of a [`FaultInjector`], serializable for checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjectorSnapshot {
+    /// Internal state words of the injector's RNG stream.
+    pub rng_state: [u64; 4],
+    /// Total corruptions injected so far.
+    pub faults_injected: u64,
+    /// The last round the injector was consulted for.
+    pub last_round_seen: u64,
+}
+
+impl FaultInjectorSnapshot {
+    /// Serializes the snapshot as a JSON object (64-bit words are encoded as
+    /// decimal strings — see [`crate::snapshot`]).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "rng_state".to_string(),
+                JsonValue::Array(self.rng_state.iter().map(|w| u64_to_json(*w)).collect()),
+            ),
+            (
+                "faults_injected".to_string(),
+                u64_to_json(self.faults_injected),
+            ),
+            (
+                "last_round_seen".to_string(),
+                u64_to_json(self.last_round_seen),
+            ),
+        ])
+    }
+
+    /// Deserializes a snapshot produced by [`FaultInjectorSnapshot::to_json`].
+    pub fn from_json(value: &JsonValue) -> Option<Self> {
+        Some(FaultInjectorSnapshot {
+            rng_state: crate::snapshot::rng_state_from_json(value.get("rng_state")?)?,
+            faults_injected: u64_from_json(value.get("faults_injected")?)?,
+            last_round_seen: u64_from_json(value.get("last_round_seen")?)?,
+        })
     }
 }
 
@@ -267,6 +330,48 @@ mod tests {
             7,
         );
         assert!(cfg.iter().all(|s| [1u8, 2, 3].contains(s)));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_corruption_sequence() {
+        let g = Graph::complete(6);
+        let alg = Identity;
+        let plan = FaultPlan::Periodic {
+            period: 2,
+            count: 2,
+        };
+        let palette = vec![1u8, 2, 3];
+        let mut sched = SynchronousScheduler;
+
+        // Uninterrupted reference run.
+        let mut exec_a = Execution::new(&alg, &g, vec![0u8; 6], 9);
+        let mut inj_a = FaultInjector::new(plan.clone(), palette.clone(), 9);
+        // Interrupted run: snapshot after 6 rounds, rebuild, restore, continue.
+        let mut exec_b = Execution::new(&alg, &g, vec![0u8; 6], 9);
+        let mut inj_b = FaultInjector::new(plan.clone(), palette.clone(), 9);
+        for _ in 0..6 {
+            exec_a.step_with(&mut sched);
+            inj_a.on_round(&mut exec_a);
+            exec_b.step_with(&mut sched);
+            inj_b.on_round(&mut exec_b);
+        }
+        let snap = inj_b.snapshot();
+        let json = snap.to_json().render();
+        let parsed =
+            FaultInjectorSnapshot::from_json(&crate::json::JsonValue::parse(&json).unwrap())
+                .expect("snapshot JSON roundtrip");
+        assert_eq!(parsed, snap);
+        let mut inj_b = FaultInjector::new(plan, palette, 12345); // wrong seed on purpose
+        inj_b.restore(&parsed);
+        for _ in 0..8 {
+            exec_a.step_with(&mut sched);
+            let va = inj_a.on_round(&mut exec_a);
+            exec_b.step_with(&mut sched);
+            let vb = inj_b.on_round(&mut exec_b);
+            assert_eq!(va, vb, "victims diverged after restore");
+            assert_eq!(exec_a.configuration(), exec_b.configuration());
+        }
+        assert_eq!(inj_a.faults_injected(), inj_b.faults_injected());
     }
 
     #[test]

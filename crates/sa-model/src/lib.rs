@@ -70,6 +70,7 @@ pub mod json;
 pub mod metrics;
 pub mod scheduler;
 pub mod signal;
+pub mod snapshot;
 pub mod topology;
 pub mod trace;
 
@@ -86,6 +87,7 @@ pub mod prelude {
         Scheduler, ScriptedScheduler, SynchronousScheduler, UniformRandomScheduler,
     };
     pub use crate::signal::{DenseSignal, Signal, StateIndex};
+    pub use crate::snapshot::ExecutionSnapshot;
     pub use crate::topology::Topology;
 }
 

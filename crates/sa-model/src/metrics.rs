@@ -113,6 +113,28 @@ impl NodeCounters {
         }
     }
 
+    /// Rebuilds counters from their three per-node vectors (used when
+    /// restoring an execution from a checkpoint snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_parts(
+        activations: Vec<u64>,
+        state_changes: Vec<u64>,
+        output_changes: Vec<u64>,
+    ) -> Self {
+        assert!(
+            activations.len() == state_changes.len() && state_changes.len() == output_changes.len(),
+            "counter vectors must have equal lengths"
+        );
+        NodeCounters {
+            activations,
+            state_changes,
+            output_changes,
+        }
+    }
+
     /// Per-node activation counts.
     pub fn activations(&self) -> &[u64] {
         &self.activations

@@ -126,6 +126,23 @@ pub trait Scheduler {
     fn name(&self) -> &'static str {
         std::any::type_name::<Self>()
     }
+
+    /// The scheduler's mutable position, for checkpointing.
+    ///
+    /// Most schedulers are either stateless or driven purely by the step
+    /// counter and the execution-owned RNG stream (both of which the
+    /// execution snapshot already captures), so the default returns `0`.
+    /// Schedulers with their own evolving state (e.g. the round-robin
+    /// cursor) override this so that a scheduler rebuilt from the same
+    /// parameters plus [`Scheduler::restore_position`] continues the exact
+    /// activation sequence.
+    fn checkpoint_position(&self) -> u64 {
+        0
+    }
+
+    /// Restores the position captured by [`Scheduler::checkpoint_position`].
+    /// The default is a no-op (stateless schedulers).
+    fn restore_position(&mut self, _position: u64) {}
 }
 
 /// Implements the allocating [`Scheduler::activations`] in terms of an
@@ -157,6 +174,12 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn checkpoint_position(&self) -> u64 {
+        (**self).checkpoint_position()
+    }
+    fn restore_position(&mut self, position: u64) {
+        (**self).restore_position(position)
     }
 }
 
@@ -292,6 +315,12 @@ impl Scheduler for RoundRobinScheduler {
     }
     fn name(&self) -> &'static str {
         "round-robin"
+    }
+    fn checkpoint_position(&self) -> u64 {
+        self.cursor as u64
+    }
+    fn restore_position(&mut self, position: u64) {
+        self.cursor = position as usize;
     }
 }
 
@@ -544,6 +573,28 @@ mod tests {
             b.activations_into(&g, t, &mut rng(), &mut out);
             assert_eq!(via_vec.as_slice(), out.as_slice());
         }
+    }
+
+    #[test]
+    fn round_robin_checkpoint_position_roundtrips() {
+        let g = Graph::path(5);
+        let mut a = RoundRobinScheduler::default();
+        let mut r = rng();
+        for t in 0..7 {
+            a.activations(&g, t, &mut r);
+        }
+        let mut b = RoundRobinScheduler::default();
+        b.restore_position(a.checkpoint_position());
+        for t in 7..20 {
+            assert_eq!(
+                a.activations(&g, t, &mut rng()),
+                b.activations(&g, t, &mut rng())
+            );
+        }
+        // stateless schedulers report position 0 and ignore restores
+        let mut s = SynchronousScheduler;
+        assert_eq!(s.checkpoint_position(), 0);
+        s.restore_position(99);
     }
 
     #[test]

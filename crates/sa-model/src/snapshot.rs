@@ -1,0 +1,343 @@
+//! Execution checkpointing: capture and restore the mutable state of a run.
+//!
+//! Long executions (full experiment sweeps, the `sa` CLI's resumable
+//! workloads) need to survive interruption. An [`ExecutionSnapshot`] captures
+//! everything about an [`Execution`](crate::executor::Execution) that evolves
+//! over time — the configuration, step/round counters, round-pending flags,
+//! per-node metrics and the scheduler RNG stream position — while the
+//! *immutable* inputs (algorithm, graph, engine selection) are reconstructed
+//! from the original spec. Because transition coins come from counter-based
+//! streams keyed by `(seed, node, step)`, a restored execution replays the
+//! exact coin draws of the interrupted one: **resume is bit-identical** to an
+//! uninterrupted run, a property pinned by `tests/checkpoint_roundtrip.rs`.
+//!
+//! Snapshots serialize to JSON through [`crate::json`]; states are encoded
+//! through a caller-supplied codec (algorithms with an enumerable state
+//! space typically encode states as palette indices — see
+//! [`ExecutionSnapshot::to_json_indexed`]).
+//!
+//! What a snapshot does **not** capture:
+//!
+//! * the trace ([`Trace`](crate::trace::Trace) history is an observability
+//!   artifact, not execution state; restoring restarts any enabled trace at
+//!   the restored configuration), and
+//! * external driver state — the scheduler position
+//!   ([`Scheduler::checkpoint_position`](crate::scheduler::Scheduler::checkpoint_position))
+//!   and fault injector
+//!   ([`FaultInjector::snapshot`](crate::fault::FaultInjector::snapshot))
+//!   have their own snapshot hooks, which the sweep runner persists next to
+//!   the execution snapshot.
+
+use crate::json::JsonValue;
+use crate::metrics::NodeCounters;
+
+/// Exact upper bound of the integers `f64` represents losslessly.
+const F64_EXACT: u64 = 1 << 53;
+
+/// Encodes a `u64` as JSON without precision loss: values representable as
+/// `f64` integers become JSON numbers, larger ones decimal strings (RNG state
+/// words routinely use all 64 bits).
+pub fn u64_to_json(x: u64) -> JsonValue {
+    if x <= F64_EXACT {
+        JsonValue::Number(x as f64)
+    } else {
+        JsonValue::String(x.to_string())
+    }
+}
+
+/// Decodes a `u64` encoded by [`u64_to_json`] (number or decimal string).
+pub fn u64_from_json(value: &JsonValue) -> Option<u64> {
+    match value {
+        JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= F64_EXACT as f64 => {
+            Some(*x as u64)
+        }
+        JsonValue::String(s) => s.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Decodes a 4-word RNG state array encoded as JSON by the snapshot codecs,
+/// rejecting malformed arrays *and* the all-zero state (not reachable from
+/// any valid capture, and invalid to restore into xoshiro256++) — so a
+/// corrupt checkpoint surfaces as a decode error rather than a panic deep in
+/// the restore path.
+pub fn rng_state_from_json(value: &JsonValue) -> Option<[u64; 4]> {
+    let words = value.as_array()?;
+    if words.len() != 4 {
+        return None;
+    }
+    let mut state = [0u64; 4];
+    for (slot, word) in state.iter_mut().zip(words) {
+        *slot = u64_from_json(word)?;
+    }
+    if state == [0; 4] {
+        return None;
+    }
+    Some(state)
+}
+
+/// The complete mutable state of an execution at a step boundary.
+///
+/// Produced by [`Execution::snapshot`](crate::executor::Execution::snapshot),
+/// consumed by [`Execution::restore`](crate::executor::Execution::restore)
+/// (or the [`ExecutionBuilder::resume`](crate::executor::ExecutionBuilder::resume)
+/// finisher, which builds a fresh execution already positioned at the
+/// snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionSnapshot<S> {
+    /// The configuration `C_t` at the snapshot (indexed by node id).
+    pub config: Vec<S>,
+    /// The step counter `t`.
+    pub time: u64,
+    /// Completed asynchronous rounds.
+    pub rounds: u64,
+    /// Per-node "not yet activated in the current round" flags.
+    pub pending: Vec<bool>,
+    /// Per-node activity counters.
+    pub counters: NodeCounters,
+    /// The execution seed keying the per-`(node, time)` coin streams.
+    pub seed: u64,
+    /// Internal state words of the sequential scheduler RNG stream.
+    pub sched_rng: [u64; 4],
+    /// Whether the dense sensing engine was live at the snapshot (`false`
+    /// after a degrade to the sparse fallback, or under
+    /// [`SignalMode::Sparse`](crate::executor::SignalMode)); restore rebuilds
+    /// the same representation so performance characteristics carry over.
+    pub dense: bool,
+}
+
+impl<S> ExecutionSnapshot<S> {
+    /// Serializes the snapshot, encoding each state with `encode`.
+    pub fn to_json(&self, encode: impl Fn(&S) -> JsonValue) -> JsonValue {
+        JsonValue::object([
+            (
+                "config".to_string(),
+                JsonValue::Array(self.config.iter().map(&encode).collect()),
+            ),
+            ("time".to_string(), u64_to_json(self.time)),
+            ("rounds".to_string(), u64_to_json(self.rounds)),
+            (
+                "pending".to_string(),
+                JsonValue::Array(self.pending.iter().map(|p| JsonValue::Bool(*p)).collect()),
+            ),
+            (
+                "counters".to_string(),
+                JsonValue::object([
+                    (
+                        "activations".to_string(),
+                        JsonValue::Array(
+                            self.counters
+                                .activations()
+                                .iter()
+                                .copied()
+                                .map(u64_to_json)
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "state_changes".to_string(),
+                        JsonValue::Array(
+                            self.counters
+                                .state_changes()
+                                .iter()
+                                .copied()
+                                .map(u64_to_json)
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "output_changes".to_string(),
+                        JsonValue::Array(
+                            self.counters
+                                .output_changes()
+                                .iter()
+                                .copied()
+                                .map(u64_to_json)
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("seed".to_string(), u64_to_json(self.seed)),
+            (
+                "sched_rng".to_string(),
+                JsonValue::Array(self.sched_rng.iter().copied().map(u64_to_json).collect()),
+            ),
+            ("dense".to_string(), JsonValue::Bool(self.dense)),
+        ])
+    }
+
+    /// Deserializes a snapshot produced by [`ExecutionSnapshot::to_json`],
+    /// decoding each state with `decode`. Returns `None` on any structural
+    /// mismatch (missing field, wrong type, undecodable state, inconsistent
+    /// vector lengths).
+    pub fn from_json(value: &JsonValue, decode: impl Fn(&JsonValue) -> Option<S>) -> Option<Self> {
+        let config: Vec<S> = value
+            .get("config")?
+            .as_array()?
+            .iter()
+            .map(decode)
+            .collect::<Option<_>>()?;
+        let pending: Vec<bool> = value
+            .get("pending")?
+            .as_array()?
+            .iter()
+            .map(|p| match p {
+                JsonValue::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .collect::<Option<_>>()?;
+        let counters_json = value.get("counters")?;
+        let counter_vec = |key: &str| -> Option<Vec<u64>> {
+            counters_json
+                .get(key)?
+                .as_array()?
+                .iter()
+                .map(u64_from_json)
+                .collect()
+        };
+        let activations = counter_vec("activations")?;
+        let state_changes = counter_vec("state_changes")?;
+        let output_changes = counter_vec("output_changes")?;
+        let n = config.len();
+        if pending.len() != n
+            || activations.len() != n
+            || state_changes.len() != n
+            || output_changes.len() != n
+        {
+            return None;
+        }
+        let sched_rng = rng_state_from_json(value.get("sched_rng")?)?;
+        Some(ExecutionSnapshot {
+            config,
+            time: u64_from_json(value.get("time")?)?,
+            rounds: u64_from_json(value.get("rounds")?)?,
+            pending,
+            counters: NodeCounters::from_parts(activations, state_changes, output_changes),
+            seed: u64_from_json(value.get("seed")?)?,
+            sched_rng,
+            dense: match value.get("dense")? {
+                JsonValue::Bool(b) => *b,
+                _ => return None,
+            },
+        })
+    }
+}
+
+impl<S: PartialEq> ExecutionSnapshot<S> {
+    /// Serializes the snapshot encoding every state as its index in
+    /// `palette` — the natural codec for algorithms with an enumerable state
+    /// space (encode with `alg.states()` as the palette). Returns `None` if
+    /// some state is not in the palette (e.g. after a fault with an exotic
+    /// palette).
+    pub fn to_json_indexed(&self, palette: &[S]) -> Option<JsonValue> {
+        if self.config.iter().any(|s| !palette.contains(s)) {
+            return None;
+        }
+        Some(self.to_json(|s| {
+            let idx = palette.iter().position(|p| p == s).expect("checked above");
+            JsonValue::Number(idx as f64)
+        }))
+    }
+}
+
+impl<S: Clone + PartialEq> ExecutionSnapshot<S> {
+    /// Deserializes a snapshot produced by
+    /// [`ExecutionSnapshot::to_json_indexed`] against the same palette.
+    pub fn from_json_indexed(value: &JsonValue, palette: &[S]) -> Option<Self> {
+        Self::from_json(value, |v| palette.get(v.as_usize()?).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_json_roundtrips_across_the_exact_f64_boundary() {
+        for x in [
+            0u64,
+            1,
+            42,
+            F64_EXACT - 1,
+            F64_EXACT,
+            F64_EXACT + 1,
+            u64::MAX,
+        ] {
+            let json = u64_to_json(x);
+            let text = json.render();
+            let back = u64_from_json(&JsonValue::parse(&text).unwrap());
+            assert_eq!(back, Some(x), "u64 {x} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn u64_from_json_rejects_junk() {
+        assert_eq!(u64_from_json(&JsonValue::Number(-1.0)), None);
+        assert_eq!(u64_from_json(&JsonValue::Number(1.5)), None);
+        assert_eq!(u64_from_json(&JsonValue::String("abc".into())), None);
+        assert_eq!(u64_from_json(&JsonValue::Null), None);
+    }
+
+    fn sample_snapshot() -> ExecutionSnapshot<u8> {
+        ExecutionSnapshot {
+            config: vec![2, 0, 1],
+            time: 17,
+            rounds: 3,
+            pending: vec![true, false, true],
+            counters: NodeCounters::from_parts(vec![5, 6, 7], vec![1, 2, 3], vec![0, 1, 0]),
+            seed: u64::MAX - 5,
+            sched_rng: [1, u64::MAX, 3, 1 << 60],
+            dense: true,
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_with_a_custom_codec() {
+        let snap = sample_snapshot();
+        let text = snap
+            .to_json(|s| JsonValue::Number(*s as f64))
+            .render_pretty();
+        let parsed = JsonValue::parse(&text).unwrap();
+        let back =
+            ExecutionSnapshot::from_json(&parsed, |v| v.as_usize().map(|x| x as u8)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips_through_a_palette() {
+        let snap = sample_snapshot();
+        let palette = [0u8, 1, 2];
+        let text = snap.to_json_indexed(&palette).unwrap().render();
+        let parsed = JsonValue::parse(&text).unwrap();
+        let back = ExecutionSnapshot::from_json_indexed(&parsed, &palette).unwrap();
+        assert_eq!(back, snap);
+        // a state outside the palette refuses to encode
+        assert!(snap.to_json_indexed(&[0u8, 1]).is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_a_zeroed_rng_state() {
+        // A corrupt checkpoint must fail decoding (a readable error path),
+        // not panic later inside StdRng::from_state during restore.
+        let mut snap = sample_snapshot();
+        snap.sched_rng = [0; 4];
+        let text = snap.to_json(|s| JsonValue::Number(*s as f64)).render();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert!(ExecutionSnapshot::from_json(&parsed, |v| v.as_usize().map(|x| x as u8)).is_none());
+        assert_eq!(rng_state_from_json(&JsonValue::Array(vec![])), None);
+        assert_eq!(
+            rng_state_from_json(&JsonValue::parse("[1, 2, 3, 4]").unwrap()),
+            Some([1, 2, 3, 4])
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_lengths() {
+        let mut snap = sample_snapshot();
+        snap.pending.pop();
+        let text = snap.to_json(|s| JsonValue::Number(*s as f64)).render();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert!(ExecutionSnapshot::from_json(&parsed, |v| v.as_usize().map(|x| x as u8)).is_none());
+    }
+}
