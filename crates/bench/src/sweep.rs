@@ -3,16 +3,42 @@
 //!
 //! A *sweep spec* is a JSON document (parsed with [`sa_model::json`], no
 //! external dependencies) describing a grid of experiment configurations:
-//! topologies × schedulers × engines × fault plans × seeds, plus the
-//! paper-artifact tasks (transition table, state-space counts) that need no
-//! execution. The spec expands into independent [`SweepUnit`]s; each
-//! stabilization unit runs through [`run_unit`], which supports
+//! **algorithms** × topologies × schedulers × engines × fault plans × seeds,
+//! plus the paper-artifact tasks (transition table, state-space counts) that
+//! need no execution. The spec expands into independent [`SweepUnit`]s; each
+//! execution unit runs through [`run_unit`], which supports
 //! **checkpoint/resume**: the in-flight execution state (configuration,
 //! counters, scheduler position, RNG streams — see [`sa_model::snapshot`])
 //! serializes to a JSON checkpoint at step boundaries, and a unit resumed
 //! from its checkpoint is **bit-identical** to one that was never
 //! interrupted (pinned by `tests/checkpoint_roundtrip.rs` and the CI
-//! `sweep-smoke` job).
+//! `sweep-smoke` / `scenario-smoke` jobs).
+//!
+//! # The `algorithm` axis
+//!
+//! A `stabilization` task may name the algorithms it sweeps
+//! ([`AlgorithmSpec`]): the paper's asynchronous-unison algorithm AlgAU
+//! (`"algau"`, the default), the unbounded-register `"min-plus-one"`
+//! baseline of experiment E9, and the asynchronous leader-election and MIS
+//! algorithms obtained from AlgLE/AlgMIS through the synchronizer of
+//! Corollary 1.2 (`"le"`, `"mis"` — the protocol workloads of experiments
+//! E5–E7). Every algorithm family supplies its own legitimacy oracle, task
+//! checker, fault palette and checkpoint codec; the phase machine
+//! ([`run_unit`]) is shared, so checkpoint/resume bit-identity holds
+//! uniformly across the axis.
+//!
+//! # Fault-recovery scenarios
+//!
+//! A `scenario` task lifts the biological fault-recovery scenarios of
+//! `bio-networks` (experiment E10) into the sweep vocabulary: a
+//! [`ScenarioSpec`] (quorum-sensing `colony` → asynchronous LE on a damaged
+//! clique, epithelial `tissue` → asynchronous MIS on a grid/torus,
+//! segmented `pulse` field → AlgAU on a caveman graph) plus a
+//! [`Harshness`] level expand into units that start from the benign
+//! configuration, stabilize, pass a verification window and then recover
+//! from a series of fault bursts — each burst scrambling a
+//! harshness-dependent fraction of the cells, each recovery measured in
+//! rounds and checkpointable mid-burst like any other unit.
 //!
 //! The `sa` CLI (`crates/sa-cli`) is a thin front-end over this module: it
 //! reads a spec file, fans the units out over
@@ -25,7 +51,10 @@
 //! cannot drift apart.
 
 use crate::report::ExperimentReport;
-use sa_model::algorithm::{LegitimacyOracle, StateSpace};
+use bio_networks::Harshness;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sa_model::algorithm::{Algorithm, LegitimacyOracle, StateSpace};
 use sa_model::checker::TaskChecker;
 use sa_model::engine::EngineKind;
 use sa_model::executor::{Execution, ExecutionBuilder};
@@ -39,7 +68,13 @@ use sa_model::scheduler::{
 };
 use sa_model::snapshot::{u64_from_json, u64_to_json, ExecutionSnapshot};
 use sa_model::topology::Topology;
-use unison_core::{AlgAu, AuChecker, GoodGraphOracle};
+use sa_protocols::le::LeState;
+use sa_protocols::mis::MisState;
+use sa_protocols::restart::RestartState;
+use sa_synchronizer::{async_le, async_mis, AsyncLe, AsyncMis, SyncState};
+use unison_core::baseline::min_plus_one::min_plus_one_legitimate;
+use unison_core::baseline::{MinPlusOne, MinPlusOneChecker};
+use unison_core::{AlgAu, AuChecker, GoodGraphOracle, Predicates, Turn};
 
 /// Errors from spec parsing and unit execution, as human-readable strings
 /// (the CLI prints them verbatim).
@@ -69,6 +104,16 @@ fn u64_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<Option<u64>, SpecE
         Some(v) => u64_from_json(v)
             .map(Some)
             .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// An optional boolean field, defaulting to `false` — but a present
+/// non-boolean value is an error, not a silent `false`.
+fn bool_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<bool, SpecError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(false),
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("{ctx}: field \"{key}\" must be a boolean")),
     }
 }
 
@@ -110,10 +155,15 @@ pub enum SweepTask {
         /// versions) at each bound.
         include_derived: bool,
     },
-    /// E3-style measurement: stabilization rounds over a topology × scheduler
-    /// × engine × seed grid, with optional fault injection. Expands into
-    /// checkpointable [`SweepUnit`]s.
+    /// E3/E5–E7/E9-style measurement: stabilization rounds over an algorithm
+    /// × topology × scheduler × engine × seed grid, with optional fault
+    /// injection. Expands into checkpointable [`SweepUnit`]s.
     Stabilization(StabilizationTask),
+    /// E10-style measurement: a biological fault-recovery scenario — benign
+    /// start, stabilization, verification, then a series of fault bursts
+    /// with the recovery rounds of each burst measured. Expands into
+    /// checkpointable [`SweepUnit`]s.
+    Scenario(ScenarioTask),
 }
 
 impl SweepTask {
@@ -123,6 +173,7 @@ impl SweepTask {
             SweepTask::TransitionTable { id, .. } => id,
             SweepTask::StateSpace { id, .. } => id,
             SweepTask::Stabilization(t) => &t.id,
+            SweepTask::Scenario(t) => &t.id,
         }
     }
 }
@@ -132,6 +183,8 @@ impl SweepTask {
 pub struct StabilizationTask {
     /// Task identifier (e.g. `"E3"`).
     pub id: String,
+    /// Algorithms to sweep (the `algorithm` axis; defaults to `[AlgAu]`).
+    pub algorithms: Vec<AlgorithmSpec>,
     /// Topologies to sweep (randomized families build with the spec's
     /// `graph_seed`).
     pub topologies: Vec<Topology>,
@@ -144,12 +197,269 @@ pub struct StabilizationTask {
     pub engines: Vec<EngineSpec>,
     /// Fault plan applied at every completed round.
     pub fault: FaultPlan,
+    /// How the initial configuration is drawn (adversarial random by
+    /// default).
+    pub init: InitSpec,
     /// Number of independent seeds per cell.
     pub seeds: u64,
     /// Round budget; `None` uses the paper's `200·D³ + 2000`.
     pub max_rounds: Option<u64>,
     /// Post-stabilization verification window; `None` uses `4·D + 8`.
     pub verify_rounds: Option<u64>,
+}
+
+/// The grid of a fault-recovery scenario task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTask {
+    /// Task identifier (e.g. `"E10"`).
+    pub id: String,
+    /// The scenario family (fixes the algorithm, the topology and the benign
+    /// start).
+    pub scenario: ScenarioSpec,
+    /// Environmental harshness (fixes the burst size).
+    pub harshness: Harshness,
+    /// Number of fault bursts to recover from per unit.
+    pub bursts: u64,
+    /// Scheduler families to sweep.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Step engines to sweep.
+    pub engines: Vec<EngineSpec>,
+    /// Number of independent seeds per cell.
+    pub seeds: u64,
+    /// Per-phase round budget; `None` uses the paper's `200·D³ + 2000`.
+    pub max_rounds: Option<u64>,
+    /// Post-stabilization verification window; `None` uses `4·D + 8`.
+    pub verify_rounds: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// The algorithm axis
+// ---------------------------------------------------------------------------
+
+/// A declarative algorithm selection — the sweep's `algorithm` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// The paper's asynchronous-unison algorithm AlgAU (Theorem 1.1).
+    AlgAu,
+    /// The unbounded-register `min + 1` unison baseline (experiment E9).
+    MinPlusOne,
+    /// Asynchronous leader election: AlgLE through the synchronizer
+    /// (Theorem 1.3 + Corollary 1.2).
+    AsyncLe,
+    /// Asynchronous MIS: AlgMIS through the synchronizer (Theorem 1.4 +
+    /// Corollary 1.2).
+    AsyncMis,
+}
+
+impl AlgorithmSpec {
+    /// A stable label used in unit ids and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::AlgAu => "algau",
+            AlgorithmSpec::MinPlusOne => "min-plus-one",
+            AlgorithmSpec::AsyncLe => "le",
+            AlgorithmSpec::AsyncMis => "mis",
+        }
+    }
+
+    fn from_json(value: &JsonValue, ctx: &str) -> Result<Self, SpecError> {
+        match value.as_str() {
+            Some("algau") => Ok(AlgorithmSpec::AlgAu),
+            Some("min-plus-one") => Ok(AlgorithmSpec::MinPlusOne),
+            Some("le") => Ok(AlgorithmSpec::AsyncLe),
+            Some("mis") => Ok(AlgorithmSpec::AsyncMis),
+            Some(other) => Err(format!(
+                "{ctx}: unknown algorithm \"{other}\" (expected \"algau\", \
+                 \"min-plus-one\", \"le\" or \"mis\")"
+            )),
+            None => Err(format!("{ctx}: algorithm must be a string")),
+        }
+    }
+}
+
+/// How a unit's initial configuration is drawn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum InitSpec {
+    /// The adversary's arbitrary configuration: every node's state drawn
+    /// uniformly from the algorithm's palette (the default for
+    /// stabilization tasks).
+    #[default]
+    Random,
+    /// The algorithm's benign designated start state at every node (the
+    /// default for scenario tasks, whose measurement is recovery, not
+    /// worst-case convergence).
+    Benign,
+}
+
+impl InitSpec {
+    fn from_json(value: Option<&JsonValue>, ctx: &str) -> Result<Self, SpecError> {
+        match value {
+            None | Some(JsonValue::Null) => Ok(InitSpec::Random),
+            Some(v) => match v.as_str() {
+                Some("random") => Ok(InitSpec::Random),
+                Some("benign") => Ok(InitSpec::Benign),
+                _ => Err(format!("{ctx}: \"init\" must be \"random\" or \"benign\"")),
+            },
+        }
+    }
+}
+
+/// A biological fault-recovery scenario family (see `bio-networks`): each
+/// variant fixes a topology, an algorithm and a benign start configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioSpec {
+    /// A quorum-sensing bacterial colony (damaged clique, asynchronous LE):
+    /// the colony must keep exactly one decision-maker cell.
+    Colony {
+        /// Number of cells in the colony.
+        cells: usize,
+    },
+    /// An epithelial tissue sheet (grid or torus, asynchronous MIS): the
+    /// tissue must keep a well-spaced pattern of differentiated cells.
+    Tissue {
+        /// Number of cell rows.
+        rows: usize,
+        /// Number of cell columns.
+        cols: usize,
+        /// Whether the sheet wraps into a torus.
+        wrap: bool,
+    },
+    /// A segmented pulse field (caveman graph, AlgAU): every cell keeps a
+    /// phase within one tick of its neighbors.
+    Pulse {
+        /// Number of segments (cell clusters).
+        segments: usize,
+        /// Number of cells per segment.
+        cells_per_segment: usize,
+    },
+}
+
+impl ScenarioSpec {
+    /// A stable, filesystem-safe label used in unit ids and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioSpec::Colony { cells } => format!("colony-{cells}"),
+            ScenarioSpec::Tissue { rows, cols, wrap } => {
+                format!("tissue-{rows}x{cols}{}", if *wrap { "-torus" } else { "" })
+            }
+            ScenarioSpec::Pulse {
+                segments,
+                cells_per_segment,
+            } => format!("pulse-{segments}x{cells_per_segment}"),
+        }
+    }
+
+    /// The algorithm the scenario runs.
+    pub fn algorithm(&self) -> AlgorithmSpec {
+        match self {
+            ScenarioSpec::Colony { .. } => AlgorithmSpec::AsyncLe,
+            ScenarioSpec::Tissue { .. } => AlgorithmSpec::AsyncMis,
+            ScenarioSpec::Pulse { .. } => AlgorithmSpec::AlgAu,
+        }
+    }
+
+    /// The scenario's communication topology (mirrors the builders in
+    /// `bio_networks::scenario`).
+    pub fn topology(&self) -> Topology {
+        match self {
+            // ColonyScenario::new(cells): 30% severed links, diameter ≤ 2.
+            ScenarioSpec::Colony { cells } => Topology::DamagedClique {
+                n: *cells,
+                drop: 0.3,
+                max_diameter: 2,
+            },
+            ScenarioSpec::Tissue { rows, cols, wrap } => {
+                if *wrap {
+                    Topology::Torus {
+                        rows: *rows,
+                        cols: *cols,
+                    }
+                } else {
+                    Topology::Grid {
+                        rows: *rows,
+                        cols: *cols,
+                    }
+                }
+            }
+            ScenarioSpec::Pulse {
+                segments,
+                cells_per_segment,
+            } => Topology::Caveman {
+                clusters: *segments,
+                clique: *cells_per_segment,
+            },
+        }
+    }
+
+    /// The diameter bound handed to the algorithm (`None`: use the built
+    /// graph's exact diameter).
+    pub fn diameter_bound(&self) -> Option<usize> {
+        match self {
+            ScenarioSpec::Colony { .. } => Some(2),
+            ScenarioSpec::Tissue { .. } | ScenarioSpec::Pulse { .. } => None,
+        }
+    }
+
+    /// Number of cells in the scenario.
+    pub fn cells(&self) -> usize {
+        match self {
+            ScenarioSpec::Colony { cells } => *cells,
+            ScenarioSpec::Tissue { rows, cols, .. } => rows * cols,
+            ScenarioSpec::Pulse {
+                segments,
+                cells_per_segment,
+            } => segments * cells_per_segment,
+        }
+    }
+
+    /// The number of cells a single fault burst scrambles at the given
+    /// harshness (mirrors `bio_networks`: `⌈cells · burst_fraction⌉`, at
+    /// least 1).
+    pub fn burst_size(&self, harshness: Harshness) -> usize {
+        (((self.cells() as f64) * harshness.burst_fraction()).ceil() as usize).max(1)
+    }
+
+    fn from_json(value: &JsonValue, ctx: &str) -> Result<Self, SpecError> {
+        match field(value, "kind", ctx)?.as_str() {
+            Some("colony") => Ok(ScenarioSpec::Colony {
+                cells: usize_field(value, "cells", ctx)?,
+            }),
+            Some("tissue") => Ok(ScenarioSpec::Tissue {
+                rows: usize_field(value, "rows", ctx)?,
+                cols: usize_field(value, "cols", ctx)?,
+                wrap: bool_opt(value, "wrap", ctx)?,
+            }),
+            Some("pulse") => Ok(ScenarioSpec::Pulse {
+                segments: usize_field(value, "segments", ctx)?,
+                cells_per_segment: usize_field(value, "cells_per_segment", ctx)?,
+            }),
+            Some(other) => Err(format!("{ctx}: unknown scenario kind \"{other}\"")),
+            None => Err(format!("{ctx}: scenario \"kind\" must be a string")),
+        }
+    }
+}
+
+fn harshness_from_json(value: Option<&JsonValue>, ctx: &str) -> Result<Harshness, SpecError> {
+    match value {
+        None | Some(JsonValue::Null) => Ok(Harshness::Moderate),
+        Some(v) => match v.as_str() {
+            Some("mild") => Ok(Harshness::Mild),
+            Some("moderate") => Ok(Harshness::Moderate),
+            Some("severe") => Ok(Harshness::Severe),
+            _ => Err(format!(
+                "{ctx}: \"harshness\" must be \"mild\", \"moderate\" or \"severe\""
+            )),
+        },
+    }
+}
+
+/// A stable, filesystem-safe harshness label.
+fn harshness_label(h: Harshness) -> &'static str {
+    match h {
+        Harshness::Mild => "mild",
+        Harshness::Moderate => "moderate",
+        Harshness::Severe => "severe",
+    }
 }
 
 /// A declarative scheduler selection.
@@ -347,6 +657,31 @@ fn fault_from_json(value: Option<&JsonValue>, ctx: &str) -> Result<FaultPlan, Sp
     }
 }
 
+/// Parses a task's `"schedulers"` array.
+fn schedulers_from_json(task: &JsonValue, ctx: &str) -> Result<Vec<SchedulerSpec>, SpecError> {
+    field(task, "schedulers", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: \"schedulers\" must be an array"))?
+        .iter()
+        .map(|s| SchedulerSpec::from_json(s, ctx))
+        .collect()
+}
+
+/// Parses a task's `"engines"` array (default: `[serial]`).
+fn engines_from_json(task: &JsonValue, ctx: &str) -> Result<Vec<EngineSpec>, SpecError> {
+    match task.get("engines") {
+        None => Ok(vec![EngineSpec {
+            kind: EngineKind::Serial,
+        }]),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| format!("{ctx}: \"engines\" must be an array"))?
+            .iter()
+            .map(|e| EngineSpec::from_json(e, ctx))
+            .collect(),
+    }
+}
+
 impl SweepSpec {
     /// Parses a spec from JSON text.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
@@ -393,50 +728,67 @@ impl SweepSpec {
                     tasks.push(SweepTask::StateSpace {
                         id,
                         diameter_bounds: bounds,
-                        include_derived: matches!(
-                            task.get("include_derived"),
-                            Some(JsonValue::Bool(true))
-                        ),
+                        include_derived: bool_opt(task, "include_derived", &ctx)?,
                     });
                 }
                 Some("stabilization") => {
+                    let algorithms = match task.get("algorithms") {
+                        None => vec![AlgorithmSpec::AlgAu],
+                        Some(v) => v
+                            .as_array()
+                            .ok_or_else(|| format!("{ctx}: \"algorithms\" must be an array"))?
+                            .iter()
+                            .map(|a| AlgorithmSpec::from_json(a, &ctx))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    };
                     let topologies = field(task, "topologies", &ctx)?
                         .as_array()
                         .ok_or_else(|| format!("{ctx}: \"topologies\" must be an array"))?
                         .iter()
                         .map(|t| topology_from_json(t, &ctx))
                         .collect::<Result<Vec<_>, _>>()?;
-                    let schedulers = field(task, "schedulers", &ctx)?
-                        .as_array()
-                        .ok_or_else(|| format!("{ctx}: \"schedulers\" must be an array"))?
-                        .iter()
-                        .map(|s| SchedulerSpec::from_json(s, &ctx))
-                        .collect::<Result<Vec<_>, _>>()?;
-                    let engines = match task.get("engines") {
-                        None => vec![EngineSpec {
-                            kind: EngineKind::Serial,
-                        }],
-                        Some(v) => v
-                            .as_array()
-                            .ok_or_else(|| format!("{ctx}: \"engines\" must be an array"))?
-                            .iter()
-                            .map(|e| EngineSpec::from_json(e, &ctx))
-                            .collect::<Result<Vec<_>, _>>()?,
-                    };
-                    if topologies.is_empty() || schedulers.is_empty() || engines.is_empty() {
+                    let schedulers = schedulers_from_json(task, &ctx)?;
+                    let engines = engines_from_json(task, &ctx)?;
+                    if algorithms.is_empty()
+                        || topologies.is_empty()
+                        || schedulers.is_empty()
+                        || engines.is_empty()
+                    {
                         return Err(format!(
-                            "{ctx}: topologies, schedulers and engines must be non-empty"
+                            "{ctx}: algorithms, topologies, schedulers and engines \
+                             must be non-empty"
                         ));
                     }
                     let seeds = u64_opt(task, "seeds", &ctx)?.unwrap_or(1).max(1);
                     tasks.push(SweepTask::Stabilization(StabilizationTask {
                         id,
+                        algorithms,
                         topologies,
                         diameter_bound: u64_opt(task, "diameter_bound", &ctx)?.map(|d| d as usize),
                         schedulers,
                         engines,
                         fault: fault_from_json(task.get("fault"), &ctx)?,
+                        init: InitSpec::from_json(task.get("init"), &ctx)?,
                         seeds,
+                        max_rounds: u64_opt(task, "max_rounds", &ctx)?,
+                        verify_rounds: u64_opt(task, "verify_rounds", &ctx)?,
+                    }));
+                }
+                Some("scenario") => {
+                    let scenario = ScenarioSpec::from_json(field(task, "scenario", &ctx)?, &ctx)?;
+                    let schedulers = schedulers_from_json(task, &ctx)?;
+                    let engines = engines_from_json(task, &ctx)?;
+                    if schedulers.is_empty() || engines.is_empty() {
+                        return Err(format!("{ctx}: schedulers and engines must be non-empty"));
+                    }
+                    tasks.push(SweepTask::Scenario(ScenarioTask {
+                        id,
+                        scenario,
+                        harshness: harshness_from_json(task.get("harshness"), &ctx)?,
+                        bursts: u64_opt(task, "bursts", &ctx)?.unwrap_or(1).max(1),
+                        schedulers,
+                        engines,
+                        seeds: u64_opt(task, "seeds", &ctx)?.unwrap_or(1).max(1),
                         max_rounds: u64_opt(task, "max_rounds", &ctx)?,
                         verify_rounds: u64_opt(task, "verify_rounds", &ctx)?,
                     }));
@@ -452,33 +804,73 @@ impl SweepSpec {
         })
     }
 
-    /// Expands the spec's stabilization tasks into their units, in a stable
-    /// deterministic order (task → topology → scheduler → engine → seed).
-    pub fn stabilization_units(&self) -> Vec<SweepUnit> {
+    /// Expands the spec's stabilization and scenario tasks into their
+    /// execution units, in a stable deterministic order (task → algorithm →
+    /// topology → scheduler → engine → seed).
+    pub fn execution_units(&self) -> Vec<SweepUnit> {
         let mut units = Vec::new();
         for task in &self.tasks {
-            let SweepTask::Stabilization(task) = task else {
-                continue;
-            };
-            for topology in &task.topologies {
-                for scheduler in &task.schedulers {
-                    for engine in &task.engines {
-                        for seed in 0..task.seeds {
-                            units.push(SweepUnit {
-                                task_id: task.id.clone(),
-                                topology: topology.clone(),
-                                scheduler: scheduler.clone(),
-                                engine: *engine,
-                                fault: task.fault.clone(),
-                                seed,
-                                graph_seed: self.graph_seed,
-                                diameter_bound: task.diameter_bound,
-                                max_rounds: task.max_rounds,
-                                verify_rounds: task.verify_rounds,
-                            });
+            match task {
+                SweepTask::Stabilization(task) => {
+                    for algorithm in &task.algorithms {
+                        for topology in &task.topologies {
+                            for scheduler in &task.schedulers {
+                                for engine in &task.engines {
+                                    for seed in 0..task.seeds {
+                                        units.push(SweepUnit {
+                                            task_id: task.id.clone(),
+                                            algorithm: *algorithm,
+                                            topology: topology.clone(),
+                                            scheduler: scheduler.clone(),
+                                            engine: *engine,
+                                            fault: task.fault.clone(),
+                                            init: task.init,
+                                            recovery: None,
+                                            scenario: None,
+                                            seed,
+                                            graph_seed: self.graph_seed,
+                                            diameter_bound: task.diameter_bound,
+                                            max_rounds: task.max_rounds,
+                                            verify_rounds: task.verify_rounds,
+                                        });
+                                    }
+                                }
+                            }
                         }
                     }
                 }
+                SweepTask::Scenario(task) => {
+                    for scheduler in &task.schedulers {
+                        for engine in &task.engines {
+                            for seed in 0..task.seeds {
+                                units.push(SweepUnit {
+                                    task_id: task.id.clone(),
+                                    algorithm: task.scenario.algorithm(),
+                                    topology: task.scenario.topology(),
+                                    scheduler: scheduler.clone(),
+                                    engine: *engine,
+                                    fault: FaultPlan::None,
+                                    init: InitSpec::Benign,
+                                    recovery: Some(RecoveryPlan {
+                                        bursts: task.bursts,
+                                        burst_size: task.scenario.burst_size(task.harshness),
+                                    }),
+                                    scenario: Some(format!(
+                                        "{}-{}",
+                                        task.scenario.label(),
+                                        harshness_label(task.harshness)
+                                    )),
+                                    seed,
+                                    graph_seed: self.graph_seed,
+                                    diameter_bound: task.scenario.diameter_bound(),
+                                    max_rounds: task.max_rounds,
+                                    verify_rounds: task.verify_rounds,
+                                });
+                            }
+                        }
+                    }
+                }
+                SweepTask::TransitionTable { .. } | SweepTask::StateSpace { .. } => {}
             }
         }
         units
@@ -489,11 +881,24 @@ impl SweepSpec {
 // Units
 // ---------------------------------------------------------------------------
 
-/// One independently runnable cell of a stabilization sweep.
+/// The recovery phase of a scenario unit: how many fault bursts to recover
+/// from and how many nodes each burst scrambles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// Number of bursts injected after the verification window.
+    pub bursts: u64,
+    /// Number of distinct nodes scrambled per burst.
+    pub burst_size: usize,
+}
+
+/// One independently runnable cell of a sweep (a stabilization measurement,
+/// optionally followed by a fault-burst recovery phase).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepUnit {
     /// The owning task's id.
     pub task_id: String,
+    /// Algorithm of this unit (the `algorithm` axis).
+    pub algorithm: AlgorithmSpec,
     /// Topology of this unit.
     pub topology: Topology,
     /// Scheduler of this unit.
@@ -502,14 +907,21 @@ pub struct SweepUnit {
     pub engine: EngineSpec,
     /// Fault plan of this unit.
     pub fault: FaultPlan,
+    /// How the initial configuration is drawn.
+    pub init: InitSpec,
+    /// The recovery phase, for scenario units (`None`: plain stabilization).
+    pub recovery: Option<RecoveryPlan>,
+    /// Scenario label for reporting (`None` for plain stabilization units).
+    pub scenario: Option<String>,
     /// Trial seed (keys the initial configuration, the transition coin
-    /// streams, the scheduler stream and the fault injector stream).
+    /// streams, the scheduler stream, the fault injector stream and the
+    /// recovery-burst draws).
     pub seed: u64,
     /// Seed for randomized topology construction.
     pub graph_seed: u64,
     /// Explicit diameter bound, or `None` for the graph's exact diameter.
     pub diameter_bound: Option<usize>,
-    /// Round budget override.
+    /// Round budget override (also the per-burst recovery budget).
     pub max_rounds: Option<u64>,
     /// Verification window override.
     pub verify_rounds: Option<u64>,
@@ -519,13 +931,22 @@ impl SweepUnit {
     /// A stable, filesystem-safe unit identifier.
     pub fn id(&self) -> String {
         format!(
-            "{}--{}--{}--{}--s{}",
+            "{}--{}--{}--{}--{}--s{}",
             self.task_id,
-            self.topology.label(),
+            self.algorithm.label(),
+            self.topology_label(),
             self.scheduler.label(),
             self.engine.label(),
             self.seed
         )
+    }
+
+    /// The label reports use in the topology column (the scenario label for
+    /// scenario units).
+    pub fn topology_label(&self) -> String {
+        self.scenario
+            .clone()
+            .unwrap_or_else(|| self.topology.label())
     }
 }
 
@@ -544,12 +965,18 @@ pub struct UnitResult {
     pub faults_injected: u64,
     /// Total steps executed.
     pub total_steps: u64,
+    /// Rounds needed to recover from each recovered fault burst (scenario
+    /// units; empty for plain stabilization units).
+    pub recovery_rounds: Vec<u64>,
+    /// Number of bursts the unit failed to recover from within the budget.
+    pub unrecovered: u64,
 }
 
 impl UnitResult {
-    /// Whether the unit stabilized and passed verification.
+    /// Whether the unit stabilized, passed verification and recovered from
+    /// every fault burst.
     pub fn is_clean(&self) -> bool {
-        self.stabilization_rounds.is_some() && self.violations.is_empty()
+        self.stabilization_rounds.is_some() && self.violations.is_empty() && self.unrecovered == 0
     }
 
     /// Serializes the result as JSON.
@@ -583,6 +1010,17 @@ impl UnitResult {
                 u64_to_json(self.faults_injected),
             ),
             ("total_steps".to_string(), u64_to_json(self.total_steps)),
+            (
+                "recovery_rounds".to_string(),
+                JsonValue::Array(
+                    self.recovery_rounds
+                        .iter()
+                        .copied()
+                        .map(u64_to_json)
+                        .collect(),
+                ),
+            ),
+            ("unrecovered".to_string(), u64_to_json(self.unrecovered)),
         ])
     }
 
@@ -606,6 +1044,20 @@ impl UnitResult {
             verification_rounds: u64_from_json(value.get("verification_rounds")?)?,
             faults_injected: u64_from_json(value.get("faults_injected")?)?,
             total_steps: u64_from_json(value.get("total_steps")?)?,
+            // The recovery fields default when absent, so completed-unit
+            // records written before the recovery phase existed still parse.
+            recovery_rounds: match value.get("recovery_rounds") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()?
+                    .iter()
+                    .map(u64_from_json)
+                    .collect::<Option<_>>()?,
+            },
+            unrecovered: match value.get("unrecovered") {
+                None => 0,
+                Some(v) => u64_from_json(v)?,
+            },
         })
     }
 }
@@ -636,9 +1088,12 @@ pub struct CheckpointPolicy<'a> {
     pub interrupt_after_steps: Option<u64>,
 }
 
-/// Internal: the measurement phases of a stabilization unit.
+/// Internal: the measurement phases of a sweep unit.
 const PHASE_STABILIZING: u64 = 0;
 const PHASE_VERIFYING: u64 = 1;
+const PHASE_RECOVERING: u64 = 2;
+/// Terminal sentinel (never checkpointed — the unit completes immediately).
+const PHASE_DONE: u64 = 3;
 
 /// The paper's default round budget for a diameter bound `D`.
 pub fn default_round_budget(d: usize) -> u64 {
@@ -650,36 +1105,59 @@ pub fn default_verify_window(d: usize) -> u64 {
     4 * d as u64 + 8
 }
 
-/// Runs one sweep unit (building its graph first); see
-/// [`run_stabilization_on_graph`].
+/// The resolved per-unit execution knobs handed to the generic runner.
+struct UnitParams<'a> {
+    scheduler: &'a SchedulerSpec,
+    engine: EngineKind,
+    fault: &'a FaultPlan,
+    init: InitSpec,
+    recovery: Option<RecoveryPlan>,
+    seed: u64,
+    max_rounds: u64,
+    verify_rounds: u64,
+}
+
+/// Runs one sweep unit (building its graph first and dispatching on the
+/// unit's [`AlgorithmSpec`]); see the module docs for the shared phase
+/// machine.
 pub fn run_unit(unit: &SweepUnit, policy: &CheckpointPolicy<'_>) -> Result<UnitOutcome, SpecError> {
     let graph = unit.topology.build(unit.graph_seed);
     let d = unit.diameter_bound.unwrap_or_else(|| graph.diameter());
-    run_stabilization_on_graph(
-        &graph,
-        d,
-        &unit.scheduler,
-        unit.engine.kind,
-        &unit.fault,
-        unit.seed,
-        unit.max_rounds.unwrap_or_else(|| default_round_budget(d)),
-        unit.verify_rounds
+    let params = UnitParams {
+        scheduler: &unit.scheduler,
+        engine: unit.engine.kind,
+        fault: &unit.fault,
+        init: unit.init,
+        recovery: unit.recovery,
+        seed: unit.seed,
+        max_rounds: unit.max_rounds.unwrap_or_else(|| default_round_budget(d)),
+        verify_rounds: unit
+            .verify_rounds
             .unwrap_or_else(|| default_verify_window(d)),
-        policy,
-    )
+    };
+    match unit.algorithm {
+        AlgorithmSpec::AlgAu => run_unit_generic(&AuUnit::new(d), &graph, &params, policy),
+        AlgorithmSpec::MinPlusOne => {
+            run_unit_generic(&MinPlusOneUnit::new(d), &graph, &params, policy)
+        }
+        AlgorithmSpec::AsyncLe => run_unit_generic(&AsyncLeUnit::new(d), &graph, &params, policy),
+        AlgorithmSpec::AsyncMis => run_unit_generic(&AsyncMisUnit::new(d), &graph, &params, policy),
+    }
 }
 
 /// Runs an AlgAU stabilization measurement on an explicit graph, with
-/// checkpoint/resume support.
+/// checkpoint/resume support (the `algorithm = "algau"` arm of the axis;
+/// kept as a named entry point because E3's `au_trial` is pinned to
+/// [`measure_stabilization`](sa_model::checker::measure_stabilization)
+/// through it).
 ///
-/// Semantics match
-/// [`measure_stabilization`](sa_model::checker::measure_stabilization) —
-/// legitimacy ("the graph is good") is checked at time 0 and at every round
-/// boundary; once it holds, a verification window of `verify_rounds` rounds
-/// checks the AU task's safety at every boundary and its liveness over the
-/// window — extended with per-round fault injection (after the boundary's
-/// legitimacy/safety check, so a fault surfaces in the *next* round's check)
-/// and with checkpointing at step boundaries.
+/// Semantics match `measure_stabilization` — legitimacy ("the graph is
+/// good") is checked at time 0 and at every round boundary; once it holds, a
+/// verification window of `verify_rounds` rounds checks the AU task's safety
+/// at every boundary and its liveness over the window — extended with
+/// per-round fault injection (after the boundary's legitimacy/safety check,
+/// so a fault surfaces in the *next* round's check) and with checkpointing
+/// at step boundaries.
 ///
 /// Every source of randomness is either keyed by `(seed, node, step)`
 /// (transition coins) or captured exactly in the checkpoint (scheduler
@@ -697,16 +1175,475 @@ pub fn run_stabilization_on_graph(
     verify_rounds: u64,
     policy: &CheckpointPolicy<'_>,
 ) -> Result<UnitOutcome, SpecError> {
-    let alg = AlgAu::new(diameter_bound);
-    let palette = alg.states();
-    let oracle = GoodGraphOracle::new(alg);
-    let checker = AuChecker::new(alg);
-    let mut sched = scheduler.build();
-    let mut injector = match fault {
+    run_unit_generic(
+        &AuUnit::new(diameter_bound),
+        graph,
+        &UnitParams {
+            scheduler,
+            engine,
+            fault,
+            init: InitSpec::Random,
+            recovery: None,
+            seed,
+            max_rounds,
+            verify_rounds,
+        },
+        policy,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The algorithm bundles behind the axis
+// ---------------------------------------------------------------------------
+
+/// Shorthand for a bundle's state type.
+type UState<B> = <<B as UnitAlgorithm>::A as Algorithm>::State;
+
+/// Everything the generic unit runner needs from one algorithm family on the
+/// sweep's `algorithm` axis: the algorithm instance, initial configurations,
+/// the fault palette, the legitimacy oracle, the task checker and the
+/// checkpoint codec for its states.
+trait UnitAlgorithm {
+    /// The concrete algorithm type.
+    type A: Algorithm;
+
+    /// The algorithm instance.
+    fn algorithm(&self) -> &Self::A;
+
+    /// Builds the unit's initial configuration.
+    fn initial(&self, init: InitSpec, n: usize, seed: u64) -> Vec<UState<Self>>;
+
+    /// The palette transient faults (and recovery bursts) draw corrupted
+    /// states from.
+    fn fault_palette(&self) -> &[UState<Self>];
+
+    /// The task's legitimacy predicate.
+    fn is_legitimate(&self, graph: &Graph, config: &[UState<Self>]) -> bool;
+
+    /// Safety check of a single configuration (verification window).
+    fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String>;
+
+    /// Liveness check over the verification window.
+    fn check_window(&self, graph: &Graph, changes: &[u64], rounds: u64) -> Vec<String>;
+
+    /// Serializes an execution snapshot (`None` if a state cannot be
+    /// encoded, e.g. it left the palette the codec indexes into).
+    fn encode_snapshot(&self, snap: &ExecutionSnapshot<UState<Self>>) -> Option<JsonValue>;
+
+    /// Deserializes a snapshot produced by
+    /// [`UnitAlgorithm::encode_snapshot`].
+    fn decode_snapshot(&self, value: &JsonValue) -> Option<ExecutionSnapshot<UState<Self>>>;
+}
+
+/// Draws every node's state uniformly from `candidates` with the same seed
+/// derivation as
+/// [`ExecutionBuilder::random_initial`](sa_model::executor::ExecutionBuilder::random_initial),
+/// so the pre-axis AlgAU unit trajectories are preserved exactly.
+fn random_configuration<S: Clone>(candidates: &[S], n: usize, seed: u64) -> Vec<S> {
+    assert!(!candidates.is_empty(), "need at least one candidate state");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..n)
+        .map(|_| candidates[rng.gen_range(0..candidates.len())].clone())
+        .collect()
+}
+
+/// `algorithm = "algau"`: the paper's asynchronous-unison algorithm.
+struct AuUnit {
+    alg: AlgAu,
+    palette: Vec<Turn>,
+    oracle: GoodGraphOracle,
+    checker: AuChecker,
+}
+
+impl AuUnit {
+    fn new(diameter_bound: usize) -> Self {
+        let alg = AlgAu::new(diameter_bound);
+        AuUnit {
+            alg,
+            palette: alg.states(),
+            oracle: GoodGraphOracle::new(alg),
+            checker: AuChecker::new(alg),
+        }
+    }
+}
+
+impl UnitAlgorithm for AuUnit {
+    type A = AlgAu;
+
+    fn algorithm(&self) -> &AlgAu {
+        &self.alg
+    }
+
+    fn initial(&self, init: InitSpec, n: usize, seed: u64) -> Vec<Turn> {
+        match init {
+            InitSpec::Random => random_configuration(&self.palette, n, seed),
+            InitSpec::Benign => vec![Turn::Able(1); n],
+        }
+    }
+
+    fn fault_palette(&self) -> &[Turn] {
+        &self.palette
+    }
+
+    fn is_legitimate(&self, graph: &Graph, config: &[Turn]) -> bool {
+        self.oracle.is_legitimate(graph, config)
+    }
+
+    fn check_snapshot(&self, graph: &Graph, config: &[Turn]) -> Vec<String> {
+        self.checker.check_snapshot(graph, config)
+    }
+
+    fn check_window(&self, graph: &Graph, changes: &[u64], rounds: u64) -> Vec<String> {
+        self.checker.check_window(graph, changes, rounds)
+    }
+
+    fn encode_snapshot(&self, snap: &ExecutionSnapshot<Turn>) -> Option<JsonValue> {
+        snap.to_json_indexed(&self.palette)
+    }
+
+    fn decode_snapshot(&self, value: &JsonValue) -> Option<ExecutionSnapshot<Turn>> {
+        ExecutionSnapshot::from_json_indexed(value, &self.palette)
+    }
+}
+
+/// `algorithm = "min-plus-one"`: the unbounded-register unison baseline.
+struct MinPlusOneUnit {
+    alg: MinPlusOne,
+    checker: MinPlusOneChecker,
+    /// Deterministic clock palette for adversarial starts and fault draws:
+    /// every in-range clock value plus two far-out outliers (the baseline's
+    /// register is unbounded, so faults may land anywhere).
+    palette: Vec<u64>,
+}
+
+impl MinPlusOneUnit {
+    fn new(diameter_bound: usize) -> Self {
+        let d = diameter_bound as u64;
+        let mut palette: Vec<u64> = (0..=2 * d + 2).collect();
+        palette.push(10 * (d + 1));
+        palette.push(100 * (d + 1));
+        MinPlusOneUnit {
+            alg: MinPlusOne::new(),
+            checker: MinPlusOneChecker,
+            palette,
+        }
+    }
+}
+
+impl UnitAlgorithm for MinPlusOneUnit {
+    type A = MinPlusOne;
+
+    fn algorithm(&self) -> &MinPlusOne {
+        &self.alg
+    }
+
+    fn initial(&self, init: InitSpec, n: usize, seed: u64) -> Vec<u64> {
+        match init {
+            InitSpec::Random => random_configuration(&self.palette, n, seed),
+            InitSpec::Benign => vec![0; n],
+        }
+    }
+
+    fn fault_palette(&self) -> &[u64] {
+        &self.palette
+    }
+
+    fn is_legitimate(&self, graph: &Graph, config: &[u64]) -> bool {
+        min_plus_one_legitimate(graph, config)
+    }
+
+    fn check_snapshot(&self, graph: &Graph, config: &[u64]) -> Vec<String> {
+        self.checker.check_snapshot(graph, config)
+    }
+
+    fn check_window(&self, graph: &Graph, changes: &[u64], rounds: u64) -> Vec<String> {
+        self.checker.check_window(graph, changes, rounds)
+    }
+
+    fn encode_snapshot(&self, snap: &ExecutionSnapshot<u64>) -> Option<JsonValue> {
+        Some(snap.to_json(|s| u64_to_json(*s)))
+    }
+
+    fn decode_snapshot(&self, value: &JsonValue) -> Option<ExecutionSnapshot<u64>> {
+        ExecutionSnapshot::from_json(value, u64_from_json)
+    }
+}
+
+/// Encodes a composite synchronizer state as `{c, p, t}` palette indices
+/// (the full composite product `|Q|²·|T|` is far too large to index
+/// directly, but its three coordinates are each small).
+fn encode_sync_state<S: PartialEq>(
+    state: &SyncState<S>,
+    inner_palette: &[S],
+    turns: &[Turn],
+) -> Option<JsonValue> {
+    let pos = |s: &S| inner_palette.iter().position(|p| p == s);
+    let turn = turns.iter().position(|t| t == &state.turn)?;
+    Some(JsonValue::object([
+        (
+            "c".to_string(),
+            JsonValue::Number(pos(&state.current)? as f64),
+        ),
+        (
+            "p".to_string(),
+            JsonValue::Number(pos(&state.previous)? as f64),
+        ),
+        ("t".to_string(), JsonValue::Number(turn as f64)),
+    ]))
+}
+
+/// Decodes a state encoded by [`encode_sync_state`].
+fn decode_sync_state<S: Clone>(
+    value: &JsonValue,
+    inner_palette: &[S],
+    turns: &[Turn],
+) -> Option<SyncState<S>> {
+    Some(SyncState {
+        current: inner_palette.get(value.get("c")?.as_usize()?)?.clone(),
+        previous: inner_palette.get(value.get("p")?.as_usize()?)?.clone(),
+        turn: *turns.get(value.get("t")?.as_usize()?)?,
+    })
+}
+
+/// The shared snapshot codec of the two synchronizer bundles: each
+/// composite state encodes exactly once through [`encode_sync_state`].
+fn encode_composite_snapshot<S: PartialEq>(
+    snap: &ExecutionSnapshot<SyncState<S>>,
+    inner_palette: &[S],
+    turns: &[Turn],
+) -> Option<JsonValue> {
+    snap.try_to_json(|s| encode_sync_state(s, inner_palette, turns))
+}
+
+/// `algorithm = "le"`: AlgLE through the synchronizer (asynchronous leader
+/// election).
+struct AsyncLeUnit {
+    alg: AsyncLe,
+    inner_palette: Vec<RestartState<LeState>>,
+    turns: Vec<Turn>,
+    fault_palette: Vec<SyncState<RestartState<LeState>>>,
+}
+
+impl AsyncLeUnit {
+    fn new(diameter_bound: usize) -> Self {
+        let alg = async_le(diameter_bound);
+        let inner_palette = alg.inner().states();
+        let turns = alg.unison().states();
+        // Representative corrupted states — arbitrary clocks × arbitrary
+        // leader claims (mirrors `bio_networks::colony_leader_recovery`);
+        // the full composite product is too large to sample uniformly.
+        let mut fault_palette = Vec::new();
+        for &turn in &turns {
+            for leader in [false, true] {
+                use sa_protocols::restart::RestartableAlgorithm;
+                let mut host = alg.inner().host().initial_state();
+                host.leader = leader;
+                host.stage = sa_protocols::le::Stage::Verification;
+                fault_palette.push(SyncState {
+                    current: RestartState::Host(host),
+                    previous: RestartState::Host(host),
+                    turn,
+                });
+            }
+        }
+        AsyncLeUnit {
+            alg,
+            inner_palette,
+            turns,
+            fault_palette,
+        }
+    }
+}
+
+impl UnitAlgorithm for AsyncLeUnit {
+    type A = AsyncLe;
+
+    fn algorithm(&self) -> &AsyncLe {
+        &self.alg
+    }
+
+    fn initial(&self, init: InitSpec, n: usize, seed: u64) -> Vec<UState<Self>> {
+        match init {
+            InitSpec::Random => sa_synchronizer::random_composite_configuration(
+                &self.inner_palette,
+                self.alg.unison(),
+                n,
+                seed ^ 0x9e37_79b9_7f4a_7c15,
+            ),
+            InitSpec::Benign => vec![self.alg.fresh_state(); n],
+        }
+    }
+
+    fn fault_palette(&self) -> &[UState<Self>] {
+        &self.fault_palette
+    }
+
+    fn is_legitimate(&self, graph: &Graph, config: &[UState<Self>]) -> bool {
+        // The AU coordinate must be good (the synchronizer's closure
+        // argument needs a stabilized clock before the simulated rounds are
+        // trustworthy) and the projected task state must show exactly one
+        // leader with no cell mid-reset.
+        //
+        // This oracle is *observational*: on dense graphs an adversarial
+        // random start can transiently satisfy it while the simulated epoch
+        // state is still inconsistent, in which case the verification window
+        // correctly reports the subsequent restart as a violation. Scenario
+        // units avoid the coincidence by starting benign.
+        let turns: Vec<Turn> = config.iter().map(|s| s.turn).collect();
+        Predicates::new(self.alg.unison(), graph).graph_good(&turns)
+            && bio_networks::colony_leader_legitimate(graph, config)
+    }
+
+    fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String> {
+        self.alg.checker().check_snapshot(graph, config)
+    }
+
+    fn check_window(&self, graph: &Graph, changes: &[u64], rounds: u64) -> Vec<String> {
+        self.alg.checker().check_window(graph, changes, rounds)
+    }
+
+    fn encode_snapshot(&self, snap: &ExecutionSnapshot<UState<Self>>) -> Option<JsonValue> {
+        encode_composite_snapshot(snap, &self.inner_palette, &self.turns)
+    }
+
+    fn decode_snapshot(&self, value: &JsonValue) -> Option<ExecutionSnapshot<UState<Self>>> {
+        ExecutionSnapshot::from_json(value, |v| {
+            decode_sync_state(v, &self.inner_palette, &self.turns)
+        })
+    }
+}
+
+/// `algorithm = "mis"`: AlgMIS through the synchronizer (asynchronous
+/// maximal independent set).
+struct AsyncMisUnit {
+    alg: AsyncMis,
+    inner_palette: Vec<RestartState<MisState>>,
+    turns: Vec<Turn>,
+    fault_palette: Vec<SyncState<RestartState<MisState>>>,
+}
+
+impl AsyncMisUnit {
+    fn new(diameter_bound: usize) -> Self {
+        let alg = async_mis(diameter_bound);
+        let inner_palette = alg.inner().states();
+        let turns = alg.unison().states();
+        // Representative corrupted states — arbitrary clocks × arbitrary
+        // decisions (mirrors `bio_networks::tissue_mis_availability`).
+        let mut fault_palette = Vec::new();
+        for &turn in &turns {
+            for decision in [
+                sa_protocols::mis::Decision::Undecided,
+                sa_protocols::mis::Decision::In,
+                sa_protocols::mis::Decision::Out,
+            ] {
+                use sa_protocols::restart::RestartableAlgorithm;
+                let mut host = alg.inner().host().initial_state();
+                host.decision = decision;
+                host.detect_id = if decision == sa_protocols::mis::Decision::In {
+                    1
+                } else {
+                    0
+                };
+                fault_palette.push(SyncState {
+                    current: RestartState::Host(host),
+                    previous: RestartState::Host(host),
+                    turn,
+                });
+            }
+        }
+        AsyncMisUnit {
+            alg,
+            inner_palette,
+            turns,
+            fault_palette,
+        }
+    }
+}
+
+impl UnitAlgorithm for AsyncMisUnit {
+    type A = AsyncMis;
+
+    fn algorithm(&self) -> &AsyncMis {
+        &self.alg
+    }
+
+    fn initial(&self, init: InitSpec, n: usize, seed: u64) -> Vec<UState<Self>> {
+        match init {
+            InitSpec::Random => sa_synchronizer::random_composite_configuration(
+                &self.inner_palette,
+                self.alg.unison(),
+                n,
+                seed ^ 0x9e37_79b9_7f4a_7c15,
+            ),
+            InitSpec::Benign => vec![self.alg.fresh_state(); n],
+        }
+    }
+
+    fn fault_palette(&self) -> &[UState<Self>] {
+        &self.fault_palette
+    }
+
+    fn is_legitimate(&self, graph: &Graph, config: &[UState<Self>]) -> bool {
+        let turns: Vec<Turn> = config.iter().map(|s| s.turn).collect();
+        Predicates::new(self.alg.unison(), graph).graph_good(&turns)
+            && bio_networks::tissue_pattern_legitimate(graph, config)
+    }
+
+    fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String> {
+        self.alg.checker().check_snapshot(graph, config)
+    }
+
+    fn check_window(&self, graph: &Graph, changes: &[u64], rounds: u64) -> Vec<String> {
+        self.alg.checker().check_window(graph, changes, rounds)
+    }
+
+    fn encode_snapshot(&self, snap: &ExecutionSnapshot<UState<Self>>) -> Option<JsonValue> {
+        encode_composite_snapshot(snap, &self.inner_palette, &self.turns)
+    }
+
+    fn decode_snapshot(&self, value: &JsonValue) -> Option<ExecutionSnapshot<UState<Self>>> {
+        ExecutionSnapshot::from_json(value, |v| {
+            decode_sync_state(v, &self.inner_palette, &self.turns)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared phase machine
+// ---------------------------------------------------------------------------
+
+/// Runs one unit of any algorithm family through the shared phase machine —
+/// **stabilize** (round budget `max_rounds`), **verify** (window of
+/// `verify_rounds` rounds with safety checks at every boundary and a
+/// liveness check over the window) and, for scenario units, **recover**: a
+/// series of fault bursts, each scrambling `burst_size` nodes with states
+/// drawn from the bundle's fault palette, each recovery measured in rounds
+/// against a fresh `max_rounds` budget.
+///
+/// Checkpoint/resume covers every phase: burst draws are pure functions of
+/// `(seed, burst index)`, the burst bookkeeping is part of the checkpoint
+/// document and bursts fire atomically with the phase transition, so a
+/// resumed unit replays the exact run of an uninterrupted one.
+fn run_unit_generic<B: UnitAlgorithm>(
+    bundle: &B,
+    graph: &Graph,
+    params: &UnitParams<'_>,
+    policy: &CheckpointPolicy<'_>,
+) -> Result<UnitOutcome, SpecError> {
+    let alg = bundle.algorithm();
+    let seed = params.seed;
+    let max_rounds = params.max_rounds;
+    let verify_rounds = params.verify_rounds;
+    let recovery = params.recovery.unwrap_or(RecoveryPlan {
+        bursts: 0,
+        burst_size: 0,
+    });
+    let mut sched = params.scheduler.build();
+    let mut injector = match params.fault {
         FaultPlan::None => None,
         plan => Some(FaultInjector::new(
             plan.clone(),
-            palette.clone(),
+            bundle.fault_palette().to_vec(),
             seed ^ 0xFA01_7BAD_5EED_0001,
         )),
     };
@@ -717,23 +1654,34 @@ pub fn run_stabilization_on_graph(
     let mut stab_steps: Option<u64>;
     let mut violations: Vec<String>;
     let mut verify_start_round: u64;
+    let mut verification_rounds: u64;
+    let mut bursts_injected: u64;
+    let mut burst_start_round: u64;
+    let mut recovery_rounds: Vec<u64>;
+    let mut unrecovered: u64;
 
-    let mut exec: Execution<'_, AlgAu> = match policy.resume_from {
+    let mut exec: Execution<'_, B::A> = match policy.resume_from {
         Some(doc) => {
             let snap = field(doc, "execution", "checkpoint").and_then(|v| {
-                ExecutionSnapshot::from_json_indexed(v, &palette)
+                bundle
+                    .decode_snapshot(v)
                     .ok_or_else(|| "checkpoint: malformed execution snapshot".to_string())
             })?;
-            phase = u64_from_json(field(doc, "phase", "checkpoint")?)
-                .ok_or("checkpoint: malformed phase")?;
-            stab_rounds = match doc.get("stab_rounds") {
-                None | Some(JsonValue::Null) => None,
-                Some(v) => Some(u64_from_json(v).ok_or("checkpoint: malformed stab_rounds")?),
+            let opt_u64 = |key: &str| -> Result<Option<u64>, SpecError> {
+                match doc.get(key) {
+                    None | Some(JsonValue::Null) => Ok(None),
+                    Some(v) => u64_from_json(v)
+                        .map(Some)
+                        .ok_or_else(|| format!("checkpoint: malformed {key}")),
+                }
             };
-            stab_steps = match doc.get("stab_steps") {
-                None | Some(JsonValue::Null) => None,
-                Some(v) => Some(u64_from_json(v).ok_or("checkpoint: malformed stab_steps")?),
+            let req_u64 = |key: &str| -> Result<u64, SpecError> {
+                u64_from_json(field(doc, key, "checkpoint")?)
+                    .ok_or_else(|| format!("checkpoint: malformed {key}"))
             };
+            phase = req_u64("phase")?;
+            stab_rounds = opt_u64("stab_rounds")?;
+            stab_steps = opt_u64("stab_steps")?;
             violations = field(doc, "violations", "checkpoint")?
                 .as_array()
                 .ok_or("checkpoint: malformed violations")?
@@ -741,20 +1689,27 @@ pub fn run_stabilization_on_graph(
                 .map(|v| v.as_str().map(str::to_string))
                 .collect::<Option<_>>()
                 .ok_or("checkpoint: malformed violations")?;
-            verify_start_round = u64_from_json(field(doc, "verify_start_round", "checkpoint")?)
-                .ok_or("checkpoint: malformed verify_start_round")?;
-            sched.restore_position(
-                u64_from_json(field(doc, "scheduler_position", "checkpoint")?)
-                    .ok_or("checkpoint: malformed scheduler_position")?,
-            );
+            verify_start_round = req_u64("verify_start_round")?;
+            verification_rounds = req_u64("verification_rounds")?;
+            bursts_injected = req_u64("bursts_injected")?;
+            burst_start_round = req_u64("burst_start_round")?;
+            recovery_rounds = field(doc, "recovery_rounds", "checkpoint")?
+                .as_array()
+                .ok_or("checkpoint: malformed recovery_rounds")?
+                .iter()
+                .map(u64_from_json)
+                .collect::<Option<_>>()
+                .ok_or("checkpoint: malformed recovery_rounds")?;
+            unrecovered = req_u64("unrecovered")?;
+            sched.restore_position(req_u64("scheduler_position")?);
             if let Some(injector) = injector.as_mut() {
                 let snap_json = field(doc, "injector", "checkpoint")?;
                 let snap = FaultInjectorSnapshot::from_json(snap_json)
                     .ok_or("checkpoint: malformed injector snapshot")?;
                 injector.restore(&snap);
             }
-            ExecutionBuilder::new(&alg, graph)
-                .engine(engine)
+            ExecutionBuilder::new(alg, graph)
+                .engine(params.engine)
                 .resume(&snap)
         }
         None => {
@@ -763,13 +1718,18 @@ pub fn run_stabilization_on_graph(
             stab_steps = None;
             violations = Vec::new();
             verify_start_round = 0;
-            let mut exec = ExecutionBuilder::new(&alg, graph)
+            verification_rounds = 0;
+            bursts_injected = 0;
+            burst_start_round = 0;
+            recovery_rounds = Vec::new();
+            unrecovered = 0;
+            let mut exec = ExecutionBuilder::new(alg, graph)
                 .seed(seed)
-                .engine(engine)
-                .random_initial(&palette);
+                .engine(params.engine)
+                .initial(bundle.initial(params.init, graph.node_count(), seed));
             // Legitimacy is checked at time 0 (an adversarial configuration
-            // may already be good).
-            if oracle.is_legitimate(graph, exec.configuration()) {
+            // may already be good; a benign one usually is).
+            if bundle.is_legitimate(graph, exec.configuration()) {
                 stab_rounds = Some(0);
                 stab_steps = Some(0);
                 phase = PHASE_VERIFYING;
@@ -780,18 +1740,45 @@ pub fn run_stabilization_on_graph(
         }
     };
 
-    let make_checkpoint = |exec: &Execution<'_, AlgAu>,
+    // A recovery burst: scramble `burst_size` distinct nodes with palette
+    // states. The draw is a pure function of `(seed, burst index)`, so no
+    // extra RNG stream needs checkpointing — a resumed unit that already
+    // counted the burst as injected never re-draws it.
+    let inject_burst = |exec: &mut Execution<'_, B::A>, burst_idx: u64| {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0xB125_7B12_57B1_257B ^ burst_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let palette = bundle.fault_palette();
+        let n = graph.node_count();
+        let count = recovery.burst_size.min(n);
+        let mut nodes: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = rng.gen_range(i..n);
+            nodes.swap(i, j);
+        }
+        for &v in &nodes[..count] {
+            let s = palette[rng.gen_range(0..palette.len())].clone();
+            exec.corrupt(v, s);
+        }
+    };
+
+    #[allow(clippy::too_many_arguments)]
+    let make_checkpoint = |exec: &Execution<'_, B::A>,
                            sched: &dyn Scheduler,
-                           injector: &Option<FaultInjector<unison_core::Turn>>,
+                           injector: &Option<FaultInjector<UState<B>>>,
                            phase: u64,
                            stab_rounds: Option<u64>,
                            stab_steps: Option<u64>,
                            violations: &[String],
-                           verify_start_round: u64|
+                           verify_start_round: u64,
+                           verification_rounds: u64,
+                           bursts_injected: u64,
+                           burst_start_round: u64,
+                           recovery_rounds: &[u64],
+                           unrecovered: u64|
      -> Result<JsonValue, SpecError> {
-        let snap = exec
-            .snapshot()
-            .to_json_indexed(&palette)
+        let snap = bundle
+            .encode_snapshot(&exec.snapshot())
             .ok_or("checkpoint: a state left the algorithm's palette")?;
         Ok(JsonValue::object([
             ("execution".to_string(), snap),
@@ -818,6 +1805,20 @@ pub fn run_stabilization_on_graph(
                 u64_to_json(verify_start_round),
             ),
             (
+                "verification_rounds".to_string(),
+                u64_to_json(verification_rounds),
+            ),
+            ("bursts_injected".to_string(), u64_to_json(bursts_injected)),
+            (
+                "burst_start_round".to_string(),
+                u64_to_json(burst_start_round),
+            ),
+            (
+                "recovery_rounds".to_string(),
+                JsonValue::Array(recovery_rounds.iter().copied().map(u64_to_json).collect()),
+            ),
+            ("unrecovered".to_string(), u64_to_json(unrecovered)),
+            (
                 "scheduler_position".to_string(),
                 u64_to_json(sched.checkpoint_position()),
             ),
@@ -832,18 +1833,36 @@ pub fn run_stabilization_on_graph(
 
     let mut steps_this_invocation: u64 = 0;
     loop {
-        // Phase exit conditions are evaluated at step boundaries only.
+        // Phase exit and transition conditions are evaluated at step
+        // boundaries only.
         if phase == PHASE_STABILIZING && stab_rounds.is_none() && exec.rounds() >= max_rounds {
             break; // budget exhausted
         }
         if phase == PHASE_VERIFYING && exec.rounds() >= verify_start_round + verify_rounds {
             let changes = exec.output_change_counts().to_vec();
-            violations.extend(checker.check_window(
-                graph,
-                &changes,
-                exec.rounds() - verify_start_round,
-            ));
-            break;
+            verification_rounds = exec.rounds() - verify_start_round;
+            violations.extend(bundle.check_window(graph, &changes, verification_rounds));
+            if bursts_injected < recovery.bursts {
+                inject_burst(&mut exec, bursts_injected);
+                bursts_injected += 1;
+                burst_start_round = exec.rounds();
+                phase = PHASE_RECOVERING;
+            } else {
+                break;
+            }
+        }
+        if phase == PHASE_RECOVERING && exec.rounds() >= burst_start_round + max_rounds {
+            // This burst's recovery budget is exhausted; move on (the next
+            // burst starts from wherever the failed recovery left the
+            // system — faults compose in a real environment).
+            unrecovered += 1;
+            if bursts_injected < recovery.bursts {
+                inject_burst(&mut exec, bursts_injected);
+                bursts_injected += 1;
+                burst_start_round = exec.rounds();
+            } else {
+                break;
+            }
         }
         // Simulated kill: stop between steps with a resumable checkpoint.
         if let Some(allowance) = policy.interrupt_after_steps {
@@ -857,6 +1876,11 @@ pub fn run_stabilization_on_graph(
                     stab_steps,
                     &violations,
                     verify_start_round,
+                    verification_rounds,
+                    bursts_injected,
+                    burst_start_round,
+                    &recovery_rounds,
+                    unrecovered,
                 )?;
                 if let Some(sink) = policy.sink {
                     sink(&doc);
@@ -868,20 +1892,33 @@ pub fn run_stabilization_on_graph(
         let outcome = exec.step_with(&mut *sched);
         steps_this_invocation += 1;
         if outcome.round_completed {
-            if phase == PHASE_STABILIZING && oracle.is_legitimate(graph, exec.configuration()) {
+            if phase == PHASE_STABILIZING && bundle.is_legitimate(graph, exec.configuration()) {
                 stab_rounds = Some(exec.rounds());
                 stab_steps = Some(exec.time());
                 phase = PHASE_VERIFYING;
                 exec.take_output_change_counts();
                 verify_start_round = exec.rounds();
             } else if phase == PHASE_VERIFYING {
-                for v in checker.check_snapshot(graph, exec.configuration()) {
+                for v in bundle.check_snapshot(graph, exec.configuration()) {
                     violations.push(format!("round {}: {v}", exec.rounds()));
+                }
+            } else if phase == PHASE_RECOVERING && bundle.is_legitimate(graph, exec.configuration())
+            {
+                recovery_rounds.push(exec.rounds() - burst_start_round);
+                if bursts_injected < recovery.bursts {
+                    inject_burst(&mut exec, bursts_injected);
+                    bursts_injected += 1;
+                    burst_start_round = exec.rounds();
+                } else {
+                    phase = PHASE_DONE;
                 }
             }
             if let Some(injector) = injector.as_mut() {
                 injector.on_round(&mut exec);
             }
+        }
+        if phase == PHASE_DONE {
+            break;
         }
         if policy.every_steps > 0 && exec.time().is_multiple_of(policy.every_steps) {
             if let Some(sink) = policy.sink {
@@ -894,23 +1931,27 @@ pub fn run_stabilization_on_graph(
                     stab_steps,
                     &violations,
                     verify_start_round,
+                    verification_rounds,
+                    bursts_injected,
+                    burst_start_round,
+                    &recovery_rounds,
+                    unrecovered,
                 )?;
                 sink(&doc);
             }
         }
     }
 
+    let burst_faults = bursts_injected * recovery.burst_size.min(graph.node_count()) as u64;
     Ok(UnitOutcome::Complete(UnitResult {
         stabilization_rounds: stab_rounds,
         stabilization_steps: stab_steps,
-        verification_rounds: if stab_rounds.is_some() {
-            exec.rounds() - verify_start_round
-        } else {
-            0
-        },
+        verification_rounds,
         violations,
-        faults_injected: injector.as_ref().map_or(0, FaultInjector::faults_injected),
+        faults_injected: injector.as_ref().map_or(0, FaultInjector::faults_injected) + burst_faults,
         total_steps: exec.time(),
+        recovery_rounds,
+        unrecovered,
     }))
 }
 
@@ -1033,19 +2074,28 @@ pub fn derived_state_space_rows(id: &str, diameter_bounds: &[usize]) -> Vec<Expe
 // Aggregation and rendering
 // ---------------------------------------------------------------------------
 
-/// Aggregates completed units into one [`ExperimentRow`] per sweep cell
-/// (task × topology × scheduler × engine), summarizing rounds over seeds.
-/// Units must be in expansion order (seed-major within a cell, as
-/// [`SweepSpec::stabilization_units`] produces them).
+/// Aggregates completed units into [`ExperimentRow`]s per sweep cell (task ×
+/// algorithm × topology/scenario × scheduler × engine): one
+/// `<alg>:rounds-to-good@<engine>` row per cell summarizing stabilization
+/// rounds over seeds, plus — for cells with a recovery phase — one
+/// `<alg>:recovery-rounds@<engine>` row summarizing per-burst recovery
+/// rounds over bursts and seeds. Units must be in expansion order
+/// (seed-major within a cell, as [`SweepSpec::execution_units`] produces
+/// them).
 pub fn aggregate_rows(units: &[(SweepUnit, UnitResult)]) -> Vec<ExperimentRow> {
+    type CellKey = (String, String, String, String, String);
     let mut rows: Vec<ExperimentRow> = Vec::new();
-    let mut cell_of_row: Vec<(String, String, String, String)> = Vec::new();
+    let mut cell_of_row: Vec<CellKey> = Vec::new();
     let mut samples: Vec<Vec<u64>> = Vec::new();
     let mut failures: Vec<usize> = Vec::new();
+    let mut recovery_samples: Vec<Vec<u64>> = Vec::new();
+    let mut recovery_failures: Vec<usize> = Vec::new();
+    let mut has_recovery: Vec<bool> = Vec::new();
     for (unit, result) in units {
         let key = (
             unit.task_id.clone(),
-            unit.topology.label(),
+            unit.algorithm.label().to_string(),
+            unit.topology_label(),
             unit.scheduler.label(),
             unit.engine.label(),
         );
@@ -1060,13 +2110,20 @@ pub fn aggregate_rows(units: &[(SweepUnit, UnitResult)]) -> Vec<ExperimentRow> {
                 cell_of_row.push(key);
                 samples.push(Vec::new());
                 failures.push(0);
+                recovery_samples.push(Vec::new());
+                recovery_failures.push(0);
+                has_recovery.push(false);
                 rows.push(ExperimentRow {
                     experiment: unit.task_id.clone(),
-                    topology: unit.topology.label(),
+                    topology: unit.topology_label(),
                     n: graph_n,
                     diameter_bound: d,
                     scheduler: unit.scheduler.label(),
-                    metric: format!("rounds-to-good@{}", unit.engine.label()),
+                    metric: format!(
+                        "{}:rounds-to-good@{}",
+                        unit.algorithm.label(),
+                        unit.engine.label()
+                    ),
                     summary: Summary::of(&[0.0]), // replaced below
                     failures: 0,
                 });
@@ -1080,6 +2137,11 @@ pub fn aggregate_rows(units: &[(SweepUnit, UnitResult)]) -> Vec<ExperimentRow> {
         if !result.violations.is_empty() {
             failures[idx] += 1;
         }
+        if unit.recovery.is_some() {
+            has_recovery[idx] = true;
+            recovery_samples[idx].extend(&result.recovery_rounds);
+            recovery_failures[idx] += result.unrecovered as usize;
+        }
     }
     for (idx, row) in rows.iter_mut().enumerate() {
         let cell_samples = if samples[idx].is_empty() {
@@ -1089,6 +2151,26 @@ pub fn aggregate_rows(units: &[(SweepUnit, UnitResult)]) -> Vec<ExperimentRow> {
         };
         row.summary = Summary::of_u64(&cell_samples);
         row.failures = failures[idx];
+    }
+    // Recovery rows come after the stabilization rows, in cell order, so the
+    // document stays deterministic.
+    for idx in 0..cell_of_row.len() {
+        if !has_recovery[idx] {
+            continue;
+        }
+        let cell_samples = if recovery_samples[idx].is_empty() {
+            vec![0]
+        } else {
+            recovery_samples[idx].clone()
+        };
+        let template = rows[idx].clone();
+        let (_, algorithm, _, _, engine) = &cell_of_row[idx];
+        rows.push(ExperimentRow {
+            metric: format!("{algorithm}:recovery-rounds@{engine}"),
+            summary: Summary::of_u64(&cell_samples),
+            failures: recovery_failures[idx],
+            ..template
+        });
     }
     rows
 }
@@ -1172,7 +2254,7 @@ pub fn run_instant_tasks(spec: &SweepSpec) -> (Vec<ExperimentRow>, Vec<(String, 
             } => {
                 rows.extend(state_space_rows(id, diameter_bounds, *include_derived));
             }
-            SweepTask::Stabilization(_) => {}
+            SweepTask::Stabilization(_) | SweepTask::Scenario(_) => {}
         }
     }
     (rows, artifacts)
@@ -1183,7 +2265,7 @@ pub fn run_instant_tasks(spec: &SweepSpec) -> (Vec<ExperimentRow>, Vec<(String, 
 /// selection) and returns the aggregate report pieces. The CLI adds
 /// parallel fan-out, checkpoint persistence and file output on top.
 pub fn run_spec_in_process(spec: &SweepSpec) -> Result<ExperimentReport, SpecError> {
-    let units = spec.stabilization_units();
+    let units = spec.execution_units();
     let mut done = Vec::with_capacity(units.len());
     for unit in units {
         match run_unit(&unit, &CheckpointPolicy::default())? {
@@ -1233,13 +2315,119 @@ mod tests {
         let spec = SweepSpec::parse(SMOKE).expect("spec parses");
         assert_eq!(spec.name, "test-sweep");
         assert_eq!(spec.tasks.len(), 3);
-        let units = spec.stabilization_units();
-        // 2 topologies × 2 schedulers × 2 engines × 2 seeds
+        let units = spec.execution_units();
+        // 1 algorithm × 2 topologies × 2 schedulers × 2 engines × 2 seeds
         assert_eq!(units.len(), 16);
         let ids: Vec<String> = units.iter().map(SweepUnit::id).collect();
         let unique: std::collections::BTreeSet<_> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len(), "unit ids must be unique");
-        assert!(ids[0].starts_with("R1--cycle-6--synchronous--serial--s0"));
+        assert!(ids[0].starts_with("R1--algau--cycle-6--synchronous--serial--s0"));
+    }
+
+    #[test]
+    fn algorithm_axis_parses_and_expands() {
+        let spec = SweepSpec::parse(
+            r#"{
+              "name": "axis",
+              "tasks": [{
+                "id": "A1",
+                "kind": "stabilization",
+                "algorithms": ["algau", "min-plus-one", "le", "mis"],
+                "topologies": [{"kind": "cycle", "n": 5}],
+                "schedulers": ["synchronous"],
+                "init": "benign",
+                "seeds": 2
+              }]
+            }"#,
+        )
+        .expect("spec parses");
+        let units = spec.execution_units();
+        assert_eq!(units.len(), 8, "4 algorithms × 2 seeds");
+        let labels: Vec<&str> = units.iter().map(|u| u.algorithm.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "algau",
+                "algau",
+                "min-plus-one",
+                "min-plus-one",
+                "le",
+                "le",
+                "mis",
+                "mis"
+            ]
+        );
+        assert!(units.iter().all(|u| u.init == InitSpec::Benign));
+        assert!(units[2].id().starts_with("A1--min-plus-one--cycle-5"));
+        let err = SweepSpec::parse(
+            r#"{"name": "x", "tasks": [{"id": "a", "kind": "stabilization",
+               "algorithms": ["warp"], "topologies": [{"kind": "path", "n": 2}],
+               "schedulers": ["synchronous"]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn scenario_task_parses_and_expands() {
+        let spec = SweepSpec::parse(
+            r#"{
+              "name": "scenarios",
+              "tasks": [
+                {"id": "B1", "kind": "scenario",
+                 "scenario": {"kind": "colony", "cells": 8},
+                 "harshness": "severe", "bursts": 2,
+                 "schedulers": [{"kind": "uniform-random", "p": 0.5}],
+                 "engines": ["serial"], "seeds": 2},
+                {"id": "B2", "kind": "scenario",
+                 "scenario": {"kind": "tissue", "rows": 3, "cols": 3},
+                 "schedulers": ["synchronous"]},
+                {"id": "B3", "kind": "scenario",
+                 "scenario": {"kind": "pulse", "segments": 3, "cells_per_segment": 3},
+                 "harshness": "mild",
+                 "schedulers": ["round-robin"]}
+              ]
+            }"#,
+        )
+        .expect("spec parses");
+        let units = spec.execution_units();
+        assert_eq!(units.len(), 4);
+        let colony = &units[0];
+        assert_eq!(colony.algorithm, AlgorithmSpec::AsyncLe);
+        assert_eq!(
+            colony.recovery,
+            Some(RecoveryPlan {
+                bursts: 2,
+                // severe: ⌈8 · 0.6⌉ = 5
+                burst_size: 5,
+            })
+        );
+        assert_eq!(colony.init, InitSpec::Benign);
+        assert_eq!(colony.diameter_bound, Some(2));
+        assert!(colony
+            .id()
+            .starts_with("B1--le--colony-8-severe--uniform-random-0.5"));
+        let tissue = &units[2];
+        assert_eq!(tissue.algorithm, AlgorithmSpec::AsyncMis);
+        assert_eq!(tissue.topology, Topology::Grid { rows: 3, cols: 3 });
+        assert_eq!(tissue.scenario.as_deref(), Some("tissue-3x3-moderate"));
+        let pulse = &units[3];
+        assert_eq!(pulse.algorithm, AlgorithmSpec::AlgAu);
+        assert_eq!(
+            pulse.topology,
+            Topology::Caveman {
+                clusters: 3,
+                clique: 3
+            }
+        );
+        // mild: ⌈9 · 0.1⌉ = 1
+        assert_eq!(pulse.recovery.unwrap().burst_size, 1);
+        let err = SweepSpec::parse(
+            r#"{"name": "x", "tasks": [{"id": "a", "kind": "scenario",
+               "scenario": {"kind": "warp"}, "schedulers": ["synchronous"]}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown scenario kind"), "{err}");
     }
 
     #[test]
@@ -1261,7 +2449,7 @@ mod tests {
     #[test]
     fn units_run_clean_and_aggregate() {
         let spec = SweepSpec::parse(SMOKE).unwrap();
-        let units = spec.stabilization_units();
+        let units = spec.execution_units();
         let mut done = Vec::new();
         for unit in units {
             match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
@@ -1276,8 +2464,100 @@ mod tests {
         let rows = aggregate_rows(&done);
         assert_eq!(rows.len(), 8, "one row per cell");
         assert!(rows.iter().all(|r| r.failures == 0));
-        assert!(rows.iter().any(|r| r.metric == "rounds-to-good@serial"));
-        assert!(rows.iter().any(|r| r.metric == "rounds-to-good@sharded-2"));
+        assert!(rows
+            .iter()
+            .any(|r| r.metric == "algau:rounds-to-good@serial"));
+        assert!(rows
+            .iter()
+            .any(|r| r.metric == "algau:rounds-to-good@sharded-2"));
+    }
+
+    #[test]
+    fn min_plus_one_units_run_clean() {
+        let spec = SweepSpec::parse(
+            r#"{
+              "name": "baseline",
+              "tasks": [{
+                "id": "E9",
+                "kind": "stabilization",
+                "algorithms": ["min-plus-one"],
+                "topologies": [{"kind": "cycle", "n": 6}],
+                "schedulers": ["synchronous", {"kind": "uniform-random", "p": 0.5}],
+                "engines": ["serial", {"kind": "sharded", "threads": 2}],
+                "seeds": 2,
+                "max_rounds": 2000
+              }]
+            }"#,
+        )
+        .unwrap();
+        let mut done = Vec::new();
+        for unit in spec.execution_units() {
+            match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
+                UnitOutcome::Complete(result) => {
+                    assert!(result.is_clean(), "unit {} failed: {result:?}", unit.id());
+                    done.push((unit, result));
+                }
+                UnitOutcome::Interrupted(_) => panic!("no interruption requested"),
+            }
+        }
+        // serial ≡ sharded for the baseline too (engine pairs share seeds)
+        let rows = aggregate_rows(&done);
+        let serial: Vec<_> = rows
+            .iter()
+            .filter(|r| r.metric == "min-plus-one:rounds-to-good@serial")
+            .collect();
+        let sharded: Vec<_> = rows
+            .iter()
+            .filter(|r| r.metric == "min-plus-one:rounds-to-good@sharded-2")
+            .collect();
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(a.summary, b.summary, "engines disagree");
+        }
+    }
+
+    #[test]
+    fn scenario_units_recover_and_aggregate() {
+        let spec = SweepSpec::parse(
+            r#"{
+              "name": "bio",
+              "tasks": [{
+                "id": "B1", "kind": "scenario",
+                "scenario": {"kind": "pulse", "segments": 3, "cells_per_segment": 3},
+                "harshness": "moderate", "bursts": 2,
+                "schedulers": [{"kind": "uniform-random", "p": 0.5}],
+                "engines": ["serial", {"kind": "sharded", "threads": 2}],
+                "seeds": 2,
+                "max_rounds": 50000
+              }]
+            }"#,
+        )
+        .unwrap();
+        let mut done = Vec::new();
+        for unit in spec.execution_units() {
+            match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
+                UnitOutcome::Complete(result) => {
+                    assert!(result.is_clean(), "unit {} failed: {result:?}", unit.id());
+                    assert_eq!(result.recovery_rounds.len(), 2, "both bursts recovered");
+                    assert!(result.faults_injected > 0, "bursts count as faults");
+                    done.push((unit, result));
+                }
+                UnitOutcome::Interrupted(_) => panic!("no interruption requested"),
+            }
+        }
+        // engine invariance extends to the recovery phase
+        assert_eq!(done[0].1, done[2].1, "serial ≡ sharded (seed 0)");
+        assert_eq!(done[1].1, done[3].1, "serial ≡ sharded (seed 1)");
+        let rows = aggregate_rows(&done);
+        assert_eq!(rows.len(), 4, "a rounds row and a recovery row per cell");
+        let recovery: Vec<_> = rows
+            .iter()
+            .filter(|r| r.metric.contains("recovery-rounds"))
+            .collect();
+        assert_eq!(recovery.len(), 2);
+        assert!(recovery
+            .iter()
+            .all(|r| r.topology == "pulse-3x3-moderate" && r.failures == 0));
     }
 
     #[test]
@@ -1285,7 +2565,7 @@ mod tests {
         // serial ≡ sharded bit-for-bit means the measured stabilization
         // rounds of paired units must agree exactly.
         let spec = SweepSpec::parse(SMOKE).unwrap();
-        let units = spec.stabilization_units();
+        let units = spec.execution_units();
         let run = |unit: &SweepUnit| match run_unit(unit, &CheckpointPolicy::default()).unwrap() {
             UnitOutcome::Complete(r) => r,
             _ => unreachable!(),
@@ -1305,7 +2585,7 @@ mod tests {
     #[test]
     fn interrupt_and_resume_is_bit_identical() {
         let spec = SweepSpec::parse(SMOKE).unwrap();
-        let unit = &spec.stabilization_units()[5];
+        let unit = &spec.execution_units()[5];
         let reference = match run_unit(unit, &CheckpointPolicy::default()).unwrap() {
             UnitOutcome::Complete(r) => r,
             _ => unreachable!(),
@@ -1340,7 +2620,7 @@ mod tests {
     #[test]
     fn render_json_is_deterministic() {
         let spec = SweepSpec::parse(SMOKE).unwrap();
-        let unit = spec.stabilization_units().remove(0);
+        let unit = spec.execution_units().remove(0);
         let result = match run_unit(&unit, &CheckpointPolicy::default()).unwrap() {
             UnitOutcome::Complete(r) => r,
             _ => unreachable!(),
@@ -1352,7 +2632,24 @@ mod tests {
         assert_eq!(a, b);
         let md = render_markdown(&spec, &rows, &[], &done);
         assert!(md.contains("# Experiments — test-sweep"));
-        assert!(md.contains("rounds-to-good@serial"));
+        assert!(md.contains("algau:rounds-to-good@serial"));
+    }
+
+    #[test]
+    fn random_configuration_matches_execution_builder_random_initial() {
+        // `random_configuration` deliberately duplicates the builder's seed
+        // derivation so pre-axis AlgAU unit trajectories are preserved; this
+        // pins the two implementations together.
+        let alg = AlgAu::new(2);
+        let palette = alg.states();
+        let g = Graph::cycle(9);
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let via_builder = ExecutionBuilder::new(&alg, &g)
+                .seed(seed)
+                .random_initial(&palette);
+            let via_helper = random_configuration(&palette, g.node_count(), seed);
+            assert_eq!(via_builder.configuration(), &via_helper[..], "seed {seed}");
+        }
     }
 
     #[test]
@@ -1374,6 +2671,8 @@ mod tests {
             verification_rounds: 16,
             faults_injected: 4,
             total_steps: 96,
+            recovery_rounds: vec![3, 9],
+            unrecovered: 0,
         };
         let text = result.to_json().render();
         let back = UnitResult::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
@@ -1385,6 +2684,8 @@ mod tests {
             verification_rounds: 0,
             faults_injected: 0,
             total_steps: 10,
+            recovery_rounds: vec![],
+            unrecovered: 2,
         };
         let text = failed.to_json().render();
         assert_eq!(

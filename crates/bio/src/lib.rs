@@ -73,7 +73,13 @@ pub fn pulse_unison_recovery(
 /// Legitimacy of the tissue pattern: every cell decided, the differentiated (`IN`)
 /// cells independent, every other cell next to a differentiated one, and no cell in
 /// the middle of a reset.
-fn tissue_pattern_legitimate(graph: &Graph, config: &[SyncState<RestartState<MisState>>]) -> bool {
+///
+/// Exposed for the sweep runner's `mis` algorithm axis and `tissue` scenario
+/// units (`sa_bench::sweep`), which combine it with AU-clock goodness.
+pub fn tissue_pattern_legitimate(
+    graph: &Graph,
+    config: &[SyncState<RestartState<MisState>>],
+) -> bool {
     let mut in_set = vec![false; config.len()];
     for (v, s) in config.iter().enumerate() {
         match &s.current {
@@ -131,7 +137,10 @@ pub fn tissue_mis_availability(
 }
 
 /// Legitimacy of the colony: exactly one leader and no cell mid-reset.
-fn colony_leader_legitimate(
+///
+/// Exposed for the sweep runner's `le` algorithm axis and `colony` scenario
+/// units (`sa_bench::sweep`), which combine it with AU-clock goodness.
+pub fn colony_leader_legitimate(
     _graph: &Graph,
     config: &[SyncState<RestartState<sa_protocols::le::LeState>>],
 ) -> bool {

@@ -11,8 +11,9 @@
 //! sa run    <spec.json> [--out DIR] [--checkpoint-every N]
 //!                       [--interrupt-after-steps N] [--interrupt-units K]
 //! sa resume <spec.json> [--out DIR] [--checkpoint-every N]
-//! sa check  <spec.json>
+//! sa check  <spec.json | spec-dir>
 //! sa bench-diff <committed.json> <fresh.json> [--max-regress FRAC]
+//!                                             [--max-regress-sharded FRAC]
 //! ```
 //!
 //! `run` starts a sweep from scratch; `resume` picks up completed unit
@@ -32,8 +33,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
          [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
-         [--checkpoint-every N]\n  sa check  <spec.json>\n  sa bench-diff <committed.json> \
-         <fresh.json> [--max-regress FRAC]"
+         [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa bench-diff \
+         <committed.json> <fresh.json> [--max-regress FRAC] [--max-regress-sharded FRAC]"
     );
     ExitCode::from(2)
 }

@@ -97,21 +97,69 @@ fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
 }
 
-/// `sa check`: validate a spec and print its unit expansion.
+/// Collects every `.json` spec under `dir`, recursively, in sorted order
+/// (deterministic across platforms).
+fn collect_specs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_specs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "json") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `sa check`: validate a spec (or, given a directory, every `.json` spec
+/// under it, recursively — CI runs `sa check examples/specs` so a broken
+/// committed spec fails fast) and print its unit expansion.
 pub fn check(args: &[String]) -> Result<ExitCode, String> {
     let options = parse_options(args)?;
-    let spec = load_spec(&options.spec_path)?;
-    let units = spec.stabilization_units();
-    let mut out = format!(
-        "spec \"{}\": {} task(s), {} stabilization unit(s)\n",
-        spec.name,
-        spec.tasks.len(),
-        units.len()
-    );
-    for unit in &units {
-        out.push_str(&format!("  {}\n", unit.id()));
+    let specs = if options.spec_path.is_dir() {
+        let mut specs = Vec::new();
+        collect_specs(&options.spec_path, &mut specs)?;
+        if specs.is_empty() {
+            return Err(format!(
+                "no .json specs under {}",
+                options.spec_path.display()
+            ));
+        }
+        specs
+    } else {
+        vec![options.spec_path.clone()]
+    };
+    let mut failures = 0usize;
+    for path in &specs {
+        match load_spec(path) {
+            Ok(spec) => {
+                let units = spec.execution_units();
+                let mut out = format!(
+                    "{}: spec \"{}\": {} task(s), {} execution unit(s)\n",
+                    path.display(),
+                    spec.name,
+                    spec.tasks.len(),
+                    units.len()
+                );
+                for unit in &units {
+                    out.push_str(&format!("  {}\n", unit.id()));
+                }
+                print_out(&out);
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", path.display());
+                failures += 1;
+            }
+        }
     }
-    print_out(&out);
+    if failures > 0 {
+        eprintln!("sa check: {failures} invalid spec(s)");
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -131,7 +179,7 @@ pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
     fs::create_dir_all(&state_dir)
         .map_err(|e| format!("cannot create {}: {e}", state_dir.display()))?;
 
-    let units = spec.stabilization_units();
+    let units = spec.execution_units();
 
     // Per-unit inputs: previously completed result (resume) or in-flight
     // checkpoint (resume), plus this invocation's interrupt allowance.

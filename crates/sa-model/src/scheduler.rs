@@ -136,6 +136,22 @@ pub trait Scheduler {
     /// cursor) override this so that a scheduler rebuilt from the same
     /// parameters plus [`Scheduler::restore_position`] continues the exact
     /// activation sequence.
+    ///
+    /// **Audit of the built-in schedulers** (each pinned by the
+    /// `*_checkpoint_*` tests below and by `tests/checkpoint_roundtrip.rs`):
+    ///
+    /// * [`SynchronousScheduler`] — stateless (activates everyone).
+    /// * [`UniformRandomScheduler`] / [`CentralScheduler`] — no own state;
+    ///   every draw comes from the execution-owned RNG stream, whose exact
+    ///   word position the execution snapshot captures.
+    /// * [`RoundRobinScheduler`] — the cyclic cursor **is** resume-visible
+    ///   state; it overrides this method.
+    /// * [`AdversarialLaggardScheduler`] — a pure function of the step
+    ///   counter `time` (window phase = `(time + 1) % window`); the laggard
+    ///   set and window are construction parameters, `time` is captured by
+    ///   the execution snapshot.
+    /// * [`ScriptedScheduler`] — a pure function of `time` (`time % period`);
+    ///   the script is a construction parameter.
     fn checkpoint_position(&self) -> u64 {
         0
     }
@@ -595,6 +611,127 @@ mod tests {
         let mut s = SynchronousScheduler;
         assert_eq!(s.checkpoint_position(), 0);
         s.restore_position(99);
+    }
+
+    /// The resume contract every built-in scheduler must satisfy: a fresh
+    /// instance rebuilt from the same construction parameters, repositioned
+    /// with `restore_position` and driven from the same step counter and the
+    /// same RNG stream position, continues the exact activation sequence.
+    /// The cut points deliberately fall mid-window / mid-script (not on a
+    /// period boundary) so any hidden phase state would surface.
+    fn assert_checkpoint_resume_exact(
+        graph: &Graph,
+        mut original: Box<dyn Scheduler>,
+        rebuild: &dyn Fn() -> Box<dyn Scheduler>,
+        cut: u64,
+        horizon: u64,
+        context: &str,
+    ) {
+        let mut rng_a = StdRng::seed_from_u64(0xA0D17);
+        for t in 0..cut {
+            original.activations(graph, t, &mut rng_a);
+        }
+        // Checkpoint: the scheduler position plus the RNG stream words (the
+        // execution snapshot captures the latter for the real runner).
+        let position = original.checkpoint_position();
+        let rng_words = rng_a.state();
+        let mut resumed = rebuild();
+        resumed.restore_position(position);
+        let mut rng_b = StdRng::from_state(rng_words);
+        for t in cut..horizon {
+            assert_eq!(
+                original.activations(graph, t, &mut rng_a),
+                resumed.activations(graph, t, &mut rng_b),
+                "[{context}] step {t}: resumed scheduler diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronous_checkpoint_resume_is_exact() {
+        let g = Graph::grid(3, 3);
+        assert_checkpoint_resume_exact(
+            &g,
+            Box::new(SynchronousScheduler),
+            &|| Box::new(SynchronousScheduler),
+            5,
+            30,
+            "synchronous",
+        );
+    }
+
+    #[test]
+    fn uniform_random_checkpoint_resume_is_exact() {
+        // No own state: the RNG stream position (execution-owned) is the
+        // only thing that moves.
+        let g = Graph::grid(3, 3);
+        assert_checkpoint_resume_exact(
+            &g,
+            Box::new(UniformRandomScheduler::new(0.4)),
+            &|| Box::new(UniformRandomScheduler::new(0.4)),
+            7,
+            40,
+            "uniform-random",
+        );
+    }
+
+    #[test]
+    fn central_checkpoint_resume_is_exact() {
+        let g = Graph::grid(3, 3);
+        assert_checkpoint_resume_exact(
+            &g,
+            Box::new(CentralScheduler),
+            &|| Box::new(CentralScheduler),
+            9,
+            40,
+            "central",
+        );
+    }
+
+    #[test]
+    fn round_robin_checkpoint_resume_is_exact() {
+        // The cursor is resume-visible state; cut mid-cycle.
+        let g = Graph::path(7);
+        assert_checkpoint_resume_exact(
+            &g,
+            Box::<RoundRobinScheduler>::default(),
+            &|| Box::<RoundRobinScheduler>::default(),
+            4,
+            30,
+            "round-robin",
+        );
+    }
+
+    #[test]
+    fn laggard_checkpoint_resume_is_exact() {
+        // Cut strictly inside a fairness window (window 5, cut 3): the
+        // window phase must be recomputed from the step counter alone.
+        let g = Graph::complete(6);
+        assert_checkpoint_resume_exact(
+            &g,
+            Box::new(AdversarialLaggardScheduler::new(vec![0, 2], 5)),
+            &|| Box::new(AdversarialLaggardScheduler::new(vec![0, 2], 5)),
+            3,
+            35,
+            "adversarial-laggard",
+        );
+    }
+
+    #[test]
+    fn scripted_checkpoint_resume_is_exact() {
+        // Cut mid-script (period 4, cut 6 ≡ 2 mod 4): the script phase must
+        // be recomputed from the step counter alone.
+        let script = vec![vec![2, 0], vec![1], vec![0, 1, 2], vec![2]];
+        let g = Graph::path(3);
+        let make = move || Box::new(ScriptedScheduler::new(script.clone()));
+        assert_checkpoint_resume_exact(
+            &g,
+            make(),
+            &|| make() as Box<dyn Scheduler>,
+            6,
+            30,
+            "scripted",
+        );
     }
 
     #[test]

@@ -109,11 +109,18 @@ pub struct ExecutionSnapshot<S> {
 impl<S> ExecutionSnapshot<S> {
     /// Serializes the snapshot, encoding each state with `encode`.
     pub fn to_json(&self, encode: impl Fn(&S) -> JsonValue) -> JsonValue {
-        JsonValue::object([
-            (
-                "config".to_string(),
-                JsonValue::Array(self.config.iter().map(&encode).collect()),
-            ),
+        self.try_to_json(|s| Some(encode(s)))
+            .expect("infallible codec")
+    }
+
+    /// Like [`ExecutionSnapshot::to_json`], but with a fallible state
+    /// codec: returns `None` as soon as any configuration state fails to
+    /// encode (e.g. it left the palette an indexed codec relies on), with
+    /// each state encoded exactly once.
+    pub fn try_to_json(&self, encode: impl Fn(&S) -> Option<JsonValue>) -> Option<JsonValue> {
+        let config: Vec<JsonValue> = self.config.iter().map(encode).collect::<Option<_>>()?;
+        Some(JsonValue::object([
+            ("config".to_string(), JsonValue::Array(config)),
             ("time".to_string(), u64_to_json(self.time)),
             ("rounds".to_string(), u64_to_json(self.rounds)),
             (
@@ -164,7 +171,7 @@ impl<S> ExecutionSnapshot<S> {
                 JsonValue::Array(self.sched_rng.iter().copied().map(u64_to_json).collect()),
             ),
             ("dense".to_string(), JsonValue::Bool(self.dense)),
-        ])
+        ]))
     }
 
     /// Deserializes a snapshot produced by [`ExecutionSnapshot::to_json`],
@@ -231,13 +238,12 @@ impl<S: PartialEq> ExecutionSnapshot<S> {
     /// some state is not in the palette (e.g. after a fault with an exotic
     /// palette).
     pub fn to_json_indexed(&self, palette: &[S]) -> Option<JsonValue> {
-        if self.config.iter().any(|s| !palette.contains(s)) {
-            return None;
-        }
-        Some(self.to_json(|s| {
-            let idx = palette.iter().position(|p| p == s).expect("checked above");
-            JsonValue::Number(idx as f64)
-        }))
+        self.try_to_json(|s| {
+            palette
+                .iter()
+                .position(|p| p == s)
+                .map(|idx| JsonValue::Number(idx as f64))
+        })
     }
 }
 

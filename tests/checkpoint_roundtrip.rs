@@ -358,7 +358,7 @@ fn sweep_unit_kill_resume_matches_uninterrupted() {
         }"#,
     )
     .expect("spec parses");
-    let units = spec.stabilization_units();
+    let units = spec.execution_units();
     assert_eq!(units.len(), 8);
     let complete = |unit: &SweepUnit, policy: &CheckpointPolicy<'_>| {
         sa_bench::sweep::run_unit(unit, policy).expect("unit runs")
@@ -424,4 +424,103 @@ fn sweep_unit_kill_resume_matches_uninterrupted() {
     }
     // sanity: the declarative scheduler vocabulary covers what we swept
     assert_eq!(SchedulerSpec::RoundRobin.label(), "round-robin");
+}
+
+/// The same kill/resume ≡ uninterrupted property for the new unit kinds of
+/// the `algorithm` axis — the min-plus-one baseline and the LE/MIS
+/// algorithms lifted through the synchronizer — and for a fault-recovery
+/// scenario unit whose kills land inside the recovery phase too (the burst
+/// bookkeeping is part of the checkpoint document). Serial and sharded
+/// engines are both exercised; paired cells must agree bit-for-bit.
+#[test]
+fn multi_algorithm_and_scenario_units_kill_resume_match_uninterrupted() {
+    let spec = SweepSpec::parse(
+        r#"{
+          "name": "axis-roundtrip",
+          "tasks": [
+            {
+              "id": "AX",
+              "kind": "stabilization",
+              "algorithms": ["min-plus-one", "le", "mis"],
+              "topologies": [{"kind": "cycle", "n": 5}],
+              "schedulers": [{"kind": "uniform-random", "p": 0.5}],
+              "engines": ["serial", {"kind": "sharded", "threads": 2}],
+              "seeds": 1,
+              "max_rounds": 100000
+            },
+            {
+              "id": "SC",
+              "kind": "scenario",
+              "scenario": {"kind": "pulse", "segments": 3, "cells_per_segment": 2},
+              "harshness": "severe",
+              "bursts": 2,
+              "schedulers": ["round-robin"],
+              "engines": ["serial", {"kind": "sharded", "threads": 2}],
+              "seeds": 1,
+              "max_rounds": 100000
+            }
+          ]
+        }"#,
+    )
+    .expect("spec parses");
+    let units = spec.execution_units();
+    assert_eq!(units.len(), 8);
+    let complete = |unit: &SweepUnit, policy: &CheckpointPolicy<'_>| {
+        sa_bench::sweep::run_unit(unit, policy).expect("unit runs")
+    };
+    let mut results = Vec::new();
+    for unit in &units {
+        let reference: UnitResult = match complete(unit, &CheckpointPolicy::default()) {
+            UnitOutcome::Complete(r) => r,
+            UnitOutcome::Interrupted(_) => unreachable!(),
+        };
+        assert!(reference.is_clean(), "unit {}: {reference:?}", unit.id());
+        if unit.recovery.is_some() {
+            assert_eq!(reference.recovery_rounds.len(), 2, "both bursts recovered");
+        }
+        let mut checkpoint: Option<JsonValue> = None;
+        let mut kills = 0usize;
+        let resumed = loop {
+            let policy = CheckpointPolicy {
+                every_steps: 0,
+                sink: None,
+                resume_from: checkpoint.as_ref(),
+                interrupt_after_steps: Some(7),
+            };
+            match complete(unit, &policy) {
+                UnitOutcome::Complete(r) => break r,
+                UnitOutcome::Interrupted(doc) => {
+                    kills += 1;
+                    assert!(kills < 100_000, "unit {} never finished", unit.id());
+                    // serialize → parse round-trip, as the CLI's state files do
+                    checkpoint =
+                        Some(JsonValue::parse(&doc.render_pretty()).expect("checkpoint parses"));
+                }
+            }
+        };
+        assert!(
+            kills > 0,
+            "unit {} finished before the first kill",
+            unit.id()
+        );
+        assert_eq!(
+            resumed,
+            reference,
+            "unit {} diverged after resume",
+            unit.id()
+        );
+        results.push((unit.id(), reference));
+    }
+    // Engine invariance: each serial cell's result equals its sharded twin.
+    for (serial_id, serial_result) in &results {
+        if !serial_id.contains("--serial--") {
+            continue;
+        }
+        let twin_id = serial_id.replace("--serial--", "--sharded-2--");
+        let (_, twin) = results
+            .iter()
+            .find(|(id, _)| *id == twin_id)
+            .expect("sharded twin exists");
+        assert_eq!(serial_result, twin, "engines disagree for {serial_id}");
+    }
 }
