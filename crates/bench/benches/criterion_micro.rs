@@ -149,6 +149,117 @@ fn bench_engine_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Labels of the mask-predicate topologies (shared with the summary
+/// printer).
+const MASK_LABELS: [&str; 2] = ["torus-32x32", "regular4-1024"];
+
+/// The mask-predicate benchmark graphs, each paired with a *churning* AlgAU
+/// instance: the level bound is deliberately smaller than the graph
+/// diameter, so the field never synchronizes and every synchronous round
+/// keeps evaluating heterogeneous `(state, signal)` pairs — the memo ring
+/// thrashes and the closure path pays the full per-sensed-state iteration,
+/// which is exactly the workload the word-level masks replace.
+fn mask_benchmark_graphs() -> Vec<(&'static str, Graph, AlgAu)> {
+    vec![
+        (
+            MASK_LABELS[0],
+            Topology::Torus { rows: 32, cols: 32 }.build_deterministic(),
+            AlgAu::new(4),
+        ),
+        (
+            MASK_LABELS[1],
+            Topology::RandomRegular { n: 1024, deg: 4 }.build(9),
+            AlgAu::new(3),
+        ),
+    ]
+}
+
+/// Word-level mask predicates vs the closure path on synchronous-round
+/// workloads: identical executions (pinned by `tests/engine_equivalence.rs`),
+/// only the transition evaluation strategy differs. The acceptance target is
+/// a ≥ 2x median speedup for the masked path.
+fn bench_mask_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask-predicates");
+    group.sample_size(10);
+    for (label, graph, alg) in mask_benchmark_graphs() {
+        let palette = alg.states();
+        for (path_label, masked) in [("masked", true), ("closure", false)] {
+            group.bench_with_input(BenchmarkId::new(label, path_label), &graph, |b, graph| {
+                b.iter_batched(
+                    || {
+                        ExecutionBuilder::new(&alg, graph)
+                            .seed(21)
+                            .masked_transitions(masked)
+                            .random_initial(&palette)
+                    },
+                    |mut exec| {
+                        let mut sched = SynchronousScheduler;
+                        exec.run_rounds(&mut sched, 5);
+                        black_box(exec.rounds())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Labels of the apply-scaling topologies (shared with the summary printer).
+const APPLY_LABELS: [&str; 2] = ["torus-64x64", "hypercube-12"];
+
+/// Serial vs sharded apply on ≥ 4096-node topologies. A churning AlgAU
+/// keeps every synchronous changed set far above
+/// `SHARDED_APPLY_MIN_CHANGED`, so the sharded engines commit the apply
+/// stage across the pool (the evaluate stage is already mask-compiled and
+/// cheap — the degree-12 hypercube makes the `O(changed · deg)` count
+/// updates the dominant cost). Single-core hosts record the honest ≤ 1x
+/// coordination overhead; re-record on a multi-core host for the real
+/// scaling (see ROADMAP).
+fn bench_apply_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply-scaling");
+    group.sample_size(10);
+    let graphs = vec![
+        (
+            APPLY_LABELS[0],
+            Topology::Torus { rows: 64, cols: 64 }.build_deterministic(),
+            AlgAu::new(4),
+        ),
+        (
+            APPLY_LABELS[1],
+            Topology::Hypercube { dim: 12 }.build_deterministic(),
+            AlgAu::new(3),
+        ),
+    ];
+    for (label, graph, alg) in graphs {
+        let palette = alg.states();
+        for (engine_label, kind) in [
+            ("serial", EngineKind::Serial),
+            ("sharded-2", EngineKind::Sharded { threads: 2 }),
+            ("sharded-4", EngineKind::Sharded { threads: 4 }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, engine_label), &graph, |b, graph| {
+                b.iter_batched(
+                    || {
+                        ExecutionBuilder::new(&alg, graph)
+                            .seed(31)
+                            .engine(kind)
+                            .random_initial(&palette)
+                    },
+                    |mut exec| {
+                        let mut sched = SynchronousScheduler;
+                        exec.run_rounds(&mut sched, 2);
+                        black_box(exec.rounds());
+                        exec
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_stabilization(c: &mut Criterion) {
     let mut group = c.benchmark_group("algau-stabilization");
     group.sample_size(10);
@@ -201,6 +312,43 @@ fn speedup_summary(c: &mut Criterion) {
             );
         }
     }
+    println!("\n==== masked vs closure transition path (synchronous rounds) ====");
+    for label in MASK_LABELS {
+        let time_of = |path: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "mask-predicates" && r.bench == format!("{label}/{path}"))
+                .map(|r| r.median_ns)
+        };
+        if let (Some(masked), Some(closure)) = (time_of("masked"), time_of("closure")) {
+            println!(
+                "{label:<14} masked {masked:>13.0} ns/iter   closure {closure:>13.0} ns/iter   speedup {:.2}x",
+                closure / masked
+            );
+        }
+    }
+    println!(
+        "\n==== serial vs sharded apply ({} hardware threads) ====",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for label in APPLY_LABELS {
+        let time_of = |engine: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "apply-scaling" && r.bench == format!("{label}/{engine}"))
+                .map(|r| r.median_ns)
+        };
+        let Some(serial) = time_of("serial") else {
+            continue;
+        };
+        let mut line = format!("{label:<14} serial {serial:>13.0} ns/iter");
+        for engine_label in ["sharded-2", "sharded-4"] {
+            if let Some(t) = time_of(engine_label) {
+                line.push_str(&format!("   {engine_label} {:.2}x", serial / t));
+            }
+        }
+        println!("{line}");
+    }
     println!(
         "\n==== serial vs sharded engine scaling ({} hardware threads) ====",
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -229,6 +377,8 @@ criterion_group!(
     benches,
     bench_transition,
     bench_synchronous_round,
+    bench_mask_predicates,
+    bench_apply_scaling,
     bench_engine_scaling,
     bench_stabilization,
     speedup_summary

@@ -20,8 +20,9 @@
 use crate::level::{Level, Levels};
 use crate::turn::Turn;
 use rand::RngCore;
-use sa_model::algorithm::{Algorithm, StateSpace};
-use sa_model::signal::Signal;
+use sa_model::algorithm::{Algorithm, MaskedOutcome, MaskedTransition, StateSpace};
+use sa_model::signal::{mask_ops, Signal, StateIndex};
+use std::sync::Arc;
 
 /// Which transition rule (if any) applies at an activation. Exposed so experiment E1
 /// can regenerate Table 1 and Figure 1 and so tests can assert rule-level behaviour.
@@ -221,6 +222,238 @@ impl AlgAu {
     }
 }
 
+/// Sentinel marking "this rule does not apply to this state".
+const NO_RULE: u32 = u32::MAX;
+
+/// One turn's transition rule compiled to *member sets*: which sensed
+/// turns enable/block each of Table 1's rules, plus the successor turns.
+///
+/// This is the single compiled encoding of the transition relation shared
+/// by every mask compiler — [`AlgAu::compile_masked`] maps the members to
+/// bits of its turn index, and the synchronizer composite maps them to the
+/// composite states carrying each turn — so a change to a Table-1
+/// condition lands in exactly one place (checked against
+/// [`AlgAu::next_turn`] by the exhaustive differential test below).
+///
+/// Rule semantics over a sensed turn set `Λ⁺` (always containing the own
+/// turn):
+///
+/// * **AA** (able turns): applies iff `Λ⁺ ⊆ aa_allowed`; successor
+///   `aa_next`.
+/// * **AF** (able turns with `|ℓ| ≥ 2`, i.e. `af_next.is_some()`): applies
+///   iff `Λ⁺ ⊄ protected` or `Λ⁺ ∩ af_trigger ≠ ∅`; successor `af_next`.
+/// * **FA** (faulty turns, i.e. `fa_next.is_some()`): applies iff
+///   `Λ⁺ ∩ fa_block = ∅`; successor `fa_next`.
+/// * otherwise the turn is kept.
+///
+/// Member turns that are not actual states (e.g. the AF trigger
+/// `Faulty(±1)`) may appear in the lists; a compiler simply finds no index
+/// bit for them, exactly like `signal.senses` of a non-state is never true.
+#[derive(Debug, Clone)]
+pub struct TurnRule {
+    /// The own turn the rule applies to.
+    pub turn: Turn,
+    /// AA membership set `{ℓ̄, φ₊₁(ℓ)‾}` (empty for faulty turns).
+    pub aa_allowed: Vec<Turn>,
+    /// AA successor (able turns only).
+    pub aa_next: Option<Turn>,
+    /// Protected set: turns at levels adjacent to `ℓ`.
+    pub protected: Vec<Turn>,
+    /// AF trigger set `{ψ₋₁(ℓ)̂}`.
+    pub af_trigger: Vec<Turn>,
+    /// AF successor (`Some` iff the AF rule exists: able, `|ℓ| ≥ 2`).
+    pub af_next: Option<Turn>,
+    /// FA blocking set: turns at levels in `Ψ>(ℓ)`.
+    pub fa_block: Vec<Turn>,
+    /// FA successor (`Some` iff the turn is faulty).
+    pub fa_next: Option<Turn>,
+}
+
+impl AlgAu {
+    /// Compiles the transition rule of one turn into member sets (see
+    /// [`TurnRule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `turn` is not a valid turn of this instance.
+    pub fn turn_rule(&self, turn: Turn) -> TurnRule {
+        assert!(turn.is_valid(&self.levels), "invalid turn {turn:?}");
+        let levels = &self.levels;
+        let mut rule = TurnRule {
+            turn,
+            aa_allowed: Vec::new(),
+            aa_next: None,
+            protected: Vec::new(),
+            af_trigger: Vec::new(),
+            af_next: None,
+            fa_block: Vec::new(),
+            fa_next: None,
+        };
+        match turn {
+            Turn::Able(level) => {
+                let next = levels.forward(level);
+                // AA: all sensed turns able with level in {ℓ, φ₊₁(ℓ)}.
+                rule.aa_allowed = vec![Turn::Able(level), Turn::Able(next)];
+                rule.aa_next = Some(Turn::Able(next));
+                if level.abs() >= 2 {
+                    rule.af_next = Some(Turn::Faulty(level));
+                    // Protected: every sensed level adjacent to ℓ, i.e. in
+                    // {φ₋₁(ℓ), ℓ, φ₊₁(ℓ)} (cyclic distance ≤ 1) — able or
+                    // faulty.
+                    for l2 in [levels.backward(level), level, next] {
+                        rule.protected.push(Turn::Able(l2));
+                        rule.protected.push(Turn::Faulty(l2));
+                    }
+                    let inner = levels.outwards(level, -1).expect("|ℓ| ≥ 2");
+                    rule.af_trigger.push(Turn::Faulty(inner));
+                }
+            }
+            Turn::Faulty(level) => {
+                let inner = levels
+                    .outwards(level, -1)
+                    .expect("faulty turns have |ℓ| ≥ 2");
+                rule.fa_next = Some(Turn::Able(inner));
+                // FA blocked by any sensed level in Ψ>(ℓ).
+                for l2 in levels.strictly_outwards(level) {
+                    rule.fa_block.push(Turn::Able(l2));
+                    rule.fa_block.push(Turn::Faulty(l2));
+                }
+            }
+        }
+        rule
+    }
+}
+
+/// The mask-compiled form of AlgAU's transition relation: one set of
+/// [`SignalMask`](sa_model::signal::SignalMask)-style word rows per state,
+/// so every activation evaluates as two or three whole-word subset /
+/// intersection tests on the node's neighborhood bitmask — no scratch
+/// signal copy, no per-state iteration, no level arithmetic in the hot
+/// loop (Table 1's conditions are all *per-sensed-state* predicates, so
+/// they compile exactly):
+///
+/// * **AA** — `good ∧ Λ ⊆ {ℓ, φ₊₁(ℓ)}` ⟺ sensed ⊆ `{ℓ̄, φ₊₁(ℓ)‾}`;
+/// * **AF** — `¬protected ∨ ψ₋₁(ℓ)̂ sensed` ⟺ ¬(sensed ⊆ adjacent-levels
+///   mask) ∨ sensed ∩ `{ψ₋₁(ℓ)̂}` ≠ ∅ (for `|ℓ| ≥ 2`);
+/// * **FA** — `Λ ∩ Ψ>(ℓ) = ∅` ⟺ sensed ∩ outward-levels mask = ∅.
+///
+/// Built once per execution by [`Algorithm::compile_masked`]; bit-for-bit
+/// equivalent to [`AlgAu::next_turn`] (pinned by an exhaustive differential
+/// test over every `(state, signal)` pair below, and by the engine
+/// equivalence suite).
+struct AlgAuMasks {
+    words: usize,
+    /// Per-state: whether the state is an able turn.
+    able: Vec<bool>,
+    /// Per-state `words`-wide rows, flattened (`state_idx * words ..`).
+    aa_allowed: Vec<u64>,
+    protected: Vec<u64>,
+    af_trigger: Vec<u64>,
+    fa_block: Vec<u64>,
+    /// Per-state next-state positions ([`NO_RULE`] where the rule is N/A).
+    aa_next: Vec<u32>,
+    af_next: Vec<u32>,
+    fa_next: Vec<u32>,
+}
+
+impl AlgAuMasks {
+    /// Compiles the transition relation against `index`, or `None` if the
+    /// index does not look like this instance's state space (defensive: the
+    /// executor only ever passes the index built from
+    /// [`AlgAu::dense_state_space`]).
+    fn build(alg: &AlgAu, index: &Arc<StateIndex<Turn>>) -> Option<Self> {
+        let q = index.len();
+        let words = index.words();
+        let levels = alg.levels();
+        let mut masks = AlgAuMasks {
+            words,
+            able: vec![false; q],
+            aa_allowed: vec![0; q * words],
+            protected: vec![0; q * words],
+            af_trigger: vec![0; q * words],
+            fa_block: vec![0; q * words],
+            aa_next: vec![NO_RULE; q],
+            af_next: vec![NO_RULE; q],
+            fa_next: vec![NO_RULE; q],
+        };
+        // Rows are built by setting the bits of the rule's (few) member
+        // turns directly — O(members · log |Q|) per row instead of
+        // evaluating a predicate against every indexed state, which keeps
+        // execution construction cheap even for large level bounds. A turn
+        // absent from the index contributes no bit, exactly like
+        // `signal.senses` of a non-state is never true on the closure path
+        // (e.g. the AF trigger `Faulty(±1)`, which is not a turn). The rule
+        // encoding itself comes from [`AlgAu::turn_rule`], shared with the
+        // synchronizer composite's compiler.
+        let set = |table: &mut Vec<u64>, si: usize, turn: Turn| {
+            if let Some(i) = index.position(&turn) {
+                table[si * words + i / 64] |= 1u64 << (i % 64);
+            }
+        };
+        for (si, state) in index.states().iter().enumerate() {
+            if !state.is_valid(levels) {
+                return None;
+            }
+            let rule = alg.turn_rule(*state);
+            masks.able[si] = state.is_able();
+            if let Some(next) = rule.aa_next {
+                masks.aa_next[si] = index.position(&next)? as u32;
+            }
+            for t in &rule.aa_allowed {
+                set(&mut masks.aa_allowed, si, *t);
+            }
+            if let Some(next) = rule.af_next {
+                masks.af_next[si] = index.position(&next)? as u32;
+                for t in &rule.protected {
+                    set(&mut masks.protected, si, *t);
+                }
+                for t in &rule.af_trigger {
+                    set(&mut masks.af_trigger, si, *t);
+                }
+            }
+            if let Some(next) = rule.fa_next {
+                masks.fa_next[si] = index.position(&next)? as u32;
+                for t in &rule.fa_block {
+                    set(&mut masks.fa_block, si, *t);
+                }
+            }
+        }
+        Some(masks)
+    }
+
+    #[inline]
+    fn row<'t>(&self, table: &'t [u64], si: usize) -> &'t [u64] {
+        &table[si * self.words..(si + 1) * self.words]
+    }
+}
+
+impl MaskedTransition<Turn> for AlgAuMasks {
+    fn next_index(
+        &self,
+        state_idx: u32,
+        signal_words: &[u64],
+        _rng: &mut dyn RngCore,
+    ) -> MaskedOutcome<Turn> {
+        let si = state_idx as usize;
+        if self.able[si] {
+            if mask_ops::subset(signal_words, self.row(&self.aa_allowed, si)) {
+                return MaskedOutcome::Indexed(self.aa_next[si]);
+            }
+            if self.af_next[si] != NO_RULE
+                && (!mask_ops::subset(signal_words, self.row(&self.protected, si))
+                    || mask_ops::intersects(signal_words, self.row(&self.af_trigger, si)))
+            {
+                return MaskedOutcome::Indexed(self.af_next[si]);
+            }
+            MaskedOutcome::Indexed(state_idx)
+        } else if mask_ops::intersects(signal_words, self.row(&self.fa_block, si)) {
+            MaskedOutcome::Indexed(state_idx)
+        } else {
+            MaskedOutcome::Indexed(self.fa_next[si])
+        }
+    }
+}
+
 /// One row of the regenerated Table 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionTableRow {
@@ -253,6 +486,17 @@ impl Algorithm for AlgAu {
         // AlgAU's whole point is the fixed 4k − 2 = O(D) state space, so the
         // executor can always run it on dense bitmask signals.
         Some(self.states())
+    }
+
+    fn compile_masked<'s>(
+        &'s self,
+        index: &Arc<StateIndex<Turn>>,
+    ) -> Option<Box<dyn MaskedTransition<Turn> + 's>> {
+        // Table 1's conditions are all per-sensed-state predicates, so the
+        // whole transition relation compiles to word-level subset /
+        // intersection tests (see `AlgAuMasks`).
+        AlgAuMasks::build(self, index)
+            .map(|masks| Box::new(masks) as Box<dyn MaskedTransition<Turn>>)
     }
 
     fn transition_is_deterministic(&self) -> bool {
@@ -541,6 +785,64 @@ mod tests {
                     assert_eq!(alg.next_turn(&row.from, &s), row.to);
                 }
                 TransitionKind::Stay => unreachable!("table has no Stay rows"),
+            }
+        }
+    }
+
+    /// Exhaustive differential check of the mask-compiled transition: for
+    /// every own state and every signal containing the own state plus up to
+    /// two other states (which covers every distinct predicate outcome —
+    /// the rules are monotone in the sensed set), the masked path must
+    /// return exactly `next_turn`.
+    #[test]
+    fn masked_transition_matches_next_turn_exhaustively() {
+        for d in [1usize, 3] {
+            let alg = AlgAu::new(d);
+            let index = Arc::new(StateIndex::new(alg.states()));
+            let masked = alg
+                .compile_masked(&index)
+                .expect("AlgAU always compiles masks");
+            let states = alg.states();
+            let mut rng = rng();
+            let mut check = |own: Turn, others: &[Turn]| {
+                let mut sensed = vec![own];
+                sensed.extend_from_slice(others);
+                // Dense signal = the word path the engine uses.
+                let mut dense = Signal::dense(index.clone());
+                for t in &sensed {
+                    dense.insert(*t);
+                }
+                let expected = alg.next_turn(&own, &dense);
+                let si = index.position(&own).unwrap() as u32;
+                let words = dense.dense_words().expect("dense signal");
+                match masked.next_index(si, words, &mut rng) {
+                    MaskedOutcome::Indexed(ni) => {
+                        assert_eq!(
+                            index.state(ni as usize),
+                            &expected,
+                            "own {own:?}, others {others:?}"
+                        );
+                    }
+                    MaskedOutcome::Escaped(_) => {
+                        panic!("AlgAU transitions never leave the state space")
+                    }
+                }
+            };
+            for &own in &states {
+                check(own, &[]);
+                for &a in &states {
+                    check(own, &[a]);
+                }
+            }
+            // Size-2 extras on the smaller instance (full cube is O(|Q|³)).
+            if d == 1 {
+                for &own in &states {
+                    for &a in &states {
+                        for &b in &states {
+                            check(own, &[a, b]);
+                        }
+                    }
+                }
             }
         }
     }

@@ -40,8 +40,11 @@ impl Algorithm for MinPlusOne {
     }
 
     fn transition(&self, _state: &u64, signal: &Signal<u64>, _rng: &mut dyn RngCore) -> u64 {
+        // `min_state` is the word-level minimum: the first set mask bit on a
+        // dense signal (bit order = `Ord` order), the first tree entry on the
+        // sparse fallback — either way no per-state closure iteration.
         let min = signal
-            .min_by_key(|s| *s)
+            .min_state()
             .expect("the signal always contains the node's own state");
         min.saturating_add(1)
     }

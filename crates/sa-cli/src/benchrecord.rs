@@ -1,0 +1,61 @@
+//! `sa bench-record` — re-record the committed micro-benchmark baselines.
+//!
+//! Runs the workspace's `criterion_micro` bench with `BENCH_MICRO_JSON`
+//! pointed at the target path (default: the repository's committed
+//! `BENCH_micro.json`), so refreshing the baselines after a perf change —
+//! or on a multi-core host, per the ROADMAP's standing re-record item — is
+//! one command instead of a hand-managed env var and file move:
+//!
+//! ```text
+//! sa bench-record [--out BENCH_micro.json]
+//! ```
+//!
+//! The subcommand shells out to `cargo bench -p sa-bench --bench
+//! criterion_micro` (honoring `$CARGO` when set, e.g. under `cargo run`),
+//! then verifies the recording parses as a benchmark record array.
+
+use sa_model::json::JsonValue;
+use std::process::{Command, ExitCode};
+
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut out = String::from("BENCH_micro.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or("--out needs a path, e.g. BENCH_micro.json")?;
+            }
+            other => return Err(format!("unknown argument \"{other}\"")),
+        }
+    }
+    // The bench runs with cargo's working directory, so hand it an absolute
+    // path.
+    let out_abs = std::env::current_dir()
+        .map_err(|e| format!("cannot resolve the working directory: {e}"))?
+        .join(&out);
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    eprintln!("bench-record: running criterion_micro (this takes a few minutes)...");
+    let status = Command::new(&cargo)
+        .args(["bench", "-p", "sa-bench", "--bench", "criterion_micro"])
+        .env("BENCH_MICRO_JSON", &out_abs)
+        .status()
+        .map_err(|e| format!("cannot spawn {cargo}: {e}"))?;
+    if !status.success() {
+        return Err(format!("cargo bench failed with {status}"));
+    }
+    let text = std::fs::read_to_string(&out_abs)
+        .map_err(|e| format!("bench run left no recording at {}: {e}", out_abs.display()))?;
+    let value = JsonValue::parse(&text).map_err(|e| format!("{}: {e}", out_abs.display()))?;
+    let count = value
+        .as_array()
+        .map(|records| records.len())
+        .ok_or_else(|| format!("{}: expected a benchmark record array", out_abs.display()))?;
+    println!(
+        "bench-record: {count} benchmark medians recorded to {}",
+        out_abs.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}

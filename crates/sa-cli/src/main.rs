@@ -14,6 +14,7 @@
 //! sa check  <spec.json | spec-dir>
 //! sa bench-diff <committed.json> <fresh.json> [--max-regress FRAC]
 //!                                             [--max-regress-sharded FRAC]
+//! sa bench-record [--out BENCH_micro.json]
 //! ```
 //!
 //! `run` starts a sweep from scratch; `resume` picks up completed unit
@@ -25,6 +26,7 @@
 //! step boundary after writing their checkpoint.
 
 mod benchdiff;
+mod benchrecord;
 mod runner;
 
 use std::process::ExitCode;
@@ -34,7 +36,8 @@ fn usage() -> ExitCode {
         "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
          [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
          [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa bench-diff \
-         <committed.json> <fresh.json> [--max-regress FRAC] [--max-regress-sharded FRAC]"
+         <committed.json> <fresh.json> [--max-regress FRAC] [--max-regress-sharded FRAC]\n  \
+         sa bench-record [--out BENCH_micro.json]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
         "resume" => runner::run(&args[1..], true),
         "check" => runner::check(&args[1..]),
         "bench-diff" => benchdiff::run(&args[1..]),
+        "bench-record" => benchrecord::run(&args[1..]),
         "--help" | "-h" | "help" => return usage(),
         other => Err(format!("unknown command \"{other}\"")),
     };

@@ -11,10 +11,49 @@
 //! the next state. The RNG stands in for the uniform choice from `δ(q, S_v)`; a
 //! deterministic algorithm ignores it.
 
-use crate::signal::Signal;
+use crate::signal::{Signal, StateIndex};
 use rand::RngCore;
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::Arc;
+
+/// The result of a mask-compiled transition (see [`MaskedTransition`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaskedOutcome<S> {
+    /// The next state, as its position in the [`StateIndex`] the transition
+    /// was compiled against.
+    Indexed(u32),
+    /// The transition left the indexed state space; the executor falls back
+    /// to the sparse signal representation, exactly as on the closure path.
+    Escaped(S),
+}
+
+/// A transition function compiled to word-level mask operations against a
+/// [`StateIndex`] — the engine-facing product of
+/// [`Algorithm::compile_masked`].
+///
+/// The contract is **bit-for-bit equivalence with the closure path**: for
+/// every `(state, signal, rng)` the outcome must equal what
+/// [`Algorithm::transition`] would return on a [`Signal`] sensing exactly the
+/// states whose bits are set in `signal_words`, consuming the RNG stream
+/// identically (deterministic algorithms consume nothing on either path).
+/// The equivalence property tests in `tests/engine_equivalence.rs` and the
+/// `SA_FORCE_CLOSURE_EVAL=1` CI leg pin this.
+///
+/// Implementations are shared immutably by every evaluation lane of the
+/// sharded engine, hence the `Sync` bound.
+pub trait MaskedTransition<S>: Sync {
+    /// Computes the transition of a node whose state has index `state_idx`
+    /// and whose signal is the dense bitmask `signal_words` (over the
+    /// compiled index). `rng` is the node's private counter-based coin
+    /// stream for this step.
+    fn next_index(
+        &self,
+        state_idx: u32,
+        signal_words: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> MaskedOutcome<S>;
+}
 
 /// A stone-age algorithm: an anonymous randomized finite state machine.
 ///
@@ -66,7 +105,7 @@ pub trait Algorithm: Sync {
     ///
     /// The SA model assumes *bounded-memory* nodes, so every algorithm of the
     /// paper has a finite `Q`; returning it here lets the executor precompute a
-    /// [`StateIndex`](crate::signal::StateIndex) and run the step loop on dense
+    /// [`StateIndex`] and run the step loop on dense
     /// bitmask signals with incrementally maintained neighborhood masks —
     /// allocation-free and `O(changed · deg)` per step instead of rebuilding
     /// every activated node's signal from scratch. Algorithms that also
@@ -79,6 +118,37 @@ pub trait Algorithm: Sync {
     /// injection with an exotic palette), so this hint can never change
     /// observable behaviour — only performance.
     fn dense_state_space(&self) -> Option<Vec<Self::State>> {
+        None
+    }
+
+    /// Compiles this algorithm's sensing predicates into word-level masks
+    /// against `index`, or `None` to keep the closure path (the default).
+    ///
+    /// When an algorithm's transition function only asks *set predicates* of
+    /// its signal — subset tests ("are all sensed states adjacent to
+    /// mine?"), intersection tests ("do I sense a faulty turn?"),
+    /// minima/maxima — those predicates can be pre-compiled into
+    /// [`SignalMask`](crate::signal::SignalMask)s over the execution's
+    /// [`StateIndex`] and evaluated as whole-word AND/OR/popcount loops on
+    /// the incrementally maintained neighborhood bitmasks, with no scratch
+    /// signal copy and no per-state branching. The evaluate stage dispatches
+    /// to the returned [`MaskedTransition`] whenever the dense signal path
+    /// is live, falling back to [`Algorithm::transition`] otherwise; the two
+    /// paths must agree bit for bit (see [`MaskedTransition`]).
+    ///
+    /// `index` is always the index built from
+    /// [`Algorithm::dense_state_space`], sorted and deduplicated.
+    /// Implementations should return `None` if the index does not look like
+    /// their own state space (defensive — never guess).
+    ///
+    /// The environment variable `SA_FORCE_CLOSURE_EVAL=1` (and
+    /// [`ExecutionBuilder::masked_transitions(false)`](crate::executor::ExecutionBuilder::masked_transitions))
+    /// disables the mask path process-wide / per execution, which CI uses to
+    /// keep the closure fallback tested.
+    fn compile_masked<'s>(
+        &'s self,
+        _index: &Arc<StateIndex<Self::State>>,
+    ) -> Option<Box<dyn MaskedTransition<Self::State> + 's>> {
         None
     }
 

@@ -8,21 +8,35 @@
 //! activation set out across workers — each running its own `Evaluator` —
 //! and still produce the same [`PendingUpdate`]s the serial engine would.
 //!
-//! Per evaluator, two reused resources keep the loop allocation-free:
+//! On the dense path each transition dispatches through up to three tiers,
+//! all observationally equivalent:
 //!
-//! * a scratch [`Signal`] the neighborhood mask is copied into before the
-//!   transition function sees it, and
-//! * a small **memo ring** for deterministic algorithms: the next state is a
-//!   pure function of `(state, signal)`, so synchronized regions — many nodes
-//!   sharing the same state and signal, the common case for unison in
-//!   lockstep — collapse to a single transition evaluation. Memoization is
-//!   invisible in results (it only short-circuits *deterministic*
-//!   transitions), so per-shard memos do not disturb serial ≡ sharded
-//!   equivalence.
+//! 1. **mask-compiled** — when the algorithm compiled its sensing predicates
+//!    into word-level masks
+//!    ([`Algorithm::compile_masked`]),
+//!    the transition is evaluated directly on the node's neighborhood mask
+//!    words: whole-word subset/intersection tests, no scratch copy, no
+//!    per-state iteration;
+//! 2. **memoized** — deterministic algorithms without masks consult a small
+//!    `(state, signal) → next` memo ring (synchronized regions collapse to
+//!    one evaluation);
+//! 3. **closure** — the general path: the neighborhood mask is copied into a
+//!    reused scratch [`Signal`] and handed to
+//!    [`Algorithm::transition`].
+//!
+//! The *sparse* path (no incremental sensing) rebuilds each activated node's
+//! signal from the configuration. When the execution still has a
+//! [`StateIndex`](crate::signal::StateIndex) (e.g. `SignalMode::Sparse` benchmarking an algorithm with
+//! an enumerable space), the rebuild targets a reused **dense** scratch
+//! signal — binary-search inserts into a bitmask instead of `BTreeSet` node
+//! allocations — and the mask-compiled transition applies on top; this is
+//! what shrinks the historical 14× dense/sparse gap. Exotic states (outside
+//! the index) degrade the lane's scratch to the sparse representation, which
+//! then stays until the engine-wide caches are flushed.
 
 use super::sense::{DenseSensing, UNINDEXED};
 use super::EvalCtx;
-use crate::algorithm::Algorithm;
+use crate::algorithm::{Algorithm, MaskedOutcome};
 use crate::graph::NodeId;
 use crate::signal::Signal;
 use rand::rngs::CounterRng;
@@ -75,6 +89,14 @@ pub(crate) struct Evaluator<S: Clone + Ord> {
     memo_last: usize,
     /// Reused signal handed to the transition function.
     scratch: Signal<S>,
+    /// Set once this lane's sparse-path scratch met a state outside the
+    /// execution's index: the scratch stays sparse from then on (re-trying
+    /// the dense representation would churn an allocation per step).
+    index_poisoned: bool,
+    /// Sparse-path cache of the most recent own state's index position: in
+    /// synchronized regions consecutive activations share their state, so
+    /// the per-node binary search collapses to one equality check.
+    own_cache: Option<(S, u32)>,
 }
 
 impl<S: Clone + Ord> Evaluator<S> {
@@ -84,16 +106,20 @@ impl<S: Clone + Ord> Evaluator<S> {
             memo_cursor: 0,
             memo_last: 0,
             scratch: Signal::empty(),
+            index_poisoned: false,
+            own_cache: None,
         }
     }
 
     /// Drops all cached state (memo + scratch); used when the execution
-    /// degrades to the sparse fallback.
+    /// degrades to the sparse fallback or restores a snapshot.
     pub(crate) fn reset(&mut self) {
         self.memo.clear();
         self.memo_cursor = 0;
         self.memo_last = 0;
         self.scratch = Signal::empty();
+        self.index_poisoned = false;
+        self.own_cache = None;
     }
 
     /// Aligns the scratch signal's representation with the execution's
@@ -103,14 +129,20 @@ impl<S: Clone + Ord> Evaluator<S> {
     where
         A: Algorithm<State = S>,
     {
-        match ctx.sensing {
-            Some(sensing) => {
+        let target = match ctx.sensing {
+            Some(sensing) => Some(sensing.index()),
+            // Sparse path: rebuild into a dense scratch while the execution
+            // keeps a usable index and this lane has not met exotic states.
+            None => ctx.index.filter(|_| !self.index_poisoned),
+        };
+        match target {
+            Some(index) => {
                 let matches = self
                     .scratch
                     .dense_index()
-                    .is_some_and(|index| Arc::ptr_eq(index, sensing.index()));
+                    .is_some_and(|own| Arc::ptr_eq(own, index));
                 if !matches {
-                    self.scratch = Signal::dense(sensing.index().clone());
+                    self.scratch = Signal::dense(index.clone());
                 }
             }
             None => {
@@ -133,8 +165,10 @@ impl<S: Clone + Ord> Evaluator<S> {
         }
     }
 
-    /// Dense path: the signal is a precomputed bitmask; deterministic
-    /// transitions are memoized.
+    /// Dense path: the signal is a precomputed bitmask. Dispatches to the
+    /// mask-compiled transition when the algorithm provides one; otherwise
+    /// deterministic transitions are memoized and the rest goes through the
+    /// scratch-signal closure path.
     fn evaluate_dense<A>(
         &mut self,
         ctx: &EvalCtx<'_, A>,
@@ -146,6 +180,38 @@ impl<S: Clone + Ord> Evaluator<S> {
     {
         let si = sensing.state_idx[v];
         let mask = sensing.mask_of(v);
+        if let Some(masked) = ctx.masked {
+            let mut rng = CounterRng::keyed(ctx.seed, v as u64, ctx.time);
+            return match masked.next_index(si, mask, &mut rng) {
+                MaskedOutcome::Indexed(new_idx) => {
+                    let changed = new_idx != si;
+                    let next = sensing.index.state(new_idx as usize).clone();
+                    let output_changed =
+                        changed && ctx.alg.output(&next) != ctx.alg.output(&ctx.config[v]);
+                    PendingUpdate {
+                        v,
+                        next,
+                        old_idx: si,
+                        new_idx,
+                        changed,
+                        output_changed,
+                    }
+                }
+                MaskedOutcome::Escaped(next) => {
+                    // The next state is outside the index, so it cannot equal
+                    // the (indexed) current state: always a change.
+                    let output_changed = ctx.alg.output(&next) != ctx.alg.output(&ctx.config[v]);
+                    PendingUpdate {
+                        v,
+                        next,
+                        old_idx: si,
+                        new_idx: UNINDEXED,
+                        changed: true,
+                        output_changed,
+                    }
+                }
+            };
+        }
         if ctx.deterministic {
             let matches = |e: &&MemoEntry<S>| e.state_idx == si && e.mask[..] == *mask;
             if let Some(entry) = self
@@ -210,15 +276,90 @@ impl<S: Clone + Ord> Evaluator<S> {
         }
     }
 
-    /// Sparse fallback path: the signal is rebuilt from the configuration.
+    /// Sparse fallback path: the signal is rebuilt from the configuration —
+    /// into the dense scratch (word-level) while the execution keeps a
+    /// usable [`StateIndex`], into a `BTreeSet` otherwise.
     fn evaluate_sparse<A>(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<S>
     where
         A: Algorithm<State = S>,
     {
+        let own = &ctx.config[v];
+        // Word-level route: rebuild into the dense scratch. The own state's
+        // index position comes from the per-lane cache (one equality check
+        // in synchronized regions) or a binary search; neighbors sharing
+        // the own state are skipped with one comparison each.
+        if self.scratch.is_dense() {
+            let index = ctx.index.expect("dense scratch implies a live index");
+            let si = match &self.own_cache {
+                Some((state, i)) if state == own => Some(*i),
+                _ => {
+                    let found = index.position(own).map(|i| i as u32);
+                    if let Some(i) = found {
+                        self.own_cache = Some((own.clone(), i));
+                    }
+                    found
+                }
+            };
+            if let Some(si) = si {
+                self.scratch.clear();
+                self.scratch.insert_dense_bit(si as usize);
+                let mut stayed_dense = true;
+                for &u in ctx.graph.neighbors(v) {
+                    if ctx.config[u] != *own {
+                        self.scratch.insert(ctx.config[u].clone());
+                        if !self.scratch.is_dense() {
+                            stayed_dense = false;
+                            break;
+                        }
+                    }
+                }
+                if stayed_dense {
+                    let mut rng = CounterRng::keyed(ctx.seed, v as u64, ctx.time);
+                    // The rebuilt words are exactly the node's signal
+                    // bitmask, so the mask-compiled transition applies on
+                    // the sparse path too.
+                    let next = if let Some(masked) = ctx.masked {
+                        let words = self.scratch.dense_words().expect("scratch stayed dense");
+                        match masked.next_index(si, words, &mut rng) {
+                            MaskedOutcome::Indexed(new_idx) => {
+                                index.state(new_idx as usize).clone()
+                            }
+                            MaskedOutcome::Escaped(next) => next,
+                        }
+                    } else {
+                        ctx.alg.transition(own, &self.scratch, &mut rng)
+                    };
+                    let changed = next != ctx.config[v];
+                    let output_changed =
+                        changed && ctx.alg.output(&next) != ctx.alg.output(&ctx.config[v]);
+                    return PendingUpdate {
+                        v,
+                        next,
+                        old_idx: UNINDEXED,
+                        new_idx: UNINDEXED,
+                        changed,
+                        output_changed,
+                    };
+                }
+            } else {
+                // The own state is outside the index: this lane's region of
+                // the graph left the enumerated space.
+                self.scratch = Signal::empty();
+            }
+            // An exotic state degraded the scratch; remember so `prepare`
+            // stops re-trying the dense representation, and rebuild cleanly
+            // on the `BTreeSet` route below.
+            self.index_poisoned = true;
+        }
         self.scratch.clear();
-        self.scratch.insert(ctx.config[v].clone());
+        self.scratch.insert(own.clone());
         for &u in ctx.graph.neighbors(v) {
-            self.scratch.insert(ctx.config[u].clone());
+            // Skip neighbors sharing the node's own state with one cheap
+            // comparison — in synchronized regions (the common steady state)
+            // this saves the per-insert search entirely.
+            if ctx.config[u] != *own {
+                self.scratch.insert(ctx.config[u].clone());
+            }
         }
         let mut rng = CounterRng::keyed(ctx.seed, v as u64, ctx.time);
         let next = ctx.alg.transition(&ctx.config[v], &self.scratch, &mut rng);

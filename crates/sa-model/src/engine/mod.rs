@@ -14,14 +14,16 @@
 //! 4. **account** ([`account`]) — metrics counters, round (ϱ-operator)
 //!    bookkeeping and trace/fault event records.
 //!
-//! Only the evaluate stage does per-node work proportional to the activation
-//! set, and only it is side-effect free — so it is the one stage worth
-//! parallelizing and the one stage that safely can be. A [`StepEngine`]
-//! encapsulates exactly that choice:
+//! Two stages do per-node work worth parallelizing: **evaluate** (a pure
+//! map over the activation set) and **apply** (`O(changed · deg)` presence
+//! count updates). A [`StepEngine`] encapsulates how both run:
 //!
-//! * [`SerialEngine`] evaluates the activation set on the calling thread;
-//! * [`ShardedEngine`] partitions it into contiguous shards evaluated on a
-//!   persistent [`sa_runtime::pool::WorkerPool`].
+//! * [`SerialEngine`] runs everything on the calling thread;
+//! * [`ShardedEngine`] partitions the activation set into contiguous shards
+//!   evaluated on a persistent [`sa_runtime::pool::WorkerPool`], and — for
+//!   large changed sets — also shards the apply stage's count/mask updates
+//!   by *node range* (each lane owns a disjoint `&mut` slice of the
+//!   node-major count table, so the commit needs no locks and no `unsafe`).
 //!
 //! Because transitions read only the step snapshot and draw coins from
 //! streams keyed by `(seed, node, time)`, the shard count and evaluation
@@ -42,14 +44,17 @@ pub mod sense;
 pub mod serial;
 pub mod sharded;
 
+pub use apply::SHARDED_APPLY_MIN_CHANGED;
 pub use evaluate::PendingUpdate;
 pub use sense::MAX_DENSE_STATES;
 pub use serial::SerialEngine;
 pub use sharded::ShardedEngine;
 
-use crate::algorithm::Algorithm;
+use crate::algorithm::{Algorithm, MaskedTransition};
 use crate::graph::{Graph, NodeId};
+use crate::signal::StateIndex;
 use sense::DenseSensing;
+use std::sync::Arc;
 
 /// Which engine executes the evaluate stage of each step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +120,27 @@ pub struct EvalCtx<'e, A: Algorithm> {
     pub(crate) graph: &'e Graph,
     pub(crate) config: &'e [A::State],
     pub(crate) sensing: Option<&'e DenseSensing<A::State>>,
+    /// The execution's state index, available even when `sensing` is off
+    /// (sparse mode with an enumerable algorithm): lanes then rebuild their
+    /// scratch signal as a dense bitmask instead of a `BTreeSet`.
+    pub(crate) index: Option<&'e Arc<StateIndex<A::State>>>,
+    /// The algorithm's mask-compiled transition, if any (and not disabled
+    /// via `SA_FORCE_CLOSURE_EVAL` / the builder).
+    pub(crate) masked: Option<&'e (dyn MaskedTransition<A::State> + 'e)>,
     pub(crate) deterministic: bool,
     pub(crate) seed: u64,
     pub(crate) time: u64,
+}
+
+/// The mutable execution state handed to the apply stage.
+///
+/// Bundled so [`StepEngine::apply_into`] can stay object-safe while the
+/// sensing type remains crate-private.
+pub struct ApplyCtx<'e, A: Algorithm> {
+    pub(crate) graph: &'e Graph,
+    pub(crate) config: &'e mut [A::State],
+    pub(crate) sensing: Option<&'e mut DenseSensing<A::State>>,
+    pub(crate) last_changed: &'e mut Vec<NodeId>,
 }
 
 /// A pluggable evaluate-stage executor.
@@ -143,6 +166,14 @@ pub trait StepEngine<A: Algorithm> {
     /// Evaluates a single node (the executor's uniform-configuration fast
     /// path, where one transition stands for all nodes).
     fn evaluate_one(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<A::State>;
+
+    /// Commits `updates` to the configuration and the sensing state (the
+    /// **apply** stage). The serial engine commits on the calling thread;
+    /// the sharded engine additionally fans large changed sets out across
+    /// its worker pool by node range (see `apply::commit_sharded`). Both
+    /// must produce identical post-states — the commit is a commutative sum
+    /// per count cell, with each cell owned by exactly one lane.
+    fn apply_into(&mut self, ctx: ApplyCtx<'_, A>, updates: &mut [PendingUpdate<A::State>]);
 
     /// Invalidates per-lane caches when the execution degrades to the sparse
     /// signal fallback (the dense index the memos refer to is gone).

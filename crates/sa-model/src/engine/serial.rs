@@ -1,7 +1,7 @@
 //! The serial step engine: the evaluate stage on the calling thread.
 
 use super::evaluate::{Evaluator, PendingUpdate};
-use super::{EngineKind, EvalCtx, StepEngine};
+use super::{apply, ApplyCtx, EngineKind, EvalCtx, StepEngine};
 use crate::algorithm::Algorithm;
 use crate::graph::NodeId;
 
@@ -48,6 +48,10 @@ impl<A: Algorithm> StepEngine<A> for SerialEngine<A::State> {
     fn evaluate_one(&mut self, ctx: &EvalCtx<'_, A>, v: NodeId) -> PendingUpdate<A::State> {
         self.lane.prepare(ctx);
         self.lane.evaluate(ctx, v)
+    }
+
+    fn apply_into(&mut self, ctx: ApplyCtx<'_, A>, updates: &mut [PendingUpdate<A::State>]) {
+        apply::commit_ctx(ctx, updates);
     }
 
     fn on_degrade(&mut self) {

@@ -14,8 +14,9 @@
 //! purely so the crate stays free of `unsafe` — the per-step cost is a few
 //! uncontended lock acquisitions.
 
+use super::apply::{self, SHARDED_APPLY_MIN_CHANGED};
 use super::evaluate::{Evaluator, PendingUpdate};
-use super::{EngineKind, EvalCtx, StepEngine};
+use super::{ApplyCtx, EngineKind, EvalCtx, StepEngine};
 use crate::algorithm::Algorithm;
 use crate::graph::NodeId;
 use sa_runtime::pool::WorkerPool;
@@ -106,6 +107,28 @@ impl<A: Algorithm> StepEngine<A> for ShardedEngine<A::State> {
         let shard = &mut *shard;
         shard.lane.prepare(ctx);
         shard.lane.evaluate(ctx, v)
+    }
+
+    fn apply_into(&mut self, ctx: ApplyCtx<'_, A>, updates: &mut [PendingUpdate<A::State>]) {
+        // Shard the apply stage only when the changed set is large enough to
+        // amortize a pool broadcast, and only on the dense path (the sparse
+        // fallback maintains no count table to fan out).
+        let ApplyCtx {
+            graph,
+            config,
+            sensing,
+            last_changed,
+        } = ctx;
+        match sensing {
+            Some(sensing)
+                if self.shards.len() > 1
+                    && updates.iter().filter(|u| u.changed).count()
+                        >= SHARDED_APPLY_MIN_CHANGED =>
+            {
+                apply::commit_sharded(updates, graph, config, sensing, last_changed, &self.pool);
+            }
+            sensing => apply::commit(updates, graph, config, sensing, last_changed),
+        }
     }
 
     fn on_degrade(&mut self) {

@@ -30,9 +30,11 @@
 //! warm step loop performs **zero heap allocations** (tracing off), on both
 //! engines.
 
-use crate::algorithm::{Algorithm, LegitimacyOracle};
+use crate::algorithm::{Algorithm, LegitimacyOracle, MaskedTransition};
 use crate::engine::sense::{DenseSensing, UNINDEXED};
-use crate::engine::{self, account, apply, EngineKind, EvalCtx, PendingUpdate, StepEngine};
+use crate::engine::{
+    self, account, apply, ApplyCtx, EngineKind, EvalCtx, PendingUpdate, StepEngine,
+};
 use crate::graph::{Graph, NodeId};
 use crate::metrics::NodeCounters;
 use crate::scheduler::ActivationSet;
@@ -44,6 +46,18 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 pub use crate::engine::MAX_DENSE_STATES;
+
+/// Whether `SA_FORCE_CLOSURE_EVAL` disables mask-compiled transitions
+/// process-wide (parsed once; CI uses it to keep the closure fallback path
+/// under test after algorithms adopt masks).
+fn force_closure_eval() -> bool {
+    static CACHED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SA_FORCE_CLOSURE_EVAL")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}
 
 /// How the executor represents signals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,6 +142,18 @@ pub struct Execution<'a, A: Algorithm> {
     dedup_buf: Vec<NodeId>,
     /// `Some` while the dense sense stage is live, `None` on the sparse fallback.
     sensing: Option<DenseSensing<A::State>>,
+    /// The enumerated state index, kept even when `sensing` is off (sparse
+    /// mode, or after a degrade): the evaluate stage still uses it for
+    /// word-level scratch signals and mask-compiled transitions on nodes
+    /// whose neighborhoods stay inside the enumerated space.
+    index: Option<Arc<StateIndex<A::State>>>,
+    /// The algorithm's mask-compiled transition (see
+    /// [`Algorithm::compile_masked`]), `None` on the closure path.
+    masked: Option<Box<dyn MaskedTransition<A::State> + 'a>>,
+    /// Minimum changed-node count for the partial-batch apply detection to
+    /// be worth its `O(n)` bulk pass: `n² / (2|E| + n)` (i.e. the changed
+    /// set's expected `O(changed · deg)` serial commit work exceeds `O(n)`).
+    batch_min_changed: usize,
     /// Whether transitions may be memoized (algorithm declared deterministic).
     deterministic: bool,
     /// The evaluate-stage engine (serial or sharded).
@@ -197,6 +223,21 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         mode: SignalMode,
         kind: EngineKind,
     ) -> Self {
+        Self::with_options(algorithm, graph, initial, seed, mode, kind, None)
+    }
+
+    /// The full constructor behind the builder: like
+    /// [`Execution::with_engine`] plus an explicit mask-transition policy
+    /// (`None` = default: enabled unless `SA_FORCE_CLOSURE_EVAL` is set).
+    fn with_options(
+        algorithm: &'a A,
+        graph: &'a Graph,
+        initial: Vec<A::State>,
+        seed: u64,
+        mode: SignalMode,
+        kind: EngineKind,
+        masked_enabled: Option<bool>,
+    ) -> Self {
         assert!(graph.node_count() > 0, "cannot execute on an empty graph");
         assert_eq!(
             initial.len(),
@@ -204,11 +245,21 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             "initial configuration size must match the node count"
         );
         let n = graph.node_count();
-        let sensing = match mode {
-            SignalMode::Sparse => None,
-            SignalMode::Auto => algorithm.dense_state_space().and_then(|states| {
-                DenseSensing::build(Arc::new(StateIndex::new(states)), graph, &initial)
-            }),
+        // The index survives independently of the sensing state: sparse-mode
+        // executions (and post-degrade ones) still use it for word-level
+        // scratch rebuilds and mask-compiled transitions.
+        let index = algorithm
+            .dense_state_space()
+            .map(|states| Arc::new(StateIndex::new(states)))
+            .filter(|index| !index.is_empty() && index.len() <= MAX_DENSE_STATES);
+        let sensing = match (&index, mode) {
+            (_, SignalMode::Sparse) | (None, _) => None,
+            (Some(index), SignalMode::Auto) => DenseSensing::build(index.clone(), graph, &initial),
+        };
+        let masked = if masked_enabled.unwrap_or_else(|| !force_closure_eval()) {
+            index.as_ref().and_then(|ix| algorithm.compile_masked(ix))
+        } else {
+            None
         };
         Execution {
             algorithm,
@@ -225,6 +276,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             scratch_active: vec![false; n],
             dedup_buf: Vec::new(),
             sensing,
+            index,
+            masked,
+            batch_min_changed: (n * n / (2 * graph.edge_count() + n)).max(2),
             deterministic: algorithm.transition_is_deterministic(),
             engine: engine::build(kind),
             identity: (0..n).collect(),
@@ -280,6 +334,12 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// Whether the dense bitmask sensing engine is currently live.
     pub fn uses_dense_signals(&self) -> bool {
         self.sensing.is_some()
+    }
+
+    /// Whether transitions evaluate through the algorithm's mask-compiled
+    /// path (word-level predicates) rather than the closure path.
+    pub fn uses_masked_transitions(&self) -> bool {
+        self.masked.is_some()
     }
 
     /// The step engine executing the evaluate stage.
@@ -364,9 +424,11 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             Some(sensing) => {
                 match DenseSensing::build(sensing.index().clone(), self.graph, &self.config) {
                     Some(fresh) => {
-                        fresh.counts == sensing.counts
+                        sensing.counts_equivalent(&fresh)
                             && fresh.masks == sensing.masks
                             && fresh.state_idx == sensing.state_idx
+                            && fresh.state_counts == sensing.state_counts
+                            && fresh.uniform_state == sensing.uniform_state
                     }
                     None => false,
                 }
@@ -433,9 +495,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             self.trace = Some(Trace::new(self.config.clone()));
         }
         self.sensing = if snapshot.dense {
-            self.algorithm.dense_state_space().and_then(|states| {
-                DenseSensing::build(Arc::new(StateIndex::new(states)), self.graph, &self.config)
-            })
+            self.index
+                .as_ref()
+                .and_then(|ix| DenseSensing::build(ix.clone(), self.graph, &self.config))
         } else {
             None
         };
@@ -445,6 +507,11 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     }
 
     /// Drops the dense sense stage and continues on the sparse fallback.
+    ///
+    /// The state index and the mask-compiled transition are kept: nodes
+    /// whose neighborhoods stay inside the enumerated space still evaluate
+    /// through word-level scratch signals; only lanes that actually meet the
+    /// exotic states fall back to `BTreeSet` scratches.
     fn degrade_to_sparse(&mut self) {
         self.sensing = None;
         self.engine.on_degrade();
@@ -556,6 +623,8 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 graph: self.graph,
                 config: &self.config,
                 sensing: self.sensing.as_ref(),
+                index: self.index.as_ref(),
+                masked: self.masked.as_deref(),
                 deterministic: self.deterministic,
                 seed: self.seed,
                 time: self.time,
@@ -565,15 +634,30 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         );
         self.dedup_buf = dedup;
 
-        // Detect the *uniform* step — every node activated and taking the
-        // same state change — which admits the bulk-apply fast path.
+        // One scan classifies the step for the bulk-apply fast paths: do all
+        // changed updates share a single `(old, new)` prototype, and how
+        // many are there? Two fast paths hang off the answer:
+        //
+        // * the **uniform** step — every node activated and changed alike —
+        //   commits with two cell writes per node and skips the account
+        //   stage's per-update loop entirely;
+        // * the **partial batch** — every node in state `old` moved to
+        //   `new`, the rest held still (detected against the state
+        //   histogram) — commits with `O(n)` bulk word writes instead of
+        //   `O(changed · deg)` neighbor updates.
         let dense = self.sensing.is_some();
-        if dense && self.trace.is_none() && updates.len() == n {
+        let mut batch: Option<(u32, u32)> = None;
+        if dense && updates.len() >= self.batch_min_changed {
+            let mut changed = 0usize;
             let mut proto: Option<(u32, u32, bool)> = None;
-            let mut uniform = true;
+            let mut same_pair = true;
             for update in &updates {
-                if !update.changed || update.new_idx == UNINDEXED {
-                    uniform = false;
+                if !update.changed {
+                    continue;
+                }
+                changed += 1;
+                if update.new_idx == UNINDEXED {
+                    same_pair = false;
                     break;
                 }
                 let key = (update.old_idx, update.new_idx, update.output_changed);
@@ -581,35 +665,59 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                     None => proto = Some(key),
                     Some(p) if p == key => {}
                     Some(_) => {
-                        uniform = false;
+                        same_pair = false;
                         break;
                     }
                 }
             }
-            if uniform {
-                let (old_idx, new_idx, output_changed) = proto.expect("n ≥ 1 activations");
-                let next = updates[0].next.clone();
-                updates.clear();
-                self.scratch_updates = updates;
-                return self.apply_uniform_step(old_idx, new_idx, output_changed, next);
+            if let (true, Some((old_idx, new_idx, output_changed))) = (same_pair, proto) {
+                if changed == n && self.trace.is_none() {
+                    // updates.len() ≥ changed = n and one update per node,
+                    // so every node was activated and changed uniformly.
+                    let next = updates[0].next.clone();
+                    updates.clear();
+                    self.scratch_updates = updates;
+                    return self.apply_uniform_step(old_idx, new_idx, output_changed, next);
+                }
+                let sensing = self.sensing.as_ref().expect("dense sensing is live");
+                if changed >= self.batch_min_changed
+                    && sensing.state_counts[old_idx as usize] as usize == changed
+                {
+                    batch = Some((old_idx, new_idx));
+                }
             }
         }
 
         // A transition out of the enumerated state space forces the sparse
-        // fallback before any sensing update is applied.
-        if dense && updates.iter().any(|u| u.changed && u.new_idx == UNINDEXED) {
+        // fallback before any sensing update is applied. (A detected batch
+        // has already verified every changed update stays indexed.)
+        if dense && batch.is_none() && updates.iter().any(|u| u.changed && u.new_idx == UNINDEXED) {
             self.degrade_to_sparse();
         }
 
         // APPLY: commit simultaneously (and update the incremental sensing
-        // state for nodes that actually changed).
-        apply::commit(
-            &mut updates,
-            self.graph,
-            &mut self.config,
-            self.sensing.as_mut(),
-            &mut self.last_changed,
-        );
+        // state for nodes that actually changed) — in bulk for a detected
+        // partial batch, through the engine (serial, or sharded by node
+        // range for large changed sets) otherwise.
+        match batch {
+            Some((old_idx, new_idx)) => apply::commit_batch(
+                &mut updates,
+                &mut self.config,
+                self.sensing.as_mut().expect("batch implies dense sensing"),
+                &mut self.last_changed,
+                old_idx,
+                new_idx,
+            ),
+            None => self.engine.apply_into(
+                ApplyCtx {
+                    graph: self.graph,
+                    config: &mut self.config,
+                    sensing: self.sensing.as_mut(),
+                    last_changed: &mut self.last_changed,
+                },
+                &mut updates,
+            ),
+        }
         self.all_changed = false;
 
         // ACCOUNT: counters, rounds, trace.
@@ -641,6 +749,8 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 graph: self.graph,
                 config: &self.config,
                 sensing: self.sensing.as_ref(),
+                index: self.index.as_ref(),
+                masked: self.masked.as_deref(),
                 deterministic: self.deterministic,
                 seed: self.seed,
                 time: self.time,
@@ -769,6 +879,7 @@ pub struct ExecutionBuilder<'a, A: Algorithm> {
     trace: bool,
     mode: SignalMode,
     engine: Option<EngineKind>,
+    masked: Option<bool>,
 }
 
 impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
@@ -781,6 +892,7 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
             trace: false,
             mode: SignalMode::Auto,
             engine: None,
+            masked: None,
         }
     }
 
@@ -809,16 +921,27 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
         self
     }
 
+    /// Enables or disables the algorithm's mask-compiled transition path
+    /// (see [`Algorithm::compile_masked`]). The default is enabled unless
+    /// `SA_FORCE_CLOSURE_EVAL=1` is set in the environment; disabling forces
+    /// the closure path, which benchmarks and the differential tests use as
+    /// the baseline. Both paths produce bit-identical executions.
+    pub fn masked_transitions(mut self, enabled: bool) -> Self {
+        self.masked = Some(enabled);
+        self
+    }
+
     /// Finishes the builder with an explicit initial configuration.
     pub fn initial(self, initial: Vec<A::State>) -> Execution<'a, A> {
         let kind = self.engine.unwrap_or_else(EngineKind::from_env);
-        let mut exec = Execution::with_engine(
+        let mut exec = Execution::with_options(
             self.algorithm,
             self.graph,
             initial,
             self.seed,
             self.mode,
             kind,
+            self.masked,
         );
         if self.trace {
             exec.enable_trace();
@@ -1369,6 +1492,101 @@ mod tests {
         let snap = donor.snapshot();
         let mut exec = Execution::new(&Spread, &g3, vec![0; 3], 0);
         exec.restore(&snap);
+    }
+
+    // ---- partial-batch apply ---------------------------------------------------
+
+    /// Moves state 0 to state 1 and holds everything else: exactly the
+    /// nodes in state 0 change, which is the partial-batch shape ("every
+    /// node in `old` moves to `new`, nobody else changes").
+    struct Promote;
+    impl Algorithm for Promote {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, _: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+            if *s == 0 {
+                1
+            } else {
+                *s
+            }
+        }
+        fn dense_state_space(&self) -> Option<Vec<u8>> {
+            Some(vec![0, 1, 2])
+        }
+        fn transition_is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    /// White-box check that the partial-batch commit actually runs and
+    /// leaves the sensing state (counts, masks, histogram, uniform flag)
+    /// exactly as a from-scratch rebuild would.
+    #[test]
+    fn partial_batch_step_keeps_sensing_consistent() {
+        let g = Graph::grid(16, 16);
+        let n = g.node_count();
+        // Half zeros (the movers), a sprinkle of twos (held still): a
+        // two-pair step would *not* batch, so keep the twos out of state 0.
+        let init: Vec<u8> = (0..n).map(|v| if v % 2 == 0 { 0 } else { 2 }).collect();
+        let mut exec = Execution::new(&Promote, &g, init, 0);
+        let movers = (0..n).filter(|v| v % 2 == 0).count();
+        assert!(
+            movers >= exec.batch_min_changed,
+            "test must be sized to trigger the batch path"
+        );
+        let all: Vec<NodeId> = (0..n).collect();
+        let out = exec.step(&all);
+        assert_eq!(out.changed_count, movers);
+        {
+            let sensing = exec.sensing.as_ref().expect("dense");
+            assert_eq!(sensing.state_counts[0], 0);
+            assert_eq!(sensing.state_counts[1] as usize, movers);
+            assert_eq!(sensing.uniform_state, None);
+        }
+        assert!(exec.validate_incremental_sensing());
+        // No movers left: nothing changes.
+        let out = exec.step(&all);
+        assert_eq!(out.changed_count, 0);
+        // Demote the twos and batch again; afterwards the whole
+        // configuration is 1 and the histogram must regain the uniform flag
+        // so the bulk fast path can take over.
+        let twos: Vec<NodeId> = (0..n).filter(|&v| *exec.state(v) == 2).collect();
+        assert_eq!(twos.len(), n - movers);
+        for &v in &twos {
+            exec.corrupt(v, 0);
+        }
+        let out = exec.step(&all);
+        assert_eq!(out.changed_count, n - movers);
+        assert_eq!(exec.sensing.as_ref().unwrap().uniform_state, Some(1));
+        assert!(exec.validate_incremental_sensing());
+        assert!(exec.configuration().iter().all(|s| *s == 1));
+    }
+
+    /// The batched trajectory must equal the sparse-mode trajectory (which
+    /// has no sensing state and therefore no batch path).
+    #[test]
+    fn partial_batch_matches_sparse_trajectory() {
+        let g = Graph::grid(16, 16);
+        let n = g.node_count();
+        let init: Vec<u8> = (0..n).map(|v| ((v * 7) % 3 != 0) as u8 * 2).collect();
+        let mut dense = Execution::new(&Promote, &g, init.clone(), 3);
+        let mut sparse = ExecutionBuilder::new(&Promote, &g)
+            .seed(3)
+            .signal_mode(SignalMode::Sparse)
+            .initial(init);
+        let mut sched_a = SynchronousScheduler;
+        let mut sched_b = SynchronousScheduler;
+        for step in 0..4 {
+            let a = dense.step_with(&mut sched_a);
+            let b = sparse.step_with(&mut sched_b);
+            assert_eq!(a, b, "step {step}");
+            assert_eq!(dense.configuration(), sparse.configuration());
+        }
+        assert_eq!(dense.counters(), sparse.counters());
+        assert!(dense.validate_incremental_sensing());
     }
 
     #[test]

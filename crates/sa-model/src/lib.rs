@@ -76,7 +76,9 @@ pub mod trace;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::algorithm::{Algorithm, LegitimacyOracle, StateSpace};
+    pub use crate::algorithm::{
+        Algorithm, LegitimacyOracle, MaskedOutcome, MaskedTransition, StateSpace,
+    };
     pub use crate::checker::{StabilizationReport, TaskChecker};
     pub use crate::engine::EngineKind;
     pub use crate::executor::{Execution, ExecutionBuilder, SignalMode, StepOutcome};
@@ -86,14 +88,14 @@ pub mod prelude {
         ActivationSet, AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler,
         Scheduler, ScriptedScheduler, SynchronousScheduler, UniformRandomScheduler,
     };
-    pub use crate::signal::{DenseSignal, Signal, StateIndex};
+    pub use crate::signal::{DenseSignal, Signal, SignalMask, StateIndex};
     pub use crate::snapshot::ExecutionSnapshot;
     pub use crate::topology::Topology;
 }
 
-pub use algorithm::{Algorithm, LegitimacyOracle, StateSpace};
+pub use algorithm::{Algorithm, LegitimacyOracle, MaskedOutcome, MaskedTransition, StateSpace};
 pub use engine::EngineKind;
 pub use executor::{Execution, ExecutionBuilder, SignalMode};
 pub use graph::{Graph, NodeId};
 pub use scheduler::{ActivationSet, Scheduler};
-pub use signal::{DenseSignal, Signal, StateIndex};
+pub use signal::{DenseSignal, Signal, SignalMask, StateIndex};

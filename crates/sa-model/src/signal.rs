@@ -28,6 +28,61 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
+/// Word-level set operations over equal-length `u64` mask slices.
+///
+/// These are the primitives behind [`SignalMask`] and the engine's
+/// mask-compiled transition path
+/// ([`MaskedTransition`](crate::algorithm::MaskedTransition)): every predicate
+/// over a sensed state set reduces to whole-word AND/OR/popcount loops with no
+/// per-state branching, which the compiler auto-vectorizes. The binary
+/// operations require `a.len() == b.len()` — a mismatched width would
+/// silently ignore trailing words and answer the predicate wrongly, so it is
+/// rejected by a debug assertion (mask compilers that juggle several index
+/// widths fail loudly under test instead of misfiring in production).
+pub mod mask_ops {
+    /// Whether the set `a` is a subset of the set `b` (`a ∧ ¬b = ∅`).
+    #[inline]
+    pub fn subset(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len(), "mask word widths must match");
+        a.iter().zip(b).all(|(x, y)| x & !y == 0)
+    }
+
+    /// Whether the sets `a` and `b` intersect (`a ∧ b ≠ ∅`).
+    #[inline]
+    pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len(), "mask word widths must match");
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// The size of the intersection `|a ∧ b|`.
+    #[inline]
+    pub fn count_and(a: &[u64], b: &[u64]) -> usize {
+        debug_assert_eq!(a.len(), b.len(), "mask word widths must match");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// The position of the lowest set bit, if any.
+    #[inline]
+    pub fn first_set(words: &[u64]) -> Option<usize> {
+        words
+            .iter()
+            .position(|w| *w != 0)
+            .map(|i| i * 64 + words[i].trailing_zeros() as usize)
+    }
+
+    /// The position of the highest set bit, if any.
+    #[inline]
+    pub fn last_set(words: &[u64]) -> Option<usize> {
+        words
+            .iter()
+            .rposition(|w| *w != 0)
+            .map(|i| i * 64 + 63 - words[i].leading_zeros() as usize)
+    }
+}
+
 /// An enumeration of a bounded state space `Q`, shared by all [`DenseSignal`]s
 /// of an execution.
 ///
@@ -82,6 +137,155 @@ impl<S: Ord> StateIndex<S> {
     }
 }
 
+/// A precompiled *set of states* over a [`StateIndex`], stored as `u64` mask
+/// words — the right-hand side of the word-level signal predicates.
+///
+/// A `SignalMask` is what a sensing predicate compiles into: "is every sensed
+/// state adjacent to mine?" becomes one [`Signal::subset_of`] test, "do I
+/// sense a faulty turn?" one [`Signal::intersects`] test — whole-word AND/OR
+/// loops instead of iterating sensed states through closures. Masks are
+/// compiled once (per algorithm instance and state index) and reused for the
+/// lifetime of an execution; see
+/// [`Algorithm::compile_masked`](crate::algorithm::Algorithm::compile_masked).
+///
+/// Semantically a mask is the subset of the *indexed* states satisfying the
+/// compiled predicate: states outside the index are never members. Dense
+/// signals over the same index evaluate mask predicates on raw words; sparse
+/// signals (and dense signals over a different index) fall back to per-state
+/// membership tests with identical results, so [`Signal`] keeps one public
+/// surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalMask<S: Ord> {
+    words: Vec<u64>,
+    count: usize,
+    index: Arc<StateIndex<S>>,
+}
+
+impl<S: Ord> SignalMask<S> {
+    /// An empty mask over `index`.
+    pub fn empty(index: Arc<StateIndex<S>>) -> Self {
+        SignalMask {
+            words: vec![0; index.words()],
+            count: 0,
+            index,
+        }
+    }
+
+    /// Compiles a per-state predicate into a mask: bit `i` is set iff
+    /// `pred(index.state(i))`.
+    pub fn compile<F: FnMut(&S) -> bool>(index: &Arc<StateIndex<S>>, mut pred: F) -> Self {
+        let mut mask = SignalMask::empty(index.clone());
+        for (i, state) in index.states().iter().enumerate() {
+            if pred(state) {
+                mask.words[i / 64] |= 1u64 << (i % 64);
+                mask.count += 1;
+            }
+        }
+        mask
+    }
+
+    /// Builds a mask from explicit member states. States outside the index
+    /// are ignored (a mask can only represent indexed states).
+    pub fn from_states<'a, I: IntoIterator<Item = &'a S>>(
+        index: &Arc<StateIndex<S>>,
+        states: I,
+    ) -> Self
+    where
+        S: 'a,
+    {
+        let mut mask = SignalMask::empty(index.clone());
+        for q in states {
+            mask.insert(q);
+        }
+        mask
+    }
+
+    /// Adds a state to the mask. Returns `false` (and does nothing) if the
+    /// state is not covered by the index.
+    pub fn insert(&mut self, q: &S) -> bool {
+        match self.index.position(q) {
+            Some(i) => {
+                let bit = 1u64 << (i % 64);
+                if self.words[i / 64] & bit == 0 {
+                    self.words[i / 64] |= bit;
+                    self.count += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `q` is a member of the mask.
+    pub fn contains(&self, q: &S) -> bool {
+        self.index
+            .position(q)
+            .is_some_and(|i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+    }
+
+    /// The index the mask ranges over.
+    pub fn index(&self) -> &Arc<StateIndex<S>> {
+        &self.index
+    }
+
+    /// The raw mask words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of member states.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the mask has no members.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over the member states in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &S> + '_ {
+        self.words.iter().enumerate().flat_map(move |(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(self.index.state(w * 64 + bit))
+            })
+        })
+    }
+
+    // ---- raw-word predicates (the engine-facing hot path) -------------------
+
+    /// Whether a signal given by raw mask words is a subset of this mask.
+    /// `signal_words` must come from a dense signal over the same index.
+    #[inline]
+    pub fn superset_of_words(&self, signal_words: &[u64]) -> bool {
+        mask_ops::subset(signal_words, &self.words)
+    }
+
+    /// Whether this mask is a subset of the signal given by raw mask words.
+    #[inline]
+    pub fn subset_of_words(&self, signal_words: &[u64]) -> bool {
+        mask_ops::subset(&self.words, signal_words)
+    }
+
+    /// Whether the signal given by raw mask words intersects this mask.
+    #[inline]
+    pub fn intersects_words(&self, signal_words: &[u64]) -> bool {
+        mask_ops::intersects(signal_words, &self.words)
+    }
+
+    /// How many states of the signal given by raw mask words are members.
+    #[inline]
+    pub fn count_in_words(&self, signal_words: &[u64]) -> usize {
+        mask_ops::count_and(signal_words, &self.words)
+    }
+}
+
 /// The dense representation of a signal: one bit per state of a [`StateIndex`].
 #[derive(Clone)]
 pub struct DenseSignal<S: Ord> {
@@ -108,6 +312,22 @@ impl<S: Ord> DenseSignal<S> {
         &self.mask
     }
 
+    /// Builds a dense signal from precomputed mask words, taking ownership
+    /// of the buffer (mask compilers use this to hand a projected signal to
+    /// an inner algorithm without an extra copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != index.words()`.
+    pub fn from_words(index: Arc<StateIndex<S>>, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            index.words(),
+            "mask word count must match the index"
+        );
+        DenseSignal { mask: words, index }
+    }
+
     /// Overwrites the mask from precomputed words (the executor's per-node
     /// neighborhood masks). `words` must have exactly `index.words()` entries.
     pub fn copy_words(&mut self, words: &[u64]) {
@@ -119,7 +339,7 @@ impl<S: Ord> DenseSignal<S> {
         self.mask[i / 64] & (1u64 << (i % 64)) != 0
     }
 
-    fn set_bit(&mut self, i: usize) {
+    pub(crate) fn set_bit(&mut self, i: usize) {
         self.mask[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -344,6 +564,19 @@ impl<S: Ord> Signal<S> {
         }
     }
 
+    /// Sets bit `i` of a dense signal directly — the engine's fast path for
+    /// states whose index position is already known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal is sparse (callers check `is_dense` first).
+    pub(crate) fn insert_dense_bit(&mut self, i: usize) {
+        match &mut self.repr {
+            Repr::Dense(dense) => dense.set_bit(i),
+            Repr::Sparse(_) => panic!("insert_dense_bit on a sparse signal"),
+        }
+    }
+
     /// Inserts a state into the signal (used by the executor and by tests).
     ///
     /// Inserting a state that a dense signal's index does not cover degrades
@@ -383,6 +616,104 @@ impl<S: Ord> Signal<S> {
     pub fn filter_map<T: Ord, F: FnMut(&S) -> Option<T>>(&self, f: F) -> Signal<T> {
         Signal {
             repr: Repr::Sparse(self.iter().filter_map(f).collect()),
+        }
+    }
+
+    // ---- word-level mask predicates ------------------------------------------
+    //
+    // Each predicate evaluates on whole mask words when the signal is dense
+    // over the *same* index as the mask, and falls back to per-state
+    // membership tests otherwise (sparse signals, or a dense signal over a
+    // different index) — identical observable results either way.
+
+    /// Returns the dense signal's raw mask words, `None` for sparse signals.
+    pub fn dense_words(&self) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Dense(dense) => Some(dense.words()),
+            Repr::Sparse(_) => None,
+        }
+    }
+
+    /// Whether the signal's words can be compared against `mask` directly.
+    fn word_comparable(&self, mask: &SignalMask<S>) -> Option<&[u64]> {
+        match &self.repr {
+            Repr::Dense(dense) if Arc::ptr_eq(&dense.index, mask.index()) => Some(dense.words()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` iff every sensed state is a member of `mask`
+    /// (equivalent to `self.all(|q| mask.contains(q))`).
+    #[inline]
+    pub fn subset_of(&self, mask: &SignalMask<S>) -> bool {
+        match self.word_comparable(mask) {
+            Some(words) => mask.superset_of_words(words),
+            None => self.iter().all(|q| mask.contains(q)),
+        }
+    }
+
+    /// Returns `true` iff some sensed state is a member of `mask`
+    /// (equivalent to `self.senses_any(|q| mask.contains(q))`).
+    #[inline]
+    pub fn intersects(&self, mask: &SignalMask<S>) -> bool {
+        match self.word_comparable(mask) {
+            Some(words) => mask.intersects_words(words),
+            None => self.iter().any(|q| mask.contains(q)),
+        }
+    }
+
+    /// The number of sensed states that are members of `mask`.
+    #[inline]
+    pub fn count_present(&self, mask: &SignalMask<S>) -> usize {
+        match self.word_comparable(mask) {
+            Some(words) => mask.count_in_words(words),
+            None => self.iter().filter(|q| mask.contains(q)).count(),
+        }
+    }
+
+    /// Returns `true` iff the sensed set equals the mask's member set exactly.
+    #[inline]
+    pub fn exactly(&self, mask: &SignalMask<S>) -> bool {
+        match self.word_comparable(mask) {
+            Some(words) => words == mask.words(),
+            None => self.len() == mask.len() && self.subset_of(mask),
+        }
+    }
+
+    /// Returns `true` iff *every* member of `mask` is sensed (bulk
+    /// `senses`). An empty mask is vacuously satisfied.
+    #[inline]
+    pub fn senses_all_of(&self, mask: &SignalMask<S>) -> bool {
+        match self.word_comparable(mask) {
+            Some(words) => mask.subset_of_words(words),
+            None => mask.iter().all(|q| self.senses(q)),
+        }
+    }
+
+    /// Returns `true` iff *no* member of `mask` is sensed (bulk negative
+    /// `senses`).
+    #[inline]
+    pub fn senses_none_of(&self, mask: &SignalMask<S>) -> bool {
+        !self.intersects(mask)
+    }
+
+    /// The minimum sensed state, if any is sensed.
+    ///
+    /// On dense signals this is the first set mask bit (bit order equals
+    /// `Ord` order) — a word scan instead of an iteration.
+    pub fn min_state(&self) -> Option<&S> {
+        match &self.repr {
+            Repr::Sparse(set) => set.first(),
+            Repr::Dense(dense) => mask_ops::first_set(dense.words()).map(|i| dense.index.state(i)),
+        }
+    }
+
+    /// The maximum sensed state, if any is sensed (the last set mask bit on
+    /// dense signals).
+    pub fn max_state(&self) -> Option<&S> {
+        match &self.repr {
+            Repr::Sparse(set) => set.last(),
+            Repr::Dense(dense) => mask_ops::last_set(dense.words()).map(|i| dense.index.state(i)),
         }
     }
 
@@ -600,5 +931,152 @@ mod tests {
         let mut sig = Signal::dense(index);
         sig.insert(4);
         assert_eq!(format!("{sig:?}"), "{4}");
+    }
+
+    // ---- masks ------------------------------------------------------------
+
+    #[test]
+    fn mask_compile_and_membership() {
+        let index = index_0_to_99();
+        let evens = SignalMask::compile(&index, |q| q % 2 == 0);
+        assert_eq!(evens.len(), 50);
+        assert!(evens.contains(&64));
+        assert!(!evens.contains(&65));
+        assert!(!evens.contains(&1000), "unindexed states are never members");
+        let collected: Vec<u32> = evens.iter().copied().take(3).collect();
+        assert_eq!(collected, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn mask_from_states_ignores_unindexed() {
+        let index = Arc::new(StateIndex::new(0..8u32));
+        let mask = SignalMask::from_states(&index, [&1u32, &5, &99]);
+        assert_eq!(mask.len(), 2);
+        assert!(mask.contains(&5));
+        assert!(!mask.contains(&99));
+        let mut mask = SignalMask::empty(index);
+        assert!(mask.insert(&3));
+        assert!(mask.insert(&3), "re-inserting is fine");
+        assert!(!mask.insert(&99));
+        assert_eq!(mask.len(), 1);
+    }
+
+    /// Every mask predicate must agree across the three evaluation routes:
+    /// dense-same-index (word ops), sparse (membership tests), and
+    /// dense-other-index (membership tests).
+    #[test]
+    fn mask_predicates_agree_across_representations() {
+        let index = index_0_to_99();
+        let other_index = Arc::new(StateIndex::new(0..100u32));
+        let mask = SignalMask::compile(&index, |q| *q >= 60 || q % 7 == 0);
+        let sensed_sets: [&[u32]; 5] = [
+            &[63, 64, 70],
+            &[0, 7, 14],
+            &[1, 2, 3],
+            &[99],
+            &[7, 59, 60, 61, 62, 63, 64, 65],
+        ];
+        for states in sensed_sets {
+            let mut dense = Signal::dense(index.clone());
+            let mut cross = Signal::dense(other_index.clone());
+            let mut sparse = Signal::empty();
+            for &q in states {
+                dense.insert(q);
+                cross.insert(q);
+                sparse.insert(q);
+            }
+            for sig in [&dense, &cross, &sparse] {
+                assert_eq!(
+                    sig.subset_of(&mask),
+                    states.iter().all(|q| mask.contains(q)),
+                    "subset_of diverged for {states:?}"
+                );
+                assert_eq!(
+                    sig.intersects(&mask),
+                    states.iter().any(|q| mask.contains(q)),
+                    "intersects diverged for {states:?}"
+                );
+                assert_eq!(
+                    sig.count_present(&mask),
+                    states.iter().filter(|q| mask.contains(q)).count(),
+                    "count_present diverged for {states:?}"
+                );
+                assert_eq!(sig.senses_none_of(&mask), !sig.intersects(&mask));
+                assert_eq!(
+                    sig.senses_all_of(&mask),
+                    mask.iter().all(|q| states.contains(q)),
+                    "senses_all_of diverged for {states:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_matches_set_equality() {
+        let index = index_0_to_99();
+        let mask = SignalMask::from_states(&index, [&3u32, &65]);
+        let mut dense = Signal::dense(index.clone());
+        dense.insert(3);
+        dense.insert(65);
+        assert!(dense.exactly(&mask));
+        let sparse = Signal::from_states(vec![3u32, 65]);
+        assert!(sparse.exactly(&mask));
+        dense.insert(4);
+        assert!(!dense.exactly(&mask));
+        let subset = Signal::from_states(vec![3u32]);
+        assert!(!subset.exactly(&mask));
+    }
+
+    #[test]
+    fn senses_all_of_empty_mask_is_vacuous() {
+        let index = index_0_to_99();
+        let empty = SignalMask::empty(index.clone());
+        let sig = Signal::from_states(vec![1u32, 2]);
+        assert!(sig.senses_all_of(&empty));
+        assert!(sig.senses_none_of(&empty));
+        assert!(!sig.subset_of(&empty));
+        assert!(Signal::<u32>::empty().subset_of(&empty));
+    }
+
+    #[test]
+    fn min_max_state_across_representations() {
+        let index = index_0_to_99();
+        let mut dense = Signal::dense(index);
+        for q in [64u32, 7, 93] {
+            dense.insert(q);
+        }
+        assert_eq!(dense.min_state(), Some(&7));
+        assert_eq!(dense.max_state(), Some(&93));
+        let sparse = Signal::from_states(vec![64u32, 7, 93]);
+        assert_eq!(sparse.min_state(), Some(&7));
+        assert_eq!(sparse.max_state(), Some(&93));
+        assert_eq!(Signal::<u32>::empty().min_state(), None);
+        assert_eq!(Signal::<u32>::empty().max_state(), None);
+        let empty_dense = Signal::dense(index_0_to_99());
+        assert_eq!(empty_dense.min_state(), None);
+        assert_eq!(empty_dense.max_state(), None);
+    }
+
+    #[test]
+    fn mask_ops_word_helpers() {
+        use super::mask_ops;
+        assert!(mask_ops::subset(&[0b0101, 0], &[0b1101, 1]));
+        assert!(!mask_ops::subset(&[0b0101, 2], &[0b1101, 1]));
+        assert!(mask_ops::intersects(&[0, 0b100], &[1, 0b110]));
+        assert!(!mask_ops::intersects(&[0b01, 0], &[0b10, 0]));
+        assert_eq!(mask_ops::count_and(&[0b111, 1], &[0b101, 3]), 3);
+        assert_eq!(mask_ops::first_set(&[0, 0b1000]), Some(67));
+        assert_eq!(mask_ops::last_set(&[0b1000, 0]), Some(3));
+        assert_eq!(mask_ops::first_set(&[0, 0]), None);
+        assert_eq!(mask_ops::last_set(&[]), None);
+    }
+
+    #[test]
+    fn dense_words_accessor() {
+        let index = Arc::new(StateIndex::new(0..70u32));
+        let mut sig = Signal::dense(index);
+        sig.insert(65);
+        assert_eq!(sig.dense_words(), Some(&[0u64, 0b10][..]));
+        assert_eq!(Signal::<u32>::empty().dense_words(), None);
     }
 }

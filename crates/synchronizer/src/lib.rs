@@ -42,13 +42,14 @@
 #![warn(missing_docs)]
 
 use rand::RngCore;
-use sa_model::algorithm::{Algorithm, StateSpace};
+use sa_model::algorithm::{Algorithm, MaskedOutcome, MaskedTransition, StateSpace};
 use sa_model::checker::TaskChecker;
 use sa_model::graph::Graph;
-use sa_model::signal::Signal;
+use sa_model::signal::{mask_ops, DenseSignal, Signal, StateIndex};
 use sa_protocols::le::LeChecker;
 use sa_protocols::mis::MisChecker;
 use sa_protocols::{alg_le, alg_mis, AlgLe, AlgMis};
+use std::sync::Arc;
 use unison_core::algau::TransitionKind;
 use unison_core::{AlgAu, Turn};
 
@@ -211,8 +212,246 @@ impl<A: Algorithm> Algorithm for Synchronized<A> {
         self.inner.transition_is_deterministic()
     }
 
+    fn compile_masked<'s>(
+        &'s self,
+        index: &Arc<StateIndex<SyncState<A::State>>>,
+    ) -> Option<Box<dyn MaskedTransition<SyncState<A::State>> + 's>> {
+        SyncMasks::build(self, index)
+            .map(|m| Box::new(m) as Box<dyn MaskedTransition<SyncState<A::State>> + 's>)
+    }
+
     fn name(&self) -> &'static str {
         "synchronized"
+    }
+}
+
+/// Sentinel marking "this rule does not apply to this turn".
+const NO_RULE: u32 = u32::MAX;
+
+/// The mask-compiled transition of a [`Synchronized`] composite (active
+/// whenever the product space `|Q|² · |T|` fits the executor's dense limit).
+///
+/// Every AlgAU condition on the turn coordinate is a per-sensed-state
+/// predicate of the *composite* states' turn components, so it compiles to
+/// word-level subset / intersection masks over the composite index — keyed
+/// by the node's own turn only, `|T|` rows instead of `|Q|²·|T|`. On a clock
+/// advance (type AA), the *simulated signal* is recovered with precompiled
+/// **projection masks**: for the own turn `ν` and each inner state `r`,
+/// `proj[ν][r]` holds the composite states of the form `(r, ·, ν)` or
+/// `(·, r, ν′)` — one intersection test per inner state builds the simulated
+/// `{0,1}^Q` vector directly as a dense inner signal, replacing the closure
+/// path's two `BTreeSet`-allocating `map`/`filter_map` passes. The inner
+/// transition itself then runs unchanged (same values, same RNG stream), so
+/// randomized inner algorithms keep coin-stream parity.
+///
+/// The composite index layout is verified at compile time (sorted product =
+/// lexicographic `(current, previous, turn)`), which makes the state
+/// arithmetic `idx = (ci·|Q| + pi)·|T| + ti` exact.
+struct SyncMasks<'a, A: Algorithm> {
+    sync: &'a Synchronized<A>,
+    inner_index: Arc<StateIndex<A::State>>,
+    turns: Vec<Turn>,
+    /// `|T|`, `|Q|`, composite words, inner words.
+    t: usize,
+    qi: usize,
+    words: usize,
+    inner_words: usize,
+    /// Per-turn rule data (`ti`-indexed rows of `words` each).
+    able: Vec<bool>,
+    aa_allowed: Vec<u64>,
+    protected: Vec<u64>,
+    af_trigger: Vec<u64>,
+    fa_block: Vec<u64>,
+    aa_next: Vec<u32>,
+    af_next: Vec<u32>,
+    fa_next: Vec<u32>,
+    /// Projection masks: row `ti * qi + ri` marks the composite states that
+    /// contribute inner state `ri` to the simulated signal of a node whose
+    /// own turn is `turns[ti]` (able turns only; other rows stay empty).
+    proj: Vec<u64>,
+}
+
+impl<'a, A: Algorithm> SyncMasks<'a, A> {
+    fn build(
+        sync: &'a Synchronized<A>,
+        index: &Arc<StateIndex<SyncState<A::State>>>,
+    ) -> Option<Self> {
+        let inner_states = sync.inner.dense_state_space()?;
+        let inner_index = Arc::new(StateIndex::new(inner_states));
+        let mut turns = StateSpace::states(&sync.unison);
+        turns.sort_unstable();
+        turns.dedup();
+        let (qi, t) = (inner_index.len(), turns.len());
+        if qi == 0 || t == 0 || index.len() != qi.checked_mul(qi)?.checked_mul(t)? {
+            return None;
+        }
+        // Verify the sorted-product layout the state arithmetic relies on:
+        // index position i ⟺ (current, previous, turn) digits of i in mixed
+        // radix (qi, qi, t). `SyncState`'s derived lexicographic `Ord` makes
+        // this hold whenever the index is the sorted product, but check —
+        // never guess.
+        for (i, state) in index.states().iter().enumerate() {
+            let (ci, pi, ti) = (i / (t * qi), (i / t) % qi, i % t);
+            if state.current != *inner_index.state(ci)
+                || state.previous != *inner_index.state(pi)
+                || state.turn != turns[ti]
+            {
+                return None;
+            }
+        }
+        let words = index.words();
+        let len = index.len();
+        let mut able = vec![false; t];
+        let mut aa_allowed = vec![0u64; t * words];
+        let mut protected = vec![0u64; t * words];
+        let mut af_trigger = vec![0u64; t * words];
+        let mut fa_block = vec![0u64; t * words];
+        let mut aa_next = vec![NO_RULE; t];
+        let mut af_next = vec![NO_RULE; t];
+        let mut fa_next = vec![NO_RULE; t];
+        let mut proj = vec![0u64; t * qi * words];
+        let turn_pos = |turn: &Turn| turns.binary_search(turn).ok().map(|p| p as u32);
+        // Marks every composite state carrying `member` as its turn in row
+        // `ti` of `table`. A member that is not an actual turn (e.g. the AF
+        // trigger `Faulty(±1)`) has no composite states and contributes no
+        // bit, matching the closure path's `senses`.
+        let set_for_turn = |table: &mut [u64], ti: usize, member: &Turn| {
+            if let Ok(tm) = turns.binary_search(member) {
+                for cp in 0..qi * qi {
+                    let j = cp * t + tm;
+                    table[ti * words + j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        };
+        for ti in 0..t {
+            // The rule encoding is shared with AlgAU's own mask compiler
+            // (one source of truth for Table 1 besides `next_turn`).
+            let rule = sync.unison.turn_rule(turns[ti]);
+            able[ti] = turns[ti].is_able();
+            if let Some(next) = rule.aa_next {
+                aa_next[ti] = turn_pos(&next)?;
+                for member in &rule.aa_allowed {
+                    set_for_turn(&mut aa_allowed, ti, member);
+                }
+                // Projection rows for the AA simulated signal: a composite
+                // state (r, ·, ν) contributes its *current* coordinate,
+                // (·, r, ν′) its *previous* one.
+                let own = turns[ti];
+                for j in 0..len {
+                    let (cj, pj, tj) = (j / (t * qi), (j / t) % qi, j % t);
+                    let contributes = if turns[tj] == own {
+                        Some(cj)
+                    } else if turns[tj] == next {
+                        Some(pj)
+                    } else {
+                        None
+                    };
+                    if let Some(ri) = contributes {
+                        proj[(ti * qi + ri) * words + j / 64] |= 1u64 << (j % 64);
+                    }
+                }
+            }
+            if let Some(next) = rule.af_next {
+                af_next[ti] = turn_pos(&next)?;
+                for member in &rule.protected {
+                    set_for_turn(&mut protected, ti, member);
+                }
+                for member in &rule.af_trigger {
+                    set_for_turn(&mut af_trigger, ti, member);
+                }
+            }
+            if let Some(next) = rule.fa_next {
+                fa_next[ti] = turn_pos(&next)?;
+                for member in &rule.fa_block {
+                    set_for_turn(&mut fa_block, ti, member);
+                }
+            }
+        }
+        Some(SyncMasks {
+            sync,
+            inner_index,
+            turns,
+            t,
+            qi,
+            words,
+            inner_words: qi.div_ceil(64),
+            able,
+            aa_allowed,
+            protected,
+            af_trigger,
+            fa_block,
+            aa_next,
+            af_next,
+            fa_next,
+            proj,
+        })
+    }
+
+    #[inline]
+    fn row<'t>(&self, table: &'t [u64], ti: usize) -> &'t [u64] {
+        &table[ti * self.words..(ti + 1) * self.words]
+    }
+
+    /// Composite index of `(current = ci, previous = pi, turn = ti)`.
+    #[inline]
+    fn compose(&self, ci: usize, pi: usize, ti: u32) -> u32 {
+        ((ci * self.qi + pi) * self.t) as u32 + ti
+    }
+}
+
+impl<A: Algorithm> MaskedTransition<SyncState<A::State>> for SyncMasks<'_, A> {
+    fn next_index(
+        &self,
+        state_idx: u32,
+        signal_words: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> MaskedOutcome<SyncState<A::State>> {
+        let si = state_idx as usize;
+        let (t, qi) = (self.t, self.qi);
+        let (ci, pi, ti) = (si / (t * qi), (si / t) % qi, si % t);
+        if !self.able[ti] {
+            // FA: complete the detour unless an outward level is sensed.
+            return if mask_ops::intersects(signal_words, self.row(&self.fa_block, ti)) {
+                MaskedOutcome::Indexed(state_idx)
+            } else {
+                MaskedOutcome::Indexed(self.compose(ci, pi, self.fa_next[ti]))
+            };
+        }
+        if mask_ops::subset(signal_words, self.row(&self.aa_allowed, ti)) {
+            // AA: the clock advances — run one simulated synchronous step of
+            // the inner algorithm on the projected signal.
+            let mut inner_bits = vec![0u64; self.inner_words];
+            for (ri, word) in (0..qi).map(|ri| (ri, ri / 64)) {
+                let proj_row = &self.proj[(ti * qi + ri) * self.words..][..self.words];
+                if mask_ops::intersects(signal_words, proj_row) {
+                    inner_bits[word] |= 1u64 << (ri % 64);
+                }
+            }
+            // One buffer allocation per clock advance (the closure path
+            // allocates two `BTreeSet`s with per-state nodes instead).
+            let sim = Signal::from_dense(DenseSignal::from_words(
+                self.inner_index.clone(),
+                inner_bits,
+            ));
+            let current = self.inner_index.state(ci);
+            let next_inner = self.sync.inner.transition(current, &sim, rng);
+            let advanced = self.aa_next[ti];
+            return match self.inner_index.position(&next_inner) {
+                Some(nci) => MaskedOutcome::Indexed(self.compose(nci, ci, advanced)),
+                None => MaskedOutcome::Escaped(SyncState {
+                    current: next_inner,
+                    previous: current.clone(),
+                    turn: self.turns[advanced as usize],
+                }),
+            };
+        }
+        if self.af_next[ti] != NO_RULE
+            && (!mask_ops::subset(signal_words, self.row(&self.protected, ti))
+                || mask_ops::intersects(signal_words, self.row(&self.af_trigger, ti)))
+        {
+            return MaskedOutcome::Indexed(self.compose(ci, pi, self.af_next[ti]));
+        }
+        MaskedOutcome::Indexed(state_idx)
     }
 }
 
@@ -547,6 +786,113 @@ mod tests {
         for s in exec.configuration() {
             assert_eq!(s.current, 20);
         }
+    }
+
+    /// A randomized inner algorithm with an enumerable space, so the
+    /// composite runs dense + mask-compiled. The coin consumption makes any
+    /// RNG-stream divergence between the masked and closure paths loud.
+    #[derive(Debug, Clone, Copy)]
+    struct NoisyInner;
+    impl Algorithm for NoisyInner {
+        type State = u8;
+        type Output = u8;
+        fn output(&self, s: &u8) -> Option<u8> {
+            Some(*s)
+        }
+        fn transition(&self, s: &u8, signal: &Signal<u8>, rng: &mut dyn RngCore) -> u8 {
+            use rand::Rng;
+            if rng.gen_bool(0.5) {
+                signal.max_state().copied().unwrap_or(*s)
+            } else {
+                rng.gen_range(0..4u8)
+            }
+        }
+        fn dense_state_space(&self) -> Option<Vec<u8>> {
+            Some((0..4).collect())
+        }
+    }
+
+    /// The composite's mask-compiled path (turn masks + projection masks +
+    /// inner transition on the projected dense signal) must replay the
+    /// closure path bit for bit — configurations, coins, counters — from
+    /// adversarial starts, including through AlgAU detours.
+    #[test]
+    fn masked_composite_matches_closure_path() {
+        let graph = Graph::grid(3, 3);
+        for seed in 0..3u64 {
+            let sync = Synchronized::new(NoisyInner, 1);
+            let init = random_composite_configuration(
+                &(0..4u8).collect::<Vec<_>>(),
+                sync.unison(),
+                graph.node_count(),
+                seed,
+            );
+            let mut masked = ExecutionBuilder::new(&sync, &graph)
+                .seed(seed)
+                .masked_transitions(true)
+                .initial(init.clone());
+            let mut closure = ExecutionBuilder::new(&sync, &graph)
+                .seed(seed)
+                .masked_transitions(false)
+                .initial(init);
+            assert!(masked.uses_dense_signals(), "product space fits dense");
+            assert!(masked.uses_masked_transitions());
+            assert!(!closure.uses_masked_transitions());
+            let mut sched_a = UniformRandomScheduler::new(0.6);
+            let mut sched_b = UniformRandomScheduler::new(0.6);
+            for step in 0..400 {
+                let a = masked.step_with(&mut sched_a);
+                let b = closure.step_with(&mut sched_b);
+                assert_eq!(a, b, "seed {seed} step {step}: outcome diverged");
+                assert_eq!(
+                    masked.configuration(),
+                    closure.configuration(),
+                    "seed {seed} step {step}: configuration diverged"
+                );
+            }
+            assert_eq!(masked.counters(), closure.counters());
+            assert!(masked.validate_incremental_sensing());
+        }
+    }
+
+    /// The deterministic composite (RoundCounter inner) also compiles; the
+    /// synchronous lockstep reduction must hold on the masked path.
+    #[test]
+    fn masked_composite_keeps_the_lockstep_reduction() {
+        #[derive(Debug, Clone, Copy)]
+        struct DenseCounter {
+            m: u8,
+        }
+        impl Algorithm for DenseCounter {
+            type State = u8;
+            type Output = u8;
+            fn output(&self, s: &u8) -> Option<u8> {
+                Some(*s)
+            }
+            fn transition(&self, s: &u8, signal: &Signal<u8>, _rng: &mut dyn RngCore) -> u8 {
+                let max = signal.max_by_key(|x| *x).unwrap_or(*s).max(*s);
+                (max + 1) % self.m
+            }
+            fn dense_state_space(&self) -> Option<Vec<u8>> {
+                Some((0..self.m).collect())
+            }
+            fn transition_is_deterministic(&self) -> bool {
+                true
+            }
+        }
+        let graph = Graph::complete(4);
+        let sync = Synchronized::new(DenseCounter { m: 7 }, 1);
+        let mut exec = ExecutionBuilder::new(&sync, &graph)
+            .seed(0)
+            .masked_transitions(true)
+            .uniform(sync.lift(0u8));
+        assert!(exec.uses_masked_transitions());
+        let mut sched = SynchronousScheduler;
+        exec.run_rounds(&mut sched, 20);
+        for s in exec.configuration() {
+            assert_eq!(s.current, 20 % 7);
+        }
+        assert!(exec.validate_incremental_sensing());
     }
 
     #[test]

@@ -20,6 +20,9 @@ use stone_age_unison::model::prelude::*;
 use stone_age_unison::model::EngineKind;
 use stone_age_unison::unison::{AlgAu, Turn};
 
+mod common;
+use common::{Cycler, Promote};
+
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -160,6 +163,71 @@ fn warm_step_loop_allocates_nothing() {
         0,
         "sharded uniform lockstep steps must not allocate"
     );
+
+    // --- sharded apply stage (changed sets above the sharding threshold) ----
+    // Every Cycler step changes all 2048 nodes, so the sharded engine fans
+    // the apply stage's count updates across the pool; the per-step shard
+    // slots are stack-allocated, so the warm loop must stay at zero.
+    {
+        use stone_age_unison::model::engine::SHARDED_APPLY_MIN_CHANGED;
+        let graph = Topology::RandomRegular { n: 2048, deg: 5 }.build(23);
+        assert!(graph.node_count() >= 2 * SHARDED_APPLY_MIN_CHANGED);
+        let init: Vec<u8> = (0..graph.node_count())
+            .map(|v| ((v * 13 + 4) % 6) as u8)
+            .collect();
+        let mut exec = ExecutionBuilder::new(&Cycler, &graph)
+            .seed(1)
+            .engine(EngineKind::Sharded { threads: 4 })
+            .initial(init);
+        assert!(exec.uses_dense_signals());
+        let mut sched = SynchronousScheduler;
+        for _ in 0..5 {
+            exec.step_with(&mut sched);
+        }
+        let before = allocations();
+        for _ in 0..60 {
+            exec.step_with(&mut sched);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "sharded-apply steps must not allocate once warm"
+        );
+    }
+
+    // --- partial-batch apply -------------------------------------------------
+    // Re-seeding zeros through `corrupt` makes every step a near-uniform
+    // batch (all zeros move to one, the ones hold): the bulk word-write
+    // commit must be allocation-free too.
+    {
+        let graph = Topology::Torus { rows: 16, cols: 16 }.build_deterministic();
+        let n = graph.node_count();
+        let init: Vec<u8> = (0..n).map(|v| (v % 2 == 0) as u8).collect();
+        let mut exec = ExecutionBuilder::new(&Promote, &graph)
+            .seed(2)
+            .initial(init);
+        let all: Vec<usize> = (0..n).collect();
+        let movers: Vec<usize> = (0..n).step_by(2).collect();
+        let batch_round = |exec: &mut Execution<'_, Promote>| {
+            for &v in &movers {
+                exec.corrupt(v, 0);
+            }
+            exec.step(&all);
+        };
+        for _ in 0..3 {
+            batch_round(&mut exec);
+        }
+        let before = allocations();
+        for _ in 0..50 {
+            batch_round(&mut exec);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "partial-batch steps must not allocate once warm"
+        );
+        assert!(exec.validate_incremental_sensing());
+    }
 
     // Sanity: the counter actually counts.
     let before = allocations();

@@ -17,6 +17,9 @@
 //! schedules.
 
 use rand::RngCore;
+
+mod common;
+use common::Cycler;
 use stone_age_unison::model::algorithm::{Algorithm, StateSpace};
 use stone_age_unison::model::prelude::*;
 use stone_age_unison::model::EngineKind;
@@ -296,6 +299,233 @@ fn sharded_matches_serial_on_a_large_expander() {
             &format!("expander/workers={workers}"),
         );
     }
+}
+
+// ---- mask-compiled vs closure transition path ------------------------------
+
+/// Steps a mask-compiled and a closure-path execution of the same algorithm
+/// in lockstep and asserts bit-for-bit identity in every observable.
+#[allow(clippy::too_many_arguments)]
+fn assert_masked_matches_closure<A: Algorithm>(
+    alg: &A,
+    graph: &Graph,
+    init: Vec<A::State>,
+    seed: u64,
+    mode: SignalMode,
+    make_sched: &dyn Fn() -> Box<dyn Scheduler>,
+    steps: usize,
+    context: &str,
+) {
+    let mut masked = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .masked_transitions(true)
+        .initial(init.clone());
+    let mut closure = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .masked_transitions(false)
+        .initial(init);
+    assert!(
+        masked.uses_masked_transitions(),
+        "[{context}] algorithm must compile masks"
+    );
+    assert!(!closure.uses_masked_transitions());
+    let mut sched_a = make_sched();
+    let mut sched_b = make_sched();
+    for step in 0..steps {
+        let a = masked.step_with(&mut *sched_a);
+        let b = closure.step_with(&mut *sched_b);
+        assert_eq!(a, b, "[{context}] step {step}: outcome diverged");
+        assert_eq!(
+            masked.configuration(),
+            closure.configuration(),
+            "[{context}] step {step}: configuration diverged"
+        );
+        assert_eq!(
+            masked.last_changed(),
+            closure.last_changed(),
+            "[{context}] step {step}: changed-node list diverged"
+        );
+    }
+    assert_eq!(
+        masked.counters(),
+        closure.counters(),
+        "[{context}] per-node metrics diverged"
+    );
+    assert!(masked.validate_incremental_sensing());
+}
+
+/// AlgAU's mask-compiled transition replays the closure path exactly: all
+/// six schedulers, dense *and* sparse signal modes (the sparse mode
+/// exercises the word-level scratch rebuild in `evaluate_sparse`), from an
+/// adversarial initial configuration.
+#[test]
+fn algau_masked_path_matches_closure_path() {
+    let graph = Topology::Grid { rows: 3, cols: 4 }.build_deterministic();
+    let n = graph.node_count();
+    let alg = AlgAu::new(graph.diameter());
+    let palette = alg.states();
+    let init: Vec<_> = (0..n)
+        .map(|v| palette[(v * 5 + 1) % palette.len()])
+        .collect();
+    for (sched_name, factory) in scheduler_factories(n) {
+        for (mode_name, mode) in [("dense", SignalMode::Auto), ("sparse", SignalMode::Sparse)] {
+            assert_masked_matches_closure(
+                &alg,
+                &graph,
+                init.clone(),
+                0x3a5c,
+                mode,
+                factory.as_ref(),
+                40,
+                &format!("algau-mask/{sched_name}/{mode_name}"),
+            );
+        }
+    }
+}
+
+/// A toy with a hand-written mask compilation, used to drive the masked
+/// path through a mid-run degrade: advance modulo 6 iff state 1 is sensed.
+struct SensesOne;
+
+impl Algorithm for SensesOne {
+    type State = u8;
+    type Output = u8;
+    fn output(&self, s: &u8) -> Option<u8> {
+        Some(*s)
+    }
+    fn transition(&self, s: &u8, sig: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+        if sig.senses(&1) {
+            (s + 1) % 6
+        } else {
+            *s
+        }
+    }
+    fn dense_state_space(&self) -> Option<Vec<u8>> {
+        Some((0..6).collect())
+    }
+    fn transition_is_deterministic(&self) -> bool {
+        true
+    }
+    fn compile_masked<'s>(
+        &'s self,
+        index: &std::sync::Arc<StateIndex<u8>>,
+    ) -> Option<Box<dyn MaskedTransition<u8> + 's>> {
+        struct Masks {
+            one: SignalMask<u8>,
+            next: Vec<u32>,
+        }
+        impl MaskedTransition<u8> for Masks {
+            fn next_index(
+                &self,
+                state_idx: u32,
+                signal_words: &[u64],
+                _rng: &mut dyn RngCore,
+            ) -> MaskedOutcome<u8> {
+                if self.one.intersects_words(signal_words) {
+                    MaskedOutcome::Indexed(self.next[state_idx as usize])
+                } else {
+                    MaskedOutcome::Indexed(state_idx)
+                }
+            }
+        }
+        let next = (0..index.len())
+            .map(|i| index.position(&((index.state(i) + 1) % 6)).unwrap() as u32)
+            .collect();
+        Some(Box::new(Masks {
+            one: SignalMask::from_states(index, [&1u8]),
+            next,
+        }))
+    }
+}
+
+/// A mid-run corruption with a state outside the enumerated space degrades
+/// the dense sensing; the mask-compiled path must follow the closure path
+/// through the degrade and keep matching on the sparse fallback, where
+/// lanes that meet the exotic state fall back per node.
+#[test]
+fn masked_path_follows_closure_through_degrade() {
+    let graph = Graph::grid(3, 3);
+    let init: Vec<u8> = (0..9u8).map(|v| v % 6).collect();
+    for workers in [1usize, 4] {
+        let mut masked = ExecutionBuilder::new(&SensesOne, &graph)
+            .seed(5)
+            .engine(EngineKind::Sharded { threads: workers })
+            .masked_transitions(true)
+            .initial(init.clone());
+        let mut closure = ExecutionBuilder::new(&SensesOne, &graph)
+            .seed(5)
+            .engine(EngineKind::Serial)
+            .masked_transitions(false)
+            .initial(init.clone());
+        assert!(masked.uses_masked_transitions());
+        let mut sched_a = SynchronousScheduler;
+        let mut sched_b = SynchronousScheduler;
+        for step in 0..30 {
+            if step == 7 {
+                masked.corrupt(4, 77); // outside {0..6}
+                closure.corrupt(4, 77);
+                assert!(!masked.uses_dense_signals());
+            }
+            masked.step_with(&mut sched_a);
+            closure.step_with(&mut sched_b);
+            assert_eq!(
+                masked.configuration(),
+                closure.configuration(),
+                "workers={workers} step {step}"
+            );
+        }
+        assert_eq!(masked.counters(), closure.counters());
+    }
+}
+
+// ---- sharded apply stage ---------------------------------------------------
+
+/// Sharded-apply ≡ serial-apply: on a graph whose synchronous changed sets
+/// exceed `SHARDED_APPLY_MIN_CHANGED`, the sharded engine commits the apply
+/// stage across its pool by node range; configurations, sensing state and
+/// metrics must stay bit-identical to the fully serial engine.
+#[test]
+fn sharded_apply_matches_serial_on_large_changed_sets() {
+    use stone_age_unison::model::engine::SHARDED_APPLY_MIN_CHANGED;
+    let graph = Topology::RandomRegular { n: 2048, deg: 5 }.build(17);
+    let n = graph.node_count();
+    assert!(
+        n >= SHARDED_APPLY_MIN_CHANGED * 2,
+        "must exceed the threshold"
+    );
+    let init: Vec<u8> = (0..n).map(|v| ((v * 13 + 4) % 6) as u8).collect();
+    for workers in [2usize, 4, 8] {
+        assert_lockstep_equivalence(
+            &Cycler,
+            &graph,
+            init.clone(),
+            0xbead + workers as u64,
+            SignalMode::Auto,
+            workers,
+            &|| Box::new(SynchronousScheduler),
+            None,
+            6,
+            &format!("sharded-apply/workers={workers}"),
+        );
+    }
+    // A randomized algorithm over the same graph: partial change sets above
+    // and below the threshold, plus fault injection.
+    let init: Vec<u8> = (0..n).map(|v| (v % 6) as u8).collect();
+    let palette: Vec<u8> = (0..6).collect();
+    assert_lockstep_equivalence(
+        &NoisyAdopt,
+        &graph,
+        init,
+        0xfeed,
+        SignalMode::Auto,
+        4,
+        &|| Box::new(UniformRandomScheduler::new(0.9)),
+        Some(&palette),
+        6,
+        "sharded-apply/noisy",
+    );
 }
 
 /// Regression (PR 1): seeded trajectories of randomized algorithms are
