@@ -21,6 +21,80 @@ use sa_model::signal::Signal;
 use sa_model::topology::Topology;
 use unison_core::{AlgAu, GoodGraphOracle, Turn};
 
+/// State of the [`MinPlusOne`] scale-benchmark algorithm: a pinned source or
+/// a capped distance estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Level {
+    /// Distance 0, never transitions.
+    Source,
+    /// Current capped distance estimate (1..=cap).
+    At(u8),
+}
+
+/// Deterministic capped-BFS relaxation: every non-source node moves to one
+/// plus the smallest level it senses. Its fixpoint (capped BFS distances
+/// from the sources) is **non-uniform**, which is exactly what the scale
+/// benchmark needs: the uniform-configuration fast path cannot trigger, so
+/// post-stabilization rounds measure the evaluate stage itself — full-scan
+/// vs active-set. No mask compilation on purpose: the closure path is the
+/// honest "what the engine would do without frontier skipping" baseline.
+struct MinPlusOne {
+    cap: u8,
+}
+
+impl Algorithm for MinPlusOne {
+    type State = Level;
+    type Output = u8;
+
+    fn output(&self, state: &Level) -> Option<u8> {
+        Some(match state {
+            Level::Source => 0,
+            Level::At(k) => *k,
+        })
+    }
+
+    fn transition(
+        &self,
+        state: &Level,
+        signal: &Signal<Level>,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Level {
+        match state {
+            Level::Source => Level::Source,
+            Level::At(_) => {
+                let mut next = self.cap;
+                if signal.senses(&Level::Source) {
+                    next = 1;
+                } else {
+                    for k in 1..self.cap {
+                        if signal.senses(&Level::At(k)) {
+                            next = k + 1;
+                            break;
+                        }
+                    }
+                }
+                Level::At(next)
+            }
+        }
+    }
+
+    fn transition_is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn dense_state_space(&self) -> Option<Vec<Level>> {
+        Some(
+            std::iter::once(Level::Source)
+                .chain((1..=self.cap).map(Level::At))
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "min-plus-one"
+    }
+}
+
 fn bench_transition(c: &mut Criterion) {
     let mut group = c.benchmark_group("algau-transition");
     for d in [2usize, 8, 32] {
@@ -260,6 +334,147 @@ fn bench_apply_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Labels of the million-node scale topologies (shared with the summary
+/// printer and the rounds/sec recorder).
+const SCALE_LABELS: [&str; 2] = ["torus-1024x1024", "regular4-1e6"];
+
+/// Distance cap of the scale benchmark's [`MinPlusOne`] instance. The cap
+/// sizes the palette (`cap + 1` states), and at 81 states × 10⁶ nodes the
+/// per-node count table would exceed the dense engine's
+/// `MAX_DENSE_COUNT_CELLS` budget, so sensing falls back to the sparse
+/// path: every full-scan evaluation rebuilds each activated node's signal
+/// from the configuration, with no memo tier to absorb the stabilized
+/// interior. That is the honest million-node regime for non-tiny palettes —
+/// and exactly the work the dirty frontier exists to skip. (A small cap
+/// stays in dense mode, where the memo ring already collapses the uniform
+/// interior and the two legs mostly measure shared bookkeeping.)
+const SCALE_CAP: u8 = 80;
+
+/// Rounds needed to reach the fixpoint from the all-`At(cap)` start: `cap`
+/// rounds for the gradient to form ring by ring, plus slack.
+const SCALE_CONVERGE_ROUNDS: u64 = SCALE_CAP as u64 + 3;
+
+/// Per-leg warmup rounds on the pre-converged configuration: the first
+/// drains the initially all-dirty frontier (no node changes on a fixpoint),
+/// the second is already steady state.
+const SCALE_WARMUP_ROUNDS: u64 = 2;
+
+/// The million-node topologies of the scale benchmark.
+fn scale_benchmark_graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            SCALE_LABELS[0],
+            Topology::Torus {
+                rows: 1024,
+                cols: 1024,
+            }
+            .build_deterministic(),
+        ),
+        (
+            SCALE_LABELS[1],
+            Topology::RandomRegular {
+                n: 1_000_000,
+                deg: 4,
+            }
+            .build(13),
+        ),
+    ]
+}
+
+/// Post-stabilization synchronous rounds on 10⁶-node graphs: active-set
+/// (dirty-frontier) execution vs the forced full scan, on the same converged
+/// non-uniform [`MinPlusOne`] fixpoint. Streaming counters keep the metrics
+/// memory `O(1)`. The acceptance target is a ≥ 5x speedup for the
+/// active-set leg; derived rounds/sec figures and a peak-RSS proxy are
+/// recorded alongside the timings.
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group.sample_size(10);
+    let alg = MinPlusOne { cap: SCALE_CAP };
+    for (label, graph) in scale_benchmark_graphs() {
+        let n = graph.node_count();
+        let mut initial = vec![Level::At(SCALE_CAP); n];
+        initial[0] = Level::Source;
+        // Converge once (cheap under active-set execution) and hand the
+        // fixpoint to both legs as their initial configuration — the
+        // full-scan leg then pays its per-round cost only inside the
+        // measurement, not for the `cap`-round stabilization phase.
+        let converged_config = {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(41)
+                .active_set(true)
+                .streaming_counters(true)
+                .initial(initial);
+            let mut sched = SynchronousScheduler;
+            exec.run_rounds(&mut sched, SCALE_CONVERGE_ROUNDS);
+            exec.configuration().to_vec()
+        };
+        for (leg_label, active_set) in [("active-set", true), ("full-eval", false)] {
+            group.bench_with_input(BenchmarkId::new(label, leg_label), &graph, |b, graph| {
+                let mut exec = ExecutionBuilder::new(&alg, graph)
+                    .seed(41)
+                    .active_set(active_set)
+                    .streaming_counters(true)
+                    .initial(converged_config.clone());
+                let mut sched = SynchronousScheduler;
+                exec.run_rounds(&mut sched, SCALE_WARMUP_ROUNDS);
+                assert_eq!(
+                    exec.counters().total_state_changes(),
+                    0,
+                    "scale benchmark must start from a converged configuration"
+                );
+                // Steady state: each iteration is one post-stabilization
+                // synchronous round on the (stable) fixpoint.
+                b.iter(|| {
+                    exec.run_rounds(&mut sched, 1);
+                    black_box(exec.rounds())
+                });
+                assert_eq!(
+                    exec.counters().total_state_changes(),
+                    0,
+                    "scale benchmark must measure a converged execution"
+                );
+                assert_eq!(exec.uses_active_set(), active_set);
+            });
+        }
+    }
+    group.finish();
+    // Derived rounds/sec per leg. Informational only: throughput moves *up*
+    // on an improvement, so bench-diff excludes `rounds-per-sec` keys from
+    // its increase-only gate — the timing records above are the gated keys.
+    for label in SCALE_LABELS {
+        for leg in ["active-set", "full-eval"] {
+            let median = c
+                .records()
+                .iter()
+                .find(|r| r.group == "scale" && r.bench == format!("{label}/{leg}"))
+                .map(|r| r.median_ns);
+            if let Some(median_ns) = median {
+                c.record_measurement(
+                    "scale",
+                    format!("{label}/{leg}/rounds-per-sec"),
+                    1e9 / median_ns,
+                );
+            }
+        }
+    }
+    if let Some(kb) = peak_rss_kb() {
+        // Proxy, not a precise footprint: the kernel's peak-RSS high-water
+        // mark for the whole bench process, dominated by the million-node
+        // structures of this group. Gated by bench-diff like any timing, so
+        // a memory blow-up in the scale path fails CI.
+        c.record_measurement("scale", "peak-rss-kb", kb);
+    }
+}
+
+/// The process peak-RSS high-water mark in kB (`VmHWM` from
+/// `/proc/self/status`), `None` off Linux.
+fn peak_rss_kb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 fn bench_stabilization(c: &mut Criterion) {
     let mut group = c.benchmark_group("algau-stabilization");
     group.sample_size(10);
@@ -349,6 +564,21 @@ fn speedup_summary(c: &mut Criterion) {
         }
         println!("{line}");
     }
+    println!("\n==== active-set vs full-eval post-stabilization rounds (scale) ====");
+    for label in SCALE_LABELS {
+        let time_of = |leg: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "scale" && r.bench == format!("{label}/{leg}"))
+                .map(|r| r.median_ns)
+        };
+        if let (Some(active), Some(full)) = (time_of("active-set"), time_of("full-eval")) {
+            println!(
+                "{label:<16} active-set {active:>13.0} ns/round   full-eval {full:>13.0} ns/round   speedup {:.2}x",
+                full / active
+            );
+        }
+    }
     println!(
         "\n==== serial vs sharded engine scaling ({} hardware threads) ====",
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -381,6 +611,7 @@ criterion_group!(
     bench_apply_scaling,
     bench_engine_scaling,
     bench_stabilization,
+    bench_scale,
     speedup_summary
 );
 criterion_main!(benches);

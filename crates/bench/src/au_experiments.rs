@@ -408,7 +408,7 @@ pub fn e9_baselines(scale: Scale) -> ExperimentReport {
                 &mut exec,
                 &mut sched,
                 &min_plus_one_legitimate,
-                &MinPlusOneChecker,
+                &MinPlusOneChecker::default(),
                 max_rounds,
                 4 * d as u64 + 8,
             );

@@ -129,8 +129,39 @@ pub struct SweepSpec {
     /// Seed used to build randomized topologies (fixed across trial seeds so
     /// every seed of a cell runs on the same graph).
     pub graph_seed: u64,
+    /// On-disk encoding of in-flight unit checkpoints (spec field
+    /// `checkpoint_format`, default [`CheckpointFormat::Json`]). Both
+    /// formats serialize the identical checkpoint document, so a resumed
+    /// run is bit-for-bit the same either way; `binary` is the
+    /// million-node choice (palette-index state arrays as varints instead
+    /// of decimal text).
+    pub checkpoint_format: CheckpointFormat,
     /// The tasks of the sweep, in spec order.
     pub tasks: Vec<SweepTask>,
+}
+
+/// The on-disk encoding of in-flight unit checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// Pretty-printed JSON text (`state/<unit>.ckpt.json`) — the
+    /// human-inspectable default.
+    #[default]
+    Json,
+    /// The compact tagged little-endian codec of [`sa_model::binary`]
+    /// (`state/<unit>.ckpt.bin`) — roughly an order of magnitude smaller
+    /// on state-array-dominated checkpoints.
+    Binary,
+}
+
+impl CheckpointFormat {
+    /// A short display label (`"json"` / `"binary"`), matching the spec
+    /// field's accepted values.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckpointFormat::Json => "json",
+            CheckpointFormat::Binary => "binary",
+        }
+    }
 }
 
 /// One task of a sweep spec.
@@ -696,6 +727,18 @@ impl SweepSpec {
             .ok_or("spec: \"name\" must be a string")?
             .to_string();
         let graph_seed = u64_opt(value, "graph_seed", "spec")?.unwrap_or(17);
+        let checkpoint_format = match value.get("checkpoint_format") {
+            None => CheckpointFormat::Json,
+            Some(v) => match v.as_str() {
+                Some("json") => CheckpointFormat::Json,
+                Some("binary") => CheckpointFormat::Binary,
+                _ => {
+                    return Err(
+                        "spec: \"checkpoint_format\" must be \"json\" or \"binary\"".to_string()
+                    )
+                }
+            },
+        };
         let tasks_json = field(value, "tasks", "spec")?
             .as_array()
             .ok_or("spec: \"tasks\" must be an array")?;
@@ -800,6 +843,7 @@ impl SweepSpec {
         Ok(SweepSpec {
             name,
             graph_seed,
+            checkpoint_format,
             tasks,
         })
     }
@@ -1262,7 +1306,10 @@ impl AuUnit {
             alg,
             palette: alg.states(),
             oracle: GoodGraphOracle::new(alg),
-            checker: AuChecker::new(alg),
+            // The unit's bound stands in for the exact diameter in the
+            // liveness window (sound: it only weakens the requirement) —
+            // million-node units must not pay an all-pairs BFS per window.
+            checker: AuChecker::new(alg).with_diameter_bound(diameter_bound as u64),
         }
     }
 }
@@ -1324,7 +1371,7 @@ impl MinPlusOneUnit {
         palette.push(100 * (d + 1));
         MinPlusOneUnit {
             alg: MinPlusOne::new(),
-            checker: MinPlusOneChecker,
+            checker: MinPlusOneChecker::default().with_diameter_bound(d),
             palette,
         }
     }

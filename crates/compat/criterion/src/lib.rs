@@ -107,6 +107,30 @@ impl Criterion {
         &self.records
     }
 
+    /// Records a non-timing scalar measurement (e.g. a derived rounds/sec
+    /// figure or a peak-RSS proxy) as a benchmark record, so it lands in
+    /// `BENCH_micro.json` alongside the timings and is diffed by
+    /// `sa bench-diff` like any other key. The value is stored in the
+    /// `median_ns`/`mean_ns`/`min_ns` fields verbatim.
+    pub fn record_measurement(
+        &mut self,
+        group: impl Into<String>,
+        bench: impl Into<String>,
+        value: f64,
+    ) {
+        let (group, bench) = (group.into(), bench.into());
+        println!("{group:<28} {bench:<14} recorded {value:>12.1}");
+        self.records.push(BenchRecord {
+            group,
+            bench,
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            samples: 1,
+            iters_per_sample: 1,
+        });
+    }
+
     /// Prints the final report and writes the JSON trajectory file. Called by
     /// [`criterion_main!`]; harmless to call again.
     pub fn final_summary(&self) {

@@ -8,14 +8,20 @@
 //! EXPERIMENTS.md            # human-readable table + artifacts
 //! state/<unit>.done.json    # completed unit results (resume skips these)
 //! state/<unit>.ckpt.json    # in-flight checkpoints (resume restores these)
+//! state/<unit>.ckpt.bin     # ...binary form (spec checkpoint_format: "binary")
 //! ```
 //!
 //! All state files are written atomically (temp file + rename) so a kill
-//! mid-write can never leave a truncated checkpoint behind.
+//! mid-write can never leave a truncated checkpoint behind. The in-flight
+//! checkpoint encoding follows the spec's `checkpoint_format` field; resume
+//! sniffs the file's leading bytes, so a spec whose format changed between
+//! the kill and the resume still restores cleanly. Completed results and
+//! the aggregate `EXPERIMENTS.{json,md}` are always JSON text — only the
+//! (large, transient) in-flight state ever takes the binary path.
 
 use sa_bench::sweep::{
-    aggregate_rows, render_json, render_markdown, run_instant_tasks, run_unit, CheckpointPolicy,
-    SweepSpec, SweepUnit, UnitOutcome, UnitResult,
+    aggregate_rows, render_json, render_markdown, run_instant_tasks, run_unit, CheckpointFormat,
+    CheckpointPolicy, SweepSpec, SweepUnit, UnitOutcome, UnitResult,
 };
 use sa_model::json::JsonValue;
 use sa_runtime::parallel::{par_map_cancellable, CancelToken};
@@ -84,6 +90,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
+/// The other checkpoint encoding (resume fallback probing).
+fn other_format(format: CheckpointFormat) -> CheckpointFormat {
+    match format {
+        CheckpointFormat::Json => CheckpointFormat::Binary,
+        CheckpointFormat::Binary => CheckpointFormat::Json,
+    }
+}
+
 fn load_spec(path: &Path) -> Result<SweepSpec, String> {
     let text = fs::read_to_string(path)
         .map_err(|e| format!("cannot read spec {}: {e}", path.display()))?;
@@ -92,9 +106,42 @@ fn load_spec(path: &Path) -> Result<SweepSpec, String> {
 
 /// Atomic write: temp file in the same directory, then rename.
 fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Atomic write of raw bytes (the binary checkpoint path).
+fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), String> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
     fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+}
+
+/// The in-flight checkpoint path for `unit_id` under `format`.
+fn ckpt_path_for(state_dir: &Path, unit_id: &str, format: CheckpointFormat) -> PathBuf {
+    let ext = match format {
+        CheckpointFormat::Json => "ckpt.json",
+        CheckpointFormat::Binary => "ckpt.bin",
+    };
+    state_dir.join(format!("{unit_id}.{ext}"))
+}
+
+/// Reads an in-flight checkpoint, sniffing the encoding from the leading
+/// bytes (`Ok(None)` if the file does not exist).
+fn read_checkpoint(path: &Path) -> Result<Option<JsonValue>, String> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(_) => return Ok(None),
+    };
+    let doc = if sa_model::binary::is_binary(&bytes) {
+        sa_model::binary::decode(&bytes)
+            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|_| format!("corrupt checkpoint {}: not UTF-8", path.display()))?;
+        JsonValue::parse(&text)
+            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?
+    };
+    Ok(Some(doc))
 }
 
 /// Collects every `.json` spec under `dir`, recursively, in sorted order
@@ -193,7 +240,6 @@ pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
     let mut interruptible_left = options.interrupt_units;
     for unit in units {
         let done_path = state_dir.join(format!("{}.done.json", unit.id()));
-        let ckpt_path = state_dir.join(format!("{}.ckpt.json", unit.id()));
         let mut done = None;
         let mut checkpoint = None;
         if resume {
@@ -205,11 +251,16 @@ pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
                 if done.is_none() {
                     return Err(format!("corrupt unit result {}", done_path.display()));
                 }
-            } else if let Ok(text) = fs::read_to_string(&ckpt_path) {
-                checkpoint = Some(
-                    JsonValue::parse(&text)
-                        .map_err(|e| format!("corrupt checkpoint {}: {e}", ckpt_path.display()))?,
-                );
+            } else {
+                // Prefer the spec's format, but accept a leftover checkpoint
+                // in the other encoding (format edited between kill/resume).
+                for format in [spec.checkpoint_format, other_format(spec.checkpoint_format)] {
+                    let path = ckpt_path_for(&state_dir, &unit.id(), format);
+                    if let Some(doc) = read_checkpoint(&path)? {
+                        checkpoint = Some(doc);
+                        break;
+                    }
+                }
             }
         }
         let interrupt_after_steps = if done.is_none() && interruptible_left > 0 {
@@ -245,9 +296,16 @@ pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
             return Ok(UnitOutcome::Complete(done.clone()));
         }
         let unit_id = job.unit.id();
-        let ckpt_path = state_dir.join(format!("{unit_id}.ckpt.json"));
+        let format = spec.checkpoint_format;
+        let ckpt_path = ckpt_path_for(&state_dir, &unit_id, format);
         let sink = move |doc: &JsonValue| {
-            if let Err(e) = write_atomic(&ckpt_path, &doc.render_pretty()) {
+            let written = match format {
+                CheckpointFormat::Json => write_atomic(&ckpt_path, &doc.render_pretty()),
+                CheckpointFormat::Binary => {
+                    write_atomic_bytes(&ckpt_path, &sa_model::binary::encode(doc))
+                }
+            };
+            if let Err(e) = written {
                 eprintln!("warning: {e}");
             }
         };
@@ -286,8 +344,9 @@ pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
                 if job.done.is_none() {
                     let done_path = state_dir.join(format!("{}.done.json", job.unit.id()));
                     write_atomic(&done_path, &result.to_json().render_pretty())?;
-                    let ckpt_path = state_dir.join(format!("{}.ckpt.json", job.unit.id()));
-                    let _ = fs::remove_file(ckpt_path);
+                    for format in [CheckpointFormat::Json, CheckpointFormat::Binary] {
+                        let _ = fs::remove_file(ckpt_path_for(&state_dir, &job.unit.id(), format));
+                    }
                 }
                 completed.push((job.unit.clone(), result));
             }

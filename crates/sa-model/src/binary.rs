@@ -1,0 +1,535 @@
+//! A compact binary encoding of [`JsonValue`] documents — the **binary
+//! checkpoint codec**.
+//!
+//! A sweep checkpoint for a million-node execution is dominated by the
+//! palette-indexed state array: small non-negative integers that JSON text
+//! spells out as multi-byte decimal literals with separators and
+//! indentation, inflating the document to hundreds of megabytes. This module
+//! transcodes the *same* [`JsonValue`] tree that the JSON path renders into
+//! a tagged little-endian byte stream:
+//!
+//! * 4-byte magic `b"SACK"` + 1-byte format version,
+//! * one tag byte per value; integral numbers (the palette indices, times,
+//!   counters, RNG and scheduler words) as LEB128 varints, everything else
+//!   (non-integral, out-of-range, non-finite) as raw IEEE-754 bits,
+//! * strings and containers length-prefixed with varints,
+//! * homogeneous arrays **packed**: all-non-negative-integer arrays as bare
+//!   varints (one tag for the whole array, ~1 byte per palette index) and
+//!   all-boolean arrays bit-packed 8 per byte — together these cover the
+//!   per-node state, counter and pending arrays that dominate a checkpoint.
+//!
+//! Because both formats serialize the identical value tree,
+//! [`decode`]`(`[`encode`]`(v)) == v` for every finite document and a run
+//! resumed from a binary checkpoint is bit-for-bit the run resumed from the
+//! JSON rendering of the same document — `tests/checkpoint_roundtrip.rs`
+//! pins this. The sweep spec selects the format per experiment with
+//! `"checkpoint_format": "json" | "binary"` (default `json`).
+
+use crate::json::JsonValue;
+use std::fmt;
+
+/// The 4-byte magic prefix of every binary checkpoint (`b"SACK"` — **SA**
+/// **c**heckpoint **k**eyframe).
+pub const MAGIC: [u8; 4] = *b"SACK";
+
+/// The current format version (bumped on any incompatible layout change).
+pub const VERSION: u8 = 1;
+
+/// Largest magnitude encoded as a varint: integers beyond ±2⁵³ are not
+/// exactly representable in the `f64` value tree, so they take the raw-bits
+/// path instead.
+const INT_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT_POS: u8 = 0x03;
+const TAG_INT_NEG: u8 = 0x04;
+const TAG_F64: u8 = 0x05;
+const TAG_STRING: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+/// A homogeneous array of non-negative exact integers, written as bare
+/// varints with no per-element tag — the checkpoint documents' state-index
+/// and counter arrays land here at ~1 byte per node.
+const TAG_PACKED_UINTS: u8 = 0x09;
+/// A homogeneous array of booleans, bit-packed 8 per byte (the per-node
+/// `pending` flags).
+const TAG_PACKED_BOOLS: u8 = 0x0a;
+
+/// Encodes `value` as a self-describing binary document (magic + version +
+/// tagged tree).
+pub fn encode(value: &JsonValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    encode_value(value, &mut out);
+    out
+}
+
+/// Decodes a document produced by [`encode`], verifying the magic, the
+/// version, and that no bytes trail the tree.
+pub fn decode(bytes: &[u8]) -> Result<JsonValue, BinaryError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(r.fail("bad magic (not a binary checkpoint)"));
+    }
+    let version = r.byte()?;
+    if version != VERSION {
+        return Err(r.fail(&format!(
+            "unsupported checkpoint format version {version} (expected {VERSION})"
+        )));
+    }
+    let value = decode_value(&mut r, 0)?;
+    if r.pos != r.bytes.len() {
+        return Err(r.fail("trailing bytes after document"));
+    }
+    Ok(value)
+}
+
+/// Whether `bytes` starts with the binary-checkpoint magic (cheap sniff so
+/// loaders can accept either format from the same file).
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == MAGIC
+}
+
+fn encode_value(value: &JsonValue, out: &mut Vec<u8>) {
+    match value {
+        JsonValue::Null => out.push(TAG_NULL),
+        JsonValue::Bool(false) => out.push(TAG_FALSE),
+        JsonValue::Bool(true) => out.push(TAG_TRUE),
+        JsonValue::Number(x) => {
+            // -0.0 takes the raw path: `fract() == 0` would send it through
+            // the varint path and decode as +0.0 (equal under `==`, but the
+            // codec promises exact bit preservation where it can).
+            let integral = x.is_finite()
+                && x.fract() == 0.0
+                && x.abs() <= INT_EXACT
+                && !(*x == 0.0 && x.is_sign_negative());
+            if integral && *x >= 0.0 {
+                out.push(TAG_INT_POS);
+                write_varint(*x as u64, out);
+            } else if integral {
+                out.push(TAG_INT_NEG);
+                write_varint(-*x as u64, out);
+            } else {
+                out.push(TAG_F64);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        JsonValue::String(s) => {
+            out.push(TAG_STRING);
+            write_string(s, out);
+        }
+        JsonValue::Array(items) => {
+            if !items.is_empty() && items.iter().all(is_packable_uint) {
+                out.push(TAG_PACKED_UINTS);
+                write_varint(items.len() as u64, out);
+                for item in items {
+                    match item {
+                        JsonValue::Number(x) => write_varint(*x as u64, out),
+                        _ => unreachable!("is_packable_uint admits only numbers"),
+                    }
+                }
+            } else if !items.is_empty() && items.iter().all(|i| matches!(i, JsonValue::Bool(_))) {
+                out.push(TAG_PACKED_BOOLS);
+                write_varint(items.len() as u64, out);
+                let mut byte = 0u8;
+                for (i, item) in items.iter().enumerate() {
+                    if matches!(item, JsonValue::Bool(true)) {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if items.len() % 8 != 0 {
+                    out.push(byte);
+                }
+            } else {
+                out.push(TAG_ARRAY);
+                write_varint(items.len() as u64, out);
+                for item in items {
+                    encode_value(item, out);
+                }
+            }
+        }
+        JsonValue::Object(map) => {
+            out.push(TAG_OBJECT);
+            write_varint(map.len() as u64, out);
+            for (key, val) in map {
+                write_string(key, out);
+                encode_value(val, out);
+            }
+        }
+    }
+}
+
+/// Whether `v` is a non-negative exact integer eligible for the packed
+/// varint representation (`-0.0` is excluded: the packed path would drop its
+/// sign bit).
+fn is_packable_uint(v: &JsonValue) -> bool {
+    match v {
+        JsonValue::Number(x) => {
+            x.is_finite()
+                && x.fract() == 0.0
+                && *x >= 0.0
+                && *x <= INT_EXACT
+                && !(*x == 0.0 && x.is_sign_negative())
+        }
+        _ => false,
+    }
+}
+
+fn write_string(s: &str, out: &mut Vec<u8>) {
+    write_varint(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_varint(mut x: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Containers deeper than this are rejected (a corrupt length prefix must
+/// not recurse unboundedly).
+const MAX_DEPTH: usize = 128;
+
+fn decode_value(r: &mut Reader<'_>, depth: usize) -> Result<JsonValue, BinaryError> {
+    if depth > MAX_DEPTH {
+        return Err(r.fail("nesting deeper than the codec limit"));
+    }
+    match r.byte()? {
+        TAG_NULL => Ok(JsonValue::Null),
+        TAG_FALSE => Ok(JsonValue::Bool(false)),
+        TAG_TRUE => Ok(JsonValue::Bool(true)),
+        TAG_INT_POS => {
+            let x = r.varint()?;
+            if x as f64 > INT_EXACT {
+                return Err(r.fail("integer exceeds the exact f64 range"));
+            }
+            Ok(JsonValue::Number(x as f64))
+        }
+        TAG_INT_NEG => {
+            let x = r.varint()?;
+            if x as f64 > INT_EXACT {
+                return Err(r.fail("integer exceeds the exact f64 range"));
+            }
+            Ok(JsonValue::Number(-(x as f64)))
+        }
+        TAG_F64 => {
+            let raw = r.take(8)?;
+            let mut bits = [0u8; 8];
+            bits.copy_from_slice(raw);
+            Ok(JsonValue::Number(f64::from_le_bytes(bits)))
+        }
+        TAG_STRING => Ok(JsonValue::String(r.string()?)),
+        TAG_ARRAY => {
+            let count = r.len_prefix()?;
+            let mut items = Vec::with_capacity(count.min(r.remaining()));
+            for _ in 0..count {
+                items.push(decode_value(r, depth + 1)?);
+            }
+            Ok(JsonValue::Array(items))
+        }
+        TAG_OBJECT => {
+            let count = r.len_prefix()?;
+            let mut map = std::collections::BTreeMap::new();
+            for _ in 0..count {
+                let key = r.string()?;
+                let val = decode_value(r, depth + 1)?;
+                map.insert(key, val);
+            }
+            Ok(JsonValue::Object(map))
+        }
+        TAG_PACKED_UINTS => {
+            let count = r.len_prefix()?;
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                let x = r.varint()?;
+                if x as f64 > INT_EXACT {
+                    return Err(r.fail("packed integer exceeds the exact f64 range"));
+                }
+                items.push(JsonValue::Number(x as f64));
+            }
+            Ok(JsonValue::Array(items))
+        }
+        TAG_PACKED_BOOLS => {
+            let count = r.varint()? as usize;
+            let needed = count.div_ceil(8);
+            if needed > r.remaining() {
+                return Err(r.fail("packed bool array exceeds remaining input"));
+            }
+            let bits = r.take(needed)?;
+            if !count.is_multiple_of(8) && bits[needed - 1] >> (count % 8) != 0 {
+                return Err(r.fail("packed bool array has nonzero padding bits"));
+            }
+            let items = (0..count)
+                .map(|i| JsonValue::Bool(bits[i / 8] >> (i % 8) & 1 == 1))
+                .collect();
+            Ok(JsonValue::Array(items))
+        }
+        tag => Err(r.fail(&format!("unknown tag byte 0x{tag:02x}"))),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn fail(&self, message: &str) -> BinaryError {
+        BinaryError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, BinaryError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.fail("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], BinaryError> {
+        if self.remaining() < n {
+            return Err(self.fail("unexpected end of input"));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, BinaryError> {
+        let mut x = 0u64;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            let payload = (byte & 0x7f) as u64;
+            if shift == 63 && payload > 1 {
+                return Err(self.fail("varint overflows u64"));
+            }
+            x |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+        }
+        Err(self.fail("varint longer than 10 bytes"))
+    }
+
+    /// A container/string length prefix, sanity-bounded by the remaining
+    /// input (every element needs at least one byte).
+    fn len_prefix(&mut self) -> Result<usize, BinaryError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(self.fail("length prefix exceeds remaining input"));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, BinaryError> {
+        let len = self.len_prefix()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BinaryError {
+            offset: self.pos,
+            message: "string is not valid UTF-8".to_string(),
+        })
+    }
+}
+
+/// A decode failure, with the byte offset at which it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "binary checkpoint error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for BinaryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &JsonValue) {
+        let bytes = encode(v);
+        assert!(is_binary(&bytes));
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(&back, v, "roundtrip mismatch");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&JsonValue::Null);
+        roundtrip(&JsonValue::Bool(true));
+        roundtrip(&JsonValue::Bool(false));
+        for x in [
+            0.0,
+            1.0,
+            127.0,
+            128.0,
+            300.0,
+            -1.0,
+            -300.0,
+            0.5,
+            -2.75,
+            1e300,
+            9_007_199_254_740_992.0,
+        ] {
+            roundtrip(&JsonValue::Number(x));
+        }
+        roundtrip(&JsonValue::String(String::new()));
+        roundtrip(&JsonValue::String("αβγ \"quoted\" \n".into()));
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign_bit() {
+        let bytes = encode(&JsonValue::Number(-0.0));
+        match decode(&bytes).unwrap() {
+            JsonValue::Number(x) => assert!(x == 0.0 && x.is_sign_negative()),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_documents_roundtrip() {
+        let doc = JsonValue::object([
+            ("phase".to_string(), JsonValue::String("verify".into())),
+            (
+                "config".to_string(),
+                JsonValue::Array(
+                    (0..1000)
+                        .map(|i| JsonValue::Number((i % 7) as f64))
+                        .collect(),
+                ),
+            ),
+            ("stab_rounds".to_string(), JsonValue::Null),
+            (
+                "sched".to_string(),
+                JsonValue::object([
+                    ("kind".to_string(), JsonValue::String("uniform".into())),
+                    (
+                        "word".to_string(),
+                        JsonValue::Number(18446744073709551616.0_f64.min(9e15)),
+                    ),
+                ]),
+            ),
+        ]);
+        roundtrip(&doc);
+    }
+
+    #[test]
+    fn integral_numbers_use_varints() {
+        // A 1000-element palette-index array packs to ~1 byte per element
+        // (one tag for the whole array), far below the JSON text rendering.
+        let doc = JsonValue::Array(
+            (0..1000)
+                .map(|i| JsonValue::Number((i % 7) as f64))
+                .collect(),
+        );
+        let bytes = encode(&doc);
+        assert!(bytes.len() < 1100, "binary blew up: {} bytes", bytes.len());
+        assert!(bytes.len() * 2 < doc.render_pretty().len());
+    }
+
+    #[test]
+    fn packed_arrays_roundtrip() {
+        // Pure non-negative integers: packed varints.
+        roundtrip(&JsonValue::Array(
+            (0..300)
+                .map(|i| JsonValue::Number((i * 37 % 1000) as f64))
+                .collect(),
+        ));
+        // Pure booleans at every partial-byte length.
+        for n in [1usize, 7, 8, 9, 64, 65] {
+            roundtrip(&JsonValue::Array(
+                (0..n).map(|i| JsonValue::Bool(i % 3 == 0)).collect(),
+            ));
+        }
+        // Bit-packing really engages: 10_000 bools in ~1250 bytes + headers.
+        let flags = JsonValue::Array((0..10_000).map(|i| JsonValue::Bool(i % 2 == 0)).collect());
+        assert!(encode(&flags).len() < 1300);
+        // Mixed or negative content falls back to the general array form and
+        // still roundtrips exactly.
+        roundtrip(&JsonValue::Array(vec![
+            JsonValue::Number(1.0),
+            JsonValue::Number(-2.0),
+            JsonValue::Number(0.5),
+            JsonValue::Bool(true),
+            JsonValue::Null,
+        ]));
+        roundtrip(&JsonValue::Array(vec![
+            JsonValue::Number(3.0),
+            JsonValue::Number(-0.0),
+        ]));
+    }
+
+    #[test]
+    fn packed_bool_padding_must_be_zero() {
+        // 9 bools → 2 payload bytes; set a padding bit in the last byte.
+        let mut bytes = encode(&JsonValue::Array(
+            (0..9).map(|_| JsonValue::Bool(false)).collect(),
+        ));
+        *bytes.last_mut().unwrap() |= 0b0000_0100;
+        assert!(decode(&bytes).is_err(), "nonzero padding must be rejected");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panicked() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"JUNK").is_err());
+        let mut wrong_version = encode(&JsonValue::Null);
+        wrong_version[4] = 99;
+        assert!(decode(&wrong_version).is_err());
+        let mut trailing = encode(&JsonValue::Null);
+        trailing.push(0);
+        assert!(decode(&trailing).is_err());
+        // truncated array: claims 100 elements, provides none
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&MAGIC);
+        truncated.push(VERSION);
+        truncated.push(0x07);
+        truncated.push(100);
+        assert!(decode(&truncated).is_err());
+        // unknown tag
+        let mut unknown = Vec::new();
+        unknown.extend_from_slice(&MAGIC);
+        unknown.push(VERSION);
+        unknown.push(0x7f);
+        assert!(decode(&unknown).is_err());
+    }
+
+    #[test]
+    fn json_parse_then_binary_roundtrip_preserves_the_tree() {
+        let text = r#"{"a": [1, 2.5, null, true, "x"], "b": {"c": -42}}"#;
+        let v = JsonValue::parse(text).unwrap();
+        roundtrip(&v);
+    }
+}

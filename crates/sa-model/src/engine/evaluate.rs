@@ -159,6 +159,29 @@ impl<S: Clone + Ord> Evaluator<S> {
     where
         A: Algorithm<State = S>,
     {
+        // Active-set skip: a clean node's deterministic transition is
+        // provably the identity (its state and signal are unchanged since it
+        // last evaluated as stable), so emit the stub update the full
+        // evaluation would have produced — same `old_idx`/`new_idx`, no
+        // change — without touching the transition function at all.
+        if ctx.deterministic {
+            if let Some(dirty) = ctx.dirty {
+                if !dirty.is_dirty(v) {
+                    let old_idx = match ctx.sensing {
+                        Some(sensing) => sensing.state_idx[v],
+                        None => UNINDEXED,
+                    };
+                    return PendingUpdate {
+                        v,
+                        next: ctx.config[v].clone(),
+                        old_idx,
+                        new_idx: old_idx,
+                        changed: false,
+                        output_changed: false,
+                    };
+                }
+            }
+        }
         match ctx.sensing {
             Some(sensing) => self.evaluate_dense(ctx, sensing, v),
             None => self.evaluate_sparse(ctx, v),

@@ -40,6 +40,7 @@
 pub mod account;
 pub mod apply;
 pub mod evaluate;
+pub mod frontier;
 pub mod sense;
 pub mod serial;
 pub mod sharded;
@@ -53,6 +54,7 @@ pub use sharded::ShardedEngine;
 use crate::algorithm::{Algorithm, MaskedTransition};
 use crate::graph::{Graph, NodeId};
 use crate::signal::StateIndex;
+use frontier::DirtyFrontier;
 use sense::DenseSensing;
 use std::sync::Arc;
 
@@ -127,6 +129,12 @@ pub struct EvalCtx<'e, A: Algorithm> {
     /// The algorithm's mask-compiled transition, if any (and not disabled
     /// via `SA_FORCE_CLOSURE_EVAL` / the builder).
     pub(crate) masked: Option<&'e (dyn MaskedTransition<A::State> + 'e)>,
+    /// The active-set dirty frontier, `None` when active-set execution is
+    /// off (randomized algorithm, `SA_FORCE_FULL_EVAL`, or the builder
+    /// disabled it). When present, the evaluate stage skips clean activated
+    /// nodes — their deterministic transition is provably the identity — and
+    /// emits stub no-change updates instead.
+    pub(crate) dirty: Option<&'e DirtyFrontier>,
     pub(crate) deterministic: bool,
     pub(crate) seed: u64,
     pub(crate) time: u64,

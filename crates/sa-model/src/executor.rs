@@ -31,6 +31,7 @@
 //! engines.
 
 use crate::algorithm::{Algorithm, LegitimacyOracle, MaskedTransition};
+use crate::engine::frontier::DirtyFrontier;
 use crate::engine::sense::{DenseSensing, UNINDEXED};
 use crate::engine::{
     self, account, apply, ApplyCtx, EngineKind, EvalCtx, PendingUpdate, StepEngine,
@@ -46,6 +47,19 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 pub use crate::engine::MAX_DENSE_STATES;
+
+/// Whether `SA_FORCE_FULL_EVAL` disables active-set (dirty-frontier)
+/// execution process-wide (parsed once; CI uses it to keep the full-scan
+/// evaluate path under test, exactly as `SA_FORCE_CLOSURE_EVAL` does for the
+/// closure transition path).
+fn force_full_eval() -> bool {
+    static CACHED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("SA_FORCE_FULL_EVAL")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
+    })
+}
 
 /// Whether `SA_FORCE_CLOSURE_EVAL` disables mask-compiled transitions
 /// process-wide (parsed once; CI uses it to keep the closure fallback path
@@ -150,6 +164,11 @@ pub struct Execution<'a, A: Algorithm> {
     /// The algorithm's mask-compiled transition (see
     /// [`Algorithm::compile_masked`]), `None` on the closure path.
     masked: Option<Box<dyn MaskedTransition<A::State> + 'a>>,
+    /// The active-set dirty frontier (see [`crate::engine::frontier`]):
+    /// `Some` for deterministic algorithms unless `SA_FORCE_FULL_EVAL` / the
+    /// builder disabled it. Skipping is observationally invisible — the
+    /// trajectory, counters and traces are bit-for-bit those of a full scan.
+    dirty: Option<DirtyFrontier>,
     /// Minimum changed-node count for the partial-batch apply detection to
     /// be worth its `O(n)` bulk pass: `n² / (2|E| + n)` (i.e. the changed
     /// set's expected `O(changed · deg)` serial commit work exceeds `O(n)`).
@@ -223,12 +242,13 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         mode: SignalMode,
         kind: EngineKind,
     ) -> Self {
-        Self::with_options(algorithm, graph, initial, seed, mode, kind, None)
+        Self::with_options(algorithm, graph, initial, seed, mode, kind, None, None)
     }
 
     /// The full constructor behind the builder: like
     /// [`Execution::with_engine`] plus an explicit mask-transition policy
     /// (`None` = default: enabled unless `SA_FORCE_CLOSURE_EVAL` is set).
+    #[allow(clippy::too_many_arguments)]
     fn with_options(
         algorithm: &'a A,
         graph: &'a Graph,
@@ -237,6 +257,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         mode: SignalMode,
         kind: EngineKind,
         masked_enabled: Option<bool>,
+        active_set_enabled: Option<bool>,
     ) -> Self {
         assert!(graph.node_count() > 0, "cannot execute on an empty graph");
         assert_eq!(
@@ -261,6 +282,12 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         } else {
             None
         };
+        let deterministic = algorithm.transition_is_deterministic();
+        // Randomized transitions can never be skipped (a fresh coin stream
+        // may change the state even on an unchanged signal), so the frontier
+        // exists only for deterministic algorithms.
+        let dirty = (deterministic && active_set_enabled.unwrap_or_else(|| !force_full_eval()))
+            .then(|| DirtyFrontier::all_dirty(n));
         Execution {
             algorithm,
             graph,
@@ -278,8 +305,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             sensing,
             index,
             masked,
+            dirty,
             batch_min_changed: (n * n / (2 * graph.edge_count() + n)).max(2),
-            deterministic: algorithm.transition_is_deterministic(),
+            deterministic,
             engine: engine::build(kind),
             identity: (0..n).collect(),
             all_changed: false,
@@ -340,6 +368,25 @@ impl<'a, A: Algorithm> Execution<'a, A> {
     /// path (word-level predicates) rather than the closure path.
     pub fn uses_masked_transitions(&self) -> bool {
         self.masked.is_some()
+    }
+
+    /// Whether active-set (dirty-frontier) execution is live: clean
+    /// activated nodes of a deterministic algorithm skip their transition
+    /// evaluation. Off for randomized algorithms, under
+    /// `SA_FORCE_FULL_EVAL=1`, or via
+    /// [`ExecutionBuilder::active_set`]`(false)`.
+    pub fn uses_active_set(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Number of currently dirty nodes (`n` when active-set execution is
+    /// off — every node is then implicitly a candidate for change). Exposed
+    /// for tests and benchmarks of the post-stabilization frontier.
+    pub fn dirty_count(&self) -> usize {
+        match &self.dirty {
+            Some(dirty) => dirty.count(),
+            None => self.config.len(),
+        }
     }
 
     /// The step engine executing the evaluate stage.
@@ -491,6 +538,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         self.sched_rng = StdRng::from_state(snapshot.sched_rng);
         self.all_changed = false;
         self.last_changed.clear();
+        if let Some(dirty) = self.dirty.as_mut() {
+            dirty.mark_all();
+        }
         if self.trace.is_some() {
             self.trace = Some(Trace::new(self.config.clone()));
         }
@@ -530,6 +580,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             None => None,
         };
         self.config[v] = state;
+        if let Some(dirty) = self.dirty.as_mut() {
+            dirty.mark_closed_neighborhood(graph, v);
+        }
         match (&mut self.sensing, new_idx) {
             (Some(sensing), Some(idx)) => sensing.apply_change(graph, v, idx),
             (Some(_), None) => self.degrade_to_sparse(),
@@ -625,6 +678,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 sensing: self.sensing.as_ref(),
                 index: self.index.as_ref(),
                 masked: self.masked.as_deref(),
+                dirty: self.dirty.as_ref(),
                 deterministic: self.deterministic,
                 seed: self.seed,
                 time: self.time,
@@ -720,6 +774,21 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         }
         self.all_changed = false;
 
+        // FRONTIER: activated nodes whose evaluation (or skip) produced no
+        // change are now proven stable at C_{t+1} *unless* a node in their
+        // closed neighborhood changed this step — so clear first, then
+        // re-dirty every changed node's closed neighborhood.
+        if let Some(dirty) = self.dirty.as_mut() {
+            for update in updates.iter() {
+                if !update.changed {
+                    dirty.clear(update.v);
+                }
+            }
+            for &v in self.last_changed.iter() {
+                dirty.mark_closed_neighborhood(self.graph, v);
+            }
+        }
+
         // ACCOUNT: counters, rounds, trace.
         let outcome = account::settle(
             &updates,
@@ -751,6 +820,7 @@ impl<'a, A: Algorithm> Execution<'a, A> {
                 sensing: self.sensing.as_ref(),
                 index: self.index.as_ref(),
                 masked: self.masked.as_deref(),
+                dirty: self.dirty.as_ref(),
                 deterministic: self.deterministic,
                 seed: self.seed,
                 time: self.time,
@@ -761,7 +831,12 @@ impl<'a, A: Algorithm> Execution<'a, A> {
             return None;
         }
         if !update.changed {
-            // Every node stays put; the full activation still completes the round.
+            // Every node stays put; the full activation still completes the
+            // round. All nodes share the evaluated node's state and signal,
+            // so the whole configuration is proven stable at once.
+            if let Some(dirty) = self.dirty.as_mut() {
+                dirty.clear_all();
+            }
             self.counters.record_uniform_noop();
             self.last_changed.clear();
             self.all_changed = false;
@@ -793,6 +868,9 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         next: A::State,
     ) -> StepOutcome {
         let n = self.config.len();
+        if let Some(dirty) = self.dirty.as_mut() {
+            dirty.mark_all();
+        }
         self.counters.record_uniform_change(output_changed);
         for state in self.config.iter_mut() {
             *state = next.clone();
@@ -880,6 +958,8 @@ pub struct ExecutionBuilder<'a, A: Algorithm> {
     mode: SignalMode,
     engine: Option<EngineKind>,
     masked: Option<bool>,
+    active_set: Option<bool>,
+    streaming_counters: bool,
 }
 
 impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
@@ -893,6 +973,8 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
             mode: SignalMode::Auto,
             engine: None,
             masked: None,
+            active_set: None,
+            streaming_counters: false,
         }
     }
 
@@ -931,6 +1013,27 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
         self
     }
 
+    /// Enables or disables active-set (dirty-frontier) execution. The
+    /// default is enabled unless `SA_FORCE_FULL_EVAL=1` is set in the
+    /// environment; disabling forces every activated node through a full
+    /// transition evaluation, which the differential tests use as the
+    /// baseline. Both settings produce bit-identical executions; randomized
+    /// algorithms run full-scan regardless.
+    pub fn active_set(mut self, enabled: bool) -> Self {
+        self.active_set = Some(enabled);
+        self
+    }
+
+    /// Keeps only running counter totals instead of the three per-node
+    /// `u64` vectors (see [`NodeCounters::streaming`]) — the million-node
+    /// choice when no checkpoint and no liveness verification window is
+    /// needed. Per-node counter accessors and snapshot serialization are
+    /// unavailable (they panic / return `None`) on such an execution.
+    pub fn streaming_counters(mut self, enabled: bool) -> Self {
+        self.streaming_counters = enabled;
+        self
+    }
+
     /// Finishes the builder with an explicit initial configuration.
     pub fn initial(self, initial: Vec<A::State>) -> Execution<'a, A> {
         let kind = self.engine.unwrap_or_else(EngineKind::from_env);
@@ -942,7 +1045,11 @@ impl<'a, A: Algorithm> ExecutionBuilder<'a, A> {
             self.mode,
             kind,
             self.masked,
+            self.active_set,
         );
+        if self.streaming_counters {
+            exec.counters = NodeCounters::streaming(exec.config.len());
+        }
         if self.trace {
             exec.enable_trace();
         }

@@ -1,9 +1,27 @@
 //! Finite, connected, undirected graphs.
 //!
 //! The stone age model is defined over a finite connected undirected graph
-//! `G = (V, E)`. This module provides an adjacency-list representation together with
-//! the graph-theoretic helpers the algorithms and the analysis need: neighborhoods,
-//! BFS distances, diameter, connectivity checks and shortest paths.
+//! `G = (V, E)`. This module provides a compressed sparse row (CSR)
+//! representation together with the graph-theoretic helpers the algorithms and
+//! the analysis need: neighborhoods, BFS distances, diameter, connectivity
+//! checks and shortest paths.
+//!
+//! # Storage layout
+//!
+//! Adjacency is stored as two flat arrays — `offsets` (one `u32` per node,
+//! plus a sentinel) and `targets` (the concatenated neighbor lists) — so node
+//! `v`'s neighborhood is the contiguous slice
+//! `targets[offsets[v]..offsets[v + 1]]`. Compared to the historical
+//! `Vec<Vec<NodeId>>` this removes one pointer indirection and two-thirds of
+//! the per-node allocator overhead, which is what makes million-node graphs
+//! (and the cache behavior of the sense/apply stages, which stream
+//! neighborhoods) practical. Neighbor lists keep **edge-insertion order**, so
+//! trajectories, BFS tie-breaks and shortest paths are identical to the
+//! nested-`Vec` representation's.
+//!
+//! Bulk construction goes through [`Graph::from_edges`] (a two-pass
+//! degree-count + cursor-fill build, `O(n + E)`); [`Graph::add_edge`] remains
+//! for incremental test construction but pays an `O(E)` splice per call.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -15,15 +33,28 @@ use std::fmt;
 /// anonymous.
 pub type NodeId = usize;
 
-/// A finite undirected graph stored as adjacency lists.
+/// A finite undirected graph stored in compressed sparse row (CSR) form.
 ///
 /// Self-loops and parallel edges are rejected. Most constructors in
 /// [`topology`](crate::topology) guarantee connectivity; [`Graph::is_connected`]
 /// checks it explicitly.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adjacency: Vec<Vec<NodeId>>,
+    /// CSR row offsets: node `v`'s neighbors occupy
+    /// `targets[offsets[v] as usize..offsets[v + 1] as usize]`. Length
+    /// `n + 1`; `u32` keeps the table at 4 bytes per node (the directed
+    /// endpoint count `2·E` must fit in `u32`, checked at construction).
+    offsets: Vec<u32>,
+    /// Concatenated neighbor lists, in edge-insertion order per node. Stored
+    /// as `NodeId` so [`Graph::neighbors`] can hand out a borrowed
+    /// `&[NodeId]` slice directly (a `u32` target array would halve the
+    /// memory again but force a copy or a cast at every call site).
+    targets: Vec<NodeId>,
+    /// The undirected edge list (normalized `u < v`, insertion order).
     edges: Vec<(NodeId, NodeId)>,
+    /// Cached maximum degree (the sense stage sizes its count cells by it,
+    /// and recomputing it is an `O(n)` scan the hot paths should not pay).
+    max_degree: usize,
 }
 
 impl fmt::Debug for Graph {
@@ -42,31 +73,91 @@ impl Graph {
     /// edges with [`Graph::add_edge`] before running an execution on it.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adjacency: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
             edges: Vec::new(),
+            max_degree: 0,
         }
     }
 
-    /// Creates a graph from an explicit edge list over nodes `0..n`.
+    /// Creates a graph from an explicit edge list over nodes `0..n` with a
+    /// two-pass CSR build: one pass counts degrees (filling `offsets` by
+    /// prefix sum), one pass writes each edge's two endpoints through
+    /// per-node cursors. `O(n + E)`, no per-node allocations — this is the
+    /// constructor every [`Topology`](crate::topology::Topology) builder
+    /// uses.
+    ///
+    /// Per-node neighbor order equals the order the edges appear in `edges`,
+    /// exactly as if each had been pushed through [`Graph::add_edge`].
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is out of range, if an edge is a self-loop, or if an edge
-    /// appears twice.
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    /// Duplicate edges are rejected in debug builds only (an `O(E log E)`
+    /// scan release builds skip; all in-tree generators are duplicate-free
+    /// by construction).
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut g = Graph::empty(n);
+        assert!(
+            edges.len() * 2 <= u32::MAX as usize,
+            "edge count {} overflows the u32 CSR offset table",
+            edges.len()
+        );
+        let mut degrees = vec![0u32; n];
         for &(u, v) in edges {
-            g.add_edge(u, v);
+            assert!(u != v, "self-loops are not allowed ({u})");
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} nodes");
+            degrees[u] += 1;
+            degrees[v] += 1;
         }
-        g
+        #[cfg(debug_assertions)]
+        {
+            let mut normalized: Vec<(NodeId, NodeId)> = edges
+                .iter()
+                .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+                .collect();
+            normalized.sort_unstable();
+            for w in normalized.windows(2) {
+                assert!(w[0] != w[1], "duplicate edge ({}, {})", w[0].0, w[0].1);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &d in &degrees {
+            total += d;
+            offsets.push(total);
+        }
+        // Cursor-fill pass: `cursor[v]` walks v's segment front to back, so
+        // per-node neighbor order is edge-list order.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; total as usize];
+        let mut edge_list = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            targets[cursor[u] as usize] = v;
+            cursor[u] += 1;
+            targets[cursor[v] as usize] = u;
+            cursor[v] += 1;
+            edge_list.push(if u < v { (u, v) } else { (v, u) });
+        }
+        let max_degree = degrees.iter().copied().max().unwrap_or(0) as usize;
+        Graph {
+            offsets,
+            targets,
+            edges: edge_list,
+            max_degree,
+        }
     }
 
     /// Adds the undirected edge `(u, v)`.
     ///
+    /// This splices the endpoint into both CSR segments — `O(E)` per call —
+    /// so it is meant for incremental test construction; bulk construction
+    /// should collect an edge list and call [`Graph::from_edges`].
+    ///
     /// # Panics
     ///
-    /// Panics if `u == v`, if either endpoint is out of range, or if the edge already
-    /// exists.
+    /// Panics if `u == v` or if either endpoint is out of range. The
+    /// duplicate-edge check (an `O(deg)` scan) runs in debug builds only.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         assert!(u != v, "self-loops are not allowed ({u})");
         assert!(
@@ -74,21 +165,37 @@ impl Graph {
             "edge ({u}, {v}) out of range for {} nodes",
             self.node_count()
         );
-        assert!(!self.adjacency[u].contains(&v), "duplicate edge ({u}, {v})");
-        self.adjacency[u].push(v);
-        self.adjacency[v].push(u);
+        debug_assert!(!self.neighbors(u).contains(&v), "duplicate edge ({u}, {v})");
+        assert!(
+            self.targets.len() + 2 <= u32::MAX as usize,
+            "edge count overflows the u32 CSR offset table"
+        );
+        // Append v at the end of u's segment, then u at the end of v's.
+        // Each insert shifts only the segments of higher-numbered nodes;
+        // bumping the offsets after each insert keeps the invariant.
+        let pos_u = self.offsets[u + 1] as usize;
+        self.targets.insert(pos_u, v);
+        for off in &mut self.offsets[u + 1..] {
+            *off += 1;
+        }
+        let pos_v = self.offsets[v + 1] as usize;
+        self.targets.insert(pos_v, u);
+        for off in &mut self.offsets[v + 1..] {
+            *off += 1;
+        }
+        self.max_degree = self.max_degree.max(self.degree(u)).max(self.degree(v));
         let e = if u < v { (u, v) } else { (v, u) };
         self.edges.push(e);
     }
 
     /// Returns `true` if the undirected edge `(u, v)` is present.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adjacency.get(u).is_some_and(|adj| adj.contains(&v))
+        u < self.node_count() && self.neighbors(u).contains(&v)
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -106,27 +213,43 @@ impl Graph {
         &self.edges
     }
 
-    /// The (exclusive) neighborhood `N(v)`.
+    /// The (exclusive) neighborhood `N(v)` — a borrowed slice into the CSR
+    /// target array.
+    #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adjacency[v]
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// The inclusive neighborhood `N⁺(v) = N(v) ∪ {v}`.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should reuse a buffer via
+    /// [`Graph::closed_neighborhood_into`] instead.
     pub fn inclusive_neighbors(&self, v: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(self.adjacency[v].len() + 1);
-        out.push(v);
-        out.extend_from_slice(&self.adjacency[v]);
+        let mut out = Vec::with_capacity(self.degree(v) + 1);
+        self.closed_neighborhood_into(v, &mut out);
         out
     }
 
-    /// Degree of `v`.
-    pub fn degree(&self, v: NodeId) -> usize {
-        self.adjacency[v].len()
+    /// Writes the inclusive neighborhood `N⁺(v) = {v} ∪ N(v)` into `out`
+    /// (cleared first), reusing its capacity — the allocation-free form of
+    /// [`Graph::inclusive_neighbors`] for per-step loops.
+    #[inline]
+    pub fn closed_neighborhood_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(v);
+        out.extend_from_slice(self.neighbors(v));
     }
 
-    /// Maximum degree over all nodes (0 for the empty graph).
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph). Cached at
+    /// construction; `O(1)`.
     pub fn max_degree(&self) -> usize {
-        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+        self.max_degree
     }
 
     /// BFS distances from `source` to every node; unreachable nodes get `usize::MAX`.
@@ -136,7 +259,7 @@ impl Graph {
         dist[source] = 0;
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
-            for &w in &self.adjacency[u] {
+            for &w in self.neighbors(u) {
                 if dist[w] == usize::MAX {
                     dist[w] = dist[u] + 1;
                     queue.push_back(w);
@@ -164,7 +287,7 @@ impl Graph {
             if x == v {
                 break;
             }
-            for &w in &self.adjacency[x] {
+            for &w in self.neighbors(x) {
                 if dist[w] == usize::MAX {
                     dist[w] = dist[x] + 1;
                     prev[w] = x;
@@ -318,6 +441,14 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn from_edges_rejects_duplicates_in_debug() {
+        // Debug-only check (tests run with debug assertions on); release
+        // builds skip the O(E log E) scan.
+        let _ = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
     fn path_distances_and_diameter() {
         let g = Graph::path(5);
         assert_eq!(g.node_count(), 5);
@@ -389,6 +520,17 @@ mod tests {
     }
 
     #[test]
+    fn closed_neighborhood_into_reuses_the_buffer() {
+        let g = Graph::path(4);
+        let mut buf = Vec::new();
+        g.closed_neighborhood_into(1, &mut buf);
+        assert_eq!(buf, g.inclusive_neighbors(1));
+        // the buffer is cleared (not appended to) on reuse
+        g.closed_neighborhood_into(3, &mut buf);
+        assert_eq!(buf, vec![3, 2]);
+    }
+
+    #[test]
     fn ball_grows_with_radius() {
         let g = Graph::path(7);
         assert_eq!(g.ball(3, 0), vec![3]);
@@ -401,5 +543,41 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         assert_eq!(g.diameter(), 2);
         assert_eq!(g.edge_count(), 4);
+    }
+
+    /// The CSR bulk build and the incremental `add_edge` path must agree on
+    /// everything observable: neighbor order (insertion order), edge list,
+    /// degrees and the cached maximum degree.
+    #[test]
+    fn from_edges_matches_incremental_construction() {
+        let edges = [(2, 0), (0, 1), (3, 1), (1, 2), (4, 3), (0, 4)];
+        let bulk = Graph::from_edges(5, &edges);
+        let mut inc = Graph::empty(5);
+        for &(u, v) in &edges {
+            inc.add_edge(u, v);
+        }
+        assert_eq!(bulk, inc);
+        for v in 0..5 {
+            assert_eq!(bulk.neighbors(v), inc.neighbors(v), "node {v}");
+        }
+        assert_eq!(bulk.edges(), inc.edges());
+        assert_eq!(bulk.max_degree(), inc.max_degree());
+        // insertion order, not sorted order
+        assert_eq!(bulk.neighbors(0), &[2, 1, 4]);
+        assert_eq!(bulk.neighbors(1), &[0, 3, 2]);
+    }
+
+    #[test]
+    fn max_degree_is_maintained_incrementally() {
+        let mut g = Graph::empty(4);
+        assert_eq!(g.max_degree(), 0);
+        g.add_edge(0, 1);
+        assert_eq!(g.max_degree(), 1);
+        g.add_edge(0, 2);
+        assert_eq!(g.max_degree(), 2);
+        g.add_edge(0, 3);
+        assert_eq!(g.max_degree(), 3);
+        g.add_edge(1, 2);
+        assert_eq!(g.max_degree(), 3);
     }
 }

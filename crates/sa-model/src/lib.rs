@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod binary;
 pub mod checker;
 pub mod engine;
 pub mod executor;

@@ -6,6 +6,7 @@
 //! statistics helpers those reports are built from.
 
 use crate::json::JsonValue;
+use crate::snapshot::u64_to_json;
 
 /// Summary statistics of a sample of (round-count) measurements.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,20 +97,114 @@ impl Summary {
 /// (transitions between output and non-output states count as changes).
 /// Kept in one place so the serial and sharded engines account identically
 /// and so equivalence tests can compare whole-execution metrics at once.
+///
+/// Two storage modes:
+///
+/// * **dense** (the default): one `u64` per node per counter — supports
+///   per-node reads, liveness verification windows and exact
+///   checkpoint/restore;
+/// * **streaming** ([`NodeCounters::streaming`]): only the three running
+///   totals — `O(1)` memory for million-node executions that never
+///   checkpoint and never run a verification window. Per-node accessors
+///   panic in this mode (a loud guard beats silently-empty verification).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeCounters {
-    activations: Vec<u64>,
-    state_changes: Vec<u64>,
-    output_changes: Vec<u64>,
+    store: CounterStore,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CounterStore {
+    Dense {
+        activations: Vec<u64>,
+        state_changes: Vec<u64>,
+        output_changes: Vec<u64>,
+    },
+    Streaming {
+        n: usize,
+        activations: u64,
+        state_changes: u64,
+        output_changes: u64,
+    },
 }
 
 impl NodeCounters {
     /// Zeroed counters for `n` nodes.
     pub fn new(n: usize) -> Self {
         NodeCounters {
-            activations: vec![0; n],
-            state_changes: vec![0; n],
-            output_changes: vec![0; n],
+            store: CounterStore::Dense {
+                activations: vec![0; n],
+                state_changes: vec![0; n],
+                output_changes: vec![0; n],
+            },
+        }
+    }
+
+    /// Zeroed **streaming** counters for `n` nodes: only running totals are
+    /// kept (see the type docs). Selected per execution via
+    /// [`ExecutionBuilder::streaming_counters`](crate::executor::ExecutionBuilder::streaming_counters).
+    pub fn streaming(n: usize) -> Self {
+        NodeCounters {
+            store: CounterStore::Streaming {
+                n,
+                activations: 0,
+                state_changes: 0,
+                output_changes: 0,
+            },
+        }
+    }
+
+    /// Whether these counters keep only running totals.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.store, CounterStore::Streaming { .. })
+    }
+
+    /// The number of nodes accounted for.
+    pub fn node_count(&self) -> usize {
+        match &self.store {
+            CounterStore::Dense { activations, .. } => activations.len(),
+            CounterStore::Streaming { n, .. } => *n,
+        }
+    }
+
+    /// Total activations across all nodes (both modes).
+    pub fn total_activations(&self) -> u64 {
+        match &self.store {
+            CounterStore::Dense { activations, .. } => activations.iter().sum(),
+            CounterStore::Streaming { activations, .. } => *activations,
+        }
+    }
+
+    /// Total state changes across all nodes (both modes).
+    pub fn total_state_changes(&self) -> u64 {
+        match &self.store {
+            CounterStore::Dense { state_changes, .. } => state_changes.iter().sum(),
+            CounterStore::Streaming { state_changes, .. } => *state_changes,
+        }
+    }
+
+    /// Total output changes across all nodes (both modes).
+    pub fn total_output_changes(&self) -> u64 {
+        match &self.store {
+            CounterStore::Dense { output_changes, .. } => output_changes.iter().sum(),
+            CounterStore::Streaming { output_changes, .. } => *output_changes,
+        }
+    }
+
+    /// Aggregates the three per-node distributions into sum/max/histogram
+    /// digests for reports (`None` for streaming counters, which hold no
+    /// per-node distribution).
+    pub fn digest(&self) -> Option<CountersDigest> {
+        match &self.store {
+            CounterStore::Dense {
+                activations,
+                state_changes,
+                output_changes,
+            } => Some(CountersDigest {
+                activations: CounterDigest::of(activations),
+                state_changes: CounterDigest::of(state_changes),
+                output_changes: CounterDigest::of(output_changes),
+            }),
+            CounterStore::Streaming { .. } => None,
         }
     }
 
@@ -129,72 +224,215 @@ impl NodeCounters {
             "counter vectors must have equal lengths"
         );
         NodeCounters {
-            activations,
-            state_changes,
-            output_changes,
+            store: CounterStore::Dense {
+                activations,
+                state_changes,
+                output_changes,
+            },
         }
     }
 
     /// Per-node activation counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streaming counters, which hold no per-node data.
     pub fn activations(&self) -> &[u64] {
-        &self.activations
+        match &self.store {
+            CounterStore::Dense { activations, .. } => activations,
+            CounterStore::Streaming { .. } => panic!("{STREAMING_NO_PER_NODE}"),
+        }
     }
 
     /// Per-node counts of steps in which the node's state changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streaming counters, which hold no per-node data.
     pub fn state_changes(&self) -> &[u64] {
-        &self.state_changes
+        match &self.store {
+            CounterStore::Dense { state_changes, .. } => state_changes,
+            CounterStore::Streaming { .. } => panic!("{STREAMING_NO_PER_NODE}"),
+        }
     }
 
     /// Per-node counts of steps in which the node's output value changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streaming counters, which hold no per-node data.
     pub fn output_changes(&self) -> &[u64] {
-        &self.output_changes
+        match &self.store {
+            CounterStore::Dense { output_changes, .. } => output_changes,
+            CounterStore::Streaming { .. } => panic!("{STREAMING_NO_PER_NODE}"),
+        }
     }
 
     /// Records that node `v` was activated this step.
     #[inline]
     pub fn record_activation(&mut self, v: usize) {
-        self.activations[v] += 1;
+        match &mut self.store {
+            CounterStore::Dense { activations, .. } => activations[v] += 1,
+            CounterStore::Streaming { activations, .. } => *activations += 1,
+        }
     }
 
     /// Records that node `v` changed state this step.
     #[inline]
     pub fn record_state_change(&mut self, v: usize) {
-        self.state_changes[v] += 1;
+        match &mut self.store {
+            CounterStore::Dense { state_changes, .. } => state_changes[v] += 1,
+            CounterStore::Streaming { state_changes, .. } => *state_changes += 1,
+        }
     }
 
     /// Records that node `v` changed output value this step.
     #[inline]
     pub fn record_output_change(&mut self, v: usize) {
-        self.output_changes[v] += 1;
+        match &mut self.store {
+            CounterStore::Dense { output_changes, .. } => output_changes[v] += 1,
+            CounterStore::Streaming { output_changes, .. } => *output_changes += 1,
+        }
     }
 
     /// Bulk-records a full-activation step in which every node changed state
     /// (the executor's uniform-configuration fast path).
     pub fn record_uniform_change(&mut self, output_changed: bool) {
-        for count in &mut self.activations {
-            *count += 1;
-        }
-        for count in &mut self.state_changes {
-            *count += 1;
-        }
-        if output_changed {
-            for count in &mut self.output_changes {
-                *count += 1;
+        match &mut self.store {
+            CounterStore::Dense {
+                activations,
+                state_changes,
+                output_changes,
+            } => {
+                for count in activations.iter_mut() {
+                    *count += 1;
+                }
+                for count in state_changes.iter_mut() {
+                    *count += 1;
+                }
+                if output_changed {
+                    for count in output_changes.iter_mut() {
+                        *count += 1;
+                    }
+                }
+            }
+            CounterStore::Streaming {
+                n,
+                activations,
+                state_changes,
+                output_changes,
+            } => {
+                *activations += *n as u64;
+                *state_changes += *n as u64;
+                if output_changed {
+                    *output_changes += *n as u64;
+                }
             }
         }
     }
 
     /// Bulk-records a full-activation step in which no node changed state.
     pub fn record_uniform_noop(&mut self) {
-        for count in &mut self.activations {
-            *count += 1;
+        match &mut self.store {
+            CounterStore::Dense { activations, .. } => {
+                for count in activations.iter_mut() {
+                    *count += 1;
+                }
+            }
+            CounterStore::Streaming { n, activations, .. } => *activations += *n as u64,
         }
     }
 
     /// Resets the output-change counters (used by liveness checkers that count
     /// clock increments over a window) and returns the previous values.
+    ///
+    /// # Panics
+    ///
+    /// Panics for streaming counters, which hold no per-node data.
     pub fn take_output_changes(&mut self) -> Vec<u64> {
-        std::mem::replace(&mut self.output_changes, vec![0; self.activations.len()])
+        match &mut self.store {
+            CounterStore::Dense {
+                activations,
+                output_changes,
+                ..
+            } => std::mem::replace(output_changes, vec![0; activations.len()]),
+            CounterStore::Streaming { .. } => panic!("{STREAMING_NO_PER_NODE}"),
+        }
+    }
+}
+
+const STREAMING_NO_PER_NODE: &str = "streaming counters hold no per-node data; \
+     use dense counters (the default) for verification windows and checkpoints";
+
+/// The sum/max/histogram aggregate of one per-node counter distribution.
+///
+/// The histogram is logarithmic: bucket 0 counts nodes with count 0 and
+/// bucket `k ≥ 1` counts nodes whose count has bit length `k` (i.e. lies in
+/// `[2^(k-1), 2^k)`), with trailing empty buckets trimmed. Compact enough to
+/// embed in a report for any `n`, detailed enough to spot skew (e.g. a
+/// laggard scheduler starving one node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDigest {
+    /// Sum over all nodes.
+    pub sum: u64,
+    /// Maximum per-node count.
+    pub max: u64,
+    /// Logarithmic buckets (see the type docs).
+    pub histogram: Vec<u64>,
+}
+
+impl CounterDigest {
+    /// Aggregates a per-node counter slice in one pass.
+    pub fn of(counts: &[u64]) -> Self {
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        let mut buckets = [0u64; 65];
+        for &c in counts {
+            sum += c;
+            max = max.max(c);
+            buckets[(64 - c.leading_zeros()) as usize] += 1;
+        }
+        let used = 65 - buckets.iter().rev().take_while(|&&b| b == 0).count();
+        CounterDigest {
+            sum,
+            max,
+            histogram: buckets[..used].to_vec(),
+        }
+    }
+
+    /// Renders the digest as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("sum".to_string(), u64_to_json(self.sum)),
+            ("max".to_string(), u64_to_json(self.max)),
+            (
+                "histogram".to_string(),
+                JsonValue::Array(self.histogram.iter().map(|&b| u64_to_json(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// The three per-counter digests of a [`NodeCounters`] (see
+/// [`NodeCounters::digest`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountersDigest {
+    /// Digest of per-node activation counts.
+    pub activations: CounterDigest,
+    /// Digest of per-node state-change counts.
+    pub state_changes: CounterDigest,
+    /// Digest of per-node output-change counts.
+    pub output_changes: CounterDigest,
+}
+
+impl CountersDigest {
+    /// Renders the digests as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("activations".to_string(), self.activations.to_json()),
+            ("state_changes".to_string(), self.state_changes.to_json()),
+            ("output_changes".to_string(), self.output_changes.to_json()),
+        ])
     }
 }
 
@@ -356,6 +594,68 @@ pub fn render_table(rows: &[ExperimentRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_counters_match_dense_totals() {
+        let mut dense = NodeCounters::new(4);
+        let mut streaming = NodeCounters::streaming(4);
+        for c in [&mut dense, &mut streaming] {
+            c.record_activation(1);
+            c.record_activation(2);
+            c.record_state_change(2);
+            c.record_output_change(2);
+            c.record_uniform_change(true);
+            c.record_uniform_change(false);
+            c.record_uniform_noop();
+        }
+        assert!(streaming.is_streaming() && !dense.is_streaming());
+        assert_eq!(dense.node_count(), streaming.node_count());
+        assert_eq!(dense.total_activations(), streaming.total_activations());
+        assert_eq!(dense.total_state_changes(), streaming.total_state_changes());
+        assert_eq!(
+            dense.total_output_changes(),
+            streaming.total_output_changes()
+        );
+        assert!(dense.digest().is_some());
+        assert!(streaming.digest().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no per-node data")]
+    fn streaming_counters_guard_per_node_reads() {
+        let streaming = NodeCounters::streaming(3);
+        let _ = streaming.activations();
+    }
+
+    #[test]
+    fn counter_digest_buckets_by_bit_length() {
+        let d = CounterDigest::of(&[0, 0, 1, 2, 3, 4, 1023]);
+        assert_eq!(d.sum, 1033);
+        assert_eq!(d.max, 1023);
+        // bucket 0: two zeros; bucket 1: the 1; bucket 2: 2 and 3;
+        // bucket 3: the 4; bucket 10: 1023 (bit length 10).
+        assert_eq!(d.histogram[0], 2);
+        assert_eq!(d.histogram[1], 1);
+        assert_eq!(d.histogram[2], 2);
+        assert_eq!(d.histogram[3], 1);
+        assert_eq!(d.histogram[10], 1);
+        assert_eq!(d.histogram.len(), 11, "trailing empty buckets trimmed");
+        assert_eq!(d.histogram.iter().sum::<u64>(), 7);
+        let json = d.to_json().render();
+        assert!(json.contains("\"sum\": 1033"), "{json}");
+    }
+
+    #[test]
+    fn counters_digest_renders_all_three_counters() {
+        let counters = NodeCounters::from_parts(vec![3, 1], vec![1, 0], vec![0, 0]);
+        let digest = counters.digest().unwrap();
+        assert_eq!(digest.activations.sum, 4);
+        assert_eq!(digest.state_changes.max, 1);
+        assert_eq!(digest.output_changes.sum, 0);
+        let json = digest.to_json();
+        assert!(json.get("activations").is_some());
+        assert!(json.get("output_changes").is_some());
+    }
 
     #[test]
     fn summary_of_constant_sample() {

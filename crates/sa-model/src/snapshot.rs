@@ -116,8 +116,13 @@ impl<S> ExecutionSnapshot<S> {
     /// Like [`ExecutionSnapshot::to_json`], but with a fallible state
     /// codec: returns `None` as soon as any configuration state fails to
     /// encode (e.g. it left the palette an indexed codec relies on), with
-    /// each state encoded exactly once.
+    /// each state encoded exactly once. Also returns `None` for snapshots
+    /// of streaming-counter executions — those hold no per-node counter
+    /// data, so an exact checkpoint cannot be produced.
     pub fn try_to_json(&self, encode: impl Fn(&S) -> Option<JsonValue>) -> Option<JsonValue> {
+        if self.counters.is_streaming() {
+            return None;
+        }
         let config: Vec<JsonValue> = self.config.iter().map(encode).collect::<Option<_>>()?;
         Some(JsonValue::object([
             ("config".to_string(), JsonValue::Array(config)),

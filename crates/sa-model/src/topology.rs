@@ -11,6 +11,7 @@
 use crate::graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// A declarative description of a graph topology.
 ///
@@ -126,78 +127,69 @@ impl Topology {
         match self {
             Topology::Path { n } => {
                 assert!(*n >= 1);
-                let mut g = Graph::empty(*n);
-                for v in 1..*n {
-                    g.add_edge(v - 1, v);
-                }
-                g
+                let edges: Vec<(usize, usize)> = (1..*n).map(|v| (v - 1, v)).collect();
+                Graph::from_edges(*n, &edges)
             }
             Topology::Cycle { n } => {
                 assert!(*n >= 3, "a cycle needs at least 3 nodes");
-                let mut g = Graph::empty(*n);
-                for v in 0..*n {
-                    g.add_edge(v, (v + 1) % n);
-                }
-                g
+                let edges: Vec<(usize, usize)> = (0..*n).map(|v| (v, (v + 1) % n)).collect();
+                Graph::from_edges(*n, &edges)
             }
             Topology::Complete { n } => {
                 assert!(*n >= 1);
-                let mut g = Graph::empty(*n);
+                let mut edges = Vec::with_capacity(n * (n - 1) / 2);
                 for u in 0..*n {
                     for v in (u + 1)..*n {
-                        g.add_edge(u, v);
+                        edges.push((u, v));
                     }
                 }
-                g
+                Graph::from_edges(*n, &edges)
             }
             Topology::Star { n } => {
                 assert!(*n >= 2, "a star needs at least 2 nodes");
-                let mut g = Graph::empty(*n);
-                for v in 1..*n {
-                    g.add_edge(0, v);
-                }
-                g
+                let edges: Vec<(usize, usize)> = (1..*n).map(|v| (0, v)).collect();
+                Graph::from_edges(*n, &edges)
             }
             Topology::Grid { rows, cols } => {
                 assert!(*rows >= 1 && *cols >= 1);
                 let idx = |r: usize, c: usize| r * cols + c;
-                let mut g = Graph::empty(rows * cols);
+                let mut edges = Vec::with_capacity(2 * rows * cols);
                 for r in 0..*rows {
                     for c in 0..*cols {
                         if c + 1 < *cols {
-                            g.add_edge(idx(r, c), idx(r, c + 1));
+                            edges.push((idx(r, c), idx(r, c + 1)));
                         }
                         if r + 1 < *rows {
-                            g.add_edge(idx(r, c), idx(r + 1, c));
+                            edges.push((idx(r, c), idx(r + 1, c)));
                         }
                     }
                 }
-                g
+                Graph::from_edges(rows * cols, &edges)
             }
             Topology::Torus { rows, cols } => {
                 assert!(*rows >= 3 && *cols >= 3, "torus needs rows, cols ≥ 3");
                 let idx = |r: usize, c: usize| r * cols + c;
-                let mut g = Graph::empty(rows * cols);
+                let mut edges = Vec::with_capacity(2 * rows * cols);
                 for r in 0..*rows {
                     for c in 0..*cols {
-                        g.add_edge(idx(r, c), idx(r, (c + 1) % cols));
-                        g.add_edge(idx(r, c), idx((r + 1) % rows, c));
+                        edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+                        edges.push((idx(r, c), idx((r + 1) % rows, c)));
                     }
                 }
-                g
+                Graph::from_edges(rows * cols, &edges)
             }
             Topology::Hypercube { dim } => {
                 let n = 1usize << dim;
-                let mut g = Graph::empty(n);
+                let mut edges = Vec::with_capacity(n * dim / 2);
                 for v in 0..n {
                     for b in 0..*dim {
                         let u = v ^ (1 << b);
                         if u > v {
-                            g.add_edge(v, u);
+                            edges.push((v, u));
                         }
                     }
                 }
-                g
+                Graph::from_edges(n, &edges)
             }
             Topology::BalancedTree { arity, depth } => {
                 assert!(*arity >= 1);
@@ -208,31 +200,33 @@ impl Topology {
                     level *= arity;
                     count += level;
                 }
-                let mut g = Graph::empty(count);
+                let mut edges = Vec::with_capacity(count.saturating_sub(1));
                 // children of node i are a*i + 1 .. a*i + a (heap layout)
                 for v in 0..count {
                     for c in 1..=*arity {
                         let child = arity * v + c;
                         if child < count {
-                            g.add_edge(v, child);
+                            edges.push((v, child));
                         }
                     }
                 }
-                g
+                Graph::from_edges(count, &edges)
             }
             Topology::ErdosRenyi { n, p } => {
                 assert!(*n >= 1);
                 assert!((0.0..=1.0).contains(p));
                 let mut rng = StdRng::seed_from_u64(seed);
+                let mut edges = Vec::new();
                 for _attempt in 0..1000 {
-                    let mut g = Graph::empty(*n);
+                    edges.clear();
                     for u in 0..*n {
                         for v in (u + 1)..*n {
                             if rng.gen_bool(*p) {
-                                g.add_edge(u, v);
+                                edges.push((u, v));
                             }
                         }
                     }
+                    let g = Graph::from_edges(*n, &edges);
                     if g.is_connected() {
                         return g;
                     }
@@ -247,15 +241,17 @@ impl Topology {
                 assert!(*n >= 2);
                 assert!((0.0..1.0).contains(drop));
                 let mut rng = StdRng::seed_from_u64(seed);
+                let mut edges = Vec::new();
                 for _attempt in 0..1000 {
-                    let mut g = Graph::empty(*n);
+                    edges.clear();
                     for u in 0..*n {
                         for v in (u + 1)..*n {
                             if !rng.gen_bool(*drop) {
-                                g.add_edge(u, v);
+                                edges.push((u, v));
                             }
                         }
                     }
+                    let g = Graph::from_edges(*n, &edges);
                     if g.is_connected() && g.diameter() <= *max_diameter {
                         return g;
                     }
@@ -267,12 +263,12 @@ impl Topology {
             Topology::Caveman { clusters, clique } => {
                 assert!(*clusters >= 1 && *clique >= 1);
                 let n = clusters * clique;
-                let mut g = Graph::empty(n);
+                let mut edges = Vec::with_capacity(clusters * clique * clique / 2 + clusters);
                 for k in 0..*clusters {
                     let base = k * clique;
                     for u in 0..*clique {
                         for v in (u + 1)..*clique {
-                            g.add_edge(base + u, base + v);
+                            edges.push((base + u, base + v));
                         }
                     }
                 }
@@ -282,10 +278,10 @@ impl Topology {
                         if *clusters == 2 && k == 1 {
                             break; // avoid a duplicate bridge between the same pair
                         }
-                        g.add_edge(k * clique, next * clique + (clique - 1) % clique);
+                        edges.push((k * clique, next * clique + (clique - 1) % clique));
                     }
                 }
-                g
+                Graph::from_edges(n, &edges)
             }
             Topology::RandomRegular { n, deg } => {
                 assert!(*deg >= 2, "degree must be at least 2");
@@ -302,22 +298,29 @@ impl Topology {
                 // scales with the expected 1/acceptance ≈ e^{(deg²−1)/4}
                 // (×50 head-room), so higher degrees get the tries they
                 // need instead of a flat cap that would panic spuriously.
+                // Duplicates are detected at the pairing level (a normalized
+                // pair set) so the edge list feeds the bulk CSR constructor
+                // in one O(n + E) pass per attempt.
                 let accept = (-((deg * deg - 1) as f64) / 4.0).exp();
                 let attempts = ((50.0 / accept).ceil() as u64).max(2000);
                 let mut stubs: Vec<usize> = (0..n * deg).map(|s| s / deg).collect();
+                let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * deg / 2);
+                let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(n * deg / 2);
                 'attempt: for _ in 0..attempts {
                     for i in (1..stubs.len()).rev() {
                         let j = rng.gen_range(0..=i);
                         stubs.swap(i, j);
                     }
-                    let mut g = Graph::empty(*n);
+                    edges.clear();
+                    seen.clear();
                     for pair in stubs.chunks_exact(2) {
                         let (u, v) = (pair[0], pair[1]);
-                        if u == v || g.has_edge(u, v) {
+                        if u == v || !seen.insert(if u < v { (u, v) } else { (v, u) }) {
                             continue 'attempt;
                         }
-                        g.add_edge(u, v);
+                        edges.push((u, v));
                     }
+                    let g = Graph::from_edges(*n, &edges);
                     if g.is_connected() {
                         return g;
                     }

@@ -229,6 +229,55 @@ fn warm_step_loop_allocates_nothing() {
         assert!(exec.validate_incremental_sensing());
     }
 
+    // --- closed-neighborhood buffer reuse ------------------------------------
+    // `closed_neighborhood_into` clears and refills a caller-owned buffer;
+    // after one warming call per distinct degree, a scan over every node must
+    // not allocate (the CSR adjacency itself is two flat arrays).
+    {
+        let graph = Topology::Torus { rows: 16, cols: 16 }.build_deterministic();
+        let mut buf = Vec::new();
+        graph.closed_neighborhood_into(0, &mut buf);
+        let before = allocations();
+        for v in 0..graph.node_count() {
+            graph.closed_neighborhood_into(v, &mut buf);
+            assert_eq!(buf.len(), graph.degree(v) + 1);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "closed-neighborhood scans must reuse the buffer"
+        );
+    }
+
+    // --- active-set (dirty-frontier) execution -------------------------------
+    // The frontier is a preallocated bitset; its per-step maintenance (clear
+    // unchanged, re-mark changed closed neighborhoods) walks CSR slices, so
+    // the warm active-set loop must stay allocation-free like the full scan.
+    {
+        let graph = Topology::Torus { rows: 16, cols: 16 }.build_deterministic();
+        let d = graph.diameter();
+        let alg = AlgAu::new(d);
+        let palette = alg.states();
+        let mut exec = ExecutionBuilder::new(&alg, &graph)
+            .seed(42)
+            .active_set(true)
+            .random_initial(&palette);
+        assert!(exec.uses_active_set());
+        let mut sched = SynchronousScheduler;
+        for _ in 0..50 {
+            exec.step_with(&mut sched);
+        }
+        let before = allocations();
+        for _ in 0..200 {
+            exec.step_with(&mut sched);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "active-set steps must not allocate once warm"
+        );
+    }
+
     // Sanity: the counter actually counts.
     let before = allocations();
     let v: Vec<u64> = Vec::with_capacity(256);

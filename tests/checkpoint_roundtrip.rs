@@ -426,6 +426,145 @@ fn sweep_unit_kill_resume_matches_uninterrupted() {
     assert_eq!(SchedulerSpec::RoundRobin.label(), "round-robin");
 }
 
+/// Kill/resume through the **binary** checkpoint codec: transcoding every
+/// interrupt document through `binary::encode → decode` must hand back the
+/// *identical* document (same rendered bytes), and the resumed run must
+/// finish bit-identical to both the JSON-path resume and the uninterrupted
+/// reference. This is the in-process twin of the CI `sweep-smoke` job's
+/// binary kill/resume leg.
+#[test]
+fn sweep_unit_kill_resume_through_binary_codec_matches_json() {
+    use stone_age_unison::model::binary;
+    let spec = SweepSpec::parse(
+        r#"{
+          "name": "binary-roundtrip",
+          "tasks": [{
+            "id": "BR",
+            "kind": "stabilization",
+            "topologies": [{"kind": "torus", "rows": 3, "cols": 3}],
+            "schedulers": ["round-robin"],
+            "engines": ["serial", {"kind": "sharded", "threads": 2}],
+            "fault": {"kind": "periodic", "period": 4, "count": 1},
+            "seeds": 1,
+            "max_rounds": 5000
+          }]
+        }"#,
+    )
+    .expect("spec parses");
+    let units = spec.execution_units();
+    assert_eq!(units.len(), 2);
+    let complete = |unit: &SweepUnit, policy: &CheckpointPolicy<'_>| {
+        sa_bench::sweep::run_unit(unit, policy).expect("unit runs")
+    };
+    // Kill/resume driver, parameterized by the checkpoint transcoding that
+    // stands in for the CLI's disk round-trip.
+    let kill_resume = |unit: &SweepUnit, transcode: &dyn Fn(&JsonValue) -> JsonValue| {
+        let mut checkpoint: Option<JsonValue> = None;
+        let mut kills = 0usize;
+        loop {
+            let policy = CheckpointPolicy {
+                every_steps: 0,
+                sink: None,
+                resume_from: checkpoint.as_ref(),
+                interrupt_after_steps: Some(9),
+            };
+            match complete(unit, &policy) {
+                UnitOutcome::Complete(r) => break (r, kills),
+                UnitOutcome::Interrupted(doc) => {
+                    kills += 1;
+                    assert!(kills < 10_000, "unit {} never finished", unit.id());
+                    checkpoint = Some(transcode(&doc));
+                }
+            }
+        }
+    };
+    for unit in &units {
+        let reference: UnitResult = match complete(unit, &CheckpointPolicy::default()) {
+            UnitOutcome::Complete(r) => r,
+            UnitOutcome::Interrupted(_) => unreachable!(),
+        };
+        let (via_json, json_kills) = kill_resume(unit, &|doc| {
+            JsonValue::parse(&doc.render_pretty()).expect("checkpoint parses")
+        });
+        let (via_binary, binary_kills) = kill_resume(unit, &|doc| {
+            let bytes = binary::encode(doc);
+            assert!(
+                binary::is_binary(&bytes),
+                "encoded checkpoints must carry the magic"
+            );
+            let decoded = binary::decode(&bytes).expect("binary checkpoint decodes");
+            assert_eq!(
+                decoded.render_pretty(),
+                doc.render_pretty(),
+                "binary transcoding must preserve the document byte for byte"
+            );
+            decoded
+        });
+        assert!(json_kills > 0 && binary_kills > 0, "probe must interrupt");
+        assert_eq!(
+            via_json,
+            reference,
+            "unit {}: JSON-path resume diverged",
+            unit.id()
+        );
+        assert_eq!(
+            via_binary,
+            reference,
+            "unit {}: binary-path resume diverged",
+            unit.id()
+        );
+    }
+}
+
+/// The binary codec earns its keep at scale: on a 10⁴-node unit's live
+/// checkpoint document (whose bulk is palette-index state arrays that the
+/// codec writes as 1–2-byte varints), the encoding must be at least 10×
+/// smaller than the pretty-printed JSON the runner would otherwise write.
+#[test]
+fn binary_checkpoints_are_an_order_of_magnitude_smaller() {
+    use stone_age_unison::model::binary;
+    let spec = SweepSpec::parse(
+        r#"{
+          "name": "size-probe",
+          "tasks": [{
+            "id": "SZ",
+            "kind": "stabilization",
+            "algorithms": ["min-plus-one"],
+            "topologies": [{"kind": "torus", "rows": 100, "cols": 100}],
+            "schedulers": ["synchronous"],
+            "engines": ["serial"],
+            "seeds": 1,
+            "max_rounds": 100000
+          }]
+        }"#,
+    )
+    .expect("spec parses");
+    let units = spec.execution_units();
+    let policy = CheckpointPolicy {
+        every_steps: 0,
+        sink: None,
+        resume_from: None,
+        interrupt_after_steps: Some(25),
+    };
+    let doc = match sa_bench::sweep::run_unit(&units[0], &policy).expect("unit runs") {
+        UnitOutcome::Interrupted(doc) => doc,
+        UnitOutcome::Complete(_) => panic!("size probe must interrupt mid-run"),
+    };
+    let json = doc.render_pretty();
+    let bytes = binary::encode(&doc);
+    assert!(
+        bytes.len() * 10 <= json.len(),
+        "binary checkpoint must be ≥10x smaller: {} bytes binary vs {} bytes JSON",
+        bytes.len(),
+        json.len()
+    );
+    assert_eq!(
+        binary::decode(&bytes).expect("decodes"),
+        doc,
+        "compact encoding must stay lossless"
+    );
+}
+
 /// The same kill/resume ≡ uninterrupted property for the new unit kinds of
 /// the `algorithm` axis — the min-plus-one baseline and the LE/MIS
 /// algorithms lifted through the synchronizer — and for a fault-recovery

@@ -528,6 +528,238 @@ fn sharded_apply_matches_serial_on_large_changed_sets() {
     );
 }
 
+// ---- active-set (dirty-frontier) execution ---------------------------------
+
+/// Steps an active-set and a full-scan execution of the same deterministic
+/// algorithm in lockstep (with periodic fault injection when a palette is
+/// given) and asserts they stay bit-for-bit identical in every observable.
+/// Halfway through, both executions take a snapshot and restore it, which
+/// exercises the frontier's conservative re-marking on restore.
+#[allow(clippy::too_many_arguments)]
+fn assert_active_set_matches_full_scan<A: Algorithm>(
+    alg: &A,
+    graph: &Graph,
+    init: Vec<A::State>,
+    seed: u64,
+    mode: SignalMode,
+    kind: EngineKind,
+    make_sched: &dyn Fn() -> Box<dyn Scheduler>,
+    fault_palette: Option<&[A::State]>,
+    steps: usize,
+    context: &str,
+) {
+    let mut fast = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .engine(kind)
+        .active_set(true)
+        .initial(init.clone());
+    let mut full = ExecutionBuilder::new(alg, graph)
+        .seed(seed)
+        .signal_mode(mode)
+        .engine(kind)
+        .active_set(false)
+        .initial(init);
+    assert!(
+        fast.uses_active_set(),
+        "[{context}] deterministic algorithm must get a frontier"
+    );
+    assert!(!full.uses_active_set());
+    let mut sched_a = make_sched();
+    let mut sched_b = make_sched();
+    let mut injector_a = fault_palette.map(|p| {
+        FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 2,
+                count: 2,
+            },
+            p.to_vec(),
+            seed,
+        )
+    });
+    let mut injector_b = fault_palette.map(|p| {
+        FaultInjector::new(
+            FaultPlan::Periodic {
+                period: 2,
+                count: 2,
+            },
+            p.to_vec(),
+            seed,
+        )
+    });
+    for step in 0..steps {
+        if step == steps / 2 {
+            let snap_a = fast.snapshot();
+            let snap_b = full.snapshot();
+            fast.restore(&snap_a);
+            full.restore(&snap_b);
+        }
+        let a = fast.step_with(&mut *sched_a);
+        let b = full.step_with(&mut *sched_b);
+        assert_eq!(a, b, "[{context}] step {step}: outcome diverged");
+        assert_eq!(
+            fast.configuration(),
+            full.configuration(),
+            "[{context}] step {step}: configuration diverged"
+        );
+        assert_eq!(
+            fast.last_changed(),
+            full.last_changed(),
+            "[{context}] step {step}: changed-node list diverged"
+        );
+        if a.round_completed {
+            if let (Some(ia), Some(ib)) = (injector_a.as_mut(), injector_b.as_mut()) {
+                let va = ia.on_round(&mut fast);
+                let vb = ib.on_round(&mut full);
+                assert_eq!(va, vb, "[{context}] step {step}: fault victims diverged");
+            }
+        }
+    }
+    assert_eq!(fast.time(), full.time(), "[{context}] time diverged");
+    assert_eq!(fast.rounds(), full.rounds(), "[{context}] rounds diverged");
+    assert_eq!(
+        fast.counters(),
+        full.counters(),
+        "[{context}] per-node metrics diverged"
+    );
+    assert!(
+        fast.validate_incremental_sensing(),
+        "[{context}] active-set sensing state inconsistent"
+    );
+}
+
+/// The full differential matrix for the paper's deterministic unison
+/// algorithm: active-set ≡ full-scan across six schedulers × dense/sparse ×
+/// serial/sharded, under periodic fault injection and a mid-run
+/// snapshot/restore.
+#[test]
+fn active_set_matches_full_scan_across_schedulers_modes_and_engines() {
+    let graph = Topology::Grid { rows: 3, cols: 4 }.build_deterministic();
+    let n = graph.node_count();
+    let alg = AlgAu::new(graph.diameter());
+    let palette = alg.states();
+    let init: Vec<_> = (0..n)
+        .map(|v| palette[(v * 7 + 2) % palette.len()])
+        .collect();
+    for (sched_name, factory) in scheduler_factories(n) {
+        for (mode_name, mode) in [("dense", SignalMode::Auto), ("sparse", SignalMode::Sparse)] {
+            for (engine_name, kind) in [
+                ("serial", EngineKind::Serial),
+                ("sharded-4", EngineKind::Sharded { threads: 4 }),
+            ] {
+                let context = format!("active-set/{sched_name}/{mode_name}/{engine_name}");
+                assert_active_set_matches_full_scan(
+                    &alg,
+                    &graph,
+                    init.clone(),
+                    0xd1_47_00,
+                    mode,
+                    kind,
+                    factory.as_ref(),
+                    Some(&palette),
+                    40,
+                    &context,
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic spread toy whose synchronous trajectory reaches a
+/// *uniform* fixpoint — the frontier must drain to empty through the
+/// uniform-noop fast path, and a corruption must re-open exactly one
+/// closed neighborhood.
+struct Spread;
+
+impl Algorithm for Spread {
+    type State = u8;
+    type Output = u8;
+    fn output(&self, s: &u8) -> Option<u8> {
+        Some(*s)
+    }
+    fn transition(&self, s: &u8, sig: &Signal<u8>, _: &mut dyn RngCore) -> u8 {
+        if *s == 1 || sig.senses(&1) {
+            1
+        } else {
+            0
+        }
+    }
+    fn dense_state_space(&self) -> Option<Vec<u8>> {
+        Some(vec![0, 1])
+    }
+    fn transition_is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// On a fixpoint the frontier drains to empty, stays empty across further
+/// rounds, and a targeted corruption re-dirties only the victim's closed
+/// neighborhood; the trajectory keeps matching the full scan throughout.
+#[test]
+fn frontier_drains_on_fixpoint_and_reopens_on_corruption() {
+    let graph = Graph::grid(4, 4);
+    let n = graph.node_count();
+    let mut init = vec![0u8; n];
+    init[5] = 1;
+    let mut fast = ExecutionBuilder::new(&Spread, &graph)
+        .seed(9)
+        .active_set(true)
+        .initial(init.clone());
+    let mut full = ExecutionBuilder::new(&Spread, &graph)
+        .seed(9)
+        .active_set(false)
+        .initial(init);
+    let mut sched_a = SynchronousScheduler;
+    let mut sched_b = SynchronousScheduler;
+    // 4×4 grid: diameter 6, so 10 rounds reach the all-ones fixpoint.
+    for _ in 0..10 {
+        fast.step_with(&mut sched_a);
+        full.step_with(&mut sched_b);
+    }
+    assert!(fast.configuration().iter().all(|s| *s == 1));
+    assert_eq!(fast.dirty_count(), 0, "frontier must drain on a fixpoint");
+    assert_eq!(full.dirty_count(), n, "full-scan reports all nodes");
+    for _ in 0..3 {
+        fast.step_with(&mut sched_a);
+        full.step_with(&mut sched_b);
+        assert_eq!(fast.dirty_count(), 0, "a stable round must not re-dirty");
+    }
+    // Corrupt one node back to 0: exactly its closed neighborhood re-opens.
+    fast.corrupt(5, 0);
+    full.corrupt(5, 0);
+    assert_eq!(
+        fast.dirty_count(),
+        graph.inclusive_neighbors(5).len(),
+        "corruption must re-open the victim's closed neighborhood"
+    );
+    for step in 0..6 {
+        fast.step_with(&mut sched_a);
+        full.step_with(&mut sched_b);
+        assert_eq!(
+            fast.configuration(),
+            full.configuration(),
+            "step {step} after corruption diverged"
+        );
+    }
+    assert_eq!(fast.configuration(), full.configuration());
+    assert_eq!(fast.counters(), full.counters());
+    assert_eq!(fast.dirty_count(), 0, "healed fixpoint must drain again");
+}
+
+/// Randomized algorithms never get a frontier — their transitions draw
+/// coins, so a clean node's re-evaluation is *not* the identity. Even an
+/// explicit opt-in must be refused.
+#[test]
+fn randomized_algorithms_never_use_the_active_set() {
+    let graph = Graph::cycle(8);
+    let exec = ExecutionBuilder::new(&NoisyAdopt, &graph)
+        .seed(4)
+        .active_set(true)
+        .initial(vec![0u8; 8]);
+    assert!(!exec.uses_active_set());
+    assert_eq!(exec.dirty_count(), 8, "no frontier: reports every node");
+}
+
 /// Regression (PR 1): seeded trajectories of randomized algorithms are
 /// independent of the order in which a scripted schedule lists its
 /// activation sets — an out-of-order replay equals the ascending-id replay.
