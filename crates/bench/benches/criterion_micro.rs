@@ -475,6 +475,127 @@ fn peak_rss_kb() -> Option<f64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Per-node legitimacy of the capped-BFS gradient: every incident edge's
+/// output difference is at most one. True (and non-uniform) at the
+/// [`MinPlusOne`] fixpoint, so the oracle benchmark checks it every round
+/// without the uniform-configuration fast path short-circuiting the
+/// comparison.
+struct GradientOracle;
+
+impl GradientOracle {
+    fn out(level: &Level) -> u8 {
+        match level {
+            Level::Source => 0,
+            Level::At(k) => *k,
+        }
+    }
+}
+
+impl sa_model::algorithm::LegitimacyOracle<MinPlusOne> for GradientOracle {
+    fn is_legitimate(&self, graph: &Graph, config: &[Level]) -> bool {
+        graph
+            .edges()
+            .iter()
+            .all(|&(u, v)| Self::out(&config[u]).abs_diff(Self::out(&config[v])) <= 1)
+    }
+
+    fn as_local(&self) -> Option<&dyn sa_model::oracle::LocalPredicate<Level>> {
+        Some(self)
+    }
+}
+
+impl sa_model::oracle::LocalPredicate<Level> for GradientOracle {
+    fn node_ok(&self, graph: &Graph, config: &[Level], v: usize) -> bool {
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| Self::out(&config[u]).abs_diff(Self::out(&config[v])) <= 1)
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, _state: &Level) -> Option<bool> {
+        Some(true)
+    }
+}
+
+/// Post-stabilization round **checks** on 10⁶-node graphs: one synchronous
+/// round on the converged non-uniform [`MinPlusOne`] fixpoint with (a) no
+/// legitimacy check at all, (b) the incremental [`LegitimacyTracker`] fed
+/// from the dirty frontier, (c) the full `O(n·deg)` scan every round. The
+/// acceptance target is the incremental leg landing within 2x of check-free
+/// (the tracker's quiescent check is O(1); the full scan pays the whole
+/// graph each round).
+fn bench_oracle(c: &mut Criterion) {
+    use sa_model::algorithm::LegitimacyOracle;
+    use sa_model::oracle::LegitimacyTracker;
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    let alg = MinPlusOne { cap: SCALE_CAP };
+    for (label, graph) in scale_benchmark_graphs() {
+        let n = graph.node_count();
+        let mut initial = vec![Level::At(SCALE_CAP); n];
+        initial[0] = Level::Source;
+        let converged_config = {
+            let mut exec = ExecutionBuilder::new(&alg, &graph)
+                .seed(41)
+                .active_set(true)
+                .streaming_counters(true)
+                .initial(initial);
+            let mut sched = SynchronousScheduler;
+            exec.run_rounds(&mut sched, SCALE_CONVERGE_ROUNDS);
+            exec.configuration().to_vec()
+        };
+        let oracle = GradientOracle;
+        assert!(
+            oracle.is_legitimate(&graph, &converged_config),
+            "the fixpoint must satisfy the gradient predicate"
+        );
+        for leg in ["check-free", "incremental", "full-scan"] {
+            group.bench_with_input(BenchmarkId::new(label, leg), &graph, |b, graph| {
+                let mut exec = ExecutionBuilder::new(&alg, graph)
+                    .seed(41)
+                    .active_set(true)
+                    .streaming_counters(true)
+                    .initial(converged_config.clone());
+                let mut sched = SynchronousScheduler;
+                exec.run_rounds(&mut sched, SCALE_WARMUP_ROUNDS);
+                let local = oracle.as_local().expect("GradientOracle decomposes");
+                let mut tracker = LegitimacyTracker::new(graph);
+                if leg == "incremental" {
+                    // Seed the bad-set outside the measurement — the one-off
+                    // full pass is the price of entry, the steady state is
+                    // what the round check costs from then on.
+                    assert!(tracker.is_legitimate(local, graph, exec.configuration()));
+                }
+                b.iter(|| match leg {
+                    "check-free" => {
+                        exec.run_rounds(&mut sched, 1);
+                        black_box(exec.rounds())
+                    }
+                    "incremental" => {
+                        exec.step_with(&mut sched);
+                        tracker.note_step(
+                            local,
+                            graph,
+                            exec.configuration(),
+                            exec.last_changed(),
+                            exec.last_step_uniform(),
+                        );
+                        assert!(tracker.is_legitimate(local, graph, exec.configuration()));
+                        black_box(exec.rounds())
+                    }
+                    _ => {
+                        exec.run_rounds(&mut sched, 1);
+                        assert!(oracle.is_legitimate(graph, exec.configuration()));
+                        black_box(exec.rounds())
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_stabilization(c: &mut Criterion) {
     let mut group = c.benchmark_group("algau-stabilization");
     group.sample_size(10);
@@ -579,6 +700,26 @@ fn speedup_summary(c: &mut Criterion) {
             );
         }
     }
+    println!("\n==== post-stabilization round checks (oracle) ====");
+    for label in SCALE_LABELS {
+        let time_of = |leg: &str| {
+            c.records()
+                .iter()
+                .find(|r| r.group == "oracle" && r.bench == format!("{label}/{leg}"))
+                .map(|r| r.median_ns)
+        };
+        if let (Some(free), Some(inc), Some(full)) = (
+            time_of("check-free"),
+            time_of("incremental"),
+            time_of("full-scan"),
+        ) {
+            println!(
+                "{label:<16} check-free {free:>12.0} ns/round   incremental {inc:>12.0} ns/round ({:.2}x of check-free)   full-scan {full:>12.0} ns/round ({:.2}x of incremental)",
+                inc / free,
+                full / inc
+            );
+        }
+    }
     println!(
         "\n==== serial vs sharded engine scaling ({} hardware threads) ====",
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -612,6 +753,7 @@ criterion_group!(
     bench_engine_scaling,
     bench_stabilization,
     bench_scale,
+    bench_oracle,
     speedup_summary
 );
 criterion_main!(benches);

@@ -55,13 +55,14 @@ use bio_networks::Harshness;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sa_model::algorithm::{Algorithm, LegitimacyOracle, StateSpace};
-use sa_model::checker::TaskChecker;
+use sa_model::checker::{push_violation, violations_capped, TaskChecker};
 use sa_model::engine::EngineKind;
 use sa_model::executor::{Execution, ExecutionBuilder};
 use sa_model::fault::{FaultInjector, FaultInjectorSnapshot, FaultPlan};
 use sa_model::graph::Graph;
 use sa_model::json::JsonValue;
-use sa_model::metrics::{ExperimentRow, Summary};
+use sa_model::metrics::{ExperimentRow, StepTimings, Summary};
+use sa_model::oracle::{force_full_oracle, LegitimacyTracker, LocalPredicate};
 use sa_model::scheduler::{
     AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler, Scheduler,
     SynchronousScheduler, UniformRandomScheduler,
@@ -73,7 +74,7 @@ use sa_protocols::mis::MisState;
 use sa_protocols::restart::RestartState;
 use sa_synchronizer::{async_le, async_mis, AsyncLe, AsyncMis, SyncState};
 use unison_core::baseline::min_plus_one::min_plus_one_legitimate;
-use unison_core::baseline::{MinPlusOne, MinPlusOneChecker};
+use unison_core::baseline::{MinPlusOne, MinPlusOneChecker, MinPlusOneOracle};
 use unison_core::{AlgAu, AuChecker, GoodGraphOracle, Predicates, Turn};
 
 /// Errors from spec parsing and unit execution, as human-readable strings
@@ -136,6 +137,11 @@ pub struct SweepSpec {
     /// million-node choice (palette-index state arrays as varints instead
     /// of decimal text).
     pub checkpoint_format: CheckpointFormat,
+    /// Whether EXPERIMENTS output includes per-unit wall-clock timings
+    /// (spec field `timings`, default `false`). Off by default because
+    /// timings are nondeterministic: the kill/resume byte-diff CI legs
+    /// compare rendered documents byte-for-byte.
+    pub timings: bool,
     /// The tasks of the sweep, in spec order.
     pub tasks: Vec<SweepTask>,
 }
@@ -844,6 +850,7 @@ impl SweepSpec {
             name,
             graph_seed,
             checkpoint_format,
+            timings: bool_opt(value, "timings", "spec")?,
             tasks,
         })
     }
@@ -1014,6 +1021,13 @@ pub struct UnitResult {
     pub recovery_rounds: Vec<u64>,
     /// Number of bursts the unit failed to recover from within the budget.
     pub unrecovered: u64,
+    /// Wall-clock observability (step vs. oracle time, boundary-check
+    /// count). Excluded from equality and from [`UnitResult::to_json`]:
+    /// timings are nondeterministic and results must stay byte-stable
+    /// across kill/resume. Rendered only when the spec opts in
+    /// (`"timings": true`), and zero for units restored from a previous
+    /// invocation's result files.
+    pub timings: StepTimings,
 }
 
 impl UnitResult {
@@ -1102,6 +1116,7 @@ impl UnitResult {
                 None => 0,
                 Some(v) => u64_from_json(v)?,
             },
+            timings: StepTimings::default(),
         })
     }
 }
@@ -1264,6 +1279,21 @@ trait UnitAlgorithm {
     /// The task's legitimacy predicate.
     fn is_legitimate(&self, graph: &Graph, config: &[UState<Self>]) -> bool;
 
+    /// [`UnitAlgorithm::is_legitimate`] decomposed into per-node conjuncts
+    /// for the incremental [`LegitimacyTracker`], or `None` if the oracle
+    /// does not decompose (every round check then runs the full predicate).
+    /// Must agree with `is_legitimate` on every configuration — pinned by
+    /// the `SA_FORCE_FULL_ORACLE` CI legs and `tests/oracle_equivalence.rs`.
+    fn local_oracle(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        None
+    }
+
+    /// [`UnitAlgorithm::check_snapshot`]-emptiness decomposed into per-node
+    /// conjuncts (`None`: the verification window scans every round).
+    fn local_snapshot(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        None
+    }
+
     /// Safety check of a single configuration (verification window).
     fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String>;
 
@@ -1336,6 +1366,14 @@ impl UnitAlgorithm for AuUnit {
         self.oracle.is_legitimate(graph, config)
     }
 
+    fn local_oracle(&self) -> Option<&dyn LocalPredicate<Turn>> {
+        Some(&self.oracle)
+    }
+
+    fn local_snapshot(&self) -> Option<&dyn LocalPredicate<Turn>> {
+        Some(&self.checker)
+    }
+
     fn check_snapshot(&self, graph: &Graph, config: &[Turn]) -> Vec<String> {
         self.checker.check_snapshot(graph, config)
     }
@@ -1397,6 +1435,14 @@ impl UnitAlgorithm for MinPlusOneUnit {
 
     fn is_legitimate(&self, graph: &Graph, config: &[u64]) -> bool {
         min_plus_one_legitimate(graph, config)
+    }
+
+    fn local_oracle(&self) -> Option<&dyn LocalPredicate<u64>> {
+        Some(&MinPlusOneOracle)
+    }
+
+    fn local_snapshot(&self) -> Option<&dyn LocalPredicate<u64>> {
+        Some(&self.checker)
     }
 
     fn check_snapshot(&self, graph: &Graph, config: &[u64]) -> Vec<String> {
@@ -1462,6 +1508,128 @@ fn encode_composite_snapshot<S: PartialEq>(
     snap.try_to_json(|s| encode_sync_state(s, inner_palette, turns))
 }
 
+/// Per-node decomposition of [`AsyncLeUnit::is_legitimate`]: AU-turn
+/// goodness of the composite's clock coordinate conjoined with "no cell
+/// mid-reset", *weighted* by the leader bit with target 1 ("exactly one
+/// leader" is the aggregate clause the tracker maintains as a running sum).
+struct LeLocalOracle {
+    unison: AlgAu,
+}
+
+impl LocalPredicate<SyncState<RestartState<LeState>>> for LeLocalOracle {
+    fn node_ok(
+        &self,
+        graph: &Graph,
+        config: &[SyncState<RestartState<LeState>>],
+        v: usize,
+    ) -> bool {
+        Predicates::new(&self.unison, graph).node_good_by(|u| config[u].turn, v)
+            && bio_networks::colony_node_ok(config, v)
+    }
+
+    fn node_weight(&self, config: &[SyncState<RestartState<LeState>>], v: usize) -> i64 {
+        bio_networks::colony_leader_weight(config, v)
+    }
+
+    fn weighted(&self) -> bool {
+        true
+    }
+
+    fn weight_target(&self) -> i64 {
+        1
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, state: &SyncState<RestartState<LeState>>) -> Option<bool> {
+        let level = state.turn.level();
+        Some(
+            state.turn.is_able()
+                && self.unison.levels().adjacent(level, level)
+                && !matches!(&state.current, RestartState::Restart(_)),
+        )
+    }
+}
+
+/// Per-node decomposition of the LE verification-window safety check
+/// ([`sa_synchronizer::SynchronizedChecker`] over
+/// [`sa_protocols::le::LeChecker`]): no cell mid-reset, exactly one leader.
+struct LeLocalSnapshot;
+
+impl LocalPredicate<SyncState<RestartState<LeState>>> for LeLocalSnapshot {
+    fn node_ok(
+        &self,
+        _graph: &Graph,
+        config: &[SyncState<RestartState<LeState>>],
+        v: usize,
+    ) -> bool {
+        bio_networks::colony_node_ok(config, v)
+    }
+
+    fn node_weight(&self, config: &[SyncState<RestartState<LeState>>], v: usize) -> i64 {
+        bio_networks::colony_leader_weight(config, v)
+    }
+
+    fn weighted(&self) -> bool {
+        true
+    }
+
+    fn weight_target(&self) -> i64 {
+        1
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, state: &SyncState<RestartState<LeState>>) -> Option<bool> {
+        Some(!matches!(&state.current, RestartState::Restart(_)))
+    }
+}
+
+/// Per-node decomposition of [`AsyncMisUnit::is_legitimate`]: AU-turn
+/// goodness conjoined with the tissue pattern's per-cell condition
+/// ([`bio_networks::tissue_node_ok`]).
+struct MisLocalOracle {
+    unison: AlgAu,
+}
+
+impl LocalPredicate<SyncState<RestartState<MisState>>> for MisLocalOracle {
+    fn node_ok(
+        &self,
+        graph: &Graph,
+        config: &[SyncState<RestartState<MisState>>],
+        v: usize,
+    ) -> bool {
+        Predicates::new(&self.unison, graph).node_good_by(|u| config[u].turn, v)
+            && bio_networks::tissue_node_ok(graph, config, v)
+    }
+
+    fn uniform_ok(&self, graph: &Graph, state: &SyncState<RestartState<MisState>>) -> Option<bool> {
+        let level = state.turn.level();
+        Some(
+            state.turn.is_able()
+                && self.unison.levels().adjacent(level, level)
+                && bio_networks::tissue_uniform_ok(graph, state),
+        )
+    }
+}
+
+/// Per-node decomposition of the MIS verification-window safety check
+/// ([`sa_synchronizer::SynchronizedChecker`] over
+/// [`sa_protocols::mis::MisChecker`]): every cell a decided host whose
+/// decision is locally consistent.
+struct MisLocalSnapshot;
+
+impl LocalPredicate<SyncState<RestartState<MisState>>> for MisLocalSnapshot {
+    fn node_ok(
+        &self,
+        graph: &Graph,
+        config: &[SyncState<RestartState<MisState>>],
+        v: usize,
+    ) -> bool {
+        bio_networks::tissue_node_ok(graph, config, v)
+    }
+
+    fn uniform_ok(&self, graph: &Graph, state: &SyncState<RestartState<MisState>>) -> Option<bool> {
+        Some(bio_networks::tissue_uniform_ok(graph, state))
+    }
+}
+
 /// `algorithm = "le"`: AlgLE through the synchronizer (asynchronous leader
 /// election).
 struct AsyncLeUnit {
@@ -1469,6 +1637,7 @@ struct AsyncLeUnit {
     inner_palette: Vec<RestartState<LeState>>,
     turns: Vec<Turn>,
     fault_palette: Vec<SyncState<RestartState<LeState>>>,
+    local_oracle: LeLocalOracle,
 }
 
 impl AsyncLeUnit {
@@ -1493,11 +1662,13 @@ impl AsyncLeUnit {
                 });
             }
         }
+        let unison = *alg.unison();
         AsyncLeUnit {
             alg,
             inner_palette,
             turns,
             fault_palette,
+            local_oracle: LeLocalOracle { unison },
         }
     }
 }
@@ -1541,6 +1712,14 @@ impl UnitAlgorithm for AsyncLeUnit {
             && bio_networks::colony_leader_legitimate(graph, config)
     }
 
+    fn local_oracle(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        Some(&self.local_oracle)
+    }
+
+    fn local_snapshot(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        Some(&LeLocalSnapshot)
+    }
+
     fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String> {
         self.alg.checker().check_snapshot(graph, config)
     }
@@ -1567,6 +1746,7 @@ struct AsyncMisUnit {
     inner_palette: Vec<RestartState<MisState>>,
     turns: Vec<Turn>,
     fault_palette: Vec<SyncState<RestartState<MisState>>>,
+    local_oracle: MisLocalOracle,
 }
 
 impl AsyncMisUnit {
@@ -1598,11 +1778,13 @@ impl AsyncMisUnit {
                 });
             }
         }
+        let unison = *alg.unison();
         AsyncMisUnit {
             alg,
             inner_palette,
             turns,
             fault_palette,
+            local_oracle: MisLocalOracle { unison },
         }
     }
 }
@@ -1634,6 +1816,14 @@ impl UnitAlgorithm for AsyncMisUnit {
         let turns: Vec<Turn> = config.iter().map(|s| s.turn).collect();
         Predicates::new(self.alg.unison(), graph).graph_good(&turns)
             && bio_networks::tissue_pattern_legitimate(graph, config)
+    }
+
+    fn local_oracle(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        Some(&self.local_oracle)
+    }
+
+    fn local_snapshot(&self) -> Option<&dyn LocalPredicate<UState<Self>>> {
+        Some(&MisLocalSnapshot)
     }
 
     fn check_snapshot(&self, graph: &Graph, config: &[UState<Self>]) -> Vec<String> {
@@ -1694,6 +1884,27 @@ fn run_unit_generic<B: UnitAlgorithm>(
             seed ^ 0xFA01_7BAD_5EED_0001,
         )),
     };
+
+    // Incremental legitimacy tracking: one tracker for the oracle (active in
+    // the stabilizing/recovering phases) and one for the snapshot safety
+    // check (active in the verification window). Each tracker is fed the
+    // changed-node lists only while its phase is active and reseeded at
+    // phase transitions, so its knowledge is always exact when queried.
+    // `SA_FORCE_FULL_ORACLE=1` (or a bundle without a decomposition) falls
+    // back to the full-scan checks; CI pins both paths to identical output.
+    let local_oracle = if force_full_oracle() {
+        None
+    } else {
+        bundle.local_oracle()
+    };
+    let local_snapshot = if force_full_oracle() {
+        None
+    } else {
+        bundle.local_snapshot()
+    };
+    let mut oracle_tracker = local_oracle.map(|_| LegitimacyTracker::new(graph));
+    let mut snapshot_tracker = local_snapshot.map(|_| LegitimacyTracker::new(graph));
+    let mut timings = StepTimings::default();
 
     // Mutable measurement state beyond the execution itself.
     let mut phase;
@@ -1776,7 +1987,13 @@ fn run_unit_generic<B: UnitAlgorithm>(
                 .initial(bundle.initial(params.init, graph.node_count(), seed));
             // Legitimacy is checked at time 0 (an adversarial configuration
             // may already be good; a benign one usually is).
-            if bundle.is_legitimate(graph, exec.configuration()) {
+            let legitimate_at_start = match (local_oracle, oracle_tracker.as_mut()) {
+                (Some(local), Some(tracker)) => {
+                    tracker.is_legitimate(local, graph, exec.configuration())
+                }
+                _ => bundle.is_legitimate(graph, exec.configuration()),
+            };
+            if legitimate_at_start {
                 stab_rounds = Some(0);
                 stab_steps = Some(0);
                 phase = PHASE_VERIFYING;
@@ -1888,12 +2105,19 @@ fn run_unit_generic<B: UnitAlgorithm>(
         if phase == PHASE_VERIFYING && exec.rounds() >= verify_start_round + verify_rounds {
             let changes = exec.output_change_counts().to_vec();
             verification_rounds = exec.rounds() - verify_start_round;
-            violations.extend(bundle.check_window(graph, &changes, verification_rounds));
+            for v in bundle.check_window(graph, &changes, verification_rounds) {
+                push_violation(&mut violations, v);
+            }
             if bursts_injected < recovery.bursts {
                 inject_burst(&mut exec, bursts_injected);
                 bursts_injected += 1;
                 burst_start_round = exec.rounds();
                 phase = PHASE_RECOVERING;
+                // The oracle tracker was idle through the window and the
+                // burst corrupted states outside the step pipeline.
+                if let Some(tracker) = oracle_tracker.as_mut() {
+                    tracker.reseed();
+                }
             } else {
                 break;
             }
@@ -1907,6 +2131,9 @@ fn run_unit_generic<B: UnitAlgorithm>(
                 inject_burst(&mut exec, bursts_injected);
                 bursts_injected += 1;
                 burst_start_round = exec.rounds();
+                if let Some(tracker) = oracle_tracker.as_mut() {
+                    tracker.reseed();
+                }
             } else {
                 break;
             }
@@ -1936,34 +2163,132 @@ fn run_unit_generic<B: UnitAlgorithm>(
             }
         }
 
+        let step_start = std::time::Instant::now();
         let outcome = exec.step_with(&mut *sched);
+        timings.step_ns += step_start.elapsed().as_nanos() as u64;
         steps_this_invocation += 1;
-        if outcome.round_completed {
-            if phase == PHASE_STABILIZING && bundle.is_legitimate(graph, exec.configuration()) {
-                stab_rounds = Some(exec.rounds());
-                stab_steps = Some(exec.time());
-                phase = PHASE_VERIFYING;
-                exec.take_output_change_counts();
-                verify_start_round = exec.rounds();
-            } else if phase == PHASE_VERIFYING {
-                for v in bundle.check_snapshot(graph, exec.configuration()) {
-                    violations.push(format!("round {}: {v}", exec.rounds()));
+        // Feed the phase-active tracker this step's changed-node list (the
+        // executor's dirty frontier) so its badness bitset stays exact.
+        let oracle_start = std::time::Instant::now();
+        match phase {
+            PHASE_VERIFYING => {
+                if let (Some(local), Some(tracker)) = (local_snapshot, snapshot_tracker.as_mut()) {
+                    tracker.note_step(
+                        local,
+                        graph,
+                        exec.configuration(),
+                        exec.last_changed(),
+                        exec.last_step_uniform(),
+                    );
                 }
-            } else if phase == PHASE_RECOVERING && bundle.is_legitimate(graph, exec.configuration())
-            {
-                recovery_rounds.push(exec.rounds() - burst_start_round);
-                if bursts_injected < recovery.bursts {
-                    inject_burst(&mut exec, bursts_injected);
-                    bursts_injected += 1;
-                    burst_start_round = exec.rounds();
-                } else {
-                    phase = PHASE_DONE;
+            }
+            _ => {
+                if let (Some(local), Some(tracker)) = (local_oracle, oracle_tracker.as_mut()) {
+                    tracker.note_step(
+                        local,
+                        graph,
+                        exec.configuration(),
+                        exec.last_changed(),
+                        exec.last_step_uniform(),
+                    );
+                }
+            }
+        }
+        if outcome.round_completed {
+            timings.oracle_rounds += 1;
+            if phase == PHASE_STABILIZING {
+                let legitimate = match (local_oracle, oracle_tracker.as_mut()) {
+                    (Some(local), Some(tracker)) => {
+                        tracker.is_legitimate(local, graph, exec.configuration())
+                    }
+                    _ => bundle.is_legitimate(graph, exec.configuration()),
+                };
+                if legitimate {
+                    stab_rounds = Some(exec.rounds());
+                    stab_steps = Some(exec.time());
+                    phase = PHASE_VERIFYING;
+                    exec.take_output_change_counts();
+                    verify_start_round = exec.rounds();
+                    // The snapshot tracker saw none of the stabilizing
+                    // steps; start it from a scan.
+                    if let Some(tracker) = snapshot_tracker.as_mut() {
+                        tracker.reseed();
+                    }
+                }
+            } else if phase == PHASE_VERIFYING {
+                // With a decomposed snapshot check, a clean round is decided
+                // incrementally and the O(n) violation enumeration runs only
+                // on rounds that actually violate safety (and only until
+                // the recorded-violation cap).
+                let clean = match (local_snapshot, snapshot_tracker.as_mut()) {
+                    (Some(local), Some(tracker)) => {
+                        tracker.is_legitimate(local, graph, exec.configuration())
+                    }
+                    _ => false, // no decomposition: the scan below decides
+                };
+                if !clean && !violations_capped(&violations) {
+                    for v in bundle.check_snapshot(graph, exec.configuration()) {
+                        push_violation(&mut violations, format!("round {}: {v}", exec.rounds()));
+                    }
+                }
+            } else if phase == PHASE_RECOVERING {
+                let legitimate = match (local_oracle, oracle_tracker.as_mut()) {
+                    (Some(local), Some(tracker)) => {
+                        tracker.is_legitimate(local, graph, exec.configuration())
+                    }
+                    _ => bundle.is_legitimate(graph, exec.configuration()),
+                };
+                if legitimate {
+                    recovery_rounds.push(exec.rounds() - burst_start_round);
+                    if bursts_injected < recovery.bursts {
+                        inject_burst(&mut exec, bursts_injected);
+                        bursts_injected += 1;
+                        burst_start_round = exec.rounds();
+                        if let Some(tracker) = oracle_tracker.as_mut() {
+                            tracker.reseed();
+                        }
+                    } else {
+                        phase = PHASE_DONE;
+                    }
                 }
             }
             if let Some(injector) = injector.as_mut() {
-                injector.on_round(&mut exec);
+                // Fault victims mutate state outside the step pipeline, so
+                // they are reported to the phase-active tracker explicitly.
+                let victims = injector.on_round(&mut exec);
+                if !victims.is_empty() {
+                    match phase {
+                        PHASE_VERIFYING => {
+                            if let (Some(local), Some(tracker)) =
+                                (local_snapshot, snapshot_tracker.as_mut())
+                            {
+                                tracker.note_step(
+                                    local,
+                                    graph,
+                                    exec.configuration(),
+                                    &victims,
+                                    false,
+                                );
+                            }
+                        }
+                        _ => {
+                            if let (Some(local), Some(tracker)) =
+                                (local_oracle, oracle_tracker.as_mut())
+                            {
+                                tracker.note_step(
+                                    local,
+                                    graph,
+                                    exec.configuration(),
+                                    &victims,
+                                    false,
+                                );
+                            }
+                        }
+                    }
+                }
             }
         }
+        timings.oracle_ns += oracle_start.elapsed().as_nanos() as u64;
         if phase == PHASE_DONE {
             break;
         }
@@ -1999,6 +2324,7 @@ fn run_unit_generic<B: UnitAlgorithm>(
         total_steps: exec.time(),
         recovery_rounds,
         unrecovered,
+        timings,
     }))
 }
 
@@ -2241,10 +2567,17 @@ pub fn render_json(
                 units
                     .iter()
                     .map(|(unit, result)| {
-                        JsonValue::object([
+                        let mut fields = vec![
                             ("id".to_string(), JsonValue::String(unit.id())),
                             ("result".to_string(), result.to_json()),
-                        ])
+                        ];
+                        // Wall-clock timings are opt-in: they are
+                        // nondeterministic, and the kill/resume CI legs
+                        // byte-diff this document.
+                        if spec.timings {
+                            fields.push(("timings".to_string(), result.timings.to_json()));
+                        }
+                        JsonValue::object(fields)
                     })
                     .collect(),
             ),
@@ -2277,6 +2610,28 @@ pub fn render_markdown(
     }
     for (name, body) in artifacts {
         out.push_str(&format!("\n## {name}\n\n```text\n{body}\n```\n"));
+    }
+    if spec.timings && !units.is_empty() {
+        out.push_str("\n## Per-unit timings\n\n");
+        out.push_str(
+            "Wall-clock split between the step pipeline and legitimacy/safety \
+             checking (opt-in via `\"timings\": true`; nondeterministic, zero \
+             for units restored from a previous invocation).\n\n```text\n",
+        );
+        out.push_str(&format!(
+            "{:<60} {:>12} {:>12} {:>14}\n",
+            "unit", "step-ms", "oracle-ms", "oracle-rounds"
+        ));
+        for (unit, result) in units {
+            out.push_str(&format!(
+                "{:<60} {:>12.1} {:>12.1} {:>14}\n",
+                unit.id(),
+                result.timings.step_ns as f64 / 1e6,
+                result.timings.oracle_ns as f64 / 1e6,
+                result.timings.oracle_rounds
+            ));
+        }
+        out.push_str("```\n");
     }
     out
 }
@@ -2720,6 +3075,7 @@ mod tests {
             total_steps: 96,
             recovery_rounds: vec![3, 9],
             unrecovered: 0,
+            timings: StepTimings::default(),
         };
         let text = result.to_json().render();
         let back = UnitResult::from_json(&JsonValue::parse(&text).unwrap()).unwrap();
@@ -2733,6 +3089,7 @@ mod tests {
             total_steps: 10,
             recovery_rounds: vec![],
             unrecovered: 2,
+            timings: StepTimings::default(),
         };
         let text = failed.to_json().render();
         assert_eq!(

@@ -94,6 +94,52 @@ pub fn tissue_pattern_legitimate(
     sa_protocols::mis::MisChecker::check_membership(graph, &in_set).is_empty()
 }
 
+/// Per-node decomposition of [`tissue_pattern_legitimate`]: node `v` is ok iff
+/// it is a decided host and its decision is locally consistent — `In` cells
+/// have no `In` neighbor (independence), `Out` cells have one (maximality).
+///
+/// `tissue_pattern_legitimate(g, c) ⟺ ∀v. tissue_node_ok(g, c, v)`: any
+/// mid-reset or undecided cell fails its own check, and once every cell is a
+/// decided host the conjunction is exactly
+/// [`sa_protocols::mis::MisChecker::check_membership`] (independence is
+/// symmetric per edge, maximality is per non-`In` node). This is what lets the
+/// sweep's tissue units use the incremental legitimacy tracker.
+pub fn tissue_node_ok(
+    graph: &Graph,
+    config: &[SyncState<RestartState<MisState>>],
+    v: usize,
+) -> bool {
+    let decision_of = |u: usize| match &config[u].current {
+        RestartState::Restart(_) => None,
+        RestartState::Host(h) => Some(h.decision),
+    };
+    match decision_of(v) {
+        None | Some(Decision::Undecided) => false,
+        Some(Decision::In) => graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| decision_of(u) != Some(Decision::In)),
+        Some(Decision::Out) => graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| decision_of(u) == Some(Decision::In)),
+    }
+}
+
+/// [`tissue_node_ok`] on a uniform configuration (every cell in `state`):
+/// exact verdict for the tracker's uniform fast path. Undecided or mid-reset
+/// is never legitimate; all-`In` is legitimate only on edge-free graphs
+/// (independence); all-`Out` never is (maximality needs an `In` neighbor).
+pub fn tissue_uniform_ok(graph: &Graph, state: &SyncState<RestartState<MisState>>) -> bool {
+    match &state.current {
+        RestartState::Restart(_) => false,
+        RestartState::Host(h) => match h.decision {
+            Decision::Undecided | Decision::Out => false,
+            Decision::In => graph.edge_count() == 0,
+        },
+    }
+}
+
 /// Runs the asynchronous MIS algorithm as the lateral-inhibition mechanism of a
 /// [`TissueScenario`] under continuous environmental noise, and reports the fraction
 /// of time the tissue exhibits a correct spacing pattern.
@@ -156,6 +202,31 @@ pub fn colony_leader_legitimate(
         }
     }
     leaders == 1
+}
+
+/// Per-node decomposition of [`colony_leader_legitimate`] for the incremental
+/// tracker, as a *weighted* predicate: node `v` is ok iff it is not mid-reset,
+/// and its weight is its leader bit ([`colony_leader_weight`]). The colony is
+/// legitimate iff every node is ok **and** the weight sum equals 1 — exactly
+/// "no resets and one leader".
+pub fn colony_node_ok(
+    config: &[SyncState<RestartState<sa_protocols::le::LeState>>],
+    v: usize,
+) -> bool {
+    !matches!(&config[v].current, RestartState::Restart(_))
+}
+
+/// The leader bit of node `v` as an aggregate weight (1 for a host claiming
+/// leadership, 0 otherwise — including mid-reset cells, which have no claim).
+/// Depends only on `config[v]`, as the tracker's delta updates require.
+pub fn colony_leader_weight(
+    config: &[SyncState<RestartState<sa_protocols::le::LeState>>],
+    v: usize,
+) -> i64 {
+    match &config[v].current {
+        RestartState::Restart(_) => 0,
+        RestartState::Host(h) => i64::from(h.leader),
+    }
 }
 
 /// Runs the asynchronous LE algorithm as the quorum-sensing decision mechanism of a

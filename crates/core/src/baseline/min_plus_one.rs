@@ -67,6 +67,38 @@ pub fn min_plus_one_legitimate(graph: &Graph, config: &[u64]) -> bool {
         .all(|&(u, v)| config[u].abs_diff(config[v]) <= 1)
 }
 
+/// [`min_plus_one_legitimate`] as a named oracle that decomposes into per-node
+/// conditions (every incident edge within clock distance one), enabling the
+/// incremental [`sa_model::oracle::LegitimacyTracker`] fast path — the plain
+/// function, going through the closure blanket impl, always falls back to the
+/// full scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinPlusOneOracle;
+
+impl sa_model::algorithm::LegitimacyOracle<MinPlusOne> for MinPlusOneOracle {
+    fn is_legitimate(&self, graph: &Graph, config: &[u64]) -> bool {
+        min_plus_one_legitimate(graph, config)
+    }
+
+    fn as_local(&self) -> Option<&dyn sa_model::oracle::LocalPredicate<u64>> {
+        Some(self)
+    }
+}
+
+impl sa_model::oracle::LocalPredicate<u64> for MinPlusOneOracle {
+    fn node_ok(&self, graph: &Graph, config: &[u64], v: sa_model::graph::NodeId) -> bool {
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| config[u].abs_diff(config[v]) <= 1)
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, _state: &u64) -> Option<bool> {
+        // Uniform clocks: every edge difference is zero.
+        Some(true)
+    }
+}
+
 /// Task checker for the baseline: safety = neighboring clocks differ by at most one;
 /// liveness = over a window of `R` rounds every clock advances at least `R − diam(G)`
 /// times (same window criterion as for AlgAU).
@@ -88,7 +120,26 @@ impl MinPlusOneChecker {
     }
 }
 
+/// The snapshot condition is per-edge and symmetric, so it decomposes into
+/// per-node checks over incident edges: `check_snapshot.is_empty() ⟺ ∀v. node_ok(v)`.
+impl sa_model::oracle::LocalPredicate<u64> for MinPlusOneChecker {
+    fn node_ok(&self, graph: &Graph, config: &[u64], v: sa_model::graph::NodeId) -> bool {
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| config[u].abs_diff(config[v]) <= 1)
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, _state: &u64) -> Option<bool> {
+        Some(true)
+    }
+}
+
 impl TaskChecker<MinPlusOne> for MinPlusOneChecker {
+    fn snapshot_as_local(&self) -> Option<&dyn sa_model::oracle::LocalPredicate<u64>> {
+        Some(self)
+    }
+
     fn check_snapshot(&self, graph: &Graph, config: &[u64]) -> Vec<String> {
         graph
             .edges()

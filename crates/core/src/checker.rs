@@ -93,7 +93,35 @@ impl AuChecker {
     }
 }
 
+/// The snapshot condition is a conjunction of per-node conditions over closed
+/// neighborhoods — node faultiness plus (symmetric) cyclic safety on every
+/// incident edge — so it decomposes for incremental tracking:
+/// `check_snapshot(g, c).is_empty() ⟺ ∀v. node_ok(g, c, v)`.
+impl sa_model::oracle::LocalPredicate<Turn> for AuChecker {
+    fn node_ok(&self, graph: &Graph, config: &[Turn], v: sa_model::graph::NodeId) -> bool {
+        if config[v].is_faulty() {
+            return false;
+        }
+        let safety = self.safety();
+        let cv = self.algorithm.clock_of_level(config[v].level());
+        graph
+            .neighbors(v)
+            .iter()
+            .all(|&u| safety.safe(cv, self.algorithm.clock_of_level(config[u].level())))
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, state: &Turn) -> Option<bool> {
+        // Uniform field: every edge has clock distance zero (trivially safe),
+        // so the snapshot is clean iff the shared turn is an output state.
+        Some(!state.is_faulty())
+    }
+}
+
 impl TaskChecker<AlgAu> for AuChecker {
+    fn snapshot_as_local(&self) -> Option<&dyn sa_model::oracle::LocalPredicate<Turn>> {
+        Some(self)
+    }
+
     fn check_snapshot(&self, graph: &Graph, config: &[Turn]) -> Vec<String> {
         let mut violations = Vec::new();
         let safety = self.safety();

@@ -43,9 +43,22 @@ impl<'a> Predicates<'a> {
 
     /// Whether node `v` is *good*: protected and senses no faulty turn in `N⁺(v)`.
     pub fn node_good(&self, config: &[Turn], v: NodeId) -> bool {
-        self.node_protected(config, v)
-            && config[v].is_able()
-            && self.graph.neighbors(v).iter().all(|&u| config[u].is_able())
+        self.node_good_by(|u| config[u], v)
+    }
+
+    /// [`node_good`](Predicates::node_good) with the turns supplied by a
+    /// projection instead of a `&[Turn]` slice. This lets composite
+    /// configurations (e.g. the synchronizer's `SyncState`, which embeds a
+    /// turn per node) evaluate per-node goodness without materializing a
+    /// turn vector — the key to incremental legitimacy tracking for the
+    /// LE/MIS bundles.
+    pub fn node_good_by<F: Fn(NodeId) -> Turn>(&self, turn_of: F, v: NodeId) -> bool {
+        let own = turn_of(v);
+        own.is_able()
+            && self.graph.neighbors(v).iter().all(|&u| {
+                let t = turn_of(u);
+                t.is_able() && self.algorithm.levels().adjacent(own.level(), t.level())
+            })
     }
 
     /// Whether node `v` is *out-protected*: it senses no level at least two units
@@ -194,6 +207,27 @@ impl GoodGraphOracle {
 impl sa_model::algorithm::LegitimacyOracle<AlgAu> for GoodGraphOracle {
     fn is_legitimate(&self, graph: &Graph, config: &[Turn]) -> bool {
         Predicates::new(&self.algorithm, graph).graph_good(config)
+    }
+
+    fn as_local(&self) -> Option<&dyn sa_model::oracle::LocalPredicate<Turn>> {
+        Some(self)
+    }
+}
+
+/// Goodness is a conjunction of per-node conditions over closed
+/// neighborhoods (Lemma 2.10's edge/neighborhood structure), so the oracle
+/// decomposes for incremental tracking: `graph_good ⟺ ∀v. node_good(v)`.
+impl sa_model::oracle::LocalPredicate<Turn> for GoodGraphOracle {
+    fn node_ok(&self, graph: &Graph, config: &[Turn], v: sa_model::graph::NodeId) -> bool {
+        Predicates::new(&self.algorithm, graph).node_good(config, v)
+    }
+
+    fn uniform_ok(&self, _graph: &Graph, state: &Turn) -> Option<bool> {
+        // Uniform field: every edge has level distance zero, so goodness
+        // reduces to the shared turn being able (and self-adjacent, which
+        // holds for every level — kept explicit rather than assumed).
+        let level = state.level();
+        Some(state.is_able() && self.algorithm.levels().adjacent(level, level))
     }
 }
 

@@ -206,6 +206,22 @@ pub trait StateSpace: Algorithm {
 pub trait LegitimacyOracle<A: Algorithm> {
     /// Returns `true` if the configuration is legitimate on `graph`.
     fn is_legitimate(&self, graph: &crate::graph::Graph, config: &[A::State]) -> bool;
+
+    /// The per-node decomposition of this predicate, when it has one (see
+    /// [`crate::oracle::LocalPredicate`]). Oracles that return `Some` get
+    /// incrementally tracked round checks in
+    /// [`run_until_legitimate`](crate::executor::Execution::run_until_legitimate)
+    /// — O(changed·deg) per step instead of O(n·deg) per round. The
+    /// decomposition must be *exactly* equivalent to [`is_legitimate`]:
+    /// `is_legitimate(g, c) ⟺ ∀v. node_ok(v) ∧ weight clause` (the
+    /// equivalence is pinned in CI via `SA_FORCE_FULL_ORACLE=1` legs).
+    /// Closure oracles and other non-decomposing predicates keep the
+    /// default `None` and run the full scan every round.
+    ///
+    /// [`is_legitimate`]: LegitimacyOracle::is_legitimate
+    fn as_local(&self) -> Option<&dyn crate::oracle::LocalPredicate<A::State>> {
+        None
+    }
 }
 
 impl<A: Algorithm, F> LegitimacyOracle<A> for F

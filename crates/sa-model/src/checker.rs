@@ -32,6 +32,47 @@ pub trait TaskChecker<A: Algorithm> {
     fn task_name(&self) -> &'static str {
         std::any::type_name::<Self>()
     }
+
+    /// The per-node decomposition of the *snapshot* check, when it has one:
+    /// `check_snapshot(g, c).is_empty() ⟺ ∀v. node_ok(v) ∧ weight clause`
+    /// (see [`crate::oracle::LocalPredicate`]). Verification windows then
+    /// track safety incrementally and only materialize violation messages on
+    /// rounds the tracker already knows are bad — O(changed·deg) per step on
+    /// clean windows instead of a full O(n·deg) scan per round. Checkers
+    /// whose snapshot check does not decompose keep the default `None`.
+    fn snapshot_as_local(&self) -> Option<&dyn crate::oracle::LocalPredicate<A::State>> {
+        None
+    }
+}
+
+/// Cap on the violation messages a measurement accumulates. Windows on
+/// million-node graphs can produce O(n) violations *per round*; everything
+/// past the cap is replaced by a single deterministic suppression marker so
+/// a long broken window cannot balloon memory (and, once capped, bad rounds
+/// stop materializing messages at all). The cap is part of the persisted
+/// results' format: it must stay deterministic across engines, schedulers
+/// and checkpoint/resume.
+pub const MAX_RECORDED_VIOLATIONS: usize = 64;
+
+/// Appends `message` to `violations` subject to [`MAX_RECORDED_VIOLATIONS`]:
+/// the `MAX+1`-th push records the suppression marker instead, and further
+/// pushes are dropped. Deterministic: the resulting vector is a pure
+/// function of the message sequence.
+pub fn push_violation(violations: &mut Vec<String>, message: String) {
+    use std::cmp::Ordering;
+    match violations.len().cmp(&MAX_RECORDED_VIOLATIONS) {
+        Ordering::Less => violations.push(message),
+        Ordering::Equal => violations.push(format!(
+            "further violations suppressed after the first {MAX_RECORDED_VIOLATIONS}"
+        )),
+        Ordering::Greater => {}
+    }
+}
+
+/// Whether `violations` already carries the suppression marker — callers
+/// skip materializing further violation messages entirely once it does.
+pub fn violations_capped(violations: &[String]) -> bool {
+    violations.len() > MAX_RECORDED_VIOLATIONS
 }
 
 /// The result of measuring a stabilization run plus a post-stabilization verification
@@ -87,19 +128,52 @@ where
         // reset the output-change counters so the window only counts fresh changes
         exec.take_output_change_counts();
         let start_round = exec.rounds();
+        // Incremental safety tracking for the window: the tracker absorbs
+        // each step's changed-node list and the (usually clean) per-round
+        // check is O(1); the full check_snapshot scan only runs to
+        // materialize messages on rounds the tracker says are bad. Falls
+        // back to a scan every round for non-decomposing checkers or under
+        // SA_FORCE_FULL_ORACLE=1 — same verdicts, same messages.
+        let local = if crate::oracle::force_full_oracle() {
+            None
+        } else {
+            checker.snapshot_as_local()
+        };
+        let mut tracker = local
+            .as_ref()
+            .map(|_| crate::oracle::LegitimacyTracker::new(exec.graph()));
         while exec.rounds() < start_round + verify_rounds {
             let step = exec.step_with(scheduler);
+            if let (Some(local), Some(tracker)) = (local.as_ref(), tracker.as_mut()) {
+                tracker.note_step(
+                    *local,
+                    exec.graph(),
+                    exec.configuration(),
+                    exec.last_changed(),
+                    exec.last_step_uniform(),
+                );
+            }
             if step.round_completed {
-                let graph = exec.graph();
-                let snapshot_violations = checker.check_snapshot(graph, exec.configuration());
-                for v in snapshot_violations {
-                    violations.push(format!("round {}: {v}", exec.rounds()));
+                let round_clean = match (local.as_ref(), tracker.as_mut()) {
+                    (Some(local), Some(tracker)) => {
+                        tracker.is_legitimate(*local, exec.graph(), exec.configuration())
+                    }
+                    _ => false, // fallback: always materialize (the scan decides)
+                };
+                if !round_clean && !violations_capped(&violations) {
+                    let graph = exec.graph();
+                    let snapshot_violations = checker.check_snapshot(graph, exec.configuration());
+                    for v in snapshot_violations {
+                        push_violation(&mut violations, format!("round {}: {v}", exec.rounds()));
+                    }
                 }
             }
         }
         verification_rounds = exec.rounds() - start_round;
         let changes = exec.output_change_counts().to_vec();
-        violations.extend(checker.check_window(exec.graph(), &changes, verification_rounds));
+        for v in checker.check_window(exec.graph(), &changes, verification_rounds) {
+            push_violation(&mut violations, v);
+        }
     }
 
     StabilizationReport {
@@ -155,30 +229,82 @@ where
     let mut final_violations = Vec::new();
     let start_round = exec.rounds();
     let end_round = start_round + horizon_rounds;
+    // Incremental safety tracking, as in `measure_stabilization`: per-round
+    // cleanliness comes from the tracker when the checker decomposes, and
+    // the full scan only runs where messages are actually needed.
+    let local = if crate::oracle::force_full_oracle() {
+        None
+    } else {
+        checker.snapshot_as_local()
+    };
+    let mut tracker = local
+        .as_ref()
+        .map(|_| crate::oracle::LegitimacyTracker::new(exec.graph()));
     // check the initial configuration too
     {
-        let violations = checker.check_snapshot(exec.graph(), exec.configuration());
-        if violations.is_empty() && prev_output.is_some() {
+        let clean = match (local.as_ref(), tracker.as_mut()) {
+            (Some(local), Some(tracker)) => {
+                tracker.is_legitimate(*local, exec.graph(), exec.configuration())
+            }
+            _ => checker
+                .check_snapshot(exec.graph(), exec.configuration())
+                .is_empty(),
+        };
+        if clean && prev_output.is_some() {
             last_bad_round = None;
         }
     }
+    // The output vector is only recomputed on rounds where some node's
+    // output actually changed (the per-node counters already know): on a
+    // stabilized run the per-round cost is O(1) instead of an O(n)
+    // projection + comparison.
+    let mut seen_output_changes = exec.counters().total_output_changes();
     while exec.rounds() < end_round {
         let step = exec.step_with(scheduler);
+        if let (Some(local), Some(tracker)) = (local.as_ref(), tracker.as_mut()) {
+            tracker.note_step(
+                *local,
+                exec.graph(),
+                exec.configuration(),
+                exec.last_changed(),
+                exec.last_step_uniform(),
+            );
+        }
         if !step.round_completed {
             continue;
         }
         let round = exec.rounds();
-        let violations = checker.check_snapshot(exec.graph(), exec.configuration());
-        let output = exec.output_vector();
-        let changed = output != prev_output;
-        let undefined = output.is_none();
-        if !violations.is_empty() || changed || undefined {
+        let clean = match (local.as_ref(), tracker.as_mut()) {
+            (Some(local), Some(tracker)) => {
+                tracker.is_legitimate(*local, exec.graph(), exec.configuration())
+            }
+            _ => checker
+                .check_snapshot(exec.graph(), exec.configuration())
+                .is_empty(),
+        };
+        let total_output_changes = exec.counters().total_output_changes();
+        let (changed, undefined) = if total_output_changes == seen_output_changes {
+            // No output changed in any step since the last boundary, so the
+            // projected vector is bit-identical to the previous one.
+            (false, prev_output.is_none())
+        } else {
+            seen_output_changes = total_output_changes;
+            let output = exec.output_vector();
+            let changed = output != prev_output;
+            let undefined = output.is_none();
+            prev_output = output;
+            (changed, undefined)
+        };
+        if !clean || changed || undefined {
             last_bad_round = Some(round);
         }
         if round == end_round {
-            final_violations = violations;
+            final_violations = if clean {
+                Vec::new()
+            } else {
+                checker.check_snapshot(exec.graph(), exec.configuration())
+            };
         }
-        prev_output = output;
     }
     let clean_tail = match last_bad_round {
         None => horizon_rounds,

@@ -404,6 +404,15 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         }
     }
 
+    /// Whether the last executed step committed through the uniform bulk
+    /// fast path — every node moved to the *same* state, so the current
+    /// configuration is uniform. Incremental legitimacy trackers use this
+    /// to answer round checks from a single state instead of sweeping the
+    /// full changed list (see [`crate::oracle::LegitimacyTracker`]).
+    pub fn last_step_uniform(&self) -> bool {
+        self.all_changed
+    }
+
     /// Per-node activation counts since the start of the execution.
     pub fn activation_counts(&self) -> &[u64] {
         self.counters.activations()
@@ -928,6 +937,11 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         S: crate::scheduler::Scheduler + ?Sized,
         O: LegitimacyOracle<A>,
     {
+        if !crate::oracle::force_full_oracle() {
+            if let Some(local) = oracle.as_local() {
+                return self.run_until_legitimate_local(scheduler, local, max_rounds);
+            }
+        }
         if oracle.is_legitimate(self.graph, &self.config) {
             return StabilizationOutcome::Stabilized {
                 rounds: self.rounds,
@@ -938,6 +952,53 @@ impl<'a, A: Algorithm> Execution<'a, A> {
         while self.rounds < budget_end {
             let outcome = self.step_with(scheduler);
             if outcome.round_completed && oracle.is_legitimate(self.graph, &self.config) {
+                return StabilizationOutcome::Stabilized {
+                    rounds: self.rounds,
+                    steps: self.time,
+                };
+            }
+        }
+        StabilizationOutcome::Exhausted { rounds: max_rounds }
+    }
+
+    /// [`run_until_legitimate`](Execution::run_until_legitimate) for oracles
+    /// with a per-node decomposition: a [`crate::oracle::LegitimacyTracker`]
+    /// absorbs each step's changed-node list, so round-boundary checks cost
+    /// O(changed·deg) instead of a full O(n·deg) scan (O(1) once quiescent
+    /// or advancing uniformly). Verdicts are bit-identical to the full-scan
+    /// path (pinned by the `oracle_equivalence` tests and the
+    /// `SA_FORCE_FULL_ORACLE=1` CI legs).
+    fn run_until_legitimate_local<S>(
+        &mut self,
+        scheduler: &mut S,
+        local: &dyn crate::oracle::LocalPredicate<A::State>,
+        max_rounds: u64,
+    ) -> StabilizationOutcome
+    where
+        S: crate::scheduler::Scheduler + ?Sized,
+    {
+        let mut tracker = crate::oracle::LegitimacyTracker::new(self.graph);
+        if tracker.is_legitimate(local, self.graph, &self.config) {
+            return StabilizationOutcome::Stabilized {
+                rounds: self.rounds,
+                steps: self.time,
+            };
+        }
+        let budget_end = self.rounds + max_rounds;
+        while self.rounds < budget_end {
+            let outcome = self.step_with(scheduler);
+            tracker.note_step(
+                local,
+                self.graph,
+                &self.config,
+                if self.all_changed {
+                    &self.identity
+                } else {
+                    &self.last_changed
+                },
+                self.all_changed,
+            );
+            if outcome.round_completed && tracker.is_legitimate(local, self.graph, &self.config) {
                 return StabilizationOutcome::Stabilized {
                     rounds: self.rounds,
                     steps: self.time,

@@ -27,6 +27,8 @@
 //!   executions,
 //! * [`fault`] — transient fault injection (state corruption),
 //! * [`checker`] — task checkers and stabilization measurement,
+//! * [`oracle`] — incremental (frontier-driven) legitimacy tracking for
+//!   O(1)-per-round stabilization detection,
 //! * [`trace`] — execution traces for debugging and visualisation,
 //! * [`metrics`] — summary statistics helpers used by the experiment harness.
 //!
@@ -69,6 +71,7 @@ pub mod fault;
 pub mod graph;
 pub mod json;
 pub mod metrics;
+pub mod oracle;
 pub mod scheduler;
 pub mod signal;
 pub mod snapshot;
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::executor::{Execution, ExecutionBuilder, SignalMode, StepOutcome};
     pub use crate::fault::{FaultInjector, FaultPlan};
     pub use crate::graph::{Graph, NodeId};
+    pub use crate::oracle::{LegitimacyTracker, LocalPredicate};
     pub use crate::scheduler::{
         ActivationSet, AdversarialLaggardScheduler, CentralScheduler, RoundRobinScheduler,
         Scheduler, ScriptedScheduler, SynchronousScheduler, UniformRandomScheduler,

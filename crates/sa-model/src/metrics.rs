@@ -591,6 +591,55 @@ pub fn render_table(rows: &[ExperimentRow]) -> String {
     out
 }
 
+/// Wall-clock observability for one measurement run: time spent stepping the
+/// execution vs. time spent in legitimacy/safety checks, plus how many
+/// round-boundary checks ran. Collected by the sweep runner's phase machine
+/// and surfaced in EXPERIMENTS output when the spec opts in (`"timings":
+/// true`).
+///
+/// Equality is intentionally vacuous: timings are nondeterministic
+/// observability, not part of a result's identity, so two results that
+/// differ only here still compare equal (the checkpoint-resume bit-identity
+/// tests and CI byte-diffs rely on that).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Nanoseconds spent inside `step_with` (the step pipeline).
+    pub step_ns: u64,
+    /// Nanoseconds spent in legitimacy checks, safety-snapshot checks and
+    /// incremental-tracker maintenance.
+    pub oracle_ns: u64,
+    /// Number of round boundaries at which a legitimacy/safety check ran.
+    pub oracle_rounds: u64,
+}
+
+impl PartialEq for StepTimings {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for StepTimings {}
+
+impl StepTimings {
+    /// Serializes the timings as JSON.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "step_ns".to_string(),
+                JsonValue::Number(self.step_ns as f64),
+            ),
+            (
+                "oracle_ns".to_string(),
+                JsonValue::Number(self.oracle_ns as f64),
+            ),
+            (
+                "oracle_rounds".to_string(),
+                JsonValue::Number(self.oracle_rounds as f64),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
