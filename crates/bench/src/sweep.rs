@@ -40,13 +40,14 @@
 //! harshness-dependent fraction of the cells, each recovery measured in
 //! rounds and checkpointable mid-burst like any other unit.
 //!
-//! The `sa` CLI (`crates/sa-cli`) is a thin front-end over this module: it
-//! reads a spec file, fans the units out over
-//! [`sa_runtime::parallel::par_map_cancellable`], persists checkpoints and
-//! unit results under an output directory, and renders the aggregate to
-//! `EXPERIMENTS.json` + `EXPERIMENTS.md` ([`render_json`] /
-//! [`render_markdown`]). The in-tree experiments E1–E3 run on the same
-//! primitives ([`transition_table_rows`], [`state_space_rows`],
+//! Unit dispatch lives one layer up, in [`crate::jobs`]: a job scheduler
+//! with a priority queue, a worker budget and pluggable result sinks that
+//! persists checkpoints and unit results under an output directory and
+//! renders the aggregate to `EXPERIMENTS.json` + `EXPERIMENTS.md`
+//! ([`render_json`] / [`render_markdown`]). Both the batch `sa` CLI
+//! (`crates/sa-cli`) and the `sa serve` daemon are thin clients of that
+//! core. The in-tree experiments E1–E3 run on the same primitives
+//! ([`transition_table_rows`], [`state_space_rows`],
 //! [`run_stabilization_on_graph`]) so that the bench targets and the CLI
 //! cannot drift apart.
 
@@ -72,6 +73,7 @@ use sa_model::topology::Topology;
 use sa_protocols::le::LeState;
 use sa_protocols::mis::MisState;
 use sa_protocols::restart::RestartState;
+use sa_runtime::parallel::CancelToken;
 use sa_synchronizer::{async_le, async_mis, AsyncLe, AsyncMis, SyncState};
 use unison_core::baseline::min_plus_one::min_plus_one_legitimate;
 use unison_core::baseline::{MinPlusOne, MinPlusOneChecker, MinPlusOneOracle};
@@ -1145,6 +1147,13 @@ pub struct CheckpointPolicy<'a> {
     /// [`UnitOutcome::Interrupted`] with a checkpoint (simulates a kill; used
     /// by the CI smoke job and the round-trip tests).
     pub interrupt_after_steps: Option<u64>,
+    /// Cooperative cancellation: once the token fires, the unit stops at the
+    /// next step boundary exactly like `interrupt_after_steps` — the
+    /// checkpoint document goes to `sink` and the call returns
+    /// [`UnitOutcome::Interrupted`]. This is how the job scheduler
+    /// ([`crate::jobs`]) drains in-flight units on `shutdown`/`cancel`
+    /// without losing work: the persisted checkpoint resumes bit-identically.
+    pub cancel: Option<&'a CancelToken>,
 }
 
 /// Internal: the measurement phases of a sweep unit.
@@ -2138,29 +2147,32 @@ fn run_unit_generic<B: UnitAlgorithm>(
                 break;
             }
         }
-        // Simulated kill: stop between steps with a resumable checkpoint.
-        if let Some(allowance) = policy.interrupt_after_steps {
-            if steps_this_invocation >= allowance {
-                let doc = make_checkpoint(
-                    &exec,
-                    sched.as_ref(),
-                    &injector,
-                    phase,
-                    stab_rounds,
-                    stab_steps,
-                    &violations,
-                    verify_start_round,
-                    verification_rounds,
-                    bursts_injected,
-                    burst_start_round,
-                    &recovery_rounds,
-                    unrecovered,
-                )?;
-                if let Some(sink) = policy.sink {
-                    sink(&doc);
-                }
-                return Ok(UnitOutcome::Interrupted(doc));
+        // Simulated kill (step allowance) or cooperative cancellation: stop
+        // between steps with a resumable checkpoint.
+        let interrupted_by_allowance = policy
+            .interrupt_after_steps
+            .is_some_and(|allowance| steps_this_invocation >= allowance);
+        let interrupted_by_cancel = policy.cancel.is_some_and(CancelToken::is_cancelled);
+        if interrupted_by_allowance || interrupted_by_cancel {
+            let doc = make_checkpoint(
+                &exec,
+                sched.as_ref(),
+                &injector,
+                phase,
+                stab_rounds,
+                stab_steps,
+                &violations,
+                verify_start_round,
+                verification_rounds,
+                bursts_injected,
+                burst_start_round,
+                &recovery_rounds,
+                unrecovered,
+            )?;
+            if let Some(sink) = policy.sink {
+                sink(&doc);
             }
+            return Ok(UnitOutcome::Interrupted(doc));
         }
 
         let step_start = std::time::Instant::now();
@@ -3002,6 +3014,7 @@ mod tests {
                 sink: None,
                 resume_from: checkpoint.as_ref(),
                 interrupt_after_steps: Some(7),
+                cancel: None,
             };
             match run_unit(unit, &policy).unwrap() {
                 UnitOutcome::Complete(r) => {

@@ -1,17 +1,28 @@
-//! `sa` — the sweep runner CLI.
+//! `sa` — the sweep runner CLI and simulation service.
 //!
 //! Runs declarative experiment sweeps (see [`sa_bench::sweep`]) from JSON
 //! spec files, with checkpoint/resume, and persists the results to
 //! `EXPERIMENTS.json` (machine-readable, byte-deterministic) and
-//! `EXPERIMENTS.md` (human-readable). Also hosts the CI perf gate
-//! (`sa bench-diff`), which compares freshly measured micro-benchmark
-//! medians against the committed `BENCH_micro.json`.
+//! `EXPERIMENTS.md` (human-readable). Batch `sa run` and the long-lived
+//! `sa serve` daemon are two clients of the same job-scheduler core
+//! ([`sa_bench::jobs`]); the daemon's wire protocol is documented in
+//! `docs/serve-protocol.md`. Also hosts the CI perf gate (`sa bench-diff`),
+//! which compares freshly measured micro-benchmark medians against the
+//! committed `BENCH_micro.json`.
 //!
 //! ```text
 //! sa run    <spec.json> [--out DIR] [--checkpoint-every N]
 //!                       [--interrupt-after-steps N] [--interrupt-units K]
 //! sa resume <spec.json> [--out DIR] [--checkpoint-every N]
 //! sa check  <spec.json | spec-dir>
+//! sa serve    --socket PATH [--state-dir DIR] [--workers N] [--checkpoint-every N]
+//! sa submit   <spec.json> --socket PATH [--priority N] [--client NAME] [--watch]
+//! sa status   [job]       --socket PATH
+//! sa watch    <job>       --socket PATH
+//! sa cancel   <job>       --socket PATH
+//! sa drain    --socket PATH
+//! sa shutdown --socket PATH
+//! sa ping     --socket PATH [--wait SECS]
 //! sa bench-diff <committed.json> <fresh.json> [--max-regress FRAC]
 //!                                             [--max-regress-sharded FRAC]
 //! sa bench-record [--out BENCH_micro.json]
@@ -23,11 +34,19 @@
 //! `EXPERIMENTS.json` to an uninterrupted one (pinned by the CI
 //! `sweep-smoke` job and `tests/checkpoint_roundtrip.rs`).
 //! `--interrupt-after-steps` simulates a kill: affected units stop at a
-//! step boundary after writing their checkpoint.
+//! step boundary after writing their checkpoint. The same guarantee holds
+//! for the daemon, SIGKILL included (CI `serve-smoke`, `tests/serve.rs`).
+//!
+//! Runtime behavior is tuned through `SA_*` environment variables
+//! (`SA_ENGINE`, `SA_ENGINE_THREADS`, `SA_BENCH_THREADS`,
+//! `SA_FORCE_FULL_EVAL`, `SA_FORCE_CLOSURE_EVAL`, `SA_FORCE_FULL_ORACLE`) —
+//! see `docs/env-vars.md` for the authoritative table.
 
 mod benchdiff;
 mod benchrecord;
+mod client;
 mod runner;
+mod serve;
 
 use std::process::ExitCode;
 
@@ -35,9 +54,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
          [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
-         [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa bench-diff \
-         <committed.json> <fresh.json> [--max-regress FRAC] [--max-regress-sharded FRAC]\n  \
-         sa bench-record [--out BENCH_micro.json]"
+         [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa serve    --socket PATH \
+         [--state-dir DIR] [--workers N] [--checkpoint-every N]\n  sa submit   <spec.json> \
+         --socket PATH [--priority N] [--client NAME] [--watch]\n  sa status   [job]       \
+         --socket PATH\n  sa watch    <job>       --socket PATH\n  sa cancel   <job>       \
+         --socket PATH\n  sa drain    --socket PATH\n  sa shutdown --socket PATH\n  sa ping     \
+         --socket PATH [--wait SECS]\n  sa bench-diff <committed.json> <fresh.json> \
+         [--max-regress FRAC] [--max-regress-sharded FRAC]\n  sa bench-record \
+         [--out BENCH_micro.json]\n\nenvironment:\n  SA_ENGINE, SA_ENGINE_THREADS, \
+         SA_BENCH_THREADS, SA_FORCE_FULL_EVAL,\n  SA_FORCE_CLOSURE_EVAL, SA_FORCE_FULL_ORACLE \
+         — see docs/env-vars.md"
     );
     ExitCode::from(2)
 }
@@ -51,6 +77,14 @@ fn main() -> ExitCode {
         "run" => runner::run(&args[1..], false),
         "resume" => runner::run(&args[1..], true),
         "check" => runner::check(&args[1..]),
+        "serve" => serve::serve(&args[1..]),
+        "submit" => client::submit(&args[1..]),
+        "status" => client::status(&args[1..]),
+        "watch" => client::watch(&args[1..]),
+        "cancel" => client::cancel(&args[1..]),
+        "drain" => client::drain(&args[1..]),
+        "shutdown" => client::shutdown(&args[1..]),
+        "ping" => client::ping(&args[1..]),
         "bench-diff" => benchdiff::run(&args[1..]),
         "bench-record" => benchrecord::run(&args[1..]),
         "--help" | "-h" | "help" => return usage(),

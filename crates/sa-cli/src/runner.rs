@@ -1,4 +1,5 @@
-//! Sweep orchestration: fan-out, checkpoint persistence and report output.
+//! Batch sweep commands (`sa run` / `sa resume` / `sa check`) as thin
+//! clients of the shared job-scheduler core ([`sa_bench::jobs`]).
 //!
 //! Directory layout under the output directory (default
 //! `experiments/<spec-name>/`):
@@ -11,20 +12,15 @@
 //! state/<unit>.ckpt.bin     # ...binary form (spec checkpoint_format: "binary")
 //! ```
 //!
-//! All state files are written atomically (temp file + rename) so a kill
-//! mid-write can never leave a truncated checkpoint behind. The in-flight
-//! checkpoint encoding follows the spec's `checkpoint_format` field; resume
-//! sniffs the file's leading bytes, so a spec whose format changed between
-//! the kill and the resume still restores cleanly. Completed results and
-//! the aggregate `EXPERIMENTS.{json,md}` are always JSON text — only the
-//! (large, transient) in-flight state ever takes the binary path.
+//! All persistence (atomic writes, checkpoint-format sniffing on resume,
+//! the final report render) lives in the scheduler core; `sa serve` runs
+//! the same core long-lived behind a socket. A batch run is exactly one
+//! submitted job on a scheduler sized to [`thread_count`], waited to a
+//! terminal state.
 
-use sa_bench::sweep::{
-    aggregate_rows, render_json, render_markdown, run_instant_tasks, run_unit, CheckpointFormat,
-    CheckpointPolicy, SweepSpec, SweepUnit, UnitOutcome, UnitResult,
-};
-use sa_model::json::JsonValue;
-use sa_runtime::parallel::{par_map_cancellable, CancelToken};
+use sa_bench::jobs::{JobConfig, JobScheduler, JobState};
+use sa_bench::sweep::SweepSpec;
+use sa_runtime::parallel::thread_count;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -35,15 +31,15 @@ fn print_out(text: &str) {
     let _ = std::io::stdout().write_all(text.as_bytes());
 }
 
-struct Options {
-    spec_path: PathBuf,
-    out_dir: Option<PathBuf>,
-    checkpoint_every: u64,
-    interrupt_after_steps: Option<u64>,
-    interrupt_units: usize,
+pub(crate) struct Options {
+    pub(crate) spec_path: PathBuf,
+    pub(crate) out_dir: Option<PathBuf>,
+    pub(crate) checkpoint_every: u64,
+    pub(crate) interrupt_after_steps: Option<u64>,
+    pub(crate) interrupt_units: usize,
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+pub(crate) fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         spec_path: PathBuf::new(),
         out_dir: None,
@@ -90,58 +86,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-/// The other checkpoint encoding (resume fallback probing).
-fn other_format(format: CheckpointFormat) -> CheckpointFormat {
-    match format {
-        CheckpointFormat::Json => CheckpointFormat::Binary,
-        CheckpointFormat::Binary => CheckpointFormat::Json,
-    }
-}
-
-fn load_spec(path: &Path) -> Result<SweepSpec, String> {
+pub(crate) fn load_spec(path: &Path) -> Result<SweepSpec, String> {
     let text = fs::read_to_string(path)
         .map_err(|e| format!("cannot read spec {}: {e}", path.display()))?;
     SweepSpec::parse(&text)
-}
-
-/// Atomic write: temp file in the same directory, then rename.
-fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    write_atomic_bytes(path, contents.as_bytes())
-}
-
-/// Atomic write of raw bytes (the binary checkpoint path).
-fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), String> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
-}
-
-/// The in-flight checkpoint path for `unit_id` under `format`.
-fn ckpt_path_for(state_dir: &Path, unit_id: &str, format: CheckpointFormat) -> PathBuf {
-    let ext = match format {
-        CheckpointFormat::Json => "ckpt.json",
-        CheckpointFormat::Binary => "ckpt.bin",
-    };
-    state_dir.join(format!("{unit_id}.{ext}"))
-}
-
-/// Reads an in-flight checkpoint, sniffing the encoding from the leading
-/// bytes (`Ok(None)` if the file does not exist).
-fn read_checkpoint(path: &Path) -> Result<Option<JsonValue>, String> {
-    let bytes = match fs::read(path) {
-        Ok(bytes) => bytes,
-        Err(_) => return Ok(None),
-    };
-    let doc = if sa_model::binary::is_binary(&bytes) {
-        sa_model::binary::decode(&bytes)
-            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?
-    } else {
-        let text = String::from_utf8(bytes)
-            .map_err(|_| format!("corrupt checkpoint {}: not UTF-8", path.display()))?;
-        JsonValue::parse(&text)
-            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?
-    };
-    Ok(Some(doc))
 }
 
 /// Collects every `.json` spec under `dir`, recursively, in sorted order
@@ -210,183 +158,69 @@ pub fn check(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `sa run` / `sa resume`.
+/// `sa run` / `sa resume`: submit the spec as one job on a scheduler sized
+/// to the thread budget, wait for a terminal state, and report.
 pub fn run(args: &[String], resume: bool) -> Result<ExitCode, String> {
     let options = parse_options(args)?;
     let spec = load_spec(&options.spec_path)?;
+    let spec_name = spec.name.clone();
     let out_dir = options
         .out_dir
         .clone()
-        .unwrap_or_else(|| PathBuf::from("experiments").join(&spec.name));
-    let state_dir = out_dir.join("state");
-    if !resume && state_dir.exists() {
-        fs::remove_dir_all(&state_dir)
-            .map_err(|e| format!("cannot clear {}: {e}", state_dir.display()))?;
-    }
-    fs::create_dir_all(&state_dir)
-        .map_err(|e| format!("cannot create {}: {e}", state_dir.display()))?;
+        .unwrap_or_else(|| PathBuf::from("experiments").join(&spec_name));
 
-    let units = spec.execution_units();
-
-    // Per-unit inputs: previously completed result (resume) or in-flight
-    // checkpoint (resume), plus this invocation's interrupt allowance.
-    struct UnitJob {
-        unit: SweepUnit,
-        done: Option<UnitResult>,
-        checkpoint: Option<JsonValue>,
-        interrupt_after_steps: Option<u64>,
-    }
-    let mut jobs = Vec::with_capacity(units.len());
-    let mut interruptible_left = options.interrupt_units;
-    for unit in units {
-        let done_path = state_dir.join(format!("{}.done.json", unit.id()));
-        let mut done = None;
-        let mut checkpoint = None;
-        if resume {
-            if let Ok(text) = fs::read_to_string(&done_path) {
-                done = JsonValue::parse(&text)
-                    .ok()
-                    .as_ref()
-                    .and_then(UnitResult::from_json);
-                if done.is_none() {
-                    return Err(format!("corrupt unit result {}", done_path.display()));
-                }
-            } else {
-                // Prefer the spec's format, but accept a leftover checkpoint
-                // in the other encoding (format edited between kill/resume).
-                for format in [spec.checkpoint_format, other_format(spec.checkpoint_format)] {
-                    let path = ckpt_path_for(&state_dir, &unit.id(), format);
-                    if let Some(doc) = read_checkpoint(&path)? {
-                        checkpoint = Some(doc);
-                        break;
-                    }
-                }
-            }
-        }
-        let interrupt_after_steps = if done.is_none() && interruptible_left > 0 {
-            options.interrupt_after_steps
-        } else {
-            None
-        };
-        if done.is_none() && interrupt_after_steps.is_some() {
-            interruptible_left -= 1;
-        }
-        jobs.push(UnitJob {
-            unit,
-            done,
-            checkpoint,
-            interrupt_after_steps,
-        });
-    }
-
-    let already_done = jobs.iter().filter(|j| j.done.is_some()).count();
+    // Paused start: the submission (including the resume scan) completes and
+    // prints before any unit dispatches.
+    let scheduler = JobScheduler::new_paused(thread_count());
+    let mut config = JobConfig::new(spec, out_dir.clone());
+    config.checkpoint_every = options.checkpoint_every;
+    config.resume = resume;
+    config.interrupt_after_steps = options.interrupt_after_steps;
+    config.interrupt_units = options.interrupt_units;
+    let receipt = scheduler.submit(config)?;
     println!(
         "{} \"{}\": {} unit(s), {} already complete",
         if resume { "resuming" } else { "running" },
-        spec.name,
-        jobs.len(),
-        already_done
+        spec_name,
+        receipt.units,
+        receipt.resumed_done
     );
+    scheduler.start();
+    let status = scheduler.wait(&receipt.id).expect("submitted job exists");
 
-    // Fan the pending units out across threads; a unit-level error cancels
-    // the remaining queue (checkpoints keep what already ran resumable).
-    let cancel = CancelToken::new();
-    let outcomes = par_map_cancellable(&jobs, &cancel, |job| {
-        if let Some(done) = &job.done {
-            return Ok(UnitOutcome::Complete(done.clone()));
+    match status.state {
+        JobState::Failed => Err(status
+            .error
+            .unwrap_or_else(|| "job failed with no recorded error".to_string())),
+        JobState::Interrupted | JobState::Cancelled => {
+            println!(
+                "interrupted: {} unit(s) checkpointed, {} not started ({} complete); \
+                 run `sa resume {} --out {}` to continue",
+                status.units_interrupted,
+                status.units_not_started,
+                status.units_done,
+                options.spec_path.display(),
+                out_dir.display()
+            );
+            Ok(ExitCode::SUCCESS)
         }
-        let unit_id = job.unit.id();
-        let format = spec.checkpoint_format;
-        let ckpt_path = ckpt_path_for(&state_dir, &unit_id, format);
-        let sink = move |doc: &JsonValue| {
-            let written = match format {
-                CheckpointFormat::Json => write_atomic(&ckpt_path, &doc.render_pretty()),
-                CheckpointFormat::Binary => {
-                    write_atomic_bytes(&ckpt_path, &sa_model::binary::encode(doc))
-                }
-            };
-            if let Err(e) = written {
-                eprintln!("warning: {e}");
-            }
-        };
-        let policy = CheckpointPolicy {
-            every_steps: options.checkpoint_every,
-            sink: Some(&sink),
-            resume_from: job.checkpoint.as_ref(),
-            interrupt_after_steps: job.interrupt_after_steps,
-        };
-        let outcome = run_unit(&job.unit, &policy);
-        if outcome.is_err() {
-            cancel.cancel();
+        JobState::Finished => {
+            let md_path = out_dir.join("EXPERIMENTS.md");
+            let markdown = fs::read_to_string(&md_path)
+                .map_err(|e| format!("cannot read {}: {e}", md_path.display()))?;
+            println!(
+                "complete: {}/{} unit(s) clean; wrote {}/EXPERIMENTS.{{json,md}}",
+                status.units_clean,
+                status.units_done,
+                out_dir.display()
+            );
+            print_out(&markdown);
+            Ok(if status.units_clean == status.units_total {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
-        outcome
-    });
-
-    let mut completed: Vec<(SweepUnit, UnitResult)> = Vec::new();
-    let mut interrupted = 0usize;
-    let mut skipped = 0usize;
-    let mut first_error: Option<String> = None;
-    for (job, outcome) in jobs.iter().zip(outcomes) {
-        match outcome {
-            None => skipped += 1,
-            Some(Err(e)) => {
-                // Keep draining: units that *did* complete in parallel must
-                // still persist their results so a later resume skips them.
-                if first_error.is_none() {
-                    first_error = Some(format!("unit {}: {e}", job.unit.id()));
-                }
-            }
-            Some(Ok(UnitOutcome::Interrupted(_))) => {
-                // checkpoint already persisted through the sink
-                interrupted += 1;
-            }
-            Some(Ok(UnitOutcome::Complete(result))) => {
-                if job.done.is_none() {
-                    let done_path = state_dir.join(format!("{}.done.json", job.unit.id()));
-                    write_atomic(&done_path, &result.to_json().render_pretty())?;
-                    for format in [CheckpointFormat::Json, CheckpointFormat::Binary] {
-                        let _ = fs::remove_file(ckpt_path_for(&state_dir, &job.unit.id(), format));
-                    }
-                }
-                completed.push((job.unit.clone(), result));
-            }
-        }
+        JobState::Queued | JobState::Running => unreachable!("wait() returns terminal states"),
     }
-    if let Some(error) = first_error {
-        return Err(error);
-    }
-
-    if interrupted + skipped > 0 {
-        println!(
-            "interrupted: {} unit(s) checkpointed, {} not started ({} complete); \
-             run `sa resume {} --out {}` to continue",
-            interrupted,
-            skipped,
-            completed.len(),
-            options.spec_path.display(),
-            out_dir.display()
-        );
-        return Ok(ExitCode::SUCCESS);
-    }
-
-    // Every unit finished: aggregate and persist the reports.
-    let (mut rows, artifacts) = run_instant_tasks(&spec);
-    rows.extend(aggregate_rows(&completed));
-    let json = render_json(&spec, &rows, &completed).render_pretty();
-    let markdown = render_markdown(&spec, &rows, &artifacts, &completed);
-    write_atomic(&out_dir.join("EXPERIMENTS.json"), &json)?;
-    write_atomic(&out_dir.join("EXPERIMENTS.md"), &markdown)?;
-    let clean = completed.iter().filter(|(_, r)| r.is_clean()).count();
-    println!(
-        "complete: {}/{} unit(s) clean; wrote {}/EXPERIMENTS.{{json,md}}",
-        clean,
-        completed.len(),
-        out_dir.display()
-    );
-    print_out(&markdown);
-    Ok(if clean == completed.len() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
 }

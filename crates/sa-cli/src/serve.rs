@@ -1,0 +1,511 @@
+//! `sa serve` — the simulation-as-a-service daemon.
+//!
+//! A long-lived process wrapping one [`JobScheduler`] behind a Unix domain
+//! socket. Clients speak newline-delimited JSON (one request object per
+//! line, one response object per line; `watch` switches the connection to
+//! an NDJSON event stream). The full wire protocol — every request,
+//! response and event with field-by-field schemas — is documented in
+//! `docs/serve-protocol.md`; `protocol_version` is 1.
+//!
+//! State layout under `--state-dir` (default `serve-state/`):
+//!
+//! ```text
+//! jobs/<id>/job.json     # submitted config (inline spec) — written first
+//! jobs/<id>/out/         # the job's output directory (state/ + reports)
+//! jobs/<id>/result.json  # final status, written only on terminal states
+//!                        # that must NOT resume (finished/failed/cancelled)
+//! ```
+//!
+//! Crash recovery is a restart-time rescan: every `job.json` without a
+//! `result.json` is resubmitted with its original id and priority and
+//! `resume = true`, so in-flight units continue from their checkpoints and
+//! a SIGKILLed-and-restarted daemon produces byte-identical
+//! `EXPERIMENTS.json`/`.md` (pinned by `tests/serve.rs` and the CI
+//! `serve-smoke` job).
+
+use sa_bench::jobs::{
+    write_atomic, JobConfig, JobEvent, JobId, JobScheduler, JobState, JobStatus, ResultSink,
+};
+use sa_model::json::JsonValue;
+use sa_runtime::parallel::{thread_count, CancelToken};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The protocol generation this daemon speaks (sent in the `hello` line;
+/// see `docs/serve-protocol.md` for the compatibility rules).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+struct ServeOptions {
+    socket: PathBuf,
+    state_dir: PathBuf,
+    workers: usize,
+    checkpoint_every: u64,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
+    let mut options = ServeOptions {
+        socket: PathBuf::new(),
+        state_dir: PathBuf::from("serve-state"),
+        workers: thread_count(),
+        checkpoint_every: 1000,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--socket" => options.socket = PathBuf::from(flag_value("--socket")?),
+            "--state-dir" => options.state_dir = PathBuf::from(flag_value("--state-dir")?),
+            "--workers" => {
+                options.workers = flag_value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be an integer".to_string())?;
+            }
+            "--checkpoint-every" => {
+                options.checkpoint_every = flag_value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every must be an integer".to_string())?;
+            }
+            other => return Err(format!("unknown argument \"{other}\"")),
+        }
+    }
+    if options.socket.as_os_str().is_empty() {
+        return Err("sa serve needs --socket <path>".to_string());
+    }
+    Ok(options)
+}
+
+/// Everything the connection handlers share.
+struct Daemon {
+    scheduler: JobScheduler,
+    state_dir: PathBuf,
+    checkpoint_every: u64,
+    /// Terminal statuses of jobs from previous daemon lives (restored from
+    /// `result.json`); `status`/`watch` fall back to these.
+    archive: Mutex<BTreeMap<JobId, JobStatus>>,
+    /// The daemon's own id counter (ids must stay unique across restarts,
+    /// which the scheduler alone cannot know about).
+    next_id: Mutex<u64>,
+    /// Fires on the `shutdown` op; the accept loop exits.
+    stop: CancelToken,
+}
+
+/// Archives terminal statuses to `jobs/<id>/result.json` — except
+/// interrupted ones, which must stay resumable on the next daemon start.
+struct ArchiveSink {
+    jobs_dir: PathBuf,
+}
+
+impl ResultSink for ArchiveSink {
+    fn event(&self, event: &JobEvent) {
+        let JobEvent::JobFinished { job, status } = event else {
+            return;
+        };
+        if status.state == JobState::Interrupted {
+            return;
+        }
+        let path = self.jobs_dir.join(job).join("result.json");
+        if let Err(e) = write_atomic(&path, &status.to_json().render_pretty()) {
+            eprintln!("sa serve: warning: {e}");
+        }
+    }
+}
+
+fn jobs_dir(state_dir: &Path) -> PathBuf {
+    state_dir.join("jobs")
+}
+
+/// Serializes a job's submission so a restarted daemon can resubmit it.
+fn job_json(id: &str, spec_text: &JsonValue, priority: i64, client: &str) -> JsonValue {
+    JsonValue::object([
+        ("job".to_string(), JsonValue::String(id.to_string())),
+        ("spec".to_string(), spec_text.clone()),
+        ("priority".to_string(), JsonValue::Number(priority as f64)),
+        ("client".to_string(), JsonValue::String(client.to_string())),
+    ])
+}
+
+/// Restart-time rescan: archive finished jobs, resubmit unfinished ones
+/// (resume mode, original id/priority/client). Returns the next fresh id
+/// counter value.
+fn recover_jobs(
+    scheduler: &JobScheduler,
+    jobs_root: &Path,
+    archive: &Mutex<BTreeMap<JobId, JobStatus>>,
+    checkpoint_every: u64,
+) -> Result<u64, String> {
+    let mut next_id = 1u64;
+    let mut entries: Vec<PathBuf> = match fs::read_dir(jobs_root) {
+        Ok(entries) => entries.filter_map(|e| e.ok().map(|e| e.path())).collect(),
+        Err(_) => return Ok(next_id),
+    };
+    entries.sort();
+    for dir in entries {
+        let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        if let Some(n) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+            next_id = next_id.max(n + 1);
+        }
+        let job_path = dir.join("job.json");
+        let Ok(text) = fs::read_to_string(&job_path) else {
+            continue;
+        };
+        let doc = JsonValue::parse(&text)
+            .map_err(|e| format!("corrupt job record {}: {e}", job_path.display()))?;
+        if let Ok(result_text) = fs::read_to_string(dir.join("result.json")) {
+            let status = JsonValue::parse(&result_text)
+                .ok()
+                .as_ref()
+                .and_then(JobStatus::from_json)
+                .ok_or_else(|| format!("corrupt result record in {}", dir.display()))?;
+            archive.lock().unwrap().insert(id, status);
+            continue;
+        }
+        let spec_doc = doc
+            .get("spec")
+            .ok_or_else(|| format!("{}: missing \"spec\"", job_path.display()))?;
+        let spec = sa_bench::sweep::SweepSpec::from_json(spec_doc)
+            .map_err(|e| format!("{}: {e}", job_path.display()))?;
+        let mut config = JobConfig::new(spec, dir.join("out"));
+        config.id = Some(id.clone());
+        config.priority = doc.get("priority").and_then(|p| p.as_f64()).unwrap_or(0.0) as i64;
+        config.client = doc
+            .get("client")
+            .and_then(|c| c.as_str())
+            .unwrap_or("recovered")
+            .to_string();
+        config.checkpoint_every = checkpoint_every;
+        config.resume = true;
+        let receipt = scheduler.submit(config)?;
+        eprintln!(
+            "sa serve: recovered job {} ({} unit(s), {} already complete)",
+            receipt.id, receipt.units, receipt.resumed_done
+        );
+    }
+    Ok(next_id)
+}
+
+fn ok_response(extra: Vec<(String, JsonValue)>) -> JsonValue {
+    let mut fields = vec![("ok".to_string(), JsonValue::Bool(true))];
+    fields.extend(extra);
+    JsonValue::object(fields)
+}
+
+fn err_response(message: &str) -> JsonValue {
+    JsonValue::object([
+        ("ok".to_string(), JsonValue::Bool(false)),
+        ("error".to_string(), JsonValue::String(message.to_string())),
+    ])
+}
+
+fn send_line(stream: &mut UnixStream, value: &JsonValue) -> std::io::Result<()> {
+    stream.write_all(value.render().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Handles the `submit` op: resolve the spec (inline or by path), persist
+/// the job record, then hand the job to the scheduler.
+fn handle_submit(daemon: &Arc<Daemon>, request: &JsonValue) -> Result<JsonValue, String> {
+    let spec_doc = match (request.get("spec"), request.get("spec_path")) {
+        (Some(doc), _) => doc.clone(),
+        (None, Some(path)) => {
+            // The document (not the path) goes into the job record, so the
+            // job survives the file being edited or deleted later.
+            let path = path.as_str().ok_or("\"spec_path\" must be a string")?;
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read spec {path}: {e}"))?;
+            JsonValue::parse(&text).map_err(|e| format!("spec {path} is not valid JSON: {e}"))?
+        }
+        (None, None) => return Err("submit needs \"spec\" (inline) or \"spec_path\"".to_string()),
+    };
+    let spec = sa_bench::sweep::SweepSpec::from_json(&spec_doc)?;
+    let priority = request
+        .get("priority")
+        .and_then(|p| p.as_f64())
+        .unwrap_or(0.0) as i64;
+    let client = request
+        .get("client")
+        .and_then(|c| c.as_str())
+        .unwrap_or("anonymous")
+        .to_string();
+
+    let id = {
+        let mut next = daemon.next_id.lock().unwrap();
+        let id = format!("j{}", *next);
+        *next += 1;
+        id
+    };
+    let job_dir = jobs_dir(&daemon.state_dir).join(&id);
+    fs::create_dir_all(&job_dir)
+        .map_err(|e| format!("cannot create {}: {e}", job_dir.display()))?;
+    // The record goes to disk before the scheduler sees the job: a crash
+    // after this point recovers the job, a crash before it loses only the
+    // un-acknowledged submit.
+    write_atomic(
+        &job_dir.join("job.json"),
+        &job_json(&id, &spec_doc, priority, &client).render_pretty(),
+    )?;
+
+    let mut config = JobConfig::new(spec, job_dir.join("out"));
+    config.id = Some(id);
+    config.priority = priority;
+    config.client = client;
+    config.checkpoint_every = daemon.checkpoint_every;
+    let receipt = daemon.scheduler.submit(config)?;
+    Ok(ok_response(vec![
+        ("job".to_string(), JsonValue::String(receipt.id)),
+        ("units".to_string(), JsonValue::Number(receipt.units as f64)),
+        (
+            "resumed_done".to_string(),
+            JsonValue::Number(receipt.resumed_done as f64),
+        ),
+    ]))
+}
+
+/// Handles `watch`: acknowledge, then stream the job's events as NDJSON
+/// until `job-finished`, after which the connection returns to request
+/// mode.
+fn handle_watch(daemon: &Arc<Daemon>, stream: &mut UnixStream, job: &str) -> std::io::Result<bool> {
+    let Some(rx) = daemon.scheduler.watch(job) else {
+        // Jobs archived by a previous daemon life still answer a watch with
+        // their (terminal) outcome.
+        let archived = daemon.archive.lock().unwrap().get(job).cloned();
+        return match archived {
+            Some(status) => {
+                send_line(stream, &ok_response(vec![]))?;
+                let event = JobEvent::JobFinished {
+                    job: job.to_string(),
+                    status,
+                };
+                send_line(stream, &event.to_json())?;
+                Ok(true)
+            }
+            None => {
+                send_line(stream, &err_response(&format!("unknown job \"{job}\"")))?;
+                Ok(true)
+            }
+        };
+    };
+    send_line(stream, &ok_response(vec![]))?;
+    while let Ok(event) = rx.recv() {
+        let last = matches!(event, JobEvent::JobFinished { .. });
+        send_line(stream, &event.to_json())?;
+        if last {
+            break;
+        }
+    }
+    Ok(true)
+}
+
+/// Dispatches one request line; returns `false` when the connection should
+/// close (daemon shutting down).
+fn handle_request(
+    daemon: &Arc<Daemon>,
+    stream: &mut UnixStream,
+    line: &str,
+) -> std::io::Result<bool> {
+    let request = match JsonValue::parse(line) {
+        Ok(request) => request,
+        Err(e) => {
+            send_line(stream, &err_response(&format!("bad request: {e}")))?;
+            return Ok(true);
+        }
+    };
+    let op = request.get("op").and_then(|o| o.as_str()).unwrap_or("");
+    let job_field = || -> Result<&str, String> {
+        request
+            .get("job")
+            .and_then(|j| j.as_str())
+            .ok_or_else(|| format!("{op} needs a \"job\" field"))
+    };
+    match op {
+        "ping" => send_line(
+            stream,
+            &ok_response(vec![(
+                "protocol_version".to_string(),
+                JsonValue::Number(PROTOCOL_VERSION as f64),
+            )]),
+        )?,
+        "submit" => {
+            let response = handle_submit(daemon, &request).unwrap_or_else(|e| err_response(&e));
+            send_line(stream, &response)?;
+        }
+        "status" => {
+            let response = match request.get("job").and_then(|j| j.as_str()) {
+                Some(job) => {
+                    let status = daemon
+                        .scheduler
+                        .status(job)
+                        .or_else(|| daemon.archive.lock().unwrap().get(job).cloned());
+                    match status {
+                        Some(status) => ok_response(vec![("status".to_string(), status.to_json())]),
+                        None => err_response(&format!("unknown job \"{job}\"")),
+                    }
+                }
+                None => {
+                    let mut all: BTreeMap<JobId, JobStatus> =
+                        daemon.archive.lock().unwrap().clone();
+                    for status in daemon.scheduler.statuses() {
+                        all.insert(status.id.clone(), status);
+                    }
+                    ok_response(vec![(
+                        "jobs".to_string(),
+                        JsonValue::Array(all.values().map(JobStatus::to_json).collect()),
+                    )])
+                }
+            };
+            send_line(stream, &response)?;
+        }
+        "cancel" => {
+            let response = match job_field() {
+                Ok(job) => {
+                    if daemon.scheduler.cancel(job)
+                        || daemon.archive.lock().unwrap().contains_key(job)
+                    {
+                        ok_response(vec![])
+                    } else {
+                        err_response(&format!("unknown job \"{job}\""))
+                    }
+                }
+                Err(e) => err_response(&e),
+            };
+            send_line(stream, &response)?;
+        }
+        "watch" => {
+            let response = match job_field() {
+                Ok(job) => return handle_watch(daemon, stream, job),
+                Err(e) => err_response(&e),
+            };
+            send_line(stream, &response)?;
+        }
+        "drain" => {
+            // Blocks this connection until every accepted job is terminal;
+            // other connections keep being served meanwhile.
+            daemon.scheduler.drain();
+            send_line(stream, &ok_response(vec![]))?;
+        }
+        "shutdown" => {
+            send_line(stream, &ok_response(vec![]))?;
+            daemon.stop.cancel();
+            return Ok(false);
+        }
+        other => send_line(stream, &err_response(&format!("unknown op \"{other}\"")))?,
+    }
+    Ok(true)
+}
+
+fn handle_connection(daemon: Arc<Daemon>, stream: UnixStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let hello = JsonValue::object([
+        ("event".to_string(), JsonValue::String("hello".to_string())),
+        (
+            "protocol_version".to_string(),
+            JsonValue::Number(PROTOCOL_VERSION as f64),
+        ),
+    ]);
+    if send_line(&mut writer, &hello).is_err() {
+        return;
+    }
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match handle_request(&daemon, &mut writer, line.trim()) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+    }
+}
+
+/// `sa serve`: bind the socket, recover persisted jobs, serve requests
+/// until a `shutdown` op (in-flight units checkpoint and the jobs stay
+/// resumable by the next daemon start).
+pub fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let options = parse_serve_options(args)?;
+    let jobs_root = jobs_dir(&options.state_dir);
+    fs::create_dir_all(&jobs_root)
+        .map_err(|e| format!("cannot create {}: {e}", jobs_root.display()))?;
+
+    // Paused start: recovery resubmits every unfinished job before any unit
+    // dispatches, so recovered work keeps its original priority order.
+    let scheduler = JobScheduler::new_paused(options.workers.max(1));
+    scheduler.add_sink(Arc::new(ArchiveSink {
+        jobs_dir: jobs_root.clone(),
+    }));
+    let archive = Mutex::new(BTreeMap::new());
+    let next_id = recover_jobs(&scheduler, &jobs_root, &archive, options.checkpoint_every)?;
+    scheduler.start();
+
+    // A previous daemon's socket file would make bind fail; a stale one
+    // (crash) is safe to replace because connects to it already error.
+    if options.socket.exists() {
+        fs::remove_file(&options.socket).map_err(|e| {
+            format!(
+                "cannot remove stale socket {}: {e}",
+                options.socket.display()
+            )
+        })?;
+    }
+    let listener = UnixListener::bind(&options.socket)
+        .map_err(|e| format!("cannot bind {}: {e}", options.socket.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure socket: {e}"))?;
+
+    let daemon = Arc::new(Daemon {
+        scheduler,
+        state_dir: options.state_dir.clone(),
+        checkpoint_every: options.checkpoint_every,
+        archive,
+        next_id: Mutex::new(next_id),
+        stop: CancelToken::new(),
+    });
+    println!(
+        "sa serve: listening on {} (state: {}, protocol v{PROTOCOL_VERSION})",
+        options.socket.display(),
+        options.state_dir.display()
+    );
+
+    let mut handlers = Vec::new();
+    while !daemon.stop.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let daemon = Arc::clone(&daemon);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(daemon, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("accept failed: {e}")),
+        }
+    }
+
+    // Shutdown: checkpoint in-flight units, join workers, then let the
+    // connection handlers drain their final event streams.
+    daemon.scheduler.shutdown();
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    let _ = fs::remove_file(&options.socket);
+    println!("sa serve: shut down (jobs remain resumable on restart)");
+    Ok(ExitCode::SUCCESS)
+}

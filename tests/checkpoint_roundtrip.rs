@@ -376,6 +376,7 @@ fn sweep_unit_kill_resume_matches_uninterrupted() {
                 sink: None,
                 resume_from: checkpoint.as_ref(),
                 interrupt_after_steps: Some(11),
+                cancel: None,
             };
             match complete(unit, &policy) {
                 UnitOutcome::Complete(r) => break r,
@@ -467,6 +468,7 @@ fn sweep_unit_kill_resume_through_binary_codec_matches_json() {
                 sink: None,
                 resume_from: checkpoint.as_ref(),
                 interrupt_after_steps: Some(9),
+                cancel: None,
             };
             match complete(unit, &policy) {
                 UnitOutcome::Complete(r) => break (r, kills),
@@ -545,6 +547,7 @@ fn binary_checkpoints_are_an_order_of_magnitude_smaller() {
         sink: None,
         resume_from: None,
         interrupt_after_steps: Some(25),
+        cancel: None,
     };
     let doc = match sa_bench::sweep::run_unit(&units[0], &policy).expect("unit runs") {
         UnitOutcome::Interrupted(doc) => doc,
@@ -625,6 +628,7 @@ fn multi_algorithm_and_scenario_units_kill_resume_match_uninterrupted() {
                 sink: None,
                 resume_from: checkpoint.as_ref(),
                 interrupt_after_steps: Some(7),
+                cancel: None,
             };
             match complete(unit, &policy) {
                 UnitOutcome::Complete(r) => break r,

@@ -538,6 +538,7 @@ fn sweep_windows_with_midwindow_faults_survive_kill_resume() {
                 sink: None,
                 resume_from: checkpoint.as_ref(),
                 interrupt_after_steps: Some(13),
+                cancel: None,
             };
             match sa_bench::sweep::run_unit(unit, &policy).expect("unit runs") {
                 UnitOutcome::Complete(r) => break r,
@@ -623,6 +624,7 @@ fn sweep_window_violation_cap_is_deterministic_across_resume() {
             sink: None,
             resume_from: checkpoint.as_ref(),
             interrupt_after_steps: Some(17),
+            cancel: None,
         };
         match sa_bench::sweep::run_unit(&units[0], &policy).expect("unit runs") {
             UnitOutcome::Complete(r) => break r,

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs link checker: fails on dead *relative* links in the repo's markdown
+# (README, docs/, ROADMAP, and friends). External http(s)/mailto links and
+# pure #anchors are skipped — this guards the file tree, not the internet.
+#
+# Usage: tools/check-links.sh [file.md ...]   (defaults to the committed set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+    files=(README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md)
+fi
+
+failures=0
+for file in "${files[@]}"; do
+    [ -f "$file" ] || { echo "MISSING FILE: $file"; failures=$((failures + 1)); continue; }
+    dir=$(dirname "$file")
+    # Extract inline markdown link targets: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path=${target%%#*}            # strip any anchor
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "DEAD LINK: $file -> $target"
+            failures=$((failures + 1))
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//' | sed -E 's/ ".*"$//')
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "check-links: $failures dead link(s)"
+    exit 1
+fi
+echo "check-links: all relative links resolve"
