@@ -36,6 +36,7 @@ pub mod jobs;
 pub mod protocol_experiments;
 pub mod report;
 pub mod sweep;
+pub mod verify;
 
 pub use report::{print_experiment, ExperimentReport};
 

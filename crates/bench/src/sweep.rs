@@ -83,25 +83,29 @@ use unison_core::{AlgAu, AuChecker, GoodGraphOracle, Predicates, Turn};
 /// (the CLI prints them verbatim).
 pub type SpecError = String;
 
-fn field<'v>(value: &'v JsonValue, key: &str, ctx: &str) -> Result<&'v JsonValue, SpecError> {
+pub(crate) fn field<'v>(
+    value: &'v JsonValue,
+    key: &str,
+    ctx: &str,
+) -> Result<&'v JsonValue, SpecError> {
     value
         .get(key)
         .ok_or_else(|| format!("{ctx}: missing field \"{key}\""))
 }
 
-fn usize_field(value: &JsonValue, key: &str, ctx: &str) -> Result<usize, SpecError> {
+pub(crate) fn usize_field(value: &JsonValue, key: &str, ctx: &str) -> Result<usize, SpecError> {
     field(value, key, ctx)?
         .as_usize()
         .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a non-negative integer"))
 }
 
-fn f64_field(value: &JsonValue, key: &str, ctx: &str) -> Result<f64, SpecError> {
+pub(crate) fn f64_field(value: &JsonValue, key: &str, ctx: &str) -> Result<f64, SpecError> {
     field(value, key, ctx)?
         .as_f64()
         .ok_or_else(|| format!("{ctx}: field \"{key}\" must be a number"))
 }
 
-fn u64_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<Option<u64>, SpecError> {
+pub(crate) fn u64_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<Option<u64>, SpecError> {
     match value.get(key) {
         None | Some(JsonValue::Null) => Ok(None),
         Some(v) => u64_from_json(v)
@@ -112,7 +116,7 @@ fn u64_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<Option<u64>, SpecE
 
 /// An optional boolean field, defaulting to `false` — but a present
 /// non-boolean value is an error, not a silent `false`.
-fn bool_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<bool, SpecError> {
+pub(crate) fn bool_opt(value: &JsonValue, key: &str, ctx: &str) -> Result<bool, SpecError> {
     match value.get(key) {
         None | Some(JsonValue::Null) => Ok(false),
         Some(JsonValue::Bool(b)) => Ok(*b),
@@ -203,6 +207,11 @@ pub enum SweepTask {
     /// with the recovery rounds of each burst measured. Expands into
     /// checkpointable [`SweepUnit`]s.
     Scenario(ScenarioTask),
+    /// Exhaustive model checking: enumerate the full (or fault-reachable)
+    /// global configuration space of tiny algorithm × topology instances
+    /// and certify closure + convergence, emitting counterexample traces
+    /// on violation (the `sa verify` subcommand; see [`crate::verify`]).
+    Verify(crate::verify::VerifyTask),
 }
 
 impl SweepTask {
@@ -213,6 +222,7 @@ impl SweepTask {
             SweepTask::StateSpace { id, .. } => id,
             SweepTask::Stabilization(t) => &t.id,
             SweepTask::Scenario(t) => &t.id,
+            SweepTask::Verify(t) => &t.id,
         }
     }
 }
@@ -617,7 +627,7 @@ impl EngineSpec {
     }
 }
 
-fn topology_from_json(value: &JsonValue, ctx: &str) -> Result<Topology, SpecError> {
+pub(crate) fn topology_from_json(value: &JsonValue, ctx: &str) -> Result<Topology, SpecError> {
     let kind = field(value, "kind", ctx)?
         .as_str()
         .ok_or_else(|| format!("{ctx}: topology \"kind\" must be a string"))?;
@@ -844,6 +854,11 @@ impl SweepSpec {
                         verify_rounds: u64_opt(task, "verify_rounds", &ctx)?,
                     }));
                 }
+                Some("verify") => {
+                    tasks.push(SweepTask::Verify(crate::verify::VerifyTask::from_json(
+                        task, id, &ctx,
+                    )?));
+                }
                 Some(other) => return Err(format!("{ctx}: unknown task kind \"{other}\"")),
                 None => return Err(format!("{ctx}: \"kind\" must be a string")),
             }
@@ -923,7 +938,9 @@ impl SweepSpec {
                         }
                     }
                 }
-                SweepTask::TransitionTable { .. } | SweepTask::StateSpace { .. } => {}
+                SweepTask::TransitionTable { .. }
+                | SweepTask::StateSpace { .. }
+                | SweepTask::Verify(_) => {}
             }
         }
         units
@@ -2668,7 +2685,7 @@ pub fn run_instant_tasks(spec: &SweepSpec) -> (Vec<ExperimentRow>, Vec<(String, 
             } => {
                 rows.extend(state_space_rows(id, diameter_bounds, *include_derived));
             }
-            SweepTask::Stabilization(_) | SweepTask::Scenario(_) => {}
+            SweepTask::Stabilization(_) | SweepTask::Scenario(_) | SweepTask::Verify(_) => {}
         }
     }
     (rows, artifacts)

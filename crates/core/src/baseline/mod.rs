@@ -10,4 +10,6 @@ pub mod min_plus_one;
 pub mod reset_attempt;
 
 pub use min_plus_one::{MinPlusOne, MinPlusOneChecker, MinPlusOneOracle};
-pub use reset_attempt::{livelock_configuration, livelock_schedule, ResetAttempt, ResetTurn};
+pub use reset_attempt::{
+    livelock_configuration, livelock_schedule, reset_attempt_legitimate, ResetAttempt, ResetTurn,
+};

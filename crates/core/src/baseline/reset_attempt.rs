@@ -16,7 +16,7 @@
 
 use rand::RngCore;
 use sa_model::algorithm::{Algorithm, StateSpace};
-use sa_model::graph::NodeId;
+use sa_model::graph::{Graph, NodeId};
 use sa_model::signal::Signal;
 
 /// A state of the reset-based attempt: a main-component turn `0 ≤ ℓ ≤ cD` or a reset
@@ -156,6 +156,32 @@ impl StateSpace for ResetAttempt {
         states.extend((0..self.period).map(ResetTurn::Reset));
         states
     }
+}
+
+/// The asynchronous-unison legitimate set the Appendix-A design aims for:
+/// every node holds a main-component (clock) turn and the turns across every
+/// edge differ by at most one modulo the period.
+///
+/// This set is closed under (ST1)-(ST3): with every edge mod-adjacent, (ST2)
+/// never fires (each sensed turn is the node's own, its predecessor or its
+/// successor), and an (ST1) advance keeps every edge mod-adjacent — a node
+/// only advances when its whole neighborhood is in `{l, l+1}`, so after the
+/// step each edge still spans at most one tick. What the design *fails* is
+/// convergence: `sa verify` exhibits fair schedules (reset waves chasing
+/// their own tail, the paper's Figure 2) that avoid this set forever.
+pub fn reset_attempt_legitimate(alg: &ResetAttempt, graph: &Graph, config: &[ResetTurn]) -> bool {
+    let period = alg.period();
+    let mut turns = Vec::with_capacity(config.len());
+    for state in config {
+        match state {
+            ResetTurn::Turn(l) => turns.push(*l),
+            ResetTurn::Reset(_) => return false,
+        }
+    }
+    graph.edges().iter().all(|&(u, v)| {
+        let d = (turns[u] + period - turns[v]) % period;
+        d == 0 || d == 1 || d == period - 1
+    })
 }
 
 /// The live-lock configuration of Figure 2 on the 8-node ring `v_0 − v_1 − … − v_7 −

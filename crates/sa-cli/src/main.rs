@@ -15,6 +15,7 @@
 //!                       [--interrupt-after-steps N] [--interrupt-units K]
 //! sa resume <spec.json> [--out DIR] [--checkpoint-every N]
 //! sa check  <spec.json | spec-dir>
+//! sa verify <spec.json> [--out DIR]
 //! sa serve    --socket PATH [--state-dir DIR] [--workers N] [--checkpoint-every N]
 //! sa submit   <spec.json> --socket PATH [--priority N] [--client NAME] [--watch]
 //! sa status   [job]       --socket PATH
@@ -39,7 +40,8 @@
 //!
 //! Runtime behavior is tuned through `SA_*` environment variables
 //! (`SA_ENGINE`, `SA_ENGINE_THREADS`, `SA_BENCH_THREADS`,
-//! `SA_FORCE_FULL_EVAL`, `SA_FORCE_CLOSURE_EVAL`, `SA_FORCE_FULL_ORACLE`) —
+//! `SA_FORCE_FULL_EVAL`, `SA_FORCE_CLOSURE_EVAL`, `SA_FORCE_FULL_ORACLE`,
+//! `SA_VERIFY_MAX_STATES`) —
 //! see `docs/env-vars.md` for the authoritative table.
 
 mod benchdiff;
@@ -47,6 +49,7 @@ mod benchrecord;
 mod client;
 mod runner;
 mod serve;
+mod verify;
 
 use std::process::ExitCode;
 
@@ -54,7 +57,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
          [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
-         [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa serve    --socket PATH \
+         [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa verify <spec.json> [--out DIR]\n  sa serve    --socket PATH \
          [--state-dir DIR] [--workers N] [--checkpoint-every N]\n  sa submit   <spec.json> \
          --socket PATH [--priority N] [--client NAME] [--watch]\n  sa status   [job]       \
          --socket PATH\n  sa watch    <job>       --socket PATH\n  sa cancel   <job>       \
@@ -62,8 +65,8 @@ fn usage() -> ExitCode {
          --socket PATH [--wait SECS]\n  sa bench-diff <committed.json> <fresh.json> \
          [--max-regress FRAC] [--max-regress-sharded FRAC]\n  sa bench-record \
          [--out BENCH_micro.json]\n\nenvironment:\n  SA_ENGINE, SA_ENGINE_THREADS, \
-         SA_BENCH_THREADS, SA_FORCE_FULL_EVAL,\n  SA_FORCE_CLOSURE_EVAL, SA_FORCE_FULL_ORACLE \
-         — see docs/env-vars.md"
+         SA_BENCH_THREADS, SA_FORCE_FULL_EVAL,\n  SA_FORCE_CLOSURE_EVAL, SA_FORCE_FULL_ORACLE, \
+         SA_VERIFY_MAX_STATES — see docs/env-vars.md"
     );
     ExitCode::from(2)
 }
@@ -77,6 +80,7 @@ fn main() -> ExitCode {
         "run" => runner::run(&args[1..], false),
         "resume" => runner::run(&args[1..], true),
         "check" => runner::check(&args[1..]),
+        "verify" => verify::verify(&args[1..]),
         "serve" => serve::serve(&args[1..]),
         "submit" => client::submit(&args[1..]),
         "status" => client::status(&args[1..]),

@@ -133,15 +133,20 @@ pub fn check(args: &[String]) -> Result<ExitCode, String> {
         match load_spec(path) {
             Ok(spec) => {
                 let units = spec.execution_units();
+                let vunits = sa_bench::verify::verify_units(&spec);
                 let mut out = format!(
-                    "{}: spec \"{}\": {} task(s), {} execution unit(s)\n",
+                    "{}: spec \"{}\": {} task(s), {} execution unit(s), {} verify unit(s)\n",
                     path.display(),
                     spec.name,
                     spec.tasks.len(),
-                    units.len()
+                    units.len(),
+                    vunits.len()
                 );
                 for unit in &units {
                     out.push_str(&format!("  {}\n", unit.id()));
+                }
+                for unit in &vunits {
+                    out.push_str(&format!("  {} (verify)\n", unit.id()));
                 }
                 print_out(&out);
             }

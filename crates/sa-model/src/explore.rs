@@ -1,0 +1,1292 @@
+//! Exhaustive exploration of the global configuration space.
+//!
+//! Random sweeping samples trajectories; this module *enumerates* them. For a
+//! finite algorithm on a tiny graph it builds the full transition system of
+//! global configurations under the distributed (any-subset) daemon and
+//! certifies the two properties that define self-stabilization:
+//!
+//! - **closure** — every successor of a legitimate configuration is
+//!   legitimate, and
+//! - **convergence** — every explored configuration reaches the legitimate
+//!   set under every *fair* schedule (each node activated infinitely often).
+//!
+//! On violation it reconstructs a minimal counterexample trace — a start
+//! configuration plus an activation-set sequence — that the caller can render
+//! and replay through [`Execution`](crate::executor::Execution).
+//!
+//! # State encoding
+//!
+//! Local states are interned into a dynamically grown *palette* (a
+//! `state → u16` index, the same palette-index idea the binary checkpoint
+//! codec uses); a global configuration is a `[u16; n]` vector of palette
+//! indices, stored once in an id-indexed arena and once as the key of the
+//! visited-set hash map. Budgeting is therefore simple: memory is
+//! `O(max_states · n)` with a small constant (~2 boxed index vectors plus
+//! parent metadata per configuration).
+//!
+//! # Activation reduction
+//!
+//! Under the distributed daemon a step may activate *any* non-empty node
+//! subset, so naively each configuration has `2^n - 1` successors. Two facts
+//! cut this down without losing any reachable configuration or any
+//! scheduler freedom (the soundness argument is spelled out in
+//! `docs/verify.md`):
+//!
+//! 1. **Targets are per-node functions of the configuration.** A node's next
+//!    state depends only on its own state and its signal — never on which
+//!    other nodes are activated in the same step (simultaneous commit). So
+//!    one transition evaluation per node per configuration yields every
+//!    successor: the step under activation set `A` is "replace `C[v]` by
+//!    `target(v)` for `v ∈ A`".
+//! 2. **Activating a disabled node is a no-op.** If `target(v) = C[v]` the
+//!    step reaches the same configuration whether or not `v ∈ A`. The
+//!    successor *set* is therefore `{ C[A ← targets] : ∅ ≠ A ⊆ enabled(C) }`
+//!    — `2^k - 1` configurations for `k = |enabled(C)|`, plus an implicit
+//!    self-loop (activating only disabled nodes) at every configuration.
+//!
+//! Randomized algorithms get one target *set* per node, sampled from a fixed
+//! number of seeded coin tapes ([`ExploreConfig::coin_tapes`]); the explored
+//! relation is then an under-approximation and the report is downgraded
+//! accordingly (see [`ConvergenceMode`]).
+//!
+//! # Fair-schedule convergence
+//!
+//! Because of the implicit self-loops, "some infinite execution avoids the
+//! legitimate set L" is not enough for a violation — the execution must be
+//! *fair*. A fair execution that avoids `L` forever eventually stays inside
+//! one strongly connected component `K` of the real-edge transition graph
+//! restricted to the illegitimate states, and every node must either change
+//! state on some intra-`K` edge it is activated in, or be *disabled*
+//! somewhere in `K` (a no-op activation satisfies fairness for it). So `K`
+//! supports a fair trap iff
+//!
+//! ```text
+//! cover(K) = ⋃ {A : intra-K edge with activation A} ∪ {v : v disabled at some s ∈ K}
+//! ```
+//!
+//! equals the full node set. Singleton components have no real self-loops
+//! (an activated enabled node always changes the configuration), so their
+//! cover is full exactly when the configuration is *silent* (no node
+//! enabled) — a deadlock. Terminal components of the illegitimate subgraph
+//! always have full cover (every enabled node contributes its singleton
+//! activation edge), so this check subsumes backward reachability from `L`.
+//! The check runs with Tarjan's algorithm, iteratively, regenerating
+//! successors on the fly — the edge set is never stored.
+
+use crate::algorithm::Algorithm;
+use crate::graph::{Graph, NodeId};
+use crate::signal::Signal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default configuration budget when neither the spec nor
+/// `SA_VERIFY_MAX_STATES` says otherwise.
+pub const DEFAULT_MAX_STATES: usize = 2_000_000;
+
+/// Default number of seeded coin tapes used to sample the targets of a
+/// randomized transition.
+pub const DEFAULT_COIN_TAPES: u32 = 4;
+
+/// Hard cap on the node count: activation sets are `u64` bitmasks.
+pub const MAX_NODES: usize = 64;
+
+/// Per-configuration successor cap (`Π (|targets_v| + 1) - 1` over enabled
+/// nodes). Exceeding it aborts the run rather than silently truncating.
+const MAX_BRANCH: u64 = 1 << 16;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// A configuration-normalization hook: quotients the explored space by a
+/// transition-equivariant, oracle-invariant symmetry (see [`explore`]).
+pub type NormalizeFn<'a, S> = &'a dyn Fn(&mut Vec<S>);
+
+/// The enabled nodes of a configuration with their distinct non-identity
+/// target states.
+pub type EnabledTargets<S> = Vec<(NodeId, Vec<S>)>;
+
+/// Knobs for an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Abort with [`ExploreError::BudgetExceeded`] when the visited set
+    /// would grow past this many configurations.
+    pub max_states: usize,
+    /// Coin tapes per (configuration, node) for randomized transitions;
+    /// ignored for deterministic algorithms.
+    pub coin_tapes: u32,
+    /// Invoke the progress callback every this many expanded
+    /// configurations; `0` disables progress reporting.
+    pub progress_stride: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: DEFAULT_MAX_STATES,
+            coin_tapes: DEFAULT_COIN_TAPES,
+            progress_stride: 0,
+        }
+    }
+}
+
+/// Progress snapshot handed to the callback during exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreProgress {
+    /// Configurations interned so far.
+    pub states: usize,
+    /// Configurations fully expanded so far.
+    pub expanded: usize,
+    /// Transition edges generated so far.
+    pub edges: u64,
+}
+
+/// Why an exploration aborted without a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The graph has more than [`MAX_NODES`] nodes.
+    TooManyNodes {
+        /// Node count of the offending graph.
+        nodes: usize,
+    },
+    /// More than `u16::MAX` distinct local states appeared.
+    PaletteOverflow,
+    /// The visited set outgrew [`ExploreConfig::max_states`].
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// One configuration had more successors than the internal branch cap.
+    BranchingOverflow {
+        /// The successor count that tripped the cap.
+        successors: u64,
+    },
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::TooManyNodes { nodes } => write!(
+                f,
+                "graph has {nodes} nodes; exhaustive verification supports at most {MAX_NODES}"
+            ),
+            ExploreError::PaletteOverflow => {
+                write!(f, "more than 65535 distinct local states appeared")
+            }
+            ExploreError::BudgetExceeded { budget } => write!(
+                f,
+                "configuration budget exceeded: more than {budget} reachable configurations \
+                 (raise the spec's max_states or SA_VERIFY_MAX_STATES, or shrink the instance)"
+            ),
+            ExploreError::BranchingOverflow { successors } => write!(
+                f,
+                "a single configuration has {successors} successors, over the {MAX_BRANCH} cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+/// How the convergence verdict was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceMode {
+    /// Deterministic transition relation: full fair-schedule analysis
+    /// (trap-SCC search). `Certified` means *every* fair schedule converges.
+    FairSchedule,
+    /// Randomized transition relation sampled from coin tapes: only
+    /// *possible convergence* is checked (every explored configuration has
+    /// some path to the legitimate set). A scheduler cannot force coin
+    /// outcomes, so fair-cycle analysis would over-report violations; see
+    /// `docs/verify.md` for what this mode does and does not certify.
+    ReachabilityOnly,
+}
+
+/// Aggregate counts of an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Seed configurations (after normalization / deduplication).
+    pub seeds: usize,
+    /// Transition edges generated (with multiplicity per source).
+    pub edges: u64,
+    /// Configurations satisfying the legitimacy oracle.
+    pub legitimate: usize,
+    /// Distinct local states interned into the palette.
+    pub palette: usize,
+    /// Whether the transition relation was exact (deterministic algorithm).
+    pub deterministic: bool,
+}
+
+/// One step of a counterexample trace: the activation set and the
+/// configuration it leads to (as palette indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Activated nodes, ascending.
+    pub activation: Vec<NodeId>,
+    /// The configuration after the step, as palette indices.
+    pub config: Vec<u16>,
+}
+
+/// What a counterexample trace demonstrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A legitimate configuration with an illegitimate successor.
+    Closure,
+    /// A fair cycle through illegitimate configurations.
+    FairCycle,
+    /// A silent illegitimate configuration (no node enabled).
+    Deadlock,
+    /// A configuration with no path to the legitimate set
+    /// (reachability-only mode).
+    LegitimacyUnreachable,
+}
+
+impl ViolationKind {
+    /// Stable lowercase label used in JSON renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::Closure => "closure",
+            ViolationKind::FairCycle => "fair-cycle",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::LegitimacyUnreachable => "legitimacy-unreachable",
+        }
+    }
+}
+
+/// How a node's fairness obligation is discharged inside the cycle of a
+/// [`ViolationKind::FairCycle`] trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// The node is activated (and changes state) at the witnessing step.
+    StateChange,
+    /// The node is disabled at the witnessing step's source configuration,
+    /// so its activation there is a configuration no-op.
+    NoOp,
+}
+
+/// Per-node fairness certificate entry for a fair-cycle trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FairnessWitness {
+    /// The node whose fairness obligation this discharges.
+    pub node: NodeId,
+    /// Index into [`Trace::steps`] of the witnessing step.
+    pub step: usize,
+    /// How the obligation is discharged.
+    pub kind: WitnessKind,
+}
+
+/// A minimal counterexample: a start configuration plus an activation-set
+/// sequence. Configurations are palette indices into
+/// [`ExploreReport::palette`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// What the trace demonstrates.
+    pub kind: ViolationKind,
+    /// The start configuration, as palette indices.
+    pub start: Vec<u16>,
+    /// The steps, in order.
+    pub steps: Vec<TraceStep>,
+    /// For [`ViolationKind::FairCycle`]: index into `steps` where the cycle
+    /// begins. `steps[cycle_start..]` leads from the cycle entry
+    /// configuration back to itself; repeating it forever is a fair
+    /// schedule that never reaches the legitimate set.
+    pub cycle_start: Option<usize>,
+    /// For [`ViolationKind::FairCycle`]: one witness per node proving the
+    /// cycle is fair.
+    pub fairness: Vec<FairnessWitness>,
+    /// Human-oriented one-line description.
+    pub note: String,
+}
+
+/// Verdict for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyResult {
+    /// The property holds over the explored relation.
+    Certified,
+    /// The property fails; the trace demonstrates it.
+    Violated(Box<Trace>),
+}
+
+impl PropertyResult {
+    /// `true` when the property holds.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, PropertyResult::Certified)
+    }
+
+    /// The counterexample trace, if any.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            PropertyResult::Certified => None,
+            PropertyResult::Violated(t) => Some(t),
+        }
+    }
+}
+
+/// The full result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport<S> {
+    /// Aggregate counts.
+    pub stats: ExploreStats,
+    /// The interned local-state palette, in discovery order. Trace
+    /// configurations index into this.
+    pub palette: Vec<S>,
+    /// Closure verdict.
+    pub closure: PropertyResult,
+    /// Convergence verdict.
+    pub convergence: PropertyResult,
+    /// How the convergence verdict was computed.
+    pub convergence_mode: ConvergenceMode,
+}
+
+impl<S: Clone> ExploreReport<S> {
+    /// Decodes a palette-index configuration back to states.
+    pub fn decode(&self, config: &[u16]) -> Vec<S> {
+        config
+            .iter()
+            .map(|&i| self.palette[i as usize].clone())
+            .collect()
+    }
+
+    /// `true` when both properties are certified.
+    pub fn certified(&self) -> bool {
+        self.closure.is_certified() && self.convergence.is_certified()
+    }
+}
+
+/// Explores the configuration space reachable from `seeds` and certifies
+/// closure and convergence with respect to `oracle`.
+///
+/// `normalize` quotients the space by a transition-equivariant,
+/// oracle-invariant symmetry (e.g. min-plus-one's global clock shift); every
+/// interned configuration is normalized first. Pass `None` for algorithms
+/// with finite state palettes.
+///
+/// The `progress` callback fires every [`ExploreConfig::progress_stride`]
+/// expanded configurations (never, when the stride is `0`).
+pub fn explore<A: Algorithm>(
+    alg: &A,
+    graph: &Graph,
+    seeds: &mut dyn Iterator<Item = Vec<A::State>>,
+    oracle: &dyn Fn(&Graph, &[A::State]) -> bool,
+    normalize: Option<NormalizeFn<'_, A::State>>,
+    config: &ExploreConfig,
+    progress: &mut dyn FnMut(ExploreProgress),
+) -> Result<ExploreReport<A::State>, ExploreError> {
+    let n = graph.node_count();
+    if n > MAX_NODES {
+        return Err(ExploreError::TooManyNodes { nodes: n });
+    }
+    let mut space = Space {
+        alg,
+        graph,
+        oracle,
+        normalize,
+        deterministic: alg.transition_is_deterministic(),
+        coin_tapes: config.coin_tapes.max(1),
+        max_states: config.max_states,
+        n,
+        full_mask: full_mask(n),
+        palette: Vec::new(),
+        palette_index: HashMap::new(),
+        configs: Vec::new(),
+        config_index: HashMap::new(),
+        legit: Vec::new(),
+        parent: Vec::new(),
+        parent_act: Vec::new(),
+        edges: 0,
+    };
+
+    let mut seed_count = 0usize;
+    for seed in seeds {
+        debug_assert_eq!(seed.len(), n, "seed configuration has wrong length");
+        let (_, fresh) = space.intern(seed)?;
+        if fresh {
+            seed_count += 1;
+        }
+    }
+
+    // Breadth-first closure of the seed set: processing ids in discovery
+    // order *is* the FIFO order, so parent chains are shortest-path (in
+    // steps) from some seed.
+    let mut closure_violation: Option<(u32, u64, u32)> = None;
+    let mut expanded = 0usize;
+    let mut i = 0u32;
+    while (i as usize) < space.configs.len() {
+        let cfg = space.decode(i);
+        let targets = space.enabled_targets(&cfg)?;
+        let src_legit = space.legit[i as usize];
+        space.for_each_successor(&cfg, &targets, |space, act, succ_cfg| {
+            space.edges += 1;
+            let (id, fresh) = space.intern(succ_cfg)?;
+            if fresh {
+                space.parent[id as usize] = i;
+                space.parent_act[id as usize] = act;
+            }
+            if src_legit && !space.legit[id as usize] && closure_violation.is_none() {
+                closure_violation = Some((i, act, id));
+            }
+            Ok(())
+        })?;
+        expanded += 1;
+        if config.progress_stride != 0 && expanded.is_multiple_of(config.progress_stride) {
+            progress(ExploreProgress {
+                states: space.configs.len(),
+                expanded,
+                edges: space.edges,
+            });
+        }
+        i += 1;
+    }
+
+    let legitimate = space.legit.iter().filter(|&&l| l).count();
+    let closure = match closure_violation {
+        None => PropertyResult::Certified,
+        Some((src, act, succ)) => {
+            PropertyResult::Violated(Box::new(space.closure_trace(src, act, succ)))
+        }
+    };
+    let (convergence, convergence_mode) = if space.deterministic {
+        (space.fair_convergence()?, ConvergenceMode::FairSchedule)
+    } else {
+        (
+            space.reachability_convergence()?,
+            ConvergenceMode::ReachabilityOnly,
+        )
+    };
+
+    Ok(ExploreReport {
+        stats: ExploreStats {
+            states: space.configs.len(),
+            seeds: seed_count,
+            edges: space.edges,
+            legitimate,
+            palette: space.palette.len(),
+            deterministic: space.deterministic,
+        },
+        palette: space.palette,
+        closure,
+        convergence,
+        convergence_mode,
+    })
+}
+
+fn full_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+fn mask_nodes(mask: u64) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut bits = mask;
+    while bits != 0 {
+        out.push(bits.trailing_zeros() as NodeId);
+        bits &= bits - 1;
+    }
+    out
+}
+
+struct Space<'a, A: Algorithm> {
+    alg: &'a A,
+    graph: &'a Graph,
+    oracle: &'a dyn Fn(&Graph, &[A::State]) -> bool,
+    normalize: Option<NormalizeFn<'a, A::State>>,
+    deterministic: bool,
+    coin_tapes: u32,
+    max_states: usize,
+    n: usize,
+    full_mask: u64,
+    palette: Vec<A::State>,
+    palette_index: HashMap<A::State, u16>,
+    configs: Vec<Box<[u16]>>,
+    config_index: HashMap<Box<[u16]>, u32>,
+    legit: Vec<bool>,
+    parent: Vec<u32>,
+    parent_act: Vec<u64>,
+    edges: u64,
+}
+
+impl<A: Algorithm> Space<'_, A> {
+    fn intern_state(&mut self, s: &A::State) -> Result<u16, ExploreError> {
+        if let Some(&i) = self.palette_index.get(s) {
+            return Ok(i);
+        }
+        if self.palette.len() > u16::MAX as usize {
+            return Err(ExploreError::PaletteOverflow);
+        }
+        let i = self.palette.len() as u16;
+        self.palette.push(s.clone());
+        self.palette_index.insert(s.clone(), i);
+        Ok(i)
+    }
+
+    /// Normalizes, interns and (for fresh configurations) classifies a
+    /// configuration; returns `(id, freshly_interned)`.
+    fn intern(&mut self, mut cfg: Vec<A::State>) -> Result<(u32, bool), ExploreError> {
+        if let Some(norm) = self.normalize {
+            norm(&mut cfg);
+        }
+        let mut key = Vec::with_capacity(self.n);
+        for s in &cfg {
+            key.push(self.intern_state(s)?);
+        }
+        let key = key.into_boxed_slice();
+        if let Some(&id) = self.config_index.get(&key) {
+            return Ok((id, false));
+        }
+        if self.configs.len() >= self.max_states {
+            return Err(ExploreError::BudgetExceeded {
+                budget: self.max_states,
+            });
+        }
+        let id = self.configs.len() as u32;
+        self.configs.push(key.clone());
+        self.config_index.insert(key, id);
+        self.legit.push((self.oracle)(self.graph, &cfg));
+        self.parent.push(NO_PARENT);
+        self.parent_act.push(0);
+        Ok((id, true))
+    }
+
+    /// Looks up an already-interned configuration (BFS invariant: every
+    /// successor of a visited configuration is visited).
+    fn lookup(&self, mut cfg: Vec<A::State>) -> u32 {
+        if let Some(norm) = self.normalize {
+            norm(&mut cfg);
+        }
+        let key: Box<[u16]> = cfg.iter().map(|s| self.palette_index[s]).collect();
+        self.config_index[&key]
+    }
+
+    fn decode(&self, id: u32) -> Vec<A::State> {
+        self.configs[id as usize]
+            .iter()
+            .map(|&i| self.palette[i as usize].clone())
+            .collect()
+    }
+
+    /// The enabled nodes of `cfg` with their distinct non-identity targets.
+    fn enabled_targets(&self, cfg: &[A::State]) -> Result<EnabledTargets<A::State>, ExploreError> {
+        let mut out = Vec::new();
+        let mut hood = Vec::new();
+        for v in 0..self.n {
+            self.graph.closed_neighborhood_into(v, &mut hood);
+            let signal = Signal::from_states(hood.iter().map(|&u| cfg[u].clone()));
+            let mut targets: Vec<A::State> = Vec::new();
+            let tapes = if self.deterministic {
+                1
+            } else {
+                self.coin_tapes
+            };
+            for tape in 0..tapes {
+                // A fresh seeded PRNG per (node, tape): the compat rand
+                // rejection-samples ranges, so tapes must be real streams.
+                let mut rng = StdRng::seed_from_u64(0x5EED_0000_0000_0000u64 ^ u64::from(tape));
+                let t = self.alg.transition(&cfg[v], &signal, &mut rng);
+                if t != cfg[v] && !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+            if !targets.is_empty() {
+                out.push((v, targets));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bitmask of nodes enabled at `cfg`.
+    fn enabled_mask(&self, cfg: &[A::State]) -> Result<u64, ExploreError> {
+        let mut mask = 0u64;
+        for (v, _) in self.enabled_targets(cfg)? {
+            mask |= 1u64 << v;
+        }
+        Ok(mask)
+    }
+
+    /// Enumerates every successor of `cfg` under the activation reduction:
+    /// one call per non-empty `(activation ⊆ enabled, target choice)`
+    /// combination, in a fixed deterministic order (odometer over nodes
+    /// ascending, inactive digit first).
+    fn for_each_successor<F>(
+        &mut self,
+        cfg: &[A::State],
+        targets: &[(NodeId, Vec<A::State>)],
+        mut f: F,
+    ) -> Result<(), ExploreError>
+    where
+        F: FnMut(&mut Self, u64, Vec<A::State>) -> Result<(), ExploreError>,
+    {
+        let k = targets.len();
+        if k == 0 {
+            return Ok(());
+        }
+        let mut total = 1u64;
+        for (_, ts) in targets {
+            total = total.saturating_mul(ts.len() as u64 + 1);
+            if total > MAX_BRANCH {
+                return Err(ExploreError::BranchingOverflow { successors: total });
+            }
+        }
+        // Odometer digit per enabled node: 0 = not activated, d = take
+        // target d-1. Skips the all-zero combination (the implicit no-op).
+        let mut digits = vec![0usize; k];
+        loop {
+            // Increment.
+            let mut pos = 0;
+            loop {
+                digits[pos] += 1;
+                if digits[pos] <= targets[pos].1.len() {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+                if pos == k {
+                    return Ok(());
+                }
+            }
+            let mut act = 0u64;
+            let mut succ = cfg.to_vec();
+            for (slot, &d) in digits.iter().enumerate() {
+                if d != 0 {
+                    let (v, ts) = &targets[slot];
+                    act |= 1u64 << *v;
+                    succ[*v] = ts[d - 1].clone();
+                }
+            }
+            f(self, act, succ)?;
+        }
+    }
+
+    /// Successor edges `(activation mask, successor id)` of a visited
+    /// configuration, regenerated on the fly.
+    fn succ_edges(&mut self, id: u32) -> Result<Vec<(u64, u32)>, ExploreError> {
+        let cfg = self.decode(id);
+        let targets = self.enabled_targets(&cfg)?;
+        let mut out = Vec::new();
+        self.for_each_successor(&cfg, &targets, |space, act, succ| {
+            let sid = space.lookup(succ);
+            out.push((act, sid));
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// The parent-pointer chain from a seed to `id`, as trace steps.
+    /// Returns `(start configuration, steps ending at id)`.
+    fn seed_path(&self, id: u32) -> (Vec<u16>, Vec<TraceStep>) {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while self.parent[cur as usize] != NO_PARENT {
+            chain.push(cur);
+            cur = self.parent[cur as usize];
+        }
+        chain.reverse();
+        let start = self.configs[cur as usize].to_vec();
+        let steps = chain
+            .into_iter()
+            .map(|c| TraceStep {
+                activation: mask_nodes(self.parent_act[c as usize]),
+                config: self.configs[c as usize].to_vec(),
+            })
+            .collect();
+        (start, steps)
+    }
+
+    fn closure_trace(&self, src: u32, act: u64, succ: u32) -> Trace {
+        // The minimal closure counterexample is the single violating step:
+        // `src` is itself legitimate, so no lead-in is needed.
+        Trace {
+            kind: ViolationKind::Closure,
+            start: self.configs[src as usize].to_vec(),
+            steps: vec![TraceStep {
+                activation: mask_nodes(act),
+                config: self.configs[succ as usize].to_vec(),
+            }],
+            cycle_start: None,
+            fairness: Vec::new(),
+            note: format!(
+                "legitimate configuration #{src} steps to illegitimate configuration #{succ} \
+                 under activation {:?}",
+                mask_nodes(act)
+            ),
+        }
+    }
+
+    /// Fair-schedule convergence: find a trap SCC of the illegitimate
+    /// subgraph (cover = all nodes) or certify there is none.
+    fn fair_convergence(&mut self) -> Result<PropertyResult, ExploreError> {
+        let states = self.configs.len();
+        let (comp, comp_count) = self.tarjan_illegitimate()?;
+        if comp_count == 0 {
+            return Ok(PropertyResult::Certified);
+        }
+        // Cover sweep: per component, the union of intra-component
+        // activation masks and of disabled-node masks.
+        let mut cover = vec![0u64; comp_count];
+        let mut size = vec![0u32; comp_count];
+        let mut min_state = vec![u32::MAX; comp_count];
+        for id in 0..states as u32 {
+            let c = comp[id as usize];
+            if c == u32::MAX {
+                continue;
+            }
+            let cidx = c as usize;
+            size[cidx] += 1;
+            if min_state[cidx] == u32::MAX {
+                min_state[cidx] = id;
+            }
+            let cfg = self.decode(id);
+            let enabled = self.enabled_mask(&cfg)?;
+            cover[cidx] |= !enabled & self.full_mask;
+            for (act, sid) in self.succ_edges(id)? {
+                if comp[sid as usize] == c {
+                    cover[cidx] |= act;
+                }
+            }
+        }
+        // Deterministic choice: the trap whose entry configuration has the
+        // smallest id.
+        let trap = (0..comp_count)
+            .filter(|&c| cover[c] == self.full_mask)
+            .min_by_key(|&c| min_state[c]);
+        let Some(trap) = trap else {
+            return Ok(PropertyResult::Certified);
+        };
+        let entry = min_state[trap];
+        if size[trap] == 1 {
+            // Singleton with full cover = silent illegitimate configuration.
+            let (start, steps) = self.seed_path(entry);
+            return Ok(PropertyResult::Violated(Box::new(Trace {
+                kind: ViolationKind::Deadlock,
+                start,
+                steps,
+                cycle_start: None,
+                fairness: Vec::new(),
+                note: format!(
+                    "silent illegitimate configuration #{entry}: no node is enabled, \
+                     so no schedule can make further progress"
+                ),
+            })));
+        }
+        self.fair_cycle_trace(&comp, trap as u32, entry)
+    }
+
+    /// Tarjan's SCC algorithm (iterative) over the illegitimate subgraph.
+    /// Returns the component id per configuration (`u32::MAX` for
+    /// legitimate ones) and the component count.
+    fn tarjan_illegitimate(&mut self) -> Result<(Vec<u32>, usize), ExploreError> {
+        const UNVISITED: u32 = u32::MAX;
+        let states = self.configs.len();
+        let mut index = vec![UNVISITED; states];
+        let mut low = vec![0u32; states];
+        let mut comp = vec![u32::MAX; states];
+        let mut on_stack = vec![false; states];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_count = 0u32;
+        // Frame: (node, illegitimate successors, next child position).
+        let mut frames: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+
+        for root in 0..states as u32 {
+            if self.legit[root as usize] || index[root as usize] != UNVISITED {
+                continue;
+            }
+            index[root as usize] = next_index;
+            low[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+            frames.push((root, self.illegit_succs(root)?, 0));
+            loop {
+                let (v, next_child) = {
+                    let Some(frame) = frames.last_mut() else {
+                        break;
+                    };
+                    let v = frame.0;
+                    if frame.2 < frame.1.len() {
+                        let w = frame.1[frame.2];
+                        frame.2 += 1;
+                        (v, Some(w))
+                    } else {
+                        (v, None)
+                    }
+                };
+                match next_child {
+                    Some(w) => {
+                        if index[w as usize] == UNVISITED {
+                            index[w as usize] = next_index;
+                            low[w as usize] = next_index;
+                            next_index += 1;
+                            stack.push(w);
+                            on_stack[w as usize] = true;
+                            let succs = self.illegit_succs(w)?;
+                            frames.push((w, succs, 0));
+                        } else if on_stack[w as usize] {
+                            low[v as usize] = low[v as usize].min(index[w as usize]);
+                        }
+                    }
+                    None => {
+                        frames.pop();
+                        if low[v as usize] == index[v as usize] {
+                            loop {
+                                let w = stack.pop().expect("tarjan stack underflow");
+                                on_stack[w as usize] = false;
+                                comp[w as usize] = comp_count;
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            comp_count += 1;
+                        }
+                        if let Some(frame) = frames.last_mut() {
+                            let p = frame.0;
+                            low[p as usize] = low[p as usize].min(low[v as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok((comp, comp_count as usize))
+    }
+
+    fn illegit_succs(&mut self, id: u32) -> Result<Vec<u32>, ExploreError> {
+        Ok(self
+            .succ_edges(id)?
+            .into_iter()
+            .filter(|&(_, sid)| !self.legit[sid as usize])
+            .map(|(_, sid)| sid)
+            .collect())
+    }
+
+    /// Builds the fair-cycle counterexample for trap component `trap`,
+    /// entered at configuration `entry`: seed path, then a closed walk
+    /// inside the component that discharges every node's fairness
+    /// obligation (by a state-changing activation or by a no-op activation
+    /// at a configuration where the node is disabled).
+    fn fair_cycle_trace(
+        &mut self,
+        comp: &[u32],
+        trap: u32,
+        entry: u32,
+    ) -> Result<PropertyResult, ExploreError> {
+        let (start, mut steps) = self.seed_path(entry);
+        let cycle_start = steps.len();
+        let mut fairness: Vec<FairnessWitness> = Vec::new();
+        let mut remaining = self.full_mask;
+        let mut cur = entry;
+
+        while remaining != 0 {
+            let cfg = self.decode(cur);
+            let enabled = self.enabled_mask(&cfg)?;
+            let noop = !enabled & self.full_mask & remaining;
+            if noop != 0 {
+                for v in mask_nodes(noop) {
+                    fairness.push(FairnessWitness {
+                        node: v,
+                        step: steps.len(),
+                        kind: WitnessKind::NoOp,
+                    });
+                    steps.push(TraceStep {
+                        activation: vec![v],
+                        config: self.configs[cur as usize].to_vec(),
+                    });
+                }
+                remaining &= !noop;
+                continue;
+            }
+            // Walk (inside the component) to the nearest configuration that
+            // discharges some remaining node — by being disabled there, or
+            // by an intra-component edge activating it.
+            let (path, witness_edge) = self.bfs_to_witness(comp, trap, cur, remaining)?;
+            for (act, sid) in path.into_iter().chain(witness_edge) {
+                for v in mask_nodes(act & remaining) {
+                    fairness.push(FairnessWitness {
+                        node: v,
+                        step: steps.len(),
+                        kind: WitnessKind::StateChange,
+                    });
+                }
+                remaining &= !act;
+                steps.push(TraceStep {
+                    activation: mask_nodes(act),
+                    config: self.configs[sid as usize].to_vec(),
+                });
+                cur = sid;
+            }
+        }
+        if cur != entry {
+            for (act, sid) in self.bfs_path(comp, trap, cur, entry)? {
+                steps.push(TraceStep {
+                    activation: mask_nodes(act),
+                    config: self.configs[sid as usize].to_vec(),
+                });
+            }
+        }
+        let cycle_len = steps.len() - cycle_start;
+        Ok(PropertyResult::Violated(Box::new(Trace {
+            kind: ViolationKind::FairCycle,
+            start,
+            steps,
+            cycle_start: Some(cycle_start),
+            fairness,
+            note: format!(
+                "fair cycle of {cycle_len} steps through illegitimate configurations: \
+                 repeating it activates every node infinitely often yet never reaches \
+                 the legitimate set"
+            ),
+        })))
+    }
+
+    /// BFS inside component `trap` from `cur` to the nearest configuration
+    /// with a witness for some node in `remaining`. Returns the edge path
+    /// to that configuration plus, when the witness is an edge, the edge
+    /// itself.
+    #[allow(clippy::type_complexity)]
+    fn bfs_to_witness(
+        &mut self,
+        comp: &[u32],
+        trap: u32,
+        cur: u32,
+        remaining: u64,
+    ) -> Result<(Vec<(u64, u32)>, Option<(u64, u32)>), ExploreError> {
+        let mut prev: HashMap<u32, (u32, u64)> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        prev.insert(cur, (cur, 0));
+        queue.push_back(cur);
+        while let Some(s) = queue.pop_front() {
+            let cfg = self.decode(s);
+            let enabled = self.enabled_mask(&cfg)?;
+            if s != cur && (!enabled & self.full_mask & remaining) != 0 {
+                return Ok((self.unwind(&prev, cur, s), None));
+            }
+            let mut witness: Option<(u64, u32)> = None;
+            for (act, sid) in self.succ_edges(s)? {
+                if comp[sid as usize] != trap {
+                    continue;
+                }
+                if act & remaining != 0 && witness.is_none() {
+                    witness = Some((act, sid));
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(sid) {
+                    e.insert((s, act));
+                    queue.push_back(sid);
+                }
+            }
+            if let Some(w) = witness {
+                return Ok((self.unwind(&prev, cur, s), Some(w)));
+            }
+        }
+        unreachable!("trap component cover guarantees a witness for every node")
+    }
+
+    /// BFS inside component `trap` from `cur` to `dest`; returns the edge
+    /// path. Strong connectivity of the component guarantees one exists.
+    fn bfs_path(
+        &mut self,
+        comp: &[u32],
+        trap: u32,
+        cur: u32,
+        dest: u32,
+    ) -> Result<Vec<(u64, u32)>, ExploreError> {
+        let mut prev: HashMap<u32, (u32, u64)> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        prev.insert(cur, (cur, 0));
+        queue.push_back(cur);
+        while let Some(s) = queue.pop_front() {
+            if s == dest {
+                return Ok(self.unwind(&prev, cur, dest));
+            }
+            for (act, sid) in self.succ_edges(s)? {
+                if comp[sid as usize] == trap {
+                    if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(sid) {
+                        e.insert((s, act));
+                        queue.push_back(sid);
+                    }
+                }
+            }
+        }
+        unreachable!("trap component is strongly connected")
+    }
+
+    fn unwind(&self, prev: &HashMap<u32, (u32, u64)>, from: u32, to: u32) -> Vec<(u64, u32)> {
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, act) = prev[&cur];
+            path.push((act, cur));
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Reachability-only convergence (randomized relations): every explored
+    /// configuration must have some path to the legitimate set.
+    fn reachability_convergence(&mut self) -> Result<PropertyResult, ExploreError> {
+        let states = self.configs.len();
+        let mut reach = self.legit.clone();
+        loop {
+            let mut changed = false;
+            for id in (0..states as u32).rev() {
+                if reach[id as usize] {
+                    continue;
+                }
+                if self
+                    .succ_edges(id)?
+                    .iter()
+                    .any(|&(_, sid)| reach[sid as usize])
+                {
+                    reach[id as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let stuck = (0..states as u32).find(|&id| !reach[id as usize]);
+        let Some(stuck) = stuck else {
+            return Ok(PropertyResult::Certified);
+        };
+        let (start, steps) = self.seed_path(stuck);
+        Ok(PropertyResult::Violated(Box::new(Trace {
+            kind: ViolationKind::LegitimacyUnreachable,
+            start,
+            steps,
+            cycle_start: None,
+            fairness: Vec::new(),
+            note: format!(
+                "configuration #{stuck} has no path to the legitimate set under the \
+                 sampled transition relation"
+            ),
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::StateSpace;
+
+    /// Deterministic toy: each node copies the minimum sensed state; the
+    /// legitimate set is "all states equal".
+    struct MinConsensus {
+        values: u8,
+    }
+
+    impl Algorithm for MinConsensus {
+        type State = u8;
+        type Output = u8;
+
+        fn output(&self, state: &u8) -> Option<u8> {
+            Some(*state)
+        }
+
+        fn transition(&self, _state: &u8, signal: &Signal<u8>, _rng: &mut dyn rand::RngCore) -> u8 {
+            *signal.min_state().expect("non-empty signal")
+        }
+
+        fn transition_is_deterministic(&self) -> bool {
+            true
+        }
+
+        fn name(&self) -> &'static str {
+            "min-consensus"
+        }
+    }
+
+    impl StateSpace for MinConsensus {
+        fn states(&self) -> Vec<u8> {
+            (0..self.values).collect()
+        }
+    }
+
+    fn all_configs(values: u8, n: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![vec![]];
+        for _ in 0..n {
+            out = out
+                .into_iter()
+                .flat_map(|c| {
+                    (0..values).map(move |v| {
+                        let mut c = c.clone();
+                        c.push(v);
+                        c
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    fn uniform(_: &Graph, cfg: &[u8]) -> bool {
+        cfg.windows(2).all(|w| w[0] == w[1])
+    }
+
+    #[test]
+    fn min_consensus_certifies_on_a_path() {
+        let alg = MinConsensus { values: 3 };
+        let graph = Graph::path(3);
+        let report = explore(
+            &alg,
+            &graph,
+            &mut all_configs(3, 3).into_iter(),
+            &uniform,
+            None,
+            &ExploreConfig::default(),
+            &mut |_| {},
+        )
+        .expect("explore");
+        assert_eq!(report.stats.states, 27);
+        assert_eq!(report.stats.seeds, 27);
+        assert_eq!(report.stats.legitimate, 3);
+        assert!(report.closure.is_certified());
+        assert!(report.convergence.is_certified());
+        assert_eq!(report.convergence_mode, ConvergenceMode::FairSchedule);
+    }
+
+    /// Deterministic toy: each node copies the maximum sensed state.
+    struct MaxConsensus;
+
+    impl Algorithm for MaxConsensus {
+        type State = u8;
+        type Output = u8;
+
+        fn output(&self, state: &u8) -> Option<u8> {
+            Some(*state)
+        }
+
+        fn transition(&self, _state: &u8, signal: &Signal<u8>, _rng: &mut dyn rand::RngCore) -> u8 {
+            *signal.iter().max().expect("non-empty signal")
+        }
+
+        fn transition_is_deterministic(&self) -> bool {
+            true
+        }
+
+        fn name(&self) -> &'static str {
+            "max-consensus"
+        }
+    }
+
+    #[test]
+    fn silent_illegitimate_state_yields_deadlock() {
+        // Oracle: "no node holds 2". Max-consensus closes over the 2-free
+        // sub-space, but [2, 2] is silent and illegitimate — a deadlock
+        // trap the convergence check must find.
+        let alg = MaxConsensus;
+        let graph = Graph::path(2);
+        let report = explore(
+            &alg,
+            &graph,
+            &mut all_configs(3, 2).into_iter(),
+            &|_, cfg: &[u8]| cfg.iter().all(|&v| v != 2),
+            None,
+            &ExploreConfig::default(),
+            &mut |_| {},
+        )
+        .expect("explore");
+        assert!(report.closure.is_certified());
+        let trace = report.convergence.trace().expect("convergence violated");
+        assert_eq!(trace.kind, ViolationKind::Deadlock);
+        // The deadlock is the all-2 configuration.
+        let cfg = report.decode(
+            trace
+                .steps
+                .last()
+                .map(|s| &s.config)
+                .unwrap_or(&trace.start),
+        );
+        assert_eq!(cfg, vec![2, 2]);
+    }
+
+    /// A two-state toggle: every node always flips. Illegitimate states
+    /// support a fair cycle (flip everything back and forth), so with the
+    /// oracle "all equal" convergence must fail with a FairCycle trace.
+    struct Toggle;
+
+    impl Algorithm for Toggle {
+        type State = u8;
+        type Output = u8;
+
+        fn output(&self, state: &u8) -> Option<u8> {
+            Some(*state)
+        }
+
+        fn transition(&self, state: &u8, _signal: &Signal<u8>, _rng: &mut dyn rand::RngCore) -> u8 {
+            1 - *state
+        }
+
+        fn transition_is_deterministic(&self) -> bool {
+            true
+        }
+
+        fn name(&self) -> &'static str {
+            "toggle"
+        }
+    }
+
+    #[test]
+    fn toggle_yields_fair_cycle_counterexample() {
+        // Oracle: nothing is legitimate — every configuration toggles
+        // forever, so the whole space is one trap SCC.
+        let alg = Toggle;
+        let graph = Graph::path(2);
+        let report = explore(
+            &alg,
+            &graph,
+            &mut all_configs(2, 2).into_iter(),
+            &|_, _: &[u8]| false,
+            None,
+            &ExploreConfig::default(),
+            &mut |_| {},
+        )
+        .expect("explore");
+        assert_eq!(report.stats.legitimate, 0);
+        let trace = report.convergence.trace().expect("convergence violated");
+        assert_eq!(trace.kind, ViolationKind::FairCycle);
+        let cycle_start = trace.cycle_start.expect("cycle start");
+        // The cycle is closed: the configuration after the last step equals
+        // the configuration at the cycle entry.
+        let entry = if cycle_start == 0 {
+            trace.start.clone()
+        } else {
+            trace.steps[cycle_start - 1].config.clone()
+        };
+        assert_eq!(trace.steps.last().expect("steps").config, entry);
+        // Every node has a fairness witness inside the cycle.
+        for v in 0..2 {
+            assert!(
+                trace
+                    .fairness
+                    .iter()
+                    .any(|w| w.node == v && w.step >= cycle_start),
+                "node {v} has no fairness witness"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_guard_aborts() {
+        let alg = MinConsensus { values: 3 };
+        let graph = Graph::path(3);
+        let config = ExploreConfig {
+            max_states: 10,
+            ..ExploreConfig::default()
+        };
+        let err = explore(
+            &alg,
+            &graph,
+            &mut all_configs(3, 3).into_iter(),
+            &uniform,
+            None,
+            &config,
+            &mut |_| {},
+        )
+        .expect_err("budget must trip");
+        assert_eq!(err, ExploreError::BudgetExceeded { budget: 10 });
+    }
+}

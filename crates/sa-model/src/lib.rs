@@ -25,6 +25,9 @@
 //!   account) behind the [`engine::StepEngine`] trait, with a serial and a
 //!   sharded (worker-pool) implementation that produce bit-for-bit identical
 //!   executions,
+//! * [`explore`] — exhaustive exploration of the global configuration space
+//!   for tiny instances, certifying closure and convergence with
+//!   counterexample traces (the `sa verify` backend),
 //! * [`fault`] — transient fault injection (state corruption),
 //! * [`checker`] — task checkers and stabilization measurement,
 //! * [`oracle`] — incremental (frontier-driven) legitimacy tracking for
@@ -67,6 +70,7 @@ pub mod binary;
 pub mod checker;
 pub mod engine;
 pub mod executor;
+pub mod explore;
 pub mod fault;
 pub mod graph;
 pub mod json;
