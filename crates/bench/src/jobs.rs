@@ -9,8 +9,17 @@
 //! * **[`JobScheduler::submit`]** registers a [`JobConfig`] (a parsed spec
 //!   plus an output directory, a client label and a priority), expands it
 //!   into units and queues them. Units are dispatched highest-priority
-//!   first; ties break by submission order, then unit order, so two jobs at
-//!   the same priority interleave fairly and deterministically.
+//!   first; within a priority, clients take turns round-robin (one unit per
+//!   turn, turn order = first-submission order) so no client can starve
+//!   another at equal priority; within a client, submission order then unit
+//!   order — the same deterministic total order as before when every job
+//!   comes from one client.
+//! * **[`SchedulerLimits`]** bound the service: a queue-depth cap that sheds
+//!   load with a structured `overloaded` error, per-client outstanding-unit
+//!   quotas and running-unit caps, and a wall-clock watchdog that cancels
+//!   stuck units at their next checkpoint boundary and marks the job
+//!   [`JobState::Failed`] instead of hanging. Rejections are
+//!   [`SchedError`]s with stable machine-readable codes.
 //! * **Workers** run each unit through [`run_unit`] with the standard
 //!   checkpoint discipline: in-flight state is persisted atomically to
 //!   `<out>/state/<unit>.ckpt.{json,bin}` every `checkpoint_every` steps,
@@ -73,14 +82,16 @@ use crate::sweep::{
 };
 use sa_model::json::JsonValue;
 use sa_model::snapshot::{u64_from_json, u64_to_json};
+use sa_runtime::faultfs;
 use sa_runtime::parallel::CancelToken;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Identifier of a submitted job (daemon-assigned ids look like `j1`, `j2`,
 /// …; [`JobConfig::id`] lets a caller pin one, e.g. across daemon restarts).
@@ -315,6 +326,72 @@ pub struct SubmitReceipt {
     pub resumed_done: usize,
 }
 
+/// A structured scheduler rejection: a stable machine-readable `code` (the
+/// daemon forwards it verbatim on the wire — see `docs/serve-protocol.md`),
+/// a human-readable message, and an optional retry hint for load shedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedError {
+    /// Stable machine-readable code: `bad-request`, `conflict`, `draining`,
+    /// `io`, `overloaded`, `quota-exceeded`.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `overloaded`: how long a well-behaved client should back off
+    /// before retrying.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl SchedError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        SchedError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<SchedError> for String {
+    fn from(e: SchedError) -> String {
+        e.message
+    }
+}
+
+/// Service limits for a [`JobScheduler`]. The default is fully permissive
+/// (the batch `sa run` path); the daemon installs real bounds. `0` / `None`
+/// always means "unlimited". Admission limits apply to fresh submissions
+/// only — resume submissions (crash recovery of already-acknowledged jobs)
+/// are never shed.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerLimits {
+    /// Queue-depth bound: a fresh submission whose units would push the
+    /// queued-unit count past this is rejected `overloaded` (with a
+    /// `retry_after_ms` hint) instead of growing the queue without bound.
+    pub max_queued_units: usize,
+    /// Per-client outstanding-unit quota: a fresh submission is rejected
+    /// `quota-exceeded` while the client already has at least this many
+    /// units queued or running.
+    pub client_quota: usize,
+    /// Per-client running-unit cap: at most this many of one client's units
+    /// occupy workers at once, whatever the queue holds (fair-share
+    /// dispatch skips the capped client's turn; the scheduler stays
+    /// work-conserving by serving other clients or lower priorities).
+    pub client_workers: usize,
+    /// Wall-clock watchdog: a unit running longer than this is cancelled at
+    /// its next checkpoint boundary and the job marked
+    /// [`JobState::Failed`] with an explanatory error — stuck work becomes
+    /// a structured failure, never a hung queue.
+    pub unit_timeout: Option<Duration>,
+}
+
 // ---------------------------------------------------------------------------
 // Events and sinks
 // ---------------------------------------------------------------------------
@@ -455,17 +532,56 @@ pub trait ResultSink: Send + Sync {
 // File persistence (shared by batch runs and the daemon)
 // ---------------------------------------------------------------------------
 
-/// Atomic write: temp file in the same directory, then rename — a kill
-/// mid-write can never leave a truncated file behind.
+/// Atomic, durable write: temp file in the same directory, fsync, rename,
+/// directory fsync — a kill mid-write can never leave a truncated file
+/// behind, and a completed write survives a power cut. The fsyncs can be
+/// skipped with `SA_NO_FSYNC=1` (benchmarking only). All I/O goes through
+/// [`sa_runtime::faultfs`], the deterministic fault-injection seam.
 pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     write_atomic_bytes(path, contents.as_bytes())
 }
 
-/// Atomic write of raw bytes (the binary checkpoint path).
+/// Whether durable writes fsync (default yes; `SA_NO_FSYNC=1` disables).
+fn fsync_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("SA_NO_FSYNC")
+            .map(|v| {
+                let v = v.to_ascii_lowercase();
+                v == "1" || v == "true"
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Atomic durable write of raw bytes (the binary checkpoint path). See
+/// [`write_atomic`].
 pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> Result<(), String> {
     let tmp = path.with_extension("tmp");
-    fs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+    faultfs::write(&tmp, contents).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    if fsync_enabled() {
+        faultfs::sync_file(&tmp).map_err(|e| format!("cannot fsync {}: {e}", tmp.display()))?;
+    }
+    faultfs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))?;
+    if fsync_enabled() {
+        if let Some(dir) = path.parent() {
+            faultfs::sync_dir(dir).map_err(|e| format!("cannot fsync {}: {e}", dir.display()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Moves a torn/corrupt file aside as `<name>.quarantined` (falling back to
+/// deletion) and logs the reason — recovery never panics on bad bytes and
+/// never re-reads them as good data. The quarantined copy is kept for
+/// post-mortems.
+pub fn quarantine_file(path: &Path, reason: &str) {
+    eprintln!("sa: warning: quarantining {}: {reason}", path.display());
+    let mut target = path.as_os_str().to_owned();
+    target.push(".quarantined");
+    if fs::rename(path, PathBuf::from(target)).is_err() {
+        fs::remove_file(path).ok();
+    }
 }
 
 /// The in-flight checkpoint path for `unit_id` under `format`.
@@ -529,7 +645,7 @@ struct Job {
     cancel: Arc<CancelToken>,
     cancel_requested: bool,
     state: JobState,
-    subscribers: Vec<mpsc::Sender<JobEvent>>,
+    subscribers: Vec<mpsc::SyncSender<JobEvent>>,
 }
 
 impl Job {
@@ -551,65 +667,140 @@ impl Job {
     }
 }
 
-/// A queued unit; the heap pops highest priority first, then oldest job,
-/// then lowest unit index.
+/// A queued unit, waiting in its client's per-priority FIFO.
 struct QueueEntry {
-    priority: i64,
-    job_seq: u64,
     unit_idx: usize,
     job: JobId,
 }
 
-impl PartialEq for QueueEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+/// One priority level of the fair queue: each client holds a FIFO of its
+/// queued units (submission order, then unit order — by construction, since
+/// submissions enqueue sequentially), and `rotation` fixes whose turn it is
+/// (clients in first-submission order, rotating one unit per turn).
+#[derive(Default)]
+struct Lane {
+    rotation: VecDeque<String>,
+    queues: BTreeMap<String, VecDeque<QueueEntry>>,
+}
+
+/// The deficit-round-robin dispatch queue: strict priority across lanes,
+/// round-robin across clients inside a lane (every unit costs one quantum,
+/// so the deficit degenerates to taking turns), FIFO within a client. A
+/// client at its running-unit cap keeps its place in the rotation but is
+/// skipped, so the queue stays work-conserving.
+#[derive(Default)]
+struct FairQueue {
+    lanes: BTreeMap<i64, Lane>,
+    len: usize,
+}
+
+impl FairQueue {
+    fn push(&mut self, priority: i64, client: &str, entry: QueueEntry) {
+        let lane = self.lanes.entry(priority).or_default();
+        if !lane.queues.contains_key(client) {
+            lane.rotation.push_back(client.to_string());
+        }
+        lane.queues
+            .entry(client.to_string())
+            .or_default()
+            .push_back(entry);
+        self.len += 1;
+    }
+
+    /// Pops the next dispatchable unit: highest-priority lane first; within
+    /// a lane, the first client in rotation order for which `eligible`
+    /// holds. The served client rotates to the back; skipped (capped)
+    /// clients keep their turn.
+    fn pop(&mut self, mut eligible: impl FnMut(&str) -> bool) -> Option<QueueEntry> {
+        let mut popped = None;
+        let mut drained_lane = None;
+        for (&priority, lane) in self.lanes.iter_mut().rev() {
+            let turn = (0..lane.rotation.len()).find(|&i| eligible(&lane.rotation[i]));
+            let Some(turn) = turn else { continue };
+            let client = lane.rotation.remove(turn).expect("turn index in range");
+            let queue = lane
+                .queues
+                .get_mut(&client)
+                .expect("rotating client has a queue");
+            let entry = queue.pop_front().expect("queued client has units");
+            if queue.is_empty() {
+                lane.queues.remove(&client);
+            } else {
+                lane.rotation.push_back(client);
+            }
+            self.len -= 1;
+            if lane.queues.is_empty() {
+                drained_lane = Some(priority);
+            }
+            popped = Some(entry);
+            break;
+        }
+        if let Some(priority) = drained_lane {
+            self.lanes.remove(&priority);
+        }
+        popped
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 }
-impl Eq for QueueEntry {}
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.priority
-            .cmp(&other.priority)
-            .then_with(|| other.job_seq.cmp(&self.job_seq))
-            .then_with(|| other.unit_idx.cmp(&self.unit_idx))
-    }
+
+/// Bookkeeping for a unit currently occupying a worker, so job-level cancel
+/// and the wall-clock watchdog can reach its [`CancelToken`].
+struct RunningUnit {
+    started: Instant,
+    cancel: Arc<CancelToken>,
+    timed_out: Arc<AtomicBool>,
 }
 
 struct State {
     jobs: BTreeMap<JobId, Job>,
-    job_seq: BTreeMap<JobId, u64>,
-    queue: BinaryHeap<QueueEntry>,
+    queue: FairQueue,
+    /// Units currently on a worker, keyed by (job, unit index).
+    running_units: BTreeMap<(JobId, usize), RunningUnit>,
+    /// Running-unit count per client (the fair-share cap gauge).
+    running_by_client: BTreeMap<String, usize>,
+    /// Firehose subscribers ([`JobScheduler::watch_all`]): every event of
+    /// every job, in the one total order.
+    firehose: Vec<mpsc::SyncSender<JobEvent>>,
     next_job: u64,
-    next_seq: u64,
     accepting: bool,
     started: bool,
 }
 
+/// Subscriber channel capacity ([`JobScheduler::watch`] /
+/// [`JobScheduler::watch_all`]). A consumer that falls this many events
+/// behind is shed (its channel dropped) rather than buffering unboundedly.
+const EVENT_BUFFER: usize = 1024;
+
 struct Inner {
     state: Mutex<State>,
-    /// Wakes workers (new units, start, shutdown).
+    /// Wakes workers (new units, start, a freed per-client cap, shutdown).
     work: Condvar,
     /// Wakes waiters (job reached a terminal state).
     done: Condvar,
     /// Global stop: workers exit instead of popping further units.
     shutdown: CancelToken,
     sinks: Mutex<Vec<Arc<dyn ResultSink>>>,
+    limits: SchedulerLimits,
 }
 
 impl Inner {
-    /// Fans an event out to sinks and the job's subscribers. Must be called
-    /// with the state lock held (it is passed in) so event order is total.
+    /// Fans an event out to sinks, the firehose, and the job's subscribers.
+    /// Must be called with the state lock held (it is passed in) so event
+    /// order is total. Subscriber sends never block: a full channel means a
+    /// slow consumer, which is dropped.
     fn fan_out(&self, state: &mut State, event: JobEvent) {
         for sink in self.sinks.lock().unwrap().iter() {
             sink.event(&event);
         }
+        state
+            .firehose
+            .retain(|tx| tx.try_send(event.clone()).is_ok());
         if let Some(job) = state.jobs.get_mut(event.job()) {
-            job.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+            job.subscribers
+                .retain(|tx| tx.try_send(event.clone()).is_ok());
         }
     }
 
@@ -620,9 +811,20 @@ impl Inner {
     }
 }
 
+/// Cancels the in-flight units of `job` (each runs under its own token so
+/// the watchdog can target one unit; job-level stop must reach them all).
+fn cancel_running_units(state: &State, job: &str) {
+    for ((id, _), unit) in state.running_units.iter() {
+        if id == job {
+            unit.cancel.cancel();
+        }
+    }
+}
+
 /// What a worker needs to run one unit without holding the lock.
 struct Dispatch {
     job: JobId,
+    client: String,
     unit: SweepUnit,
     unit_idx: usize,
     checkpoint: Option<JsonValue>,
@@ -630,7 +832,11 @@ struct Dispatch {
     every_steps: u64,
     format: CheckpointFormat,
     state_dir: PathBuf,
+    /// This unit's own token (job cancel and the watchdog both cancel it).
     cancel: Arc<CancelToken>,
+    /// Set by the watchdog before cancelling: the interruption is a
+    /// wall-clock overrun, not a user cancel.
+    timed_out: Arc<AtomicBool>,
 }
 
 /// The persistent job queue + worker scheduler. See the module docs.
@@ -643,7 +849,7 @@ pub struct JobScheduler {
 impl JobScheduler {
     /// A scheduler with `workers` worker threads, dispatching immediately.
     pub fn new(workers: usize) -> Self {
-        Self::build(workers, true)
+        Self::build(workers, true, SchedulerLimits::default())
     }
 
     /// Like [`JobScheduler::new`], but workers stay parked until
@@ -651,17 +857,26 @@ impl JobScheduler {
     /// priority ordering (used by tests and by the daemon, which rescans
     /// its state directory before opening the socket).
     pub fn new_paused(workers: usize) -> Self {
-        Self::build(workers, false)
+        Self::build(workers, false, SchedulerLimits::default())
     }
 
-    fn build(workers: usize, started: bool) -> Self {
+    /// A scheduler with explicit [`SchedulerLimits`] (the hardened daemon
+    /// path). `started` as in [`JobScheduler::new`] vs
+    /// [`JobScheduler::new_paused`].
+    pub fn with_limits(workers: usize, started: bool, limits: SchedulerLimits) -> Self {
+        Self::build(workers, started, limits)
+    }
+
+    fn build(workers: usize, started: bool, limits: SchedulerLimits) -> Self {
+        let unit_timeout = limits.unit_timeout;
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
-                job_seq: BTreeMap::new(),
-                queue: BinaryHeap::new(),
+                queue: FairQueue::default(),
+                running_units: BTreeMap::new(),
+                running_by_client: BTreeMap::new(),
+                firehose: Vec::new(),
                 next_job: 1,
-                next_seq: 0,
                 accepting: true,
                 started,
             }),
@@ -669,8 +884,9 @@ impl JobScheduler {
             done: Condvar::new(),
             shutdown: CancelToken::new(),
             sinks: Mutex::new(Vec::new()),
+            limits,
         });
-        let handles = (0..workers.max(1))
+        let mut handles: Vec<JoinHandle<()>> = (0..workers.max(1))
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -679,6 +895,15 @@ impl JobScheduler {
                     .expect("spawn job worker")
             })
             .collect();
+        if let Some(timeout) = unit_timeout {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("sa-job-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&inner, timeout))
+                    .expect("spawn job watchdog"),
+            );
+        }
         JobScheduler {
             inner,
             workers: Mutex::new(handles),
@@ -701,17 +926,23 @@ impl JobScheduler {
     /// Submits a job: expands the spec into units, performs the resume scan
     /// if requested, queues everything and emits `job-accepted`.
     ///
-    /// Fails if the scheduler is draining or shut down, the pinned id is
-    /// taken or malformed, or the state directory cannot be prepared.
-    pub fn submit(&self, config: JobConfig) -> Result<SubmitReceipt, String> {
+    /// Fails with a structured [`SchedError`] if the scheduler is draining
+    /// or shut down, the pinned id is taken or malformed, the state
+    /// directory cannot be prepared, or (fresh submissions only) an
+    /// admission limit is hit. The resume scan never fails on bad bytes: a
+    /// torn or corrupt `.done.json`/checkpoint is quarantined with a logged
+    /// reason and its unit recomputed from the previous checkpoint or from
+    /// scratch — bit-identically, per the counter-based RNG discipline.
+    pub fn submit(&self, config: JobConfig) -> Result<SubmitReceipt, SchedError> {
         if let Some(id) = &config.id {
             let ok = !id.is_empty()
                 && id
                     .chars()
                     .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
             if !ok {
-                return Err(format!(
-                    "invalid job id \"{id}\" (ASCII alphanumerics, '-', '_' only)"
+                return Err(SchedError::new(
+                    "bad-request",
+                    format!("invalid job id \"{id}\" (ASCII alphanumerics, '-', '_' only)"),
                 ));
             }
         }
@@ -719,11 +950,13 @@ impl JobScheduler {
         // Filesystem preparation happens before the job becomes visible.
         let state_dir = config.out_dir.join("state");
         if !config.resume && state_dir.exists() {
-            fs::remove_dir_all(&state_dir)
-                .map_err(|e| format!("cannot clear {}: {e}", state_dir.display()))?;
+            fs::remove_dir_all(&state_dir).map_err(|e| {
+                SchedError::new("io", format!("cannot clear {}: {e}", state_dir.display()))
+            })?;
         }
-        fs::create_dir_all(&state_dir)
-            .map_err(|e| format!("cannot create {}: {e}", state_dir.display()))?;
+        fs::create_dir_all(&state_dir).map_err(|e| {
+            SchedError::new("io", format!("cannot create {}: {e}", state_dir.display()))
+        })?;
 
         let units = config.spec.execution_units();
         let mut inputs = Vec::with_capacity(units.len());
@@ -734,27 +967,36 @@ impl JobScheduler {
             let mut checkpoint = None;
             if config.resume {
                 let done_path = state_dir.join(format!("{}.done.json", unit.id()));
-                if let Ok(text) = fs::read_to_string(&done_path) {
-                    done = JsonValue::parse(&text)
+                if let Ok(bytes) = fs::read(&done_path) {
+                    done = String::from_utf8(bytes)
                         .ok()
+                        .and_then(|text| JsonValue::parse(&text).ok())
                         .as_ref()
                         .and_then(UnitResult::from_json);
-                    if done.is_none() {
-                        return Err(format!("corrupt unit result {}", done_path.display()));
+                    if done.is_some() {
+                        resumed_done += 1;
+                    } else {
+                        quarantine_file(&done_path, "corrupt unit result");
                     }
-                    resumed_done += 1;
-                } else {
+                }
+                if done.is_none() {
                     // Prefer the spec's format, but accept a leftover
                     // checkpoint in the other encoding (format edited
-                    // between kill and resume).
+                    // between kill and resume). A corrupt checkpoint is
+                    // quarantined and the next candidate (or a fresh start)
+                    // used instead.
                     for format in [
                         config.spec.checkpoint_format,
                         other_format(config.spec.checkpoint_format),
                     ] {
                         let path = ckpt_path_for(&state_dir, &unit.id(), format);
-                        if let Some(doc) = read_checkpoint(&path)? {
-                            checkpoint = Some(doc);
-                            break;
+                        match read_checkpoint(&path) {
+                            Ok(Some(doc)) => {
+                                checkpoint = Some(doc);
+                                break;
+                            }
+                            Ok(None) => {}
+                            Err(reason) => quarantine_file(&path, &reason),
                         }
                     }
                 }
@@ -779,12 +1021,58 @@ impl JobScheduler {
         {
             let mut state = self.inner.state.lock().unwrap();
             if !state.accepting {
-                return Err("scheduler is draining; not accepting new jobs".to_string());
+                return Err(SchedError::new(
+                    "draining",
+                    "scheduler is draining; not accepting new jobs",
+                ));
+            }
+            let queued_now = inputs.iter().filter(|i| i.done.is_none()).count();
+            let limits = &self.inner.limits;
+            // Admission control guards fresh work only: resume submissions
+            // are crash recovery of jobs a client already holds an ack for,
+            // and an acked job is never shed.
+            if !config.resume {
+                if limits.max_queued_units > 0
+                    && state.queue.len() + queued_now > limits.max_queued_units
+                {
+                    let mut err = SchedError::new(
+                        "overloaded",
+                        format!(
+                            "queue is full ({} queued + {queued_now} requested > {} cap); \
+                             retry later",
+                            state.queue.len(),
+                            limits.max_queued_units
+                        ),
+                    );
+                    err.retry_after_ms = Some(1000);
+                    return Err(err);
+                }
+                if limits.client_quota > 0 {
+                    let outstanding: usize = state
+                        .jobs
+                        .values()
+                        .filter(|j| j.config.client == config.client)
+                        .map(|j| j.remaining)
+                        .sum();
+                    if outstanding + queued_now > limits.client_quota {
+                        return Err(SchedError::new(
+                            "quota-exceeded",
+                            format!(
+                                "client \"{}\" has {outstanding} outstanding unit(s); \
+                                 +{queued_now} exceeds the per-client quota of {}",
+                                config.client, limits.client_quota
+                            ),
+                        ));
+                    }
+                }
             }
             id = match &config.id {
                 Some(pinned) => {
                     if state.jobs.contains_key(pinned) {
-                        return Err(format!("job id \"{pinned}\" already exists"));
+                        return Err(SchedError::new(
+                            "conflict",
+                            format!("job id \"{pinned}\" already exists"),
+                        ));
                     }
                     pinned.clone()
                 }
@@ -796,14 +1084,13 @@ impl JobScheduler {
                     }
                 },
             };
-            let seq = state.next_seq;
-            state.next_seq += 1;
 
             let completed: Vec<Option<UnitResult>> =
                 inputs.iter().map(|i| i.done.clone()).collect();
             let remaining = completed.iter().filter(|c| c.is_none()).count();
             all_done = remaining == 0;
             let priority = config.priority;
+            let client = config.client.clone();
             let spec_name = config.spec.name.clone();
             let units_total = units.len();
             let job = Job {
@@ -823,16 +1110,17 @@ impl JobScheduler {
             };
             for (idx, input) in job.inputs.iter().enumerate() {
                 if input.done.is_none() {
-                    state.queue.push(QueueEntry {
+                    state.queue.push(
                         priority,
-                        job_seq: seq,
-                        unit_idx: idx,
-                        job: id.clone(),
-                    });
+                        &client,
+                        QueueEntry {
+                            unit_idx: idx,
+                            job: id.clone(),
+                        },
+                    );
                 }
             }
             state.jobs.insert(id.clone(), job);
-            state.job_seq.insert(id.clone(), seq);
             self.inner.fan_out(
                 &mut state,
                 JobEvent::JobAccepted {
@@ -873,13 +1161,15 @@ impl JobScheduler {
     /// Subscribes to a job's event stream. Events from subscription time on
     /// are delivered in order; if the job is already terminal, the channel
     /// immediately carries a synthetic `job-finished` so a late watcher
-    /// never hangs. `None`: unknown id.
+    /// never hangs. The channel buffers a bounded number of events; a consumer
+    /// that falls further behind is dropped (slow-watcher shedding).
+    /// `None`: unknown id.
     pub fn watch(&self, job: &str) -> Option<mpsc::Receiver<JobEvent>> {
         let mut state = self.inner.state.lock().unwrap();
         let entry = state.jobs.get_mut(job)?;
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(EVENT_BUFFER);
         if entry.state.is_terminal() {
-            let _ = tx.send(JobEvent::JobFinished {
+            let _ = tx.try_send(JobEvent::JobFinished {
                 job: job.to_string(),
                 status: entry.status(job),
             });
@@ -887,6 +1177,26 @@ impl JobScheduler {
             entry.subscribers.push(tx);
         }
         Some(rx)
+    }
+
+    /// Subscribes to the firehose: every event of every job, in the one
+    /// total order the sinks see. Jobs already terminal at subscription
+    /// time are represented by an immediate synthetic `job-finished` each
+    /// (id order), so a late subscriber still learns every outcome. Same
+    /// bounded-channel shedding as [`JobScheduler::watch`].
+    pub fn watch_all(&self) -> mpsc::Receiver<JobEvent> {
+        let mut state = self.inner.state.lock().unwrap();
+        let (tx, rx) = mpsc::sync_channel(EVENT_BUFFER);
+        for (id, job) in state.jobs.iter() {
+            if job.state.is_terminal() {
+                let _ = tx.try_send(JobEvent::JobFinished {
+                    job: id.clone(),
+                    status: job.status(id),
+                });
+            }
+        }
+        state.firehose.push(tx);
+        rx
     }
 
     /// Cancels a job: queued units are dropped, in-flight units stop at
@@ -901,6 +1211,7 @@ impl JobScheduler {
         if !entry.state.is_terminal() {
             entry.cancel_requested = true;
             entry.cancel.cancel();
+            cancel_running_units(&state, job);
             self.inner.work.notify_all();
         }
         true
@@ -943,6 +1254,9 @@ impl JobScheduler {
             state.accepting = false;
             for job in state.jobs.values() {
                 job.cancel.cancel();
+            }
+            for unit in state.running_units.values() {
+                unit.cancel.cancel();
             }
             self.inner.shutdown.cancel();
             self.inner.work.notify_all();
@@ -1076,7 +1390,18 @@ fn worker_loop(inner: &Arc<Inner>) {
                     return;
                 }
                 if state.started {
-                    if let Some(entry) = state.queue.pop() {
+                    let cap = inner.limits.client_workers;
+                    let entry = {
+                        let State {
+                            queue,
+                            running_by_client,
+                            ..
+                        } = &mut *state;
+                        queue.pop(|client| {
+                            cap == 0 || running_by_client.get(client).copied().unwrap_or(0) < cap
+                        })
+                    };
+                    if let Some(entry) = entry {
                         match prepare_dispatch(inner, &mut state, entry) {
                             Some(dispatch) => break dispatch,
                             None => continue, // unit skipped (job cancelled)
@@ -1087,6 +1412,29 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         };
         run_dispatch(inner, dispatch);
+    }
+}
+
+/// The wall-clock watchdog ([`SchedulerLimits::unit_timeout`]): polls the
+/// running-unit table and cancels any unit past its budget, flagging it
+/// `timed_out` so settlement turns the interruption into a job failure.
+fn watchdog_loop(inner: &Arc<Inner>, timeout: Duration) {
+    let poll = (timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
+    loop {
+        if inner.shutdown.is_cancelled() {
+            return;
+        }
+        {
+            let state = inner.state.lock().unwrap();
+            for unit in state.running_units.values() {
+                if !unit.timed_out.load(AtomicOrdering::Acquire) && unit.started.elapsed() > timeout
+                {
+                    unit.timed_out.store(true, AtomicOrdering::Release);
+                    unit.cancel.cancel();
+                }
+            }
+        }
+        std::thread::sleep(poll);
     }
 }
 
@@ -1112,8 +1460,11 @@ fn prepare_dispatch(inner: &Arc<Inner>, state: &mut State, entry: QueueEntry) ->
     if job.state == JobState::Queued {
         job.state = JobState::Running;
     }
+    let cancel = Arc::new(CancelToken::new());
+    let timed_out = Arc::new(AtomicBool::new(false));
     let dispatch = Dispatch {
         job: entry.job.clone(),
+        client: job.config.client.clone(),
         unit: job.units[entry.unit_idx].clone(),
         unit_idx: entry.unit_idx,
         checkpoint: job.inputs[entry.unit_idx].checkpoint.take(),
@@ -1121,8 +1472,21 @@ fn prepare_dispatch(inner: &Arc<Inner>, state: &mut State, entry: QueueEntry) ->
         every_steps: job.config.checkpoint_every,
         format: job.config.spec.checkpoint_format,
         state_dir: job.config.out_dir.join("state"),
-        cancel: Arc::clone(&job.cancel),
+        cancel: Arc::clone(&cancel),
+        timed_out: Arc::clone(&timed_out),
     };
+    state.running_units.insert(
+        (entry.job.clone(), entry.unit_idx),
+        RunningUnit {
+            started: Instant::now(),
+            cancel,
+            timed_out,
+        },
+    );
+    *state
+        .running_by_client
+        .entry(dispatch.client.clone())
+        .or_insert(0) += 1;
     let event = JobEvent::UnitStarted {
         job: entry.job.clone(),
         unit: dispatch.unit.id(),
@@ -1186,12 +1550,25 @@ fn run_dispatch(inner: &Arc<Inner>, dispatch: Dispatch) {
 
     let finalize = {
         let mut state = inner.state.lock().unwrap();
+        state
+            .running_units
+            .remove(&(dispatch.job.clone(), dispatch.unit_idx));
+        if let Some(count) = state.running_by_client.get_mut(&dispatch.client) {
+            *count -= 1;
+            if *count == 0 {
+                state.running_by_client.remove(&dispatch.client);
+            }
+        }
+        // A freed worker slot or per-client cap slot may unblock a pop.
+        inner.work.notify_all();
         let Some(job) = state.jobs.get_mut(&dispatch.job) else {
             return;
         };
         job.running -= 1;
         job.remaining -= 1;
+        let timed_out = dispatch.timed_out.load(AtomicOrdering::Acquire);
         let mut finished_event = None;
+        let mut abandon = false;
         match (outcome, persisted_error) {
             (Ok(UnitOutcome::Complete(result)), None) => {
                 let clean = result.is_clean();
@@ -1206,16 +1583,39 @@ fn run_dispatch(inner: &Arc<Inner>, dispatch: Dispatch) {
                 if job.error.is_none() {
                     job.error = Some(format!("unit {unit_id}: {e}"));
                 }
-                // Abandon the rest of the job at checkpoint boundaries.
-                job.cancel.cancel();
-                inner.work.notify_all();
+                abandon = true;
+            }
+            (Ok(UnitOutcome::Interrupted(_)), _) if timed_out => {
+                // The watchdog stopped the unit: the checkpoint is on disk
+                // (resumable), but the job reports Failed, not hung.
+                if job.error.is_none() {
+                    let budget = inner
+                        .limits
+                        .unit_timeout
+                        .map(|t| format!("{:.1}s", t.as_secs_f64()))
+                        .unwrap_or_else(|| "?".to_string());
+                    job.error = Some(format!(
+                        "unit {unit_id}: exceeded the {budget} wall-clock budget and was \
+                         cancelled by the watchdog (checkpoint persisted)"
+                    ));
+                }
+                job.interrupted += 1;
+                abandon = true;
             }
             (Ok(UnitOutcome::Interrupted(_)), _) => {
                 // The checkpoint already went through the sink.
                 job.interrupted += 1;
             }
         }
+        if abandon {
+            // Abandon the rest of the job at checkpoint boundaries.
+            job.cancel.cancel();
+        }
         let finalize = job.remaining == 0 && job.running == 0;
+        if abandon {
+            cancel_running_units(&state, &dispatch.job);
+            inner.work.notify_all();
+        }
         if let Some(event) = finished_event {
             inner.fan_out(&mut state, event);
         }
@@ -1424,7 +1824,8 @@ mod tests {
         let err = scheduler
             .submit(JobConfig::new(spec("drain2", 1), out.clone()))
             .unwrap_err();
-        assert!(err.contains("draining"), "{err}");
+        assert_eq!(err.code, "draining");
+        assert!(err.message.contains("draining"), "{err}");
         fs::remove_dir_all(&out).ok();
     }
 
@@ -1483,6 +1884,276 @@ mod tests {
             let status = scheduler.wait(&id).unwrap();
             assert_eq!(status.state, JobState::Finished, "{status:?}");
         }
+        fs::remove_dir_all(&out).ok();
+    }
+
+    /// A unit that runs for a long time: round-robin activation on a big
+    /// torus means ~n steps per round, so the unit cannot finish before a
+    /// sub-second watchdog or cancel fires.
+    fn slow_spec(name: &str) -> SweepSpec {
+        SweepSpec::parse(&format!(
+            r#"{{
+                "name": "{name}",
+                "graph_seed": 5,
+                "tasks": [{{
+                    "id": "T", "kind": "stabilization",
+                    "algorithms": ["min-plus-one"],
+                    "topologies": [{{"kind": "torus", "rows": 32, "cols": 32}}],
+                    "schedulers": ["round-robin"],
+                    "seeds": 1, "max_rounds": 20000
+                }}]
+            }}"#
+        ))
+        .expect("slow spec parses")
+    }
+
+    /// The two-client starvation regression: with one worker and equal
+    /// priority, a client that floods six units cannot delay the other
+    /// client's units beyond the fair-share bound — clients alternate, one
+    /// unit per turn, in first-submission order.
+    #[test]
+    fn fair_share_prevents_single_client_starvation() {
+        let out_a = temp_dir("fair-a");
+        let out_b = temp_dir("fair-b");
+        let recorder = Arc::new(Recorder::default());
+        let scheduler = JobScheduler::new_paused(1);
+        scheduler.add_sink(recorder.clone() as Arc<dyn ResultSink>);
+        let mut flood = JobConfig::new(spec("flood", 6), out_a.clone());
+        flood.client = "flooder".to_string();
+        let mut modest = JobConfig::new(spec("modest", 2), out_b.clone());
+        modest.client = "modest".to_string();
+        let flood_id = scheduler.submit(flood).unwrap().id;
+        let modest_id = scheduler.submit(modest).unwrap().id;
+        scheduler.start();
+        scheduler.wait(&flood_id).unwrap();
+        scheduler.wait(&modest_id).unwrap();
+
+        let events = recorder.events.lock().unwrap();
+        let started: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                JobEvent::UnitStarted { job, .. } => Some(job.as_str()),
+                _ => None,
+            })
+            .collect();
+        // Turn order: flooder, modest, flooder, modest, then the flooder's
+        // backlog. Despite submitting first and 3× as much, the flooder
+        // cannot push the modest client's second unit past dispatch slot 4.
+        let expected = vec![
+            flood_id.as_str(),
+            modest_id.as_str(),
+            flood_id.as_str(),
+            modest_id.as_str(),
+            flood_id.as_str(),
+            flood_id.as_str(),
+            flood_id.as_str(),
+            flood_id.as_str(),
+        ];
+        assert_eq!(started, expected, "fair-share round-robin order");
+        fs::remove_dir_all(&out_a).ok();
+        fs::remove_dir_all(&out_b).ok();
+    }
+
+    #[test]
+    fn client_running_cap_bounds_one_clients_workers() {
+        /// Gauge of concurrently running units (total order via the sink).
+        #[derive(Default)]
+        struct Gauge {
+            current: AtomicUsize,
+            max: AtomicUsize,
+        }
+        impl ResultSink for Gauge {
+            fn event(&self, event: &JobEvent) {
+                match event {
+                    JobEvent::UnitStarted { .. } => {
+                        let now = self.current.fetch_add(1, AtomicOrdering::SeqCst) + 1;
+                        self.max.fetch_max(now, AtomicOrdering::SeqCst);
+                    }
+                    JobEvent::UnitFinished { .. } => {
+                        self.current.fetch_sub(1, AtomicOrdering::SeqCst);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let out = temp_dir("client-cap");
+        let gauge = Arc::new(Gauge::default());
+        let limits = SchedulerLimits {
+            client_workers: 1,
+            ..SchedulerLimits::default()
+        };
+        // Two workers available, but one client may only occupy one.
+        let scheduler = JobScheduler::with_limits(2, true, limits);
+        scheduler.add_sink(gauge.clone() as Arc<dyn ResultSink>);
+        let id = scheduler
+            .submit(JobConfig::new(spec("client-cap", 4), out.clone()))
+            .unwrap()
+            .id;
+        let status = scheduler.wait(&id).unwrap();
+        assert_eq!(status.state, JobState::Finished);
+        assert!(
+            gauge.max.load(AtomicOrdering::SeqCst) <= 1,
+            "per-client cap of 1 exceeded: {}",
+            gauge.max.load(AtomicOrdering::SeqCst)
+        );
+        fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn queue_bound_sheds_load_with_structured_overloaded() {
+        let out = temp_dir("overload");
+        let limits = SchedulerLimits {
+            max_queued_units: 2,
+            ..SchedulerLimits::default()
+        };
+        let scheduler = JobScheduler::with_limits(1, false, limits);
+        let first = scheduler
+            .submit(JobConfig::new(spec("fits", 2), out.join("a")))
+            .unwrap();
+        let err = scheduler
+            .submit(JobConfig::new(spec("shed", 1), out.join("b")))
+            .unwrap_err();
+        assert_eq!(err.code, "overloaded");
+        assert!(err.retry_after_ms.is_some(), "{err:?}");
+        scheduler.start();
+        scheduler.wait(&first.id).unwrap();
+        // The queue drained; the same submission is admitted now.
+        scheduler
+            .submit(JobConfig::new(spec("shed", 1), out.join("b")))
+            .expect("admitted after drain");
+        fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn client_quota_rejects_only_the_noisy_client() {
+        let out = temp_dir("quota");
+        let limits = SchedulerLimits {
+            client_quota: 3,
+            ..SchedulerLimits::default()
+        };
+        let scheduler = JobScheduler::with_limits(1, false, limits);
+        let mut first = JobConfig::new(spec("quota-a", 2), out.join("a"));
+        first.client = "tenant".to_string();
+        scheduler.submit(first).unwrap();
+        let mut second = JobConfig::new(spec("quota-b", 2), out.join("b"));
+        second.client = "tenant".to_string();
+        let err = scheduler.submit(second).unwrap_err();
+        assert_eq!(err.code, "quota-exceeded");
+        let mut other = JobConfig::new(spec("quota-c", 2), out.join("c"));
+        other.client = "other".to_string();
+        scheduler
+            .submit(other)
+            .expect("an unrelated client is not throttled");
+        scheduler.start();
+        scheduler.drain();
+        fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn watchdog_fails_stuck_units_with_a_checkpoint() {
+        let out = temp_dir("watchdog");
+        let limits = SchedulerLimits {
+            unit_timeout: Some(Duration::from_millis(250)),
+            ..SchedulerLimits::default()
+        };
+        let scheduler = JobScheduler::with_limits(1, true, limits);
+        let mut config = JobConfig::new(slow_spec("stuck"), out.clone());
+        config.checkpoint_every = 500;
+        let id = scheduler.submit(config).unwrap().id;
+        let status = scheduler.wait(&id).unwrap();
+        assert_eq!(status.state, JobState::Failed, "{status:?}");
+        let error = status.error.expect("watchdog error recorded");
+        assert!(error.contains("wall-clock"), "{error}");
+        // The unit stopped at a checkpoint boundary: resumable, not lost.
+        let has_ckpt = fs::read_dir(out.join("state"))
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .any(|e| e.file_name().to_string_lossy().contains(".ckpt."))
+            })
+            .unwrap_or(false);
+        assert!(has_ckpt, "timed-out unit left a checkpoint");
+        fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn corrupt_done_file_is_quarantined_and_recomputed_identically() {
+        let out = temp_dir("quarantine");
+        let scheduler = JobScheduler::new(1);
+        let id = scheduler
+            .submit(JobConfig::new(spec("quarantine", 2), out.clone()))
+            .unwrap()
+            .id;
+        scheduler.wait(&id).unwrap();
+        drop(scheduler);
+        let baseline = fs::read(out.join("EXPERIMENTS.json")).unwrap();
+
+        // Corrupt one completed-unit result (torn write) and resume.
+        let done_path = fs::read_dir(out.join("state"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.to_string_lossy().ends_with(".done.json"))
+            .expect("a done file exists");
+        fs::write(&done_path, &b"{\"truncated\": tr"[..]).unwrap();
+
+        let scheduler = JobScheduler::new(1);
+        let mut config = JobConfig::new(spec("quarantine", 2), out.clone());
+        config.resume = true;
+        let receipt = scheduler.submit(config).unwrap();
+        assert_eq!(receipt.resumed_done, 1, "only the intact result restores");
+        let status = scheduler.wait(&receipt.id).unwrap();
+        assert_eq!(status.state, JobState::Finished);
+        drop(scheduler);
+
+        let mut quarantined = done_path.as_os_str().to_owned();
+        quarantined.push(".quarantined");
+        assert!(
+            PathBuf::from(quarantined).exists(),
+            "corrupt file kept for post-mortem"
+        );
+        assert_eq!(
+            fs::read(out.join("EXPERIMENTS.json")).unwrap(),
+            baseline,
+            "recomputed report is byte-identical"
+        );
+        fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn watch_all_streams_the_firehose_with_terminal_catch_up() {
+        let out = temp_dir("firehose");
+        let scheduler = JobScheduler::new(1);
+        let first = scheduler
+            .submit(JobConfig::new(spec("fh-one", 1), out.join("one")))
+            .unwrap()
+            .id;
+        scheduler.wait(&first).unwrap();
+        // Subscribe after the first job finished, before the second starts:
+        // the stream opens with a synthetic catch-up for the archived job.
+        let rx = scheduler.watch_all();
+        let second = scheduler
+            .submit(JobConfig::new(spec("fh-two", 1), out.join("two")))
+            .unwrap()
+            .id;
+        scheduler.wait(&second).unwrap();
+
+        let mut finished = Vec::new();
+        let mut saw_unit_started = false;
+        while let Ok(event) = rx.recv_timeout(Duration::from_secs(10)) {
+            match event {
+                JobEvent::JobFinished { job, .. } => {
+                    finished.push(job.clone());
+                    if finished.len() == 2 {
+                        break;
+                    }
+                }
+                JobEvent::UnitStarted { .. } => saw_unit_started = true,
+                _ => {}
+            }
+        }
+        assert_eq!(finished, vec![first, second]);
+        assert!(saw_unit_started, "live events stream after catch-up");
         fs::remove_dir_all(&out).ok();
     }
 }

@@ -1,0 +1,299 @@
+//! Durable file I/O with deterministic disk-fault injection.
+//!
+//! Every daemon-owned file in the workspace (job manifests, unit results,
+//! checkpoints, reports) is persisted through the four primitives here —
+//! [`write()`], [`sync_file`], [`rename`], [`sync_dir`] — which together
+//! implement the classic temp-file + fsync + atomic-rename + directory-fsync
+//! discipline. Routing them through one chokepoint buys two things:
+//!
+//! 1. **Durability in one place.** The callers compose the primitives into
+//!    `write_atomic` (see `sa_bench::jobs`); the fsync policy lives here.
+//! 2. **A deterministic fault seam.** Each call is an *indexed I/O
+//!    operation*: a process-wide counter assigns every (path-matching) call
+//!    a sequence number, and a fault plan maps sequence numbers to fault
+//!    kinds. A test can therefore replay a workload once per index and
+//!    prove crash recovery under a kill/torn-write/ENOSPC at *every* point
+//!    where the process touches disk — the same exhaustive-adversary idea
+//!    the paper applies to transient state corruption, applied to our own
+//!    persistence layer.
+//!
+//! # Fault plans
+//!
+//! A plan is installed from the `SA_IO_FAULTS` environment variable (read
+//! once, at the first I/O call) or programmatically via [`install_plan`]
+//! (tests). The syntax is:
+//!
+//! ```text
+//! [match=<substring>;]<index>=<kind>[,<index>=<kind>...]
+//! ```
+//!
+//! `<kind>` is one of `kill`, `torn`, `short`, `enospc`, `eio`. Only calls
+//! whose path contains the optional `match=` substring consume an index (so
+//! concurrent unrelated I/O does not shift the numbering); with no `match=`
+//! every call counts. Example: `match=jobs/j1;7=torn` tears the 8th
+//! operation touching `jobs/j1`.
+//!
+//! | kind | at a [`write()`] point | at a sync/rename point |
+//! |---|---|---|
+//! | `kill` | process aborts before any byte is written | process aborts before the op |
+//! | `torn` | first half written and synced, then abort | process aborts before the op |
+//! | `short` | first half written, **success reported** | reported as `EIO` |
+//! | `enospc` | first half written, `ENOSPC` returned | `ENOSPC` returned |
+//! | `eio` | nothing written, `EIO` returned | `EIO` returned |
+//!
+//! `kill`/`torn` abort the whole process (SIGABRT — indistinguishable from
+//! SIGKILL for recovery purposes), so they are only usable against a
+//! spawned child (the serve tests); `short`/`enospc`/`eio` are safe
+//! in-process. With no plan installed the primitives are plain pass-through
+//! I/O — the hot path is one relaxed atomic load.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+
+/// One injected fault kind (see the module docs for per-operation effects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Abort the process before the operation.
+    Kill,
+    /// Persist a torn prefix (half the bytes, synced), then abort.
+    Torn,
+    /// Write half the bytes but report success (silent data loss).
+    Short,
+    /// Fail with `ENOSPC` (writes leave a torn prefix behind).
+    Enospc,
+    /// Fail with `EIO` without touching the file.
+    Eio,
+}
+
+impl FaultKind {
+    fn parse(label: &str) -> Option<Self> {
+        Some(match label {
+            "kill" => FaultKind::Kill,
+            "torn" => FaultKind::Torn,
+            "short" => FaultKind::Short,
+            "enospc" => FaultKind::Enospc,
+            "eio" => FaultKind::Eio,
+            _ => return None,
+        })
+    }
+}
+
+struct Plan {
+    matcher: Option<String>,
+    faults: BTreeMap<u64, FaultKind>,
+    /// Next sequence number; incremented once per matching operation.
+    next: u64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Plan>> = Mutex::new(None);
+static ENV_INIT: Once = Once::new();
+
+fn parse_plan(spec: &str) -> Result<Plan, String> {
+    let mut matcher = None;
+    let mut rest = spec.trim();
+    if let Some(tail) = rest.strip_prefix("match=") {
+        let (substr, remainder) = tail
+            .split_once(';')
+            .ok_or("expected ';' after match=<substring>")?;
+        matcher = Some(substr.to_string());
+        rest = remainder;
+    }
+    let mut faults = BTreeMap::new();
+    for part in rest.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (idx, kind) = part
+            .split_once('=')
+            .ok_or_else(|| format!("expected <index>=<kind>, got \"{part}\""))?;
+        let idx: u64 = idx
+            .parse()
+            .map_err(|_| format!("bad fault index \"{idx}\""))?;
+        let kind = FaultKind::parse(kind)
+            .ok_or_else(|| format!("unknown fault kind \"{kind}\" (kill|torn|short|enospc|eio)"))?;
+        faults.insert(idx, kind);
+    }
+    Ok(Plan {
+        matcher,
+        faults,
+        next: 0,
+    })
+}
+
+/// Installs a fault plan programmatically (tests), replacing any existing
+/// plan and resetting the operation counter. See the module docs for the
+/// plan syntax.
+pub fn install_plan(spec: &str) -> Result<(), String> {
+    let plan = parse_plan(spec)?;
+    ensure_env_loaded();
+    *PLAN.lock().unwrap() = Some(plan);
+    ACTIVE.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Removes any installed fault plan; subsequent I/O is plain pass-through.
+pub fn clear_plan() {
+    ensure_env_loaded();
+    *PLAN.lock().unwrap() = None;
+    ACTIVE.store(false, Ordering::Release);
+}
+
+fn ensure_env_loaded() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("SA_IO_FAULTS") {
+            if spec.trim().is_empty() {
+                return;
+            }
+            match parse_plan(&spec) {
+                Ok(plan) => {
+                    *PLAN.lock().unwrap() = Some(plan);
+                    ACTIVE.store(true, Ordering::Release);
+                }
+                Err(e) => eprintln!("sa: warning: ignoring invalid SA_IO_FAULTS: {e}"),
+            }
+        }
+    });
+}
+
+/// Consumes one fault-point index for `path` and returns the fault planned
+/// there, if any.
+fn fault_at(path: &Path) -> Option<FaultKind> {
+    ensure_env_loaded();
+    if !ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut guard = PLAN.lock().unwrap();
+    let plan = guard.as_mut()?;
+    if let Some(matcher) = &plan.matcher {
+        if !path.to_string_lossy().contains(matcher.as_str()) {
+            return None; // non-matching ops do not consume an index
+        }
+    }
+    let idx = plan.next;
+    plan.next += 1;
+    plan.faults.get(&idx).copied()
+}
+
+fn abort(path: &Path, what: &str) -> ! {
+    // Flush the reason first so the harness can attribute the death.
+    eprintln!(
+        "sa: faultfs: injected {what} at {}; aborting",
+        path.display()
+    );
+    std::process::abort();
+}
+
+fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(28) // ENOSPC
+}
+
+fn eio() -> io::Error {
+    io::Error::from_raw_os_error(5) // EIO
+}
+
+/// Writes `bytes` to `path` (creating or truncating it) — one indexed fault
+/// point. Does **not** fsync; pair with [`sync_file`].
+pub fn write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    match fault_at(path) {
+        None => fs::write(path, bytes),
+        Some(FaultKind::Kill) => abort(path, "kill-at-write"),
+        Some(FaultKind::Torn) => {
+            let mut file = fs::File::create(path)?;
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = file.sync_all();
+            abort(path, "torn write");
+        }
+        Some(FaultKind::Short) => {
+            let mut file = fs::File::create(path)?;
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            Ok(()) // the lie: success with half the payload on disk
+        }
+        Some(FaultKind::Enospc) => {
+            let mut file = fs::File::create(path)?;
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            Err(enospc())
+        }
+        Some(FaultKind::Eio) => Err(eio()),
+    }
+}
+
+/// `fsync`s the file at `path` — one indexed fault point.
+pub fn sync_file(path: &Path) -> io::Result<()> {
+    match fault_at(path) {
+        None => fs::File::open(path)?.sync_all(),
+        Some(FaultKind::Kill) | Some(FaultKind::Torn) => abort(path, "kill-at-fsync"),
+        Some(FaultKind::Short) | Some(FaultKind::Eio) => Err(eio()),
+        Some(FaultKind::Enospc) => Err(enospc()),
+    }
+}
+
+/// Renames `from` to `to` (atomic within a filesystem) — one indexed fault
+/// point, keyed on the destination path.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    match fault_at(to) {
+        None => fs::rename(from, to),
+        Some(FaultKind::Kill) | Some(FaultKind::Torn) => abort(to, "kill-at-rename"),
+        Some(FaultKind::Short) | Some(FaultKind::Eio) => Err(eio()),
+        Some(FaultKind::Enospc) => Err(enospc()),
+    }
+}
+
+/// `fsync`s a directory, making a completed rename inside it durable — one
+/// indexed fault point.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    match fault_at(dir) {
+        None => fs::File::open(dir)?.sync_all(),
+        Some(FaultKind::Kill) | Some(FaultKind::Torn) => abort(dir, "kill-at-dirsync"),
+        Some(FaultKind::Short) | Some(FaultKind::Eio) => Err(eio()),
+        Some(FaultKind::Enospc) => Err(enospc()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sa-faultfs-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn plan_parsing_accepts_matcher_and_multiple_points() {
+        let plan = parse_plan("match=jobs/j1;0=kill,3=torn,7=enospc").unwrap();
+        assert_eq!(plan.matcher.as_deref(), Some("jobs/j1"));
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[&3], FaultKind::Torn);
+        assert!(parse_plan("nonsense").is_err());
+        assert!(parse_plan("1=explode").is_err());
+        assert!(parse_plan("match=x").is_err(), "match without ';' rejected");
+    }
+
+    #[test]
+    fn injected_faults_fire_at_indexed_matching_ops_only() {
+        let dir = temp("inject");
+        fs::create_dir_all(&dir).unwrap();
+        let tag = dir.file_name().unwrap().to_string_lossy().into_owned();
+        // Index 1 (the second matching op) fails EIO; index 2 shorts.
+        install_plan(&format!("match={tag};1=eio,2=short")).unwrap();
+        let unrelated =
+            std::env::temp_dir().join(format!("sa-faultfs-other-{}", std::process::id()));
+        write(&unrelated, b"x").unwrap(); // does not consume an index
+        write(&dir.join("a"), b"payload!").unwrap(); // index 0: clean
+        let err = write(&dir.join("b"), b"payload!").unwrap_err(); // index 1
+        assert_eq!(err.raw_os_error(), Some(5));
+        write(&dir.join("c"), b"payload!").unwrap(); // index 2: short "success"
+        assert_eq!(fs::read(dir.join("c")).unwrap().len(), 4);
+        clear_plan();
+        write(&dir.join("d"), b"payload!").unwrap();
+        assert_eq!(fs::read(dir.join("d")).unwrap(), b"payload!");
+        fs::remove_file(&unrelated).ok();
+        fs::remove_dir_all(&dir).ok();
+    }
+}

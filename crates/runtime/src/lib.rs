@@ -18,5 +18,6 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultfs;
 pub mod parallel;
 pub mod pool;

@@ -1,5 +1,5 @@
 //! Client subcommands for a running `sa serve` daemon: `submit`, `status`,
-//! `watch`, `cancel`, `drain`, `shutdown`, `ping`.
+//! `watch`, `cancel`, `gc`, `drain`, `shutdown`, `ping`.
 //!
 //! Each command opens one connection to the daemon's Unix socket, consumes
 //! the `hello` handshake line (refusing daemons with a newer
@@ -104,7 +104,10 @@ struct ClientArgs {
     priority: i64,
     client: String,
     watch: bool,
+    all: bool,
     wait: Option<Duration>,
+    keep: Option<u64>,
+    max_age_secs: Option<u64>,
 }
 
 fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
@@ -114,7 +117,10 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
         priority: 0,
         client: whoami(),
         watch: false,
+        all: false,
         wait: None,
+        keep: None,
+        max_age_secs: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -132,6 +138,21 @@ fn parse_client_args(args: &[String]) -> Result<ClientArgs, String> {
             }
             "--client" => parsed.client = flag_value("--client")?,
             "--watch" => parsed.watch = true,
+            "--all" => parsed.all = true,
+            "--keep" => {
+                parsed.keep = Some(
+                    flag_value("--keep")?
+                        .parse()
+                        .map_err(|_| "--keep must be an integer".to_string())?,
+                );
+            }
+            "--max-age-secs" => {
+                parsed.max_age_secs = Some(
+                    flag_value("--max-age-secs")?
+                        .parse()
+                        .map_err(|_| "--max-age-secs must be an integer (seconds)".to_string())?,
+                );
+            }
             "--wait" => {
                 let secs: u64 = flag_value("--wait")?
                     .parse()
@@ -217,11 +238,31 @@ pub fn status(args: &[String]) -> Result<ExitCode, String> {
 }
 
 /// `sa watch <job> --socket S` — blocks until the job is terminal; exit
-/// code reflects a clean finish.
+/// code reflects a clean finish. `sa watch --all --socket S` streams the
+/// firehose instead: archived jobs replay as `job-finished` catch-up lines,
+/// then every event of every job, until the daemon shuts down (Ctrl-C to
+/// stop earlier).
 pub fn watch(args: &[String]) -> Result<ExitCode, String> {
     let parsed = parse_client_args(args)?;
+    if parsed.all {
+        if !parsed.positional.is_empty() {
+            return Err("sa watch --all takes no job id".to_string());
+        }
+        let mut connection = Connection::open(&parsed.socket)?;
+        connection.round_trip(&JsonValue::object([
+            ("op".to_string(), JsonValue::String("watch".to_string())),
+            ("all".to_string(), JsonValue::Bool(true)),
+        ]))?;
+        loop {
+            match connection.read_line() {
+                Ok(event) => println!("{}", event.render()),
+                // The stream ends only when the daemon goes away.
+                Err(_) => return Ok(ExitCode::SUCCESS),
+            }
+        }
+    }
     let [job] = parsed.positional.as_slice() else {
-        return Err("sa watch needs exactly one job id".to_string());
+        return Err("sa watch needs exactly one job id (or --all)".to_string());
     };
     let mut connection = Connection::open(&parsed.socket)?;
     watch_job(&mut connection, job)
@@ -239,6 +280,27 @@ pub fn cancel(args: &[String]) -> Result<ExitCode, String> {
         ("job".to_string(), JsonValue::String(job.clone())),
     ]))?;
     println!("cancelled {job}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `sa gc --socket S [--keep N] [--max-age-secs SECS]` — prunes archived
+/// (terminal) job directories on the daemon; with no flags, the daemon's
+/// own `--keep`/`--keep-age-secs` retention settings apply.
+pub fn gc(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_client_args(args)?;
+    if !parsed.positional.is_empty() {
+        return Err("sa gc takes no positional arguments".to_string());
+    }
+    let mut fields = vec![("op".to_string(), JsonValue::String("gc".to_string()))];
+    if let Some(keep) = parsed.keep {
+        fields.push(("keep".to_string(), JsonValue::Number(keep as f64)));
+    }
+    if let Some(age) = parsed.max_age_secs {
+        fields.push(("max_age_secs".to_string(), JsonValue::Number(age as f64)));
+    }
+    let mut connection = Connection::open(&parsed.socket)?;
+    let response = connection.round_trip(&JsonValue::object(fields))?;
+    println!("{}", response.render());
     Ok(ExitCode::SUCCESS)
 }
 

@@ -17,10 +17,15 @@
 //! sa check  <spec.json | spec-dir>
 //! sa verify <spec.json> [--out DIR]
 //! sa serve    --socket PATH [--state-dir DIR] [--workers N] [--checkpoint-every N]
+//!             [--keep N] [--keep-age-secs S] [--max-frame-bytes N]
+//!             [--idle-timeout-secs S] [--write-timeout-secs S]
+//!             [--unit-timeout-secs S] [--max-queued-units N]
+//!             [--client-quota N] [--client-workers N]
 //! sa submit   <spec.json> --socket PATH [--priority N] [--client NAME] [--watch]
 //! sa status   [job]       --socket PATH
-//! sa watch    <job>       --socket PATH
+//! sa watch    <job|--all> --socket PATH
 //! sa cancel   <job>       --socket PATH
+//! sa gc       --socket PATH [--keep N] [--max-age-secs S]
 //! sa drain    --socket PATH
 //! sa shutdown --socket PATH
 //! sa ping     --socket PATH [--wait SECS]
@@ -41,7 +46,8 @@
 //! Runtime behavior is tuned through `SA_*` environment variables
 //! (`SA_ENGINE`, `SA_ENGINE_THREADS`, `SA_BENCH_THREADS`,
 //! `SA_FORCE_FULL_EVAL`, `SA_FORCE_CLOSURE_EVAL`, `SA_FORCE_FULL_ORACLE`,
-//! `SA_VERIFY_MAX_STATES`) —
+//! `SA_VERIFY_MAX_STATES`, the `SA_SERVE_*` daemon limits, `SA_NO_FSYNC`,
+//! and the `SA_IO_FAULTS` fault-injection seam) —
 //! see `docs/env-vars.md` for the authoritative table.
 
 mod benchdiff;
@@ -58,15 +64,22 @@ fn usage() -> ExitCode {
         "usage:\n  sa run    <spec.json> [--out DIR] [--checkpoint-every N] \
          [--interrupt-after-steps N] [--interrupt-units K]\n  sa resume <spec.json> [--out DIR] \
          [--checkpoint-every N]\n  sa check  <spec.json | spec-dir>\n  sa verify <spec.json> [--out DIR]\n  sa serve    --socket PATH \
-         [--state-dir DIR] [--workers N] [--checkpoint-every N]\n  sa submit   <spec.json> \
+         [--state-dir DIR] [--workers N] [--checkpoint-every N]\n              [--keep N] \
+         [--keep-age-secs S] [--max-frame-bytes N]\n              [--idle-timeout-secs S] \
+         [--write-timeout-secs S] [--unit-timeout-secs S]\n              [--max-queued-units N] \
+         [--client-quota N] [--client-workers N]\n  sa submit   <spec.json> \
          --socket PATH [--priority N] [--client NAME] [--watch]\n  sa status   [job]       \
-         --socket PATH\n  sa watch    <job>       --socket PATH\n  sa cancel   <job>       \
-         --socket PATH\n  sa drain    --socket PATH\n  sa shutdown --socket PATH\n  sa ping     \
+         --socket PATH\n  sa watch    <job|--all> --socket PATH\n  sa cancel   <job>       \
+         --socket PATH\n  sa gc       --socket PATH [--keep N] [--max-age-secs S]\n  sa drain    \
+         --socket PATH\n  sa shutdown --socket PATH\n  sa ping     \
          --socket PATH [--wait SECS]\n  sa bench-diff <committed.json> <fresh.json> \
          [--max-regress FRAC] [--max-regress-sharded FRAC]\n  sa bench-record \
          [--out BENCH_micro.json]\n\nenvironment:\n  SA_ENGINE, SA_ENGINE_THREADS, \
          SA_BENCH_THREADS, SA_FORCE_FULL_EVAL,\n  SA_FORCE_CLOSURE_EVAL, SA_FORCE_FULL_ORACLE, \
-         SA_VERIFY_MAX_STATES — see docs/env-vars.md"
+         SA_VERIFY_MAX_STATES,\n  SA_SERVE_KEEP, SA_SERVE_KEEP_AGE_SECS, SA_SERVE_MAX_FRAME_BYTES,\n  \
+         SA_SERVE_IDLE_TIMEOUT_SECS, SA_SERVE_WRITE_TIMEOUT_SECS,\n  SA_SERVE_UNIT_TIMEOUT_SECS, \
+         SA_SERVE_MAX_QUEUED_UNITS, SA_SERVE_CLIENT_QUOTA,\n  SA_SERVE_CLIENT_WORKERS, \
+         SA_NO_FSYNC, SA_IO_FAULTS — see docs/env-vars.md"
     );
     ExitCode::from(2)
 }
@@ -86,6 +99,7 @@ fn main() -> ExitCode {
         "status" => client::status(&args[1..]),
         "watch" => client::watch(&args[1..]),
         "cancel" => client::cancel(&args[1..]),
+        "gc" => client::gc(&args[1..]),
         "drain" => client::drain(&args[1..]),
         "shutdown" => client::shutdown(&args[1..]),
         "ping" => client::ping(&args[1..]),

@@ -14,17 +14,44 @@
 //! jobs/<id>/out/         # the job's output directory (state/ + reports)
 //! jobs/<id>/result.json  # final status, written only on terminal states
 //!                        # that must NOT resume (finished/failed/cancelled)
+//! quarantine/<id>/       # job dirs whose records arrived torn (see below)
 //! ```
 //!
 //! Crash recovery is a restart-time rescan: every `job.json` without a
 //! `result.json` is resubmitted with its original id and priority and
 //! `resume = true`, so in-flight units continue from their checkpoints and
 //! a SIGKILLed-and-restarted daemon produces byte-identical
-//! `EXPERIMENTS.json`/`.md` (pinned by `tests/serve.rs` and the CI
-//! `serve-smoke` job).
+//! `EXPERIMENTS.json`/`.md` (pinned by `tests/serve.rs`, the fault-matrix
+//! sweep in `tests/robustness.rs`, and the CI `serve-smoke` /
+//! `robustness-smoke` jobs).
+//!
+//! # The fault-tolerance contract
+//!
+//! The daemon holds itself to the paper's standard — recover from arbitrary
+//! transient faults instead of trusting them not to happen:
+//!
+//! * **Durable acks.** Every daemon-owned file is written temp-file +
+//!   fsync + atomic-rename + dir-fsync (see [`write_atomic`]); `job.json`
+//!   reaches disk *before* the submit ack, so an acknowledged job is never
+//!   silently lost, and a crash before the ack loses only the
+//!   un-acknowledged submit.
+//! * **Tolerant recovery.** The rescan never refuses to start over bad
+//!   bytes: a torn `job.json` quarantines the job directory (logged, kept
+//!   for post-mortems), a torn `result.json` or checkpoint quarantines just
+//!   that file and recomputes — deterministically byte-identical, per the
+//!   counter-based RNG discipline.
+//! * **Bounded intake.** Request lines are capped (`--max-frame-bytes`,
+//!   structured `too-large` error), the queue is capped (`overloaded` +
+//!   `retry_after_ms`), per-client quotas and fair-share dispatch keep one
+//!   client from starving the rest, and slow clients are disconnected by
+//!   read/write deadlines rather than pinning handler threads.
+//! * **No stuck units.** `--unit-timeout-secs` arms a watchdog that cancels
+//!   a runaway unit at its next checkpoint boundary and fails the job with
+//!   an explanatory error.
 
 use sa_bench::jobs::{
-    write_atomic, JobConfig, JobEvent, JobId, JobScheduler, JobState, JobStatus, ResultSink,
+    quarantine_file, write_atomic, JobConfig, JobEvent, JobId, JobScheduler, JobState, JobStatus,
+    ResultSink, SchedError, SchedulerLimits,
 };
 use sa_model::json::JsonValue;
 use sa_runtime::parallel::{thread_count, CancelToken};
@@ -34,8 +61,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, SystemTime};
 
 /// The protocol generation this daemon speaks (sent in the `hello` line;
 /// see `docs/serve-protocol.md` for the compatibility rules).
@@ -46,6 +73,35 @@ struct ServeOptions {
     state_dir: PathBuf,
     workers: usize,
     checkpoint_every: u64,
+    /// Archive retention: keep at most this many terminal job dirs
+    /// (0 = unlimited).
+    keep: usize,
+    /// Archive retention: prune terminal job dirs older than this
+    /// (0 = no age limit).
+    keep_age_secs: u64,
+    /// Request-line length cap; longer frames get a `too-large` error.
+    max_frame_bytes: usize,
+    /// Disconnect a connection idle (or mid-line) this long (0 = never).
+    idle_timeout_secs: u64,
+    /// Disconnect a connection that blocks writes this long (0 = never).
+    write_timeout_secs: u64,
+    /// Wall-clock budget per unit; the watchdog fails runaways (0 = off).
+    unit_timeout_secs: u64,
+    /// Queue-depth bound for admission control (0 = unlimited).
+    max_queued_units: usize,
+    /// Per-client outstanding-unit quota (0 = unlimited).
+    client_quota: usize,
+    /// Per-client running-unit cap (0 = unlimited).
+    client_workers: usize,
+}
+
+/// `SA_SERVE_*` fallback for a numeric flag (flags win; invalid values are
+/// ignored).
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
 }
 
 fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
@@ -54,6 +110,15 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
         state_dir: PathBuf::from("serve-state"),
         workers: thread_count(),
         checkpoint_every: 1000,
+        keep: env_u64("SA_SERVE_KEEP", 0) as usize,
+        keep_age_secs: env_u64("SA_SERVE_KEEP_AGE_SECS", 0),
+        max_frame_bytes: env_u64("SA_SERVE_MAX_FRAME_BYTES", 1 << 20) as usize,
+        idle_timeout_secs: env_u64("SA_SERVE_IDLE_TIMEOUT_SECS", 300),
+        write_timeout_secs: env_u64("SA_SERVE_WRITE_TIMEOUT_SECS", 30),
+        unit_timeout_secs: env_u64("SA_SERVE_UNIT_TIMEOUT_SECS", 0),
+        max_queued_units: env_u64("SA_SERVE_MAX_QUEUED_UNITS", 10_000) as usize,
+        client_quota: env_u64("SA_SERVE_CLIENT_QUOTA", 0) as usize,
+        client_workers: env_u64("SA_SERVE_CLIENT_WORKERS", 0) as usize,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -62,19 +127,27 @@ fn parse_serve_options(args: &[String]) -> Result<ServeOptions, String> {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        let mut numeric = |name: &str| -> Result<u64, String> {
+            flag_value(name)?
+                .parse()
+                .map_err(|_| format!("{name} must be an integer"))
+        };
         match arg.as_str() {
             "--socket" => options.socket = PathBuf::from(flag_value("--socket")?),
             "--state-dir" => options.state_dir = PathBuf::from(flag_value("--state-dir")?),
-            "--workers" => {
-                options.workers = flag_value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers must be an integer".to_string())?;
+            "--workers" => options.workers = numeric("--workers")? as usize,
+            "--checkpoint-every" => options.checkpoint_every = numeric("--checkpoint-every")?,
+            "--keep" => options.keep = numeric("--keep")? as usize,
+            "--keep-age-secs" => options.keep_age_secs = numeric("--keep-age-secs")?,
+            "--max-frame-bytes" => options.max_frame_bytes = numeric("--max-frame-bytes")? as usize,
+            "--idle-timeout-secs" => options.idle_timeout_secs = numeric("--idle-timeout-secs")?,
+            "--write-timeout-secs" => options.write_timeout_secs = numeric("--write-timeout-secs")?,
+            "--unit-timeout-secs" => options.unit_timeout_secs = numeric("--unit-timeout-secs")?,
+            "--max-queued-units" => {
+                options.max_queued_units = numeric("--max-queued-units")? as usize
             }
-            "--checkpoint-every" => {
-                options.checkpoint_every = flag_value("--checkpoint-every")?
-                    .parse()
-                    .map_err(|_| "--checkpoint-every must be an integer".to_string())?;
-            }
+            "--client-quota" => options.client_quota = numeric("--client-quota")? as usize,
+            "--client-workers" => options.client_workers = numeric("--client-workers")? as usize,
             other => return Err(format!("unknown argument \"{other}\"")),
         }
     }
@@ -89,6 +162,8 @@ struct Daemon {
     scheduler: JobScheduler,
     state_dir: PathBuf,
     checkpoint_every: u64,
+    keep: usize,
+    keep_age_secs: u64,
     /// Terminal statuses of jobs from previous daemon lives (restored from
     /// `result.json`); `status`/`watch` fall back to these.
     archive: Mutex<BTreeMap<JobId, JobStatus>>,
@@ -134,19 +209,52 @@ fn job_json(id: &str, spec_text: &JsonValue, priority: i64, client: &str) -> Jso
     ])
 }
 
+/// Moves a job directory whose records are unusable into
+/// `<state-dir>/quarantine/` (kept for post-mortems), logging the reason.
+/// Recovery never panics and never refuses to start over one bad job.
+fn quarantine_dir(state_dir: &Path, dir: &Path, reason: &str) {
+    eprintln!(
+        "sa serve: warning: quarantining {}: {reason}",
+        dir.display()
+    );
+    let root = state_dir.join("quarantine");
+    if fs::create_dir_all(&root).is_err() {
+        return;
+    }
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "job".to_string());
+    let mut target = root.join(&name);
+    let mut suffix = 1;
+    while target.exists() {
+        target = root.join(format!("{name}-{suffix}"));
+        suffix += 1;
+    }
+    if let Err(e) = fs::rename(dir, &target) {
+        eprintln!(
+            "sa serve: warning: cannot quarantine {}: {e}",
+            dir.display()
+        );
+    }
+}
+
 /// Restart-time rescan: archive finished jobs, resubmit unfinished ones
-/// (resume mode, original id/priority/client). Returns the next fresh id
-/// counter value.
+/// (resume mode, original id/priority/client). Torn or missing records
+/// quarantine the affected file or directory and the scan continues — a
+/// corrupt job never takes the daemon down with it. Returns the next fresh
+/// id counter value.
 fn recover_jobs(
     scheduler: &JobScheduler,
-    jobs_root: &Path,
+    state_dir: &Path,
     archive: &Mutex<BTreeMap<JobId, JobStatus>>,
     checkpoint_every: u64,
-) -> Result<u64, String> {
+) -> u64 {
+    let jobs_root = jobs_dir(state_dir);
     let mut next_id = 1u64;
-    let mut entries: Vec<PathBuf> = match fs::read_dir(jobs_root) {
+    let mut entries: Vec<PathBuf> = match fs::read_dir(&jobs_root) {
         Ok(entries) => entries.filter_map(|e| e.ok().map(|e| e.path())).collect(),
-        Err(_) => return Ok(next_id),
+        Err(_) => return next_id,
     };
     entries.sort();
     for dir in entries {
@@ -154,28 +262,54 @@ fn recover_jobs(
             continue;
         };
         if let Some(n) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+            // Quarantined ids count too: never reuse an id a client saw.
             next_id = next_id.max(n + 1);
+        }
+        if !dir.is_dir() {
+            continue;
         }
         let job_path = dir.join("job.json");
         let Ok(text) = fs::read_to_string(&job_path) else {
+            quarantine_dir(state_dir, &dir, "missing or unreadable job.json");
             continue;
         };
-        let doc = JsonValue::parse(&text)
-            .map_err(|e| format!("corrupt job record {}: {e}", job_path.display()))?;
-        if let Ok(result_text) = fs::read_to_string(dir.join("result.json")) {
-            let status = JsonValue::parse(&result_text)
+        let doc = match JsonValue::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                quarantine_dir(state_dir, &dir, &format!("corrupt job.json: {e}"));
+                continue;
+            }
+        };
+        let result_path = dir.join("result.json");
+        if result_path.exists() {
+            let status = fs::read_to_string(&result_path)
                 .ok()
+                .and_then(|t| JsonValue::parse(&t).ok())
                 .as_ref()
-                .and_then(JobStatus::from_json)
-                .ok_or_else(|| format!("corrupt result record in {}", dir.display()))?;
-            archive.lock().unwrap().insert(id, status);
-            continue;
+                .and_then(JobStatus::from_json);
+            match status {
+                Some(status) => {
+                    archive.lock().unwrap().insert(id, status);
+                    continue;
+                }
+                None => {
+                    // The job itself is fine; only the terminal record is
+                    // torn. Quarantine it and recompute via resume below.
+                    quarantine_file(&result_path, "corrupt result record");
+                }
+            }
         }
-        let spec_doc = doc
-            .get("spec")
-            .ok_or_else(|| format!("{}: missing \"spec\"", job_path.display()))?;
-        let spec = sa_bench::sweep::SweepSpec::from_json(spec_doc)
-            .map_err(|e| format!("{}: {e}", job_path.display()))?;
+        let Some(spec_doc) = doc.get("spec") else {
+            quarantine_dir(state_dir, &dir, "job.json has no \"spec\"");
+            continue;
+        };
+        let spec = match sa_bench::sweep::SweepSpec::from_json(spec_doc) {
+            Ok(spec) => spec,
+            Err(e) => {
+                quarantine_dir(state_dir, &dir, &format!("unusable spec: {e}"));
+                continue;
+            }
+        };
         let mut config = JobConfig::new(spec, dir.join("out"));
         config.id = Some(id.clone());
         config.priority = doc.get("priority").and_then(|p| p.as_f64()).unwrap_or(0.0) as i64;
@@ -186,13 +320,68 @@ fn recover_jobs(
             .to_string();
         config.checkpoint_every = checkpoint_every;
         config.resume = true;
-        let receipt = scheduler.submit(config)?;
-        eprintln!(
-            "sa serve: recovered job {} ({} unit(s), {} already complete)",
-            receipt.id, receipt.units, receipt.resumed_done
-        );
+        match scheduler.submit(config) {
+            Ok(receipt) => eprintln!(
+                "sa serve: recovered job {} ({} unit(s), {} already complete)",
+                receipt.id, receipt.units, receipt.resumed_done
+            ),
+            Err(e) => quarantine_dir(state_dir, &dir, &format!("cannot resubmit: {e}")),
+        }
     }
-    Ok(next_id)
+    next_id
+}
+
+/// Prunes archived (terminal, non-resumable) job directories: keeps the
+/// newest `keep` by id (0 = no count bound) and drops any whose
+/// `result.json` is older than `max_age_secs` (0 = no age bound). Jobs
+/// without a `result.json` — queued, running, interrupted — are never
+/// touched. Returns the removed ids and the count of terminal directories
+/// retained.
+fn prune_archive(daemon: &Daemon, keep: usize, max_age_secs: u64) -> (Vec<JobId>, usize) {
+    let jobs_root = jobs_dir(&daemon.state_dir);
+    let mut candidates: Vec<(u64, JobId, PathBuf, SystemTime)> = Vec::new();
+    if let Ok(entries) = fs::read_dir(&jobs_root) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            let Some(id) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            let Ok(meta) = fs::metadata(dir.join("result.json")) else {
+                continue; // not terminal: never pruned
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            let num = id
+                .strip_prefix('j')
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(u64::MAX);
+            candidates.push((num, id, dir, mtime));
+        }
+    }
+    candidates.sort();
+    let total = candidates.len();
+    let excess = if keep > 0 {
+        total.saturating_sub(keep)
+    } else {
+        0
+    };
+    let cutoff = (max_age_secs > 0).then(|| SystemTime::now() - Duration::from_secs(max_age_secs));
+    let mut removed = Vec::new();
+    for (index, (_, id, dir, mtime)) in candidates.into_iter().enumerate() {
+        let too_many = index < excess;
+        let too_old = cutoff.is_some_and(|cut| mtime < cut);
+        if !(too_many || too_old) {
+            continue;
+        }
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => {
+                daemon.archive.lock().unwrap().remove(&id);
+                removed.push(id);
+            }
+            Err(e) => eprintln!("sa serve: warning: cannot prune {}: {e}", dir.display()),
+        }
+    }
+    let kept = total - removed.len();
+    (removed, kept)
 }
 
 fn ok_response(extra: Vec<(String, JsonValue)>) -> JsonValue {
@@ -201,11 +390,28 @@ fn ok_response(extra: Vec<(String, JsonValue)>) -> JsonValue {
     JsonValue::object(fields)
 }
 
-fn err_response(message: &str) -> JsonValue {
+/// An error response with a stable machine-readable `code` (see
+/// `docs/serve-protocol.md` for the registry) and a human-readable message.
+fn err_response(code: &str, message: &str) -> JsonValue {
     JsonValue::object([
         ("ok".to_string(), JsonValue::Bool(false)),
+        ("code".to_string(), JsonValue::String(code.to_string())),
         ("error".to_string(), JsonValue::String(message.to_string())),
     ])
+}
+
+/// Maps a scheduler rejection onto the wire, carrying `retry_after_ms` when
+/// the scheduler suggests a backoff (load shedding).
+fn sched_err_response(e: &SchedError) -> JsonValue {
+    let mut fields = vec![
+        ("ok".to_string(), JsonValue::Bool(false)),
+        ("code".to_string(), JsonValue::String(e.code.to_string())),
+        ("error".to_string(), JsonValue::String(e.message.clone())),
+    ];
+    if let Some(ms) = e.retry_after_ms {
+        fields.push(("retry_after_ms".to_string(), JsonValue::Number(ms as f64)));
+    }
+    JsonValue::object(fields)
 }
 
 fn send_line(stream: &mut UnixStream, value: &JsonValue) -> std::io::Result<()> {
@@ -214,22 +420,105 @@ fn send_line(stream: &mut UnixStream, value: &JsonValue) -> std::io::Result<()> 
     stream.flush()
 }
 
+/// One framed request line, read with a hard length bound.
+enum Frame {
+    Line(String),
+    /// The line exceeded the bound; the remainder was discarded up to the
+    /// next newline so the connection stays usable.
+    TooLarge,
+    Eof,
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// `max` bytes of it — the bounded replacement for `read_line`, which would
+/// happily buffer an arbitrarily long line.
+fn read_frame(reader: &mut BufReader<UnixStream>, max: usize) -> std::io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(if buf.len() > max {
+                Frame::TooLarge
+            } else {
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        buf.extend_from_slice(available);
+        let n = available.len();
+        reader.consume(n);
+        if buf.len() > max {
+            discard_line(reader)?;
+            return Ok(Frame::TooLarge);
+        }
+    }
+}
+
+/// Consumes input up to and including the next newline (or EOF) without
+/// retaining it.
+fn discard_line(reader: &mut BufReader<UnixStream>) -> std::io::Result<()> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(());
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return Ok(());
+        }
+        let n = available.len();
+        reader.consume(n);
+    }
+}
+
 /// Handles the `submit` op: resolve the spec (inline or by path), persist
-/// the job record, then hand the job to the scheduler.
-fn handle_submit(daemon: &Arc<Daemon>, request: &JsonValue) -> Result<JsonValue, String> {
+/// the job record durably, then hand the job to the scheduler. A scheduler
+/// rejection removes the just-written record — a restart must never
+/// resurrect a job whose submit the client saw fail.
+fn handle_submit(daemon: &Arc<Daemon>, request: &JsonValue) -> JsonValue {
     let spec_doc = match (request.get("spec"), request.get("spec_path")) {
         (Some(doc), _) => doc.clone(),
         (None, Some(path)) => {
             // The document (not the path) goes into the job record, so the
             // job survives the file being edited or deleted later.
-            let path = path.as_str().ok_or("\"spec_path\" must be a string")?;
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read spec {path}: {e}"))?;
-            JsonValue::parse(&text).map_err(|e| format!("spec {path} is not valid JSON: {e}"))?
+            let Some(path) = path.as_str() else {
+                return err_response("bad-request", "\"spec_path\" must be a string");
+            };
+            let text = match fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    return err_response("bad-request", &format!("cannot read spec {path}: {e}"))
+                }
+            };
+            match JsonValue::parse(&text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    return err_response(
+                        "bad-request",
+                        &format!("spec {path} is not valid JSON: {e}"),
+                    )
+                }
+            }
         }
-        (None, None) => return Err("submit needs \"spec\" (inline) or \"spec_path\"".to_string()),
+        (None, None) => {
+            return err_response(
+                "bad-request",
+                "submit needs \"spec\" (inline) or \"spec_path\"",
+            )
+        }
     };
-    let spec = sa_bench::sweep::SweepSpec::from_json(&spec_doc)?;
+    let spec = match sa_bench::sweep::SweepSpec::from_json(&spec_doc) {
+        Ok(spec) => spec,
+        Err(e) => return err_response("bad-request", &e),
+    };
     let priority = request
         .get("priority")
         .and_then(|p| p.as_f64())
@@ -247,30 +536,44 @@ fn handle_submit(daemon: &Arc<Daemon>, request: &JsonValue) -> Result<JsonValue,
         id
     };
     let job_dir = jobs_dir(&daemon.state_dir).join(&id);
-    fs::create_dir_all(&job_dir)
-        .map_err(|e| format!("cannot create {}: {e}", job_dir.display()))?;
-    // The record goes to disk before the scheduler sees the job: a crash
-    // after this point recovers the job, a crash before it loses only the
-    // un-acknowledged submit.
-    write_atomic(
+    if let Err(e) = fs::create_dir_all(&job_dir) {
+        return err_response("io", &format!("cannot create {}: {e}", job_dir.display()));
+    }
+    // The record goes to disk (durably) before the scheduler sees the job:
+    // a crash after this point recovers the job, a crash before it loses
+    // only the un-acknowledged submit.
+    if let Err(e) = write_atomic(
         &job_dir.join("job.json"),
         &job_json(&id, &spec_doc, priority, &client).render_pretty(),
-    )?;
+    ) {
+        let _ = fs::remove_dir_all(&job_dir);
+        return err_response("io", &e);
+    }
 
     let mut config = JobConfig::new(spec, job_dir.join("out"));
     config.id = Some(id);
     config.priority = priority;
     config.client = client;
     config.checkpoint_every = daemon.checkpoint_every;
-    let receipt = daemon.scheduler.submit(config)?;
-    Ok(ok_response(vec![
-        ("job".to_string(), JsonValue::String(receipt.id)),
-        ("units".to_string(), JsonValue::Number(receipt.units as f64)),
-        (
-            "resumed_done".to_string(),
-            JsonValue::Number(receipt.resumed_done as f64),
-        ),
-    ]))
+    match daemon.scheduler.submit(config) {
+        Ok(receipt) => {
+            if daemon.keep > 0 || daemon.keep_age_secs > 0 {
+                prune_archive(daemon, daemon.keep, daemon.keep_age_secs);
+            }
+            ok_response(vec![
+                ("job".to_string(), JsonValue::String(receipt.id)),
+                ("units".to_string(), JsonValue::Number(receipt.units as f64)),
+                (
+                    "resumed_done".to_string(),
+                    JsonValue::Number(receipt.resumed_done as f64),
+                ),
+            ])
+        }
+        Err(e) => {
+            let _ = fs::remove_dir_all(&job_dir);
+            sched_err_response(&e)
+        }
+    }
 }
 
 /// Handles `watch`: acknowledge, then stream the job's events as NDJSON
@@ -292,7 +595,10 @@ fn handle_watch(daemon: &Arc<Daemon>, stream: &mut UnixStream, job: &str) -> std
                 Ok(true)
             }
             None => {
-                send_line(stream, &err_response(&format!("unknown job \"{job}\"")))?;
+                send_line(
+                    stream,
+                    &err_response("unknown-job", &format!("unknown job \"{job}\"")),
+                )?;
                 Ok(true)
             }
         };
@@ -308,6 +614,42 @@ fn handle_watch(daemon: &Arc<Daemon>, stream: &mut UnixStream, job: &str) -> std
     Ok(true)
 }
 
+/// Handles `watch` with `"all": true` — the firehose: archived jobs replay
+/// as synthetic `job-finished` catch-up lines (id order), then every event
+/// of every live job streams in the scheduler's total order. The stream
+/// runs until the client disconnects or the daemon shuts down; the
+/// connection never returns to request mode.
+fn handle_watch_all(daemon: &Arc<Daemon>, stream: &mut UnixStream) -> std::io::Result<bool> {
+    send_line(stream, &ok_response(vec![]))?;
+    // Subscribe before the archived catch-up so nothing falls in a gap;
+    // live terminal jobs get their own synthetic catch-up from watch_all.
+    let rx = daemon.scheduler.watch_all();
+    let archived: Vec<JobEvent> = daemon
+        .archive
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(id, status)| JobEvent::JobFinished {
+            job: id.clone(),
+            status: status.clone(),
+        })
+        .collect();
+    for event in archived {
+        send_line(stream, &event.to_json())?;
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(250)) {
+            Ok(event) => send_line(stream, &event.to_json())?,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if daemon.stop.is_cancelled() {
+                    return Ok(false);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(false),
+        }
+    }
+}
+
 /// Dispatches one request line; returns `false` when the connection should
 /// close (daemon shutting down).
 fn handle_request(
@@ -318,7 +660,10 @@ fn handle_request(
     let request = match JsonValue::parse(line) {
         Ok(request) => request,
         Err(e) => {
-            send_line(stream, &err_response(&format!("bad request: {e}")))?;
+            send_line(
+                stream,
+                &err_response("bad-request", &format!("bad request: {e}")),
+            )?;
             return Ok(true);
         }
     };
@@ -338,7 +683,7 @@ fn handle_request(
             )]),
         )?,
         "submit" => {
-            let response = handle_submit(daemon, &request).unwrap_or_else(|e| err_response(&e));
+            let response = handle_submit(daemon, &request);
             send_line(stream, &response)?;
         }
         "status" => {
@@ -350,7 +695,7 @@ fn handle_request(
                         .or_else(|| daemon.archive.lock().unwrap().get(job).cloned());
                     match status {
                         Some(status) => ok_response(vec![("status".to_string(), status.to_json())]),
-                        None => err_response(&format!("unknown job \"{job}\"")),
+                        None => err_response("unknown-job", &format!("unknown job \"{job}\"")),
                     }
                 }
                 None => {
@@ -375,19 +720,45 @@ fn handle_request(
                     {
                         ok_response(vec![])
                     } else {
-                        err_response(&format!("unknown job \"{job}\""))
+                        err_response("unknown-job", &format!("unknown job \"{job}\""))
                     }
                 }
-                Err(e) => err_response(&e),
+                Err(e) => err_response("bad-request", &e),
             };
             send_line(stream, &response)?;
         }
         "watch" => {
+            if matches!(request.get("all"), Some(JsonValue::Bool(true))) {
+                return handle_watch_all(daemon, stream);
+            }
             let response = match job_field() {
                 Ok(job) => return handle_watch(daemon, stream, job),
-                Err(e) => err_response(&e),
+                Err(e) => err_response("bad-request", &e),
             };
             send_line(stream, &response)?;
+        }
+        "gc" => {
+            let keep = request
+                .get("keep")
+                .and_then(|k| k.as_f64())
+                .map(|k| k as usize)
+                .unwrap_or(daemon.keep);
+            let max_age = request
+                .get("max_age_secs")
+                .and_then(|k| k.as_f64())
+                .map(|k| k as u64)
+                .unwrap_or(daemon.keep_age_secs);
+            let (removed, kept) = prune_archive(daemon, keep, max_age);
+            send_line(
+                stream,
+                &ok_response(vec![
+                    (
+                        "removed".to_string(),
+                        JsonValue::Array(removed.into_iter().map(JsonValue::String).collect()),
+                    ),
+                    ("kept".to_string(), JsonValue::Number(kept as f64)),
+                ]),
+            )?;
         }
         "drain" => {
             // Blocks this connection until every accepted job is terminal;
@@ -400,12 +771,24 @@ fn handle_request(
             daemon.stop.cancel();
             return Ok(false);
         }
-        other => send_line(stream, &err_response(&format!("unknown op \"{other}\"")))?,
+        other => send_line(
+            stream,
+            &err_response("unknown-op", &format!("unknown op \"{other}\"")),
+        )?,
     }
     Ok(true)
 }
 
-fn handle_connection(daemon: Arc<Daemon>, stream: UnixStream) {
+fn handle_connection(daemon: Arc<Daemon>, stream: UnixStream, options: &ConnectionOptions) {
+    // Deadlines: a client idle (or trickling a line) past the read timeout,
+    // or blocking our writes past the write timeout, is disconnected — slow
+    // clients must not pin handler threads or buffers.
+    if options.idle_timeout_secs > 0 {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(options.idle_timeout_secs)));
+    }
+    if options.write_timeout_secs > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(options.write_timeout_secs)));
+    }
     let mut writer = match stream.try_clone() {
         Ok(writer) => writer,
         Err(_) => return,
@@ -420,17 +803,45 @@ fn handle_connection(daemon: Arc<Daemon>, stream: UnixStream) {
     if send_line(&mut writer, &hello).is_err() {
         return;
     }
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match handle_request(&daemon, &mut writer, line.trim()) {
-            Ok(true) => {}
-            Ok(false) | Err(_) => break,
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, options.max_frame_bytes) {
+            Ok(Frame::Eof) => break,
+            Ok(Frame::TooLarge) => {
+                let response = err_response(
+                    "too-large",
+                    &format!(
+                        "request line exceeds the {}-byte frame limit",
+                        options.max_frame_bytes
+                    ),
+                );
+                if send_line(&mut writer, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Line(line)) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match handle_request(&daemon, &mut writer, line) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => break,
+                }
+            }
+            // Read timeout (slow client) or a broken socket: disconnect.
+            Err(_) => break,
         }
     }
+}
+
+/// Per-connection knobs, copied out of [`ServeOptions`] for the handler
+/// threads.
+#[derive(Clone, Copy)]
+struct ConnectionOptions {
+    max_frame_bytes: usize,
+    idle_timeout_secs: u64,
+    write_timeout_secs: u64,
 }
 
 /// `sa serve`: bind the socket, recover persisted jobs, serve requests
@@ -444,13 +855,39 @@ pub fn serve(args: &[String]) -> Result<ExitCode, String> {
 
     // Paused start: recovery resubmits every unfinished job before any unit
     // dispatches, so recovered work keeps its original priority order.
-    let scheduler = JobScheduler::new_paused(options.workers.max(1));
+    let limits = SchedulerLimits {
+        max_queued_units: options.max_queued_units,
+        client_quota: options.client_quota,
+        client_workers: options.client_workers,
+        unit_timeout: (options.unit_timeout_secs > 0)
+            .then(|| Duration::from_secs(options.unit_timeout_secs)),
+    };
+    let scheduler = JobScheduler::with_limits(options.workers.max(1), false, limits);
     scheduler.add_sink(Arc::new(ArchiveSink {
         jobs_dir: jobs_root.clone(),
     }));
     let archive = Mutex::new(BTreeMap::new());
-    let next_id = recover_jobs(&scheduler, &jobs_root, &archive, options.checkpoint_every)?;
+    let next_id = recover_jobs(
+        &scheduler,
+        &options.state_dir,
+        &archive,
+        options.checkpoint_every,
+    );
     scheduler.start();
+
+    let daemon = Arc::new(Daemon {
+        scheduler,
+        state_dir: options.state_dir.clone(),
+        checkpoint_every: options.checkpoint_every,
+        keep: options.keep,
+        keep_age_secs: options.keep_age_secs,
+        archive,
+        next_id: Mutex::new(next_id),
+        stop: CancelToken::new(),
+    });
+    if daemon.keep > 0 || daemon.keep_age_secs > 0 {
+        prune_archive(&daemon, daemon.keep, daemon.keep_age_secs);
+    }
 
     // A previous daemon's socket file would make bind fail; a stale one
     // (crash) is safe to replace because connects to it already error.
@@ -468,20 +905,17 @@ pub fn serve(args: &[String]) -> Result<ExitCode, String> {
         .set_nonblocking(true)
         .map_err(|e| format!("cannot configure socket: {e}"))?;
 
-    let daemon = Arc::new(Daemon {
-        scheduler,
-        state_dir: options.state_dir.clone(),
-        checkpoint_every: options.checkpoint_every,
-        archive,
-        next_id: Mutex::new(next_id),
-        stop: CancelToken::new(),
-    });
     println!(
         "sa serve: listening on {} (state: {}, protocol v{PROTOCOL_VERSION})",
         options.socket.display(),
         options.state_dir.display()
     );
 
+    let connection_options = ConnectionOptions {
+        max_frame_bytes: options.max_frame_bytes.max(64),
+        idle_timeout_secs: options.idle_timeout_secs,
+        write_timeout_secs: options.write_timeout_secs,
+    };
     let mut handlers = Vec::new();
     while !daemon.stop.is_cancelled() {
         match listener.accept() {
@@ -489,7 +923,7 @@ pub fn serve(args: &[String]) -> Result<ExitCode, String> {
                 let _ = stream.set_nonblocking(false);
                 let daemon = Arc::clone(&daemon);
                 handlers.push(std::thread::spawn(move || {
-                    handle_connection(daemon, stream);
+                    handle_connection(daemon, stream, &connection_options);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
